@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The two baselines the paper positions itself against (§1).
+//!
+//! * [`mutex`] — **mutual exclusion** (the conservative end of the
+//!   Figure 1.1 spectrum): updates are forwarded to a primary node and
+//!   only succeed when the submitter can reach it. Globally serializable;
+//!   availability collapses for any group partitioned away from the
+//!   primary.
+//! * [`logtransform`] — **log transformation** (the "free-for-all" end):
+//!   every node applies operations locally and immediately, logs them,
+//!   and exchanges logs when connectivity allows; replicas converge by
+//!   deterministically replaying the merged operation log in timestamp
+//!   order. Perfect availability; no serializability, only eventual
+//!   convergence — plus whatever corrective actions the application
+//!   bolts on, evaluated *per node* (which is exactly how the paper's
+//!   "different fines at different nodes" chaos arises).
+//!
+//! Both reuse the same simulated network substrate as fragdb-core, so
+//! experiment E1/E2 comparisons are apples-to-apples.
+
+pub mod logtransform;
+pub mod mutex;
+
+pub use logtransform::{LogTransformConfig, LogTransformSystem, LoggedOp};
+pub use mutex::{MutexConfig, MutexSystem};

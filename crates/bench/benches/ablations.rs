@@ -1,0 +1,141 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **strategy cost** — the same banking workload under §4.1 read locks,
+//!   §4.2 acyclic-RAG admission, and §4.3 unrestricted reads, isolating
+//!   what the admission/locking machinery itself costs;
+//! * **install path** — ordered (`frag_seq` hold-back) vs §4.4.3 no-prep
+//!   installation, under a workload with agent movement;
+//! * **posting mode** — the §2 sibling-transaction posting vs the
+//!   §3.2-footnote atomic multi-fragment posting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fragdb_core::{MovePolicy, StrategyKind, Submission, System, SystemConfig};
+use fragdb_model::{AgentId, FragmentCatalog, NodeId};
+use fragdb_net::Topology;
+use fragdb_sim::{SimDuration, SimTime};
+use fragdb_workloads::{BankConfig, BankDriver, BankSchema};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn run_banking(strategy: StrategyKind, atomic_posting: bool) -> u64 {
+    let cfg = BankConfig {
+        accounts: 4,
+        slots_per_account: 64,
+        central: NodeId(0),
+        account_homes: vec![NodeId(1), NodeId(2), NodeId(3), NodeId(1)],
+        overdraft_fine: 50,
+    };
+    let declare = strategy.uses_read_locks();
+    let (catalog, schema, agents) = BankSchema::build(&cfg);
+    let mut sys = System::build(
+        Topology::full_mesh(4, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(1).with_strategy(strategy),
+    )
+    .unwrap();
+    let mut bank = BankDriver::new(schema, cfg);
+    if declare {
+        bank = bank.with_declared_reads();
+    }
+    if atomic_posting {
+        bank = bank.with_atomic_posting();
+    }
+    for i in 0..40u64 {
+        let acct = (i % 4) as u32;
+        let sub = if i % 3 == 0 {
+            bank.withdraw(acct, 10, false)
+        } else {
+            bank.deposit(acct, 25)
+        }
+        .expect("slots");
+        sys.submit_at(secs(1 + i), sub);
+    }
+    bank.run(&mut sys, secs(300));
+    sys.engine.metrics.counter("txn.committed")
+}
+
+fn bench_strategy_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations/strategy");
+    g.sample_size(10);
+    g.bench_function("4.1_read_locks", |b| {
+        b.iter(|| {
+            run_banking(
+                StrategyKind::ReadLocks {
+                    timeout: SimDuration::from_secs(10),
+                },
+                false,
+            )
+        })
+    });
+    g.bench_function("4.3_unrestricted", |b| {
+        b.iter(|| run_banking(StrategyKind::Unrestricted, false))
+    });
+    g.finish();
+}
+
+fn bench_posting_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations/posting");
+    g.sample_size(10);
+    g.bench_function("sibling_transactions", |b| {
+        b.iter(|| run_banking(StrategyKind::Unrestricted, false))
+    });
+    g.bench_function("atomic_2pc", |b| {
+        b.iter(|| run_banking(StrategyKind::Unrestricted, true))
+    });
+    g.finish();
+}
+
+fn run_moving(policy: MovePolicy) -> u64 {
+    let mut b = FragmentCatalog::builder();
+    let (frag, objs) = b.add_fragment("M", 4);
+    let catalog = b.build();
+    let mut sys = System::build(
+        Topology::full_mesh(4, SimDuration::from_millis(10)),
+        catalog,
+        vec![(frag, AgentId::Node(NodeId(0)), NodeId(0))],
+        SystemConfig::unrestricted(2).with_move_policy(policy),
+    )
+    .unwrap();
+    for i in 0..60u64 {
+        let obj = objs[(i % 4) as usize];
+        sys.submit_at(
+            secs(1 + i),
+            Submission::update(
+                frag,
+                Box::new(move |ctx| {
+                    let v = ctx.read_int(obj, 0);
+                    ctx.write(obj, v + 1)?;
+                    Ok(())
+                }),
+            ),
+        );
+    }
+    for (i, to) in [(15u64, 1u32), (35, 2), (55, 3)] {
+        sys.move_agent_at(secs(i), frag, NodeId(to));
+    }
+    sys.run_until(secs(600));
+    sys.engine.metrics.counter("install.count")
+}
+
+fn bench_install_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations/install_path");
+    g.sample_size(10);
+    g.bench_function("ordered_holdback", |b| {
+        b.iter(|| {
+            run_moving(MovePolicy::WithData {
+                transfer_delay: SimDuration::from_millis(100),
+            })
+        })
+    });
+    g.bench_function("noprep_arrival_order", |b| {
+        b.iter(|| run_moving(MovePolicy::NoPrep))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategy_cost, bench_posting_mode, bench_install_path);
+criterion_main!(benches);

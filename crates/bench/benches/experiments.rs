@@ -1,0 +1,161 @@
+//! End-to-end benchmarks: one per reproduced figure/scenario (E1–E10),
+//! at reduced scale so `cargo bench` completes in minutes. These track
+//! the wall-clock cost of the reproduction itself and double as
+//! regression alarms: every benchmark asserts the headline claim of its
+//! experiment before returning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fragdb_harness::experiments::{
+    e10_broadcast, e1_spectrum, e2_banking_scenarios, e3_local_view, e4_warehouse, e5_gsg_cycle,
+    e6_airline, e7_movement, e8_theorem, e9_fragmentwise,
+    scenario::ScenarioParams,
+};
+use fragdb_sim::{SimDuration, SimTime};
+
+fn small_spectrum_params() -> ScenarioParams {
+    ScenarioParams {
+        nodes: 4,
+        accounts: 4,
+        ops_per_sec: 1.0,
+        horizon: SimTime::from_secs(60),
+        disruption: 0.3,
+        mean_partition: SimDuration::from_secs(10),
+    }
+}
+
+fn bench_e1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e1_spectrum", |b| {
+        b.iter(|| {
+            let r = e1_spectrum::run(42, small_spectrum_params());
+            assert_eq!(r.rows.len(), 5);
+            r.rows.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_e2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e2_banking_scenarios", |b| {
+        b.iter(|| {
+            let r = e2_banking_scenarios::run(42);
+            assert_eq!(r.outcomes.len(), 6);
+            r.outcomes.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_e3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e3_local_view", |b| {
+        b.iter(|| {
+            let r = e3_local_view::run(42, &[10, 30]);
+            assert_eq!(r.samples.len(), 2);
+            r.samples[1].discrepancy_at_heal
+        })
+    });
+    g.finish();
+}
+
+fn bench_e4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e4_warehouse", |b| {
+        b.iter(|| {
+            let r = e4_warehouse::run(42, &[0.3]);
+            assert!(r.samples[0].serializable);
+            r.samples[0].served
+        })
+    });
+    g.finish();
+}
+
+fn bench_e5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(20);
+    g.bench_function("e5_gsg_cycle", |b| {
+        b.iter(|| {
+            let r = e5_gsg_cycle::run(42);
+            assert!(r.cycle.is_some());
+            r.cycle.map(|c| c.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_e6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(20);
+    g.bench_function("e6_airline", |b| {
+        b.iter(|| {
+            let r = e6_airline::run(42);
+            assert!(r.live_fragmentwise);
+            r.live_max_granted
+        })
+    });
+    g.finish();
+}
+
+fn bench_e7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e7_movement", |b| {
+        b.iter(|| {
+            let r = e7_movement::run(42);
+            assert_eq!(r.rows.len(), 4);
+            r.rows.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_e8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e8_theorem_5trials", |b| {
+        b.iter(|| {
+            let r = e8_theorem::run(42, 5);
+            assert_eq!(r.acyclic_violations, 0);
+            r.total_txns
+        })
+    });
+    g.finish();
+}
+
+fn bench_e9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e9_fragmentwise_5trials", |b| {
+        b.iter(|| {
+            let r = e9_fragmentwise::run(42, 5);
+            assert_eq!(r.p1_violations + r.p2_violations, 0);
+            r.total_txns
+        })
+    });
+    g.finish();
+}
+
+fn bench_e10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e10_broadcast", |b| {
+        b.iter(|| {
+            let r = e10_broadcast::run(42, &[0.4]);
+            assert_eq!(r.samples[0].fifo_violations, 0);
+            r.samples[0].delivered
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches, bench_e1, bench_e2, bench_e3, bench_e4, bench_e5, bench_e6, bench_e7, bench_e8,
+    bench_e9, bench_e10
+);
+criterion_main!(benches);

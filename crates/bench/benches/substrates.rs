@@ -1,0 +1,140 @@
+//! Microbenchmarks of the substrates every experiment is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fragdb_bench::synthetic_history;
+use fragdb_graphs::{GlobalSerializationGraph, ReadAccessGraph};
+use fragdb_model::{AccessDecl, FragmentId, NodeId, ObjectId, TxnId, Value};
+use fragdb_net::{BroadcastLayer, Topology, Transport};
+use fragdb_sim::{Engine, SimDuration, SimTime};
+use fragdb_storage::{LockManager, LockMode, Store};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("sim/engine_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new(1);
+            for i in 0..10_000u64 {
+                e.schedule(SimDuration(i % 97), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = e.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    c.bench_function("net/broadcast_stamp_accept_1k", |b| {
+        b.iter(|| {
+            let mut layer: BroadcastLayer<u64> = BroadcastLayer::new();
+            let sender = NodeId(0);
+            let receiver = NodeId(1);
+            let mut delivered = 0u64;
+            // Deliver in reverse to exercise the hold-back queue.
+            for seq in (0..1_000u64).rev() {
+                let _ = layer.stamp(sender);
+                delivered += layer.accept(receiver, sender, seq, seq).len() as u64;
+            }
+            delivered
+        })
+    });
+}
+
+fn bench_transport(c: &mut Criterion) {
+    c.bench_function("net/transport_send_mesh8_1k", |b| {
+        let topo = Topology::full_mesh(8, SimDuration::from_millis(10));
+        b.iter(|| {
+            let mut t: Transport<u64> = Transport::new(topo.clone());
+            let mut count = 0u64;
+            for i in 0..1_000u64 {
+                let from = NodeId((i % 8) as u32);
+                let to = NodeId(((i + 1) % 8) as u32);
+                if t.send(SimTime(i), from, to, i).is_some() {
+                    count += 1;
+                }
+            }
+            count
+        })
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    c.bench_function("storage/locks_acquire_release_1k", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for i in 0..1_000u64 {
+                let txn = TxnId::new(NodeId(0), i);
+                lm.acquire(txn, ObjectId(i % 64), LockMode::Shared);
+                lm.acquire(txn, ObjectId((i + 1) % 64), LockMode::Exclusive);
+            }
+            for i in 0..1_000u64 {
+                lm.release_all(TxnId::new(NodeId(0), i));
+            }
+        })
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("storage/store_put_get_10k", |b| {
+        b.iter(|| {
+            let mut s = Store::new();
+            for i in 0..10_000u64 {
+                s.put(
+                    ObjectId(i % 512),
+                    Value::Int(i as i64),
+                    TxnId::new(NodeId(0), i),
+                    SimTime(i),
+                );
+            }
+            let mut acc = 0i64;
+            for i in 0..512u64 {
+                acc += s.get(ObjectId(i)).as_int_or(0).unwrap();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_gsg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs/gsg_build");
+    for txns in [100u64, 500, 2_000] {
+        let history = synthetic_history(txns, 64, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &history, |b, h| {
+            b.iter(|| {
+                let g = GlobalSerializationGraph::build(h);
+                g.is_serializable()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rag(c: &mut Criterion) {
+    c.bench_function("graphs/rag_elementary_acyclicity_100", |b| {
+        // A 100-fragment star plus leaves: the biggest schema we use.
+        let mut decls = Vec::new();
+        let center = FragmentId(0);
+        for i in 1..100u32 {
+            decls.push(AccessDecl::update(center, [FragmentId(i)]));
+            decls.push(AccessDecl::update(FragmentId(i), [FragmentId(i)]));
+        }
+        b.iter(|| {
+            let rag = ReadAccessGraph::from_decls(&decls);
+            rag.is_elementarily_acyclic()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_broadcast,
+    bench_transport,
+    bench_locks,
+    bench_store,
+    bench_gsg,
+    bench_rag
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! System configuration.
+//!
+//! §6: *"it is also possible to combine several of our strategies in a
+//! single system … guarantee mutual consistency for some fragments,
+//! fragmentwise serializability for a set of other fragments, and
+//! conventional serializability within another group."* The configuration
+//! therefore carries a *default* strategy and movement policy plus
+//! per-fragment overrides; the system consults the effective policy of
+//! the fragment each decision concerns.
+
+use std::collections::BTreeMap;
+
+use fragdb_model::FragmentId;
+use fragdb_sim::SimDuration;
+
+use crate::movement::MovePolicy;
+use crate::strategy::StrategyKind;
+
+/// Everything the [`System`](crate::system::System) needs besides the
+/// schema and the topology.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Default control strategy (§4.1–§4.3).
+    pub strategy: StrategyKind,
+    /// Default agent movement policy (§4.4).
+    pub move_policy: MovePolicy,
+    /// §6: per-fragment strategy overrides.
+    pub strategy_overrides: BTreeMap<FragmentId, StrategyKind>,
+    /// §6: per-fragment movement-policy overrides.
+    pub move_overrides: BTreeMap<FragmentId, MovePolicy>,
+    /// §6: partial replication — the nodes holding a copy of each
+    /// fragment. Fragments absent from the map are fully replicated.
+    /// A fragment's agent home must always be in its replica set.
+    pub replica_sets: BTreeMap<FragmentId, std::collections::BTreeSet<fragdb_model::NodeId>>,
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's "center of the spectrum" default: unrestricted reads
+    /// (§4.3), fixed agents.
+    pub fn unrestricted(seed: u64) -> Self {
+        SystemConfig {
+            strategy: StrategyKind::Unrestricted,
+            move_policy: MovePolicy::Fixed,
+            strategy_overrides: BTreeMap::new(),
+            move_overrides: BTreeMap::new(),
+            replica_sets: BTreeMap::new(),
+            seed,
+        }
+    }
+
+    /// §4.1 with a default 30-second lock patience.
+    pub fn read_locks(seed: u64) -> Self {
+        SystemConfig::unrestricted(seed).with_strategy(StrategyKind::ReadLocks {
+            timeout: SimDuration::from_secs(30),
+        })
+    }
+
+    /// Replace the default movement policy (builder style).
+    pub fn with_move_policy(mut self, policy: MovePolicy) -> Self {
+        self.move_policy = policy;
+        self
+    }
+
+    /// Replace the default strategy (builder style).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// §6: run `fragment` under its own strategy (builder style).
+    pub fn with_fragment_strategy(mut self, fragment: FragmentId, strategy: StrategyKind) -> Self {
+        self.strategy_overrides.insert(fragment, strategy);
+        self
+    }
+
+    /// §6: move `fragment`'s agent under its own policy (builder style).
+    pub fn with_fragment_move_policy(mut self, fragment: FragmentId, policy: MovePolicy) -> Self {
+        self.move_overrides.insert(fragment, policy);
+        self
+    }
+
+    /// §6: replicate `fragment` only at `nodes` (builder style). The
+    /// fragment's agent home must be one of them.
+    pub fn with_replica_set(
+        mut self,
+        fragment: FragmentId,
+        nodes: impl IntoIterator<Item = fragdb_model::NodeId>,
+    ) -> Self {
+        self.replica_sets
+            .insert(fragment, nodes.into_iter().collect());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_and_builders() {
+        let c = SystemConfig::unrestricted(7);
+        assert!(matches!(c.strategy, StrategyKind::Unrestricted));
+        assert_eq!(c.move_policy, MovePolicy::Fixed);
+        assert_eq!(c.seed, 7);
+
+        let c = SystemConfig::read_locks(1).with_move_policy(MovePolicy::NoPrep);
+        assert!(c.strategy.uses_read_locks());
+        assert_eq!(c.move_policy, MovePolicy::NoPrep);
+
+        let c = SystemConfig::unrestricted(1).with_strategy(StrategyKind::ReadLocks {
+            timeout: SimDuration::from_secs(1),
+        });
+        assert!(c.strategy.uses_read_locks());
+    }
+
+    #[test]
+    fn per_fragment_overrides_accumulate() {
+        let c = SystemConfig::unrestricted(1)
+            .with_fragment_strategy(
+                FragmentId(1),
+                StrategyKind::ReadLocks {
+                    timeout: SimDuration::from_secs(2),
+                },
+            )
+            .with_fragment_move_policy(FragmentId(2), MovePolicy::NoPrep);
+        assert!(c.strategy_overrides[&FragmentId(1)].uses_read_locks());
+        assert_eq!(c.move_overrides[&FragmentId(2)], MovePolicy::NoPrep);
+        assert!(matches!(c.strategy, StrategyKind::Unrestricted));
+    }
+}

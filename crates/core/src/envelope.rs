@@ -1,0 +1,236 @@
+//! Every message nodes exchange.
+//!
+//! One envelope type keeps the transport monomorphic and makes the full
+//! protocol surface visible in one place. Messages group into:
+//!
+//! * **update propagation** (§3.2): [`Envelope::Quasi`];
+//! * **read-lock protocol** (§4.1): `LockReq` / `LockGrant` / `LockDenied`
+//!   / `LockRelease`;
+//! * **majority commit** (§4.4.1): `Prepare` / `PrepareAck` / `CommitCmd`
+//!   / `AbortCmd`, and `SeqQuery` / `SeqReply` for the move-time catch-up;
+//! * **unprepared movement** (§4.4.3): `M0` (the catch-up announcement)
+//!   and `ForwardMissing` (a late old-regime transaction routed to the new
+//!   home).
+
+use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, Value};
+use fragdb_storage::WalEntry;
+
+/// A network message.
+#[derive(Clone, Debug)]
+pub enum Envelope {
+    /// A broadcast quasi-transaction, stamped with the sender's broadcast
+    /// sequence number (per-sender FIFO processing, §3.2).
+    Quasi {
+        /// Per-sender broadcast sequence.
+        bseq: u64,
+        /// The propagated updates.
+        quasi: QuasiTransaction,
+    },
+
+    // ---- §4.1 read-lock protocol -------------------------------------
+    /// Request shared locks on `objects` at the receiving node (the home
+    /// of the fragment owning them) on behalf of `txn`.
+    LockReq {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// Objects to lock (all owned by fragments homed at the receiver).
+        objects: Vec<ObjectId>,
+        /// Node to send the grant back to.
+        reply_to: NodeId,
+    },
+    /// All requested locks are held; carries the current values at the
+    /// lock site so the reader sees a globally-consistent snapshot.
+    LockGrant {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// `(object, value-at-grant-time)` pairs.
+        values: Vec<(ObjectId, Value)>,
+    },
+    /// The request would deadlock; the transaction must abort.
+    LockDenied {
+        /// The requesting transaction.
+        txn: TxnId,
+    },
+    /// The transaction finished; drop all its locks at the receiver.
+    LockRelease {
+        /// The finished transaction.
+        txn: TxnId,
+    },
+
+    // ---- §4.4.1 majority commit ---------------------------------------
+    /// Stage this quasi-transaction and acknowledge.
+    Prepare {
+        /// Per-sender broadcast sequence.
+        bseq: u64,
+        /// The staged updates.
+        quasi: QuasiTransaction,
+    },
+    /// Acknowledgment of a `Prepare`.
+    PrepareAck {
+        /// The staged transaction.
+        txn: TxnId,
+        /// The acknowledging node.
+        from: NodeId,
+    },
+    /// Commit the previously staged quasi-transaction.
+    CommitCmd {
+        /// Per-sender broadcast sequence.
+        bseq: u64,
+        /// The staged transaction to commit.
+        txn: TxnId,
+    },
+    /// Abandon the previously staged quasi-transaction.
+    AbortCmd {
+        /// Per-sender broadcast sequence.
+        bseq: u64,
+        /// The staged transaction to drop.
+        txn: TxnId,
+    },
+    /// §4.4.1 move: "which transactions on `fragment` have you seen?"
+    SeqQuery {
+        /// Fragment being recovered.
+        fragment: FragmentId,
+        /// Highest `frag_seq` the querier already has.
+        have: Option<u64>,
+        /// Node to reply to.
+        reply_to: NodeId,
+    },
+    /// Reply carrying the WAL entries the querier is missing.
+    SeqReply {
+        /// Fragment being recovered.
+        fragment: FragmentId,
+        /// Replying node.
+        from: NodeId,
+        /// Entries with `frag_seq` above the querier's `have`.
+        entries: Vec<WalEntry>,
+    },
+
+    // ---- §4.4.3 unprepared movement ------------------------------------
+    /// New home `Y` announces the old-regime transactions it knows,
+    /// carrying them so laggards can catch up (protocol step B.1).
+    M0 {
+        /// Per-sender broadcast sequence.
+        bseq: u64,
+        /// Fragment whose agent moved.
+        fragment: FragmentId,
+        /// The regime (epoch) that just ended.
+        old_epoch: u64,
+        /// Highest old-regime `frag_seq` installed at the new home (`i`).
+        last_seq: Option<u64>,
+        /// The old-regime WAL entries the new home has, for catch-up.
+        entries: Vec<WalEntry>,
+        /// The new home node (`Y`), where missing transactions are forwarded.
+        new_home: NodeId,
+    },
+    /// A late old-regime quasi-transaction forwarded to the new home
+    /// (protocol step B.2).
+    ForwardMissing {
+        /// The late quasi-transaction.
+        quasi: QuasiTransaction,
+    },
+
+    // ---- §3.2 footnote: multi-fragment transactions (agent 2PC) --------
+    /// Coordinator asks `fragment`'s agent to stage this share of a
+    /// multi-fragment transaction.
+    MfPrepare {
+        /// The coordinating transaction (global id of the 2PC).
+        xid: TxnId,
+        /// The fragment this share updates.
+        fragment: FragmentId,
+        /// The share's `(object, value)` writes.
+        updates: Vec<(ObjectId, Value)>,
+        /// Coordinator node to vote back to.
+        reply_to: NodeId,
+    },
+    /// Participant vote.
+    MfVote {
+        /// The coordinating transaction.
+        xid: TxnId,
+        /// The voting fragment.
+        fragment: FragmentId,
+        /// `true` = staged and ready; `false` = refused (busy fragment).
+        yes: bool,
+    },
+    /// Commit the staged share.
+    MfCommit {
+        /// The coordinating transaction.
+        xid: TxnId,
+        /// The fragment whose share commits.
+        fragment: FragmentId,
+    },
+    /// Abandon the staged share.
+    MfAbort {
+        /// The coordinating transaction.
+        xid: TxnId,
+        /// The fragment whose share is dropped.
+        fragment: FragmentId,
+    },
+}
+
+impl Envelope {
+    /// Short tag for metrics and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Envelope::Quasi { .. } => "quasi",
+            Envelope::LockReq { .. } => "lock_req",
+            Envelope::LockGrant { .. } => "lock_grant",
+            Envelope::LockDenied { .. } => "lock_denied",
+            Envelope::LockRelease { .. } => "lock_release",
+            Envelope::Prepare { .. } => "prepare",
+            Envelope::PrepareAck { .. } => "prepare_ack",
+            Envelope::CommitCmd { .. } => "commit_cmd",
+            Envelope::AbortCmd { .. } => "abort_cmd",
+            Envelope::SeqQuery { .. } => "seq_query",
+            Envelope::SeqReply { .. } => "seq_reply",
+            Envelope::M0 { .. } => "m0",
+            Envelope::ForwardMissing { .. } => "forward_missing",
+            Envelope::MfPrepare { .. } => "mf_prepare",
+            Envelope::MfVote { .. } => "mf_vote",
+            Envelope::MfCommit { .. } => "mf_commit",
+            Envelope::MfAbort { .. } => "mf_abort",
+        }
+    }
+
+    /// The broadcast sequence number, for envelopes that travel through the
+    /// FIFO broadcast layer.
+    pub fn bseq(&self) -> Option<u64> {
+        match self {
+            Envelope::Quasi { bseq, .. }
+            | Envelope::Prepare { bseq, .. }
+            | Envelope::CommitCmd { bseq, .. }
+            | Envelope::AbortCmd { bseq, .. }
+            | Envelope::M0 { bseq, .. } => Some(*bseq),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let q = Envelope::LockRelease {
+            txn: TxnId::new(NodeId(0), 0),
+        };
+        assert_eq!(q.kind(), "lock_release");
+        assert_eq!(q.bseq(), None);
+    }
+
+    #[test]
+    fn broadcast_envelopes_carry_bseq() {
+        let q = Envelope::Quasi {
+            bseq: 7,
+            quasi: QuasiTransaction {
+                txn: TxnId::new(NodeId(0), 0),
+                fragment: FragmentId(0),
+                frag_seq: 0,
+                epoch: 0,
+                updates: vec![],
+            },
+        };
+        assert_eq!(q.bseq(), Some(7));
+        assert_eq!(q.kind(), "quasi");
+    }
+}

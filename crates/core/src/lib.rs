@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! `fragdb-core` — the fragments-and-agents engine.
+//!
+//! This crate implements the paper's contribution: a distributed database
+//! in which the data is divided into fragments, each updatable only by its
+//! token-holding agent, with updates propagated to all replicas as
+//! quasi-transactions over a reliable FIFO broadcast (§2–§3), under any of
+//! the paper's control options:
+//!
+//! | module | paper section | what it implements |
+//! |--------|---------------|--------------------|
+//! | [`strategy`] | §4.1–§4.3 | read-locks / acyclic-RAG / unrestricted admission |
+//! | [`movement`] | §4.4 | fixed, majority-commit, move-with-data, move-with-seqno, no-prep |
+//! | [`tokens`] | §3.1 | the token registry (one token per fragment, epochs) |
+//! | [`program`] | §3.2 | transaction programs and their execution context |
+//! | [`envelope`] | §3.2 | every message type nodes exchange |
+//! | [`events`] | — | simulation events and the notifications handed back to the driver |
+//! | [`system`] | — | the [`System`]: n nodes wired to the network, the event loop |
+//!
+//! The [`System`] is deliberately application-free: domain logic (banking
+//! rules, reservation rules, corrective actions such as overdraft fines)
+//! lives in the *driver*, which submits transaction programs and reacts to
+//! [`events::Notification`]s. That mirrors the paper's framing: the
+//! mechanism is generic; the database design (fragment layout + triggers)
+//! is what makes an application work (§2, "a good database design is
+//! essential").
+
+pub mod config;
+pub mod envelope;
+pub mod events;
+pub mod movement;
+pub mod program;
+pub mod strategy;
+pub mod system;
+pub mod tokens;
+
+pub use config::SystemConfig;
+pub use envelope::Envelope;
+pub use events::{AbortReason, Ev, Notification, Submission};
+pub use movement::MovePolicy;
+pub use program::{ProgramError, TxnCtx, TxnEffects, UpdateFn};
+pub use strategy::StrategyKind;
+pub use system::System;
+pub use tokens::TokenRegistry;

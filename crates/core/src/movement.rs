@@ -1,0 +1,106 @@
+//! Agent movement policies (§4.4).
+//!
+//! Moving a token from node `X` to node `Y` risks **missing transactions**:
+//! `T_2` (the first update at `Y`) can be initiated, or received at a third
+//! node `Z`, before `T_1` (the last update at `X`) has arrived. The paper
+//! offers a family of protocols with different availability/correctness
+//! trades; this module names them and holds their tuning knobs. The
+//! protocol state machines live in [`crate::system`], next to the message
+//! handlers they share.
+
+use fragdb_sim::SimDuration;
+
+/// How agent movement is handled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MovePolicy {
+    /// Agents never move. Baseline for §4.1–§4.3.
+    Fixed,
+    /// §4.4.1 — permanent preparatory actions: every update commits only
+    /// after a majority of nodes acknowledge its quasi-transaction, and a
+    /// moving agent first recovers the full update sequence from a
+    /// majority. Updates are unavailable without a majority.
+    MajorityCommit {
+        /// How long a transaction waits for its majority before aborting.
+        timeout: SimDuration,
+    },
+    /// §4.4.2A — the agent transports a copy of the fragment with it;
+    /// remote nodes hold back post-move updates until pre-move ones are in.
+    WithData {
+        /// Courier time for the physical copy (tape, card strip, …).
+        /// Independent of network connectivity.
+        transfer_delay: SimDuration,
+    },
+    /// §4.4.2B — only the last sequence number travels with the agent; the
+    /// new home waits until it has installed everything below it.
+    WithSeqNo,
+    /// §4.4.3 — no preparation: the agent resumes immediately at the new
+    /// home in a fresh epoch; missing transactions are later repackaged at
+    /// the new home, with corrective actions left to the application.
+    /// Only mutual consistency is guaranteed.
+    NoPrep,
+}
+
+impl MovePolicy {
+    /// Does this policy require majority acknowledgment on *every* commit?
+    pub fn needs_majority_commit(&self) -> bool {
+        matches!(self, MovePolicy::MajorityCommit { .. })
+    }
+
+    /// Do remote nodes install a fragment's updates strictly in
+    /// `frag_seq` order (hold-back), as §4.4.2 requires?
+    ///
+    /// True for every policy except [`MovePolicy::NoPrep`], whose whole
+    /// point is to never wait — it installs in arrival order and repairs
+    /// afterwards.
+    pub fn ordered_installs(&self) -> bool {
+        !matches!(self, MovePolicy::NoPrep)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MovePolicy::Fixed => "fixed",
+            MovePolicy::MajorityCommit { .. } => "4.4.1 majority",
+            MovePolicy::WithData { .. } => "4.4.2A with-data",
+            MovePolicy::WithSeqNo => "4.4.2B with-seqno",
+            MovePolicy::NoPrep => "4.4.3 no-prep",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_flag() {
+        assert!(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(10)
+        }
+        .needs_majority_commit());
+        assert!(!MovePolicy::Fixed.needs_majority_commit());
+        assert!(!MovePolicy::NoPrep.needs_majority_commit());
+    }
+
+    #[test]
+    fn ordered_installs_everywhere_but_noprep() {
+        assert!(MovePolicy::Fixed.ordered_installs());
+        assert!(MovePolicy::WithData {
+            transfer_delay: SimDuration::ZERO
+        }
+        .ordered_installs());
+        assert!(MovePolicy::WithSeqNo.ordered_installs());
+        assert!(MovePolicy::MajorityCommit {
+            timeout: SimDuration::ZERO
+        }
+        .ordered_installs());
+        assert!(!MovePolicy::NoPrep.ordered_installs());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(MovePolicy::Fixed.label(), "fixed");
+        assert_eq!(MovePolicy::WithSeqNo.label(), "4.4.2B with-seqno");
+        assert_eq!(MovePolicy::NoPrep.label(), "4.4.3 no-prep");
+    }
+}

@@ -1,0 +1,365 @@
+//! Transaction execution and the commit path.
+
+use std::collections::BTreeMap;
+
+use fragdb_model::{
+    FragmentId, NodeId, ObjectId, OpKind, QuasiTransaction, TxnId, TxnType, Value,
+};
+use fragdb_sim::SimTime;
+
+use crate::envelope::Envelope;
+use crate::events::{AbortReason, Notification, Submission};
+use crate::program::TxnEffects;
+use crate::system::{Pending, QueuedSub, System};
+
+impl System {
+    /// Entry point for a submission event.
+    pub(crate) fn handle_submission(
+        &mut self,
+        at: SimTime,
+        sub: Submission,
+    ) -> Vec<Notification> {
+        self.engine.metrics.incr("txn.submitted");
+        let fragment = sub.fragment;
+
+        // Updates park while their fragment's agent is mid-move, while a
+        // majority commit on the fragment is in flight (§4.4.1 keeps the
+        // update sequence uninterrupted), and while the fragment is bound
+        // into a multi-fragment two-phase commit.
+        let fragment_busy = |f: &fragdb_model::FragmentId| {
+            self.move_state.contains_key(f)
+                || self.majority_inflight.contains_key(f)
+                || self.mf_inflight.contains_key(f)
+        };
+        if !sub.read_only {
+            let busy = std::iter::once(&fragment)
+                .chain(sub.extra_fragments.iter())
+                .find(|f| fragment_busy(f))
+                .copied();
+            if let Some(busy_fragment) = busy {
+                self.queued
+                    .entry(busy_fragment)
+                    .or_default()
+                    .push_back(QueuedSub {
+                        submission: sub,
+                        queued_at: at,
+                    });
+                return Vec::new();
+            }
+        }
+
+        // Only read-only transactions may pin an execution node; updates
+        // always run at the fragment's agent home (§3.2's initiation
+        // requirement — running an update elsewhere would let a non-agent
+        // originate quasi-transactions).
+        let home = match sub.at_node {
+            Some(node) if sub.read_only => node,
+            _ => self.tokens.home(fragment),
+        };
+
+        if !sub.extra_fragments.is_empty() {
+            return self.begin_multi_update(at, home, sub);
+        }
+        if self.strategy_for(fragment).uses_read_locks() {
+            return self.begin_lock_acquisition(at, home, sub);
+        }
+        self.execute_now(at, home, sub, &BTreeMap::new())
+    }
+
+    /// Run a transaction program against `home`'s replica, mapping program
+    /// errors to abort reasons. `extra_fragments` widens the writable set
+    /// for multi-fragment transactions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_program(
+        &mut self,
+        at: SimTime,
+        home: NodeId,
+        txn: TxnId,
+        fragment: FragmentId,
+        extra_fragments: &[FragmentId],
+        granted: &BTreeMap<ObjectId, (NodeId, Value)>,
+        read_only: bool,
+        program: crate::program::UpdateFn,
+    ) -> Result<TxnEffects, AbortReason> {
+        let replica = &self.nodes[home.0 as usize].replica;
+        let mut ctx = crate::program::TxnCtx::new(
+            home, txn, fragment, at, replica, &self.catalog, granted, read_only,
+        );
+        ctx.allow_fragments(extra_fragments);
+        match program(&mut ctx) {
+            Ok(()) => Ok(ctx.finish()),
+            Err(crate::program::ProgramError::Logic(m)) => Err(AbortReason::Logic(m)),
+            Err(crate::program::ProgramError::InitiationViolation(_)) => {
+                Err(AbortReason::Initiation)
+            }
+        }
+    }
+
+    /// Run the program immediately (§4.2/§4.3 path, or §4.1 once locks are
+    /// granted — then `granted` carries the lock-site snapshots).
+    pub(crate) fn execute_now(
+        &mut self,
+        at: SimTime,
+        home: NodeId,
+        sub: Submission,
+        granted: &BTreeMap<ObjectId, (NodeId, Value)>,
+    ) -> Vec<Notification> {
+        let txn = self.alloc_txn(home);
+        let Submission {
+            fragment,
+            program,
+            read_only,
+            ..
+        } = sub;
+        let effects =
+            match self.run_program(at, home, txn, fragment, &[], granted, read_only, program) {
+                Ok(e) => e,
+                Err(reason) => return self.finish_abort(txn, fragment, reason),
+            };
+
+        // §6 partial replication: a replica read must happen at a node
+        // holding the fragment (reads via §4.1 lock grants are recorded at
+        // the lock site, which is always a replica).
+        for &(site, object) in &effects.reads {
+            let frag = self.catalog.fragment_of(object).expect("known object");
+            if !self.replicated_at(frag, site) {
+                return self.finish_abort(
+                    txn,
+                    fragment,
+                    AbortReason::Logic(format!(
+                        "read of {object} at {site}, which holds no replica of {frag}"
+                    )),
+                );
+            }
+        }
+
+        // §4.2 admission: the class (initiator, fragments-read) must be
+        // declared. Checked post-execution, when the read set is known;
+        // reads are side-effect-free so refusing here leaves no trace.
+        let frags_read: Vec<FragmentId> = effects
+            .reads
+            .iter()
+            .filter_map(|(_, o)| self.catalog.fragment_of(*o).ok())
+            .collect();
+        let admitted = if read_only {
+            self.strategy_for(fragment).admits_read_only(fragment, frags_read)
+        } else {
+            self.strategy_for(fragment).admits_update(fragment, frags_read)
+        };
+        if !admitted {
+            return self.finish_abort(txn, fragment, AbortReason::UndeclaredClass);
+        }
+
+        if read_only {
+            self.flush_reads(txn, TxnType::ReadOnly(fragment), &effects.reads, at);
+            self.engine.metrics.incr("txn.read_finished");
+            return vec![Notification::ReadFinished { txn, node: home }];
+        }
+
+        if self.move_policy_for(fragment).needs_majority_commit() {
+            return self.begin_majority_commit(at, home, txn, fragment, effects);
+        }
+
+        let mut notes = self.commit_update(at, home, txn, fragment, effects);
+        notes.extend(self.observe_commit_latency(at, at));
+        notes
+    }
+
+    /// Record buffered reads into the run history.
+    pub(crate) fn flush_reads(
+        &mut self,
+        txn: TxnId,
+        ttype: TxnType,
+        reads: &[(NodeId, ObjectId)],
+        at: SimTime,
+    ) {
+        for &(site, object) in reads {
+            self.history
+                .record_local(site, txn, ttype, OpKind::Read, object, at);
+        }
+    }
+
+    /// The common commit: sequence allocation, history, replica, broadcast.
+    pub(crate) fn commit_update(
+        &mut self,
+        at: SimTime,
+        home: NodeId,
+        txn: TxnId,
+        fragment: FragmentId,
+        effects: TxnEffects,
+    ) -> Vec<Notification> {
+        let frag_seq = self.tokens.alloc_frag_seq(fragment);
+        let epoch = self.tokens.epoch(fragment);
+        self.finish_commit(at, home, txn, fragment, frag_seq, epoch, effects, true)
+    }
+
+    /// Commit with a pre-allocated sequence number (majority path) and an
+    /// optional quasi broadcast (majority broadcasts `CommitCmd` instead).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_commit(
+        &mut self,
+        at: SimTime,
+        home: NodeId,
+        txn: TxnId,
+        fragment: FragmentId,
+        frag_seq: u64,
+        epoch: u64,
+        effects: TxnEffects,
+        broadcast_quasi: bool,
+    ) -> Vec<Notification> {
+        let ttype = TxnType::Update(fragment);
+        self.flush_reads(txn, ttype, &effects.reads, at);
+        for (object, _) in &effects.writes {
+            self.history
+                .record_local(home, txn, ttype, OpKind::Write, *object, at);
+        }
+        let slot = &mut self.nodes[home.0 as usize];
+        slot.replica
+            .commit_local(txn, fragment, frag_seq, epoch, effects.writes.clone(), at);
+        // The home already has the data; ordered installation at the home
+        // resumes from the next sequence number.
+        slot.next_install.insert(fragment, frag_seq + 1);
+        self.commit_times.insert((fragment, epoch, frag_seq), at);
+
+        let quasi = QuasiTransaction {
+            txn,
+            fragment,
+            frag_seq,
+            epoch,
+            updates: effects.writes,
+        };
+        if broadcast_quasi {
+            let q = quasi.clone();
+            self.broadcast_fragment(at, home, fragment, move |bseq| Envelope::Quasi {
+                bseq,
+                quasi: q.clone(),
+            });
+        }
+        self.engine.metrics.incr("txn.committed");
+        vec![Notification::Committed {
+            txn,
+            fragment,
+            node: home,
+            at,
+        }]
+    }
+
+    /// Observe commit latency (separated so §4.1/§4.4.1 paths can pass the
+    /// original submission time).
+    pub(crate) fn observe_commit_latency(
+        &mut self,
+        submitted_at: SimTime,
+        committed_at: SimTime,
+    ) -> Vec<Notification> {
+        self.engine
+            .metrics
+            .observe("latency.commit", (committed_at - submitted_at).micros());
+        Vec::new()
+    }
+
+    /// Terminal abort bookkeeping.
+    pub(crate) fn finish_abort(
+        &mut self,
+        txn: TxnId,
+        fragment: FragmentId,
+        reason: AbortReason,
+    ) -> Vec<Notification> {
+        self.engine.metrics.incr("txn.aborted");
+        let key = match &reason {
+            AbortReason::Logic(_) => "abort.logic",
+            AbortReason::Initiation => "abort.initiation",
+            AbortReason::Deadlock => "abort.deadlock",
+            AbortReason::Unavailable => "abort.unavailable",
+            AbortReason::UndeclaredClass => "abort.undeclared_class",
+        };
+        self.engine.metrics.incr(key);
+        vec![Notification::Aborted {
+            txn,
+            fragment,
+            reason,
+        }]
+    }
+
+    /// Abort a pending (cross-event) transaction: release its locks or
+    /// majority staging, then record the abort.
+    pub(crate) fn abort_pending(
+        &mut self,
+        at: SimTime,
+        txn: TxnId,
+        reason: AbortReason,
+    ) -> Vec<Notification> {
+        let Some(pending) = self.pending.remove(&txn) else {
+            return Vec::new();
+        };
+        let mut notes = Vec::new();
+        let fragment = match pending {
+            Pending::LockAcq {
+                fragment,
+                home,
+                contacted_sites,
+                ..
+            }
+            | Pending::XWait {
+                fragment,
+                home,
+                contacted_sites,
+                ..
+            } => {
+                notes.extend(self.release_all_sites(at, home, txn, &contacted_sites));
+                fragment
+            }
+            Pending::MultiCoord {
+                participants,
+                home,
+                ..
+            } => {
+                let fragment = participants[0].0;
+                notes.extend(self.abort_multi(at, txn, participants, home));
+                fragment
+            }
+            Pending::Majority {
+                fragment, home, ..
+            } => {
+                self.majority_inflight.remove(&fragment);
+                // Return the reserved sequence number so no gap forms.
+                let seq = self.tokens.peek_frag_seq(fragment);
+                self.tokens.set_next_frag_seq(fragment, seq.saturating_sub(1));
+                self.broadcast_fragment(at, home, fragment, |bseq| Envelope::AbortCmd {
+                    bseq,
+                    txn,
+                });
+                notes.extend(self.drain_queued(at, fragment));
+                fragment
+            }
+        };
+        notes.extend(self.finish_abort(txn, fragment, reason));
+        notes
+    }
+
+    /// Re-submit everything parked on `fragment` (move finished, or the
+    /// in-flight majority commit resolved).
+    pub(crate) fn drain_queued(&mut self, at: SimTime, fragment: FragmentId) -> Vec<Notification> {
+        let mut notes = Vec::new();
+        while let Some(q) = self
+            .queued
+            .get_mut(&fragment)
+            .and_then(|v| v.pop_front())
+        {
+            self.engine
+                .metrics
+                .observe("latency.move_wait", (at - q.queued_at).micros());
+            notes.extend(self.handle_submission(at, q.submission));
+            // A drained submission may itself start a majority commit or a
+            // 2PC, which re-parks the rest; stop draining in that case.
+            if self.majority_inflight.contains_key(&fragment)
+                || self.move_state.contains_key(&fragment)
+                || self.mf_inflight.contains_key(&fragment)
+            {
+                break;
+            }
+        }
+        notes
+    }
+}
+
+

@@ -1,0 +1,122 @@
+//! Quasi-transaction installation paths.
+//!
+//! * [`System::ordered_install`] — used by every movement policy except
+//!   §4.4.3: a fragment's updates are installed strictly in `frag_seq`
+//!   order (per-fragment hold-back), which is what keeps replicas mutually
+//!   consistent across agent moves (§4.4.2's "all other sites are requested
+//!   not to install updates from T2 until those from T1 have been
+//!   installed").
+//! * [`System::do_install`] — the actual installation: replica + WAL +
+//!   history + staleness metrics + the §4.4.2B move-completion check.
+//!
+//! The §4.4.3 path lives in `moves.rs` (it is intertwined with `M0`
+//! processing).
+
+use fragdb_model::{NodeId, QuasiTransaction, TxnType};
+use fragdb_sim::SimTime;
+
+use crate::events::Notification;
+use crate::system::{MoveState, System};
+
+impl System {
+    /// Install `quasi` at `node` respecting `frag_seq` order; out-of-order
+    /// arrivals are held back, duplicates dropped.
+    pub(crate) fn ordered_install(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        quasi: QuasiTransaction,
+    ) -> Vec<Notification> {
+        let slot = &mut self.nodes[node.0 as usize];
+        let fragment = quasi.fragment;
+        let next = slot.next_install.entry(fragment).or_insert(0);
+        if quasi.frag_seq < *next {
+            self.engine.metrics.incr("install.duplicate");
+            return Vec::new();
+        }
+        if quasi.frag_seq > *next {
+            self.engine.metrics.incr("install.heldback");
+            slot.holdback
+                .entry(fragment)
+                .or_default()
+                .insert(quasi.frag_seq, quasi);
+            return Vec::new();
+        }
+        // quasi.frag_seq == *next: install it, then drain the hold-back.
+        let mut notes = self.do_install(at, node, quasi);
+        loop {
+            let slot = &mut self.nodes[node.0 as usize];
+            let next = *slot.next_install.get(&fragment).expect("set by do_install");
+            let Some(q) = slot
+                .holdback
+                .get_mut(&fragment)
+                .and_then(|hb| hb.remove(&next))
+            else {
+                break;
+            };
+            notes.extend(self.do_install(at, node, q));
+        }
+        notes
+    }
+
+    /// Unconditionally install `quasi` at `node`: replica + WAL write,
+    /// history install records, staleness metric, notifications, and the
+    /// §4.4.2B "caught up yet?" check.
+    pub(crate) fn do_install(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        quasi: QuasiTransaction,
+    ) -> Vec<Notification> {
+        debug_assert_ne!(quasi.origin(), node, "a node never re-installs its own commit");
+        let slot = &mut self.nodes[node.0 as usize];
+        slot.replica.install_quasi(&quasi, at);
+        slot.next_install
+            .insert(quasi.fragment, quasi.frag_seq + 1);
+        let ttype = TxnType::Update(quasi.fragment);
+        for (object, _) in &quasi.updates {
+            self.history
+                .record_install(node, quasi.txn, ttype, *object, at);
+        }
+        if let Some(&committed) = self
+            .commit_times
+            .get(&(quasi.fragment, quasi.epoch, quasi.frag_seq))
+        {
+            self.engine
+                .metrics
+                .observe("latency.propagation", (at - committed).micros());
+        }
+        self.engine.metrics.incr("install.count");
+
+        let mut notes = vec![Notification::Installed {
+            node,
+            quasi: quasi.clone(),
+            at,
+        }];
+
+        // §4.4.2B: if this node is a new home waiting to catch up, check
+        // whether this install completed the prefix.
+        if let Some(MoveState::AwaitingSeq { new_home, upto }) =
+            self.move_state.get(&quasi.fragment)
+        {
+            let (new_home, upto) = (*new_home, *upto);
+            if new_home == node {
+                let caught_up = self.nodes[node.0 as usize]
+                    .next_install
+                    .get(&quasi.fragment)
+                    .is_some_and(|&n| n >= upto);
+                if caught_up {
+                    let fragment = quasi.fragment;
+                    self.move_state.remove(&fragment);
+                    notes.push(Notification::MoveCompleted {
+                        fragment,
+                        node: new_home,
+                        at,
+                    });
+                    notes.extend(self.drain_queued(at, fragment));
+                }
+            }
+        }
+        notes
+    }
+}

@@ -1,0 +1,327 @@
+//! §4.4.1 — majority commit.
+//!
+//! "Before a transaction can commit at the agent's home node, the
+//! corresponding quasi-transaction is sent out to the rest of the nodes,
+//! and acknowledgments are requested. The transaction commits only after
+//! acknowledgments have been received from a majority of the nodes."
+//!
+//! The home node counts toward the majority (it durably has the data).
+//! One commit is in flight per fragment at a time, keeping the update
+//! sequence uninterrupted; later submissions queue behind it.
+//!
+//! On a move, the new home broadcasts a [`Envelope::SeqQuery`] and installs
+//! the entries returned by a majority before resuming — any committed
+//! transaction was acked by a majority, every two majorities intersect, so
+//! the new home recovers the complete sequence.
+
+use fragdb_model::{FragmentId, NodeId, QuasiTransaction, TxnId};
+use fragdb_sim::SimTime;
+use fragdb_storage::WalEntry;
+
+use crate::envelope::Envelope;
+use crate::events::Notification;
+use crate::movement::MovePolicy;
+use crate::program::TxnEffects;
+use crate::system::{MoveState, Pending, System};
+
+impl System {
+    /// Nodes needed for a majority of `fragment`'s replica set (home
+    /// included). With full replication this is a majority of all nodes.
+    pub(crate) fn majority(&self, fragment: FragmentId) -> usize {
+        let population = self
+            .replicas_of(fragment)
+            .map_or(self.nodes.len(), |set| set.len());
+        population / 2 + 1
+    }
+
+    /// Stage a freshly-executed update and solicit acknowledgments.
+    pub(crate) fn begin_majority_commit(
+        &mut self,
+        at: SimTime,
+        home: NodeId,
+        txn: TxnId,
+        fragment: FragmentId,
+        effects: TxnEffects,
+    ) -> Vec<Notification> {
+        let MovePolicy::MajorityCommit { timeout } = *self.move_policy_for(fragment) else {
+            unreachable!("majority path requires MajorityCommit policy");
+        };
+        let frag_seq = self.tokens.alloc_frag_seq(fragment);
+        let epoch = self.tokens.epoch(fragment);
+        let quasi = QuasiTransaction {
+            txn,
+            fragment,
+            frag_seq,
+            epoch,
+            updates: effects.writes.clone(),
+        };
+        self.majority_inflight.insert(fragment, txn);
+        let q = quasi.clone();
+        self.broadcast_fragment(at, home, fragment, move |bseq| Envelope::Prepare {
+            bseq,
+            quasi: q.clone(),
+        });
+        self.pending.insert(
+            txn,
+            Pending::Majority {
+                fragment,
+                home,
+                quasi,
+                reads: effects.reads,
+                acks: [home].into_iter().collect(),
+                submitted_at: at,
+            },
+        );
+        self.arm_timeout(timeout, txn);
+        // Single-node cluster: the home alone is a majority.
+        self.check_majority(at, txn)
+    }
+
+    /// A remote node stages a prepared quasi-transaction and acknowledges.
+    pub(crate) fn on_prepare(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        quasi: QuasiTransaction,
+    ) -> Vec<Notification> {
+        let txn = quasi.txn;
+        self.nodes[to.0 as usize].staged.insert(txn, quasi);
+        self.send_direct(at, to, from, Envelope::PrepareAck { txn, from: to })
+    }
+
+    /// An acknowledgment reaches the home node.
+    pub(crate) fn on_prepare_ack(
+        &mut self,
+        at: SimTime,
+        txn: TxnId,
+        acker: NodeId,
+    ) -> Vec<Notification> {
+        if let Some(Pending::Majority { acks, .. }) = self.pending.get_mut(&txn) {
+            acks.insert(acker);
+        }
+        self.check_majority(at, txn)
+    }
+
+    /// Commit if the majority has been reached.
+    fn check_majority(&mut self, at: SimTime, txn: TxnId) -> Vec<Notification> {
+        let reached = matches!(
+            self.pending.get(&txn),
+            Some(Pending::Majority { fragment, acks, .. })
+                if acks.len() >= self.majority(*fragment)
+        );
+        if !reached {
+            return Vec::new();
+        }
+        let Some(Pending::Majority {
+            fragment,
+            home,
+            quasi,
+            reads,
+            submitted_at,
+            ..
+        }) = self.pending.remove(&txn)
+        else {
+            unreachable!("checked above");
+        };
+        self.majority_inflight.remove(&fragment);
+        let effects = TxnEffects {
+            reads,
+            writes: quasi.updates.clone(),
+        };
+        let mut notes = self.finish_commit(
+            at,
+            home,
+            txn,
+            fragment,
+            quasi.frag_seq,
+            quasi.epoch,
+            effects,
+            false, // receivers install from their staged copy on CommitCmd
+        );
+        self.broadcast_fragment(at, home, fragment, |bseq| Envelope::CommitCmd { bseq, txn });
+        notes.extend(self.observe_commit_latency(submitted_at, at));
+        notes.extend(self.drain_queued(at, fragment));
+        notes
+    }
+
+    /// A commit command: install the staged quasi-transaction (in order).
+    pub(crate) fn on_commit_cmd(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        txn: TxnId,
+    ) -> Vec<Notification> {
+        let Some(quasi) = self.nodes[node.0 as usize].staged.remove(&txn) else {
+            // Possible only if this node already installed it via move
+            // recovery (SeqReply); the duplicate check in ordered_install
+            // would drop it anyway.
+            return Vec::new();
+        };
+        self.ordered_install(at, node, quasi)
+    }
+
+    // ---- move-time recovery ---------------------------------------------
+
+    /// §4.4.1 move: start recovering the fragment's sequence from a
+    /// majority.
+    pub(crate) fn begin_majority_recovery(
+        &mut self,
+        at: SimTime,
+        fragment: FragmentId,
+        new_home: NodeId,
+    ) -> Vec<Notification> {
+        self.move_state.insert(
+            fragment,
+            MoveState::MajorityRecovery {
+                new_home,
+                replies: [new_home].into_iter().collect(),
+            },
+        );
+        let have = self.nodes[new_home.0 as usize]
+            .replica
+            .last_frag_seq(fragment);
+        let targets: Vec<NodeId> = match self.replicas_of(fragment) {
+            Some(set) => set.iter().copied().collect(),
+            None => (0..self.nodes.len() as u32).map(NodeId).collect(),
+        };
+        let mut notes = Vec::new();
+        for to in targets {
+            if to == new_home {
+                continue;
+            }
+            notes.extend(self.send_direct(
+                at,
+                new_home,
+                to,
+                Envelope::SeqQuery {
+                    fragment,
+                    have,
+                    reply_to: new_home,
+                },
+            ));
+        }
+        // A single-node system is already a majority.
+        notes.extend(self.check_recovery_done(at, fragment));
+        notes
+    }
+
+    /// Another node answers a sequence query with the entries the new home
+    /// is missing. Staged-but-not-yet-committed quasi-transactions count as
+    /// "seen" (the paper: each old transaction "was seen by a majority of
+    /// nodes" — seen means acknowledged at prepare time, which is exactly
+    /// the staged set), so a transaction whose `CommitCmd` is still in
+    /// flight at move time is not lost.
+    ///
+    /// Known limitation: if the move instead races an `AbortCmd`, a staged
+    /// share can be resurrected at the new home. Both races stem from
+    /// moving an agent with commands in flight; drivers should quiesce a
+    /// fragment before moving it (same caveat as for multi-fragment 2PC).
+    pub(crate) fn on_seq_query(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        fragment: FragmentId,
+        have: Option<u64>,
+        reply_to: NodeId,
+    ) -> Vec<Notification> {
+        let from_seq = have.map_or(0, |h| h + 1);
+        let slot = &self.nodes[node.0 as usize];
+        let mut entries: Vec<WalEntry> = slot
+            .replica
+            .wal()
+            .fragment_range(fragment, from_seq, u64::MAX)
+            .into_iter()
+            .cloned()
+            .collect();
+        for quasi in slot.staged.values() {
+            if quasi.fragment == fragment
+                && quasi.frag_seq >= from_seq
+                && !entries.iter().any(|e| e.frag_seq == quasi.frag_seq)
+            {
+                entries.push(WalEntry {
+                    txn: quasi.txn,
+                    fragment: quasi.fragment,
+                    frag_seq: quasi.frag_seq,
+                    epoch: quasi.epoch,
+                    updates: quasi.updates.clone(),
+                    installed_at: at,
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.frag_seq);
+        self.send_direct(
+            at,
+            node,
+            reply_to,
+            Envelope::SeqReply {
+                fragment,
+                from: node,
+                entries,
+            },
+        )
+    }
+
+    /// A recovery reply reaches the new home: install what is missing and
+    /// count the replier toward the majority.
+    pub(crate) fn on_seq_reply(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        fragment: FragmentId,
+        replier: NodeId,
+        entries: Vec<WalEntry>,
+    ) -> Vec<Notification> {
+        let mut notes = Vec::new();
+        match self.move_state.get_mut(&fragment) {
+            Some(MoveState::MajorityRecovery { new_home, replies }) if *new_home == node => {
+                replies.insert(replier);
+            }
+            _ => return notes, // stale reply from a finished recovery
+        }
+        for e in entries {
+            let quasi = QuasiTransaction {
+                txn: e.txn,
+                fragment: e.fragment,
+                frag_seq: e.frag_seq,
+                epoch: e.epoch,
+                updates: e.updates,
+            };
+            if quasi.origin() != node {
+                notes.extend(self.ordered_install(at, node, quasi));
+            }
+        }
+        notes.extend(self.check_recovery_done(at, fragment));
+        notes
+    }
+
+    fn check_recovery_done(&mut self, at: SimTime, fragment: FragmentId) -> Vec<Notification> {
+        let done = matches!(
+            self.move_state.get(&fragment),
+            Some(MoveState::MajorityRecovery { replies, .. })
+                if replies.len() >= self.majority(fragment)
+        );
+        if !done {
+            return Vec::new();
+        }
+        let Some(MoveState::MajorityRecovery { new_home, .. }) =
+            self.move_state.remove(&fragment)
+        else {
+            unreachable!("checked above");
+        };
+        // The recovered prefix defines where the sequence resumes.
+        let next = self.nodes[new_home.0 as usize]
+            .next_install
+            .get(&fragment)
+            .copied()
+            .unwrap_or(0);
+        self.tokens.set_next_frag_seq(fragment, next);
+        let mut notes = vec![Notification::MoveCompleted {
+            fragment,
+            node: new_home,
+            at,
+        }];
+        notes.extend(self.drain_queued(at, fragment));
+        notes
+    }
+}

@@ -1,0 +1,614 @@
+//! The [`System`]: `n` replicated nodes wired to a simulated network,
+//! executing transactions under a chosen control strategy and movement
+//! policy, recording everything into a [`History`].
+//!
+//! The system is *driven*: workload code schedules [`Ev`]s (submissions,
+//! partitions, agent moves) on the engine and then pumps
+//! [`System::step_until`], reacting to the returned [`Notification`]s.
+//! Domain triggers — e.g. the §2 banking rule "when an ACTIVITY update
+//! reaches the central office, post it to BALANCES" — are driver reactions
+//! to [`Notification::Installed`].
+
+mod exec;
+mod install;
+mod locks_proto;
+mod majority;
+mod moves;
+mod multi;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use fragdb_model::{
+    AgentId, FragmentCatalog, FragmentId, History, NodeId, ObjectId, QuasiTransaction, TxnId,
+    Value,
+};
+use fragdb_net::{BroadcastLayer, Delivery, NetworkChange, Topology, Transport};
+use fragdb_sim::{Engine, SimDuration, SimTime};
+use fragdb_storage::{LockManager, Replica};
+
+use crate::config::SystemConfig;
+use crate::envelope::Envelope;
+use crate::events::{AbortReason, Ev, Notification, Submission};
+use crate::movement::MovePolicy;
+use crate::program::{TxnEffects, UpdateFn};
+use crate::strategy::{StrategyError, StrategyKind};
+use crate::tokens::TokenRegistry;
+
+/// Per-node runtime state.
+pub(crate) struct NodeSlot {
+    /// The node's database copy + WAL.
+    pub replica: Replica,
+    /// Lock table for objects whose fragments are homed here (§4.1).
+    pub locks: LockManager,
+    /// Remote lock requests waiting at this lock site: txn -> request.
+    pub remote_reqs: BTreeMap<TxnId, RemoteLockReq>,
+    /// §4.4.1: quasi-transactions staged by `Prepare`, awaiting `CommitCmd`.
+    pub staged: BTreeMap<TxnId, QuasiTransaction>,
+    /// Next fragment sequence expected for ordered installation.
+    pub next_install: BTreeMap<FragmentId, u64>,
+    /// Out-of-order quasi-transactions held until their predecessors land.
+    pub holdback: BTreeMap<FragmentId, BTreeMap<u64, QuasiTransaction>>,
+    /// §4.4.3: what this node learned from `M0` about a closed regime.
+    pub regime_close: BTreeMap<FragmentId, RegimeClose>,
+    /// §4.4.3: late `(epoch, frag_seq)` transactions this node (as a new
+    /// home) has already repackaged — a late transaction can arrive twice,
+    /// once from the origin's broadcast and once forwarded by a third node.
+    pub noprep_handled: BTreeMap<FragmentId, BTreeSet<(u64, u64)>>,
+    /// §3.2 footnote: shares of multi-fragment transactions staged at this
+    /// node (as the fragment's agent home), keyed by `(xid, fragment)`.
+    pub mf_staged: BTreeMap<(TxnId, FragmentId), MfStage>,
+}
+
+/// A staged share of a multi-fragment transaction.
+#[derive(Clone, Debug)]
+pub struct MfStage {
+    /// Local transaction id minted for this share.
+    pub local_txn: TxnId,
+    /// Reserved position in the fragment's update sequence.
+    pub frag_seq: u64,
+    /// Token epoch at staging time.
+    pub epoch: u64,
+    /// The share's writes.
+    pub updates: Vec<(ObjectId, Value)>,
+}
+
+/// §4.4.3 knowledge recorded when `M0` arrives.
+#[derive(Clone, Debug)]
+pub(crate) struct RegimeClose {
+    /// The epoch that ended.
+    pub old_epoch: u64,
+    /// Highest old-regime `frag_seq` the new home had (`i`); `None` if it
+    /// had none.
+    pub last_seq: Option<u64>,
+    /// Where late old-regime transactions must be forwarded.
+    pub new_home: NodeId,
+}
+
+/// A remote lock request parked at a lock site.
+pub(crate) struct RemoteLockReq {
+    /// Objects requested (all homed at this site).
+    pub objects: Vec<ObjectId>,
+    /// Objects not yet granted.
+    pub outstanding: BTreeSet<ObjectId>,
+    /// Where to send the grant.
+    pub reply_to: NodeId,
+}
+
+/// Cross-event state of an in-flight transaction.
+pub(crate) enum Pending {
+    /// §4.1: waiting for shared-lock grants from lock sites.
+    LockAcq {
+        fragment: FragmentId,
+        home: NodeId,
+        program: Option<UpdateFn>,
+        read_only: bool,
+        outstanding_sites: BTreeSet<NodeId>,
+        contacted_sites: BTreeSet<NodeId>,
+        granted: BTreeMap<ObjectId, (NodeId, Value)>,
+        submitted_at: SimTime,
+    },
+    /// §4.1: program ran; waiting for local exclusive locks on the write set.
+    XWait {
+        fragment: FragmentId,
+        home: NodeId,
+        effects: TxnEffects,
+        contacted_sites: BTreeSet<NodeId>,
+        submitted_at: SimTime,
+    },
+    /// §3.2 footnote: a multi-fragment coordinator waiting for votes.
+    MultiCoord {
+        /// All participating fragments with their agent homes.
+        participants: Vec<(FragmentId, NodeId)>,
+        /// Fragments that have voted yes.
+        votes: BTreeSet<FragmentId>,
+        /// Coordinator (home of the first fragment).
+        home: NodeId,
+        /// The buffered reads (flushed on commit of the first share).
+        reads: Vec<(NodeId, ObjectId)>,
+        /// When the transaction was submitted.
+        submitted_at: SimTime,
+    },
+    /// §4.4.1: staged; waiting for a majority of `PrepareAck`s.
+    Majority {
+        fragment: FragmentId,
+        home: NodeId,
+        quasi: QuasiTransaction,
+        reads: Vec<(NodeId, ObjectId)>,
+        acks: BTreeSet<NodeId>,
+        submitted_at: SimTime,
+    },
+}
+
+/// Per-fragment state while an agent move is in progress.
+pub(crate) enum MoveState {
+    /// §4.4.1: new home is recovering the update sequence from a majority.
+    MajorityRecovery {
+        new_home: NodeId,
+        replies: BTreeSet<NodeId>,
+    },
+    /// §4.4.2A: waiting for the couriered fragment copy.
+    AwaitingData { new_home: NodeId },
+    /// §4.4.2B: new home waits until it has installed everything below
+    /// `upto`.
+    AwaitingSeq { new_home: NodeId, upto: u64 },
+}
+
+/// A submission parked while its fragment is mid-move (or behind a
+/// serialized majority commit).
+pub(crate) struct QueuedSub {
+    pub submission: Submission,
+    pub queued_at: SimTime,
+}
+
+/// The fragments-and-agents distributed database system.
+pub struct System {
+    /// The discrete-event engine driving everything.
+    pub engine: Engine<Ev>,
+    /// The executed history (feed it to `fragdb_graphs::analyze`).
+    pub history: History,
+    pub(crate) catalog: FragmentCatalog,
+    pub(crate) strategy: StrategyKind,
+    pub(crate) move_policy: MovePolicy,
+    /// §6: per-fragment strategy overrides.
+    pub(crate) strategy_overrides: std::collections::BTreeMap<FragmentId, StrategyKind>,
+    /// §6: per-fragment movement-policy overrides.
+    pub(crate) move_overrides: std::collections::BTreeMap<FragmentId, MovePolicy>,
+    pub(crate) transport: Transport<Envelope>,
+    pub(crate) bcast: BroadcastLayer<Envelope>,
+    pub(crate) tokens: TokenRegistry,
+    pub(crate) nodes: Vec<NodeSlot>,
+    pub(crate) next_txn_seq: Vec<u64>,
+    pub(crate) pending: BTreeMap<TxnId, Pending>,
+    /// Commit times per (fragment, epoch, frag_seq), for staleness metrics.
+    pub(crate) commit_times: BTreeMap<(FragmentId, u64, u64), SimTime>,
+    pub(crate) move_state: BTreeMap<FragmentId, MoveState>,
+    pub(crate) queued: BTreeMap<FragmentId, VecDeque<QueuedSub>>,
+    /// §4.4.1: at most one majority commit in flight per fragment.
+    pub(crate) majority_inflight: BTreeMap<FragmentId, TxnId>,
+    /// §6: partial replication map (absent = fully replicated).
+    pub(crate) replica_sets: BTreeMap<FragmentId, BTreeSet<NodeId>>,
+    /// §3.2 footnote: fragments currently bound into a two-phase commit.
+    pub(crate) mf_inflight: BTreeMap<FragmentId, TxnId>,
+    /// How long a multi-fragment coordinator waits for votes.
+    pub(crate) mf_timeout: fragdb_sim::SimDuration,
+}
+
+impl System {
+    /// Build a system.
+    ///
+    /// `agents` assigns each fragment its initial agent and home node; every
+    /// fragment in the catalog must appear exactly once.
+    pub fn build(
+        topology: Topology,
+        catalog: FragmentCatalog,
+        agents: Vec<(FragmentId, AgentId, NodeId)>,
+        config: SystemConfig,
+    ) -> Result<System, StrategyError> {
+        config.strategy.validate()?;
+        for strategy in config.strategy_overrides.values() {
+            strategy.validate()?;
+        }
+        let n = topology.node_count();
+        let mut tokens = TokenRegistry::new();
+        for (fragment, agent, home) in agents {
+            assert!(home.0 < n, "agent home {home} out of range");
+            tokens.mint(fragment, agent, home);
+        }
+        for frag in catalog.fragments() {
+            // Every fragment needs a token; `mint` panics on duplicates.
+            let _ = tokens.token(frag.id);
+            // §4.1 read locks are defined for fixed agents only — checked
+            // per fragment so §6 mixtures stay sound.
+            let strategy = config
+                .strategy_overrides
+                .get(&frag.id)
+                .unwrap_or(&config.strategy);
+            let movement = config
+                .move_overrides
+                .get(&frag.id)
+                .unwrap_or(&config.move_policy);
+            assert!(
+                !(strategy.uses_read_locks() && *movement != MovePolicy::Fixed),
+                "§4.1 read locks are defined for fixed agents only (fragment {})",
+                frag.id
+            );
+            if let Some(set) = config.replica_sets.get(&frag.id) {
+                assert!(!set.is_empty(), "empty replica set for fragment {}", frag.id);
+                assert!(
+                    set.iter().all(|r| r.0 < n),
+                    "replica out of range for fragment {}",
+                    frag.id
+                );
+                assert!(
+                    set.contains(&tokens.home(frag.id)),
+                    "fragment {}'s agent home must be in its replica set",
+                    frag.id
+                );
+            }
+        }
+        let nodes = (0..n)
+            .map(|i| NodeSlot {
+                replica: Replica::new(NodeId(i)),
+                locks: LockManager::new(),
+                remote_reqs: BTreeMap::new(),
+                staged: BTreeMap::new(),
+                next_install: BTreeMap::new(),
+                holdback: BTreeMap::new(),
+                regime_close: BTreeMap::new(),
+                noprep_handled: BTreeMap::new(),
+                mf_staged: BTreeMap::new(),
+            })
+            .collect();
+        Ok(System {
+            engine: Engine::new(config.seed),
+            history: History::new(),
+            catalog,
+            strategy: config.strategy,
+            move_policy: config.move_policy,
+            strategy_overrides: config.strategy_overrides,
+            move_overrides: config.move_overrides,
+            transport: Transport::new(topology),
+            bcast: BroadcastLayer::new(),
+            tokens,
+            nodes,
+            next_txn_seq: vec![0; n as usize],
+            pending: BTreeMap::new(),
+            commit_times: BTreeMap::new(),
+            move_state: BTreeMap::new(),
+            queued: BTreeMap::new(),
+            majority_inflight: BTreeMap::new(),
+            replica_sets: config.replica_sets,
+            mf_inflight: BTreeMap::new(),
+            mf_timeout: fragdb_sim::SimDuration::from_secs(30),
+        })
+    }
+
+    // ---- driver API ----------------------------------------------------
+
+    /// Schedule a transaction submission at absolute time `at`.
+    pub fn submit_at(&mut self, at: SimTime, submission: Submission) {
+        self.engine.schedule_at(at, Ev::Submit(submission));
+    }
+
+    /// Schedule a network change at absolute time `at`.
+    pub fn net_change_at(&mut self, at: SimTime, change: NetworkChange) {
+        self.engine.schedule_at(at, Ev::Net(change));
+    }
+
+    /// Schedule an entire partition schedule.
+    pub fn schedule_partitions(&mut self, schedule: &fragdb_net::PartitionSchedule) {
+        for (at, change) in schedule.events() {
+            self.engine.schedule_at(*at, Ev::Net(change.clone()));
+        }
+    }
+
+    /// Schedule an agent move at absolute time `at`.
+    pub fn move_agent_at(&mut self, at: SimTime, fragment: FragmentId, to: NodeId) {
+        self.engine.schedule_at(at, Ev::Move { fragment, to });
+    }
+
+    /// Handle the next event at or before `limit`. Returns `None` when no
+    /// such event remains (clock advances to `limit`).
+    pub fn step_until(&mut self, limit: SimTime) -> Option<(SimTime, Vec<Notification>)> {
+        let (at, ev) = self.engine.pop_until(limit)?;
+        let notes = self.handle(at, ev);
+        Some((at, notes))
+    }
+
+    /// Pump every event up to `limit`, collecting all notifications.
+    /// Only use when the driver has no triggers to run; otherwise loop over
+    /// [`System::step_until`].
+    pub fn run_until(&mut self, limit: SimTime) -> Vec<Notification> {
+        let mut all = Vec::new();
+        while let Some((_, notes)) = self.step_until(limit) {
+            all.extend(notes);
+        }
+        all
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// A node's replica (read-only).
+    pub fn replica(&self, node: NodeId) -> &Replica {
+        &self.nodes[node.0 as usize].replica
+    }
+
+    /// The fragment catalog.
+    pub fn catalog(&self) -> &FragmentCatalog {
+        &self.catalog
+    }
+
+    /// The token registry.
+    pub fn tokens(&self) -> &TokenRegistry {
+        &self.tokens
+    }
+
+    /// Network transport statistics.
+    pub fn transport_stats(&self) -> fragdb_net::TransportStats {
+        self.transport.stats()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Fragments whose replicas currently diverge (content digests differ
+    /// across nodes). Empty at quiescence ⟺ mutual consistency.
+    pub fn divergent_fragments(&self) -> Vec<FragmentId> {
+        let mut out = Vec::new();
+        for frag in self.catalog.fragments() {
+            let objects = &frag.objects;
+            let mut digests = self
+                .nodes
+                .iter()
+                .filter(|n| self.replicated_at(frag.id, n.replica.node))
+                .map(|n| n.replica.digest(objects));
+            let first = digests.next().expect("replica sets are non-empty");
+            if digests.any(|d| d != first) {
+                out.push(frag.id);
+            }
+        }
+        out
+    }
+
+    /// Count of submissions still parked behind an unfinished move.
+    pub fn queued_submissions(&self) -> usize {
+        self.queued.values().map(VecDeque::len).sum()
+    }
+
+    // ---- event dispatch --------------------------------------------------
+
+    pub(crate) fn handle(&mut self, at: SimTime, ev: Ev) -> Vec<Notification> {
+        match ev {
+            Ev::Submit(sub) => self.handle_submission(at, sub),
+            Ev::Deliver(d) => self.handle_delivery(at, d),
+            Ev::Net(change) => {
+                let released = self.transport.apply_change(at, &change);
+                for (deliver_at, d) in released {
+                    self.engine.schedule_at(deliver_at, Ev::Deliver(d));
+                }
+                Vec::new()
+            }
+            Ev::Move { fragment, to } => self.handle_move(at, fragment, to),
+            Ev::DataArrive {
+                fragment,
+                to,
+                snapshot,
+                next_frag_seq,
+                epoch,
+            } => self.handle_data_arrive(at, fragment, to, snapshot, next_frag_seq, epoch),
+            Ev::Timeout { txn } => self.handle_timeout(at, txn),
+        }
+    }
+
+    fn handle_delivery(&mut self, at: SimTime, d: Delivery<Envelope>) -> Vec<Notification> {
+        self.engine.metrics.incr(format!("msg.{}", d.msg.kind()));
+        let Delivery { from, to, msg } = d;
+        match msg.bseq() {
+            Some(bseq) => {
+                let ready = self.bcast.accept(to, from, bseq, msg);
+                let mut notes = Vec::new();
+                for (_, env) in ready {
+                    notes.extend(self.dispatch_broadcast(at, from, to, env));
+                }
+                notes
+            }
+            None => self.dispatch_direct(at, from, to, msg),
+        }
+    }
+
+    fn dispatch_broadcast(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        env: Envelope,
+    ) -> Vec<Notification> {
+        match env {
+            Envelope::Quasi { quasi, .. } => {
+                if self.move_policy_for(quasi.fragment).ordered_installs() {
+                    self.ordered_install(at, to, quasi)
+                } else {
+                    self.noprep_install(at, to, quasi)
+                }
+            }
+            Envelope::Prepare { quasi, .. } => self.on_prepare(at, from, to, quasi),
+            Envelope::CommitCmd { txn, .. } => self.on_commit_cmd(at, to, txn),
+            Envelope::AbortCmd { txn, .. } => {
+                self.nodes[to.0 as usize].staged.remove(&txn);
+                Vec::new()
+            }
+            Envelope::M0 {
+                fragment,
+                old_epoch,
+                last_seq,
+                entries,
+                new_home,
+                ..
+            } => self.on_m0(at, to, fragment, old_epoch, last_seq, entries, new_home),
+            other => unreachable!("non-broadcast envelope {:?} in broadcast path", other.kind()),
+        }
+    }
+
+    fn dispatch_direct(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        env: Envelope,
+    ) -> Vec<Notification> {
+        match env {
+            Envelope::LockReq {
+                txn,
+                objects,
+                reply_to,
+            } => self.on_lock_req(at, to, txn, objects, reply_to),
+            Envelope::LockGrant { txn, values } => self.on_lock_grant(at, from, txn, values),
+            Envelope::LockDenied { txn } => self.on_lock_denied(at, txn),
+            Envelope::LockRelease { txn } => self.on_lock_release(at, to, txn),
+            Envelope::PrepareAck { txn, from: acker } => self.on_prepare_ack(at, txn, acker),
+            Envelope::SeqQuery {
+                fragment,
+                have,
+                reply_to,
+            } => self.on_seq_query(at, to, fragment, have, reply_to),
+            Envelope::SeqReply {
+                fragment,
+                from: replier,
+                entries,
+            } => self.on_seq_reply(at, to, fragment, replier, entries),
+            Envelope::ForwardMissing { quasi } => self.noprep_install(at, to, quasi),
+            Envelope::MfPrepare {
+                xid,
+                fragment,
+                updates,
+                reply_to,
+            } => self.on_mf_prepare(at, to, xid, fragment, updates, reply_to),
+            Envelope::MfVote { xid, fragment, yes } => self.on_mf_vote(at, xid, fragment, yes),
+            Envelope::MfCommit { xid, fragment } => self.on_mf_commit(at, to, xid, fragment),
+            Envelope::MfAbort { xid, fragment } => self.on_mf_abort(at, to, xid, fragment),
+            other => unreachable!("broadcast envelope {:?} in direct path", other.kind()),
+        }
+    }
+
+    // ---- shared plumbing -------------------------------------------------
+
+    /// The nodes holding a replica of `fragment` (§6 partial replication);
+    /// `None` means fully replicated.
+    pub fn replicas_of(&self, fragment: FragmentId) -> Option<&BTreeSet<NodeId>> {
+        self.replica_sets.get(&fragment)
+    }
+
+    /// Is `fragment` replicated at `node`?
+    pub fn replicated_at(&self, fragment: FragmentId, node: NodeId) -> bool {
+        self.replica_sets
+            .get(&fragment)
+            .is_none_or(|set| set.contains(&node))
+    }
+
+    /// The effective control strategy for `fragment` (§6 mixtures).
+    pub fn strategy_for(&self, fragment: FragmentId) -> &StrategyKind {
+        self.strategy_overrides.get(&fragment).unwrap_or(&self.strategy)
+    }
+
+    /// The effective movement policy for `fragment` (§6 mixtures).
+    pub fn move_policy_for(&self, fragment: FragmentId) -> &MovePolicy {
+        self.move_overrides.get(&fragment).unwrap_or(&self.move_policy)
+    }
+
+    /// Allocate a fresh transaction id for a transaction executing at `node`.
+    pub(crate) fn alloc_txn(&mut self, node: NodeId) -> TxnId {
+        let seq = &mut self.next_txn_seq[node.0 as usize];
+        let id = TxnId::new(node, *seq);
+        *seq += 1;
+        id
+    }
+
+    /// Broadcast an envelope from `from` to every other node, through the
+    /// FIFO layer. The closure builds the envelope given the allocated
+    /// broadcast sequence number.
+    pub(crate) fn broadcast(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        build: impl Fn(u64) -> Envelope,
+    ) {
+        let n = self.nodes.len() as u32;
+        let targets: Vec<NodeId> = (0..n).map(NodeId).collect();
+        self.broadcast_to(at, from, &targets, build);
+    }
+
+    /// Broadcast a fragment-scoped envelope to the fragment's replica set
+    /// only (§6 partial replication).
+    pub(crate) fn broadcast_fragment(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        fragment: FragmentId,
+        build: impl Fn(u64) -> Envelope,
+    ) {
+        match self.replica_sets.get(&fragment) {
+            Some(set) => {
+                let targets: Vec<NodeId> = set.iter().copied().collect();
+                self.broadcast_to(at, from, &targets, build);
+            }
+            None => self.broadcast(at, from, build),
+        }
+    }
+
+    fn broadcast_to(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        targets: &[NodeId],
+        build: impl Fn(u64) -> Envelope,
+    ) {
+        // Sequence numbers are per (sender, receiver) pair: a fragment-
+        // scoped broadcast reaches only the fragment's replica set, and a
+        // per-sender stream shared across receivers would leave permanent
+        // gaps in the skipped receivers' hold-back queues.
+        for &to in targets {
+            if to == from {
+                continue;
+            }
+            let bseq = self.bcast.stamp_for(from, to);
+            if let Some((deliver_at, d)) = self.transport.send(at, from, to, build(bseq)) {
+                self.engine.schedule_at(deliver_at, Ev::Deliver(d));
+            }
+        }
+    }
+
+    /// Send a point-to-point envelope (delivered whenever connectivity
+    /// allows; loopback is dispatched inline).
+    pub(crate) fn send_direct(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        env: Envelope,
+    ) -> Vec<Notification> {
+        if from == to {
+            return self.dispatch_direct(at, from, to, env);
+        }
+        if let Some((deliver_at, d)) = self.transport.send(at, from, to, env) {
+            self.engine.schedule_at(deliver_at, Ev::Deliver(d));
+        }
+        Vec::new()
+    }
+
+    /// Schedule a timeout for a pending transaction.
+    pub(crate) fn arm_timeout(&mut self, delay: SimDuration, txn: TxnId) {
+        self.engine.schedule(delay, Ev::Timeout { txn });
+    }
+
+    fn handle_timeout(&mut self, at: SimTime, txn: TxnId) -> Vec<Notification> {
+        if !self.pending.contains_key(&txn) {
+            return Vec::new();
+        }
+        self.abort_pending(at, txn, AbortReason::Unavailable)
+    }
+}

@@ -1,0 +1,166 @@
+//! The token registry (§3.1).
+//!
+//! One token per fragment; the owner is the fragment's agent; the owner's
+//! home node is where update transactions execute. The registry also owns
+//! the fragment's **update sequence** — the single uninterrupted numbering
+//! of its committed transactions (§4.4.1) — because allocating the next
+//! number is the home node's prerogative.
+
+use std::collections::BTreeMap;
+
+use fragdb_model::{AgentId, FragmentId, NodeId, Token};
+
+/// All tokens, plus per-fragment sequence allocation.
+#[derive(Clone, Debug, Default)]
+pub struct TokenRegistry {
+    tokens: BTreeMap<FragmentId, Token>,
+    next_frag_seq: BTreeMap<FragmentId, u64>,
+}
+
+impl TokenRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        TokenRegistry::default()
+    }
+
+    /// Mint the token for `fragment`, owned by `owner` homed at `home`.
+    ///
+    /// # Panics
+    /// Panics if the fragment already has a token — "for every fragment,
+    /// there is exactly one token".
+    pub fn mint(&mut self, fragment: FragmentId, owner: AgentId, home: NodeId) {
+        let prev = self.tokens.insert(fragment, Token::new(fragment, owner, home));
+        assert!(prev.is_none(), "fragment {fragment} already has a token");
+        self.next_frag_seq.entry(fragment).or_insert(0);
+    }
+
+    /// The token for `fragment`.
+    pub fn token(&self, fragment: FragmentId) -> &Token {
+        self.tokens
+            .get(&fragment)
+            .unwrap_or_else(|| panic!("no token minted for {fragment}"))
+    }
+
+    /// Current home node of `fragment`'s agent.
+    pub fn home(&self, fragment: FragmentId) -> NodeId {
+        self.token(fragment).home
+    }
+
+    /// Current epoch of `fragment`'s token.
+    pub fn epoch(&self, fragment: FragmentId) -> u64 {
+        self.token(fragment).epoch
+    }
+
+    /// Is `node` the current home of `fragment`?
+    pub fn is_home(&self, fragment: FragmentId, node: NodeId) -> bool {
+        self.home(fragment) == node
+    }
+
+    /// Re-attach `fragment`'s agent to a new home node, bumping the epoch.
+    /// Returns the new epoch.
+    pub fn reattach(&mut self, fragment: FragmentId, home: NodeId) -> u64 {
+        let t = self
+            .tokens
+            .get_mut(&fragment)
+            .unwrap_or_else(|| panic!("no token minted for {fragment}"));
+        t.reattach(home);
+        t.epoch
+    }
+
+    /// Allocate the next position in `fragment`'s update sequence.
+    pub fn alloc_frag_seq(&mut self, fragment: FragmentId) -> u64 {
+        let c = self
+            .next_frag_seq
+            .get_mut(&fragment)
+            .unwrap_or_else(|| panic!("no token minted for {fragment}"));
+        let s = *c;
+        *c += 1;
+        s
+    }
+
+    /// Next sequence number that `alloc_frag_seq` would return.
+    pub fn peek_frag_seq(&self, fragment: FragmentId) -> u64 {
+        self.next_frag_seq.get(&fragment).copied().unwrap_or(0)
+    }
+
+    /// Reset the sequence counter after a move-time recovery (§4.4):
+    /// the next transaction at the new home continues the sequence.
+    pub fn set_next_frag_seq(&mut self, fragment: FragmentId, next: u64) {
+        self.next_frag_seq.insert(fragment, next);
+    }
+
+    /// All fragments with tokens.
+    pub fn fragments(&self) -> impl Iterator<Item = FragmentId> + '_ {
+        self.tokens.keys().copied()
+    }
+
+    /// `fragment -> home` map (for the local-serialization-graph builder).
+    pub fn homes(&self) -> BTreeMap<FragmentId, NodeId> {
+        self.tokens.iter().map(|(&f, t)| (f, t.home)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_model::UserId;
+
+    #[test]
+    fn mint_and_lookup() {
+        let mut r = TokenRegistry::new();
+        r.mint(FragmentId(0), AgentId::Node(NodeId(2)), NodeId(2));
+        assert_eq!(r.home(FragmentId(0)), NodeId(2));
+        assert_eq!(r.epoch(FragmentId(0)), 0);
+        assert!(r.is_home(FragmentId(0), NodeId(2)));
+        assert!(!r.is_home(FragmentId(0), NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a token")]
+    fn double_mint_panics() {
+        let mut r = TokenRegistry::new();
+        r.mint(FragmentId(0), AgentId::Node(NodeId(0)), NodeId(0));
+        r.mint(FragmentId(0), AgentId::Node(NodeId(1)), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no token minted")]
+    fn missing_token_panics() {
+        let r = TokenRegistry::new();
+        r.token(FragmentId(9));
+    }
+
+    #[test]
+    fn sequence_allocation_is_dense() {
+        let mut r = TokenRegistry::new();
+        r.mint(FragmentId(0), AgentId::User(UserId(0)), NodeId(0));
+        assert_eq!(r.peek_frag_seq(FragmentId(0)), 0);
+        assert_eq!(r.alloc_frag_seq(FragmentId(0)), 0);
+        assert_eq!(r.alloc_frag_seq(FragmentId(0)), 1);
+        assert_eq!(r.peek_frag_seq(FragmentId(0)), 2);
+    }
+
+    #[test]
+    fn reattach_bumps_epoch_and_sequence_can_be_restored() {
+        let mut r = TokenRegistry::new();
+        r.mint(FragmentId(0), AgentId::User(UserId(5)), NodeId(0));
+        r.alloc_frag_seq(FragmentId(0));
+        let e = r.reattach(FragmentId(0), NodeId(3));
+        assert_eq!(e, 1);
+        assert_eq!(r.home(FragmentId(0)), NodeId(3));
+        // Majority recovery discovered seq 7 was the last committed.
+        r.set_next_frag_seq(FragmentId(0), 8);
+        assert_eq!(r.alloc_frag_seq(FragmentId(0)), 8);
+    }
+
+    #[test]
+    fn homes_map_reflects_all_tokens() {
+        let mut r = TokenRegistry::new();
+        r.mint(FragmentId(0), AgentId::Node(NodeId(0)), NodeId(0));
+        r.mint(FragmentId(1), AgentId::User(UserId(1)), NodeId(2));
+        let homes = r.homes();
+        assert_eq!(homes[&FragmentId(0)], NodeId(0));
+        assert_eq!(homes[&FragmentId(1)], NodeId(2));
+        assert_eq!(r.fragments().count(), 2);
+    }
+}

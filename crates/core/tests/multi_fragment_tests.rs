@@ -1,0 +1,238 @@
+//! Tests for multi-fragment update transactions (the §3.2 footnote:
+//! agent-level two-phase commit).
+
+use fragdb_core::{AbortReason, Notification, Submission, System, SystemConfig};
+use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, Value};
+use fragdb_net::{NetworkChange, Topology};
+use fragdb_sim::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn build(n: u32, seed: u64) -> (System, Vec<Vec<ObjectId>>) {
+    let mut b = FragmentCatalog::builder();
+    let (f0, o0) = b.add_fragment("F0", 2);
+    let (f1, o1) = b.add_fragment("F1", 2);
+    let (f2, o2) = b.add_fragment("F2", 2);
+    let catalog = b.build();
+    let agents = vec![
+        (f0, AgentId::Node(NodeId(0)), NodeId(0)),
+        (f1, AgentId::Node(NodeId(1 % n)), NodeId(1 % n)),
+        (f2, AgentId::Node(NodeId(2 % n)), NodeId(2 % n)),
+    ];
+    let sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(seed),
+    )
+    .unwrap();
+    (sys, vec![o0, o1, o2])
+}
+
+fn committed(notes: &[Notification]) -> usize {
+    notes
+        .iter()
+        .filter(|n| matches!(n, Notification::Committed { .. }))
+        .count()
+}
+
+#[test]
+fn multi_fragment_update_commits_at_both_agents() {
+    let (mut sys, objs) = build(3, 1);
+    let (a, b) = (objs[0][0], objs[1][0]);
+    sys.submit_at(
+        secs(1),
+        Submission::multi_update(
+            vec![FragmentId(0), FragmentId(1)],
+            Box::new(move |ctx| {
+                ctx.write(a, 10i64)?;
+                ctx.write(b, 20i64)?;
+                Ok(())
+            }),
+        ),
+    );
+    let notes = sys.run_until(secs(60));
+    // One Committed per share.
+    assert_eq!(committed(&notes), 2);
+    for node in 0..3u32 {
+        assert_eq!(sys.replica(NodeId(node)).read(a), &Value::Int(10));
+        assert_eq!(sys.replica(NodeId(node)).read(b), &Value::Int(20));
+    }
+    assert!(sys.divergent_fragments().is_empty());
+    assert_eq!(sys.engine.metrics.counter("mf.committed"), 1);
+    assert!(fragdb_graphs::analyze(&sys.history).fragmentwise_serializable());
+}
+
+#[test]
+fn single_fragment_writes_take_the_ordinary_path() {
+    let (mut sys, objs) = build(3, 2);
+    let a = objs[0][0];
+    // Declared as multi but only writes one fragment: degenerates cleanly.
+    sys.submit_at(
+        secs(1),
+        Submission::multi_update(
+            vec![FragmentId(0), FragmentId(1)],
+            Box::new(move |ctx| {
+                ctx.write(a, 7i64)?;
+                Ok(())
+            }),
+        ),
+    );
+    let notes = sys.run_until(secs(30));
+    assert_eq!(committed(&notes), 1);
+    assert_eq!(sys.engine.metrics.counter("mf.started"), 0);
+    assert_eq!(sys.replica(NodeId(2)).read(a), &Value::Int(7));
+}
+
+#[test]
+fn undeclared_fragment_write_is_an_initiation_violation() {
+    let (mut sys, objs) = build(3, 3);
+    let (a, c) = (objs[0][0], objs[2][0]);
+    sys.submit_at(
+        secs(1),
+        Submission::multi_update(
+            vec![FragmentId(0), FragmentId(1)],
+            Box::new(move |ctx| {
+                ctx.write(a, 1i64)?;
+                ctx.write(c, 2i64)?; // F2 was not declared
+                Ok(())
+            }),
+        ),
+    );
+    let notes = sys.run_until(secs(30));
+    assert!(notes.iter().any(|n| matches!(
+        n,
+        Notification::Aborted {
+            reason: AbortReason::Initiation,
+            ..
+        }
+    )));
+    assert!(sys.replica(NodeId(0)).read(a).is_null(), "no partial effects");
+}
+
+#[test]
+fn unreachable_participant_aborts_with_no_partial_effects() {
+    let (mut sys, objs) = build(3, 4);
+    let (a, b) = (objs[0][0], objs[1][0]);
+    // Node 1 (agent of F1) unreachable from the coordinator.
+    sys.net_change_at(
+        SimTime::ZERO,
+        NetworkChange::Split(vec![vec![NodeId(0), NodeId(2)], vec![NodeId(1)]]),
+    );
+    sys.submit_at(
+        secs(1),
+        Submission::multi_update(
+            vec![FragmentId(0), FragmentId(1)],
+            Box::new(move |ctx| {
+                ctx.write(a, 10i64)?;
+                ctx.write(b, 20i64)?;
+                Ok(())
+            }),
+        ),
+    );
+    let notes = sys.run_until(secs(120));
+    assert!(notes.iter().any(|n| matches!(
+        n,
+        Notification::Aborted {
+            reason: AbortReason::Unavailable,
+            ..
+        }
+    )));
+    // Neither share took effect anywhere after the heal and drain.
+    sys.net_change_at(secs(130), NetworkChange::HealAll);
+    sys.run_until(secs(600));
+    for node in 0..3u32 {
+        assert!(sys.replica(NodeId(node)).read(a).is_null());
+        assert!(sys.replica(NodeId(node)).read(b).is_null());
+    }
+    assert!(sys.divergent_fragments().is_empty());
+    // The fragment is usable again after the abort cleaned up.
+    sys.submit_at(
+        secs(601),
+        Submission::update(
+            FragmentId(1),
+            Box::new(move |ctx| {
+                ctx.write(b, 99i64)?;
+                Ok(())
+            }),
+        ),
+    );
+    let notes = sys.run_until(secs(700));
+    assert_eq!(committed(&notes), 1, "F1 not left blocked by the aborted 2PC");
+    assert_eq!(sys.replica(NodeId(1)).read(b), &Value::Int(99));
+}
+
+#[test]
+fn concurrent_updates_queue_behind_the_2pc() {
+    let (mut sys, objs) = build(3, 5);
+    let (a, b) = (objs[0][0], objs[1][0]);
+    // Slow the vote down by partitioning briefly so the 2PC is in flight
+    // when the single-fragment update arrives.
+    sys.net_change_at(
+        SimTime::ZERO,
+        NetworkChange::Split(vec![vec![NodeId(0), NodeId(2)], vec![NodeId(1)]]),
+    );
+    sys.submit_at(
+        secs(1),
+        Submission::multi_update(
+            vec![FragmentId(1), FragmentId(0)],
+            Box::new(move |ctx| {
+                ctx.write(b, 1i64)?;
+                ctx.write(a, 2i64)?;
+                Ok(())
+            }),
+        ),
+    );
+    // While F1 is staged (its own share staged at node 1 immediately — the
+    // coordinator IS node 1's agent... here coordinator is F1's home=node1,
+    // which is partitioned from F0's agent), a plain F1 update arrives.
+    sys.submit_at(
+        secs(2),
+        Submission::update(
+            FragmentId(1),
+            Box::new(move |ctx| {
+                let v = ctx.read_int(b, 0);
+                ctx.write(b, v + 100)?;
+                Ok(())
+            }),
+        ),
+    );
+    sys.net_change_at(secs(10), NetworkChange::HealAll);
+    sys.run_until(secs(300));
+    // Both eventually done, in order: the 2PC first, then the queued one.
+    for node in 0..3u32 {
+        assert_eq!(sys.replica(NodeId(node)).read(b), &Value::Int(101));
+        assert_eq!(sys.replica(NodeId(node)).read(a), &Value::Int(2));
+    }
+    assert!(sys.divergent_fragments().is_empty());
+    assert!(fragdb_graphs::analyze(&sys.history).fragmentwise_serializable());
+}
+
+#[test]
+fn three_way_multi_fragment_commit() {
+    let (mut sys, objs) = build(3, 6);
+    let (a, b, c) = (objs[0][1], objs[1][1], objs[2][1]);
+    sys.submit_at(
+        secs(1),
+        Submission::multi_update(
+            vec![FragmentId(0), FragmentId(1), FragmentId(2)],
+            Box::new(move |ctx| {
+                for (o, v) in [(a, 1i64), (b, 2), (c, 3)] {
+                    ctx.write(o, v)?;
+                }
+                Ok(())
+            }),
+        ),
+    );
+    let notes = sys.run_until(secs(60));
+    assert_eq!(committed(&notes), 3, "three shares, three agent commits");
+    for node in 0..3u32 {
+        let r = sys.replica(NodeId(node));
+        assert_eq!(r.read(a), &Value::Int(1));
+        assert_eq!(r.read(b), &Value::Int(2));
+        assert_eq!(r.read(c), &Value::Int(3));
+    }
+    assert!(sys.divergent_fragments().is_empty());
+}

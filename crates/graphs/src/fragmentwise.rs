@@ -1,0 +1,296 @@
+//! Fragmentwise serializability (§4.3, Properties 1 and 2).
+//!
+//! *Property 1*: the schedule consisting solely of `U(F_i)` — the
+//! transactions that update fragment `F_i` — is serializable, for every
+//! `i`.
+//!
+//! *Property 2*: no transaction that reads `F_i` ever sees a partial
+//! effect of a transaction in `U(F_i)`.
+//!
+//! A schedule with both properties is **fragmentwise serializable**.
+//!
+//! Operationally:
+//!
+//! * Property 1 is checked by chaining, at every node, the installation
+//!   order of each fragment's update transactions; if two nodes installed
+//!   two updates in opposite orders, the combined graph has a cycle.
+//! * Property 2 is checked per (reader, updater, node): every read the
+//!   reader performs on objects the updater wrote must be consistently
+//!   *before* the install or consistently *after* it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fragdb_model::{FragmentId, History, NodeId, ObjectId, OpKind, TxnId};
+
+use crate::digraph::DiGraph;
+
+/// Outcome of the fragmentwise checks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FragmentwiseReport {
+    /// Fragments whose `U(F)` projection is *not* serializable, with a
+    /// witness cycle each.
+    pub property1_violations: Vec<(FragmentId, Vec<TxnId>)>,
+    /// `(reader, updater, node, object_read_old, object_read_new)` partial
+    /// effect sightings.
+    pub property2_violations: Vec<(TxnId, TxnId, NodeId, ObjectId, ObjectId)>,
+}
+
+impl FragmentwiseReport {
+    /// True when the execution is fragmentwise serializable.
+    pub fn holds(&self) -> bool {
+        self.property1_violations.is_empty() && self.property2_violations.is_empty()
+    }
+}
+
+/// Check Property 1 for every fragment appearing in the history.
+pub fn check_property1(history: &History) -> Vec<(FragmentId, Vec<TxnId>)> {
+    // fragment -> per-node first-write order of its update transactions.
+    let types = history.transactions();
+    let mut per_frag_node: BTreeMap<(FragmentId, NodeId), Vec<TxnId>> = BTreeMap::new();
+    let mut seen: BTreeSet<(FragmentId, NodeId, TxnId)> = BTreeSet::new();
+    for op in history.ops() {
+        if op.kind != OpKind::Write {
+            continue;
+        }
+        let Some(ty) = types.get(&op.txn) else { continue };
+        if !ty.is_update() {
+            continue;
+        }
+        let frag = ty.fragment();
+        if seen.insert((frag, op.node, op.txn)) {
+            per_frag_node.entry((frag, op.node)).or_default().push(op.txn);
+        }
+    }
+
+    let mut fragments: BTreeSet<FragmentId> = BTreeSet::new();
+    for &(frag, _) in per_frag_node.keys() {
+        fragments.insert(frag);
+    }
+
+    let mut violations = Vec::new();
+    for frag in fragments {
+        let mut g: DiGraph<TxnId> = DiGraph::new();
+        for ((f, _), order) in &per_frag_node {
+            if *f != frag {
+                continue;
+            }
+            for pair in order.windows(2) {
+                g.add_edge(pair[0], pair[1]);
+            }
+            for &t in order {
+                g.add_node(t);
+            }
+        }
+        if let Some(cycle) = g.find_cycle() {
+            violations.push((frag, cycle));
+        }
+    }
+    violations
+}
+
+/// Check Property 2 over the whole history.
+pub fn check_property2(history: &History) -> Vec<(TxnId, TxnId, NodeId, ObjectId, ObjectId)> {
+    let types = history.transactions();
+
+    // updater -> set of objects it writes (from any node's view).
+    let mut write_sets: BTreeMap<TxnId, BTreeSet<ObjectId>> = BTreeMap::new();
+    // (node, object, writer) -> first write seq at that node.
+    let mut write_pos: BTreeMap<(NodeId, ObjectId, TxnId), u64> = BTreeMap::new();
+    // reader -> its reads as (node, object, seq).
+    let mut reads: BTreeMap<TxnId, Vec<(NodeId, ObjectId, u64)>> = BTreeMap::new();
+
+    for op in history.ops() {
+        match op.kind {
+            OpKind::Write => {
+                if types.get(&op.txn).is_some_and(|t| t.is_update()) {
+                    write_sets.entry(op.txn).or_default().insert(op.object);
+                    write_pos
+                        .entry((op.node, op.object, op.txn))
+                        .or_insert(op.seq);
+                }
+            }
+            OpKind::Read => {
+                reads
+                    .entry(op.txn)
+                    .or_default()
+                    .push((op.node, op.object, op.seq));
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (&reader, rs) in &reads {
+        for (&updater, wset) in &write_sets {
+            if reader == updater {
+                continue;
+            }
+            // Reads by `reader` of objects `updater` wrote, grouped by node.
+            let mut by_node: BTreeMap<NodeId, Vec<(ObjectId, u64)>> = BTreeMap::new();
+            for &(node, object, seq) in rs {
+                if wset.contains(&object) {
+                    by_node.entry(node).or_default().push((object, seq));
+                }
+            }
+            for (node, touched) in by_node {
+                if touched.len() < 2 {
+                    continue;
+                }
+                // Classify each read: after the install at this node?
+                let mut before: Option<ObjectId> = None;
+                let mut after: Option<ObjectId> = None;
+                for &(object, seq) in &touched {
+                    let saw_new = write_pos
+                        .get(&(node, object, updater))
+                        .is_some_and(|&wseq| wseq < seq);
+                    if saw_new {
+                        after = Some(object);
+                    } else {
+                        before = Some(object);
+                    }
+                }
+                if let (Some(old), Some(new)) = (before, after) {
+                    violations.push((reader, updater, node, old, new));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Run both checks.
+pub fn check(history: &History) -> FragmentwiseReport {
+    FragmentwiseReport {
+        property1_violations: check_property1(history),
+        property2_violations: check_property2(history),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_model::TxnType;
+    use fragdb_sim::SimTime;
+
+    fn tid(node: u32, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn consistent_install_orders_satisfy_property1() {
+        let mut h = History::new();
+        let f = FragmentId(0);
+        let t1 = tid(0, 0);
+        let t2 = tid(0, 1);
+        // Both nodes install t1 then t2.
+        for node in [0u32, 1] {
+            for &t in &[t1, t2] {
+                if node == 0 {
+                    h.record_local(NodeId(node), t, TxnType::Update(f), OpKind::Write, ObjectId(1), SimTime(1));
+                } else {
+                    h.record_install(NodeId(node), t, TxnType::Update(f), ObjectId(1), SimTime(2));
+                }
+            }
+        }
+        assert!(check_property1(&h).is_empty());
+    }
+
+    #[test]
+    fn divergent_install_orders_violate_property1() {
+        let mut h = History::new();
+        let f = FragmentId(0);
+        let t1 = tid(0, 0);
+        let t2 = tid(0, 1);
+        // Node 1 installs t1 then t2; node 2 installs t2 then t1.
+        h.record_install(NodeId(1), t1, TxnType::Update(f), ObjectId(1), SimTime(1));
+        h.record_install(NodeId(1), t2, TxnType::Update(f), ObjectId(1), SimTime(2));
+        h.record_install(NodeId(2), t2, TxnType::Update(f), ObjectId(1), SimTime(3));
+        h.record_install(NodeId(2), t1, TxnType::Update(f), ObjectId(1), SimTime(4));
+        let v = check_property1(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, f);
+        assert_eq!(v[0].1.len(), 2);
+    }
+
+    #[test]
+    fn property1_fragments_are_independent() {
+        let mut h = History::new();
+        // Divergence in F0; F1 consistent.
+        let a1 = tid(0, 0);
+        let a2 = tid(0, 1);
+        h.record_install(NodeId(1), a1, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(1));
+        h.record_install(NodeId(1), a2, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(2));
+        h.record_install(NodeId(2), a2, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(3));
+        h.record_install(NodeId(2), a1, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(4));
+        let b1 = tid(3, 0);
+        h.record_install(NodeId(1), b1, TxnType::Update(FragmentId(1)), ObjectId(2), SimTime(5));
+        let v = check_property1(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, FragmentId(0));
+    }
+
+    #[test]
+    fn atomic_install_satisfies_property2() {
+        let mut h = History::new();
+        let f = FragmentId(0);
+        let u = tid(0, 0);
+        let r = tid(1, 0);
+        // u writes objects 1,2 installed at N1 back-to-back; r reads both after.
+        h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(1), SimTime(1));
+        h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(2), SimTime(1));
+        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(2));
+        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(2), SimTime(2));
+        assert!(check_property2(&h).is_empty());
+    }
+
+    #[test]
+    fn partial_effect_detected() {
+        let mut h = History::new();
+        let f = FragmentId(0);
+        let u = tid(0, 0);
+        let r = tid(1, 0);
+        // r reads object 1 BEFORE u's install, object 2 AFTER: torn read.
+        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(1));
+        h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(1), SimTime(2));
+        h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(2), SimTime(2));
+        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(2), SimTime(3));
+        let v = check_property2(&h);
+        assert_eq!(v.len(), 1);
+        let (reader, updater, node, old, new) = v[0];
+        assert_eq!(reader, r);
+        assert_eq!(updater, u);
+        assert_eq!(node, NodeId(1));
+        assert_eq!(old, ObjectId(1));
+        assert_eq!(new, ObjectId(2));
+    }
+
+    #[test]
+    fn reads_entirely_before_install_are_fine() {
+        let mut h = History::new();
+        let u = tid(0, 0);
+        let r = tid(1, 0);
+        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(1));
+        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(2), SimTime(1));
+        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(2));
+        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(2), SimTime(2));
+        assert!(check_property2(&h).is_empty());
+    }
+
+    #[test]
+    fn single_object_overlap_cannot_tear() {
+        let mut h = History::new();
+        let u = tid(0, 0);
+        let r = tid(1, 0);
+        // Reader touches only one of the two written objects.
+        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(1));
+        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(2));
+        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(2), SimTime(2));
+        assert!(check_property2(&h).is_empty());
+    }
+
+    #[test]
+    fn combined_report_holds() {
+        let h = History::new();
+        let report = check(&h);
+        assert!(report.holds());
+    }
+}

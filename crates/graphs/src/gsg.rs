@@ -1,0 +1,352 @@
+//! The global serialization graph (Definition 8.2).
+//!
+//! Vertices are all executed transactions. Edges come from conflicts:
+//!
+//! * Rule (i): transactions of the same type conflict under the standard
+//!   dependency rules at their common home node.
+//! * Rule (ii): when `T_i` reads object `d` of a foreign fragment and `T_j`
+//!   (of that fragment's type) updates `d`, the edge direction is decided
+//!   by whether `T_j`'s update was **installed at `T_i`'s home node**
+//!   before or after the read.
+//!
+//! Both rules reduce to one uniform construction over the per-node,
+//! per-object op timelines recorded in the [`History`]:
+//!
+//! * **w–w**: at every node, consecutive writers of the same object are
+//!   chained in install order (the full order follows transitively).
+//! * **w–r / r–w**: each read takes an edge from the nearest preceding
+//!   write and to the nearest following write at the reader's node; writers
+//!   of the object never installed at that node within the history read
+//!   "after", i.e. `reader → writer` (Definition 8.2's "installed after").
+//!
+//! With fixed agents this is exactly Definition 8.2. Under agent movement
+//! without preparation (§4.4.3) different nodes may install a fragment's
+//! updates in different orders; the per-node w–w chains then disagree and
+//! the disagreement itself shows up as a cycle — which is the correct
+//! verdict, since such executions are not serializable.
+//!
+//! [`History`]: fragdb_model::History
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fragdb_model::{History, NodeId, ObjectId, OpKind, TxnId};
+
+use crate::digraph::DiGraph;
+
+/// One op on a per-(node, object) timeline: `(seq, txn, kind)`.
+type TimelineOp = (u64, TxnId, OpKind);
+
+/// The built graph plus the conflict evidence.
+#[derive(Clone, Debug)]
+pub struct GlobalSerializationGraph {
+    graph: DiGraph<TxnId>,
+}
+
+impl GlobalSerializationGraph {
+    /// Build from an executed history.
+    pub fn build(history: &History) -> Self {
+        let mut graph: DiGraph<TxnId> = DiGraph::new();
+        for &txn in history.transactions().keys() {
+            graph.add_node(txn);
+        }
+
+        // Per-(node, object) timelines of ops, in recording (= local) order.
+        let mut timeline: BTreeMap<(NodeId, ObjectId), Vec<TimelineOp>> = BTreeMap::new();
+        // All home-writers of each object (the transactions that update it).
+        let mut writers: BTreeMap<ObjectId, BTreeSet<TxnId>> = BTreeMap::new();
+        // (node, object) -> set of writer txns present (installed or local) there.
+        let mut present: BTreeMap<(NodeId, ObjectId), BTreeSet<TxnId>> = BTreeMap::new();
+
+        for op in history.ops() {
+            timeline
+                .entry((op.node, op.object))
+                .or_default()
+                .push((op.seq, op.txn, op.kind));
+            if op.kind == OpKind::Write {
+                present.entry((op.node, op.object)).or_default().insert(op.txn);
+                if !op.is_install {
+                    writers.entry(op.object).or_default().insert(op.txn);
+                }
+            }
+        }
+
+        static EMPTY: BTreeSet<TxnId> = BTreeSet::new();
+        for ((node, object), ops) in &timeline {
+            // (Recording order is already seq-sorted, but don't rely on it.)
+            let mut ops = ops.clone();
+            ops.sort_unstable_by_key(|(seq, _, _)| *seq);
+
+            // w-w chains: consecutive distinct writers at this node.
+            let mut last_writer: Option<TxnId> = None;
+            for &(_, txn, kind) in &ops {
+                if kind != OpKind::Write {
+                    continue;
+                }
+                if let Some(prev) = last_writer {
+                    if prev != txn {
+                        graph.add_edge(prev, txn);
+                    }
+                }
+                last_writer = Some(txn);
+            }
+
+            // r-w / w-r edges around each read.
+            let here = present.get(&(*node, *object)).unwrap_or(&EMPTY);
+            let all_writers = writers.get(object).unwrap_or(&EMPTY);
+            for (i, &(_, reader, kind)) in ops.iter().enumerate() {
+                if kind != OpKind::Read {
+                    continue;
+                }
+                // Nearest preceding write at this node.
+                if let Some(&(_, w, _)) = ops[..i]
+                    .iter()
+                    .rev()
+                    .find(|(_, t, k)| *k == OpKind::Write && *t != reader)
+                {
+                    graph.add_edge(w, reader);
+                }
+                // Nearest following write at this node.
+                if let Some(&(_, w, _)) = ops[i + 1..]
+                    .iter()
+                    .find(|(_, t, k)| *k == OpKind::Write && *t != reader)
+                {
+                    graph.add_edge(reader, w);
+                }
+                // Writers never seen at this node: their install is "after"
+                // every read here (Definition 8.2, second clause).
+                for &w in all_writers.difference(here) {
+                    if w != reader {
+                        graph.add_edge(reader, w);
+                    }
+                }
+            }
+        }
+
+        GlobalSerializationGraph { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph<TxnId> {
+        &self.graph
+    }
+
+    /// Acyclic ⟺ the execution is globally serializable.
+    pub fn is_serializable(&self) -> bool {
+        self.graph.is_acyclic()
+    }
+
+    /// A witness cycle, if the execution is not serializable.
+    pub fn cycle(&self) -> Option<Vec<TxnId>> {
+        self.graph.find_cycle()
+    }
+
+    /// An equivalent serial order, when serializable.
+    pub fn serial_order(&self) -> Option<Vec<TxnId>> {
+        self.graph.topo_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_model::{FragmentId, TxnType};
+    use fragdb_sim::SimTime;
+
+    fn tid(node: u32, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    fn upd(f: u32) -> TxnType {
+        TxnType::Update(FragmentId(f))
+    }
+
+    /// Helper building histories tersely: (node, txn, type, kind, object).
+    fn hist(ops: &[(u32, TxnId, TxnType, OpKind, u64)]) -> History {
+        let mut h = History::new();
+        for (i, &(node, txn, ttype, kind, object)) in ops.iter().enumerate() {
+            match kind {
+                OpKind::Read => {
+                    h.record_local(
+                        NodeId(node),
+                        txn,
+                        ttype,
+                        OpKind::Read,
+                        ObjectId(object),
+                        SimTime(i as u64),
+                    );
+                }
+                OpKind::Write => {
+                    if txn.origin == NodeId(node) {
+                        h.record_local(
+                            NodeId(node),
+                            txn,
+                            ttype,
+                            OpKind::Write,
+                            ObjectId(object),
+                            SimTime(i as u64),
+                        );
+                    } else {
+                        h.record_install(
+                            NodeId(node),
+                            txn,
+                            ttype,
+                            ObjectId(object),
+                            SimTime(i as u64),
+                        );
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    use OpKind::{Read as R, Write as W};
+
+    #[test]
+    fn empty_history_is_serializable() {
+        let g = GlobalSerializationGraph::build(&History::new());
+        assert!(g.is_serializable());
+        assert_eq!(g.serial_order(), Some(vec![]));
+    }
+
+    #[test]
+    fn single_writer_single_reader_in_order() {
+        let t1 = tid(0, 0);
+        let t2 = tid(1, 0);
+        // t1 (home N0) writes x; install at N1; t2 reads x at N1 after install.
+        let h = hist(&[
+            (0, t1, upd(0), W, 5),
+            (1, t1, upd(0), W, 5),
+            (1, t2, upd(1), R, 5),
+        ]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert!(g.graph().has_edge(t1, t2));
+        assert!(g.is_serializable());
+        assert_eq!(g.serial_order(), Some(vec![t1, t2]));
+    }
+
+    #[test]
+    fn read_before_install_reverses_edge() {
+        let t1 = tid(0, 0);
+        let t2 = tid(1, 0);
+        // t2 reads x at N1 BEFORE t1's update is installed there.
+        let h = hist(&[
+            (0, t1, upd(0), W, 5),
+            (1, t2, upd(1), R, 5),
+            (1, t1, upd(0), W, 5),
+        ]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert!(g.graph().has_edge(t2, t1));
+        assert!(!g.graph().has_edge(t1, t2));
+        assert!(g.is_serializable());
+    }
+
+    #[test]
+    fn writer_never_installed_reads_as_after() {
+        let t1 = tid(0, 0);
+        let t2 = tid(1, 0);
+        // t1 writes x at N0 only; t2 at N1 reads x (install never arrives).
+        let h = hist(&[(0, t1, upd(0), W, 5), (1, t2, upd(1), R, 5)]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert!(g.graph().has_edge(t2, t1), "missing install means read-before-write");
+        assert!(g.is_serializable());
+    }
+
+    #[test]
+    fn paper_section_4_3_example_produces_cycle() {
+        // Fragments F1,F2,F3 with a∈F1, b∈F2, c∈F3; homes N1,N2,N3.
+        // T1 (A(F1)): r(c), r(b), w(a);  T2 (A(F2)): r(c), w(b);
+        // T3 (A(F3)): r(c), w(c).
+        // Events (paper's interleaving):
+        //   (T2,w,b) installed at N1 before (T1,r,b)      => T2 -> T1
+        //   (T1,r,c) before (T3,w,c) installed at N1      => T1 -> T3
+        //   (T3,w,c) installed at N2 before (T2,r,c)      => T3 -> T2
+        let t1 = tid(1, 0);
+        let t2 = tid(2, 0);
+        let t3 = tid(3, 0);
+        let (a, b, c) = (1u64, 2, 3);
+        let h = hist(&[
+            // At N3: T3 runs.
+            (3, t3, upd(3), R, c),
+            (3, t3, upd(3), W, c),
+            // At N2: T3's update to c is installed BEFORE T2 reads c.
+            (2, t3, upd(3), W, c),
+            (2, t2, upd(2), R, c),
+            (2, t2, upd(2), W, b),
+            // At N1: T2's update to b arrives first, then T1 runs, reading c
+            // before T3's install reaches N1.
+            (1, t2, upd(2), W, b),
+            (1, t1, upd(1), R, c),
+            (1, t1, upd(1), R, b),
+            (1, t1, upd(1), W, a),
+            (1, t3, upd(3), W, c),
+        ]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert!(g.graph().has_edge(t2, t1));
+        assert!(g.graph().has_edge(t1, t3));
+        assert!(g.graph().has_edge(t3, t2));
+        assert!(!g.is_serializable());
+        let cycle = g.cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+        for t in [t1, t2, t3] {
+            assert!(cycle.contains(&t));
+        }
+    }
+
+    #[test]
+    fn ww_conflicts_chain_in_install_order() {
+        let t1 = tid(0, 0);
+        let t2 = tid(0, 1);
+        let t3 = tid(0, 2);
+        let h = hist(&[
+            (0, t1, upd(0), W, 9),
+            (0, t2, upd(0), W, 9),
+            (0, t3, upd(0), W, 9),
+        ]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert!(g.graph().has_edge(t1, t2));
+        assert!(g.graph().has_edge(t2, t3));
+        assert!(g.is_serializable());
+        assert_eq!(g.serial_order(), Some(vec![t1, t2, t3]));
+    }
+
+    #[test]
+    fn divergent_install_orders_are_flagged_as_cycle() {
+        // Two writers of the same object installed in OPPOSITE orders at two
+        // nodes (possible only under unprepared agent movement, §4.4.3):
+        // the graph must be cyclic.
+        let t1 = tid(0, 0);
+        let t2 = tid(1, 0);
+        let h = hist(&[
+            (0, t1, upd(0), W, 5),
+            (0, t2, upd(0), W, 5), // N0 sees t1 then t2
+            (1, t2, upd(0), W, 5),
+            (1, t1, upd(0), W, 5), // N1 sees t2 then t1
+        ]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert!(!g.is_serializable());
+    }
+
+    #[test]
+    fn own_writes_do_not_create_self_edges() {
+        let t1 = tid(0, 0);
+        let h = hist(&[
+            (0, t1, upd(0), R, 5),
+            (0, t1, upd(0), W, 5),
+            (0, t1, upd(0), R, 5),
+        ]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert!(g.is_serializable());
+        assert_eq!(g.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn two_independent_transactions_are_unordered() {
+        let t1 = tid(0, 0);
+        let t2 = tid(1, 0);
+        let h = hist(&[(0, t1, upd(0), W, 1), (1, t2, upd(1), W, 2)]);
+        let g = GlobalSerializationGraph::build(&h);
+        assert_eq!(g.graph().edge_count(), 0);
+        assert!(g.is_serializable());
+    }
+}

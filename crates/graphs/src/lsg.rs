@@ -1,0 +1,219 @@
+//! Local serialization graphs (Definition 8.3).
+//!
+//! For fragment `F_i` with agent home node `N`, the l.s.g. contains:
+//!
+//! * the transactions of type `F_i` (they execute at `N`), and
+//! * the non-local transactions whose quasi-transactions are installed at
+//!   `N` (the types `F_s` that `F_i`'s transactions read from).
+//!
+//! Edges: (i) standard dependency rules among type-`F_i` transactions;
+//! (ii) conflict edges between a local transaction and a non-local one,
+//! directed by install-vs-read order at `N`; (iii) non-local transactions
+//! of the *same* type are totally ordered by their installation order at
+//! `N`; (iv) **no** edges between non-local transactions of different
+//! types.
+//!
+//! The paper's premise "local concurrency control mechanisms will
+//! guarantee that all the l.s.g.'s are acyclic" is exactly what we verify
+//! holds for executions produced by the fragdb engine.
+
+use std::collections::BTreeMap;
+
+use fragdb_model::{FragmentId, History, NodeId, ObjectId, OpKind, TxnId, TxnType};
+
+use crate::digraph::DiGraph;
+
+/// The l.s.g. for one fragment.
+#[derive(Clone, Debug)]
+pub struct LocalSerializationGraph {
+    /// The fragment this graph belongs to.
+    pub fragment: FragmentId,
+    /// The home node whose local schedule the graph describes.
+    pub home: NodeId,
+    graph: DiGraph<TxnId>,
+}
+
+impl LocalSerializationGraph {
+    /// Build the l.s.g. for `fragment`, whose agent's home node is `home`,
+    /// from the executed history.
+    pub fn build(history: &History, fragment: FragmentId, home: NodeId) -> Self {
+        let types = history.transactions();
+        let is_local = |t: TxnId| types.get(&t).is_some_and(|ty| ty.fragment() == fragment);
+
+        let mut graph: DiGraph<TxnId> = DiGraph::new();
+
+        // Vertices + per-type install chains (rule iii).
+        let mut last_of_type: BTreeMap<TxnType, TxnId> = BTreeMap::new();
+        let mut seen_install: BTreeMap<TxnId, bool> = BTreeMap::new();
+        for op in history.ops_at(home) {
+            if is_local(op.txn) {
+                graph.add_node(op.txn);
+            } else if op.is_install {
+                graph.add_node(op.txn);
+                // Chain same-type non-local txns in first-install order.
+                if !seen_install.get(&op.txn).copied().unwrap_or(false) {
+                    seen_install.insert(op.txn, true);
+                    if let Some(&prev) = last_of_type.get(&op.ttype) {
+                        if prev != op.txn {
+                            graph.add_edge(prev, op.txn);
+                        }
+                    }
+                    last_of_type.insert(op.ttype, op.txn);
+                }
+            }
+        }
+
+        // Conflict edges at `home` on each object: include a pair only if
+        // at least one side is local (rule iv excludes non-local pairs of
+        // different types; same-type non-local pairs are already chained).
+        let mut timeline: BTreeMap<ObjectId, Vec<(u64, TxnId, OpKind)>> = BTreeMap::new();
+        for op in history.ops_at(home) {
+            let relevant = is_local(op.txn) || op.is_install;
+            if relevant {
+                timeline
+                    .entry(op.object)
+                    .or_default()
+                    .push((op.seq, op.txn, op.kind));
+            }
+        }
+        for (_, ops) in timeline {
+            for (i, &(_, a, ka)) in ops.iter().enumerate() {
+                for &(_, b, kb) in &ops[i + 1..] {
+                    if a == b || (ka == OpKind::Read && kb == OpKind::Read) {
+                        continue;
+                    }
+                    if is_local(a) || is_local(b) {
+                        graph.add_edge(a, b);
+                    }
+                }
+            }
+        }
+
+        LocalSerializationGraph {
+            fragment,
+            home,
+            graph,
+        }
+    }
+
+    /// Build every fragment's l.s.g. given the `fragment -> home` map.
+    pub fn build_all(
+        history: &History,
+        homes: &BTreeMap<FragmentId, NodeId>,
+    ) -> Vec<LocalSerializationGraph> {
+        homes
+            .iter()
+            .map(|(&f, &n)| LocalSerializationGraph::build(history, f, n))
+            .collect()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph<TxnId> {
+        &self.graph
+    }
+
+    /// Acyclicity — the premise the local concurrency control must deliver.
+    pub fn is_acyclic(&self) -> bool {
+        self.graph.is_acyclic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_sim::SimTime;
+
+    fn tid(node: u32, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn local_transactions_order_by_conflicts() {
+        let mut h = History::new();
+        let f = FragmentId(0);
+        let t1 = tid(0, 0);
+        let t2 = tid(0, 1);
+        h.record_local(NodeId(0), t1, TxnType::Update(f), OpKind::Write, ObjectId(1), SimTime(1));
+        h.record_local(NodeId(0), t2, TxnType::Update(f), OpKind::Read, ObjectId(1), SimTime(2));
+        let lsg = LocalSerializationGraph::build(&h, f, NodeId(0));
+        assert!(lsg.graph().has_edge(t1, t2));
+        assert!(lsg.is_acyclic());
+    }
+
+    #[test]
+    fn nonlocal_same_type_chained_by_install_order() {
+        let mut h = History::new();
+        let f0 = FragmentId(0);
+        let f1 = FragmentId(1);
+        let u1 = tid(1, 0);
+        let u2 = tid(1, 1);
+        // Two F1 quasi-transactions installed at N0 (home of F0).
+        h.record_install(NodeId(0), u1, TxnType::Update(f1), ObjectId(5), SimTime(1));
+        h.record_install(NodeId(0), u2, TxnType::Update(f1), ObjectId(6), SimTime(2));
+        let lsg = LocalSerializationGraph::build(&h, f0, NodeId(0));
+        assert!(
+            lsg.graph().has_edge(u1, u2),
+            "rule (iii): same-type non-locals are chained even without conflicts"
+        );
+    }
+
+    #[test]
+    fn nonlocal_different_types_have_no_edges() {
+        let mut h = History::new();
+        let f0 = FragmentId(0);
+        let u1 = tid(1, 0);
+        let u2 = tid(2, 0);
+        // Different foreign types installed at N0, touching the same object.
+        h.record_install(NodeId(0), u1, TxnType::Update(FragmentId(1)), ObjectId(5), SimTime(1));
+        h.record_install(NodeId(0), u2, TxnType::Update(FragmentId(2)), ObjectId(5), SimTime(2));
+        let lsg = LocalSerializationGraph::build(&h, f0, NodeId(0));
+        assert!(!lsg.graph().has_edge(u1, u2), "rule (iv)");
+        assert!(!lsg.graph().has_edge(u2, u1));
+    }
+
+    #[test]
+    fn local_vs_install_conflict_ordered_by_position() {
+        let mut h = History::new();
+        let f0 = FragmentId(0);
+        let local = tid(0, 0);
+        let remote = tid(1, 0);
+        // Local read of object 5 happens BEFORE the remote install at N0.
+        h.record_local(NodeId(0), local, TxnType::Update(f0), OpKind::Read, ObjectId(5), SimTime(1));
+        h.record_install(NodeId(0), remote, TxnType::Update(FragmentId(1)), ObjectId(5), SimTime(2));
+        let lsg = LocalSerializationGraph::build(&h, f0, NodeId(0));
+        assert!(lsg.graph().has_edge(local, remote));
+        assert!(lsg.is_acyclic());
+    }
+
+    #[test]
+    fn ops_at_other_nodes_are_ignored() {
+        let mut h = History::new();
+        let f0 = FragmentId(0);
+        let t1 = tid(0, 0);
+        let foreign = tid(2, 0);
+        h.record_local(NodeId(0), t1, TxnType::Update(f0), OpKind::Write, ObjectId(1), SimTime(1));
+        // This install happens at node 5, not at home node 0.
+        h.record_install(NodeId(5), foreign, TxnType::Update(FragmentId(1)), ObjectId(1), SimTime(2));
+        let lsg = LocalSerializationGraph::build(&h, f0, NodeId(0));
+        assert_eq!(lsg.graph().node_count(), 1);
+        assert_eq!(lsg.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn build_all_covers_every_home() {
+        let mut h = History::new();
+        h.record_local(
+            NodeId(0),
+            tid(0, 0),
+            TxnType::Update(FragmentId(0)),
+            OpKind::Write,
+            ObjectId(0),
+            SimTime(1),
+        );
+        let homes: BTreeMap<FragmentId, NodeId> =
+            [(FragmentId(0), NodeId(0)), (FragmentId(1), NodeId(1))].into();
+        let all = LocalSerializationGraph::build_all(&h, &homes);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(LocalSerializationGraph::is_acyclic));
+    }
+}

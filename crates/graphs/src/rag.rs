@@ -1,0 +1,244 @@
+//! The read-access graph (§4.2).
+//!
+//! *Definition:* vertices are the fragments; there is a directed edge
+//! `(F_i, F_j)`, `i ≠ j`, when some transaction initiated by `A(F_i)` reads
+//! a data object in `F_j`.
+//!
+//! *Definition:* a directed graph is **elementarily acyclic** when its
+//! undirected version is acyclic. Note the undirected version keeps edge
+//! *multiplicity*: if both `(F_i, F_j)` and `(F_j, F_i)` are present, the
+//! undirected graph has two parallel edges between `F_i` and `F_j` — a
+//! cycle. (Mutual reads between two fragments genuinely admit
+//! non-serializable executions, so the stricter reading is the correct
+//! one; the §4.2 theorem's proof relies on each removed fragment touching
+//! only one edge.)
+
+use std::collections::BTreeSet;
+
+use fragdb_model::{AccessDecl, FragmentId};
+use serde::{Deserialize, Serialize};
+
+use crate::digraph::DiGraph;
+
+/// The read-access graph over fragments.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReadAccessGraph {
+    fragments: BTreeSet<FragmentId>,
+    /// Directed edges `(initiator, read fragment)`, `initiator ≠ read`.
+    edges: BTreeSet<(FragmentId, FragmentId)>,
+}
+
+impl ReadAccessGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        ReadAccessGraph::default()
+    }
+
+    /// Build from declared transaction classes: each class contributes an
+    /// edge from its initiator to every *foreign* fragment it reads.
+    pub fn from_decls(decls: &[AccessDecl]) -> Self {
+        let mut g = ReadAccessGraph::new();
+        for d in decls {
+            g.add_fragment(d.initiator);
+            for f in d.foreign_reads() {
+                g.add_edge(d.initiator, f);
+            }
+        }
+        g
+    }
+
+    /// Register a fragment with no edges yet.
+    pub fn add_fragment(&mut self, f: FragmentId) {
+        self.fragments.insert(f);
+    }
+
+    /// Record that `A(initiator)`'s transactions read from `read`.
+    /// Reads of one's own fragment are not edges (the definition requires
+    /// `i ≠ j`) and are ignored.
+    pub fn add_edge(&mut self, initiator: FragmentId, read: FragmentId) {
+        self.fragments.insert(initiator);
+        self.fragments.insert(read);
+        if initiator != read {
+            self.edges.insert((initiator, read));
+        }
+    }
+
+    /// Directed edges, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (FragmentId, FragmentId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// All fragments mentioned.
+    pub fn fragments(&self) -> impl Iterator<Item = FragmentId> + '_ {
+        self.fragments.iter().copied()
+    }
+
+    /// Is the *directed* graph acyclic? (Weaker than elementary
+    /// acyclicity; Figure 4.3.1's graph is acyclic but not elementarily
+    /// acyclic.)
+    pub fn is_acyclic(&self) -> bool {
+        let mut g: DiGraph<FragmentId> = DiGraph::new();
+        for &f in &self.fragments {
+            g.add_node(f);
+        }
+        for &(a, b) in &self.edges {
+            g.add_edge(a, b);
+        }
+        g.is_acyclic()
+    }
+
+    /// Is the graph **elementarily acyclic** — is the undirected
+    /// (multiplicity-preserving) version a forest?
+    ///
+    /// Union-find: every undirected edge must join two previously-separate
+    /// components. A repeated pair (from an antiparallel directed pair) or
+    /// an edge inside one component closes an undirected cycle.
+    pub fn is_elementarily_acyclic(&self) -> bool {
+        self.undirected_cycle_edge().is_none()
+    }
+
+    /// The first undirected edge (in sorted directed-edge order) that
+    /// closes a cycle, for diagnostics; `None` when elementarily acyclic.
+    pub fn undirected_cycle_edge(&self) -> Option<(FragmentId, FragmentId)> {
+        let ids: Vec<FragmentId> = self.fragments.iter().copied().collect();
+        let index = |f: FragmentId| ids.binary_search(&f).expect("fragment registered");
+        let mut parent: Vec<usize> = (0..ids.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut seen_pairs: BTreeSet<(FragmentId, FragmentId)> = BTreeSet::new();
+        for &(a, b) in &self.edges {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            if !seen_pairs.insert(key) {
+                // Antiparallel pair: two parallel undirected edges.
+                return Some((a, b));
+            }
+            let (ra, rb) = (find(&mut parent, index(a)), find(&mut parent, index(b)));
+            if ra == rb {
+                return Some((a, b));
+            }
+            parent[ra] = rb;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FragmentId {
+        FragmentId(i)
+    }
+
+    #[test]
+    fn empty_graph_is_elementarily_acyclic() {
+        let g = ReadAccessGraph::new();
+        assert!(g.is_elementarily_acyclic());
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn own_fragment_reads_are_not_edges() {
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(0), f(0));
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.fragments().count(), 1);
+    }
+
+    #[test]
+    fn warehouse_graph_of_figure_4_2_1_is_elementarily_acyclic() {
+        // Central fragment C reads from every warehouse W1..Wk: a star.
+        let mut g = ReadAccessGraph::new();
+        let c = f(0);
+        for i in 1..=5 {
+            g.add_edge(c, f(i));
+        }
+        assert!(g.is_elementarily_acyclic());
+        assert!(g.is_acyclic());
+        assert_eq!(g.edges().count(), 5);
+    }
+
+    #[test]
+    fn figure_4_3_1_graph_is_acyclic_but_not_elementarily() {
+        // A(F1) reads F2, F3; A(F2) reads F3. Directed: acyclic.
+        // Undirected: triangle F1-F2-F3 — a cycle.
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(1), f(2));
+        g.add_edge(f(1), f(3));
+        g.add_edge(f(2), f(3));
+        assert!(g.is_acyclic());
+        assert!(!g.is_elementarily_acyclic());
+        assert!(g.undirected_cycle_edge().is_some());
+    }
+
+    #[test]
+    fn airline_graph_of_figure_4_3_3_is_not_elementarily_acyclic() {
+        // F1 reads C1, C2; F2 reads C1, C2: the 4-cycle F1-C1-F2-C2.
+        let (c1, c2, f1, f2) = (f(0), f(1), f(2), f(3));
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f1, c1);
+        g.add_edge(f1, c2);
+        g.add_edge(f2, c1);
+        g.add_edge(f2, c2);
+        assert!(g.is_acyclic(), "directed version has no cycle");
+        assert!(!g.is_elementarily_acyclic());
+    }
+
+    #[test]
+    fn antiparallel_pair_counts_as_cycle() {
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(1), f(0));
+        assert!(!g.is_acyclic());
+        assert!(!g.is_elementarily_acyclic());
+    }
+
+    #[test]
+    fn chain_is_elementarily_acyclic() {
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(1), f(2));
+        g.add_edge(f(2), f(3));
+        assert!(g.is_elementarily_acyclic());
+    }
+
+    #[test]
+    fn from_decls_builds_foreign_edges_only() {
+        let decls = vec![
+            fragdb_model::AccessDecl::update(f(0), [f(0), f(1)]),
+            fragdb_model::AccessDecl::read_only(f(1), [f(1)]),
+        ];
+        let g = ReadAccessGraph::from_decls(&decls);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(f(0), f(1))]);
+        assert_eq!(g.fragments().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(0), f(1));
+        assert_eq!(g.edges().count(), 1);
+        assert!(
+            g.is_elementarily_acyclic(),
+            "the same directed edge twice is one edge, not a multi-edge"
+        );
+    }
+
+    #[test]
+    fn diamond_is_not_elementarily_acyclic() {
+        // 0→1, 0→2, 1→3, 2→3: directed DAG, undirected 4-cycle.
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(0), f(2));
+        g.add_edge(f(1), f(3));
+        g.add_edge(f(2), f(3));
+        assert!(g.is_acyclic());
+        assert!(!g.is_elementarily_acyclic());
+    }
+}

@@ -1,0 +1,112 @@
+//! One-call correctness analysis of an executed history.
+//!
+//! Places an execution on the paper's correctness spectrum (Figure 1.1):
+//! globally serializable ⊃ fragmentwise serializable ⊃ mutually consistent
+//! installation orders.
+
+use fragdb_model::{History, TxnId};
+
+use crate::fragmentwise::{self, FragmentwiseReport};
+use crate::gsg::GlobalSerializationGraph;
+
+/// Where an execution landed on the correctness spectrum.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Global serialization graph acyclic?
+    pub globally_serializable: bool,
+    /// Witness cycle when not globally serializable.
+    pub gsg_cycle: Option<Vec<TxnId>>,
+    /// §4.3 Properties 1 & 2.
+    pub fragmentwise: FragmentwiseReport,
+    /// Number of transactions analyzed.
+    pub txn_count: usize,
+}
+
+impl Verdict {
+    /// Fragmentwise serializable (Properties 1 and 2 both hold)?
+    pub fn fragmentwise_serializable(&self) -> bool {
+        self.fragmentwise.holds()
+    }
+
+    /// Human-readable spectrum label, in the paper's Figure 1.1 terms.
+    pub fn spectrum_label(&self) -> &'static str {
+        if self.globally_serializable {
+            "globally serializable"
+        } else if self.fragmentwise_serializable() {
+            "fragmentwise serializable"
+        } else if self.fragmentwise.property1_violations.is_empty() {
+            "per-fragment order consistent (partial effects seen)"
+        } else {
+            "divergent (free-for-all territory)"
+        }
+    }
+}
+
+/// Run every checker over a history.
+pub fn analyze(history: &History) -> Verdict {
+    let gsg = GlobalSerializationGraph::build(history);
+    let gsg_cycle = gsg.cycle();
+    Verdict {
+        globally_serializable: gsg_cycle.is_none(),
+        gsg_cycle,
+        fragmentwise: fragmentwise::check(history),
+        txn_count: history.transactions().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_model::{FragmentId, NodeId, ObjectId, OpKind, TxnType};
+    use fragdb_sim::SimTime;
+
+    #[test]
+    fn empty_history_is_globally_serializable() {
+        let v = analyze(&History::new());
+        assert!(v.globally_serializable);
+        assert!(v.fragmentwise_serializable());
+        assert_eq!(v.txn_count, 0);
+        assert_eq!(v.spectrum_label(), "globally serializable");
+    }
+
+    #[test]
+    fn nonserializable_but_fragmentwise_history_is_labeled_correctly() {
+        // Two fragments whose agents each read the other's object before
+        // the other's update arrives: classic write-skew-like pattern.
+        let mut h = History::new();
+        let t1 = TxnId::new(NodeId(0), 0);
+        let t2 = TxnId::new(NodeId(1), 0);
+        let (a, b) = (ObjectId(0), ObjectId(1));
+        // t1 at N0: reads b (old), writes a.
+        h.record_local(NodeId(0), t1, TxnType::Update(FragmentId(0)), OpKind::Read, b, SimTime(1));
+        h.record_local(NodeId(0), t1, TxnType::Update(FragmentId(0)), OpKind::Write, a, SimTime(1));
+        // t2 at N1: reads a (old), writes b.
+        h.record_local(NodeId(1), t2, TxnType::Update(FragmentId(1)), OpKind::Read, a, SimTime(1));
+        h.record_local(NodeId(1), t2, TxnType::Update(FragmentId(1)), OpKind::Write, b, SimTime(1));
+        // Installs cross after the reads.
+        h.record_install(NodeId(1), t1, TxnType::Update(FragmentId(0)), a, SimTime(2));
+        h.record_install(NodeId(0), t2, TxnType::Update(FragmentId(1)), b, SimTime(2));
+        let v = analyze(&h);
+        assert!(!v.globally_serializable);
+        assert!(v.gsg_cycle.is_some());
+        assert!(v.fragmentwise_serializable());
+        assert_eq!(v.spectrum_label(), "fragmentwise serializable");
+        assert_eq!(v.txn_count, 2);
+    }
+
+    #[test]
+    fn divergent_orders_fall_to_bottom_of_spectrum() {
+        let mut h = History::new();
+        let f = FragmentId(0);
+        let t1 = TxnId::new(NodeId(0), 0);
+        let t2 = TxnId::new(NodeId(0), 1);
+        h.record_install(NodeId(1), t1, TxnType::Update(f), ObjectId(1), SimTime(1));
+        h.record_install(NodeId(1), t2, TxnType::Update(f), ObjectId(1), SimTime(2));
+        h.record_install(NodeId(2), t2, TxnType::Update(f), ObjectId(1), SimTime(3));
+        h.record_install(NodeId(2), t1, TxnType::Update(f), ObjectId(1), SimTime(4));
+        let v = analyze(&h);
+        assert!(!v.globally_serializable);
+        assert!(!v.fragmentwise_serializable());
+        assert_eq!(v.spectrum_label(), "divergent (free-for-all territory)");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the graph toolkit, checked against independent
+//! reference implementations.
+
+use proptest::prelude::*;
+
+use fragdb_graphs::{DiGraph, ReadAccessGraph};
+use fragdb_model::FragmentId;
+
+/// Reference acyclicity check: Warshall transitive closure, then look for
+/// a node that reaches itself.
+fn reference_is_acyclic(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut reach = vec![vec![false; n]; n];
+    for &(a, b) in edges {
+        reach[a][b] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                let via_k = reach[k].clone();
+                for (j, cell) in reach[i].iter_mut().enumerate() {
+                    if via_k[j] {
+                        *cell = true;
+                    }
+                }
+            }
+        }
+    }
+    (0..n).all(|i| !reach[i][i])
+}
+
+/// Reference elementary acyclicity: an undirected multigraph is a forest
+/// iff every connected component satisfies `edges = vertices - 1`.
+fn reference_elementarily_acyclic(n: usize, edges: &[(usize, usize)]) -> bool {
+    // Dedup directed edges first (the RAG stores a set of directed edges),
+    // then count undirected multiplicity.
+    let directed: std::collections::BTreeSet<(usize, usize)> =
+        edges.iter().copied().filter(|(a, b)| a != b).collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    let mut seen_undirected = std::collections::BTreeSet::new();
+    for (a, b) in directed {
+        let key = if a < b { (a, b) } else { (b, a) };
+        if !seen_undirected.insert(key) {
+            return false; // antiparallel pair = multi-edge = cycle
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra == rb {
+            return false;
+        }
+        parent[ra] = rb;
+    }
+    true
+}
+
+fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..(n * n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// DiGraph::is_acyclic agrees with the transitive-closure reference.
+    #[test]
+    fn digraph_acyclicity_matches_reference(edges in edges_strategy(8)) {
+        let mut g: DiGraph<usize> = DiGraph::new();
+        for i in 0..8 {
+            g.add_node(i);
+        }
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        prop_assert_eq!(g.is_acyclic(), reference_is_acyclic(8, &edges));
+    }
+
+    /// When a cycle is reported, the witness really is a cycle in the graph.
+    #[test]
+    fn digraph_cycle_witness_is_valid(edges in edges_strategy(8)) {
+        let mut g: DiGraph<usize> = DiGraph::new();
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        if let Some(cycle) = g.find_cycle() {
+            prop_assert!(!cycle.is_empty());
+            for i in 0..cycle.len() {
+                let from = cycle[i];
+                let to = cycle[(i + 1) % cycle.len()];
+                prop_assert!(g.has_edge(from, to), "edge {}->{} missing", from, to);
+            }
+        }
+    }
+
+    /// A topological order, when produced, respects every edge; it exists
+    /// iff the graph is acyclic.
+    #[test]
+    fn digraph_topo_order_respects_edges(edges in edges_strategy(8)) {
+        let mut g: DiGraph<usize> = DiGraph::new();
+        for i in 0..8 {
+            g.add_node(i);
+        }
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        match g.topo_order() {
+            Some(order) => {
+                prop_assert!(g.is_acyclic());
+                let pos = |x: usize| order.iter().position(|&n| n == x).unwrap();
+                for (a, b) in g.edges() {
+                    if a != b {
+                        prop_assert!(pos(a) < pos(b));
+                    }
+                }
+            }
+            None => prop_assert!(!g.is_acyclic()),
+        }
+    }
+
+    /// ReadAccessGraph elementary acyclicity agrees with the union-find
+    /// reference (including the antiparallel-pair rule).
+    #[test]
+    fn rag_elementary_acyclicity_matches_reference(edges in edges_strategy(6)) {
+        let mut rag = ReadAccessGraph::new();
+        for i in 0..6u32 {
+            rag.add_fragment(FragmentId(i));
+        }
+        for &(a, b) in &edges {
+            rag.add_edge(FragmentId(a as u32), FragmentId(b as u32));
+        }
+        prop_assert_eq!(
+            rag.is_elementarily_acyclic(),
+            reference_elementarily_acyclic(6, &edges)
+        );
+    }
+
+    /// Elementary acyclicity implies directed acyclicity (the converse is
+    /// false — see Figure 4.3.1).
+    #[test]
+    fn elementary_acyclicity_is_stronger(edges in edges_strategy(6)) {
+        let mut rag = ReadAccessGraph::new();
+        for &(a, b) in &edges {
+            rag.add_edge(FragmentId(a as u32), FragmentId(b as u32));
+        }
+        if rag.is_elementarily_acyclic() {
+            prop_assert!(rag.is_acyclic());
+        }
+    }
+}

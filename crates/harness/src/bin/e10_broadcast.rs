@@ -1,0 +1,10 @@
+//! Fault-injection sweep of the reliable FIFO broadcast (§3.2).
+use fragdb_harness::experiments::e10_broadcast;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e10_broadcast::run(seed, &e10_broadcast::default_levels()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §6 mixed-strategy demonstration.
+use fragdb_harness::experiments::e11_mixed;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e11_mixed::run(seed));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §6 partial-replication table.
+use fragdb_harness::experiments::e12_partial_replication;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e12_partial_replication::run(seed));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Figure 1.1 spectrum table.
+use fragdb_harness::experiments::{e1_spectrum, scenario::ScenarioParams};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e1_spectrum::run(seed, ScenarioParams::default_spectrum()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §1 banking scenario outcome matrix.
+use fragdb_harness::experiments::e2_banking_scenarios;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e2_banking_scenarios::run(seed));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the local-view discrepancy series (Figures 2.1/2.2).
+use fragdb_harness::experiments::e3_local_view;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e3_local_view::run(seed, &e3_local_view::default_durations()));
+}

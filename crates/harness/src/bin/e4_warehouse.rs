@@ -1,0 +1,10 @@
+//! Regenerates the warehouse availability/serializability table (Figure 4.2.1).
+use fragdb_harness::experiments::e4_warehouse;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e4_warehouse::run(seed, &e4_warehouse::default_levels()));
+}

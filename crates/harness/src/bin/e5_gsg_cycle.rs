@@ -1,0 +1,10 @@
+//! Regenerates the Figure 4.3.2 serialization-graph cycle, live.
+use fragdb_harness::experiments::e5_gsg_cycle;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e5_gsg_cycle::run(seed));
+}

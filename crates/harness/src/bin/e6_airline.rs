@@ -1,0 +1,10 @@
+//! Regenerates the §4.3 airline example (Figure 4.3.3).
+use fragdb_harness::experiments::e6_airline;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e6_airline::run(seed));
+}

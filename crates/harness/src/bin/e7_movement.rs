@@ -1,0 +1,10 @@
+//! Regenerates the §4.4 movement-protocol comparison (Figure 4.4.1).
+use fragdb_harness::experiments::e7_movement;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("{}", e7_movement::run(seed));
+}

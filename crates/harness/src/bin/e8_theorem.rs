@@ -1,0 +1,14 @@
+//! Monte-Carlo validation of the §4.2 theorem.
+use fragdb_harness::experiments::e8_theorem;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let trials = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    println!("{}", e8_theorem::run(seed, trials));
+}

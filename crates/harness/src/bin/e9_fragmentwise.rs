@@ -1,0 +1,14 @@
+//! Monte-Carlo validation of §4.3 Properties 1 and 2.
+use fragdb_harness::experiments::e9_fragmentwise;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let trials = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    println!("{}", e9_fragmentwise::run(seed, trials));
+}

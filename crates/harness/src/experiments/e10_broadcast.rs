@@ -1,0 +1,222 @@
+//! E10 — §3.2: the reliable FIFO broadcast under fault injection.
+//!
+//! The paper requires: (1) all messages are eventually delivered; (2)
+//! messages broadcast by one node are processed at all other nodes in the
+//! order sent. We broadcast continuously while randomly partitioning the
+//! network, then verify both requirements exactly and measure how the
+//! delivery latency distribution stretches with the disruption level.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fragdb_model::NodeId;
+use fragdb_net::{BroadcastLayer, Delivery, NetworkChange, Topology, Transport};
+use fragdb_sim::{Engine, SimDuration, SimRng, SimTime};
+use fragdb_workloads::{arrivals, partitions};
+
+use crate::table::{dur, Table};
+
+/// One disruption-level sample.
+#[derive(Clone, Debug)]
+pub struct BroadcastSample {
+    /// Fraction of time partitioned.
+    pub disruption: f64,
+    /// Broadcasts sent.
+    pub sent: u64,
+    /// `(receiver, message)` deliveries expected (`sent × (n-1)`).
+    pub expected_deliveries: u64,
+    /// Deliveries that arrived.
+    pub delivered: u64,
+    /// FIFO violations observed (must be 0).
+    pub fifo_violations: u64,
+    /// Median delivery latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile delivery latency (µs).
+    pub p99_us: u64,
+}
+
+/// The report.
+#[derive(Clone, Debug)]
+pub struct E10Report {
+    /// One sample per disruption level.
+    pub samples: Vec<BroadcastSample>,
+}
+
+impl fmt::Display for E10Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E10 — reliable FIFO broadcast under partitions (§3.2)")?;
+        let mut t = Table::new([
+            "disruption",
+            "sent",
+            "delivered",
+            "lost",
+            "FIFO violations",
+            "p50 latency",
+            "p99 latency",
+        ]);
+        for s in &self.samples {
+            t.row([
+                format!("{:.0}%", s.disruption * 100.0),
+                s.sent.to_string(),
+                format!("{}/{}", s.delivered, s.expected_deliveries),
+                (s.expected_deliveries - s.delivered).to_string(),
+                s.fifo_violations.to_string(),
+                dur(s.p50_us),
+                dur(s.p99_us),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Events of the bespoke broadcast simulation.
+enum Bev {
+    Send { from: NodeId, msg_id: u64 },
+    Deliver(Delivery<(u64, u64, SimTime)>), // (bseq, msg_id, sent_at)
+    Net(NetworkChange),
+}
+
+fn one_level(seed: u64, disruption: f64) -> BroadcastSample {
+    let n = 5u32;
+    let horizon = SimTime::from_secs(200);
+    let mut rng = SimRng::new(seed);
+    let mut engine: Engine<Bev> = Engine::new(seed);
+    let mut transport: Transport<(u64, u64, SimTime)> =
+        Transport::new(Topology::full_mesh(n, SimDuration::from_millis(10)));
+    let mut bcast: BroadcastLayer<(u64, SimTime)> = BroadcastLayer::new();
+
+    let sched = partitions::random_alternating(
+        &mut rng,
+        n,
+        SimDuration::from_secs(15),
+        disruption,
+        horizon,
+    );
+    for (at, change) in sched.events() {
+        engine.schedule_at(*at, Bev::Net(change.clone()));
+    }
+    let mut sent = 0u64;
+    let mut msg_id = 0u64;
+    for node in 0..n {
+        for t in arrivals::poisson(&mut rng, 1.0, SimTime::ZERO, horizon) {
+            engine.schedule_at(
+                t,
+                Bev::Send {
+                    from: NodeId(node),
+                    msg_id,
+                },
+            );
+            msg_id += 1;
+            sent += 1;
+        }
+    }
+
+    // Per (receiver, sender): the sequence of processed message ids, to
+    // check FIFO; plus per-message send times for latency.
+    let mut processed: BTreeMap<(NodeId, NodeId), Vec<u64>> = BTreeMap::new();
+    let mut sent_order: BTreeMap<NodeId, Vec<u64>> = BTreeMap::new();
+    let mut latencies = fragdb_sim::Histogram::new();
+    let mut delivered = 0u64;
+
+    while let Some((now, ev)) = engine.pop() {
+        match ev {
+            Bev::Send { from, msg_id } => {
+                let bseq = bcast.stamp(from);
+                sent_order.entry(from).or_default().push(msg_id);
+                for i in 0..n {
+                    let to = NodeId(i);
+                    if to == from {
+                        continue;
+                    }
+                    if let Some((at, d)) = transport.send(now, from, to, (bseq, msg_id, now)) {
+                        engine.schedule_at(at, Bev::Deliver(d));
+                    }
+                }
+            }
+            Bev::Deliver(d) => {
+                let (bseq, msg_id, sent_at) = d.msg;
+                for (_, (mid, s_at)) in bcast.accept(d.to, d.from, bseq, (msg_id, sent_at)) {
+                    processed.entry((d.to, d.from)).or_default().push(mid);
+                    latencies.record((now - s_at).micros());
+                    delivered += 1;
+                }
+            }
+            Bev::Net(change) => {
+                for (at, d) in transport.apply_change(now, &change) {
+                    engine.schedule_at(at, Bev::Deliver(d));
+                }
+            }
+        }
+    }
+
+    // FIFO check: at every receiver, the processed ids from each sender
+    // must be exactly the sender's send order.
+    let mut fifo_violations = 0u64;
+    for ((_, sender), ids) in &processed {
+        let expected = &sent_order[sender];
+        if ids != expected {
+            fifo_violations += 1;
+        }
+    }
+
+    BroadcastSample {
+        disruption,
+        sent,
+        expected_deliveries: sent * (n as u64 - 1),
+        delivered,
+        fifo_violations,
+        p50_us: latencies.percentile(50.0).unwrap_or(0),
+        p99_us: latencies.percentile(99.0).unwrap_or(0),
+    }
+}
+
+/// Run E10 over disruption levels.
+pub fn run(seed: u64, levels: &[f64]) -> E10Report {
+    E10Report {
+        samples: levels.iter().map(|&d| one_level(seed, d)).collect(),
+    }
+}
+
+/// Default levels.
+pub fn default_levels() -> Vec<f64> {
+    vec![0.0, 0.25, 0.5, 0.75]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_delivered_in_fifo_order_at_every_level() {
+        let r = run(0x10, &[0.0, 0.5]);
+        for s in &r.samples {
+            assert_eq!(
+                s.delivered, s.expected_deliveries,
+                "eventual delivery must be total at disruption {}",
+                s.disruption
+            );
+            assert_eq!(s.fifo_violations, 0, "per-sender FIFO must hold");
+        }
+    }
+
+    #[test]
+    fn latency_tail_grows_with_disruption() {
+        let r = run(0x11, &[0.0, 0.6]);
+        let calm = &r.samples[0];
+        let stormy = &r.samples[1];
+        assert!(
+            stormy.p99_us > calm.p99_us * 10,
+            "partitions must stretch the tail: calm p99={} stormy p99={}",
+            calm.p99_us,
+            stormy.p99_us
+        );
+        // The median under no disruption is the one-hop link delay.
+        assert!(calm.p50_us >= 9_000 && calm.p50_us <= 12_000);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(0x12, &[0.2]);
+        assert!(r.to_string().contains("FIFO violations"));
+    }
+}

@@ -1,0 +1,288 @@
+//! E11 — §6: several strategies combined in a single system.
+//!
+//! *"it is possible to combine several of our strategies in a single
+//! system … guarantee mutual consistency for some fragments (with the
+//! mechanism of Section 4.4.3, say), fragmentwise serializability for a
+//! set of other fragments (with any of several techniques), and
+//! conventional serializability within another group (by having
+//! read-access restrictions, say)."*
+//!
+//! One system, seven fragments, three groups:
+//!
+//! * **Group A (conventional serializability)** — ledgers `L1`, `L2` under
+//!   §4.1 read locks; their transactions read each other's fragment under
+//!   remote locks.
+//! * **Group B (serializable by schema)** — warehouse star `W1, W2 → C`
+//!   under §4.2 (elementarily acyclic read-access graph).
+//! * **Group C (mutual consistency only)** — a mobile fragment `M` under
+//!   unrestricted reads with §4.4.3 no-prep movement; its agent wanders
+//!   across the partition.
+//!
+//! The per-group guarantees must hold *simultaneously*: the sub-histories
+//! of groups A and B are globally serializable, group C converges after
+//! repackaging, and the whole database is mutually consistent at
+//! quiescence. Availability degrades only where the paper says it must:
+//! group A's cross-reads during the partition.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use fragdb_core::{
+    MovePolicy, Notification, StrategyKind, Submission, System, SystemConfig,
+};
+use fragdb_model::{
+    AccessDecl, AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, UserId,
+};
+use fragdb_net::{NetworkChange, Topology};
+use fragdb_sim::{SimDuration, SimTime};
+
+use crate::table::Table;
+
+/// The report.
+#[derive(Clone, Debug)]
+pub struct E11Report {
+    /// Group A sub-history globally serializable?
+    pub group_a_serializable: bool,
+    /// Group B sub-history globally serializable?
+    pub group_b_serializable: bool,
+    /// Whole-system fragmentwise violations confined to the mobile fragment?
+    pub violations_confined_to_group_c: bool,
+    /// Mobile fragment's late transactions repackaged.
+    pub repackaged: u64,
+    /// Group A operations aborted as unavailable (expected > 0: the §4.1
+    /// price, paid only by group A).
+    pub group_a_unavailable: u64,
+    /// Group B+C operations aborted as unavailable (expected 0).
+    pub group_bc_unavailable: u64,
+    /// All replicas identical at quiescence?
+    pub converged: bool,
+}
+
+impl fmt::Display for E11Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E11 — §6: three strategy groups in one system")?;
+        let mut t = Table::new(["claim", "expected", "observed"]);
+        let yn = |b: bool| if b { "yes" } else { "no" };
+        t.row([
+            "group A (4.1 locks): sub-history serializable",
+            "yes",
+            yn(self.group_a_serializable),
+        ]);
+        t.row([
+            "group B (4.2 star RAG): sub-history serializable",
+            "yes",
+            yn(self.group_b_serializable),
+        ]);
+        t.row([
+            "anomalies confined to group C (no-prep)",
+            "yes",
+            yn(self.violations_confined_to_group_c),
+        ]);
+        let rep = self.repackaged.to_string();
+        t.row(["group C late txns repackaged", ">= 1", &rep]);
+        let ua = self.group_a_unavailable.to_string();
+        t.row(["group A unavailability (the 4.1 price)", ">= 1", &ua]);
+        let ubc = self.group_bc_unavailable.to_string();
+        t.row(["group B/C unavailability", "0", &ubc]);
+        t.row(["mutual consistency at quiescence", "yes", yn(self.converged)]);
+        write!(f, "{t}")
+    }
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// Run E11.
+pub fn run(seed: u64) -> E11Report {
+    // Fragments: L1 L2 | W1 W2 C | M.
+    let mut b = FragmentCatalog::builder();
+    let (l1, l1_objs) = b.add_fragment("L1", 2);
+    let (l2, l2_objs) = b.add_fragment("L2", 2);
+    let (w1, w1_objs) = b.add_fragment("W1", 2);
+    let (w2, w2_objs) = b.add_fragment("W2", 2);
+    let (c, c_objs) = b.add_fragment("C", 2);
+    let (m, m_objs) = b.add_fragment("M", 2);
+    let catalog = b.build();
+
+    let agents = vec![
+        (l1, AgentId::Node(NodeId(0)), NodeId(0)),
+        (l2, AgentId::Node(NodeId(1)), NodeId(1)),
+        (w1, AgentId::Node(NodeId(2)), NodeId(2)),
+        (w2, AgentId::Node(NodeId(3)), NodeId(3)),
+        (c, AgentId::Node(NodeId(4)), NodeId(4)),
+        (m, AgentId::User(UserId(0)), NodeId(0)),
+    ];
+
+    let rag_strategy = StrategyKind::AcyclicRag {
+        decls: vec![
+            AccessDecl::update(c, [w1, w2]),
+            AccessDecl::update(w1, [w1]),
+            AccessDecl::update(w2, [w2]),
+        ],
+        allow_violating_read_only: true,
+    };
+    let lock_strategy = StrategyKind::ReadLocks {
+        timeout: SimDuration::from_secs(8),
+    };
+    let config = SystemConfig::unrestricted(seed)
+        .with_fragment_strategy(l1, lock_strategy.clone())
+        .with_fragment_strategy(l2, lock_strategy)
+        .with_fragment_strategy(w1, rag_strategy.clone())
+        .with_fragment_strategy(w2, rag_strategy.clone())
+        .with_fragment_strategy(c, rag_strategy)
+        .with_fragment_move_policy(m, MovePolicy::NoPrep);
+    let mut sys =
+        System::build(Topology::full_mesh(5, SimDuration::from_millis(10)), catalog, agents, config)
+            .expect("mixed configuration validates");
+
+    // Partition t=40..80: node 0 (L1's home, and M's current home) isolated.
+    sys.net_change_at(
+        secs(40),
+        NetworkChange::Split(vec![
+            vec![NodeId(0)],
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)],
+        ]),
+    );
+    sys.net_change_at(secs(80), NetworkChange::HealAll);
+
+    // Group A: ledger transfers every 10s, each reading the other ledger
+    // under remote locks.
+    let transfer = |own: ObjectId, other: ObjectId, frag: FragmentId| {
+        Submission::update_reading(
+            frag,
+            vec![other],
+            Box::new(move |ctx| {
+                let seen = ctx.read_int(other, 0);
+                let v = ctx.read_int(own, 0);
+                ctx.write(own, v + seen + 1)?;
+                Ok(())
+            }),
+        )
+    };
+    for i in 0..12u64 {
+        sys.submit_at(secs(5 + i * 10), transfer(l1_objs[0], l2_objs[0], l1));
+        sys.submit_at(secs(6 + i * 10), transfer(l2_objs[0], l1_objs[0], l2));
+    }
+    // Group B: warehouse sales + central scans.
+    let bump = |obj: ObjectId, frag: FragmentId| {
+        Submission::update(
+            frag,
+            Box::new(move |ctx| {
+                let v = ctx.read_int(obj, 0);
+                ctx.write(obj, v + 1)?;
+                Ok(())
+            }),
+        )
+    };
+    for i in 0..12u64 {
+        sys.submit_at(secs(4 + i * 10), bump(w1_objs[0], w1));
+        sys.submit_at(secs(7 + i * 10), bump(w2_objs[0], w2));
+    }
+    let scan_objs = (w1_objs[0], w2_objs[0], c_objs[0]);
+    for i in 0..6u64 {
+        let (a, bb, t) = scan_objs;
+        sys.submit_at(
+            secs(15 + i * 20),
+            Submission::update(
+                c,
+                Box::new(move |ctx| {
+                    let total = ctx.read_int(a, 0) + ctx.read_int(bb, 0);
+                    ctx.write(t, total)?;
+                    Ok(())
+                }),
+            ),
+        );
+    }
+    // Group C: the mobile fragment updates constantly; its agent walks to
+    // node 2 mid-partition with no preparation.
+    for i in 0..24u64 {
+        sys.submit_at(secs(3 + i * 5), bump(m_objs[(i % 2) as usize], m));
+    }
+    sys.move_agent_at(secs(50), m, NodeId(2));
+
+    let group_a: BTreeSet<FragmentId> = [l1, l2].into();
+    let group_b: BTreeSet<FragmentId> = [w1, w2, c].into();
+    let mut group_a_unavailable = 0u64;
+    let mut group_bc_unavailable = 0u64;
+    let mut repackaged = 0u64;
+    while let Some((_, notes)) = sys.step_until(secs(1200)) {
+        for n in notes {
+            match n {
+                Notification::Aborted { fragment, .. } => {
+                    if group_a.contains(&fragment) {
+                        group_a_unavailable += 1;
+                    } else {
+                        group_bc_unavailable += 1;
+                    }
+                }
+                Notification::MissingRepackaged { .. } => repackaged += 1,
+                _ => {}
+            }
+        }
+    }
+
+    // Per-group verdicts from the projected histories.
+    let hist_a = sys
+        .history
+        .filter_txns(|_, ty| group_a.contains(&ty.fragment()));
+    let hist_b = sys
+        .history
+        .filter_txns(|_, ty| group_b.contains(&ty.fragment()));
+    let verdict_all = fragdb_graphs::analyze(&sys.history);
+    let confined = verdict_all
+        .fragmentwise
+        .property1_violations
+        .iter()
+        .all(|(f, _)| *f == m)
+        && verdict_all.fragmentwise.property2_violations.is_empty();
+
+    E11Report {
+        group_a_serializable: fragdb_graphs::analyze(&hist_a).globally_serializable,
+        group_b_serializable: fragdb_graphs::analyze(&hist_b).globally_serializable,
+        violations_confined_to_group_c: confined,
+        repackaged,
+        group_a_unavailable,
+        group_bc_unavailable,
+        converged: sys.divergent_fragments().is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_group_keeps_its_own_guarantee() {
+        let r = run(0x11);
+        assert!(r.group_a_serializable, "4.1 group must stay serializable");
+        assert!(r.group_b_serializable, "4.2 group must stay serializable");
+        assert!(r.violations_confined_to_group_c);
+        assert!(r.converged, "mutual consistency holds for everything");
+    }
+
+    #[test]
+    fn only_the_lock_group_pays_availability() {
+        let r = run(0x12);
+        assert!(
+            r.group_a_unavailable > 0,
+            "ledger cross-reads must block during the partition"
+        );
+        assert_eq!(r.group_bc_unavailable, 0, "groups B and C never block");
+    }
+
+    #[test]
+    fn noprep_repackaging_happened() {
+        let r = run(0x13);
+        assert!(
+            r.repackaged > 0,
+            "the mobile agent moved mid-partition, so late txns must exist"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(0x14);
+        assert!(r.to_string().contains("three strategy groups"));
+    }
+}

@@ -1,0 +1,202 @@
+//! E12 — §6: partial replication.
+//!
+//! *"Our approach can be generalized for dealing with … databases that are
+//! not fully replicated."* One fragment on an 8-node network, replicated
+//! at 2, 4, or all 8 nodes. Two effects are measured:
+//!
+//! * **propagation cost** — each commit fans out to `r − 1` replicas, so
+//!   messages per transaction shrink linearly with the replica set;
+//! * **quorum availability** — under §4.4.1 majority commit, the quorum is
+//!   a majority *of the replica set*. With the network split in half, a
+//!   fragment whose replicas all sit in the agent's half keeps committing,
+//!   while a fully replicated fragment cannot reach ⌈(n+1)/2⌉ nodes and
+//!   stalls. Fewer copies buys availability (and risks durability — the
+//!   trade the paper leaves to the database designer).
+
+use std::fmt;
+
+use fragdb_core::{MovePolicy, Notification, Submission, System, SystemConfig};
+use fragdb_model::{AgentId, FragmentCatalog, NodeId, ObjectId};
+use fragdb_net::{NetworkChange, Topology};
+use fragdb_sim::{SimDuration, SimTime};
+
+use crate::table::{pct, Table};
+
+/// One replica-set-size sample.
+#[derive(Clone, Debug)]
+pub struct PartialSample {
+    /// Number of replicas (`r`).
+    pub replicas: u32,
+    /// Messages sent per committed update (fixed-agent run).
+    pub msgs_per_commit: f64,
+    /// Updates committed under majority commit while the network was split
+    /// in half (agent's half holds the first 4 nodes).
+    pub majority_committed: u64,
+    /// Updates submitted in the majority run.
+    pub majority_submitted: u64,
+    /// Replica set converged after the heal?
+    pub converged: bool,
+}
+
+/// The report.
+#[derive(Clone, Debug)]
+pub struct E12Report {
+    /// One sample per replica-set size.
+    pub samples: Vec<PartialSample>,
+}
+
+impl fmt::Display for E12Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E12 — §6 partial replication on 8 nodes (half-split partition)")?;
+        let mut t = Table::new([
+            "replicas",
+            "msgs/commit",
+            "majority availability",
+            "converged",
+        ]);
+        for s in &self.samples {
+            t.row([
+                s.replicas.to_string(),
+                format!("{:.1}", s.msgs_per_commit),
+                pct(s.majority_committed, s.majority_submitted),
+                if s.converged { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn build(seed: u64, replicas: u32, policy: MovePolicy) -> (System, Vec<ObjectId>) {
+    let n = 8u32;
+    let mut b = FragmentCatalog::builder();
+    let (frag, objs) = b.add_fragment("P", 2);
+    let catalog = b.build();
+    let mut config = SystemConfig::unrestricted(seed).with_move_policy(policy);
+    if replicas < n {
+        config = config.with_replica_set(frag, (0..replicas).map(NodeId));
+    }
+    let sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        catalog,
+        vec![(frag, AgentId::Node(NodeId(0)), NodeId(0))],
+        config,
+    )
+    .unwrap();
+    (sys, objs)
+}
+
+fn bump(obj: ObjectId) -> Submission {
+    Submission::update(
+        fragdb_model::FragmentId(0),
+        Box::new(move |ctx| {
+            let v = ctx.read_int(obj, 0);
+            ctx.write(obj, v + 1)?;
+            Ok(())
+        }),
+    )
+}
+
+fn one_size(seed: u64, replicas: u32) -> PartialSample {
+    // Run A: fixed agents, measure fan-out cost.
+    let (mut sys, objs) = build(seed, replicas, MovePolicy::Fixed);
+    let updates = 30u64;
+    for i in 0..updates {
+        sys.submit_at(secs(1 + i), bump(objs[0]));
+    }
+    sys.run_until(secs(300));
+    let committed = sys.engine.metrics.counter("txn.committed");
+    let msgs_per_commit = sys.transport_stats().sent as f64 / committed.max(1) as f64;
+
+    // Run B: majority commit under a half-split (nodes 0..3 | 4..7).
+    let (mut sys, objs) = build(
+        seed ^ 0xB,
+        replicas,
+        MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        },
+    );
+    sys.net_change_at(
+        SimTime::ZERO,
+        NetworkChange::Split(vec![
+            (0..4).map(NodeId).collect(),
+            (4..8).map(NodeId).collect(),
+        ]),
+    );
+    let majority_submitted = 10u64;
+    for i in 0..majority_submitted {
+        sys.submit_at(secs(1 + i * 10), bump(objs[0]));
+    }
+    let notes = sys.run_until(secs(200));
+    let majority_committed = notes
+        .iter()
+        .filter(|n| matches!(n, Notification::Committed { .. }))
+        .count() as u64;
+    sys.net_change_at(secs(250), NetworkChange::HealAll);
+    sys.run_until(secs(900));
+    PartialSample {
+        replicas,
+        msgs_per_commit,
+        majority_committed,
+        majority_submitted,
+        converged: sys.divergent_fragments().is_empty(),
+    }
+}
+
+/// Run E12 over replica-set sizes.
+pub fn run(seed: u64) -> E12Report {
+    E12Report {
+        samples: [2u32, 4, 8].iter().map(|&r| one_size(seed, r)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_cost_scales_with_replica_count() {
+        let r = run(1);
+        let m: Vec<f64> = r.samples.iter().map(|s| s.msgs_per_commit).collect();
+        assert!(m[0] < m[1] && m[1] < m[2], "messages must grow with replicas: {m:?}");
+        // Fixed-agent fan-out is exactly r-1 messages per commit.
+        assert!((m[0] - 1.0).abs() < 0.01);
+        assert!((m[2] - 7.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn small_replica_sets_survive_the_half_split_under_majority_commit() {
+        let r = run(2);
+        let by_size = |n: u32| r.samples.iter().find(|s| s.replicas == n).unwrap();
+        assert_eq!(
+            by_size(2).majority_committed,
+            by_size(2).majority_submitted,
+            "replica set {{0,1}}: quorum of 2 is reachable"
+        );
+        assert_eq!(
+            by_size(4).majority_committed,
+            by_size(4).majority_submitted,
+            "replica set {{0..3}}: quorum of 3 is reachable"
+        );
+        assert_eq!(
+            by_size(8).majority_committed,
+            0,
+            "full replication: quorum of 5 is unreachable in a half-split"
+        );
+    }
+
+    #[test]
+    fn every_size_converges_after_heal() {
+        let r = run(3);
+        assert!(r.samples.iter().all(|s| s.converged));
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(4);
+        assert!(r.to_string().contains("msgs/commit"));
+    }
+}

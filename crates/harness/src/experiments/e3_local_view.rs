@@ -1,0 +1,194 @@
+//! E3 — Figures 2.1/2.2: the local view of the balance and its
+//! divergence from the central balance during partitions.
+//!
+//! A customer at node 1 deposits every 5 seconds while a partition of
+//! duration `D` separates them from the central office (node 0). The
+//! paper: "in the face of communication delays and partitions, the local
+//! view of balance may not correspond exactly to the actual balance. The
+//! longer a partition lasts, the greater this discrepancy can become."
+//! The series below measures exactly that, plus the time to reconverge
+//! once the partition heals.
+
+use std::fmt;
+
+use fragdb_core::{System, SystemConfig};
+use fragdb_model::NodeId;
+use fragdb_net::{NetworkChange, Topology};
+use fragdb_sim::{SimDuration, SimTime};
+use fragdb_workloads::{BankConfig, BankDriver, BankSchema};
+
+use crate::table::Table;
+
+/// One partition-duration sample.
+#[derive(Clone, Debug)]
+pub struct LocalViewSample {
+    /// Partition duration (seconds).
+    pub partition_secs: u64,
+    /// Deposits made during the partition.
+    pub deposits_during: u32,
+    /// `local_view(customer) - central_balance` at heal time.
+    pub discrepancy_at_heal: i64,
+    /// Customer's local view at heal time (always correct logically).
+    pub local_view_at_heal: i64,
+    /// Virtual time from heal until every replica agreed again (µs).
+    pub reconverge_us: u64,
+}
+
+/// The report: a series over partition durations.
+#[derive(Clone, Debug)]
+pub struct E3Report {
+    /// Samples, one per duration.
+    pub samples: Vec<LocalViewSample>,
+}
+
+impl fmt::Display for E3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E3 — local view vs central balance ($50 deposit every 5s during a partition)"
+        )?;
+        let mut t = Table::new([
+            "partition",
+            "deposits during",
+            "central misses",
+            "local view",
+            "reconverge",
+        ]);
+        for s in &self.samples {
+            t.row([
+                format!("{}s", s.partition_secs),
+                s.deposits_during.to_string(),
+                format!("${}", s.discrepancy_at_heal),
+                format!("${}", s.local_view_at_heal),
+                crate::table::dur(s.reconverge_us),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+fn one_duration(seed: u64, partition_secs: u64) -> LocalViewSample {
+    let cfg = BankConfig {
+        accounts: 1,
+        slots_per_account: 256,
+        central: NodeId(0),
+        account_homes: vec![NodeId(1)],
+        overdraft_fine: 0,
+    };
+    let (catalog, schema, agents) = BankSchema::build(&cfg);
+    let mut sys = System::build(
+        Topology::full_mesh(2, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(seed),
+    )
+    .unwrap();
+    let mut bank = BankDriver::new(schema, cfg);
+
+    let part_start = SimTime::from_secs(10);
+    let part_end = part_start + SimDuration::from_secs(partition_secs);
+    sys.net_change_at(part_start, NetworkChange::LinkDown(NodeId(0), NodeId(1)));
+    sys.net_change_at(part_end, NetworkChange::HealAll);
+
+    // Deposits every 5s from t=12 until the heal.
+    let mut deposits_during = 0u32;
+    let mut t = part_start + SimDuration::from_secs(2);
+    while t < part_end {
+        let dep = bank.deposit(0, 50).expect("slots");
+        sys.submit_at(t, dep);
+        deposits_during += 1;
+        t += SimDuration::from_secs(5);
+    }
+
+    // Run exactly to the heal instant and measure the discrepancy.
+    while let Some((at, notes)) = sys.step_until(part_end) {
+        for n in &notes {
+            bank.react(&mut sys, at, n);
+        }
+    }
+    let local_view_at_heal = bank.schema.local_view(sys.replica(NodeId(1)), 0);
+    let central_balance = sys
+        .replica(NodeId(0))
+        .read(bank.schema.bal_objs[0])
+        .as_int_or(0)
+        .unwrap();
+    let discrepancy_at_heal = local_view_at_heal - central_balance;
+
+    // Continue until replicas agree again; record the reconvergence time.
+    let mut reconverged_at = part_end;
+    let limit = part_end + SimDuration::from_secs(600);
+    loop {
+        let step = sys.step_until(limit);
+        let Some((at, notes)) = step else { break };
+        for n in &notes {
+            bank.react(&mut sys, at, n);
+        }
+        if sys.divergent_fragments().is_empty() && sys.queued_submissions() == 0 {
+            reconverged_at = at;
+            if sys.engine.peek_time().is_none() {
+                break;
+            }
+        }
+    }
+    LocalViewSample {
+        partition_secs,
+        deposits_during,
+        discrepancy_at_heal,
+        local_view_at_heal,
+        reconverge_us: (reconverged_at - part_end).micros(),
+    }
+}
+
+/// Run E3 over a sweep of partition durations.
+pub fn run(seed: u64, durations: &[u64]) -> E3Report {
+    E3Report {
+        samples: durations.iter().map(|&d| one_duration(seed, d)).collect(),
+    }
+}
+
+/// The default duration sweep.
+pub fn default_durations() -> Vec<u64> {
+    vec![10, 30, 60, 120]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrepancy_grows_with_partition_duration() {
+        let r = run(7, &[10, 60, 120]);
+        assert_eq!(r.samples.len(), 3);
+        let d: Vec<i64> = r.samples.iter().map(|s| s.discrepancy_at_heal).collect();
+        assert!(d[0] < d[1] && d[1] < d[2], "discrepancy must grow: {d:?}");
+        // Each deposit of $50 the central office missed is discrepancy.
+        for s in &r.samples {
+            assert_eq!(s.discrepancy_at_heal, 50 * s.deposits_during as i64);
+        }
+    }
+
+    #[test]
+    fn local_view_is_logically_correct_throughout() {
+        let r = run(8, &[30]);
+        let s = &r.samples[0];
+        assert_eq!(s.local_view_at_heal, 50 * s.deposits_during as i64);
+    }
+
+    #[test]
+    fn replicas_reconverge_after_heal() {
+        let r = run(9, &[30]);
+        let s = &r.samples[0];
+        assert!(s.reconverge_us > 0, "reconvergence takes nonzero time");
+        assert!(
+            s.reconverge_us < 10_000_000,
+            "but finishes quickly: {}us",
+            s.reconverge_us
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(10, &[10]);
+        assert!(r.to_string().contains("central misses"));
+    }
+}

@@ -1,0 +1,278 @@
+//! E7 — §4.4 / Figure 4.4.1: the agent-movement protocols compared.
+//!
+//! One fragment's agent moves twice, each time while its *old* home is
+//! partitioned away — the exact "missing transactions" hazard of
+//! Figure 4.4.1 (`T_1` cannot reach the new home before `T_2` starts).
+//! Updates flow continuously. Per protocol we measure what the paper
+//! predicts qualitatively:
+//!
+//! * §4.4.1 majority — isolated-side updates become unavailable; the move
+//!   itself completes against a majority.
+//! * §4.4.2A with-data — moves complete after the courier delay even
+//!   across the partition; ordered installs preserve fragmentwise
+//!   serializability.
+//! * §4.4.2B with-seqno — the new home *waits* for the old updates: the
+//!   move completes only after the heal (the measured availability cost).
+//! * §4.4.3 no-prep — the move completes instantly; late transactions are
+//!   repackaged; only mutual consistency is promised.
+
+use std::fmt;
+
+use fragdb_core::{
+    MovePolicy, Notification, Submission, System, SystemConfig,
+};
+use fragdb_model::{AgentId, FragmentCatalog, NodeId, UserId};
+use fragdb_net::{NetworkChange, Topology};
+use fragdb_sim::{SimDuration, SimTime};
+
+use crate::table::{dur, pct, Table};
+
+/// Measured outcome for one movement policy.
+#[derive(Clone, Debug)]
+pub struct MovementRow {
+    /// Policy label.
+    pub policy: String,
+    /// Updates submitted.
+    pub submitted: u64,
+    /// Updates committed.
+    pub committed: u64,
+    /// Updates aborted as unavailable.
+    pub unavailable: u64,
+    /// Mean delay from move request to `MoveCompleted` (µs).
+    pub mean_move_delay_us: u64,
+    /// §4.4.3 repackaged late transactions.
+    pub repackaged: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Fragmentwise serializability verdict on the history.
+    pub fragmentwise: bool,
+    /// Replicas converged after drain?
+    pub converged: bool,
+}
+
+/// The report.
+#[derive(Clone, Debug)]
+pub struct E7Report {
+    /// One row per policy.
+    pub rows: Vec<MovementRow>,
+}
+
+impl fmt::Display for E7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E7 — agent movement protocols (two moves, each across a partition)"
+        )?;
+        let mut t = Table::new([
+            "protocol",
+            "availability",
+            "unavailable",
+            "mean move delay",
+            "repackaged",
+            "messages",
+            "fragmentwise",
+            "converged",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.policy.clone(),
+                pct(r.committed, r.submitted),
+                r.unavailable.to_string(),
+                dur(r.mean_move_delay_us),
+                r.repackaged.to_string(),
+                r.messages.to_string(),
+                if r.fragmentwise { "yes" } else { "no" }.to_string(),
+                if r.converged { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn one_policy(seed: u64, policy: MovePolicy) -> MovementRow {
+    let label = policy.label().to_string();
+    let mut b = FragmentCatalog::builder();
+    let (frag, objs) = b.add_fragment("MOBILE", 4);
+    let catalog = b.build();
+    let n = 5u32;
+    let agents = vec![(frag, AgentId::User(UserId(0)), NodeId(1))];
+    let mut sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(seed).with_move_policy(policy),
+    )
+    .unwrap();
+
+    // Updates every 2 seconds for 200s (counter increments round-robin
+    // over the fragment's objects).
+    let mut submitted = 0u64;
+    for i in 0..100u64 {
+        let obj = objs[(i % objs.len() as u64) as usize];
+        sys.submit_at(
+            secs(2 * i + 1),
+            Submission::update(
+                frag,
+                Box::new(move |ctx| {
+                    let v = ctx.read_int(obj, 0);
+                    ctx.write(obj, v + 1)?;
+                    Ok(())
+                }),
+            ),
+        );
+        submitted += 1;
+    }
+
+    // Move 1 at t=45 to node 2, while node 1 (old home) is isolated 40-70.
+    sys.net_change_at(
+        secs(40),
+        NetworkChange::Split(vec![vec![NodeId(1)], vec![NodeId(0), NodeId(2), NodeId(3), NodeId(4)]]),
+    );
+    let mut move_requests = vec![secs(45)];
+    sys.move_agent_at(secs(45), frag, NodeId(2));
+    sys.net_change_at(secs(70), NetworkChange::HealAll);
+
+    // Move 2 at t=125 to node 3, while node 2 is isolated 120-150.
+    sys.net_change_at(
+        secs(120),
+        NetworkChange::Split(vec![vec![NodeId(2)], vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]]),
+    );
+    move_requests.push(secs(125));
+    sys.move_agent_at(secs(125), frag, NodeId(3));
+    sys.net_change_at(secs(150), NetworkChange::HealAll);
+
+    let mut committed = 0u64;
+    let mut unavailable = 0u64;
+    let mut repackaged = 0u64;
+    let mut move_delays: Vec<u64> = Vec::new();
+    let mut next_move = 0usize;
+    let limit = secs(1200);
+    while let Some((at, notes)) = sys.step_until(limit) {
+        for note in notes {
+            match note {
+                Notification::Committed { .. } => committed += 1,
+                Notification::Aborted { .. } => unavailable += 1,
+                Notification::MoveCompleted { .. }
+                    if next_move < move_requests.len() => {
+                        move_delays.push((at - move_requests[next_move]).micros());
+                        next_move += 1;
+                    }
+                Notification::MissingRepackaged { .. } => repackaged += 1,
+                _ => {}
+            }
+        }
+    }
+    // Repackaged commits are internal, not workload service.
+    committed = committed.min(submitted);
+
+    let verdict = fragdb_graphs::analyze(&sys.history);
+    MovementRow {
+        policy: label,
+        submitted,
+        committed,
+        unavailable,
+        mean_move_delay_us: if move_delays.is_empty() {
+            0
+        } else {
+            move_delays.iter().sum::<u64>() / move_delays.len() as u64
+        },
+        repackaged,
+        messages: sys.transport_stats().sent,
+        fragmentwise: verdict.fragmentwise_serializable(),
+        converged: sys.divergent_fragments().is_empty(),
+    }
+}
+
+/// Run E7 across all four §4.4 protocols.
+pub fn run(seed: u64) -> E7Report {
+    E7Report {
+        rows: vec![
+            one_policy(
+                seed,
+                MovePolicy::MajorityCommit {
+                    timeout: SimDuration::from_secs(8),
+                },
+            ),
+            one_policy(
+                seed,
+                MovePolicy::WithData {
+                    transfer_delay: SimDuration::from_secs(2),
+                },
+            ),
+            one_policy(seed, MovePolicy::WithSeqNo),
+            one_policy(seed, MovePolicy::NoPrep),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(r: &'a E7Report, label: &str) -> &'a MovementRow {
+        r.rows
+            .iter()
+            .find(|x| x.policy == label)
+            .expect("policy row")
+    }
+
+    #[test]
+    fn all_policies_converge() {
+        let r = run(21);
+        for row in &r.rows {
+            assert!(row.converged, "{} diverged", row.policy);
+        }
+    }
+
+    #[test]
+    fn majority_loses_availability_on_the_isolated_side() {
+        let r = run(22);
+        let m = row(&r, "4.4.1 majority");
+        assert!(
+            m.unavailable > 0,
+            "updates at the isolated old home must time out"
+        );
+        assert_eq!(m.submitted, m.committed + m.unavailable);
+    }
+
+    #[test]
+    fn prepared_protocols_preserve_fragmentwise_serializability() {
+        let r = run(23);
+        for label in ["4.4.1 majority", "4.4.2A with-data", "4.4.2B with-seqno"] {
+            assert!(row(&r, label).fragmentwise, "{label} must stay fragmentwise");
+        }
+    }
+
+    #[test]
+    fn noprep_is_fully_available_and_repackages() {
+        let r = run(24);
+        let n = row(&r, "4.4.3 no-prep");
+        assert_eq!(n.unavailable, 0, "no-prep never blocks");
+        assert_eq!(n.committed, n.submitted);
+        assert!(n.repackaged > 0, "late transactions were found and repackaged");
+    }
+
+    #[test]
+    fn with_seqno_waits_longer_than_with_data() {
+        let r = run(25);
+        let wd = row(&r, "4.4.2A with-data").mean_move_delay_us;
+        let ws = row(&r, "4.4.2B with-seqno").mean_move_delay_us;
+        let np = row(&r, "4.4.3 no-prep").mean_move_delay_us;
+        assert!(
+            ws > wd,
+            "seqno waits for the heal ({ws}us) vs courier delay ({wd}us)"
+        );
+        assert_eq!(np, 0, "no-prep completes instantly");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(26);
+        assert!(r.to_string().contains("mean move delay"));
+        assert_eq!(r.rows.len(), 4);
+    }
+}

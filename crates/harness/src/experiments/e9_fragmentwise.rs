@@ -1,0 +1,231 @@
+//! E9 — Monte-Carlo validation of §4.3's Properties 1 and 2
+//! (fragmentwise serializability) and of mutual consistency.
+//!
+//! Under the *unrestricted* option, with arbitrary cross-fragment read
+//! patterns and adversarial random partitions:
+//!
+//! * Property 1 — the projection of the schedule onto each fragment's
+//!   update transactions is serializable;
+//! * Property 2 — no reader ever observes a partial quasi-transaction;
+//! * at quiescence, all replicas of every fragment are identical.
+//!
+//! Each trial uses multi-object update transactions (so Property 2 has
+//! something to tear) and readers that scan several fragments at once.
+
+use std::fmt;
+
+use fragdb_core::{Submission, System, SystemConfig};
+use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId};
+use fragdb_net::Topology;
+use fragdb_sim::{SimDuration, SimRng, SimTime};
+use fragdb_workloads::{arrivals, partitions};
+
+use crate::table::{pct, Table};
+
+/// The report.
+#[derive(Clone, Debug)]
+pub struct E9Report {
+    /// Number of trials.
+    pub trials: u32,
+    /// Trials violating Property 1.
+    pub p1_violations: u32,
+    /// Trials violating Property 2.
+    pub p2_violations: u32,
+    /// Trials ending with divergent replicas.
+    pub divergent: u32,
+    /// Trials that were *not* globally serializable (expected > 0: that is
+    /// the price §4.3 pays, and it shows the workload is adversarial).
+    pub non_global: u32,
+    /// Total transactions executed.
+    pub total_txns: u64,
+}
+
+impl fmt::Display for E9Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E9 — fragmentwise serializability (Properties 1 & 2), Monte-Carlo"
+        )?;
+        let mut t = Table::new(["check", "violations", "rate"]);
+        let n = self.trials as u64;
+        t.row([
+            "Property 1 (per-fragment serializable)".to_string(),
+            self.p1_violations.to_string(),
+            pct(self.p1_violations as u64, n),
+        ]);
+        t.row([
+            "Property 2 (no partial quasi-transactions)".to_string(),
+            self.p2_violations.to_string(),
+            pct(self.p2_violations as u64, n),
+        ]);
+        t.row([
+            "mutual consistency at quiescence".to_string(),
+            self.divergent.to_string(),
+            pct(self.divergent as u64, n),
+        ]);
+        t.row([
+            "global serializability (expected to fail sometimes)".to_string(),
+            self.non_global.to_string(),
+            pct(self.non_global as u64, n),
+        ]);
+        writeln!(f, "{t}")?;
+        writeln!(f, "total transactions executed: {}", self.total_txns)
+    }
+}
+
+fn one_trial(seed: u64) -> (bool, bool, bool, bool, u64) {
+    let mut rng = SimRng::new(seed);
+    let k = rng.gen_range(3..6usize);
+    let mut b = FragmentCatalog::builder();
+    let mut objects = Vec::new();
+    for i in 0..k {
+        let (_, objs) = b.add_fragment(format!("F{i}"), 3);
+        objects.push(objs);
+    }
+    let catalog = b.build();
+    let n = k as u32;
+    let agents: Vec<(FragmentId, AgentId, NodeId)> = (0..k)
+        .map(|i| {
+            (
+                FragmentId(i as u32),
+                AgentId::Node(NodeId(i as u32)),
+                NodeId(i as u32),
+            )
+        })
+        .collect();
+    let mut sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(seed),
+    )
+    .unwrap();
+
+    let horizon = SimTime::from_secs(120);
+    let sched = partitions::random_alternating(
+        &mut rng,
+        n,
+        SimDuration::from_secs(12),
+        0.5,
+        horizon,
+    );
+    sys.schedule_partitions(&sched);
+
+    let mut txns = 0u64;
+    for i in 0..k {
+        // Multi-object updates: write ALL of the fragment's objects after
+        // reading a random foreign fragment entirely.
+        let times = arrivals::poisson(&mut rng, 0.5, SimTime::ZERO, horizon);
+        for t in times {
+            let own = objects[i].clone();
+            let j = rng.gen_range(0..k);
+            let foreign: Vec<ObjectId> = if j == i { Vec::new() } else { objects[j].clone() };
+            sys.submit_at(
+                t,
+                Submission::update(
+                    FragmentId(i as u32),
+                    Box::new(move |ctx| {
+                        let mut acc = 1i64;
+                        for &o in &foreign {
+                            acc = acc.wrapping_add(ctx.read_int(o, 0));
+                        }
+                        for &o in &own {
+                            let v = ctx.read_int(o, 0);
+                            ctx.write(o, v.wrapping_add(acc) % 1_000_003)?;
+                        }
+                        Ok(())
+                    }),
+                ),
+            );
+            txns += 1;
+        }
+        // Cross-fragment readers at random nodes.
+        let times = arrivals::poisson(&mut rng, 0.3, SimTime::ZERO, horizon);
+        for t in times {
+            let all: Vec<ObjectId> = objects.iter().flatten().copied().collect();
+            let at_node = NodeId(rng.gen_range(0..n));
+            sys.submit_at(
+                t,
+                Submission::read_only(
+                    FragmentId(i as u32),
+                    Box::new(move |ctx| {
+                        for &o in &all {
+                            ctx.read(o);
+                        }
+                        Ok(())
+                    }),
+                )
+                .at(at_node),
+            );
+            txns += 1;
+        }
+    }
+    sys.run_until(horizon + SimDuration::from_secs(300));
+    let verdict = fragdb_graphs::analyze(&sys.history);
+    (
+        verdict.fragmentwise.property1_violations.is_empty(),
+        verdict.fragmentwise.property2_violations.is_empty(),
+        sys.divergent_fragments().is_empty(),
+        verdict.globally_serializable,
+        txns,
+    )
+}
+
+/// Run E9 with `trials` trials.
+pub fn run(seed: u64, trials: u32) -> E9Report {
+    let mut report = E9Report {
+        trials,
+        p1_violations: 0,
+        p2_violations: 0,
+        divergent: 0,
+        non_global: 0,
+        total_txns: 0,
+    };
+    for t in 0..trials {
+        let (p1, p2, converged, global, txns) = one_trial(seed.wrapping_add(t as u64));
+        report.total_txns += txns;
+        if !p1 {
+            report.p1_violations += 1;
+        }
+        if !p2 {
+            report.p2_violations += 1;
+        }
+        if !converged {
+            report.divergent += 1;
+        }
+        if !global {
+            report.non_global += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_hold_in_every_trial() {
+        let r = run(0xE9, 25);
+        assert_eq!(r.p1_violations, 0, "Property 1 must always hold");
+        assert_eq!(r.p2_violations, 0, "Property 2 must always hold");
+        assert_eq!(r.divergent, 0, "mutual consistency must always hold");
+        assert!(r.total_txns > 500);
+    }
+
+    #[test]
+    fn global_serializability_does_fail_sometimes() {
+        let r = run(0xE99, 25);
+        assert!(
+            r.non_global > 0,
+            "an adversarial unrestricted workload should exhibit at least \
+             one global anomaly — otherwise §4.3 would be free"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(2, 2);
+        assert!(r.to_string().contains("Property 1"));
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per reproduced figure/scenario. See the crate docs for the
+//! mapping to the paper's artifacts.
+
+pub mod e1_spectrum;
+pub mod e2_banking_scenarios;
+pub mod e3_local_view;
+pub mod e4_warehouse;
+pub mod e5_gsg_cycle;
+pub mod e6_airline;
+pub mod e7_movement;
+pub mod e8_theorem;
+pub mod e9_fragmentwise;
+pub mod e10_broadcast;
+pub mod e11_mixed;
+pub mod e12_partial_replication;
+pub mod scenario;

@@ -1,0 +1,156 @@
+//! Shared scenario generation: a common banking workload (operations +
+//! partition schedule) that every system under comparison replays, so
+//! E1/E2 comparisons are apples-to-apples.
+
+use fragdb_model::NodeId;
+use fragdb_net::PartitionSchedule;
+use fragdb_sim::{SimDuration, SimRng, SimTime};
+use fragdb_workloads::{arrivals, partitions};
+
+/// One customer operation: positive `amount` deposits, negative withdraws.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankOp {
+    /// When the customer walks up.
+    pub at: SimTime,
+    /// Which account.
+    pub account: u32,
+    /// Signed amount in cents.
+    pub amount: i64,
+    /// The node the customer is at (the account's home branch).
+    pub node: NodeId,
+}
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct ScenarioParams {
+    /// Number of nodes (node 0 is the central office / primary).
+    pub nodes: u32,
+    /// Number of accounts.
+    pub accounts: u32,
+    /// Customer operations per second (whole system).
+    pub ops_per_sec: f64,
+    /// Workload horizon; partitions all heal by this time.
+    pub horizon: SimTime,
+    /// Fraction of time the network is partitioned.
+    pub disruption: f64,
+    /// Mean partition length.
+    pub mean_partition: SimDuration,
+}
+
+impl ScenarioParams {
+    /// The E1 defaults: 4 nodes, 6 accounts, 2 ops/s over 300 virtual
+    /// seconds, 30% of it partitioned in ~20s episodes.
+    pub fn default_spectrum() -> Self {
+        ScenarioParams {
+            nodes: 4,
+            accounts: 6,
+            ops_per_sec: 2.0,
+            horizon: SimTime::from_secs(600),
+            disruption: 0.4,
+            mean_partition: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// A generated scenario: deterministic in the seed.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Parameters it was built from.
+    pub params: ScenarioParams,
+    /// Customer operations, time-ordered.
+    pub ops: Vec<BankOp>,
+    /// Partition schedule (fully healed before `params.horizon`).
+    pub partitions: PartitionSchedule,
+    /// Home branch per account.
+    pub account_homes: Vec<NodeId>,
+}
+
+impl Scenario {
+    /// Generate from a seed.
+    pub fn generate(seed: u64, params: ScenarioParams) -> Scenario {
+        let mut rng = SimRng::new(seed);
+        // Accounts homed round-robin on the non-central nodes (or node 0
+        // too when there is only one node).
+        let account_homes: Vec<NodeId> = (0..params.accounts)
+            .map(|i| {
+                if params.nodes == 1 {
+                    NodeId(0)
+                } else {
+                    NodeId(1 + (i % (params.nodes - 1)))
+                }
+            })
+            .collect();
+        let times = arrivals::poisson(&mut rng, params.ops_per_sec, SimTime::ZERO, params.horizon);
+        let ops = times
+            .into_iter()
+            .map(|at| {
+                let account = rng.gen_range(0..params.accounts);
+                // 60% deposits, 40% withdrawals; amounts 10..200.
+                let magnitude = rng.gen_range(10..200i64);
+                let amount = if rng.chance(0.6) { magnitude } else { -magnitude };
+                BankOp {
+                    at,
+                    account,
+                    amount,
+                    node: account_homes[account as usize],
+                }
+            })
+            .collect();
+        let partitions = partitions::random_alternating(
+            &mut rng,
+            params.nodes,
+            params.mean_partition,
+            params.disruption,
+            params.horizon,
+        );
+        Scenario {
+            params,
+            ops,
+            partitions,
+            account_homes,
+        }
+    }
+
+    /// Deposits in the scenario.
+    pub fn deposits(&self) -> usize {
+        self.ops.iter().filter(|o| o.amount > 0).count()
+    }
+
+    /// Withdrawals in the scenario.
+    pub fn withdrawals(&self) -> usize {
+        self.ops.iter().filter(|o| o.amount < 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::generate(5, ScenarioParams::default_spectrum());
+        let b = Scenario::generate(5, ScenarioParams::default_spectrum());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.partitions, b.partitions);
+    }
+
+    #[test]
+    fn scenario_has_both_op_kinds_and_partitions() {
+        let s = Scenario::generate(1, ScenarioParams::default_spectrum());
+        assert!(s.deposits() > 0);
+        assert!(s.withdrawals() > 0);
+        assert!(!s.partitions.is_empty());
+        assert_eq!(s.ops.len(), s.deposits() + s.withdrawals());
+        // Accounts homed away from the central node.
+        assert!(s.account_homes.iter().all(|n| n.0 != 0));
+    }
+
+    #[test]
+    fn ops_are_time_ordered_within_horizon() {
+        let s = Scenario::generate(2, ScenarioParams::default_spectrum());
+        for w in s.ops.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(s.ops.iter().all(|o| o.at < s.params.horizon));
+    }
+}

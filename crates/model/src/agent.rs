@@ -1,0 +1,168 @@
+//! Agents and tokens.
+//!
+//! §3.1: for every fragment there is *exactly one token*, owned by either a
+//! user or a node; the owner is the fragment's **agent** and is the only
+//! principal allowed to initiate updates to the fragment. Tokens "have
+//! existence outside of the computer system and can be passed by means other
+//! than electronic messages" — so a [`Token`] transfer is a simulation event
+//! that does *not* require network connectivity.
+//!
+//! Tokens carry an **epoch** that increments on every transfer. Epochs let
+//! the movement protocols of §4.4 distinguish updates issued under an old
+//! ownership from those issued after a move.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FragmentId, NodeId, UserId};
+
+/// The principal holding a fragment's token.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AgentId {
+    /// The agent is a computer node (e.g. the bank's central office machine).
+    Node(NodeId),
+    /// The agent is a human user (e.g. the owner of account 0001).
+    User(UserId),
+}
+
+impl AgentId {
+    /// If the agent is itself a node, that node is always its own home.
+    pub fn as_node(self) -> Option<NodeId> {
+        match self {
+            AgentId::Node(n) => Some(n),
+            AgentId::User(_) => None,
+        }
+    }
+
+    /// True if the agent is a user (whose home node changes as they move).
+    pub fn is_user(self) -> bool {
+        matches!(self, AgentId::User(_))
+    }
+}
+
+impl fmt::Debug for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentId::Node(n) => write!(f, "agent:{n}"),
+            AgentId::User(u) => write!(f, "agent:{u}"),
+        }
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The unique token for one fragment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// The fragment this token controls.
+    pub fragment: FragmentId,
+    /// Current owner (the fragment's agent).
+    pub owner: AgentId,
+    /// Home node of the owner: where update transactions on this fragment
+    /// execute. For a node agent this equals the node itself; for a user
+    /// agent it is the node the user last attached to (§3.1).
+    pub home: NodeId,
+    /// Transfer count. Incremented every time the token changes owner or
+    /// home; used by movement protocols to order ownership regimes.
+    pub epoch: u64,
+}
+
+impl Token {
+    /// Mint the initial token for `fragment`.
+    pub fn new(fragment: FragmentId, owner: AgentId, home: NodeId) -> Self {
+        if let AgentId::Node(n) = owner {
+            debug_assert_eq!(n, home, "a node agent is always its own home");
+        }
+        Token {
+            fragment,
+            owner,
+            home,
+            epoch: 0,
+        }
+    }
+
+    /// Move the token to a new owner and/or home, bumping the epoch.
+    pub fn transfer(&mut self, owner: AgentId, home: NodeId) {
+        self.owner = owner;
+        self.home = home;
+        self.epoch += 1;
+    }
+
+    /// Re-attach the same user agent to a different home node (a "move" in
+    /// the §4.4 sense), bumping the epoch.
+    pub fn reattach(&mut self, home: NodeId) {
+        self.home = home;
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_agent_home_is_itself() {
+        let t = Token::new(FragmentId(0), AgentId::Node(NodeId(2)), NodeId(2));
+        assert_eq!(t.home, NodeId(2));
+        assert_eq!(t.epoch, 0);
+        assert_eq!(t.owner.as_node(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn user_agent_has_no_node() {
+        let a = AgentId::User(UserId(7));
+        assert!(a.is_user());
+        assert_eq!(a.as_node(), None);
+    }
+
+    #[test]
+    fn transfer_bumps_epoch() {
+        let mut t = Token::new(FragmentId(1), AgentId::User(UserId(0)), NodeId(0));
+        t.transfer(AgentId::User(UserId(1)), NodeId(3));
+        assert_eq!(t.owner, AgentId::User(UserId(1)));
+        assert_eq!(t.home, NodeId(3));
+        assert_eq!(t.epoch, 1);
+    }
+
+    #[test]
+    fn reattach_keeps_owner() {
+        let mut t = Token::new(FragmentId(1), AgentId::User(UserId(5)), NodeId(0));
+        t.reattach(NodeId(4));
+        assert_eq!(t.owner, AgentId::User(UserId(5)));
+        assert_eq!(t.home, NodeId(4));
+        assert_eq!(t.epoch, 1);
+        t.reattach(NodeId(0));
+        assert_eq!(t.epoch, 2);
+    }
+
+    #[test]
+    fn display_distinguishes_kinds() {
+        assert_eq!(AgentId::Node(NodeId(1)).to_string(), "agent:N1");
+        assert_eq!(AgentId::User(UserId(2)).to_string(), "agent:U2");
+    }
+
+    #[test]
+    fn agent_ordering_is_total() {
+        let mut v = vec![
+            AgentId::User(UserId(1)),
+            AgentId::Node(NodeId(9)),
+            AgentId::Node(NodeId(1)),
+            AgentId::User(UserId(0)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                AgentId::Node(NodeId(1)),
+                AgentId::Node(NodeId(9)),
+                AgentId::User(UserId(0)),
+                AgentId::User(UserId(1)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Fragments and the fragment catalog.
+//!
+//! §3.1: *"The entire database is logically divided into k non-overlapping
+//! subsets called fragments."* The [`FragmentCatalog`] is the authoritative
+//! object→fragment mapping; it validates disjointness at construction and
+//! answers the lookup every admission check needs (`fragment_of`).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::{FragmentId, ObjectId};
+
+/// One fragment: a named, disjoint set of data objects.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Identifier, dense from 0.
+    pub id: FragmentId,
+    /// Human-readable name, e.g. `"BALANCES"` or `"ACTIVITY(0001)"`.
+    pub name: String,
+    /// Objects contained in this fragment, sorted.
+    pub objects: Vec<ObjectId>,
+}
+
+impl Fragment {
+    /// Construct a fragment; objects are sorted and deduplicated.
+    pub fn new(id: FragmentId, name: impl Into<String>, mut objects: Vec<ObjectId>) -> Self {
+        objects.sort_unstable();
+        objects.dedup();
+        Fragment {
+            id,
+            name: name.into(),
+            objects,
+        }
+    }
+
+    /// Does this fragment contain `object`?
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.objects.binary_search(&object).is_ok()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the fragment has no objects (legal: §4.2's central fragment
+    /// could start empty).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// The validated set of all fragments: the database schema.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FragmentCatalog {
+    fragments: Vec<Fragment>,
+    object_to_fragment: BTreeMap<ObjectId, FragmentId>,
+}
+
+impl FragmentCatalog {
+    /// Build a catalog, checking that fragments are pairwise disjoint.
+    pub fn new(fragments: Vec<Fragment>) -> Result<Self, ModelError> {
+        let mut object_to_fragment = BTreeMap::new();
+        for frag in &fragments {
+            for &obj in &frag.objects {
+                if let Some(&prev) = object_to_fragment.get(&obj) {
+                    return Err(ModelError::OverlappingFragments {
+                        object: obj,
+                        first: prev,
+                        second: frag.id,
+                    });
+                }
+                object_to_fragment.insert(obj, frag.id);
+            }
+        }
+        Ok(FragmentCatalog {
+            fragments,
+            object_to_fragment,
+        })
+    }
+
+    /// Incremental builder for workload setup code.
+    pub fn builder() -> FragmentCatalogBuilder {
+        FragmentCatalogBuilder::default()
+    }
+
+    /// The fragment containing `object`.
+    pub fn fragment_of(&self, object: ObjectId) -> Result<FragmentId, ModelError> {
+        self.object_to_fragment
+            .get(&object)
+            .copied()
+            .ok_or(ModelError::UnknownObject(object))
+    }
+
+    /// Fragment metadata by id.
+    pub fn fragment(&self, id: FragmentId) -> Result<&Fragment, ModelError> {
+        self.fragments
+            .iter()
+            .find(|f| f.id == id)
+            .ok_or(ModelError::UnknownFragment(id))
+    }
+
+    /// All fragments.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// Number of fragments (`k` in the paper).
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// True if no fragments are declared.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// Every object in the database, in id order.
+    pub fn all_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.object_to_fragment.keys().copied()
+    }
+
+    /// Total number of objects across all fragments.
+    pub fn object_count(&self) -> usize {
+        self.object_to_fragment.len()
+    }
+}
+
+/// Builder that allocates fragment ids densely and object ids on demand.
+#[derive(Debug, Default)]
+pub struct FragmentCatalogBuilder {
+    fragments: Vec<Fragment>,
+    next_object: u64,
+}
+
+impl FragmentCatalogBuilder {
+    /// Add a fragment with `n_objects` freshly allocated objects. Returns
+    /// the new fragment id and the allocated object ids.
+    pub fn add_fragment(
+        &mut self,
+        name: impl Into<String>,
+        n_objects: usize,
+    ) -> (FragmentId, Vec<ObjectId>) {
+        let id = FragmentId(self.fragments.len() as u32);
+        let objects: Vec<ObjectId> = (0..n_objects)
+            .map(|i| ObjectId(self.next_object + i as u64))
+            .collect();
+        self.next_object += n_objects as u64;
+        self.fragments.push(Fragment::new(id, name, objects.clone()));
+        (id, objects)
+    }
+
+    /// Finish building. Cannot fail: the builder allocates disjoint ids by
+    /// construction, but we still run the validating constructor as a
+    /// defense in depth.
+    pub fn build(self) -> FragmentCatalog {
+        FragmentCatalog::new(self.fragments)
+            .expect("builder allocates disjoint object ids by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+
+    #[test]
+    fn catalog_maps_objects_to_fragments() {
+        let cat = FragmentCatalog::new(vec![
+            Fragment::new(FragmentId(0), "A", vec![obj(0), obj(1)]),
+            Fragment::new(FragmentId(1), "B", vec![obj(2)]),
+        ])
+        .unwrap();
+        assert_eq!(cat.fragment_of(obj(0)).unwrap(), FragmentId(0));
+        assert_eq!(cat.fragment_of(obj(2)).unwrap(), FragmentId(1));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.object_count(), 3);
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let err = FragmentCatalog::new(vec![
+            Fragment::new(FragmentId(0), "A", vec![obj(0)]),
+            Fragment::new(FragmentId(1), "B", vec![obj(0)]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ModelError::OverlappingFragments { .. }));
+    }
+
+    #[test]
+    fn unknown_object_is_reported() {
+        let cat = FragmentCatalog::new(vec![]).unwrap();
+        assert_eq!(
+            cat.fragment_of(obj(5)).unwrap_err(),
+            ModelError::UnknownObject(obj(5))
+        );
+    }
+
+    #[test]
+    fn unknown_fragment_is_reported() {
+        let cat = FragmentCatalog::new(vec![]).unwrap();
+        assert_eq!(
+            cat.fragment(FragmentId(9)).unwrap_err(),
+            ModelError::UnknownFragment(FragmentId(9))
+        );
+    }
+
+    #[test]
+    fn fragment_contains_uses_sorted_lookup() {
+        let f = Fragment::new(FragmentId(0), "A", vec![obj(5), obj(1), obj(3), obj(1)]);
+        assert_eq!(f.len(), 3); // deduped
+        assert!(f.contains(obj(3)));
+        assert!(!f.contains(obj(2)));
+    }
+
+    #[test]
+    fn empty_fragment_is_legal() {
+        let f = Fragment::new(FragmentId(0), "C", vec![]);
+        assert!(f.is_empty());
+        let cat = FragmentCatalog::new(vec![f]).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.object_count(), 0);
+    }
+
+    #[test]
+    fn builder_allocates_dense_ids() {
+        let mut b = FragmentCatalog::builder();
+        let (f0, objs0) = b.add_fragment("BALANCES", 2);
+        let (f1, objs1) = b.add_fragment("ACTIVITY(1)", 3);
+        assert_eq!(f0, FragmentId(0));
+        assert_eq!(f1, FragmentId(1));
+        assert_eq!(objs0, vec![obj(0), obj(1)]);
+        assert_eq!(objs1, vec![obj(2), obj(3), obj(4)]);
+        let cat = b.build();
+        assert_eq!(cat.fragment_of(obj(4)).unwrap(), f1);
+        assert_eq!(cat.fragment(f0).unwrap().name, "BALANCES");
+    }
+
+    #[test]
+    fn all_objects_iterates_in_order() {
+        let mut b = FragmentCatalog::builder();
+        b.add_fragment("A", 2);
+        b.add_fragment("B", 2);
+        let cat = b.build();
+        let objs: Vec<ObjectId> = cat.all_objects().collect();
+        assert_eq!(objs, vec![obj(0), obj(1), obj(2), obj(3)]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Executed histories.
+//!
+//! The Appendix's graph constructions (global and local serialization
+//! graphs, Definitions 8.2/8.3) are defined over *what actually happened*:
+//! which transaction read or wrote which object, at which node, and — for
+//! propagated updates — when each update was *installed* in each remote
+//! copy. [`History`] is that record.
+//!
+//! Every op gets a globally monotone sequence number when recorded. Within
+//! one node the sequence order is the node's local-schedule order; across
+//! nodes it is the (deterministic) simulation event order. The graph
+//! builders only ever compare sequence numbers of ops *at the same node on
+//! the same object*, which is exactly the order the paper's definitions
+//! need.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fragdb_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FragmentId, NodeId, ObjectId, TxnId};
+use crate::txn::OpKind;
+
+/// Type of a transaction in the sense of Definition 8.1: the fragment whose
+/// agent initiated it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TxnType {
+    /// An update transaction on the given fragment.
+    Update(FragmentId),
+    /// A read-only transaction initiated by the given fragment's agent.
+    ReadOnly(FragmentId),
+}
+
+impl TxnType {
+    /// The initiating agent's fragment (`tp(T)` in Definition 8.1).
+    pub fn fragment(self) -> FragmentId {
+        match self {
+            TxnType::Update(f) | TxnType::ReadOnly(f) => f,
+        }
+    }
+
+    /// True for update transactions.
+    pub fn is_update(self) -> bool {
+        matches!(self, TxnType::Update(_))
+    }
+}
+
+/// One recorded atomic action.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryOp {
+    /// Node at which the action physically took place.
+    pub node: NodeId,
+    /// The transaction the action belongs to. For an installed update this
+    /// is the *originating* transaction's id, even though the install runs
+    /// at a remote node as part of a quasi-transaction.
+    pub txn: TxnId,
+    /// Type of the owning transaction (Definition 8.1).
+    pub ttype: TxnType,
+    /// Read or write.
+    pub kind: OpKind,
+    /// The object acted on.
+    pub object: ObjectId,
+    /// Virtual time of the action.
+    pub at: SimTime,
+    /// Globally monotone recording sequence (total order, ties impossible).
+    pub seq: u64,
+    /// `true` when this write is the installation of a propagated update at
+    /// a node other than the transaction's home.
+    pub is_install: bool,
+}
+
+/// The executed history of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    ops: Vec<HistoryOp>,
+    next_seq: u64,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Record an action performed by a transaction at its home node.
+    pub fn record_local(
+        &mut self,
+        node: NodeId,
+        txn: TxnId,
+        ttype: TxnType,
+        kind: OpKind,
+        object: ObjectId,
+        at: SimTime,
+    ) -> u64 {
+        self.push(HistoryOp {
+            node,
+            txn,
+            ttype,
+            kind,
+            object,
+            at,
+            seq: 0,
+            is_install: false,
+        })
+    }
+
+    /// Record the installation of a propagated update at a remote node.
+    pub fn record_install(
+        &mut self,
+        node: NodeId,
+        txn: TxnId,
+        ttype: TxnType,
+        object: ObjectId,
+        at: SimTime,
+    ) -> u64 {
+        self.push(HistoryOp {
+            node,
+            txn,
+            ttype,
+            kind: OpKind::Write,
+            object,
+            at,
+            seq: 0,
+            is_install: true,
+        })
+    }
+
+    fn push(&mut self, mut op: HistoryOp) -> u64 {
+        op.seq = self.next_seq;
+        self.next_seq += 1;
+        let seq = op.seq;
+        self.ops.push(op);
+        seq
+    }
+
+    /// All ops in recording order.
+    pub fn ops(&self) -> &[HistoryOp] {
+        &self.ops
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Distinct transactions appearing in the history, with their types.
+    ///
+    /// A transaction appears with one consistent type; if a bug recorded two
+    /// types the first wins and downstream checkers will surface the
+    /// inconsistency.
+    pub fn transactions(&self) -> BTreeMap<TxnId, TxnType> {
+        let mut out = BTreeMap::new();
+        for op in &self.ops {
+            out.entry(op.txn).or_insert(op.ttype);
+        }
+        out
+    }
+
+    /// Ops that happened at `node`, in sequence order (recording order is
+    /// already per-node chronological).
+    pub fn ops_at(&self, node: NodeId) -> impl Iterator<Item = &HistoryOp> {
+        self.ops.iter().filter(move |op| op.node == node)
+    }
+
+    /// Ops at `node` touching `object`, in sequence order.
+    pub fn ops_at_on(&self, node: NodeId, object: ObjectId) -> Vec<&HistoryOp> {
+        self.ops
+            .iter()
+            .filter(|op| op.node == node && op.object == object)
+            .collect()
+    }
+
+    /// The set of objects mentioned anywhere.
+    pub fn objects(&self) -> BTreeSet<ObjectId> {
+        self.ops.iter().map(|op| op.object).collect()
+    }
+
+    /// The set of nodes mentioned anywhere.
+    pub fn nodes(&self) -> BTreeSet<NodeId> {
+        self.ops.iter().map(|op| op.node).collect()
+    }
+
+    /// Restrict to ops of transactions satisfying `pred` (used for the
+    /// `U(F_i)` projections of §4.3's Property 1).
+    pub fn filter_txns(&self, mut pred: impl FnMut(TxnId, TxnType) -> bool) -> History {
+        History {
+            ops: self
+                .ops
+                .iter()
+                .filter(|op| pred(op.txn, op.ttype))
+                .cloned()
+                .collect(),
+            next_seq: self.next_seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> TxnId {
+        TxnId::new(NodeId(0), i)
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut h = History::new();
+        let s1 = h.record_local(
+            NodeId(0),
+            t(0),
+            TxnType::Update(FragmentId(0)),
+            OpKind::Read,
+            ObjectId(1),
+            SimTime(5),
+        );
+        let s2 = h.record_install(
+            NodeId(1),
+            t(0),
+            TxnType::Update(FragmentId(0)),
+            ObjectId(1),
+            SimTime(9),
+        );
+        assert!(s2 > s1);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn installs_are_writes() {
+        let mut h = History::new();
+        h.record_install(
+            NodeId(1),
+            t(0),
+            TxnType::Update(FragmentId(0)),
+            ObjectId(0),
+            SimTime(1),
+        );
+        let op = &h.ops()[0];
+        assert_eq!(op.kind, OpKind::Write);
+        assert!(op.is_install);
+    }
+
+    #[test]
+    fn transactions_collects_types() {
+        let mut h = History::new();
+        h.record_local(
+            NodeId(0),
+            t(0),
+            TxnType::Update(FragmentId(0)),
+            OpKind::Write,
+            ObjectId(0),
+            SimTime(1),
+        );
+        h.record_local(
+            NodeId(0),
+            t(1),
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(0),
+            SimTime(2),
+        );
+        let txns = h.transactions();
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[&t(0)], TxnType::Update(FragmentId(0)));
+        assert_eq!(txns[&t(1)], TxnType::ReadOnly(FragmentId(1)));
+    }
+
+    #[test]
+    fn per_node_per_object_filtering() {
+        let mut h = History::new();
+        for (node, obj) in [(0u32, 0u64), (0, 1), (1, 0), (0, 0)] {
+            h.record_local(
+                NodeId(node),
+                t(obj),
+                TxnType::Update(FragmentId(0)),
+                OpKind::Write,
+                ObjectId(obj),
+                SimTime(1),
+            );
+        }
+        assert_eq!(h.ops_at(NodeId(0)).count(), 3);
+        assert_eq!(h.ops_at_on(NodeId(0), ObjectId(0)).len(), 2);
+        assert_eq!(h.ops_at_on(NodeId(1), ObjectId(1)).len(), 0);
+    }
+
+    #[test]
+    fn objects_and_nodes_sets() {
+        let mut h = History::new();
+        h.record_local(
+            NodeId(2),
+            t(0),
+            TxnType::Update(FragmentId(0)),
+            OpKind::Write,
+            ObjectId(7),
+            SimTime(1),
+        );
+        assert_eq!(h.objects().into_iter().collect::<Vec<_>>(), vec![ObjectId(7)]);
+        assert_eq!(h.nodes().into_iter().collect::<Vec<_>>(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn filter_txns_projects() {
+        let mut h = History::new();
+        h.record_local(
+            NodeId(0),
+            t(0),
+            TxnType::Update(FragmentId(0)),
+            OpKind::Write,
+            ObjectId(0),
+            SimTime(1),
+        );
+        h.record_local(
+            NodeId(0),
+            t(1),
+            TxnType::Update(FragmentId(1)),
+            OpKind::Write,
+            ObjectId(1),
+            SimTime(2),
+        );
+        let only_f0 = h.filter_txns(|_, ty| ty.fragment() == FragmentId(0));
+        assert_eq!(only_f0.len(), 1);
+        assert_eq!(only_f0.ops()[0].txn, t(0));
+    }
+
+    #[test]
+    fn txn_type_accessors() {
+        assert_eq!(TxnType::Update(FragmentId(3)).fragment(), FragmentId(3));
+        assert_eq!(TxnType::ReadOnly(FragmentId(2)).fragment(), FragmentId(2));
+        assert!(TxnType::Update(FragmentId(0)).is_update());
+        assert!(!TxnType::ReadOnly(FragmentId(0)).is_update());
+    }
+}

@@ -1,0 +1,181 @@
+//! Dynamic values stored in data objects.
+//!
+//! The paper's examples store account balances (money), activity records,
+//! seat counts, and booleans ("RECORDED: Y/N"). [`Value`] covers those with
+//! exact integer arithmetic — money is modeled in integer cents so balance
+//! predicates are exact, never floating point.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// A value held by one data object replica.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Value {
+    /// Absent / never written.
+    #[default]
+    Null,
+    /// Signed integer (counts, sequence numbers, money in cents).
+    Int(i64),
+    /// Boolean flag (e.g. a RECORDED(i) entry).
+    Bool(bool),
+    /// Free text (e.g. a letter of notification, an activity record tag).
+    Text(String),
+}
+
+impl Value {
+    /// Interpret as integer.
+    pub fn as_int(&self) -> Result<i64, ModelError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(ModelError::TypeMismatch {
+                expected: "Int",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Interpret as integer, mapping `Null` to a default (objects start
+    /// `Null` before their first write; workloads treat that as zero).
+    pub fn as_int_or(&self, default: i64) -> Result<i64, ModelError> {
+        match self {
+            Value::Null => Ok(default),
+            other => other.as_int(),
+        }
+    }
+
+    /// Interpret as boolean.
+    pub fn as_bool(&self) -> Result<bool, ModelError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ModelError::TypeMismatch {
+                expected: "Bool",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Interpret as text.
+    pub fn as_text(&self) -> Result<&str, ModelError> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(ModelError::TypeMismatch {
+                expected: "Text",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// True if this value has never been written.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Static name of the variant, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int(_) => "Int",
+            Value::Bool(_) => "Bool",
+            Value::Text(_) => "Text",
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        let v = Value::from(-250i64);
+        assert_eq!(v.as_int().unwrap(), -250);
+        assert!(!v.is_null());
+    }
+
+    #[test]
+    fn null_defaults() {
+        let v = Value::Null;
+        assert!(v.is_null());
+        assert_eq!(v.as_int_or(0).unwrap(), 0);
+        assert!(v.as_int().is_err());
+    }
+
+    #[test]
+    fn as_int_or_rejects_wrong_type() {
+        let v = Value::from(true);
+        assert!(v.as_int_or(0).is_err());
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert!(Value::from(true).as_bool().unwrap());
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = Value::from("overdraft letter");
+        assert_eq!(v.as_text().unwrap(), "overdraft letter");
+        assert!(Value::Null.as_text().is_err());
+    }
+
+    #[test]
+    fn type_mismatch_error_names_types() {
+        let err = Value::from(true).as_int().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Int") && msg.contains("Bool"), "{msg}");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+    }
+}

@@ -1,0 +1,235 @@
+//! Reliable FIFO broadcast (§3.2).
+//!
+//! The paper requires a broadcast mechanism in which
+//!
+//! 1. all messages are eventually delivered, and
+//! 2. messages broadcast by one node are *processed* at all other nodes in
+//!    the order they were sent.
+//!
+//! (1) is provided by the store-and-forward [`Transport`]. (2) is enforced
+//! here: every broadcast carries a per-sender sequence number, and each
+//! receiver keeps a **hold-back queue** per sender, releasing messages to
+//! the application strictly in sequence order. Duplicates (possible under
+//! retransmission schemes) are dropped.
+//!
+//! The layer is transport-agnostic: [`BroadcastLayer::stamp`] allocates the
+//! sequence number, the caller fans the stamped message out over whatever
+//! channel it likes, and [`BroadcastLayer::accept`] runs the hold-back
+//! logic at the receiver.
+//!
+//! [`Transport`]: crate::transport::Transport
+
+use std::collections::BTreeMap;
+
+use fragdb_model::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A stamped broadcast message, ready to fan out.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BcastMsg<M> {
+    /// Broadcasting node.
+    pub from: NodeId,
+    /// Per-sender sequence number, dense from 0.
+    pub seq: u64,
+    /// Application payload.
+    pub payload: M,
+}
+
+/// Per-sender stamping and per-receiver FIFO hold-back state.
+#[derive(Clone, Debug, Default)]
+pub struct BroadcastLayer<M> {
+    /// Next sequence number to assign, per sender.
+    next_seq: BTreeMap<NodeId, u64>,
+    /// Next sequence number to assign, per `(sender, receiver)` pair.
+    pair_seq: BTreeMap<(NodeId, NodeId), u64>,
+    /// Next sequence expected, per `(receiver, sender)`.
+    next_expected: BTreeMap<(NodeId, NodeId), u64>,
+    /// Out-of-order arrivals awaiting their predecessors, per
+    /// `(receiver, sender)`, keyed by sequence number.
+    holdback: BTreeMap<(NodeId, NodeId), BTreeMap<u64, M>>,
+    /// Duplicate messages dropped.
+    duplicates: u64,
+}
+
+impl<M> BroadcastLayer<M> {
+    /// Fresh layer with no history.
+    pub fn new() -> Self {
+        BroadcastLayer {
+            next_seq: BTreeMap::new(),
+            pair_seq: BTreeMap::new(),
+            next_expected: BTreeMap::new(),
+            holdback: BTreeMap::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Allocate the next sequence number for a broadcast by `from`,
+    /// shared by every receiver. Use only when the message goes to ALL
+    /// other nodes; for subset fan-out (partial replication) use
+    /// [`BroadcastLayer::stamp_for`], or the skipped receivers' hold-back
+    /// queues will stall forever waiting for sequence numbers they never
+    /// get.
+    pub fn stamp(&mut self, from: NodeId) -> u64 {
+        let seq = self.next_seq.entry(from).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    /// Allocate the next sequence number for the ordered pair
+    /// `(from, to)`. Receivers key their hold-back by `(receiver, sender)`,
+    /// so per-pair streams deliver the same per-sender FIFO guarantee while
+    /// allowing each message to go to any subset of receivers.
+    pub fn stamp_for(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let seq = self.pair_seq.entry((from, to)).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    /// Sequence number the next `stamp(from)` would return.
+    pub fn peek_seq(&self, from: NodeId) -> u64 {
+        self.next_seq.get(&from).copied().unwrap_or(0)
+    }
+
+    /// Process an arrival of `(sender, seq, payload)` at `receiver`.
+    ///
+    /// Returns the messages now processable at `receiver` from `sender`, in
+    /// strict sequence order. The arrival itself is included when it is the
+    /// next expected one; otherwise it is held back and an empty vec is
+    /// returned. Duplicates are dropped.
+    pub fn accept(
+        &mut self,
+        receiver: NodeId,
+        sender: NodeId,
+        seq: u64,
+        payload: M,
+    ) -> Vec<(u64, M)> {
+        let key = (receiver, sender);
+        let expected = self.next_expected.entry(key).or_insert(0);
+        if seq < *expected {
+            self.duplicates += 1;
+            return Vec::new();
+        }
+        let slot = self.holdback.entry(key).or_default();
+        if slot.insert(seq, payload).is_some() {
+            // Same seq already waiting: duplicate; the newer copy replaced
+            // the older identical one, which is harmless.
+            self.duplicates += 1;
+        }
+        let mut ready = Vec::new();
+        while let Some(msg) = slot.remove(expected) {
+            ready.push((*expected, msg));
+            *expected += 1;
+        }
+        ready
+    }
+
+    /// Number of messages held back across all `(receiver, sender)` pairs.
+    pub fn held_back(&self) -> usize {
+        self.holdback.values().map(BTreeMap::len).sum()
+    }
+
+    /// Messages held back at `receiver` from `sender`.
+    pub fn held_back_for(&self, receiver: NodeId, sender: NodeId) -> usize {
+        self.holdback
+            .get(&(receiver, sender))
+            .map_or(0, BTreeMap::len)
+    }
+
+    /// Next sequence `receiver` expects from `sender`.
+    pub fn expected(&self, receiver: NodeId, sender: NodeId) -> u64 {
+        self.next_expected
+            .get(&(receiver, sender))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Count of dropped duplicates.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn stamp_is_dense_per_sender() {
+        let mut b: BroadcastLayer<&str> = BroadcastLayer::new();
+        assert_eq!(b.stamp(n(0)), 0);
+        assert_eq!(b.stamp(n(0)), 1);
+        assert_eq!(b.stamp(n(1)), 0);
+        assert_eq!(b.peek_seq(n(0)), 2);
+        assert_eq!(b.peek_seq(n(2)), 0);
+    }
+
+    #[test]
+    fn in_order_arrivals_release_immediately() {
+        let mut b = BroadcastLayer::new();
+        assert_eq!(b.accept(n(1), n(0), 0, "a"), vec![(0, "a")]);
+        assert_eq!(b.accept(n(1), n(0), 1, "b"), vec![(1, "b")]);
+        assert_eq!(b.expected(n(1), n(0)), 2);
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_held_back() {
+        let mut b = BroadcastLayer::new();
+        assert!(b.accept(n(1), n(0), 2, "c").is_empty());
+        assert!(b.accept(n(1), n(0), 1, "b").is_empty());
+        assert_eq!(b.held_back_for(n(1), n(0)), 2);
+        // Seq 0 arrives: the whole prefix is released, in order.
+        assert_eq!(
+            b.accept(n(1), n(0), 0, "a"),
+            vec![(0, "a"), (1, "b"), (2, "c")]
+        );
+        assert_eq!(b.held_back(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut b = BroadcastLayer::new();
+        b.accept(n(1), n(0), 0, "a");
+        assert!(b.accept(n(1), n(0), 0, "a").is_empty());
+        assert_eq!(b.duplicates(), 1);
+        // Duplicate of a held-back message.
+        b.accept(n(1), n(0), 5, "f");
+        b.accept(n(1), n(0), 5, "f");
+        assert_eq!(b.duplicates(), 2);
+        assert_eq!(b.held_back_for(n(1), n(0)), 1);
+    }
+
+    #[test]
+    fn per_sender_streams_are_independent() {
+        let mut b = BroadcastLayer::new();
+        assert!(b.accept(n(2), n(0), 1, "x").is_empty());
+        // A different sender's seq 0 is unaffected by sender 0's gap.
+        assert_eq!(b.accept(n(2), n(1), 0, "y"), vec![(0, "y")]);
+    }
+
+    #[test]
+    fn per_receiver_streams_are_independent() {
+        let mut b = BroadcastLayer::new();
+        assert_eq!(b.accept(n(1), n(0), 0, "a"), vec![(0, "a")]);
+        // Receiver 2 hasn't seen seq 0 yet.
+        assert!(b.accept(n(2), n(0), 1, "b").is_empty());
+        assert_eq!(b.accept(n(2), n(0), 0, "a"), vec![(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn large_gap_then_fill() {
+        let mut b = BroadcastLayer::new();
+        for seq in (1..100u64).rev() {
+            assert!(b.accept(n(1), n(0), seq, seq).is_empty());
+        }
+        let released = b.accept(n(1), n(0), 0, 0);
+        assert_eq!(released.len(), 100);
+        let seqs: Vec<u64> = released.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..100).collect::<Vec<_>>());
+    }
+}

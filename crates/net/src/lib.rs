@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Simulated communication substrate.
+//!
+//! §3.1 assumes "a point-to-point communication network of arbitrary
+//! topology"; §3.2 requires a **reliable broadcast mechanism** in which
+//! (1) all messages are eventually delivered and (2) messages broadcast by
+//! one node are processed at every other node in the order sent. This crate
+//! provides both, on top of the deterministic simulation kernel:
+//!
+//! * [`topology`] — the static link graph with per-link delays.
+//! * [`linkstate`] — which links are currently severed.
+//! * [`partition`] — timed schedules of partition/heal events.
+//! * [`transport`] — store-and-forward point-to-point delivery: a message
+//!   is delivered (after shortest-path delay) iff sender and receiver are
+//!   in the same connected component; otherwise it waits in the sender's
+//!   outbox and is released, in order, when connectivity returns. This is
+//!   the standard model of a routed network with retransmission.
+//! * [`broadcast`] — per-sender sequence numbers plus per-receiver
+//!   hold-back queues, yielding exactly the paper's two requirements even
+//!   if the transport were to reorder.
+//!
+//! The crate is engine-agnostic: methods take the current [`SimTime`] and
+//! return `(deliver_at, Delivery)` pairs for the caller to schedule, so any
+//! event-loop owner (fragdb-core, the baselines, tests) can drive it.
+//!
+//! [`SimTime`]: fragdb_sim::SimTime
+
+pub mod broadcast;
+pub mod linkstate;
+pub mod partition;
+pub mod topology;
+pub mod transport;
+
+pub use broadcast::{BcastMsg, BroadcastLayer};
+pub use linkstate::LinkState;
+pub use partition::{NetworkChange, PartitionSchedule};
+pub use topology::Topology;
+pub use transport::{Delivery, Transport, TransportStats};

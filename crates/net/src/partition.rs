@@ -1,0 +1,192 @@
+//! Timed partition schedules.
+//!
+//! Experiments describe network failures declaratively: "at t=10s, split
+//! {A} from {B, C}; at t=60s, heal". A [`PartitionSchedule`] is that list,
+//! sorted by time; the simulation driver pops changes as the clock passes
+//! them and applies them to the [`LinkState`].
+//!
+//! [`LinkState`]: crate::linkstate::LinkState
+
+use fragdb_model::NodeId;
+use fragdb_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::linkstate::LinkState;
+
+/// One network mutation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkChange {
+    /// Sever one link.
+    LinkDown(NodeId, NodeId),
+    /// Restore one link.
+    LinkUp(NodeId, NodeId),
+    /// Sever all links crossing between the listed groups.
+    Split(Vec<Vec<NodeId>>),
+    /// Restore every link.
+    HealAll,
+}
+
+impl NetworkChange {
+    /// Apply this change to a link state.
+    pub fn apply(&self, state: &mut LinkState) {
+        match self {
+            NetworkChange::LinkDown(a, b) => {
+                state.fail(*a, *b);
+            }
+            NetworkChange::LinkUp(a, b) => {
+                state.heal(*a, *b);
+            }
+            NetworkChange::Split(groups) => state.split(groups),
+            NetworkChange::HealAll => state.heal_all(),
+        }
+    }
+}
+
+/// A time-ordered list of network changes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSchedule {
+    /// `(when, what)` pairs, kept sorted by time (stable for equal times).
+    events: Vec<(SimTime, NetworkChange)>,
+}
+
+impl PartitionSchedule {
+    /// A schedule with no failures: the network stays fully connected.
+    pub fn none() -> Self {
+        PartitionSchedule::default()
+    }
+
+    /// Add a change at an absolute time.
+    pub fn at(mut self, when: SimTime, change: NetworkChange) -> Self {
+        self.events.push((when, change));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Convenience: split into `groups` during `[from, until)`, then heal.
+    pub fn split_between(self, from: SimTime, until: SimTime, groups: Vec<Vec<NodeId>>) -> Self {
+        assert!(from < until, "partition must end after it begins");
+        self.at(from, NetworkChange::Split(groups))
+            .at(until, NetworkChange::HealAll)
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[(SimTime, NetworkChange)] {
+        &self.events
+    }
+
+    /// Number of scheduled changes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total virtual time during which at least one partition is in effect,
+    /// assuming alternating `Split`/`HealAll` pairs (the common scenario
+    /// shape). Used by availability reports.
+    pub fn disrupted_time(&self, horizon: SimTime) -> fragdb_sim::SimDuration {
+        let mut total = fragdb_sim::SimDuration::ZERO;
+        let mut open: Option<SimTime> = None;
+        for (t, change) in &self.events {
+            match change {
+                NetworkChange::Split(_) | NetworkChange::LinkDown(_, _) => {
+                    if open.is_none() {
+                        open = Some(*t);
+                    }
+                }
+                NetworkChange::HealAll | NetworkChange::LinkUp(_, _) => {
+                    if let Some(start) = open.take() {
+                        total += *t - start;
+                    }
+                }
+            }
+        }
+        if let Some(start) = open {
+            total += horizon - start;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_sim::SimDuration;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn events_stay_sorted() {
+        let s = PartitionSchedule::none()
+            .at(secs(10), NetworkChange::HealAll)
+            .at(secs(5), NetworkChange::LinkDown(n(0), n(1)))
+            .at(secs(7), NetworkChange::LinkUp(n(0), n(1)));
+        let times: Vec<u64> = s.events().iter().map(|(t, _)| t.micros()).collect();
+        assert_eq!(times, vec![5_000_000, 7_000_000, 10_000_000]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn split_between_creates_pair() {
+        let s = PartitionSchedule::none().split_between(
+            secs(10),
+            secs(20),
+            vec![vec![n(0)], vec![n(1)]],
+        );
+        assert_eq!(s.len(), 2);
+        assert!(matches!(s.events()[0].1, NetworkChange::Split(_)));
+        assert!(matches!(s.events()[1].1, NetworkChange::HealAll));
+    }
+
+    #[test]
+    #[should_panic(expected = "must end after")]
+    fn inverted_split_panics() {
+        PartitionSchedule::none().split_between(secs(20), secs(10), vec![]);
+    }
+
+    #[test]
+    fn apply_changes_mutates_state() {
+        let mut state = LinkState::all_up();
+        NetworkChange::Split(vec![vec![n(0)], vec![n(1)]]).apply(&mut state);
+        assert!(state.is_down(n(0), n(1)));
+        NetworkChange::LinkUp(n(0), n(1)).apply(&mut state);
+        assert!(state.is_fully_up());
+        NetworkChange::LinkDown(n(2), n(3)).apply(&mut state);
+        assert!(state.is_down(n(2), n(3)));
+        NetworkChange::HealAll.apply(&mut state);
+        assert!(state.is_fully_up());
+    }
+
+    #[test]
+    fn disrupted_time_sums_intervals() {
+        let s = PartitionSchedule::none()
+            .split_between(secs(10), secs(20), vec![vec![n(0)], vec![n(1)]])
+            .split_between(secs(30), secs(35), vec![vec![n(0)], vec![n(1)]]);
+        assert_eq!(s.disrupted_time(secs(100)), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn disrupted_time_open_interval_runs_to_horizon() {
+        let s = PartitionSchedule::none().at(
+            secs(90),
+            NetworkChange::Split(vec![vec![n(0)], vec![n(1)]]),
+        );
+        assert_eq!(s.disrupted_time(secs(100)), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = PartitionSchedule::none();
+        assert!(s.is_empty());
+        assert_eq!(s.disrupted_time(secs(100)), SimDuration::ZERO);
+    }
+}

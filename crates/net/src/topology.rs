@@ -1,0 +1,309 @@
+//! Static network topology: nodes, undirected links, per-link delays.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+use fragdb_sim::SimDuration;
+use fragdb_model::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::linkstate::LinkState;
+
+/// Canonical (smaller, larger) ordering for an undirected link.
+pub(crate) fn canon(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The static link graph. Which links are *currently up* is tracked
+/// separately in [`LinkState`] so one topology can be shared across
+/// scenarios.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    n: u32,
+    /// Undirected links with their one-way delay.
+    links: BTreeMap<(NodeId, NodeId), SimDuration>,
+    /// Adjacency lists, kept in sync with `links`.
+    adj: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl Topology {
+    /// An edgeless topology of `n` nodes (ids `0..n`).
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "a network needs at least one node");
+        Topology {
+            n,
+            links: BTreeMap::new(),
+            adj: (0..n).map(|i| (NodeId(i), Vec::new())).collect(),
+        }
+    }
+
+    /// Complete graph with uniform link delay.
+    pub fn full_mesh(n: u32, delay: SimDuration) -> Self {
+        let mut t = Topology::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                t.add_link(NodeId(a), NodeId(b), delay);
+            }
+        }
+        t
+    }
+
+    /// Ring topology with uniform link delay.
+    pub fn ring(n: u32, delay: SimDuration) -> Self {
+        let mut t = Topology::new(n);
+        if n > 1 {
+            for a in 0..n {
+                t.add_link(NodeId(a), NodeId((a + 1) % n), delay);
+            }
+        }
+        t
+    }
+
+    /// Star centered on node 0 with uniform link delay.
+    pub fn star(n: u32, delay: SimDuration) -> Self {
+        let mut t = Topology::new(n);
+        for b in 1..n {
+            t.add_link(NodeId(0), NodeId(b), delay);
+        }
+        t
+    }
+
+    /// Line (path) topology 0–1–…–(n-1) with uniform link delay.
+    pub fn line(n: u32, delay: SimDuration) -> Self {
+        let mut t = Topology::new(n);
+        for a in 1..n {
+            t.add_link(NodeId(a - 1), NodeId(a), delay);
+        }
+        t
+    }
+
+    /// Add (or replace) an undirected link.
+    ///
+    /// # Panics
+    /// Panics on self-links or out-of-range node ids.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, delay: SimDuration) {
+        assert!(a != b, "self-links are meaningless");
+        assert!(a.0 < self.n && b.0 < self.n, "node id out of range");
+        let key = canon(a, b);
+        if self.links.insert(key, delay).is_none() {
+            self.adj.get_mut(&a).expect("node exists").push(b);
+            self.adj.get_mut(&b).expect("node exists").push(a);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId)
+    }
+
+    /// All links as `((a, b), delay)` with `a < b`.
+    pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), SimDuration)> + '_ {
+        self.links.iter().map(|(&k, &d)| (k, d))
+    }
+
+    /// Does a (static) link exist between `a` and `b`?
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.contains_key(&canon(a, b))
+    }
+
+    /// Delay of the direct link `a`–`b`, if one exists.
+    pub fn link_delay(&self, a: NodeId, b: NodeId) -> Option<SimDuration> {
+        self.links.get(&canon(a, b)).copied()
+    }
+
+    /// Neighbors of `node` over *static* links.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        self.adj.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Shortest-path delay from `from` to `to` over links that are up,
+    /// or `None` if they are disconnected. Dijkstra over link delays.
+    pub fn path_delay(&self, from: NodeId, to: NodeId, state: &LinkState) -> Option<SimDuration> {
+        if from == to {
+            return Some(SimDuration::ZERO);
+        }
+        let mut dist: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push(std::cmp::Reverse((0, from)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if u == to {
+                return Some(SimDuration(d));
+            }
+            if dist.get(&u).is_some_and(|&best| d > best) {
+                continue;
+            }
+            for &v in self.neighbors(u) {
+                if state.is_down(u, v) {
+                    continue;
+                }
+                let w = self.links[&canon(u, v)].micros();
+                let nd = d + w;
+                if dist.get(&v).is_none_or(|&best| nd < best) {
+                    dist.insert(v, nd);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Are `a` and `b` in the same connected component over up links?
+    pub fn connected(&self, a: NodeId, b: NodeId, state: &LinkState) -> bool {
+        self.path_delay(a, b, state).is_some()
+    }
+
+    /// Nodes reachable from `start` over up links (including `start`).
+    pub fn component_of(&self, start: NodeId, state: &LinkState) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if !state.is_down(u, v) && seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// All connected components (the current "partition groups"), each a
+    /// sorted node set, ordered by smallest member.
+    pub fn components(&self, state: &LinkState) -> Vec<BTreeSet<NodeId>> {
+        let mut out = Vec::new();
+        let mut assigned = BTreeSet::new();
+        for id in 0..self.n {
+            let node = NodeId(id);
+            if assigned.contains(&node) {
+                continue;
+            }
+            let comp = self.component_of(node, state);
+            assigned.extend(comp.iter().copied());
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn full_mesh_link_count() {
+        let t = Topology::full_mesh(5, ms(10));
+        assert_eq!(t.links().count(), 10);
+        assert_eq!(t.node_count(), 5);
+        assert!(t.has_link(NodeId(0), NodeId(4)));
+        assert!(t.has_link(NodeId(4), NodeId(0)), "links are undirected");
+    }
+
+    #[test]
+    fn ring_and_line_shapes() {
+        let ring = Topology::ring(4, ms(1));
+        assert_eq!(ring.links().count(), 4);
+        let line = Topology::line(4, ms(1));
+        assert_eq!(line.links().count(), 3);
+        assert!(!line.has_link(NodeId(0), NodeId(3)));
+        let star = Topology::star(4, ms(1));
+        assert_eq!(star.links().count(), 3);
+        assert_eq!(star.neighbors(NodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn single_node_topologies_have_no_links() {
+        assert_eq!(Topology::ring(1, ms(1)).links().count(), 0);
+        assert_eq!(Topology::full_mesh(1, ms(1)).links().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        Topology::new(2).add_link(NodeId(1), NodeId(1), ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_link_panics() {
+        Topology::new(2).add_link(NodeId(0), NodeId(5), ms(1));
+    }
+
+    #[test]
+    fn duplicate_link_updates_delay_without_duplicating_adjacency() {
+        let mut t = Topology::new(2);
+        t.add_link(NodeId(0), NodeId(1), ms(10));
+        t.add_link(NodeId(1), NodeId(0), ms(20));
+        assert_eq!(t.links().count(), 1);
+        assert_eq!(t.link_delay(NodeId(0), NodeId(1)), Some(ms(20)));
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn path_delay_direct_and_multihop() {
+        let t = Topology::line(3, ms(10));
+        let up = LinkState::all_up();
+        assert_eq!(t.path_delay(NodeId(0), NodeId(1), &up), Some(ms(10)));
+        assert_eq!(t.path_delay(NodeId(0), NodeId(2), &up), Some(ms(20)));
+        assert_eq!(t.path_delay(NodeId(1), NodeId(1), &up), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn path_delay_prefers_shortest() {
+        // Triangle with one slow edge: 0-2 direct is 50ms; 0-1-2 is 20ms.
+        let mut t = Topology::new(3);
+        t.add_link(NodeId(0), NodeId(1), ms(10));
+        t.add_link(NodeId(1), NodeId(2), ms(10));
+        t.add_link(NodeId(0), NodeId(2), ms(50));
+        let up = LinkState::all_up();
+        assert_eq!(t.path_delay(NodeId(0), NodeId(2), &up), Some(ms(20)));
+    }
+
+    #[test]
+    fn severed_link_forces_detour_or_disconnect() {
+        let mut t = Topology::new(3);
+        t.add_link(NodeId(0), NodeId(1), ms(10));
+        t.add_link(NodeId(1), NodeId(2), ms(10));
+        t.add_link(NodeId(0), NodeId(2), ms(50));
+        let mut state = LinkState::all_up();
+        state.fail(NodeId(0), NodeId(1));
+        assert_eq!(t.path_delay(NodeId(0), NodeId(1), &state), Some(ms(60)));
+        state.fail(NodeId(0), NodeId(2));
+        assert_eq!(t.path_delay(NodeId(0), NodeId(1), &state), None);
+        assert!(!t.connected(NodeId(0), NodeId(1), &state));
+    }
+
+    #[test]
+    fn components_reflect_partitions() {
+        let t = Topology::line(4, ms(1));
+        let mut state = LinkState::all_up();
+        assert_eq!(t.components(&state).len(), 1);
+        state.fail(NodeId(1), NodeId(2));
+        let comps = t.components(&state);
+        assert_eq!(comps.len(), 2);
+        assert!(comps[0].contains(&NodeId(0)) && comps[0].contains(&NodeId(1)));
+        assert!(comps[1].contains(&NodeId(2)) && comps[1].contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn component_of_includes_start() {
+        let t = Topology::new(3); // no links at all
+        let state = LinkState::all_up();
+        let comp = t.component_of(NodeId(1), &state);
+        assert_eq!(comp.into_iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(t.components(&state).len(), 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the network substrate: eventual delivery and FIFO
+//! under arbitrary link-flap/send interleavings.
+
+use proptest::prelude::*;
+
+use fragdb_model::NodeId;
+use fragdb_net::{NetworkChange, Topology, Transport};
+use fragdb_sim::{SimDuration, SimTime};
+
+/// One step of a randomized transport scenario.
+#[derive(Debug, Clone)]
+enum Step {
+    Send { from: u32, to: u32, tag: u64 },
+    LinkDown { a: u32, b: u32 },
+    LinkUp { a: u32, b: u32 },
+}
+
+fn step_strategy(n: u32) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..n, 0..n, any::<u64>()).prop_filter_map("no loopback", |(from, to, tag)| {
+            (from != to).then_some(Step::Send { from, to, tag })
+        }),
+        (0..n, 0..n).prop_filter_map("no self-link", |(a, b)| {
+            (a != b).then_some(Step::LinkDown { a, b })
+        }),
+        (0..n, 0..n).prop_filter_map("no self-link", |(a, b)| {
+            (a != b).then_some(Step::LinkUp { a, b })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the interleaving of sends and link flaps, once all links
+    /// heal every message is delivered exactly once, and per ordered pair
+    /// the delivery order equals the send order with strictly increasing
+    /// delivery times.
+    #[test]
+    fn transport_delivers_everything_after_heal(
+        steps in proptest::collection::vec(step_strategy(4), 1..80),
+    ) {
+        let mut transport: Transport<u64> =
+            Transport::new(Topology::full_mesh(4, SimDuration::from_millis(5)));
+        let mut now = SimTime::ZERO;
+        let mut sent: std::collections::BTreeMap<(NodeId, NodeId), Vec<u64>> = Default::default();
+        let mut delivered: Vec<(SimTime, NodeId, NodeId, u64)> = Vec::new();
+
+        for step in &steps {
+            now += SimDuration::from_millis(1);
+            match *step {
+                Step::Send { from, to, tag } => {
+                    let (f, t) = (NodeId(from), NodeId(to));
+                    sent.entry((f, t)).or_default().push(tag);
+                    if let Some((at, d)) = transport.send(now, f, t, tag) {
+                        delivered.push((at, d.from, d.to, d.msg));
+                    }
+                }
+                Step::LinkDown { a, b } => {
+                    let released =
+                        transport.apply_change(now, &NetworkChange::LinkDown(NodeId(a), NodeId(b)));
+                    for (at, d) in released {
+                        delivered.push((at, d.from, d.to, d.msg));
+                    }
+                }
+                Step::LinkUp { a, b } => {
+                    let released =
+                        transport.apply_change(now, &NetworkChange::LinkUp(NodeId(a), NodeId(b)));
+                    for (at, d) in released {
+                        delivered.push((at, d.from, d.to, d.msg));
+                    }
+                }
+            }
+        }
+        // Heal everything: all parked messages must be released.
+        now += SimDuration::from_millis(1);
+        for (at, d) in transport.apply_change(now, &NetworkChange::HealAll) {
+            delivered.push((at, d.from, d.to, d.msg));
+        }
+        prop_assert_eq!(transport.queued_count(), 0, "nothing may stay parked");
+
+        // Exactly-once, order-preserving per pair.
+        let mut got: std::collections::BTreeMap<(NodeId, NodeId), Vec<(SimTime, u64)>> =
+            Default::default();
+        for (at, f, t, tag) in delivered {
+            got.entry((f, t)).or_default().push((at, tag));
+        }
+        for (pair, tags) in &sent {
+            let deliveries = got.get(pair).cloned().unwrap_or_default();
+            let tag_order: Vec<u64> = deliveries.iter().map(|(_, t)| *t).collect();
+            prop_assert_eq!(&tag_order, tags, "pair {:?} reordered or lost", pair);
+            for w in deliveries.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "delivery times must strictly increase");
+            }
+        }
+        let total_sent: usize = sent.values().map(Vec::len).sum();
+        let total_got: usize = got.values().map(Vec::len).sum();
+        prop_assert_eq!(total_sent, total_got);
+    }
+
+    /// Components always partition the node set (every node in exactly one
+    /// component), whatever the link state.
+    #[test]
+    fn components_partition_the_nodes(
+        downs in proptest::collection::vec((0u32..5, 0u32..5), 0..12),
+    ) {
+        let topo = Topology::full_mesh(5, SimDuration::from_millis(1));
+        let mut transport: Transport<u8> = Transport::new(topo);
+        let mut now = SimTime::ZERO;
+        for (a, b) in downs {
+            if a != b {
+                now += SimDuration::from_millis(1);
+                transport.apply_change(now, &NetworkChange::LinkDown(NodeId(a), NodeId(b)));
+            }
+        }
+        let comps = transport.components();
+        let mut seen = std::collections::BTreeSet::new();
+        for comp in &comps {
+            for &n in comp {
+                prop_assert!(seen.insert(n), "node {n} in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), 5);
+        // Connectivity is consistent with the components.
+        for comp in &comps {
+            for &a in comp {
+                for &b in comp {
+                    prop_assert!(transport.connected(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns an ordered queue of future events. Events scheduled for
+//! the same instant are delivered in the order they were scheduled (a stable
+//! FIFO tie-break via a monotone sequence number), which is essential for
+//! reproducibility: a `BinaryHeap` alone would break ties arbitrarily.
+//!
+//! The engine is generic over the event payload `E` so that each layer of
+//! the system (network, nodes, workload) can define one event enum and drive
+//! the loop itself:
+//!
+//! ```
+//! use fragdb_sim::{Engine, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut engine = Engine::new(42);
+//! engine.schedule(SimDuration::from_millis(5), Ev::Ping(1));
+//! engine.schedule(SimDuration::from_millis(1), Ev::Ping(0));
+//! let mut seen = Vec::new();
+//! while let Some((t, ev)) = engine.pop() {
+//!     seen.push((t, ev));
+//! }
+//! assert_eq!(seen[0].1, Ev::Ping(0));
+//! assert_eq!(seen[1].0, SimTime::from_millis(5));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// A scheduled event: ordering key is `(time, seq)` so ties are FIFO.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic discrete-event engine.
+///
+/// Owns the virtual clock, the event queue, a seeded RNG, run metrics, and
+/// an optional trace. The caller drives the loop with [`Engine::pop`] (or
+/// [`Engine::pop_until`]) so that event handling can borrow both the engine
+/// and the caller's world state.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    /// Seeded random source shared by all simulation components.
+    pub rng: SimRng,
+    /// Counters and histograms accumulated during the run.
+    pub metrics: Metrics,
+    /// Optional bounded execution trace.
+    pub trace: Trace,
+}
+
+impl<E> Engine<E> {
+    /// Create an engine whose RNG is seeded with `seed`.
+    ///
+    /// Two engines with the same seed, fed the same schedule of events,
+    /// produce identical executions.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            rng: SimRng::new(seed),
+            metrics: Metrics::new(),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events still queued.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `payload` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Schedule `payload` at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling backwards in time is
+    /// always a logic error in a discrete-event simulation.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={:?} now={:?}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, payload }));
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty (the simulation has quiesced).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(ev) = self.queue.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.metrics.incr("sim.events");
+        Some((ev.at, ev.payload))
+    }
+
+    /// Pop the next event only if it fires at or before `limit`.
+    ///
+    /// Events after `limit` stay queued and the clock is advanced to
+    /// `limit` when the horizon is reached, so a subsequent `pop_until`
+    /// with a later limit continues seamlessly.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek() {
+            Some(Reverse(ev)) if ev.at <= limit => self.pop(),
+            _ => {
+                if self.now < limit {
+                    self.now = limit;
+                }
+                None
+            }
+        }
+    }
+
+    /// Timestamp of the next queued event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.at)
+    }
+
+    /// Discard every queued event (used when tearing down a scenario early).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone)]
+    enum Ev {
+        A(u32),
+    }
+
+    fn drain(engine: &mut Engine<Ev>) -> Vec<(SimTime, Ev)> {
+        let mut out = Vec::new();
+        while let Some(item) = engine.pop() {
+            out.push(item);
+        }
+        out
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(30), Ev::A(3));
+        e.schedule(SimDuration(10), Ev::A(1));
+        e.schedule(SimDuration(20), Ev::A(2));
+        let seen = drain(&mut e);
+        assert_eq!(
+            seen,
+            vec![
+                (SimTime(10), Ev::A(1)),
+                (SimTime(20), Ev::A(2)),
+                (SimTime(30), Ev::A(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut e = Engine::new(1);
+        for i in 0..100 {
+            e.schedule(SimDuration(5), Ev::A(i));
+        }
+        let seen = drain(&mut e);
+        let order: Vec<u32> = seen.iter().map(|(_, Ev::A(i))| *i).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(7), Ev::A(0));
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime(7));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(10), Ev::A(1));
+        e.schedule(SimDuration(100), Ev::A(2));
+        assert!(e.pop_until(SimTime(50)).is_some());
+        assert!(e.pop_until(SimTime(50)).is_none());
+        // Clock advanced to the horizon even though no event fired.
+        assert_eq!(e.now(), SimTime(50));
+        // Later horizon releases the remaining event.
+        assert_eq!(e.pop_until(SimTime(200)), Some((SimTime(100), Ev::A(2))));
+    }
+
+    #[test]
+    fn schedule_during_drain_interleaves() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(10), Ev::A(1));
+        let mut seen = Vec::new();
+        while let Some((t, ev)) = e.pop() {
+            if seen.is_empty() {
+                e.schedule(SimDuration(5), Ev::A(2)); // fires at t=15
+            }
+            seen.push((t, ev));
+        }
+        assert_eq!(seen, vec![(SimTime(10), Ev::A(1)), (SimTime(15), Ev::A(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(10), Ev::A(1));
+        e.pop();
+        e.schedule_at(SimTime(5), Ev::A(2));
+    }
+
+    #[test]
+    fn pending_and_clear() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(1), Ev::A(1));
+        e.schedule(SimDuration(2), Ev::A(2));
+        assert_eq!(e.pending(), 2);
+        e.clear();
+        assert_eq!(e.pending(), 0);
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut e = Engine::new(1);
+        assert_eq!(e.peek_time(), None);
+        e.schedule(SimDuration(9), Ev::A(1));
+        e.schedule(SimDuration(3), Ev::A(2));
+        assert_eq!(e.peek_time(), Some(SimTime(3)));
+    }
+
+    #[test]
+    fn event_counter_metric_increments() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(1), Ev::A(1));
+        e.schedule(SimDuration(2), Ev::A(2));
+        drain(&mut e);
+        assert_eq!(e.metrics.counter("sim.events"), 2);
+    }
+
+    #[test]
+    fn identical_seeds_identical_rng_streams() {
+        let mut a = Engine::<Ev>::new(777);
+        let mut b = Engine::<Ev>::new(777);
+        let xs: Vec<u64> = (0..32).map(|_| a.rng.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.rng.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+}

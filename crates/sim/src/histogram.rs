@@ -1,0 +1,262 @@
+//! Log-bucketed histogram.
+//!
+//! Used for latency-style quantities (virtual-time durations in
+//! microseconds). Buckets grow geometrically so one histogram covers
+//! microseconds through hours with bounded memory and ~4% relative error on
+//! percentile queries — ample for reproducing the *shape* of the paper's
+//! qualitative results.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric growth factor per bucket (~7% wide buckets).
+const GROWTH: f64 = 1.07;
+
+/// A histogram of non-negative `u64` samples with geometric buckets.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples whose bucket index is `i`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return value as usize; // 0 and 1 get exact buckets
+    }
+    // index 2 + floor(log_GROWTH(value)) keeps indices monotone in value.
+    2 + ((value as f64).ln() / GROWTH.ln()) as usize
+}
+
+fn bucket_lower_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1 => 1,
+        // Floor keeps the invariant `bucket_lower_bound(bucket_index(v)) <= v`
+        // for every v, which is what percentile() relies on.
+        _ => GROWTH.powi((index - 2) as i32) as u64,
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Approximate percentile (`q` in `[0, 100]`), or `None` if empty.
+    ///
+    /// Returns the lower bound of the bucket containing the `q`-th
+    /// percentile sample, clamped to the observed `[min, max]` range.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 100.0);
+        // Rank of the target sample (1-based, ceil) — q=0 → first sample.
+        let target = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_lower_bound(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), None);
+    }
+
+    #[test]
+    fn single_sample_everything_matches() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(42));
+        assert_eq!(h.max(), Some(42));
+        assert_eq!(h.mean(), Some(42.0));
+        assert_eq!(h.percentile(0.0), Some(42));
+        assert_eq!(h.percentile(50.0), Some(42));
+        assert_eq!(h.percentile(100.0), Some(42));
+    }
+
+    #[test]
+    fn zero_and_one_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        h.record(1);
+        assert_eq!(h.percentile(50.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(1));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index decreased at value {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_lower_bound_never_exceeds_member_values() {
+        for v in 0..100_000u64 {
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v, "lower bound {lb} exceeds member value {v}");
+        }
+    }
+
+    #[test]
+    fn percentile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap() as f64;
+        let p99 = h.percentile(99.0).unwrap() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.10, "p50={p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.10, "p99={p99}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(25.0));
+        assert_eq!(h.sum(), 100);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        a.record(10);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(1_000));
+        assert_eq!(a.sum(), 1_015);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(7);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.min(), before.min());
+        assert_eq!(a.max(), before.max());
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(500);
+        h.record(501);
+        // Bucket lower bounds are coarse, but results must stay in [min,max].
+        for q in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            let p = h.percentile(q).unwrap();
+            assert!((500..=501).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Run metrics: named counters and histograms.
+//!
+//! Keys are `&'static str` in the common case but owned strings are
+//! accepted too (formatted per-node keys). A `BTreeMap` keeps report output
+//! deterministically ordered.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+use crate::histogram::Histogram;
+
+/// Counter / histogram registry for one simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    histograms: BTreeMap<Cow<'static, str>, Histogram>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add 1 to counter `key`.
+    pub fn incr(&mut self, key: impl Into<Cow<'static, str>>) {
+        self.add(key, 1);
+    }
+
+    /// Add `delta` to counter `key`.
+    pub fn add(&mut self, key: impl Into<Cow<'static, str>>, delta: u64) {
+        *self.counters.entry(key.into()).or_insert(0) += delta;
+    }
+
+    /// Read counter `key` (0 if never written).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Record `value` in histogram `key`.
+    pub fn observe(&mut self, key: impl Into<Cow<'static, str>>, value: u64) {
+        self.histograms.entry(key.into()).or_default().record(value);
+    }
+
+    /// Read histogram `key`, if it exists.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+
+    /// Merge another registry into this one (summing counters, merging
+    /// histograms) — used to aggregate per-trial metrics into experiment
+    /// totals.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Drop all data.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.incr("a");
+        m.add("a", 3);
+        assert_eq!(m.counter("a"), 5);
+    }
+
+    #[test]
+    fn missing_counter_is_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.counter("nope"), 0);
+    }
+
+    #[test]
+    fn owned_and_static_keys_collide_correctly() {
+        let mut m = Metrics::new();
+        m.incr("node.1.txns");
+        m.incr(format!("node.{}.txns", 1));
+        assert_eq!(m.counter("node.1.txns"), 2);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let mut m = Metrics::new();
+        m.observe("lat", 10);
+        m.observe("lat", 20);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(m.histogram("other").is_none());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = Metrics::new();
+        m.incr("zz");
+        m.incr("aa");
+        m.incr("mm");
+        let keys: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.add("x", 2);
+        b.add("x", 3);
+        b.add("y", 1);
+        a.observe("h", 5);
+        b.observe("h", 10);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.observe("h", 1);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.histogram("h").is_none());
+    }
+}

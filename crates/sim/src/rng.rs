@@ -1,0 +1,213 @@
+//! Seeded randomness for simulations.
+//!
+//! [`SimRng`] wraps a fixed, version-pinned PRNG so that every stochastic
+//! choice in a run (arrival times, partition onsets, picked accounts) is a
+//! pure function of the experiment seed. The distributions exposed are
+//! exactly the ones the workloads need; anything fancier should be built
+//! from these so determinism is preserved.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic random source for one simulation run.
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream (e.g. one per node) so that adding
+    /// randomness in one component does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // Mix the salt through SplitMix64 so forks with small salts diverge.
+        let mut z = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Also consume one value from self so sequential forks differ even
+        // with equal salts.
+        let extra = self.inner.next_u64();
+        SimRng::new(z ^ extra)
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..10)`.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed sample with the given mean — used for
+    /// Poisson-process inter-arrival times. Returns at least 1 (integer
+    /// microseconds) so events never collapse onto the same instant en masse.
+    pub fn exp_micros(&mut self, mean_micros: f64) -> u64 {
+        assert!(mean_micros > 0.0, "mean must be positive");
+        let u = 1.0 - self.unit(); // in (0, 1]
+        let x = -mean_micros * u.ln();
+        (x.max(1.0)).min(u64::MAX as f64) as u64
+    }
+
+    /// Uniformly pick a reference from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        let i = self.gen_range(0..items.len());
+        &items[i]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimRng(seed={})", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::new(5);
+        let mut parent2 = SimRng::new(5);
+        let mut f1 = parent1.fork(100);
+        let mut f2 = parent2.fork(100);
+        for _ in 0..16 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+        // Sequential forks with the same salt still differ.
+        let mut f3 = parent1.fork(100);
+        assert_ne!(f1.next_u64(), f3.next_u64());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(r.chance(7.5));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn exp_micros_mean_roughly_right() {
+        let mut r = SimRng::new(11);
+        let mean = 10_000.0;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| r.exp_micros(mean)).sum();
+        let observed = total as f64 / n as f64;
+        assert!(
+            (observed - mean).abs() / mean < 0.05,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exp_micros_is_at_least_one() {
+        let mut r = SimRng::new(12);
+        for _ in 0..1000 {
+            assert!(r.exp_micros(0.5) >= 1);
+        }
+    }
+
+    #[test]
+    fn pick_covers_all_items() {
+        let mut r = SimRng::new(13);
+        let items = [1u32, 2, 3, 4];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*r.pick(&items));
+        }
+        assert_eq!(seen.len(), items.len());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(14);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SimRng::new(15);
+        for _ in 0..1000 {
+            let x: u32 = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+}

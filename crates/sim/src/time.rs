@@ -1,0 +1,223 @@
+//! Virtual time.
+//!
+//! The simulator measures time in integer **microseconds** from the start of
+//! the run. Integer time keeps event ordering exact (no floating-point
+//! comparison traps) and makes histories serializable and diffable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in virtual time, in microseconds since simulation start.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The beginning of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any event a simulation will ever schedule.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Raw microsecond count.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (for reporting only; never used to order events).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Elapsed duration since `earlier`. Saturates at zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Span as fractional seconds (reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}us", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimDuration::default(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.micros(), 1_500_000);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(10);
+        let b = SimTime(20);
+        assert_eq!(b.since(a), SimDuration(10));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sub_is_since() {
+        assert_eq!(SimTime(30) - SimTime(10), SimDuration(20));
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let t = SimTime::MAX + SimDuration(5);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration(1) < SimDuration(2));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(3).micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).micros(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{:?}", SimTime(42)), "t=42us");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "0.250s");
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(1);
+        t += SimDuration::from_millis(250);
+        assert_eq!(t.micros(), 1_250_000);
+        let mut d = SimDuration::ZERO;
+        d += SimDuration(7);
+        assert_eq!(d, SimDuration(7));
+    }
+}

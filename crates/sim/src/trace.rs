@@ -1,0 +1,164 @@
+//! Bounded execution trace.
+//!
+//! When enabled, components push human-readable lines tagged with virtual
+//! time. The buffer is bounded so a pathological run cannot exhaust memory;
+//! when the cap is hit the oldest entries are dropped and a marker records
+//! how many were lost.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// One trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time at which the line was emitted.
+    pub at: SimTime,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// Bounded, optionally-disabled trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    dropped: u64,
+    entries: VecDeque<TraceEntry>,
+}
+
+impl Trace {
+    /// A trace that records nothing (the default for production runs).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            cap: 0,
+            dropped: 0,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// A trace that keeps at most `cap` most-recent entries.
+    pub fn bounded(cap: usize) -> Self {
+        Trace {
+            enabled: true,
+            cap: cap.max(1),
+            dropped: 0,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Whether lines are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a line (no-op when disabled). The message closure is only
+    /// evaluated when the trace is enabled, so hot paths pay nothing.
+    pub fn log(&mut self, at: SimTime, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            message: message(),
+        });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// How many entries were evicted due to the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render the retained entries as text, one line each.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier entries dropped ...\n", self.dropped));
+        }
+        for e in &self.entries {
+            out.push_str(&format!("[{}] {}\n", e.at, e.message));
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.log(SimTime(1), || "hello".into());
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn disabled_trace_does_not_evaluate_closure() {
+        let mut t = Trace::disabled();
+        let mut evaluated = false;
+        t.log(SimTime(1), || {
+            evaluated = true;
+            String::new()
+        });
+        assert!(!evaluated);
+    }
+
+    #[test]
+    fn bounded_trace_keeps_most_recent() {
+        let mut t = Trace::bounded(3);
+        for i in 0..5u64 {
+            t.log(SimTime(i), || format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<&str> = t.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn cap_of_zero_is_bumped_to_one() {
+        let mut t = Trace::bounded(0);
+        t.log(SimTime(0), || "a".into());
+        t.log(SimTime(1), || "b".into());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn render_includes_drop_marker() {
+        let mut t = Trace::bounded(1);
+        t.log(SimTime(0), || "a".into());
+        t.log(SimTime::from_secs(1), || "b".into());
+        let s = t.render();
+        assert!(s.contains("1 earlier entries dropped"));
+        assert!(s.contains("[1.000s] b"));
+        assert!(!s.contains(" a\n"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use fragdb_sim::{Engine, Histogram, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always pop in non-decreasing time order, and same-time events
+    /// pop in insertion order.
+    #[test]
+    fn engine_orders_events(delays in proptest::collection::vec(0u64..50, 1..100)) {
+        let mut e: Engine<usize> = Engine::new(0);
+        for (i, &d) in delays.iter().enumerate() {
+            e.schedule(SimDuration(d), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(item) = e.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), delays.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "same-time events must be FIFO");
+            }
+        }
+    }
+
+    /// The histogram's percentile always lies within [min, max], and
+    /// percentiles are monotone in q.
+    #[test]
+    fn histogram_percentiles_are_bounded_and_monotone(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        let mut prev = 0u64;
+        for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let p = h.percentile(q).unwrap();
+            prop_assert!(p >= lo && p <= hi, "p{q}={p} outside [{lo}, {hi}]");
+            prop_assert!(p >= prev, "percentiles must be monotone");
+            prev = p;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let exact_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((h.mean().unwrap() - exact_mean).abs() < 1e-6);
+    }
+
+    /// The approximate median is within the histogram's relative-error
+    /// budget of the exact median.
+    #[test]
+    fn histogram_median_error_is_bounded(
+        samples in proptest::collection::vec(1u64..1_000_000, 10..300),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = sorted[(sorted.len() - 1) / 2] as f64;
+        let approx = h.percentile(50.0).unwrap() as f64;
+        // One geometric bucket is ~7% wide; allow double for rank rounding.
+        prop_assert!(
+            approx <= exact * 1.15 + 1.0 && approx >= exact / 1.15 - 1.0,
+            "approx {approx} vs exact {exact}"
+        );
+    }
+
+    /// Merging histograms equals recording everything into one.
+    #[test]
+    fn histogram_merge_is_union(
+        a in proptest::collection::vec(0u64..10_000, 0..100),
+        b in proptest::collection::vec(0u64..10_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &s in &a {
+            ha.record(s);
+            hall.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hall.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.sum(), hall.sum());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        for q in [25.0, 50.0, 95.0] {
+            prop_assert_eq!(ha.percentile(q), hall.percentile(q));
+        }
+    }
+}

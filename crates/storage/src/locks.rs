@@ -1,0 +1,421 @@
+//! Shared/exclusive lock manager.
+//!
+//! Used by the most conservative control option (§4.1: "fixed agents; read
+//! locks"), where a transaction must hold read locks at the home nodes of
+//! every fragment it reads. Grants are FIFO-fair: a request never overtakes
+//! an earlier incompatible request, so writers cannot be starved by a
+//! stream of readers.
+//!
+//! Deadlocks are detected eagerly: on every enqueue, a waits-for graph is
+//! built (waiter → holders and waiter → queued-ahead conflicting requests)
+//! and if the new request closes a cycle it is rejected with
+//! [`LockOutcome::Deadlock`] — the caller aborts and retries that
+//! transaction.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use fragdb_model::{ObjectId, TxnId};
+
+/// Lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock: compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock: compatible with nothing.
+    Exclusive,
+}
+
+impl LockMode {
+    fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// Result of an acquire call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is held; proceed.
+    Granted,
+    /// The request is queued; the caller blocks until a release grants it.
+    Waiting,
+    /// Granting would (eventually) deadlock; the request was not enqueued.
+    Deadlock,
+}
+
+#[derive(Debug, Default)]
+struct LockSlot {
+    holders: Vec<(TxnId, LockMode)>,
+    queue: VecDeque<(TxnId, LockMode)>,
+}
+
+impl LockSlot {
+    fn held_by(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
+    }
+
+    /// Can `(txn, mode)` be granted right now, respecting FIFO fairness?
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        let conflicts_with_holders = self
+            .holders
+            .iter()
+            .any(|(t, m)| *t != txn && !mode.compatible(*m));
+        if conflicts_with_holders {
+            return false;
+        }
+        // FIFO: an incompatible request queued ahead blocks us.
+        let blocked_by_queue = self
+            .queue
+            .iter()
+            .any(|(t, m)| *t != txn && (!mode.compatible(*m) || !m.compatible(mode)));
+        !blocked_by_queue
+    }
+}
+
+/// The lock table for one node (or, for §4.1, the logical global table).
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: BTreeMap<ObjectId, LockSlot>,
+    /// Objects held per transaction, for O(holdings) release.
+    held: BTreeMap<TxnId, BTreeSet<ObjectId>>,
+    /// Objects a transaction is queued on (at most one queued request per
+    /// txn per object).
+    waiting: BTreeMap<TxnId, BTreeSet<ObjectId>>,
+}
+
+impl LockManager {
+    /// Empty lock table.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Request `mode` on `object` for `txn`.
+    ///
+    /// Re-requesting a lock already held in the same or a stronger mode is
+    /// granted idempotently. An upgrade (`Shared` → `Exclusive`) is granted
+    /// immediately iff `txn` is the sole holder; otherwise it queues like
+    /// any other request (and may be refused as a deadlock).
+    pub fn acquire(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> LockOutcome {
+        let slot = self.table.entry(object).or_default();
+        if let Some(held) = slot.held_by(txn) {
+            match (held, mode) {
+                (LockMode::Exclusive, _) | (LockMode::Shared, LockMode::Shared) => {
+                    return LockOutcome::Granted;
+                }
+                (LockMode::Shared, LockMode::Exclusive) => {
+                    if slot.holders.len() == 1 {
+                        slot.holders[0].1 = LockMode::Exclusive;
+                        return LockOutcome::Granted;
+                    }
+                    // fall through to queueing the upgrade
+                }
+            }
+        }
+        if slot.grantable(txn, mode) {
+            // Upgrades replace the existing holder entry.
+            slot.holders.retain(|(t, _)| *t != txn);
+            slot.holders.push((txn, mode));
+            self.held.entry(txn).or_default().insert(object);
+            return LockOutcome::Granted;
+        }
+        // Tentatively enqueue, then check for a deadlock cycle through txn.
+        slot.queue.push_back((txn, mode));
+        if self.creates_cycle(txn) {
+            let slot = self.table.get_mut(&object).expect("slot exists");
+            // Remove the request we just pushed (the last matching one).
+            if let Some(pos) = slot.queue.iter().rposition(|(t, _)| *t == txn) {
+                slot.queue.remove(pos);
+            }
+            return LockOutcome::Deadlock;
+        }
+        self.waiting.entry(txn).or_default().insert(object);
+        LockOutcome::Waiting
+    }
+
+    /// Everything `txn` waits on: current holders of objects it is queued
+    /// for, plus conflicting requests queued ahead of it.
+    fn waits_for(&self, txn: TxnId) -> BTreeSet<TxnId> {
+        let mut out = BTreeSet::new();
+        for (_, slot) in self.table.iter() {
+            let Some(pos) = slot.queue.iter().position(|(t, _)| *t == txn) else {
+                continue;
+            };
+            let (_, my_mode) = slot.queue[pos];
+            for (t, m) in &slot.holders {
+                if *t != txn && !my_mode.compatible(*m) {
+                    out.insert(*t);
+                }
+            }
+            for (t, m) in slot.queue.iter().take(pos) {
+                if *t != txn && (!my_mode.compatible(*m) || !m.compatible(my_mode)) {
+                    out.insert(*t);
+                }
+            }
+            // Upgrade case: we also wait for co-holders of our shared lock.
+            if my_mode == LockMode::Exclusive {
+                if let Some(LockMode::Shared) = slot.held_by(txn) {
+                    for (t, _) in &slot.holders {
+                        if *t != txn {
+                            out.insert(*t);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// DFS from `start` through the waits-for graph looking for a cycle
+    /// that returns to `start`.
+    fn creates_cycle(&self, start: TxnId) -> bool {
+        let mut stack: Vec<TxnId> = self.waits_for(start).into_iter().collect();
+        let mut seen: BTreeSet<TxnId> = stack.iter().copied().collect();
+        while let Some(t) = stack.pop() {
+            if t == start {
+                return true;
+            }
+            for next in self.waits_for(t) {
+                if next == start {
+                    return true;
+                }
+                if seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Release every lock and queued request of `txn`. Returns the requests
+    /// newly granted as a result, as `(txn, object)` pairs, so the caller
+    /// can resume those waiters.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, ObjectId)> {
+        let mut touched: BTreeSet<ObjectId> = BTreeSet::new();
+        if let Some(objs) = self.held.remove(&txn) {
+            touched.extend(objs);
+        }
+        if let Some(objs) = self.waiting.remove(&txn) {
+            touched.extend(objs);
+        }
+        let mut granted = Vec::new();
+        for object in touched {
+            let slot = self.table.get_mut(&object).expect("tracked object has slot");
+            slot.holders.retain(|(t, _)| *t != txn);
+            slot.queue.retain(|(t, _)| *t != txn);
+            granted.extend(
+                Self::promote(slot, object)
+                    .into_iter()
+                    .map(|t| (t, object)),
+            );
+            if slot.holders.is_empty() && slot.queue.is_empty() {
+                self.table.remove(&object);
+            }
+        }
+        for (t, object) in &granted {
+            self.held.entry(*t).or_default().insert(*object);
+            if let Some(w) = self.waiting.get_mut(t) {
+                w.remove(object);
+                if w.is_empty() {
+                    self.waiting.remove(t);
+                }
+            }
+        }
+        granted
+    }
+
+    /// Grant from the front of the queue: one exclusive request, or the
+    /// maximal prefix of shared requests. Returns the granted txns.
+    fn promote(slot: &mut LockSlot, _object: ObjectId) -> Vec<TxnId> {
+        let mut granted = Vec::new();
+        while let Some(&(t, m)) = slot.queue.front() {
+            let compatible = slot
+                .holders
+                .iter()
+                .all(|(ht, hm)| *ht == t || m.compatible(*hm));
+            if !compatible {
+                break;
+            }
+            slot.queue.pop_front();
+            slot.holders.retain(|(ht, _)| *ht != t);
+            slot.holders.push((t, m));
+            granted.push(t);
+            if m == LockMode::Exclusive {
+                break;
+            }
+        }
+        granted
+    }
+
+    /// Does `txn` currently hold `object` (in any mode)?
+    pub fn holds(&self, txn: TxnId, object: ObjectId) -> bool {
+        self.held.get(&txn).is_some_and(|s| s.contains(&object))
+    }
+
+    /// Is `txn` blocked on any object?
+    pub fn is_waiting(&self, txn: TxnId) -> bool {
+        self.waiting.contains_key(&txn)
+    }
+
+    /// Number of objects with active lock state.
+    pub fn active_objects(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_model::NodeId;
+
+    fn t(i: u64) -> TxnId {
+        TxnId::new(NodeId(0), i)
+    }
+
+    fn o(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(t(2), o(0), LockMode::Shared), LockOutcome::Granted);
+        assert!(lm.holds(t(1), o(0)));
+        assert!(lm.holds(t(2), o(0)));
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(t(2), o(0), LockMode::Shared), LockOutcome::Waiting);
+        assert_eq!(lm.acquire(t(3), o(0), LockMode::Exclusive), LockOutcome::Waiting);
+        assert!(lm.is_waiting(t(2)));
+    }
+
+    #[test]
+    fn reacquire_is_idempotent() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Exclusive);
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Shared), LockOutcome::Granted);
+        lm.release_all(t(1));
+        lm.acquire(t(1), o(0), LockMode::Shared);
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Shared), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn sole_holder_upgrades_in_place() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Shared);
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
+        // Now exclusive: another shared must wait.
+        assert_eq!(lm.acquire(t(2), o(0), LockMode::Shared), LockOutcome::Waiting);
+    }
+
+    #[test]
+    fn release_grants_fifo() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Exclusive);
+        lm.acquire(t(2), o(0), LockMode::Exclusive);
+        lm.acquire(t(3), o(0), LockMode::Shared);
+        let granted = lm.release_all(t(1));
+        // FIFO: t2 (exclusive) goes first; t3 keeps waiting.
+        assert_eq!(granted, vec![(t(2), o(0))]);
+        assert!(lm.holds(t(2), o(0)));
+        assert!(lm.is_waiting(t(3)));
+        let granted = lm.release_all(t(2));
+        assert_eq!(granted, vec![(t(3), o(0))]);
+    }
+
+    #[test]
+    fn release_grants_shared_batch() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Exclusive);
+        lm.acquire(t(2), o(0), LockMode::Shared);
+        lm.acquire(t(3), o(0), LockMode::Shared);
+        lm.acquire(t(4), o(0), LockMode::Exclusive);
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted, vec![(t(2), o(0)), (t(3), o(0))]);
+        assert!(lm.is_waiting(t(4)));
+    }
+
+    #[test]
+    fn fifo_prevents_reader_overtaking_writer() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Shared);
+        lm.acquire(t(2), o(0), LockMode::Exclusive); // waits
+        // A new shared request must NOT jump the queued writer.
+        assert_eq!(lm.acquire(t(3), o(0), LockMode::Shared), LockOutcome::Waiting);
+    }
+
+    #[test]
+    fn two_txn_deadlock_detected() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Exclusive);
+        lm.acquire(t(2), o(1), LockMode::Exclusive);
+        assert_eq!(lm.acquire(t(1), o(1), LockMode::Exclusive), LockOutcome::Waiting);
+        // t2 -> o0 closes the cycle t1→t2→t1.
+        assert_eq!(lm.acquire(t(2), o(0), LockMode::Exclusive), LockOutcome::Deadlock);
+        // The refused request is not left queued: releasing t1 lets t2 be unaffected.
+        assert!(!lm.is_waiting(t(2)));
+    }
+
+    #[test]
+    fn three_txn_deadlock_detected() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Exclusive);
+        lm.acquire(t(2), o(1), LockMode::Exclusive);
+        lm.acquire(t(3), o(2), LockMode::Exclusive);
+        assert_eq!(lm.acquire(t(1), o(1), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(lm.acquire(t(2), o(2), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(lm.acquire(t(3), o(0), LockMode::Exclusive), LockOutcome::Deadlock);
+    }
+
+    #[test]
+    fn upgrade_deadlock_between_two_readers() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Shared);
+        lm.acquire(t(2), o(0), LockMode::Shared);
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Waiting);
+        // t2's upgrade closes the classic upgrade deadlock.
+        assert_eq!(lm.acquire(t(2), o(0), LockMode::Exclusive), LockOutcome::Deadlock);
+    }
+
+    #[test]
+    fn release_all_clears_waiting_requests_too() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Exclusive);
+        lm.acquire(t(2), o(0), LockMode::Exclusive);
+        // t2 gives up while waiting.
+        let granted = lm.release_all(t(2));
+        assert!(granted.is_empty());
+        assert!(!lm.is_waiting(t(2)));
+        // Now releasing t1 grants nothing (queue is empty) and cleans the table.
+        assert!(lm.release_all(t(1)).is_empty());
+        assert_eq!(lm.active_objects(), 0);
+    }
+
+    #[test]
+    fn waiter_granted_after_release_is_tracked_as_holder() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), o(0), LockMode::Exclusive);
+        lm.acquire(t(2), o(0), LockMode::Shared);
+        lm.release_all(t(1));
+        assert!(lm.holds(t(2), o(0)));
+        assert!(!lm.is_waiting(t(2)));
+        // And t2 can now release cleanly.
+        lm.release_all(t(2));
+        assert_eq!(lm.active_objects(), 0);
+    }
+
+    #[test]
+    fn independent_objects_do_not_conflict() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(t(2), o(1), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.active_objects(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-node write-ahead log of installed transactions.
+//!
+//! Every update installed at a node — whether a local commit or a remote
+//! quasi-transaction — is appended here. The log answers the questions the
+//! §4.4 movement protocols ask during recovery:
+//!
+//! * "which transactions on fragment F have I seen?" (§4.4.1 majority
+//!   recovery, §4.4.3's `M0` message),
+//! * "give me transactions `j+1 ..= i` on F" (catch-up transfers),
+//! * "has object x been overwritten since transaction q?" (§4.4.3's
+//!   stale-update stripping),
+//!
+//! and it is what the log-transformation baseline exchanges after a
+//! partition heals.
+
+use std::collections::BTreeMap;
+
+use fragdb_model::{FragmentId, ObjectId, TxnId, Value};
+use fragdb_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One installed transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalEntry {
+    /// Originating transaction.
+    pub txn: TxnId,
+    /// Fragment the updates belong to.
+    pub fragment: FragmentId,
+    /// Position in the fragment's update sequence.
+    pub frag_seq: u64,
+    /// Token epoch under which the update was issued.
+    pub epoch: u64,
+    /// The installed `(object, value)` pairs.
+    pub updates: Vec<(ObjectId, Value)>,
+    /// Virtual time of installation at this node.
+    pub installed_at: SimTime,
+}
+
+/// Append-only installation log with a per-fragment index.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Wal {
+    entries: Vec<WalEntry>,
+    /// `fragment -> indices into entries`, in installation order.
+    by_fragment: BTreeMap<FragmentId, Vec<usize>>,
+}
+
+impl Wal {
+    /// Empty log.
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    /// Append an entry.
+    pub fn append(&mut self, entry: WalEntry) {
+        self.by_fragment
+            .entry(entry.fragment)
+            .or_default()
+            .push(self.entries.len());
+        self.entries.push(entry);
+    }
+
+    /// All entries, installation order.
+    pub fn entries(&self) -> &[WalEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries for one fragment, installation order.
+    pub fn fragment_entries(&self, fragment: FragmentId) -> impl Iterator<Item = &WalEntry> {
+        self.by_fragment
+            .get(&fragment)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.entries[i])
+    }
+
+    /// Highest `frag_seq` installed for `fragment`, or `None`.
+    pub fn last_frag_seq(&self, fragment: FragmentId) -> Option<u64> {
+        self.fragment_entries(fragment)
+            .map(|e| e.frag_seq)
+            .max()
+    }
+
+    /// Has a transaction with this `frag_seq` on `fragment` been installed?
+    pub fn has_frag_seq(&self, fragment: FragmentId, frag_seq: u64) -> bool {
+        self.fragment_entries(fragment)
+            .any(|e| e.frag_seq == frag_seq)
+    }
+
+    /// Entries on `fragment` with `frag_seq` in the given inclusive range,
+    /// ordered by `frag_seq` (catch-up transfer for §4.4.1 / §4.4.2B).
+    pub fn fragment_range(&self, fragment: FragmentId, from: u64, to: u64) -> Vec<&WalEntry> {
+        let mut out: Vec<&WalEntry> = self
+            .fragment_entries(fragment)
+            .filter(|e| (from..=to).contains(&e.frag_seq))
+            .collect();
+        out.sort_by_key(|e| e.frag_seq);
+        out
+    }
+
+    /// The last transaction (by installation order at this node) that wrote
+    /// `object`, if any — used by §4.4.3 to decide whether a late update has
+    /// been overwritten.
+    pub fn last_writer_of(&self, object: ObjectId) -> Option<&WalEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.updates.iter().any(|(o, _)| *o == object))
+    }
+
+    /// Entries installed strictly after virtual time `t` (log-transformation
+    /// baseline: "transactions executed during the partition").
+    pub fn entries_after(&self, t: SimTime) -> impl Iterator<Item = &WalEntry> {
+        self.entries.iter().filter(move |e| e.installed_at > t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_model::NodeId;
+
+    fn entry(frag: u32, frag_seq: u64, obj: u64, at: u64) -> WalEntry {
+        WalEntry {
+            txn: TxnId::new(NodeId(0), frag_seq),
+            fragment: FragmentId(frag),
+            frag_seq,
+            epoch: 0,
+            updates: vec![(ObjectId(obj), Value::Int(frag_seq as i64))],
+            installed_at: SimTime(at),
+        }
+    }
+
+    #[test]
+    fn append_preserves_order() {
+        let mut w = Wal::new();
+        w.append(entry(0, 0, 10, 1));
+        w.append(entry(1, 0, 20, 2));
+        w.append(entry(0, 1, 10, 3));
+        assert_eq!(w.len(), 3);
+        let f0: Vec<u64> = w.fragment_entries(FragmentId(0)).map(|e| e.frag_seq).collect();
+        assert_eq!(f0, vec![0, 1]);
+        let f1: Vec<u64> = w.fragment_entries(FragmentId(1)).map(|e| e.frag_seq).collect();
+        assert_eq!(f1, vec![0]);
+    }
+
+    #[test]
+    fn last_frag_seq_tracks_max() {
+        let mut w = Wal::new();
+        assert_eq!(w.last_frag_seq(FragmentId(0)), None);
+        w.append(entry(0, 0, 10, 1));
+        w.append(entry(0, 2, 10, 2)); // gap: seq 1 missing
+        assert_eq!(w.last_frag_seq(FragmentId(0)), Some(2));
+        assert!(w.has_frag_seq(FragmentId(0), 2));
+        assert!(!w.has_frag_seq(FragmentId(0), 1));
+    }
+
+    #[test]
+    fn fragment_range_is_sorted_and_bounded() {
+        let mut w = Wal::new();
+        // Install out of frag_seq order (possible under §4.4.3).
+        w.append(entry(0, 3, 10, 1));
+        w.append(entry(0, 1, 10, 2));
+        w.append(entry(0, 2, 10, 3));
+        w.append(entry(0, 5, 10, 4));
+        let seqs: Vec<u64> = w
+            .fragment_range(FragmentId(0), 1, 3)
+            .iter()
+            .map(|e| e.frag_seq)
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn last_writer_of_finds_most_recent() {
+        let mut w = Wal::new();
+        w.append(entry(0, 0, 7, 1));
+        w.append(entry(0, 1, 8, 2));
+        w.append(entry(0, 2, 7, 3));
+        assert_eq!(w.last_writer_of(ObjectId(7)).unwrap().frag_seq, 2);
+        assert_eq!(w.last_writer_of(ObjectId(8)).unwrap().frag_seq, 1);
+        assert!(w.last_writer_of(ObjectId(99)).is_none());
+    }
+
+    #[test]
+    fn entries_after_filters_by_time() {
+        let mut w = Wal::new();
+        w.append(entry(0, 0, 1, 10));
+        w.append(entry(0, 1, 1, 20));
+        w.append(entry(0, 2, 1, 30));
+        let after: Vec<u64> = w.entries_after(SimTime(15)).map(|e| e.frag_seq).collect();
+        assert_eq!(after, vec![1, 2]);
+        assert_eq!(w.entries_after(SimTime(30)).count(), 0);
+    }
+
+    #[test]
+    fn empty_wal() {
+        let w = Wal::new();
+        assert!(w.is_empty());
+        assert_eq!(w.fragment_entries(FragmentId(0)).count(), 0);
+        assert!(w.fragment_range(FragmentId(0), 0, 10).is_empty());
+    }
+}

@@ -1,0 +1,322 @@
+//! The airline reservation application of §4.3.
+//!
+//! Fragments, exactly as the paper's example:
+//!
+//! * `C_i` — customer `i`'s request objects `c_{i,j}` (seats wanted on
+//!   flight `j`); agent: customer `i`. Requests are **write-only** and,
+//!   once set, never change ("a customer cannot change his mind").
+//! * `F_j` — flight `j`'s grant objects `f_{i,j}` (seats actually reserved
+//!   for customer `i`); agent: the flight's node. The flight agent
+//!   periodically scans every `C_i` and grants new requests unless that
+//!   would overbook.
+//!
+//! Because requesting is decoupled from granting, customers enjoy full
+//! availability during partitions while the **centralized** grant decision
+//! guarantees no overbooking — "the best of both worlds" (§4.3). The
+//! read-access graph (`F_j → C_i` for all i, j — Figure 4.3.3) is *not*
+//! elementarily acyclic, so executions can be non-serializable globally;
+//! they remain fragmentwise serializable, which experiment E6 verifies.
+
+use fragdb_core::{Submission, System};
+use fragdb_model::{AccessDecl, AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, UserId};
+
+/// Object layout: `customers × flights`.
+#[derive(Clone, Debug)]
+pub struct AirlineSchema {
+    /// Customer fragments `C_i`.
+    pub customer: Vec<FragmentId>,
+    /// `c_objs[i][j]`: customer `i`'s request for flight `j`.
+    pub c_objs: Vec<Vec<ObjectId>>,
+    /// Flight fragments `F_j`.
+    pub flight: Vec<FragmentId>,
+    /// `f_objs[j][i]`: seats granted to customer `i` on flight `j`.
+    pub f_objs: Vec<Vec<ObjectId>>,
+    /// Seat capacity per flight.
+    pub capacity: i64,
+}
+
+impl AirlineSchema {
+    /// Build the catalog and agent assignment: customer `i`'s agent homed
+    /// at `customer_homes[i]`, flight `j`'s agent at `flight_homes[j]`.
+    pub fn build(
+        customers: u32,
+        flights: u32,
+        capacity: i64,
+        customer_homes: &[NodeId],
+        flight_homes: &[NodeId],
+    ) -> (FragmentCatalog, AirlineSchema, Vec<(FragmentId, AgentId, NodeId)>) {
+        assert_eq!(customer_homes.len(), customers as usize);
+        assert_eq!(flight_homes.len(), flights as usize);
+        let mut b = FragmentCatalog::builder();
+        let mut customer = Vec::new();
+        let mut c_objs = Vec::new();
+        for i in 0..customers {
+            let (f, objs) = b.add_fragment(format!("C{}", i + 1), flights as usize);
+            customer.push(f);
+            c_objs.push(objs);
+        }
+        let mut flight = Vec::new();
+        let mut f_objs = Vec::new();
+        for j in 0..flights {
+            let (f, objs) = b.add_fragment(format!("F{}", j + 1), customers as usize);
+            flight.push(f);
+            f_objs.push(objs);
+        }
+        let catalog = b.build();
+        let mut agents = Vec::new();
+        for i in 0..customers as usize {
+            agents.push((
+                customer[i],
+                AgentId::User(UserId(i as u32)),
+                customer_homes[i],
+            ));
+        }
+        for j in 0..flights as usize {
+            agents.push((flight[j], AgentId::Node(flight_homes[j]), flight_homes[j]));
+        }
+        (
+            catalog,
+            AirlineSchema {
+                customer,
+                c_objs,
+                flight,
+                f_objs,
+                capacity,
+            },
+            agents,
+        )
+    }
+
+    /// Transaction-class declarations: flight scans read every customer
+    /// fragment. (Not elementarily acyclic for ≥2 customers and ≥2
+    /// flights — by design; the §4.3 example runs *without* the RAG
+    /// restriction.)
+    pub fn decls(&self) -> Vec<AccessDecl> {
+        let mut decls = Vec::new();
+        for &c in &self.customer {
+            decls.push(AccessDecl::update(c, [c]));
+        }
+        for &f in &self.flight {
+            decls.push(AccessDecl::update(f, self.customer.iter().copied()));
+        }
+        decls
+    }
+}
+
+/// Submission builders for the airline workload.
+pub struct AirlineDriver {
+    /// The schema.
+    pub schema: AirlineSchema,
+}
+
+impl AirlineDriver {
+    /// Create the driver.
+    pub fn new(schema: AirlineSchema) -> Self {
+        AirlineDriver { schema }
+    }
+
+    /// Customer `i` requests `seats` on flight `j`: sets `c_{i,j}` if not
+    /// already set (requests are immutable once made).
+    pub fn request(&self, customer: u32, flight: u32, seats: i64) -> Submission {
+        assert!(seats > 0);
+        let obj = self.schema.c_objs[customer as usize][flight as usize];
+        Submission::update(
+            self.schema.customer[customer as usize],
+            Box::new(move |ctx| {
+                if !ctx.read(obj).is_null() {
+                    return Err(ctx.abort("request already made"));
+                }
+                ctx.write(obj, seats)?;
+                Ok(())
+            }),
+        )
+    }
+
+    /// Customer `i` requests seats on several flights in one transaction
+    /// (all writes land in the one fragment `C_i`, so the initiation
+    /// requirement is satisfied).
+    pub fn request_many(&self, customer: u32, wants: Vec<(u32, i64)>) -> Submission {
+        let objs: Vec<(ObjectId, i64)> = wants
+            .into_iter()
+            .map(|(flight, seats)| {
+                assert!(seats > 0);
+                (
+                    self.schema.c_objs[customer as usize][flight as usize],
+                    seats,
+                )
+            })
+            .collect();
+        Submission::update(
+            self.schema.customer[customer as usize],
+            Box::new(move |ctx| {
+                for &(obj, seats) in &objs {
+                    if !ctx.read(obj).is_null() {
+                        return Err(ctx.abort("request already made"));
+                    }
+                    ctx.write(obj, seats)?;
+                }
+                Ok(())
+            }),
+        )
+    }
+
+    /// Flight `j`'s periodic scan: grant every new request that fits
+    /// within the remaining capacity. Reads `C_*`, writes only `F_j`.
+    pub fn flight_scan(&self, flight: u32) -> Submission {
+        let schema = self.schema.clone();
+        let j = flight as usize;
+        Submission::update(
+            schema.flight[j].to_owned(),
+            Box::new(move |ctx| {
+                let customers = schema.customer.len();
+                let mut reserved: i64 = (0..customers)
+                    .map(|i| ctx.read_int(schema.f_objs[j][i], 0))
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .sum();
+                for i in 0..customers {
+                    let granted = ctx.read_int(schema.f_objs[j][i], 0);
+                    if granted != 0 {
+                        continue; // already handled
+                    }
+                    let wanted = ctx.read_int(schema.c_objs[i][j], 0);
+                    if wanted == 0 {
+                        continue; // no (visible) request yet
+                    }
+                    if reserved + wanted > schema.capacity {
+                        continue; // would overbook: leave ungranted
+                    }
+                    ctx.write(schema.f_objs[j][i], wanted)?;
+                    reserved += wanted;
+                }
+                Ok(())
+            }),
+        )
+    }
+
+    /// Seats reserved on `flight` according to `node`'s replica.
+    pub fn seats_reserved(&self, sys: &System, node: NodeId, flight: u32) -> i64 {
+        let replica = sys.replica(node);
+        self.schema.f_objs[flight as usize]
+            .iter()
+            .map(|&o| replica.read(o).as_int_or(0).expect("seat counts are integers"))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_core::{Notification, SystemConfig};
+    use fragdb_graphs::ReadAccessGraph;
+    use fragdb_net::{NetworkChange, Topology};
+    use fragdb_sim::{SimDuration, SimTime};
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Paper's setup: 2 customers, 2 flights, all four agents on
+    /// different nodes.
+    fn build(seed: u64, capacity: i64) -> (System, AirlineDriver) {
+        let (catalog, schema, agents) = AirlineSchema::build(
+            2,
+            2,
+            capacity,
+            &[NodeId(0), NodeId(1)],
+            &[NodeId(2), NodeId(3)],
+        );
+        let sys = System::build(
+            Topology::full_mesh(4, SimDuration::from_millis(10)),
+            catalog,
+            agents,
+            SystemConfig::unrestricted(seed),
+        )
+        .unwrap();
+        (sys, AirlineDriver::new(schema))
+    }
+
+    #[test]
+    fn rag_of_figure_4_3_3_is_elementarily_cyclic() {
+        let (_, schema, _) = AirlineSchema::build(
+            2,
+            2,
+            10,
+            &[NodeId(0), NodeId(1)],
+            &[NodeId(2), NodeId(3)],
+        );
+        let rag = ReadAccessGraph::from_decls(&schema.decls());
+        assert!(rag.is_acyclic(), "directed: no cycle");
+        assert!(!rag.is_elementarily_acyclic(), "undirected square C1-F1-C2-F2");
+    }
+
+    #[test]
+    fn requests_granted_by_scans() {
+        let (mut sys, air) = build(1, 10);
+        sys.submit_at(secs(1), air.request(0, 0, 2));
+        sys.submit_at(secs(2), air.request(1, 1, 3));
+        sys.submit_at(secs(10), air.flight_scan(0));
+        sys.submit_at(secs(10), air.flight_scan(1));
+        sys.run_until(secs(60));
+        assert_eq!(air.seats_reserved(&sys, NodeId(0), 0), 2);
+        assert_eq!(air.seats_reserved(&sys, NodeId(0), 1), 3);
+        assert!(sys.divergent_fragments().is_empty());
+    }
+
+    #[test]
+    fn no_overbooking_even_when_requests_exceed_capacity() {
+        let (mut sys, air) = build(2, 3);
+        sys.submit_at(secs(1), air.request(0, 0, 2));
+        sys.submit_at(secs(1), air.request(1, 0, 2));
+        sys.submit_at(secs(10), air.flight_scan(0));
+        sys.run_until(secs(60));
+        let reserved = air.seats_reserved(&sys, NodeId(2), 0);
+        assert_eq!(reserved, 2, "only one of the 2+2 requests fits in 3 seats");
+        assert!(reserved <= 3, "never overbooked");
+    }
+
+    #[test]
+    fn customers_stay_available_during_partition() {
+        let (mut sys, air) = build(3, 10);
+        sys.net_change_at(
+            SimTime::ZERO,
+            NetworkChange::Split(vec![
+                vec![NodeId(0)],
+                vec![NodeId(1)],
+                vec![NodeId(2), NodeId(3)],
+            ]),
+        );
+        sys.submit_at(secs(1), air.request(0, 0, 1));
+        sys.submit_at(secs(1), air.request(1, 1, 1));
+        let notes = sys.run_until(secs(10));
+        let committed = notes
+            .iter()
+            .filter(|n| matches!(n, Notification::Committed { .. }))
+            .count();
+        assert_eq!(committed, 2, "both customers served while partitioned");
+        // Scans during the partition see nothing (requests not propagated).
+        sys.submit_at(secs(11), air.flight_scan(0));
+        sys.run_until(secs(20));
+        assert_eq!(air.seats_reserved(&sys, NodeId(2), 0), 0);
+        // Heal; next scan grants.
+        sys.net_change_at(secs(30), NetworkChange::HealAll);
+        sys.submit_at(secs(40), air.flight_scan(0));
+        sys.submit_at(secs(40), air.flight_scan(1));
+        sys.run_until(secs(90));
+        assert_eq!(air.seats_reserved(&sys, NodeId(0), 0), 1);
+        assert_eq!(air.seats_reserved(&sys, NodeId(0), 1), 1);
+        assert!(fragdb_graphs::analyze(&sys.history).fragmentwise_serializable());
+    }
+
+    #[test]
+    fn request_is_immutable() {
+        let (mut sys, air) = build(4, 10);
+        sys.submit_at(secs(1), air.request(0, 0, 2));
+        sys.submit_at(secs(5), air.request(0, 0, 5));
+        let notes = sys.run_until(secs(30));
+        assert!(notes.iter().any(|n| matches!(
+            n,
+            Notification::Aborted { reason: fragdb_core::AbortReason::Logic(_), .. }
+        )));
+    }
+}

@@ -1,0 +1,103 @@
+//! Poisson arrival processes for workload generation.
+
+use fragdb_sim::{SimRng, SimTime};
+
+/// Generate arrival instants of a Poisson process with the given rate
+/// (events per second) over `[start, horizon)`.
+pub fn poisson(
+    rng: &mut SimRng,
+    rate_per_sec: f64,
+    start: SimTime,
+    horizon: SimTime,
+) -> Vec<SimTime> {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    assert!(start < horizon, "empty interval");
+    let mean_gap_micros = 1e6 / rate_per_sec;
+    let mut out = Vec::new();
+    let mut t = start;
+    loop {
+        t += fragdb_sim::SimDuration(rng.exp_micros(mean_gap_micros));
+        if t >= horizon {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Evenly spaced instants (periodic tasks like the central office scan),
+/// starting at `start + period`.
+pub fn periodic(period: fragdb_sim::SimDuration, start: SimTime, horizon: SimTime) -> Vec<SimTime> {
+    assert!(period.micros() > 0, "period must be positive");
+    let mut out = Vec::new();
+    let mut t = start + period;
+    while t < horizon {
+        out.push(t);
+        t += period;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_sim::SimDuration;
+
+    #[test]
+    fn poisson_count_close_to_expectation() {
+        let mut rng = SimRng::new(42);
+        let times = poisson(
+            &mut rng,
+            10.0,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
+        let expected = 1000.0;
+        assert!(
+            (times.len() as f64 - expected).abs() < expected * 0.2,
+            "got {} arrivals, expected ~{expected}",
+            times.len()
+        );
+        // Strictly increasing, within bounds.
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(times.iter().all(|t| *t < SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = poisson(&mut SimRng::new(7), 5.0, SimTime::ZERO, SimTime::from_secs(10));
+        let b = poisson(&mut SimRng::new(7), 5.0, SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn periodic_spacing() {
+        let times = periodic(
+            SimDuration::from_secs(10),
+            SimTime::ZERO,
+            SimTime::from_secs(35),
+        );
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                SimTime::from_secs(30)
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_respects_start() {
+        let times = poisson(
+            &mut SimRng::new(1),
+            100.0,
+            SimTime::from_secs(5),
+            SimTime::from_secs(6),
+        );
+        assert!(times.iter().all(|t| *t >= SimTime::from_secs(5)));
+        assert!(!times.is_empty());
+    }
+}

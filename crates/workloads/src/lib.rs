@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! The paper's driving applications, as reusable workloads.
+//!
+//! * [`banking`] — §1/§2: accounts with BALANCES / ACTIVITY(i) /
+//!   RECORDED(i) fragments, the central-office posting trigger, local
+//!   views of balances, and overdraft fines as centralized corrective
+//!   actions.
+//! * [`warehouse`] — §4.2: `k` warehouse fragments plus a central
+//!   purchasing fragment whose read-access graph is a star — elementarily
+//!   acyclic, hence globally serializable with no read synchronization.
+//! * [`airline`] — §4.3: customer request fragments `C_i` and flight
+//!   fragments `F_j`; reservation requests are decoupled from grants, so
+//!   customers get availability while the centralized grant decision
+//!   prevents overbooking.
+//! * [`partitions`] — randomized partition-scenario generators.
+//! * [`arrivals`] — Poisson arrival-time generation.
+
+pub mod airline;
+pub mod arrivals;
+pub mod banking;
+pub mod partitions;
+pub mod warehouse;
+
+pub use airline::{AirlineDriver, AirlineSchema};
+pub use banking::{BankConfig, BankDriver, BankSchema};
+pub use warehouse::{WarehouseConfig, WarehouseDriver, WarehouseSchema};

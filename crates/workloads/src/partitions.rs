@@ -1,0 +1,142 @@
+//! Randomized partition-scenario generators.
+
+use fragdb_model::NodeId;
+use fragdb_net::PartitionSchedule;
+use fragdb_sim::{SimDuration, SimRng, SimTime};
+
+/// A single split of the nodes into two groups for `[from, until)`.
+pub fn single_split(
+    group_a: Vec<NodeId>,
+    group_b: Vec<NodeId>,
+    from: SimTime,
+    until: SimTime,
+) -> PartitionSchedule {
+    PartitionSchedule::none().split_between(from, until, vec![group_a, group_b])
+}
+
+/// Isolate one node for `[from, until)`.
+pub fn isolate(node: NodeId, n_nodes: u32, from: SimTime, until: SimTime) -> PartitionSchedule {
+    let others: Vec<NodeId> = (0..n_nodes).map(NodeId).filter(|&x| x != node).collect();
+    single_split(vec![node], others, from, until)
+}
+
+/// Randomized alternating partitions: split into two random groups for an
+/// exponential duration, heal for an exponential gap, repeat to `horizon`.
+///
+/// `disruption` in `[0, 1]` is the target fraction of time partitioned.
+pub fn random_alternating(
+    rng: &mut SimRng,
+    n_nodes: u32,
+    mean_partition: SimDuration,
+    disruption: f64,
+    horizon: SimTime,
+) -> PartitionSchedule {
+    assert!(n_nodes >= 2, "need at least two nodes to partition");
+    assert!((0.0..=1.0).contains(&disruption), "disruption is a fraction");
+    let mut schedule = PartitionSchedule::none();
+    if disruption <= 0.0 {
+        return schedule;
+    }
+    let mean_heal = if disruption >= 1.0 {
+        SimDuration::ZERO
+    } else {
+        SimDuration((mean_partition.micros() as f64 * (1.0 - disruption) / disruption) as u64)
+    };
+    let mut t = SimTime::ZERO + SimDuration(rng.exp_micros(mean_heal.micros().max(1) as f64));
+    while t < horizon {
+        let dur = SimDuration(rng.exp_micros(mean_partition.micros().max(1) as f64));
+        let end = t + dur;
+        if end >= horizon {
+            break;
+        }
+        // Random nonempty bipartition.
+        let mut nodes: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+        rng.shuffle(&mut nodes);
+        let cut = rng.gen_range(1..n_nodes as usize);
+        let (a, b) = nodes.split_at(cut);
+        schedule = schedule.split_between(t, end, vec![a.to_vec(), b.to_vec()]);
+        t = end + SimDuration(rng.exp_micros(mean_heal.micros().max(1) as f64));
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_net::NetworkChange;
+
+    #[test]
+    fn isolate_builds_two_groups() {
+        let s = isolate(NodeId(1), 4, SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(s.len(), 2);
+        match &s.events()[0].1 {
+            NetworkChange::Split(groups) => {
+                assert_eq!(groups[0], vec![NodeId(1)]);
+                assert_eq!(groups[1], vec![NodeId(0), NodeId(2), NodeId(3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_alternating_respects_horizon_and_pairs() {
+        let mut rng = SimRng::new(3);
+        let s = random_alternating(
+            &mut rng,
+            5,
+            SimDuration::from_secs(10),
+            0.3,
+            SimTime::from_secs(1000),
+        );
+        assert!(!s.is_empty(), "30% disruption over 1000s should partition");
+        assert_eq!(s.len() % 2, 0, "split/heal pairs");
+        for (t, _) in s.events() {
+            assert!(*t < SimTime::from_secs(1000));
+        }
+    }
+
+    #[test]
+    fn random_alternating_disruption_fraction_roughly_matches() {
+        let mut rng = SimRng::new(9);
+        let horizon = SimTime::from_secs(10_000);
+        let s = random_alternating(&mut rng, 4, SimDuration::from_secs(30), 0.4, horizon);
+        let disrupted = s.disrupted_time(horizon).as_secs_f64();
+        let frac = disrupted / horizon.as_secs_f64();
+        assert!(
+            (0.2..=0.6).contains(&frac),
+            "observed disruption {frac}, wanted ~0.4"
+        );
+    }
+
+    #[test]
+    fn zero_disruption_is_empty() {
+        let mut rng = SimRng::new(1);
+        let s = random_alternating(
+            &mut rng,
+            3,
+            SimDuration::from_secs(10),
+            0.0,
+            SimTime::from_secs(100),
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_alternating(
+            &mut SimRng::new(5),
+            4,
+            SimDuration::from_secs(5),
+            0.5,
+            SimTime::from_secs(500),
+        );
+        let b = random_alternating(
+            &mut SimRng::new(5),
+            4,
+            SimDuration::from_secs(5),
+            0.5,
+            SimTime::from_secs(500),
+        );
+        assert_eq!(a, b);
+    }
+}

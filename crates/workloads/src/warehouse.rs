@@ -1,0 +1,288 @@
+//! The wholesale warehouse application of §4.2.
+//!
+//! `k` warehouse fragments `W_1..W_k` (per-product quantity on hand plus a
+//! running sales total) and a central fragment `C` holding purchase
+//! decisions. Warehouses record sales and shipments locally — they read
+//! and write only their own fragment. The central office periodically
+//! scans every warehouse and updates its purchase plan — it reads
+//! `W_1..W_k` and writes only `C`.
+//!
+//! The read-access graph is a star centered on `C`: **elementarily
+//! acyclic**, so by the §4.2 theorem every execution is globally
+//! serializable — with zero read synchronization, even during partitions.
+
+use fragdb_core::{StrategyKind, Submission};
+use fragdb_model::{AccessDecl, AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId};
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct WarehouseConfig {
+    /// Number of warehouses (`k`).
+    pub warehouses: u32,
+    /// Products stocked at each warehouse.
+    pub products: u32,
+    /// Node hosting the central office.
+    pub central: NodeId,
+    /// Home node of each warehouse's agent.
+    pub warehouse_homes: Vec<NodeId>,
+    /// Reorder threshold: the central office plans a purchase when a
+    /// product's total stock falls below this.
+    pub reorder_below: i64,
+}
+
+/// Object layout.
+#[derive(Clone, Debug)]
+pub struct WarehouseSchema {
+    /// The central purchase-decision fragment `C`.
+    pub central: FragmentId,
+    /// One planned-purchase object per product.
+    pub plan_objs: Vec<ObjectId>,
+    /// Warehouse fragments `W_i`.
+    pub warehouse: Vec<FragmentId>,
+    /// `qty_objs[w][p]`: quantity of product `p` on hand at warehouse `w`.
+    pub qty_objs: Vec<Vec<ObjectId>>,
+    /// `sales_objs[w]`: cumulative sales counter of warehouse `w`.
+    pub sales_objs: Vec<ObjectId>,
+}
+
+impl WarehouseSchema {
+    /// Build catalog, schema, and agent assignment.
+    pub fn build(
+        cfg: &WarehouseConfig,
+    ) -> (FragmentCatalog, WarehouseSchema, Vec<(FragmentId, AgentId, NodeId)>) {
+        assert_eq!(cfg.warehouse_homes.len(), cfg.warehouses as usize);
+        let mut b = FragmentCatalog::builder();
+        let (central, plan_objs) = b.add_fragment("C", cfg.products as usize);
+        let mut warehouse = Vec::new();
+        let mut qty_objs = Vec::new();
+        let mut sales_objs = Vec::new();
+        for w in 0..cfg.warehouses {
+            let (f, objs) = b.add_fragment(format!("W{w}"), cfg.products as usize + 1);
+            warehouse.push(f);
+            sales_objs.push(objs[cfg.products as usize]);
+            qty_objs.push(objs[..cfg.products as usize].to_vec());
+        }
+        let catalog = b.build();
+        let mut agents = vec![(central, AgentId::Node(cfg.central), cfg.central)];
+        for (&frag, &home) in warehouse.iter().zip(&cfg.warehouse_homes) {
+            agents.push((frag, AgentId::Node(home), home));
+        }
+        let schema = WarehouseSchema {
+            central,
+            plan_objs,
+            warehouse,
+            qty_objs,
+            sales_objs,
+        };
+        (catalog, schema, agents)
+    }
+
+    /// The §4.2 transaction-class declarations for this schema: warehouses
+    /// touch only themselves; the central scan reads every warehouse.
+    pub fn decls(&self) -> Vec<AccessDecl> {
+        let mut decls = vec![AccessDecl::update(
+            self.central,
+            self.warehouse.iter().copied(),
+        )];
+        for &w in &self.warehouse {
+            decls.push(AccessDecl::update(w, [w]));
+        }
+        decls
+    }
+
+    /// The validated §4.2 strategy for this schema.
+    pub fn strategy(&self) -> StrategyKind {
+        StrategyKind::AcyclicRag {
+            decls: self.decls(),
+            allow_violating_read_only: true,
+        }
+    }
+}
+
+/// Submission builders for the warehouse workload.
+pub struct WarehouseDriver {
+    /// The schema.
+    pub schema: WarehouseSchema,
+    cfg: WarehouseConfig,
+}
+
+impl WarehouseDriver {
+    /// Create the driver.
+    pub fn new(schema: WarehouseSchema, cfg: WarehouseConfig) -> Self {
+        WarehouseDriver { schema, cfg }
+    }
+
+    /// A sale of `qty` units of `product` at `warehouse`: decrements the
+    /// quantity on hand (refusing if stock is insufficient) and bumps the
+    /// sales counter. Touches only `W_w`.
+    pub fn sale(&self, warehouse: u32, product: u32, qty: i64) -> Submission {
+        let q_obj = self.schema.qty_objs[warehouse as usize][product as usize];
+        let s_obj = self.schema.sales_objs[warehouse as usize];
+        Submission::update(
+            self.schema.warehouse[warehouse as usize],
+            Box::new(move |ctx| {
+                let on_hand = ctx.read_int(q_obj, 0);
+                if on_hand < qty {
+                    return Err(ctx.abort(format!("stock {on_hand} < {qty}")));
+                }
+                ctx.write(q_obj, on_hand - qty)?;
+                let sold = ctx.read_int(s_obj, 0);
+                ctx.write(s_obj, sold + qty)?;
+                Ok(())
+            }),
+        )
+    }
+
+    /// A shipment arriving at `warehouse`: increments the quantity on hand.
+    pub fn shipment(&self, warehouse: u32, product: u32, qty: i64) -> Submission {
+        let q_obj = self.schema.qty_objs[warehouse as usize][product as usize];
+        Submission::update(
+            self.schema.warehouse[warehouse as usize],
+            Box::new(move |ctx| {
+                let on_hand = ctx.read_int(q_obj, 0);
+                ctx.write(q_obj, on_hand + qty)?;
+                Ok(())
+            }),
+        )
+    }
+
+    /// The periodic central scan: reads every warehouse's quantities and
+    /// plans purchases for under-stocked products. Reads `W_*`, writes `C`.
+    pub fn central_scan(&self) -> Submission {
+        let schema = self.schema.clone();
+        let threshold = self.cfg.reorder_below;
+        Submission::update(
+            schema.central,
+            Box::new(move |ctx| {
+                for p in 0..schema.plan_objs.len() {
+                    let total: i64 = (0..schema.warehouse.len())
+                        .map(|w| ctx.read_int(schema.qty_objs[w][p], 0))
+                        .sum();
+                    if total < threshold {
+                        ctx.write(schema.plan_objs[p], threshold - total)?;
+                    }
+                }
+                Ok(())
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_core::{Notification, System, SystemConfig};
+    use fragdb_graphs::ReadAccessGraph;
+    use fragdb_net::{NetworkChange, Topology};
+    use fragdb_sim::{SimDuration, SimTime};
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cfg(k: u32) -> WarehouseConfig {
+        WarehouseConfig {
+            warehouses: k,
+            products: 2,
+            central: NodeId(0),
+            warehouse_homes: (1..=k).map(NodeId).collect(),
+            reorder_below: 10,
+        }
+    }
+
+    fn build(k: u32, seed: u64) -> (System, WarehouseDriver) {
+        let c = cfg(k);
+        let (catalog, schema, agents) = WarehouseSchema::build(&c);
+        let strategy = schema.strategy();
+        let sys = System::build(
+            Topology::full_mesh(k + 1, SimDuration::from_millis(10)),
+            catalog,
+            agents,
+            SystemConfig::unrestricted(seed).with_strategy(strategy),
+        )
+        .unwrap();
+        (sys, WarehouseDriver::new(schema, c))
+    }
+
+    #[test]
+    fn rag_is_a_star_and_elementarily_acyclic() {
+        let c = cfg(5);
+        let (_, schema, _) = WarehouseSchema::build(&c);
+        let rag = ReadAccessGraph::from_decls(&schema.decls());
+        assert!(rag.is_elementarily_acyclic(), "Figure 4.2.1 claim");
+        assert_eq!(rag.edges().count(), 5);
+        assert!(schema.strategy().validate().is_ok());
+    }
+
+    #[test]
+    fn sales_and_scan_interleave_serializably() {
+        let (mut sys, wh) = build(3, 1);
+        for w in 0..3 {
+            sys.submit_at(secs(1), wh.shipment(w, 0, 100));
+            sys.submit_at(secs(1), wh.shipment(w, 1, 100));
+        }
+        for i in 0..10u64 {
+            sys.submit_at(secs(2 + i), wh.sale((i % 3) as u32, (i % 2) as u32, 5));
+        }
+        sys.submit_at(secs(20), wh.central_scan());
+        let notes = sys.run_until(secs(60));
+        let committed = notes
+            .iter()
+            .filter(|n| matches!(n, Notification::Committed { .. }))
+            .count();
+        assert_eq!(committed, 17);
+        let verdict = fragdb_graphs::analyze(&sys.history);
+        assert!(verdict.globally_serializable, "§4.2 theorem");
+    }
+
+    #[test]
+    fn warehouses_stay_available_during_partition() {
+        let (mut sys, wh) = build(2, 2);
+        sys.submit_at(secs(1), wh.shipment(0, 0, 50));
+        sys.submit_at(secs(1), wh.shipment(1, 0, 50));
+        // Partition every node from every other.
+        sys.net_change_at(
+            secs(5),
+            NetworkChange::Split(vec![vec![NodeId(0)], vec![NodeId(1)], vec![NodeId(2)]]),
+        );
+        sys.submit_at(secs(6), wh.sale(0, 0, 10));
+        sys.submit_at(secs(6), wh.sale(1, 0, 10));
+        sys.submit_at(secs(7), wh.central_scan());
+        let notes = sys.run_until(secs(30));
+        let committed = notes
+            .iter()
+            .filter(|n| matches!(n, Notification::Committed { .. }))
+            .count();
+        assert_eq!(committed, 5, "all warehouse writes and the scan commit");
+        sys.net_change_at(secs(40), NetworkChange::HealAll);
+        sys.run_until(secs(120));
+        assert!(sys.divergent_fragments().is_empty());
+        assert!(fragdb_graphs::analyze(&sys.history).globally_serializable);
+    }
+
+    #[test]
+    fn oversell_is_refused_locally() {
+        let (mut sys, wh) = build(2, 3);
+        sys.submit_at(secs(1), wh.sale(0, 0, 5)); // nothing on hand
+        let notes = sys.run_until(secs(10));
+        assert!(notes
+            .iter()
+            .any(|n| matches!(n, Notification::Aborted { .. })));
+    }
+
+    #[test]
+    fn scan_plans_purchases_below_threshold() {
+        let (mut sys, wh) = build(2, 4);
+        sys.submit_at(secs(1), wh.shipment(0, 0, 3)); // total 3 < 10
+        sys.submit_at(secs(1), wh.shipment(0, 1, 50)); // total 50 >= 10
+        sys.submit_at(secs(10), wh.central_scan());
+        sys.run_until(secs(60));
+        let central = sys.replica(NodeId(0));
+        assert_eq!(
+            central.read(wh.schema.plan_objs[0]).as_int_or(0).unwrap(),
+            7,
+            "plan tops product 0 back to the threshold"
+        );
+        assert!(central.read(wh.schema.plan_objs[1]).is_null());
+    }
+}

@@ -1,0 +1,143 @@
+//! The §4.3/§4.4 airline examples: decoupled reservations plus a flight
+//! whose seat-assignment fragment travels with the airplane.
+//!
+//! Part 1 (§4.3): customers enter reservation requests at their own nodes
+//! during a partition; flight agents grant them centrally — full request
+//! availability, zero overbooking.
+//!
+//! Part 2 (§4.4.2A): a flight with stop-overs. The seat-assignment
+//! fragment's agent moves from airport to airport *with the airplane* —
+//! the plane is the token and carries the data, so each airport en route
+//! can sell seats even while cut off from the rest of the network.
+//!
+//! Run with: `cargo run --example airline`
+
+use fragdb::core::{MovePolicy, Notification, Submission, System, SystemConfig};
+use fragdb::model::{AgentId, FragmentCatalog, NodeId};
+use fragdb::net::{NetworkChange, Topology};
+use fragdb::sim::{SimDuration, SimTime};
+use fragdb::workloads::{AirlineDriver, AirlineSchema};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn part1_reservations() {
+    println!("== part 1: reservations stay available during a partition ==");
+    let (catalog, schema, agents) = AirlineSchema::build(
+        2,
+        2,
+        3, // 3 seats per flight: requests for 2+3 cannot both fit
+        &[NodeId(0), NodeId(1)],
+        &[NodeId(2), NodeId(3)],
+    );
+    let mut sys = System::build(
+        Topology::full_mesh(4, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(11),
+    )
+    .unwrap();
+    let air = AirlineDriver::new(schema);
+
+    sys.net_change_at(
+        SimTime::ZERO,
+        NetworkChange::Split(vec![
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(1), NodeId(3)],
+        ]),
+    );
+    println!("t=1s  customer 1 asks for 2 seats on flight 1 (partitioned — still accepted)");
+    sys.submit_at(secs(1), air.request(0, 0, 2));
+    println!("t=1s  customer 2 asks for 3 seats on flight 1 (other side — also accepted)");
+    sys.submit_at(secs(1), air.request(1, 0, 3));
+    sys.submit_at(secs(5), air.flight_scan(0));
+    sys.run_until(secs(20));
+    println!(
+        "t=20s flight 1 has granted {} seats (capacity 3)",
+        air.seats_reserved(&sys, NodeId(2), 0)
+    );
+    sys.net_change_at(secs(30), NetworkChange::HealAll);
+    sys.submit_at(secs(40), air.flight_scan(0));
+    sys.run_until(secs(120));
+    let granted = air.seats_reserved(&sys, NodeId(2), 0);
+    println!("t=120s after heal + rescan: {granted} seats granted — no overbooking");
+    assert!(granted <= 3);
+}
+
+fn part2_stopovers() {
+    println!("\n== part 2: the airplane is the token (stop-over flight) ==");
+    // Airports 0 -> 1 -> 2; the SEATS fragment flies with the plane.
+    let mut b = FragmentCatalog::builder();
+    let (seats, seat_objs) = b.add_fragment("SEATS(flight 77)", 8);
+    let catalog = b.build();
+    let mut sys = System::build(
+        Topology::full_mesh(3, SimDuration::from_millis(10)),
+        catalog,
+        vec![(seats, AgentId::Node(NodeId(0)), NodeId(0))],
+        SystemConfig::unrestricted(13).with_move_policy(MovePolicy::WithData {
+            transfer_delay: SimDuration::from_secs(60), // flight time between airports
+        }),
+    )
+    .unwrap();
+
+    // The ground network is partitioned the whole time — it doesn't
+    // matter, because the data rides in the airplane.
+    sys.net_change_at(
+        SimTime::ZERO,
+        NetworkChange::Split(vec![vec![NodeId(0)], vec![NodeId(1)], vec![NodeId(2)]]),
+    );
+
+    let sell = |seat: usize, passenger: i64| {
+        let obj = seat_objs[seat];
+        Submission::update(
+            seats,
+            Box::new(move |ctx| {
+                if !ctx.read(obj).is_null() {
+                    return Err(ctx.abort("seat taken"));
+                }
+                ctx.write(obj, passenger)?;
+                Ok(())
+            }),
+        )
+    };
+
+    println!("t=1s    airport 0 sells seats 0 and 1");
+    sys.submit_at(secs(1), sell(0, 100));
+    sys.submit_at(secs(2), sell(1, 101));
+    println!("t=10s   the plane departs for airport 1 (60s flight)");
+    sys.move_agent_at(secs(10), seats, NodeId(1));
+    println!("t=80s   airport 1 (still partitioned!) sells seat 2");
+    sys.submit_at(secs(80), sell(2, 200));
+    println!("t=90s   the plane departs for airport 2");
+    sys.move_agent_at(secs(90), seats, NodeId(2));
+    println!("t=160s  airport 2 sells seat 3 — and tries to resell seat 0");
+    sys.submit_at(secs(160), sell(3, 300));
+    sys.submit_at(secs(161), sell(0, 999));
+
+    let mut served = 0;
+    let mut refused = 0;
+    while let Some((_, notes)) = sys.step_until(secs(300)) {
+        for n in notes {
+            match n {
+                Notification::Committed { .. } => served += 1,
+                Notification::Aborted { .. } => refused += 1,
+                _ => {}
+            }
+        }
+    }
+    println!("\nsold {served} seats; {refused} double-sale refused (the data flew with the plane)");
+    assert_eq!(served, 4);
+    assert_eq!(refused, 1);
+
+    // Once the ground network heals, every airport learns the manifest.
+    sys.net_change_at(secs(310), NetworkChange::HealAll);
+    sys.run_until(secs(900));
+    assert!(sys.divergent_fragments().is_empty());
+    println!("ground network healed: all airports agree on the manifest.");
+}
+
+fn main() {
+    part1_reservations();
+    part2_stopovers();
+}

@@ -1,0 +1,414 @@
+//! Property-based tests of the system's core invariants, over randomized
+//! workloads, schemas, and partition scenarios.
+//!
+//! These are the mechanized versions of the paper's guarantees:
+//!
+//! * §3.2 — the broadcast layer releases messages exactly once, in
+//!   per-sender order, whatever the arrival order;
+//! * §4.2 — elementarily-acyclic read-access graphs yield globally
+//!   serializable executions (the theorem);
+//! * §4.3 — Properties 1 and 2 (fragmentwise serializability) and mutual
+//!   consistency hold under unrestricted reads and arbitrary partitions;
+//! * lock-manager safety — no two transactions ever hold conflicting
+//!   locks simultaneously, and released objects are fully cleaned up.
+
+use proptest::prelude::*;
+
+use fragdb::core::{Submission, System, SystemConfig};
+use fragdb::model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, TxnId};
+use fragdb::net::{BroadcastLayer, Topology};
+use fragdb::sim::{SimDuration, SimRng, SimTime};
+use fragdb::storage::{LockManager, LockMode, LockOutcome};
+
+// ---------------------------------------------------------------------
+// Broadcast layer
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever permutation (with duplicates) of a sender's messages
+    /// arrives, the receiver processes each exactly once, in order.
+    #[test]
+    fn broadcast_releases_in_order_exactly_once(
+        order in proptest::collection::vec(0u64..20, 1..60),
+    ) {
+        let mut layer: BroadcastLayer<u64> = BroadcastLayer::new();
+        let receiver = NodeId(1);
+        let sender = NodeId(0);
+        let max_seq = *order.iter().max().unwrap();
+        let mut released: Vec<u64> = Vec::new();
+        for &seq in &order {
+            for (s, payload) in layer.accept(receiver, sender, seq, seq) {
+                prop_assert_eq!(s, payload);
+                released.push(s);
+            }
+        }
+        // Complete the stream so everything can flush.
+        for seq in 0..=max_seq {
+            for (s, _) in layer.accept(receiver, sender, seq, seq) {
+                released.push(s);
+            }
+        }
+        let expected: Vec<u64> = (0..=max_seq).collect();
+        prop_assert_eq!(released, expected);
+    }
+
+    /// Multiple interleaved senders never bleed into each other.
+    #[test]
+    fn broadcast_streams_are_isolated(
+        steps in proptest::collection::vec((0u32..3, 0u64..10), 1..80),
+    ) {
+        let mut layer: BroadcastLayer<(u32, u64)> = BroadcastLayer::new();
+        let receiver = NodeId(9);
+        for &(sender, seq) in &steps {
+            for (_, (s, q)) in layer.accept(receiver, NodeId(sender), seq, (sender, seq)) {
+                prop_assert_eq!(s, sender);
+                // Released seq must be from that sender's own stream.
+                prop_assert!(q <= seq || q < 10);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock manager
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LockStep {
+    Acquire { txn: u64, obj: u64, exclusive: bool },
+    Release { txn: u64 },
+}
+
+fn lock_step() -> impl Strategy<Value = LockStep> {
+    prop_oneof![
+        (0u64..6, 0u64..4, any::<bool>()).prop_map(|(txn, obj, exclusive)| LockStep::Acquire {
+            txn,
+            obj,
+            exclusive
+        }),
+        (0u64..6).prop_map(|txn| LockStep::Release { txn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Safety: after any sequence of acquires/releases, no object has two
+    /// holders unless all holders are shared; and a deadlock verdict never
+    /// leaves residue.
+    #[test]
+    fn lock_manager_safety(steps in proptest::collection::vec(lock_step(), 1..60)) {
+        let mut lm = LockManager::new();
+        // Track what we believe is held: (txn -> set of (obj, mode)).
+        let mut held: std::collections::BTreeMap<u64, std::collections::BTreeMap<u64, LockMode>> =
+            Default::default();
+        let mut granted_log: Vec<(TxnId, ObjectId)> = Vec::new();
+        for step in steps {
+            match step {
+                LockStep::Acquire { txn, obj, exclusive } => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let t = TxnId::new(NodeId(0), txn);
+                    match lm.acquire(t, ObjectId(obj), mode) {
+                        LockOutcome::Granted => {
+                            let entry = held.entry(txn).or_default();
+                            let cur = entry.get(&obj).copied();
+                            // Upgrades replace; same-mode is idempotent.
+                            let effective = match (cur, mode) {
+                                (Some(LockMode::Exclusive), _) => LockMode::Exclusive,
+                                (_, m) => m,
+                            };
+                            entry.insert(obj, effective);
+                        }
+                        LockOutcome::Waiting | LockOutcome::Deadlock => {}
+                    }
+                }
+                LockStep::Release { txn } => {
+                    let t = TxnId::new(NodeId(0), txn);
+                    for (g, o) in lm.release_all(t) {
+                        granted_log.push((g, o));
+                        // A grant on release goes to a *different* txn.
+                        prop_assert_ne!(g, t);
+                    }
+                    held.remove(&txn);
+                }
+            }
+            // Invariant: for every object, at most one exclusive holder,
+            // and exclusive excludes shared — per our model of what was
+            // granted. (The manager's own `holds` must agree for granted
+            // locks that we believe are held.)
+            for (txn, objs) in &held {
+                for obj in objs.keys() {
+                    // The manager may have granted more (from release), but
+                    // everything we hold must still be held.
+                    prop_assert!(
+                        lm.holds(TxnId::new(NodeId(0), *txn), ObjectId(*obj)),
+                        "txn {} lost its lock on {}", txn, obj
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end system invariants (the paper's guarantees)
+// ---------------------------------------------------------------------
+
+/// Compact description of a randomized end-to-end run.
+#[derive(Debug, Clone)]
+struct RunPlan {
+    seed: u64,
+    fragments: usize,
+    updates_per_fragment: usize,
+    disruption_pct: u8,
+}
+
+fn run_plan() -> impl Strategy<Value = RunPlan> {
+    (any::<u64>(), 2usize..5, 1usize..8, 0u8..80).prop_map(
+        |(seed, fragments, updates_per_fragment, disruption_pct)| RunPlan {
+            seed,
+            fragments,
+            updates_per_fragment,
+            disruption_pct,
+        },
+    )
+}
+
+/// Build and run a random unrestricted-mode system per the plan; return it
+/// quiesced.
+fn execute(plan: &RunPlan, cross_reads: bool) -> System {
+    let mut b = FragmentCatalog::builder();
+    let mut objects = Vec::new();
+    for i in 0..plan.fragments {
+        let (_, objs) = b.add_fragment(format!("F{i}"), 2);
+        objects.push(objs);
+    }
+    let catalog = b.build();
+    let n = plan.fragments as u32;
+    let agents: Vec<(FragmentId, AgentId, NodeId)> = (0..plan.fragments)
+        .map(|i| {
+            (
+                FragmentId(i as u32),
+                AgentId::Node(NodeId(i as u32)),
+                NodeId(i as u32),
+            )
+        })
+        .collect();
+    let mut sys = System::build(
+        Topology::full_mesh(n.max(2), SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(plan.seed),
+    )
+    .unwrap();
+
+    let horizon = SimTime::from_secs(60);
+    let mut rng = SimRng::new(plan.seed ^ 0xABCD);
+    let sched = fragdb::workloads::partitions::random_alternating(
+        &mut rng,
+        n.max(2),
+        SimDuration::from_secs(8),
+        plan.disruption_pct as f64 / 100.0,
+        horizon,
+    );
+    sys.schedule_partitions(&sched);
+
+    for i in 0..plan.fragments {
+        for u in 0..plan.updates_per_fragment {
+            let own = objects[i].clone();
+            let foreign = if cross_reads {
+                let j = rng.gen_range(0..plan.fragments);
+                objects[j].clone()
+            } else {
+                Vec::new()
+            };
+            let t = SimTime::from_millis(rng.gen_range(1_000..59_000u64));
+            sys.submit_at(
+                t,
+                Submission::update(
+                    FragmentId(i as u32),
+                    Box::new(move |ctx| {
+                        let mut acc = (u + 1) as i64;
+                        for &o in &foreign {
+                            acc = acc.wrapping_add(ctx.read_int(o, 0));
+                        }
+                        for &o in &own {
+                            let v = ctx.read_int(o, 0);
+                            ctx.write(o, v.wrapping_add(acc) % 100_003)?;
+                        }
+                        Ok(())
+                    }),
+                ),
+            );
+        }
+    }
+    sys.run_until(horizon + SimDuration::from_secs(300));
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// §4.3: fragmentwise serializability and mutual consistency hold for
+    /// ANY random plan with cross-fragment reads and partitions.
+    #[test]
+    fn fragmentwise_serializability_always_holds(plan in run_plan()) {
+        let sys = execute(&plan, true);
+        let verdict = fragdb::graphs::analyze(&sys.history);
+        prop_assert!(
+            verdict.fragmentwise_serializable(),
+            "violated for plan {:?}", plan
+        );
+        prop_assert!(
+            sys.divergent_fragments().is_empty(),
+            "replicas diverged for plan {:?}", plan
+        );
+    }
+
+    /// §4.2 theorem, edgeless special case: with NO cross-fragment reads
+    /// the read-access graph is trivially elementarily acyclic, so every
+    /// execution must be globally serializable.
+    #[test]
+    fn no_cross_reads_implies_global_serializability(plan in run_plan()) {
+        let sys = execute(&plan, false);
+        let verdict = fragdb::graphs::analyze(&sys.history);
+        prop_assert!(
+            verdict.globally_serializable,
+            "violated for plan {:?}", plan
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local serialization graphs (the paper's premise) and agent movement
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The paper's premise — "local concurrency control mechanisms will
+    /// guarantee that all the l.s.g.'s are acyclic" — holds for every
+    /// execution the engine produces.
+    #[test]
+    fn local_serialization_graphs_are_acyclic(plan in run_plan()) {
+        let sys = execute(&plan, true);
+        let homes = sys.tokens().homes();
+        for lsg in fragdb::graphs::LocalSerializationGraph::build_all(&sys.history, &homes) {
+            prop_assert!(
+                lsg.is_acyclic(),
+                "l.s.g. of {} at {} is cyclic (plan {:?})",
+                lsg.fragment,
+                lsg.home,
+                plan
+            );
+        }
+    }
+}
+
+/// A randomized movement stress: the agent hops across random nodes while
+/// partitions come and go; after everything heals, every policy must
+/// converge, and every prepared policy must stay fragmentwise
+/// serializable.
+#[derive(Debug, Clone)]
+struct MovePlan {
+    seed: u64,
+    hops: Vec<u8>,        // target node of each move (mod n)
+    policy_idx: u8,       // which §4.4 protocol
+    disruption_pct: u8,
+}
+
+fn move_plan() -> impl Strategy<Value = MovePlan> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(0u8..4, 1..4),
+        0u8..4,
+        0u8..60,
+    )
+        .prop_map(|(seed, hops, policy_idx, disruption_pct)| MovePlan {
+            seed,
+            hops,
+            policy_idx,
+            disruption_pct,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn movement_protocols_converge_under_random_schedules(plan in move_plan()) {
+        use fragdb::core::MovePolicy;
+        let policy = match plan.policy_idx {
+            0 => MovePolicy::MajorityCommit {
+                timeout: SimDuration::from_secs(6),
+            },
+            1 => MovePolicy::WithData {
+                transfer_delay: SimDuration::from_millis(500),
+            },
+            2 => MovePolicy::WithSeqNo,
+            _ => MovePolicy::NoPrep,
+        };
+        let prepared = !matches!(policy, MovePolicy::NoPrep);
+
+        let mut b = fragdb::model::FragmentCatalog::builder();
+        let (frag, objs) = b.add_fragment("M", 2);
+        let catalog = b.build();
+        let mut sys = System::build(
+            Topology::full_mesh(4, SimDuration::from_millis(10)),
+            catalog,
+            vec![(frag, AgentId::Node(NodeId(0)), NodeId(0))],
+            SystemConfig::unrestricted(plan.seed).with_move_policy(policy),
+        )
+        .unwrap();
+
+        let horizon = SimTime::from_secs(100);
+        let mut rng = SimRng::new(plan.seed ^ 0x4D4F);
+        let sched = fragdb::workloads::partitions::random_alternating(
+            &mut rng,
+            4,
+            SimDuration::from_secs(10),
+            plan.disruption_pct as f64 / 100.0,
+            horizon,
+        );
+        sys.schedule_partitions(&sched);
+
+        // Updates every ~4s; moves spread across the horizon.
+        for i in 0..25u64 {
+            let obj = objs[(i % 2) as usize];
+            sys.submit_at(
+                SimTime::from_millis(i * 4_000 + 500),
+                fragdb::core::Submission::update(
+                    frag,
+                    Box::new(move |ctx| {
+                        let v = ctx.read_int(obj, 0);
+                        ctx.write(obj, v + 1)?;
+                        Ok(())
+                    }),
+                ),
+            );
+        }
+        for (i, &hop) in plan.hops.iter().enumerate() {
+            let at = SimTime::from_secs(20 + 25 * i as u64);
+            sys.move_agent_at(at, frag, NodeId(hop as u32 % 4));
+        }
+        sys.run_until(horizon + SimDuration::from_secs(600));
+
+        prop_assert!(
+            sys.divergent_fragments().is_empty(),
+            "policy {:?} diverged under plan {:?}",
+            plan.policy_idx,
+            plan
+        );
+        prop_assert_eq!(sys.queued_submissions(), 0, "no submission stuck forever");
+        if prepared {
+            let verdict = fragdb::graphs::analyze(&sys.history);
+            prop_assert!(
+                verdict.fragmentwise_serializable(),
+                "prepared policy lost fragmentwise serializability: {:?}",
+                plan
+            );
+        }
+    }
+}
