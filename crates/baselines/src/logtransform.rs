@@ -190,8 +190,7 @@ impl<O: LoggedOp> LogTransformSystem<O> {
                     if to == node {
                         continue;
                     }
-                    if let Some((deliver_at, d)) =
-                        self.transport.send(at, node, to, entry.clone())
+                    if let Some((deliver_at, d)) = self.transport.send(at, node, to, entry.clone())
                     {
                         self.engine.schedule_at(deliver_at, LtEv::Deliver(d));
                     }
@@ -234,9 +233,7 @@ impl<O: LoggedOp> LogTransformSystem<O> {
         for e in &slot.log {
             e.op.apply(&mut state);
         }
-        self.engine
-            .metrics
-            .add("replay.ops", slot.log.len() as u64);
+        self.engine.metrics.add("replay.ops", slot.log.len() as u64);
         slot.state = state;
     }
 }
@@ -272,10 +269,7 @@ mod tests {
     }
 
     fn build(n: u32, seed: u64) -> LogTransformSystem<BankOp> {
-        LogTransformSystem::build(
-            Topology::full_mesh(n, ms(10)),
-            LogTransformConfig { seed },
-        )
+        LogTransformSystem::build(Topology::full_mesh(n, ms(10)), LogTransformConfig { seed })
     }
 
     #[test]

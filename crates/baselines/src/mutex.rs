@@ -12,9 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use fragdb_model::{
-    FragmentId, History, NodeId, ObjectId, OpKind, TxnId, TxnType, Value,
-};
+use fragdb_model::{FragmentId, History, NodeId, ObjectId, OpKind, TxnId, TxnType, Value};
 use fragdb_net::{BroadcastLayer, Delivery, NetworkChange, Topology, Transport};
 use fragdb_sim::{Engine, SimTime};
 use fragdb_storage::Replica;
@@ -339,13 +337,13 @@ impl MutexSystem {
         );
         self.engine.metrics.incr("txn.committed");
         // Fan out, FIFO from the primary.
-        let bseq = self.bcast.stamp(self.primary);
         let n = self.replicas.len() as u32;
         for i in 0..n {
             let to = NodeId(i);
             if to == self.primary {
                 continue;
             }
+            let bseq = self.bcast.stamp_for(self.primary, to);
             let msg = MxMsg::Install {
                 bseq,
                 txn,

@@ -137,5 +137,10 @@ fn bench_install_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_strategy_cost, bench_posting_mode, bench_install_path);
+criterion_group!(
+    benches,
+    bench_strategy_cost,
+    bench_posting_mode,
+    bench_install_path
+);
 criterion_main!(benches);

@@ -8,8 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use fragdb_harness::experiments::{
     e10_broadcast, e1_spectrum, e2_banking_scenarios, e3_local_view, e4_warehouse, e5_gsg_cycle,
-    e6_airline, e7_movement, e8_theorem, e9_fragmentwise,
-    scenario::ScenarioParams,
+    e6_airline, e7_movement, e8_theorem, e9_fragmentwise, scenario::ScenarioParams,
 };
 use fragdb_sim::{SimDuration, SimTime};
 
@@ -145,10 +144,15 @@ fn bench_e10(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
     g.bench_function("e10_broadcast", |b| {
+        let lossy = e10_broadcast::FaultLevel {
+            label: "drop 40%",
+            plan: fragdb_net::FaultPlan::lossy(0.4),
+            crash: false,
+        };
         b.iter(|| {
-            let r = e10_broadcast::run(42, &[0.4]);
-            assert_eq!(r.samples[0].fifo_violations, 0);
-            r.samples[0].delivered
+            let r = e10_broadcast::run(42, std::slice::from_ref(&lossy));
+            assert!(r.samples[0].converged);
+            r.samples[0].committed
         })
     });
     g.finish();

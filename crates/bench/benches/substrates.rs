@@ -34,7 +34,7 @@ fn bench_broadcast(c: &mut Criterion) {
             let mut delivered = 0u64;
             // Deliver in reverse to exercise the hold-back queue.
             for seq in (0..1_000u64).rev() {
-                let _ = layer.stamp(sender);
+                let _ = layer.stamp_for(sender, receiver);
                 delivered += layer.accept(receiver, sender, seq, seq).len() as u64;
             }
             delivered

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 
 use fragdb_model::FragmentId;
+use fragdb_net::{FaultConfig, RetransmitConfig};
 use fragdb_sim::SimDuration;
 
 use crate::movement::MovePolicy;
@@ -32,6 +33,10 @@ pub struct SystemConfig {
     /// fragment. Fragments absent from the map are fully replicated.
     /// A fragment's agent home must always be in its replica set.
     pub replica_sets: BTreeMap<FragmentId, std::collections::BTreeSet<fragdb_model::NodeId>>,
+    /// Per-link fault injection (drop/duplicate/jitter); clean by default.
+    pub faults: FaultConfig,
+    /// Reliable-layer retransmission timing.
+    pub retransmit: RetransmitConfig,
     /// RNG seed for the run.
     pub seed: u64,
 }
@@ -46,6 +51,8 @@ impl SystemConfig {
             strategy_overrides: BTreeMap::new(),
             move_overrides: BTreeMap::new(),
             replica_sets: BTreeMap::new(),
+            faults: FaultConfig::clean(),
+            retransmit: RetransmitConfig::default(),
             seed,
         }
     }
@@ -66,6 +73,18 @@ impl SystemConfig {
     /// Replace the default strategy (builder style).
     pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Inject link faults (builder style).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Tune the reliable layer's retransmission timing (builder style).
+    pub fn with_retransmit(mut self, retransmit: RetransmitConfig) -> Self {
+        self.retransmit = retransmit;
         self
     }
 

@@ -78,6 +78,9 @@ pub enum Envelope {
         bseq: u64,
         /// The staged transaction to commit.
         txn: TxnId,
+        /// Its fragment — lets a receiver that lost the staged copy (crash)
+        /// fetch the committed entry from the home instead.
+        fragment: FragmentId,
     },
     /// Abandon the previously staged quasi-transaction.
     AbortCmd {
@@ -86,7 +89,8 @@ pub enum Envelope {
         /// The staged transaction to drop.
         txn: TxnId,
     },
-    /// §4.4.1 move: "which transactions on `fragment` have you seen?"
+    /// "Which transactions on `fragment` have you seen?" — the §4.4.1
+    /// move-time catch-up, also reused as crash-recovery anti-entropy.
     SeqQuery {
         /// Fragment being recovered.
         fragment: FragmentId,
@@ -94,6 +98,11 @@ pub enum Envelope {
         have: Option<u64>,
         /// Node to reply to.
         reply_to: NodeId,
+        /// Whether staged-but-uncommitted prepares count as "seen". The
+        /// §4.4.1 move needs them (a majority *acknowledged* them); crash
+        /// recovery must not resurrect them (their outcome is the live
+        /// home's to decide).
+        include_staged: bool,
     },
     /// Reply carrying the WAL entries the querier is missing.
     SeqReply {

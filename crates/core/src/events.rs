@@ -9,7 +9,7 @@
 //! [`System`]: crate::system::System
 
 use fragdb_model::{FragmentId, NodeId, QuasiTransaction, TxnId, Value};
-use fragdb_net::{Delivery, NetworkChange};
+use fragdb_net::{NetworkChange, PktDelivery, RetransmitTimer};
 use fragdb_sim::SimTime;
 
 use crate::envelope::Envelope;
@@ -127,10 +127,19 @@ impl std::fmt::Debug for Submission {
 pub enum Ev {
     /// A transaction arrives.
     Submit(Submission),
-    /// A network message reaches its destination.
-    Deliver(Delivery<Envelope>),
+    /// A network packet (data or ack) reaches its destination host.
+    Pkt(PktDelivery<Envelope>),
+    /// A reliable-layer retransmission timer fires.
+    Rto(RetransmitTimer),
     /// The network changes (partition onset/heal, single link flaps).
     Net(NetworkChange),
+    /// `node` fails: its volatile state (store, locks, staged prepares,
+    /// hold-back queues) is lost; only the WAL survives. In-flight
+    /// deliveries addressed to it are dropped on arrival.
+    Crash(NodeId),
+    /// `node` restarts: WAL replay rebuilds the store, then anti-entropy
+    /// (`SeqQuery`) catches up on what was missed while down.
+    Recover(NodeId),
     /// The driver moves `fragment`'s agent to `to` (token transfer is
     /// out-of-band, §3.1, so this fires regardless of partitions).
     Move {
@@ -165,8 +174,17 @@ impl std::fmt::Debug for Ev {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Ev::Submit(s) => f.debug_tuple("Submit").field(s).finish(),
-            Ev::Deliver(d) => write!(f, "Deliver({} {}->{})", d.msg.kind(), d.from, d.to),
+            Ev::Pkt(p) => {
+                let what = match &p.pkt {
+                    fragdb_net::Pkt::Data { id, msg } => format!("data#{id} {}", msg.kind()),
+                    fragdb_net::Pkt::Ack { id } => format!("ack#{id}"),
+                };
+                write!(f, "Pkt({what} {}->{})", p.from, p.to)
+            }
+            Ev::Rto(t) => write!(f, "Rto(#{} {}->{})", t.id, t.from, t.to),
             Ev::Net(c) => f.debug_tuple("Net").field(c).finish(),
+            Ev::Crash(n) => write!(f, "Crash({n})"),
+            Ev::Recover(n) => write!(f, "Recover({n})"),
             Ev::Move { fragment, to } => write!(f, "Move({fragment} -> {to})"),
             Ev::DataArrive { fragment, to, .. } => write!(f, "DataArrive({fragment} at {to})"),
             Ev::Timeout { txn } => write!(f, "Timeout({txn})"),
@@ -231,6 +249,20 @@ pub enum Notification {
         /// Install time.
         at: SimTime,
     },
+    /// A node crashed, losing its volatile state.
+    Crashed {
+        /// The failed node.
+        node: NodeId,
+        /// When it failed.
+        at: SimTime,
+    },
+    /// A node came back: WAL replayed, anti-entropy catch-up under way.
+    Recovered {
+        /// The restarted node.
+        node: NodeId,
+        /// When it restarted.
+        at: SimTime,
+    },
     /// §4.4: an agent finished moving; update processing resumes at `node`.
     MoveCompleted {
         /// The fragment whose agent moved.
@@ -270,11 +302,7 @@ mod tests {
         assert!(!s.read_only);
         assert!(s.foreign_reads.is_empty());
 
-        let s = Submission::update_reading(
-            FragmentId(1),
-            vec![ObjectId(9)],
-            Box::new(|_| Ok(())),
-        );
+        let s = Submission::update_reading(FragmentId(1), vec![ObjectId(9)], Box::new(|_| Ok(())));
         assert_eq!(s.foreign_reads, vec![ObjectId(9)]);
 
         let s = Submission::read_only(FragmentId(0), Box::new(|_| Ok(()))).at(NodeId(3));

@@ -157,11 +157,7 @@ impl<'a> TxnCtx<'a> {
 
     /// Buffer a write. Fails (aborting the transaction) if the object lies
     /// outside the initiator's fragment or the transaction is read-only.
-    pub fn write(
-        &mut self,
-        object: ObjectId,
-        value: impl Into<Value>,
-    ) -> Result<(), ProgramError> {
+    pub fn write(&mut self, object: ObjectId, value: impl Into<Value>) -> Result<(), ProgramError> {
         if self.read_only {
             return Err(ProgramError::Logic("write in read-only transaction".into()));
         }
@@ -254,7 +250,11 @@ mod tests {
         let granted = BTreeMap::new();
         let mut c = ctx(&catalog, &replica, &granted, false);
         assert_eq!(c.read(ObjectId(0)), Value::Int(100));
-        assert_eq!(c.read_int(ObjectId(1), -7), -7, "unwritten reads as default");
+        assert_eq!(
+            c.read_int(ObjectId(1), -7),
+            -7,
+            "unwritten reads as default"
+        );
         let eff = c.finish();
         assert_eq!(
             eff.reads,

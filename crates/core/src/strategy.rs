@@ -14,8 +14,8 @@
 //! * [`StrategyKind::Unrestricted`] (§4.3) — reads go anywhere, anytime.
 //!   Fragmentwise serializable.
 
-use fragdb_model::{AccessDecl, FragmentId};
 use fragdb_graphs::ReadAccessGraph;
+use fragdb_model::{AccessDecl, FragmentId};
 use fragdb_sim::SimDuration;
 
 /// Which control option the system runs.
@@ -83,12 +83,13 @@ impl StrategyKind {
     ) -> bool {
         match self {
             StrategyKind::AcyclicRag { decls, .. } => {
-                let read_set: std::collections::BTreeSet<FragmentId> =
-                    reads.into_iter().collect();
+                let read_set: std::collections::BTreeSet<FragmentId> = reads.into_iter().collect();
                 decls.iter().any(|d| {
                     d.updates
                         && d.initiator == initiator
-                        && read_set.iter().all(|f| *f == initiator || d.reads.contains(f))
+                        && read_set
+                            .iter()
+                            .all(|f| *f == initiator || d.reads.contains(f))
                 })
             }
             _ => true,
@@ -109,11 +110,12 @@ impl StrategyKind {
                 if *allow_violating_read_only {
                     return true;
                 }
-                let read_set: std::collections::BTreeSet<FragmentId> =
-                    reads.into_iter().collect();
+                let read_set: std::collections::BTreeSet<FragmentId> = reads.into_iter().collect();
                 decls.iter().any(|d| {
                     d.initiator == initiator
-                        && read_set.iter().all(|f| *f == initiator || d.reads.contains(f))
+                        && read_set
+                            .iter()
+                            .all(|f| *f == initiator || d.reads.contains(f))
                 })
             }
             _ => true,

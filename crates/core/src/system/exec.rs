@@ -2,9 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use fragdb_model::{
-    FragmentId, NodeId, ObjectId, OpKind, QuasiTransaction, TxnId, TxnType, Value,
-};
+use fragdb_model::{FragmentId, NodeId, ObjectId, OpKind, QuasiTransaction, TxnId, TxnType, Value};
 use fragdb_sim::SimTime;
 
 use crate::envelope::Envelope;
@@ -14,11 +12,7 @@ use crate::system::{Pending, QueuedSub, System};
 
 impl System {
     /// Entry point for a submission event.
-    pub(crate) fn handle_submission(
-        &mut self,
-        at: SimTime,
-        sub: Submission,
-    ) -> Vec<Notification> {
+    pub(crate) fn handle_submission(&mut self, at: SimTime, sub: Submission) -> Vec<Notification> {
         self.engine.metrics.incr("txn.submitted");
         let fragment = sub.fragment;
 
@@ -57,6 +51,14 @@ impl System {
             _ => self.tokens.home(fragment),
         };
 
+        // A crashed execution site cannot run anything: the operation is
+        // *unavailable* (the paper's availability question, answered "no"
+        // for this node until it recovers).
+        if self.down.contains(&home) {
+            let txn = self.alloc_txn(home);
+            return self.finish_abort(txn, fragment, AbortReason::Unavailable);
+        }
+
         if !sub.extra_fragments.is_empty() {
             return self.begin_multi_update(at, home, sub);
         }
@@ -83,7 +85,14 @@ impl System {
     ) -> Result<TxnEffects, AbortReason> {
         let replica = &self.nodes[home.0 as usize].replica;
         let mut ctx = crate::program::TxnCtx::new(
-            home, txn, fragment, at, replica, &self.catalog, granted, read_only,
+            home,
+            txn,
+            fragment,
+            at,
+            replica,
+            &self.catalog,
+            granted,
+            read_only,
         );
         ctx.allow_fragments(extra_fragments);
         match program(&mut ctx) {
@@ -142,9 +151,11 @@ impl System {
             .filter_map(|(_, o)| self.catalog.fragment_of(*o).ok())
             .collect();
         let admitted = if read_only {
-            self.strategy_for(fragment).admits_read_only(fragment, frags_read)
+            self.strategy_for(fragment)
+                .admits_read_only(fragment, frags_read)
         } else {
-            self.strategy_for(fragment).admits_update(fragment, frags_read)
+            self.strategy_for(fragment)
+                .admits_update(fragment, frags_read)
         };
         if !admitted {
             return self.finish_abort(txn, fragment, AbortReason::UndeclaredClass);
@@ -309,21 +320,18 @@ impl System {
                 fragment
             }
             Pending::MultiCoord {
-                participants,
-                home,
-                ..
+                participants, home, ..
             } => {
                 let fragment = participants[0].0;
                 notes.extend(self.abort_multi(at, txn, participants, home));
                 fragment
             }
-            Pending::Majority {
-                fragment, home, ..
-            } => {
+            Pending::Majority { fragment, home, .. } => {
                 self.majority_inflight.remove(&fragment);
                 // Return the reserved sequence number so no gap forms.
                 let seq = self.tokens.peek_frag_seq(fragment);
-                self.tokens.set_next_frag_seq(fragment, seq.saturating_sub(1));
+                self.tokens
+                    .set_next_frag_seq(fragment, seq.saturating_sub(1));
                 self.broadcast_fragment(at, home, fragment, |bseq| Envelope::AbortCmd {
                     bseq,
                     txn,
@@ -340,11 +348,7 @@ impl System {
     /// in-flight majority commit resolved).
     pub(crate) fn drain_queued(&mut self, at: SimTime, fragment: FragmentId) -> Vec<Notification> {
         let mut notes = Vec::new();
-        while let Some(q) = self
-            .queued
-            .get_mut(&fragment)
-            .and_then(|v| v.pop_front())
-        {
+        while let Some(q) = self.queued.get_mut(&fragment).and_then(|v| v.pop_front()) {
             self.engine
                 .metrics
                 .observe("latency.move_wait", (at - q.queued_at).micros());
@@ -361,5 +365,3 @@ impl System {
         notes
     }
 }
-
-

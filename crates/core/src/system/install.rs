@@ -68,25 +68,42 @@ impl System {
         node: NodeId,
         quasi: QuasiTransaction,
     ) -> Vec<Notification> {
-        debug_assert_ne!(quasi.origin(), node, "a node never re-installs its own commit");
+        debug_assert_ne!(
+            quasi.origin(),
+            node,
+            "a node never re-installs its own commit"
+        );
         let slot = &mut self.nodes[node.0 as usize];
         slot.replica.install_quasi(&quasi, at);
-        slot.next_install
-            .insert(quasi.fragment, quasi.frag_seq + 1);
+        slot.next_install.insert(quasi.fragment, quasi.frag_seq + 1);
         let ttype = TxnType::Update(quasi.fragment);
         for (object, _) in &quasi.updates {
             self.history
                 .record_install(node, quasi.txn, ttype, *object, at);
         }
-        if let Some(&committed) = self
-            .commit_times
-            .get(&(quasi.fragment, quasi.epoch, quasi.frag_seq))
+        if let Some(&committed) =
+            self.commit_times
+                .get(&(quasi.fragment, quasi.epoch, quasi.frag_seq))
         {
             self.engine
                 .metrics
                 .observe("latency.propagation", (at - committed).micros());
         }
         self.engine.metrics.incr("install.count");
+
+        // Crash recovery: did this install reach the catch-up target?
+        if let Some(&(target, since)) = self.recovering.get(&(node, quasi.fragment)) {
+            let caught_up = self.nodes[node.0 as usize]
+                .next_install
+                .get(&quasi.fragment)
+                .is_some_and(|&n| n >= target);
+            if caught_up {
+                self.recovering.remove(&(node, quasi.fragment));
+                self.engine
+                    .metrics
+                    .observe("latency.recovery", (at - since).micros());
+            }
+        }
 
         let mut notes = vec![Notification::Installed {
             node,

@@ -196,16 +196,15 @@ impl System {
         let contacted_sites = std::mem::take(contacted_sites);
         self.pending.remove(&txn);
 
-        let effects = match self.run_program(
-            at, home, txn, fragment, &[], &granted, read_only, program,
-        ) {
-            Ok(e) => e,
-            Err(reason) => {
-                let mut notes = self.release_all_sites(at, home, txn, &contacted_sites);
-                notes.extend(self.finish_abort(txn, fragment, reason));
-                return notes;
-            }
-        };
+        let effects =
+            match self.run_program(at, home, txn, fragment, &[], &granted, read_only, program) {
+                Ok(e) => e,
+                Err(reason) => {
+                    let mut notes = self.release_all_sites(at, home, txn, &contacted_sites);
+                    notes.extend(self.finish_abort(txn, fragment, reason));
+                    return notes;
+                }
+            };
 
         if read_only {
             self.flush_reads(txn, TxnType::ReadOnly(fragment), &effects.reads, at);
@@ -248,7 +247,15 @@ impl System {
             );
             return Vec::new();
         }
-        self.commit_locked(at, home, txn, fragment, effects, &contacted_sites, submitted_at)
+        self.commit_locked(
+            at,
+            home,
+            txn,
+            fragment,
+            effects,
+            &contacted_sites,
+            submitted_at,
+        )
     }
 
     /// Commit a §4.1 transaction and release every lock it holds.
@@ -360,6 +367,14 @@ impl System {
         else {
             unreachable!("checked above");
         };
-        self.commit_locked(at, home, txn, fragment, effects, &contacted_sites, submitted_at)
+        self.commit_locked(
+            at,
+            home,
+            txn,
+            fragment,
+            effects,
+            &contacted_sites,
+            submitted_at,
+        )
     }
 }

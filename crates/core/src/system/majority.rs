@@ -139,7 +139,11 @@ impl System {
             effects,
             false, // receivers install from their staged copy on CommitCmd
         );
-        self.broadcast_fragment(at, home, fragment, |bseq| Envelope::CommitCmd { bseq, txn });
+        self.broadcast_fragment(at, home, fragment, |bseq| Envelope::CommitCmd {
+            bseq,
+            txn,
+            fragment,
+        });
         notes.extend(self.observe_commit_latency(submitted_at, at));
         notes.extend(self.drain_queued(at, fragment));
         notes
@@ -149,14 +153,28 @@ impl System {
     pub(crate) fn on_commit_cmd(
         &mut self,
         at: SimTime,
+        from: NodeId,
         node: NodeId,
         txn: TxnId,
+        fragment: FragmentId,
     ) -> Vec<Notification> {
         let Some(quasi) = self.nodes[node.0 as usize].staged.remove(&txn) else {
-            // Possible only if this node already installed it via move
-            // recovery (SeqReply); the duplicate check in ordered_install
-            // would drop it anyway.
-            return Vec::new();
+            // Either this node already has the entry (installed via move
+            // recovery), or the staged copy died in a crash. Ask the home
+            // for whatever this node is missing; the home committed before
+            // broadcasting `CommitCmd`, so its WAL has the entry.
+            let have = self.nodes[node.0 as usize].replica.last_frag_seq(fragment);
+            return self.send_direct(
+                at,
+                node,
+                from,
+                Envelope::SeqQuery {
+                    fragment,
+                    have,
+                    reply_to: node,
+                    include_staged: false,
+                },
+            );
         };
         self.ordered_install(at, node, quasi)
     }
@@ -198,6 +216,7 @@ impl System {
                     fragment,
                     have,
                     reply_to: new_home,
+                    include_staged: true,
                 },
             ));
         }
@@ -206,12 +225,15 @@ impl System {
         notes
     }
 
-    /// Another node answers a sequence query with the entries the new home
-    /// is missing. Staged-but-not-yet-committed quasi-transactions count as
-    /// "seen" (the paper: each old transaction "was seen by a majority of
-    /// nodes" — seen means acknowledged at prepare time, which is exactly
-    /// the staged set), so a transaction whose `CommitCmd` is still in
-    /// flight at move time is not lost.
+    /// Another node answers a sequence query with the entries the querier
+    /// is missing. With `include_staged`, staged-but-not-yet-committed
+    /// quasi-transactions count as "seen" (the paper: each old transaction
+    /// "was seen by a majority of nodes" — seen means acknowledged at
+    /// prepare time, which is exactly the staged set), so a transaction
+    /// whose `CommitCmd` is still in flight at move time is not lost.
+    /// Crash-recovery anti-entropy passes `include_staged: false`: a
+    /// restarting node must not resurrect prepares whose outcome is still
+    /// the live home's to decide.
     ///
     /// Known limitation: if the move instead races an `AbortCmd`, a staged
     /// share can be resurrected at the new home. Both races stem from
@@ -224,6 +246,7 @@ impl System {
         fragment: FragmentId,
         have: Option<u64>,
         reply_to: NodeId,
+        include_staged: bool,
     ) -> Vec<Notification> {
         let from_seq = have.map_or(0, |h| h + 1);
         let slot = &self.nodes[node.0 as usize];
@@ -234,19 +257,21 @@ impl System {
             .into_iter()
             .cloned()
             .collect();
-        for quasi in slot.staged.values() {
-            if quasi.fragment == fragment
-                && quasi.frag_seq >= from_seq
-                && !entries.iter().any(|e| e.frag_seq == quasi.frag_seq)
-            {
-                entries.push(WalEntry {
-                    txn: quasi.txn,
-                    fragment: quasi.fragment,
-                    frag_seq: quasi.frag_seq,
-                    epoch: quasi.epoch,
-                    updates: quasi.updates.clone(),
-                    installed_at: at,
-                });
+        if include_staged {
+            for quasi in slot.staged.values() {
+                if quasi.fragment == fragment
+                    && quasi.frag_seq >= from_seq
+                    && !entries.iter().any(|e| e.frag_seq == quasi.frag_seq)
+                {
+                    entries.push(WalEntry {
+                        txn: quasi.txn,
+                        fragment: quasi.fragment,
+                        frag_seq: quasi.frag_seq,
+                        epoch: quasi.epoch,
+                        updates: quasi.updates.clone(),
+                        installed_at: at,
+                    });
+                }
             }
         }
         entries.sort_by_key(|e| e.frag_seq);
@@ -262,8 +287,10 @@ impl System {
         )
     }
 
-    /// A recovery reply reaches the new home: install what is missing and
-    /// count the replier toward the majority.
+    /// A recovery reply: install what is missing. For a §4.4.1 move the
+    /// replier also counts toward the recovery majority; crash-recovery
+    /// catch-up (no move in progress) just installs — `ordered_install`
+    /// drops anything already present.
     pub(crate) fn on_seq_reply(
         &mut self,
         at: SimTime,
@@ -273,11 +300,12 @@ impl System {
         entries: Vec<WalEntry>,
     ) -> Vec<Notification> {
         let mut notes = Vec::new();
-        match self.move_state.get_mut(&fragment) {
-            Some(MoveState::MajorityRecovery { new_home, replies }) if *new_home == node => {
+        if let Some(MoveState::MajorityRecovery { new_home, replies }) =
+            self.move_state.get_mut(&fragment)
+        {
+            if *new_home == node {
                 replies.insert(replier);
             }
-            _ => return notes, // stale reply from a finished recovery
         }
         for e in entries {
             let quasi = QuasiTransaction {
@@ -304,8 +332,7 @@ impl System {
         if !done {
             return Vec::new();
         }
-        let Some(MoveState::MajorityRecovery { new_home, .. }) =
-            self.move_state.remove(&fragment)
+        let Some(MoveState::MajorityRecovery { new_home, .. }) = self.move_state.remove(&fragment)
         else {
             unreachable!("checked above");
         };

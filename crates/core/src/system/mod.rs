@@ -19,10 +19,11 @@ mod multi;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use fragdb_model::{
-    AgentId, FragmentCatalog, FragmentId, History, NodeId, ObjectId, QuasiTransaction, TxnId,
-    Value,
+    AgentId, FragmentCatalog, FragmentId, History, NodeId, ObjectId, QuasiTransaction, TxnId, Value,
 };
-use fragdb_net::{BroadcastLayer, Delivery, NetworkChange, Topology, Transport};
+use fragdb_net::{
+    BroadcastLayer, Delivery, NetAction, NetworkChange, PktDelivery, ReliableNet, Topology,
+};
 use fragdb_sim::{Engine, SimDuration, SimTime};
 use fragdb_storage::{LockManager, Replica};
 
@@ -160,6 +161,22 @@ pub(crate) struct QueuedSub {
     pub queued_at: SimTime,
 }
 
+/// Cleanup a crashed node owes the rest of the system, announced when it
+/// recovers ("presumed abort, declared on restart"). A dead node cannot
+/// send; these are the messages it would have sent to abort its in-flight
+/// transactions.
+pub(crate) enum CrashTombstone {
+    /// §4.4.1: tell the replica set to drop a staged prepare.
+    AbortCmd { fragment: FragmentId, txn: TxnId },
+    /// §3.2 footnote: tell 2PC participants to drop their staged shares.
+    MfAbort {
+        xid: TxnId,
+        participants: Vec<(FragmentId, NodeId)>,
+    },
+    /// §4.1: free the shared locks the dead coordinator held at lock sites.
+    LockRelease { txn: TxnId, sites: BTreeSet<NodeId> },
+}
+
 /// The fragments-and-agents distributed database system.
 pub struct System {
     /// The discrete-event engine driving everything.
@@ -173,10 +190,19 @@ pub struct System {
     pub(crate) strategy_overrides: std::collections::BTreeMap<FragmentId, StrategyKind>,
     /// §6: per-fragment movement-policy overrides.
     pub(crate) move_overrides: std::collections::BTreeMap<FragmentId, MovePolicy>,
-    pub(crate) transport: Transport<Envelope>,
+    pub(crate) net: ReliableNet<Envelope>,
     pub(crate) bcast: BroadcastLayer<Envelope>,
     pub(crate) tokens: TokenRegistry,
     pub(crate) nodes: Vec<NodeSlot>,
+    /// Nodes currently crashed: packets addressed to them are dropped on
+    /// arrival, submissions homed at them abort as unavailable.
+    pub(crate) down: BTreeSet<NodeId>,
+    /// Abort messages each crashed node owes the system, sent at recovery.
+    pub(crate) tombstones: BTreeMap<NodeId, Vec<CrashTombstone>>,
+    /// Crash-recovery catch-up in progress: `(node, fragment)` → the
+    /// `next_install` target that means "caught up", and when recovery
+    /// started (for the `latency.recovery` metric).
+    pub(crate) recovering: BTreeMap<(NodeId, FragmentId), (u64, SimTime)>,
     pub(crate) next_txn_seq: Vec<u64>,
     pub(crate) pending: BTreeMap<TxnId, Pending>,
     /// Commit times per (fragment, epoch, frag_seq), for staleness metrics.
@@ -233,7 +259,11 @@ impl System {
                 frag.id
             );
             if let Some(set) = config.replica_sets.get(&frag.id) {
-                assert!(!set.is_empty(), "empty replica set for fragment {}", frag.id);
+                assert!(
+                    !set.is_empty(),
+                    "empty replica set for fragment {}",
+                    frag.id
+                );
                 assert!(
                     set.iter().all(|r| r.0 < n),
                     "replica out of range for fragment {}",
@@ -267,10 +297,15 @@ impl System {
             move_policy: config.move_policy,
             strategy_overrides: config.strategy_overrides,
             move_overrides: config.move_overrides,
-            transport: Transport::new(topology),
+            net: ReliableNet::new(topology)
+                .with_faults(config.faults)
+                .with_retransmit(config.retransmit),
             bcast: BroadcastLayer::new(),
             tokens,
             nodes,
+            down: BTreeSet::new(),
+            tombstones: BTreeMap::new(),
+            recovering: BTreeMap::new(),
             next_txn_seq: vec![0; n as usize],
             pending: BTreeMap::new(),
             commit_times: BTreeMap::new(),
@@ -305,6 +340,21 @@ impl System {
     /// Schedule an agent move at absolute time `at`.
     pub fn move_agent_at(&mut self, at: SimTime, fragment: FragmentId, to: NodeId) {
         self.engine.schedule_at(at, Ev::Move { fragment, to });
+    }
+
+    /// Schedule a node crash at absolute time `at`.
+    pub fn crash_at(&mut self, at: SimTime, node: NodeId) {
+        self.engine.schedule_at(at, Ev::Crash(node));
+    }
+
+    /// Schedule a node recovery at absolute time `at`.
+    pub fn recover_at(&mut self, at: SimTime, node: NodeId) {
+        self.engine.schedule_at(at, Ev::Recover(node));
+    }
+
+    /// Is `node` currently crashed?
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.contains(&node)
     }
 
     /// Handle the next event at or before `limit`. Returns `None` when no
@@ -346,9 +396,9 @@ impl System {
         &self.tokens
     }
 
-    /// Network transport statistics.
-    pub fn transport_stats(&self) -> fragdb_net::TransportStats {
-        self.transport.stats()
+    /// Reliable-network activity counters.
+    pub fn net_stats(&self) -> fragdb_net::ReliableStats {
+        self.net.stats()
     }
 
     /// Number of nodes.
@@ -385,14 +435,20 @@ impl System {
     pub(crate) fn handle(&mut self, at: SimTime, ev: Ev) -> Vec<Notification> {
         match ev {
             Ev::Submit(sub) => self.handle_submission(at, sub),
-            Ev::Deliver(d) => self.handle_delivery(at, d),
-            Ev::Net(change) => {
-                let released = self.transport.apply_change(at, &change);
-                for (deliver_at, d) in released {
-                    self.engine.schedule_at(deliver_at, Ev::Deliver(d));
-                }
+            Ev::Pkt(pd) => self.handle_packet(at, pd),
+            Ev::Rto(timer) => {
+                let actions = self.net.on_timer(at, timer, &mut self.engine.rng);
+                self.schedule_net(actions);
                 Vec::new()
             }
+            Ev::Net(change) => {
+                // Nothing to release: blocked traffic gets through on a
+                // later retransmission once connectivity returns.
+                self.net.apply_change(&change);
+                Vec::new()
+            }
+            Ev::Crash(node) => self.handle_crash(at, node),
+            Ev::Recover(node) => self.handle_recover(at, node),
             Ev::Move { fragment, to } => self.handle_move(at, fragment, to),
             Ev::DataArrive {
                 fragment,
@@ -403,6 +459,38 @@ impl System {
             } => self.handle_data_arrive(at, fragment, to, snapshot, next_frag_seq, epoch),
             Ev::Timeout { txn } => self.handle_timeout(at, txn),
         }
+    }
+
+    /// Schedule the reliable layer's follow-up work on the engine.
+    pub(crate) fn schedule_net(&mut self, actions: Vec<NetAction<Envelope>>) {
+        for action in actions {
+            match action {
+                NetAction::Deliver(deliver_at, pd) => {
+                    self.engine.schedule_at(deliver_at, Ev::Pkt(pd));
+                }
+                NetAction::Timer(fire_at, timer) => {
+                    self.engine.schedule_at(fire_at, Ev::Rto(timer));
+                }
+            }
+        }
+    }
+
+    /// A wire packet arrives at a host. Crashed hosts drop everything on
+    /// the floor (no ack — the sender keeps retransmitting until the node
+    /// recovers and resyncs); live hosts run the reliable layer, and each
+    /// application message it releases is dispatched in order.
+    fn handle_packet(&mut self, at: SimTime, pd: PktDelivery<Envelope>) -> Vec<Notification> {
+        if self.down.contains(&pd.to) {
+            self.engine.metrics.incr("net.dropped_at_down_node");
+            return Vec::new();
+        }
+        let (released, actions) = self.net.on_packet(at, pd, &mut self.engine.rng);
+        self.schedule_net(actions);
+        let mut notes = Vec::new();
+        for d in released {
+            notes.extend(self.handle_delivery(at, d));
+        }
+        notes
     }
 
     fn handle_delivery(&mut self, at: SimTime, d: Delivery<Envelope>) -> Vec<Notification> {
@@ -437,7 +525,9 @@ impl System {
                 }
             }
             Envelope::Prepare { quasi, .. } => self.on_prepare(at, from, to, quasi),
-            Envelope::CommitCmd { txn, .. } => self.on_commit_cmd(at, to, txn),
+            Envelope::CommitCmd { txn, fragment, .. } => {
+                self.on_commit_cmd(at, from, to, txn, fragment)
+            }
             Envelope::AbortCmd { txn, .. } => {
                 self.nodes[to.0 as usize].staged.remove(&txn);
                 Vec::new()
@@ -450,7 +540,10 @@ impl System {
                 new_home,
                 ..
             } => self.on_m0(at, to, fragment, old_epoch, last_seq, entries, new_home),
-            other => unreachable!("non-broadcast envelope {:?} in broadcast path", other.kind()),
+            other => unreachable!(
+                "non-broadcast envelope {:?} in broadcast path",
+                other.kind()
+            ),
         }
     }
 
@@ -475,7 +568,8 @@ impl System {
                 fragment,
                 have,
                 reply_to,
-            } => self.on_seq_query(at, to, fragment, have, reply_to),
+                include_staged,
+            } => self.on_seq_query(at, to, fragment, have, reply_to, include_staged),
             Envelope::SeqReply {
                 fragment,
                 from: replier,
@@ -512,12 +606,16 @@ impl System {
 
     /// The effective control strategy for `fragment` (§6 mixtures).
     pub fn strategy_for(&self, fragment: FragmentId) -> &StrategyKind {
-        self.strategy_overrides.get(&fragment).unwrap_or(&self.strategy)
+        self.strategy_overrides
+            .get(&fragment)
+            .unwrap_or(&self.strategy)
     }
 
     /// The effective movement policy for `fragment` (§6 mixtures).
     pub fn move_policy_for(&self, fragment: FragmentId) -> &MovePolicy {
-        self.move_overrides.get(&fragment).unwrap_or(&self.move_policy)
+        self.move_overrides
+            .get(&fragment)
+            .unwrap_or(&self.move_policy)
     }
 
     /// Allocate a fresh transaction id for a transaction executing at `node`.
@@ -531,12 +629,7 @@ impl System {
     /// Broadcast an envelope from `from` to every other node, through the
     /// FIFO layer. The closure builds the envelope given the allocated
     /// broadcast sequence number.
-    pub(crate) fn broadcast(
-        &mut self,
-        at: SimTime,
-        from: NodeId,
-        build: impl Fn(u64) -> Envelope,
-    ) {
+    pub(crate) fn broadcast(&mut self, at: SimTime, from: NodeId, build: impl Fn(u64) -> Envelope) {
         let n = self.nodes.len() as u32;
         let targets: Vec<NodeId> = (0..n).map(NodeId).collect();
         self.broadcast_to(at, from, &targets, build);
@@ -576,14 +669,15 @@ impl System {
                 continue;
             }
             let bseq = self.bcast.stamp_for(from, to);
-            if let Some((deliver_at, d)) = self.transport.send(at, from, to, build(bseq)) {
-                self.engine.schedule_at(deliver_at, Ev::Deliver(d));
-            }
+            let actions = self
+                .net
+                .send(at, from, to, build(bseq), &mut self.engine.rng);
+            self.schedule_net(actions);
         }
     }
 
-    /// Send a point-to-point envelope (delivered whenever connectivity
-    /// allows; loopback is dispatched inline).
+    /// Send a point-to-point envelope (retransmitted until acknowledged;
+    /// loopback is dispatched inline).
     pub(crate) fn send_direct(
         &mut self,
         at: SimTime,
@@ -594,9 +688,8 @@ impl System {
         if from == to {
             return self.dispatch_direct(at, from, to, env);
         }
-        if let Some((deliver_at, d)) = self.transport.send(at, from, to, env) {
-            self.engine.schedule_at(deliver_at, Ev::Deliver(d));
-        }
+        let actions = self.net.send(at, from, to, env, &mut self.engine.rng);
+        self.schedule_net(actions);
         Vec::new()
     }
 
@@ -610,5 +703,195 @@ impl System {
             return Vec::new();
         }
         self.abort_pending(at, txn, AbortReason::Unavailable)
+    }
+
+    // ---- crash / recovery ------------------------------------------------
+
+    /// A node fails: everything volatile is lost. The store, lock tables,
+    /// staged prepares, hold-back queues, and pending protocol state
+    /// vanish; the WAL (stable storage) survives. In-flight transactions
+    /// homed at the node abort — but a dead node cannot broadcast its
+    /// aborts, so they are recorded as tombstones announced at recovery
+    /// (presumed abort).
+    fn handle_crash(&mut self, at: SimTime, node: NodeId) -> Vec<Notification> {
+        if !self.down.insert(node) {
+            return Vec::new(); // already down
+        }
+        self.engine.metrics.incr("node.crash");
+        self.net.crash(node);
+
+        let slot = &mut self.nodes[node.0 as usize];
+        slot.replica.crash();
+        slot.locks = LockManager::new();
+        slot.remote_reqs.clear();
+        slot.staged.clear();
+        slot.next_install.clear();
+        slot.holdback.clear();
+        slot.regime_close.clear();
+        slot.noprep_handled.clear();
+        slot.mf_staged.clear();
+
+        let mine: Vec<TxnId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| match p {
+                Pending::LockAcq { home, .. }
+                | Pending::XWait { home, .. }
+                | Pending::MultiCoord { home, .. }
+                | Pending::Majority { home, .. } => *home == node,
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        let mut notes = Vec::new();
+        for txn in mine {
+            notes.extend(self.abort_crashed(node, txn));
+        }
+        notes.push(Notification::Crashed { node, at });
+        notes
+    }
+
+    /// Abort one in-flight transaction that died with its home node,
+    /// recording the cleanup messages the node owes as tombstones.
+    fn abort_crashed(&mut self, node: NodeId, txn: TxnId) -> Vec<Notification> {
+        let Some(pending) = self.pending.remove(&txn) else {
+            return Vec::new();
+        };
+        let (fragment, tombstone) = match pending {
+            Pending::LockAcq {
+                fragment,
+                contacted_sites,
+                ..
+            }
+            | Pending::XWait {
+                fragment,
+                contacted_sites,
+                ..
+            } => {
+                let sites: BTreeSet<NodeId> =
+                    contacted_sites.into_iter().filter(|s| *s != node).collect();
+                (
+                    fragment,
+                    (!sites.is_empty()).then_some(CrashTombstone::LockRelease { txn, sites }),
+                )
+            }
+            Pending::MultiCoord { participants, .. } => {
+                let fragment = participants[0].0;
+                for (f, _) in &participants {
+                    self.mf_inflight.remove(f);
+                }
+                let others: Vec<(FragmentId, NodeId)> = participants
+                    .into_iter()
+                    .filter(|&(_, home)| home != node)
+                    .collect();
+                (
+                    fragment,
+                    (!others.is_empty()).then_some(CrashTombstone::MfAbort {
+                        xid: txn,
+                        participants: others,
+                    }),
+                )
+            }
+            Pending::Majority { fragment, .. } => {
+                self.majority_inflight.remove(&fragment);
+                // Return the reserved sequence number so no gap forms.
+                let seq = self.tokens.peek_frag_seq(fragment);
+                self.tokens
+                    .set_next_frag_seq(fragment, seq.saturating_sub(1));
+                (fragment, Some(CrashTombstone::AbortCmd { fragment, txn }))
+            }
+        };
+        if let Some(t) = tombstone {
+            self.tombstones.entry(node).or_default().push(t);
+        }
+        self.finish_abort(txn, fragment, AbortReason::Unavailable)
+    }
+
+    /// A node restarts: replay the WAL into the store, resync the network
+    /// and broadcast layers (pre-crash streams drain as duplicates),
+    /// announce the tombstoned aborts, and run `SeqQuery` anti-entropy
+    /// against each fragment's home to catch up on what was missed.
+    fn handle_recover(&mut self, at: SimTime, node: NodeId) -> Vec<Notification> {
+        if !self.down.remove(&node) {
+            return Vec::new(); // was not down
+        }
+        self.engine.metrics.incr("node.recover");
+
+        let frags: Vec<FragmentId> = self.catalog.fragments().iter().map(|f| f.id).collect();
+        let slot = &mut self.nodes[node.0 as usize];
+        slot.replica.recover(at);
+        for &f in &frags {
+            if let Some(s) = slot.replica.last_frag_seq(f) {
+                slot.next_install.insert(f, s + 1);
+            }
+        }
+
+        self.net.resync_node(node);
+        self.bcast.resync_node(node);
+
+        let mut notes = Vec::new();
+        for t in self.tombstones.remove(&node).unwrap_or_default() {
+            match t {
+                CrashTombstone::AbortCmd { fragment, txn } => {
+                    self.broadcast_fragment(at, node, fragment, move |bseq| Envelope::AbortCmd {
+                        bseq,
+                        txn,
+                    });
+                }
+                CrashTombstone::MfAbort { xid, participants } => {
+                    for (f, home) in participants {
+                        notes.extend(self.send_direct(
+                            at,
+                            node,
+                            home,
+                            Envelope::MfAbort { xid, fragment: f },
+                        ));
+                    }
+                }
+                CrashTombstone::LockRelease { txn, sites } => {
+                    for site in sites {
+                        notes.extend(self.send_direct(
+                            at,
+                            node,
+                            site,
+                            Envelope::LockRelease { txn },
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Anti-entropy: the home has the full installed sequence (it
+        // commits locally before broadcasting), so one round trip per
+        // fragment closes the gap. `recovering` records the catch-up
+        // target; `do_install` observes `latency.recovery` when it's met.
+        for &f in &frags {
+            if !self.replicated_at(f, node) {
+                continue;
+            }
+            let target = self.tokens.peek_frag_seq(f);
+            let have = self.nodes[node.0 as usize].replica.last_frag_seq(f);
+            let home = self.tokens.home(f);
+            if have.map_or(0, |h| h + 1) >= target || home == node || self.down.contains(&home) {
+                continue;
+            }
+            self.recovering.insert((node, f), (target, at));
+            notes.extend(self.send_direct(
+                at,
+                node,
+                home,
+                Envelope::SeqQuery {
+                    fragment: f,
+                    have,
+                    reply_to: node,
+                    include_staged: false,
+                },
+            ));
+        }
+        if !self.recovering.keys().any(|&(n, _)| n == node) {
+            // Nothing was missed: recovery completes with WAL replay alone.
+            self.engine.metrics.observe("latency.recovery", 0);
+        }
+        notes.push(Notification::Recovered { node, at });
+        notes
     }
 }

@@ -27,6 +27,17 @@ impl System {
             "cannot move {fragment}'s agent to {to}: no replica there"
         );
         let old_home = self.tokens.home(fragment);
+        // Either endpoint down: the move cannot proceed (the old home must
+        // snapshot/close the regime, the new home must receive). Retry
+        // shortly, like a move racing another move.
+        if self.down.contains(&old_home) || self.down.contains(&to) {
+            self.engine.metrics.incr("moves.deferred");
+            self.engine.schedule(
+                fragdb_sim::SimDuration::from_secs(1),
+                Ev::Move { fragment, to },
+            );
+            return Vec::new();
+        }
         if old_home == to {
             return vec![Notification::MoveCompleted {
                 fragment,
@@ -315,12 +326,7 @@ impl System {
                     // Step B.2: forward to the new home for corrective
                     // handling; do not install.
                     self.engine.metrics.incr("noprep.forwarded");
-                    self.send_direct(
-                        at,
-                        node,
-                        close.new_home,
-                        Envelope::ForwardMissing { quasi },
-                    )
+                    self.send_direct(at, node, close.new_home, Envelope::ForwardMissing { quasi })
                 }
             }
             _ => self.noprep_do_install(at, node, quasi),

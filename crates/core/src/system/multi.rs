@@ -53,8 +53,9 @@ impl System {
     ) -> Vec<Notification> {
         let xid = self.alloc_txn(home);
         let first = sub.fragment;
-        let declared: Vec<FragmentId> =
-            std::iter::once(first).chain(sub.extra_fragments.iter().copied()).collect();
+        let declared: Vec<FragmentId> = std::iter::once(first)
+            .chain(sub.extra_fragments.iter().copied())
+            .collect();
 
         // Execute against the coordinator's replica.
         let no_grants = BTreeMap::new();
@@ -84,8 +85,7 @@ impl System {
         // single written fragment is NOT the initiator's, fall through to
         // the 2PC machinery so the write still commits at that fragment's
         // own agent home.)
-        let only_first = shares.len() <= 1
-            && shares.keys().next().is_none_or(|&f| f == first);
+        let only_first = shares.len() <= 1 && shares.keys().next().is_none_or(|&f| f == first);
         if only_first {
             let writes = shares.into_values().next().unwrap_or_default();
             let effects = crate::program::TxnEffects {
@@ -100,11 +100,11 @@ impl System {
             return notes;
         }
 
-        let participants: Vec<(FragmentId, NodeId)> = shares
-            .keys()
-            .map(|&f| (f, self.tokens.home(f)))
-            .collect();
-        debug_assert!(participants.iter().any(|(f, _)| *f == first || declared.contains(f)));
+        let participants: Vec<(FragmentId, NodeId)> =
+            shares.keys().map(|&f| (f, self.tokens.home(f))).collect();
+        debug_assert!(participants
+            .iter()
+            .any(|(f, _)| *f == first || declared.contains(f)));
         self.engine.metrics.incr("mf.started");
         self.pending.insert(
             xid,
@@ -257,14 +257,23 @@ impl System {
         xid: TxnId,
         fragment: FragmentId,
     ) -> Vec<Notification> {
-        let Some(stage) = self.nodes[node.0 as usize].mf_staged.remove(&(xid, fragment)) else {
+        let Some(stage) = self.nodes[node.0 as usize]
+            .mf_staged
+            .remove(&(xid, fragment))
+        else {
             return Vec::new();
         };
         self.mf_inflight.remove(&fragment);
         let ttype = TxnType::Update(fragment);
         for (object, _) in &stage.updates {
-            self.history
-                .record_local(node, stage.local_txn, ttype, fragdb_model::OpKind::Write, *object, at);
+            self.history.record_local(
+                node,
+                stage.local_txn,
+                ttype,
+                fragdb_model::OpKind::Write,
+                *object,
+                at,
+            );
         }
         let slot = &mut self.nodes[node.0 as usize];
         slot.replica.commit_local(
@@ -309,7 +318,10 @@ impl System {
         xid: TxnId,
         fragment: FragmentId,
     ) -> Vec<Notification> {
-        let Some(stage) = self.nodes[node.0 as usize].mf_staged.remove(&(xid, fragment)) else {
+        let Some(stage) = self.nodes[node.0 as usize]
+            .mf_staged
+            .remove(&(xid, fragment))
+        else {
             return Vec::new();
         };
         if self.mf_inflight.get(&fragment) == Some(&xid) {

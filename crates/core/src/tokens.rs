@@ -29,7 +29,9 @@ impl TokenRegistry {
     /// Panics if the fragment already has a token — "for every fragment,
     /// there is exactly one token".
     pub fn mint(&mut self, fragment: FragmentId, owner: AgentId, home: NodeId) {
-        let prev = self.tokens.insert(fragment, Token::new(fragment, owner, home));
+        let prev = self
+            .tokens
+            .insert(fragment, Token::new(fragment, owner, home));
         assert!(prev.is_none(), "fragment {fragment} already has a token");
         self.next_frag_seq.entry(fragment).or_insert(0);
     }

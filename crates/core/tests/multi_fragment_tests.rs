@@ -109,7 +109,10 @@ fn undeclared_fragment_write_is_an_initiation_violation() {
             ..
         }
     )));
-    assert!(sys.replica(NodeId(0)).read(a).is_null(), "no partial effects");
+    assert!(
+        sys.replica(NodeId(0)).read(a).is_null(),
+        "no partial effects"
+    );
 }
 
 #[test]
@@ -160,7 +163,11 @@ fn unreachable_participant_aborts_with_no_partial_effects() {
         ),
     );
     let notes = sys.run_until(secs(700));
-    assert_eq!(committed(&notes), 1, "F1 not left blocked by the aborted 2PC");
+    assert_eq!(
+        committed(&notes),
+        1,
+        "F1 not left blocked by the aborted 2PC"
+    );
     assert_eq!(sys.replica(NodeId(1)).read(b), &Value::Int(99));
 }
 

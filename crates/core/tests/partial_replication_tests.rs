@@ -1,9 +1,7 @@
 //! Tests for partial replication (§6: "databases that are not fully
 //! replicated").
 
-use fragdb_core::{
-    AbortReason, MovePolicy, Notification, Submission, System, SystemConfig,
-};
+use fragdb_core::{AbortReason, MovePolicy, Notification, Submission, System, SystemConfig};
 use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, Value};
 use fragdb_net::{NetworkChange, Topology};
 use fragdb_sim::{SimDuration, SimTime};
@@ -72,10 +70,10 @@ fn message_traffic_shrinks_with_the_replica_set() {
     let (mut sys, o0, o1) = build(2, MovePolicy::Fixed);
     sys.submit_at(secs(1), write_update(FragmentId(0), o0[0], 1));
     sys.run_until(secs(30));
-    let full = sys.transport_stats().sent;
+    let full = sys.net_stats().sent;
     sys.submit_at(secs(31), write_update(FragmentId(1), o1[0], 1));
     sys.run_until(secs(60));
-    let partial = sys.transport_stats().sent - full;
+    let partial = sys.net_stats().sent - full;
     assert_eq!(full, 3, "full replication: 3 copies");
     assert_eq!(partial, 1, "partial replication: 1 copy");
 }
@@ -189,10 +187,7 @@ fn majority_commit_uses_the_replica_set_majority() {
     );
     sys.net_change_at(
         SimTime::ZERO,
-        NetworkChange::Split(vec![
-            vec![NodeId(1), NodeId(2)],
-            vec![NodeId(0), NodeId(3)],
-        ]),
+        NetworkChange::Split(vec![vec![NodeId(1), NodeId(2)], vec![NodeId(0), NodeId(3)]]),
     );
     sys.submit_at(secs(1), write_update(FragmentId(1), o1[0], 9));
     let notes = sys.run_until(secs(60));

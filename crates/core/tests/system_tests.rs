@@ -107,7 +107,10 @@ fn updates_remain_available_during_partition_and_heal() {
     sys.run_until(secs(120));
     assert_eq!(sys.replica(NodeId(1)).read(objs[0][0]), &Value::Int(7));
     assert_eq!(sys.replica(NodeId(2)).read(objs[0][0]), &Value::Int(7));
-    assert!(sys.divergent_fragments().is_empty(), "mutual consistency restored");
+    assert!(
+        sys.divergent_fragments().is_empty(),
+        "mutual consistency restored"
+    );
 }
 
 #[test]
@@ -184,7 +187,10 @@ fn logic_abort_leaves_no_trace() {
         aborted_reasons(&notes),
         vec![&AbortReason::Logic("insufficient funds".into())]
     );
-    assert!(sys.history.is_empty(), "aborted reads must not pollute the history");
+    assert!(
+        sys.history.is_empty(),
+        "aborted reads must not pollute the history"
+    );
     assert!(sys.replica(NodeId(0)).read(objs[0][0]).is_null());
 }
 
@@ -343,12 +349,11 @@ fn distributed_deadlock_resolved_by_timeout() {
     // At least one falls to the timeout; the other may then proceed or
     // also time out depending on interleaving.
     assert!(!aborted_reasons(&notes).is_empty());
-    assert!(sys
-        .engine
-        .metrics
-        .counter("abort.unavailable")
-        + sys.engine.metrics.counter("abort.deadlock")
-        >= 1);
+    assert!(
+        sys.engine.metrics.counter("abort.unavailable")
+            + sys.engine.metrics.counter("abort.deadlock")
+            >= 1
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -415,10 +420,7 @@ fn cyclic_rag_is_rejected_at_build_time() {
     let (f1, _) = b.add_fragment("B", 1);
     let catalog = b.build();
     let config = SystemConfig::unrestricted(14).with_strategy(StrategyKind::AcyclicRag {
-        decls: vec![
-            AccessDecl::update(f0, [f1]),
-            AccessDecl::update(f1, [f0]),
-        ],
+        decls: vec![AccessDecl::update(f0, [f1]), AccessDecl::update(f1, [f0])],
         allow_violating_read_only: false,
     });
     let agents = vec![
@@ -476,7 +478,11 @@ fn move_with_data_works_across_partition() {
     sys.move_agent_at(secs(10), FragmentId(1), NodeId(2));
     sys.submit_at(secs(12), write_update(FragmentId(1), obj, 20));
     let notes = sys.run_until(secs(30));
-    assert_eq!(committed_count(&notes), 2, "new home commits during partition");
+    assert_eq!(
+        committed_count(&notes),
+        2,
+        "new home commits during partition"
+    );
     assert_eq!(sys.replica(NodeId(2)).read(obj), &Value::Int(20));
     sys.net_change_at(secs(40), NetworkChange::HealAll);
     sys.run_until(secs(90));
@@ -505,7 +511,11 @@ fn move_with_seqno_waits_for_catch_up() {
 
     sys.net_change_at(secs(40), NetworkChange::HealAll);
     let notes = sys.run_until(secs(120));
-    assert_eq!(committed_count(&notes), 1, "queued update commits after catch-up");
+    assert_eq!(
+        committed_count(&notes),
+        1,
+        "queued update commits after catch-up"
+    );
     assert!(notes
         .iter()
         .any(|n| matches!(n, Notification::MoveCompleted { node, .. } if *node == NodeId(2))));
@@ -652,7 +662,10 @@ fn moving_back_and_forth_stays_consistent() {
         let to = NodeId(((round + 1) % 3) as u32);
         sys.move_agent_at(secs(round * 10 + 1), FragmentId(2), to);
         expect = (round + 1) as i64 * 100;
-        sys.submit_at(secs(round * 10 + 5), write_update(FragmentId(2), obj, expect));
+        sys.submit_at(
+            secs(round * 10 + 5),
+            write_update(FragmentId(2), obj, expect),
+        );
     }
     let notes = sys.run_until(secs(120));
     assert_eq!(committed_count(&notes), 4);

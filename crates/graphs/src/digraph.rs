@@ -74,8 +74,7 @@ impl<N: Ord + Copy> DiGraph<N> {
             Gray,
             Black,
         }
-        let mut color: BTreeMap<N, Color> =
-            self.nodes.iter().map(|&n| (n, Color::White)).collect();
+        let mut color: BTreeMap<N, Color> = self.nodes.iter().map(|&n| (n, Color::White)).collect();
         let mut parent: BTreeMap<N, N> = BTreeMap::new();
 
         for &root in &self.nodes {

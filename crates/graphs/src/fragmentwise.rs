@@ -52,13 +52,18 @@ pub fn check_property1(history: &History) -> Vec<(FragmentId, Vec<TxnId>)> {
         if op.kind != OpKind::Write {
             continue;
         }
-        let Some(ty) = types.get(&op.txn) else { continue };
+        let Some(ty) = types.get(&op.txn) else {
+            continue;
+        };
         if !ty.is_update() {
             continue;
         }
         let frag = ty.fragment();
         if seen.insert((frag, op.node, op.txn)) {
-            per_frag_node.entry((frag, op.node)).or_default().push(op.txn);
+            per_frag_node
+                .entry((frag, op.node))
+                .or_default()
+                .push(op.txn);
         }
     }
 
@@ -185,7 +190,14 @@ mod tests {
         for node in [0u32, 1] {
             for &t in &[t1, t2] {
                 if node == 0 {
-                    h.record_local(NodeId(node), t, TxnType::Update(f), OpKind::Write, ObjectId(1), SimTime(1));
+                    h.record_local(
+                        NodeId(node),
+                        t,
+                        TxnType::Update(f),
+                        OpKind::Write,
+                        ObjectId(1),
+                        SimTime(1),
+                    );
                 } else {
                     h.record_install(NodeId(node), t, TxnType::Update(f), ObjectId(1), SimTime(2));
                 }
@@ -217,12 +229,42 @@ mod tests {
         // Divergence in F0; F1 consistent.
         let a1 = tid(0, 0);
         let a2 = tid(0, 1);
-        h.record_install(NodeId(1), a1, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(1));
-        h.record_install(NodeId(1), a2, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(2));
-        h.record_install(NodeId(2), a2, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(3));
-        h.record_install(NodeId(2), a1, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(4));
+        h.record_install(
+            NodeId(1),
+            a1,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(1),
+            SimTime(1),
+        );
+        h.record_install(
+            NodeId(1),
+            a2,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(1),
+            SimTime(2),
+        );
+        h.record_install(
+            NodeId(2),
+            a2,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(1),
+            SimTime(3),
+        );
+        h.record_install(
+            NodeId(2),
+            a1,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(1),
+            SimTime(4),
+        );
         let b1 = tid(3, 0);
-        h.record_install(NodeId(1), b1, TxnType::Update(FragmentId(1)), ObjectId(2), SimTime(5));
+        h.record_install(
+            NodeId(1),
+            b1,
+            TxnType::Update(FragmentId(1)),
+            ObjectId(2),
+            SimTime(5),
+        );
         let v = check_property1(&h);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].0, FragmentId(0));
@@ -237,8 +279,22 @@ mod tests {
         // u writes objects 1,2 installed at N1 back-to-back; r reads both after.
         h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(1), SimTime(1));
         h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(2), SimTime(1));
-        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(2));
-        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(2), SimTime(2));
+        h.record_local(
+            NodeId(1),
+            r,
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(1),
+            SimTime(2),
+        );
+        h.record_local(
+            NodeId(1),
+            r,
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(2),
+            SimTime(2),
+        );
         assert!(check_property2(&h).is_empty());
     }
 
@@ -249,10 +305,24 @@ mod tests {
         let u = tid(0, 0);
         let r = tid(1, 0);
         // r reads object 1 BEFORE u's install, object 2 AFTER: torn read.
-        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(1));
+        h.record_local(
+            NodeId(1),
+            r,
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(1),
+            SimTime(1),
+        );
         h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(1), SimTime(2));
         h.record_install(NodeId(1), u, TxnType::Update(f), ObjectId(2), SimTime(2));
-        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(2), SimTime(3));
+        h.record_local(
+            NodeId(1),
+            r,
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(2),
+            SimTime(3),
+        );
         let v = check_property2(&h);
         assert_eq!(v.len(), 1);
         let (reader, updater, node, old, new) = v[0];
@@ -268,10 +338,36 @@ mod tests {
         let mut h = History::new();
         let u = tid(0, 0);
         let r = tid(1, 0);
-        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(1));
-        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(2), SimTime(1));
-        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(2));
-        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(2), SimTime(2));
+        h.record_local(
+            NodeId(1),
+            r,
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(1),
+            SimTime(1),
+        );
+        h.record_local(
+            NodeId(1),
+            r,
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(2),
+            SimTime(1),
+        );
+        h.record_install(
+            NodeId(1),
+            u,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(1),
+            SimTime(2),
+        );
+        h.record_install(
+            NodeId(1),
+            u,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(2),
+            SimTime(2),
+        );
         assert!(check_property2(&h).is_empty());
     }
 
@@ -281,9 +377,28 @@ mod tests {
         let u = tid(0, 0);
         let r = tid(1, 0);
         // Reader touches only one of the two written objects.
-        h.record_local(NodeId(1), r, TxnType::ReadOnly(FragmentId(1)), OpKind::Read, ObjectId(1), SimTime(1));
-        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(1), SimTime(2));
-        h.record_install(NodeId(1), u, TxnType::Update(FragmentId(0)), ObjectId(2), SimTime(2));
+        h.record_local(
+            NodeId(1),
+            r,
+            TxnType::ReadOnly(FragmentId(1)),
+            OpKind::Read,
+            ObjectId(1),
+            SimTime(1),
+        );
+        h.record_install(
+            NodeId(1),
+            u,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(1),
+            SimTime(2),
+        );
+        h.record_install(
+            NodeId(1),
+            u,
+            TxnType::Update(FragmentId(0)),
+            ObjectId(2),
+            SimTime(2),
+        );
         assert!(check_property2(&h).is_empty());
     }
 

@@ -63,7 +63,10 @@ impl GlobalSerializationGraph {
                 .or_default()
                 .push((op.seq, op.txn, op.kind));
             if op.kind == OpKind::Write {
-                present.entry((op.node, op.object)).or_default().insert(op.txn);
+                present
+                    .entry((op.node, op.object))
+                    .or_default()
+                    .insert(op.txn);
                 if !op.is_install {
                     writers.entry(op.object).or_default().insert(op.txn);
                 }
@@ -248,7 +251,10 @@ mod tests {
         // t1 writes x at N0 only; t2 at N1 reads x (install never arrives).
         let h = hist(&[(0, t1, upd(0), W, 5), (1, t2, upd(1), R, 5)]);
         let g = GlobalSerializationGraph::build(&h);
-        assert!(g.graph().has_edge(t2, t1), "missing install means read-before-write");
+        assert!(
+            g.graph().has_edge(t2, t1),
+            "missing install means read-before-write"
+        );
         assert!(g.is_serializable());
     }
 

@@ -133,8 +133,22 @@ mod tests {
         let f = FragmentId(0);
         let t1 = tid(0, 0);
         let t2 = tid(0, 1);
-        h.record_local(NodeId(0), t1, TxnType::Update(f), OpKind::Write, ObjectId(1), SimTime(1));
-        h.record_local(NodeId(0), t2, TxnType::Update(f), OpKind::Read, ObjectId(1), SimTime(2));
+        h.record_local(
+            NodeId(0),
+            t1,
+            TxnType::Update(f),
+            OpKind::Write,
+            ObjectId(1),
+            SimTime(1),
+        );
+        h.record_local(
+            NodeId(0),
+            t2,
+            TxnType::Update(f),
+            OpKind::Read,
+            ObjectId(1),
+            SimTime(2),
+        );
         let lsg = LocalSerializationGraph::build(&h, f, NodeId(0));
         assert!(lsg.graph().has_edge(t1, t2));
         assert!(lsg.is_acyclic());
@@ -164,8 +178,20 @@ mod tests {
         let u1 = tid(1, 0);
         let u2 = tid(2, 0);
         // Different foreign types installed at N0, touching the same object.
-        h.record_install(NodeId(0), u1, TxnType::Update(FragmentId(1)), ObjectId(5), SimTime(1));
-        h.record_install(NodeId(0), u2, TxnType::Update(FragmentId(2)), ObjectId(5), SimTime(2));
+        h.record_install(
+            NodeId(0),
+            u1,
+            TxnType::Update(FragmentId(1)),
+            ObjectId(5),
+            SimTime(1),
+        );
+        h.record_install(
+            NodeId(0),
+            u2,
+            TxnType::Update(FragmentId(2)),
+            ObjectId(5),
+            SimTime(2),
+        );
         let lsg = LocalSerializationGraph::build(&h, f0, NodeId(0));
         assert!(!lsg.graph().has_edge(u1, u2), "rule (iv)");
         assert!(!lsg.graph().has_edge(u2, u1));
@@ -178,8 +204,21 @@ mod tests {
         let local = tid(0, 0);
         let remote = tid(1, 0);
         // Local read of object 5 happens BEFORE the remote install at N0.
-        h.record_local(NodeId(0), local, TxnType::Update(f0), OpKind::Read, ObjectId(5), SimTime(1));
-        h.record_install(NodeId(0), remote, TxnType::Update(FragmentId(1)), ObjectId(5), SimTime(2));
+        h.record_local(
+            NodeId(0),
+            local,
+            TxnType::Update(f0),
+            OpKind::Read,
+            ObjectId(5),
+            SimTime(1),
+        );
+        h.record_install(
+            NodeId(0),
+            remote,
+            TxnType::Update(FragmentId(1)),
+            ObjectId(5),
+            SimTime(2),
+        );
         let lsg = LocalSerializationGraph::build(&h, f0, NodeId(0));
         assert!(lsg.graph().has_edge(local, remote));
         assert!(lsg.is_acyclic());
@@ -191,9 +230,22 @@ mod tests {
         let f0 = FragmentId(0);
         let t1 = tid(0, 0);
         let foreign = tid(2, 0);
-        h.record_local(NodeId(0), t1, TxnType::Update(f0), OpKind::Write, ObjectId(1), SimTime(1));
+        h.record_local(
+            NodeId(0),
+            t1,
+            TxnType::Update(f0),
+            OpKind::Write,
+            ObjectId(1),
+            SimTime(1),
+        );
         // This install happens at node 5, not at home node 0.
-        h.record_install(NodeId(5), foreign, TxnType::Update(FragmentId(1)), ObjectId(1), SimTime(2));
+        h.record_install(
+            NodeId(5),
+            foreign,
+            TxnType::Update(FragmentId(1)),
+            ObjectId(1),
+            SimTime(2),
+        );
         let lsg = LocalSerializationGraph::build(&h, f0, NodeId(0));
         assert_eq!(lsg.graph().node_count(), 1);
         assert_eq!(lsg.graph().edge_count(), 0);

@@ -16,12 +16,11 @@
 use std::collections::BTreeSet;
 
 use fragdb_model::{AccessDecl, FragmentId};
-use serde::{Deserialize, Serialize};
 
 use crate::digraph::DiGraph;
 
 /// The read-access graph over fragments.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ReadAccessGraph {
     fragments: BTreeSet<FragmentId>,
     /// Directed edges `(initiator, read fragment)`, `initiator ≠ read`.

@@ -78,11 +78,39 @@ mod tests {
         let t2 = TxnId::new(NodeId(1), 0);
         let (a, b) = (ObjectId(0), ObjectId(1));
         // t1 at N0: reads b (old), writes a.
-        h.record_local(NodeId(0), t1, TxnType::Update(FragmentId(0)), OpKind::Read, b, SimTime(1));
-        h.record_local(NodeId(0), t1, TxnType::Update(FragmentId(0)), OpKind::Write, a, SimTime(1));
+        h.record_local(
+            NodeId(0),
+            t1,
+            TxnType::Update(FragmentId(0)),
+            OpKind::Read,
+            b,
+            SimTime(1),
+        );
+        h.record_local(
+            NodeId(0),
+            t1,
+            TxnType::Update(FragmentId(0)),
+            OpKind::Write,
+            a,
+            SimTime(1),
+        );
         // t2 at N1: reads a (old), writes b.
-        h.record_local(NodeId(1), t2, TxnType::Update(FragmentId(1)), OpKind::Read, a, SimTime(1));
-        h.record_local(NodeId(1), t2, TxnType::Update(FragmentId(1)), OpKind::Write, b, SimTime(1));
+        h.record_local(
+            NodeId(1),
+            t2,
+            TxnType::Update(FragmentId(1)),
+            OpKind::Read,
+            a,
+            SimTime(1),
+        );
+        h.record_local(
+            NodeId(1),
+            t2,
+            TxnType::Update(FragmentId(1)),
+            OpKind::Write,
+            b,
+            SimTime(1),
+        );
         // Installs cross after the reads.
         h.record_install(NodeId(1), t1, TxnType::Update(FragmentId(0)), a, SimTime(2));
         h.record_install(NodeId(0), t2, TxnType::Update(FragmentId(1)), b, SimTime(2));

@@ -1,10 +1,10 @@
 //! Property tests for the graph toolkit, checked against independent
-//! reference implementations.
-
-use proptest::prelude::*;
+//! reference implementations. Seeded randomized loops — every case is
+//! reproducible from its case number.
 
 use fragdb_graphs::{DiGraph, ReadAccessGraph};
 use fragdb_model::FragmentId;
+use fragdb_sim::SimRng;
 
 /// Reference acyclicity check: Warshall transitive closure, then look for
 /// a node that reaches itself.
@@ -58,16 +58,19 @@ fn reference_elementarily_acyclic(n: usize, edges: &[(usize, usize)]) -> bool {
     true
 }
 
-fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    proptest::collection::vec((0..n, 0..n), 0..(n * n))
+fn random_edges(rng: &mut SimRng, n: usize) -> Vec<(usize, usize)> {
+    let count = rng.gen_range(0..(n * n));
+    (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// DiGraph::is_acyclic agrees with the transitive-closure reference.
-    #[test]
-    fn digraph_acyclicity_matches_reference(edges in edges_strategy(8)) {
+/// DiGraph::is_acyclic agrees with the transitive-closure reference.
+#[test]
+fn digraph_acyclicity_matches_reference() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x4147_5200 + case);
+        let edges = random_edges(&mut rng, 8);
         let mut g: DiGraph<usize> = DiGraph::new();
         for i in 0..8 {
             g.add_node(i);
@@ -75,30 +78,45 @@ proptest! {
         for &(a, b) in &edges {
             g.add_edge(a, b);
         }
-        prop_assert_eq!(g.is_acyclic(), reference_is_acyclic(8, &edges));
+        assert_eq!(
+            g.is_acyclic(),
+            reference_is_acyclic(8, &edges),
+            "case {case}: edges {edges:?}"
+        );
     }
+}
 
-    /// When a cycle is reported, the witness really is a cycle in the graph.
-    #[test]
-    fn digraph_cycle_witness_is_valid(edges in edges_strategy(8)) {
+/// When a cycle is reported, the witness really is a cycle in the graph.
+#[test]
+fn digraph_cycle_witness_is_valid() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x5749_5400 + case);
+        let edges = random_edges(&mut rng, 8);
         let mut g: DiGraph<usize> = DiGraph::new();
         for &(a, b) in &edges {
             g.add_edge(a, b);
         }
         if let Some(cycle) = g.find_cycle() {
-            prop_assert!(!cycle.is_empty());
+            assert!(!cycle.is_empty(), "case {case}");
             for i in 0..cycle.len() {
                 let from = cycle[i];
                 let to = cycle[(i + 1) % cycle.len()];
-                prop_assert!(g.has_edge(from, to), "edge {}->{} missing", from, to);
+                assert!(
+                    g.has_edge(from, to),
+                    "case {case}: edge {from}->{to} missing"
+                );
             }
         }
     }
+}
 
-    /// A topological order, when produced, respects every edge; it exists
-    /// iff the graph is acyclic.
-    #[test]
-    fn digraph_topo_order_respects_edges(edges in edges_strategy(8)) {
+/// A topological order, when produced, respects every edge; it exists
+/// iff the graph is acyclic.
+#[test]
+fn digraph_topo_order_respects_edges() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x544F_5000 + case);
+        let edges = random_edges(&mut rng, 8);
         let mut g: DiGraph<usize> = DiGraph::new();
         for i in 0..8 {
             g.add_node(i);
@@ -108,22 +126,26 @@ proptest! {
         }
         match g.topo_order() {
             Some(order) => {
-                prop_assert!(g.is_acyclic());
+                assert!(g.is_acyclic(), "case {case}");
                 let pos = |x: usize| order.iter().position(|&n| n == x).unwrap();
                 for (a, b) in g.edges() {
                     if a != b {
-                        prop_assert!(pos(a) < pos(b));
+                        assert!(pos(a) < pos(b), "case {case}");
                     }
                 }
             }
-            None => prop_assert!(!g.is_acyclic()),
+            None => assert!(!g.is_acyclic(), "case {case}"),
         }
     }
+}
 
-    /// ReadAccessGraph elementary acyclicity agrees with the union-find
-    /// reference (including the antiparallel-pair rule).
-    #[test]
-    fn rag_elementary_acyclicity_matches_reference(edges in edges_strategy(6)) {
+/// ReadAccessGraph elementary acyclicity agrees with the union-find
+/// reference (including the antiparallel-pair rule).
+#[test]
+fn rag_elementary_acyclicity_matches_reference() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x5241_4700 + case);
+        let edges = random_edges(&mut rng, 6);
         let mut rag = ReadAccessGraph::new();
         for i in 0..6u32 {
             rag.add_fragment(FragmentId(i));
@@ -131,22 +153,27 @@ proptest! {
         for &(a, b) in &edges {
             rag.add_edge(FragmentId(a as u32), FragmentId(b as u32));
         }
-        prop_assert_eq!(
+        assert_eq!(
             rag.is_elementarily_acyclic(),
-            reference_elementarily_acyclic(6, &edges)
+            reference_elementarily_acyclic(6, &edges),
+            "case {case}: edges {edges:?}"
         );
     }
+}
 
-    /// Elementary acyclicity implies directed acyclicity (the converse is
-    /// false — see Figure 4.3.1).
-    #[test]
-    fn elementary_acyclicity_is_stronger(edges in edges_strategy(6)) {
+/// Elementary acyclicity implies directed acyclicity (the converse is
+/// false — see Figure 4.3.1).
+#[test]
+fn elementary_acyclicity_is_stronger() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x454C_4500 + case);
+        let edges = random_edges(&mut rng, 6);
         let mut rag = ReadAccessGraph::new();
         for &(a, b) in &edges {
             rag.add_edge(FragmentId(a as u32), FragmentId(b as u32));
         }
         if rag.is_elementarily_acyclic() {
-            prop_assert!(rag.is_acyclic());
+            assert!(rag.is_acyclic(), "case {case}: edges {edges:?}");
         }
     }
 }

@@ -6,5 +6,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    println!("{}", e10_broadcast::run(seed, &e10_broadcast::default_levels()));
+    println!(
+        "{}",
+        e10_broadcast::run(seed, &e10_broadcast::default_levels())
+    );
 }

@@ -6,5 +6,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    println!("{}", e1_spectrum::run(seed, ScenarioParams::default_spectrum()));
+    println!(
+        "{}",
+        e1_spectrum::run(seed, ScenarioParams::default_spectrum())
+    );
 }

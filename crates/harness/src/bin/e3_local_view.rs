@@ -6,5 +6,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    println!("{}", e3_local_view::run(seed, &e3_local_view::default_durations()));
+    println!(
+        "{}",
+        e3_local_view::run(seed, &e3_local_view::default_durations())
+    );
 }

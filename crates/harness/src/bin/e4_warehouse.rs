@@ -6,5 +6,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    println!("{}", e4_warehouse::run(seed, &e4_warehouse::default_levels()));
+    println!(
+        "{}",
+        e4_warehouse::run(seed, &e4_warehouse::default_levels())
+    );
 }

@@ -27,12 +27,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use fragdb_core::{
-    MovePolicy, Notification, StrategyKind, Submission, System, SystemConfig,
-};
-use fragdb_model::{
-    AccessDecl, AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, UserId,
-};
+use fragdb_core::{MovePolicy, Notification, StrategyKind, Submission, System, SystemConfig};
+use fragdb_model::{AccessDecl, AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, UserId};
 use fragdb_net::{NetworkChange, Topology};
 use fragdb_sim::{SimDuration, SimTime};
 
@@ -84,7 +80,11 @@ impl fmt::Display for E11Report {
         t.row(["group A unavailability (the 4.1 price)", ">= 1", &ua]);
         let ubc = self.group_bc_unavailable.to_string();
         t.row(["group B/C unavailability", "0", &ubc]);
-        t.row(["mutual consistency at quiescence", "yes", yn(self.converged)]);
+        t.row([
+            "mutual consistency at quiescence",
+            "yes",
+            yn(self.converged),
+        ]);
         write!(f, "{t}")
     }
 }
@@ -132,9 +132,13 @@ pub fn run(seed: u64) -> E11Report {
         .with_fragment_strategy(w2, rag_strategy.clone())
         .with_fragment_strategy(c, rag_strategy)
         .with_fragment_move_policy(m, MovePolicy::NoPrep);
-    let mut sys =
-        System::build(Topology::full_mesh(5, SimDuration::from_millis(10)), catalog, agents, config)
-            .expect("mixed configuration validates");
+    let mut sys = System::build(
+        Topology::full_mesh(5, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        config,
+    )
+    .expect("mixed configuration validates");
 
     // Partition t=40..80: node 0 (L1's home, and M's current home) isolated.
     sys.net_change_at(

@@ -47,7 +47,10 @@ pub struct E12Report {
 
 impl fmt::Display for E12Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E12 — §6 partial replication on 8 nodes (half-split partition)")?;
+        writeln!(
+            f,
+            "E12 — §6 partial replication on 8 nodes (half-split partition)"
+        )?;
         let mut t = Table::new([
             "replicas",
             "msgs/commit",
@@ -109,7 +112,7 @@ fn one_size(seed: u64, replicas: u32) -> PartialSample {
     }
     sys.run_until(secs(300));
     let committed = sys.engine.metrics.counter("txn.committed");
-    let msgs_per_commit = sys.transport_stats().sent as f64 / committed.max(1) as f64;
+    let msgs_per_commit = sys.net_stats().sent as f64 / committed.max(1) as f64;
 
     // Run B: majority commit under a half-split (nodes 0..3 | 4..7).
     let (mut sys, objs) = build(
@@ -161,7 +164,10 @@ mod tests {
     fn fan_out_cost_scales_with_replica_count() {
         let r = run(1);
         let m: Vec<f64> = r.samples.iter().map(|s| s.msgs_per_commit).collect();
-        assert!(m[0] < m[1] && m[1] < m[2], "messages must grow with replicas: {m:?}");
+        assert!(
+            m[0] < m[1] && m[1] < m[2],
+            "messages must grow with replicas: {m:?}"
+        );
         // Fixed-agent fan-out is exactly r-1 messages per commit.
         assert!((m[0] - 1.0).abs() < 0.01);
         assert!((m[2] - 7.0).abs() < 0.01);

@@ -14,7 +14,9 @@
 
 use std::fmt;
 
-use fragdb_baselines::{LogTransformConfig, LogTransformSystem, LoggedOp, MutexConfig, MutexSystem, mutex::MxOutcome};
+use fragdb_baselines::{
+    mutex::MxOutcome, LogTransformConfig, LogTransformSystem, LoggedOp, MutexConfig, MutexSystem,
+};
 use fragdb_core::{Notification, StrategyKind, System, SystemConfig};
 use fragdb_model::{NodeId, ObjectId};
 use fragdb_net::Topology;
@@ -126,8 +128,7 @@ fn run_fragdb(label: &str, strategy: StrategyKind, seed: u64, sc: &Scenario) -> 
         bank = bank.with_declared_reads();
     }
 
-    let activity: std::collections::BTreeSet<_> =
-        bank.schema.activity.iter().copied().collect();
+    let activity: std::collections::BTreeSet<_> = bank.schema.activity.iter().copied().collect();
     sys.schedule_partitions(&sc.partitions);
     for op in &sc.ops {
         let sub = if op.amount > 0 {
@@ -170,7 +171,7 @@ fn run_fragdb(label: &str, strategy: StrategyKind, seed: u64, sc: &Scenario) -> 
         served,
         unavailable,
         mean_latency_us: mean_latency,
-        messages: sys.transport_stats().sent,
+        messages: sys.net_stats().sent,
         replay_ops: 0,
         guarantee: verdict.spectrum_label().to_string(),
         converged: sys.divergent_fragments().is_empty(),
@@ -292,8 +293,11 @@ fn run_logtransform(seed: u64, sc: &Scenario) -> SpectrumRow {
 /// Run E1.
 pub fn run(seed: u64, params: ScenarioParams) -> E1Report {
     let sc = Scenario::generate(seed, params);
-    let disrupted_frac =
-        sc.partitions.disrupted_time(sc.params.horizon).as_secs_f64() / sc.params.horizon.as_secs_f64();
+    let disrupted_frac = sc
+        .partitions
+        .disrupted_time(sc.params.horizon)
+        .as_secs_f64()
+        / sc.params.horizon.as_secs_f64();
 
     let mut rows = Vec::new();
     rows.push(run_mutex(seed, &sc));
@@ -323,7 +327,12 @@ pub fn run(seed: u64, params: ScenarioParams) -> E1Report {
         seed,
         &sc,
     ));
-    rows.push(run_fragdb("4.3 unrestricted", StrategyKind::Unrestricted, seed, &sc));
+    rows.push(run_fragdb(
+        "4.3 unrestricted",
+        StrategyKind::Unrestricted,
+        seed,
+        &sc,
+    ));
     rows.push(run_logtransform(seed, &sc));
 
     E1Report {
@@ -363,7 +372,10 @@ mod tests {
         assert!(mutex <= locks + 1e-9, "mutex {mutex} vs locks {locks}");
         assert!(locks <= rag + 1e-9, "locks {locks} vs rag {rag}");
         assert!(rag <= unrestricted + 1e-9);
-        assert!((unrestricted - 1.0).abs() < 1e-9, "fragdb serves everything");
+        assert!(
+            (unrestricted - 1.0).abs() < 1e-9,
+            "fragdb serves everything"
+        );
         assert!((lt - 1.0).abs() < 1e-9, "free-for-all serves everything");
         // The conservative end lost real availability in this scenario.
         assert!(mutex < 1.0, "partitions must hurt the mutex baseline");

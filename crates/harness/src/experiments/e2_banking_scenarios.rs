@@ -125,12 +125,19 @@ fn mutex_scenario(amount: i64, seed: u64) -> ScenarioOutcome {
     let outcomes = sys.run_until(secs(30));
     sys.net_change_at(secs(40), NetworkChange::HealAll);
     let outcomes2 = sys.run_until(secs(120));
-    let all: Vec<&MxOutcome> = outcomes.iter().chain(outcomes2.iter()).map(|(_, o)| o).collect();
+    let all: Vec<&MxOutcome> = outcomes
+        .iter()
+        .chain(outcomes2.iter())
+        .map(|(_, o)| o)
+        .collect();
     let served = all
         .iter()
         .filter(|o| matches!(o, MxOutcome::Committed(_)))
         .count();
-    let unavailable = all.iter().filter(|o| ***o == MxOutcome::Unavailable).count();
+    let unavailable = all
+        .iter()
+        .filter(|o| ***o == MxOutcome::Unavailable)
+        .count();
     ScenarioOutcome {
         system: "mutual exclusion".into(),
         amount,

@@ -86,8 +86,8 @@ fn one_level(seed: u64, disruption: f64) -> WarehouseSample {
         reorder_below: 20,
     };
     let (catalog, schema, agents) = WarehouseSchema::build(&cfg);
-    let rag_ok = fragdb_graphs::ReadAccessGraph::from_decls(&schema.decls())
-        .is_elementarily_acyclic();
+    let rag_ok =
+        fragdb_graphs::ReadAccessGraph::from_decls(&schema.decls()).is_elementarily_acyclic();
     let strategy = schema.strategy();
     let mut sys = System::build(
         Topology::full_mesh(k + 1, SimDuration::from_millis(10)),

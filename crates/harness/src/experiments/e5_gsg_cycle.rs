@@ -53,7 +53,10 @@ pub struct E5Report {
 
 impl fmt::Display for E5Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E5 — the Figure 4.3.2 cycle, produced by a live execution")?;
+        writeln!(
+            f,
+            "E5 — the Figure 4.3.2 cycle, produced by a live execution"
+        )?;
         let mut t = Table::new(["claim", "expected", "observed"]);
         t.row([
             "edge T2 -> T1".to_string(),
@@ -87,7 +90,11 @@ impl fmt::Display for E5Report {
             "yes".into(),
             yn(self.fragmentwise),
         ]);
-        t.row(["mutually consistent".to_string(), "yes".into(), yn(self.converged)]);
+        t.row([
+            "mutually consistent".to_string(),
+            "yes".into(),
+            yn(self.converged),
+        ]);
         write!(f, "{t}")
     }
 }
@@ -155,9 +162,11 @@ pub fn run(seed: u64) -> E5Report {
     // 0-1 so b reaches node 0 while c cannot.
     sys.net_change_at(secs(9), NetworkChange::LinkDown(NodeId(1), NodeId(2)));
     sys.net_change_at(secs(10), NetworkChange::LinkUp(NodeId(0), NodeId(1)));
-    // T1 = [(r c)(r b)(w a)] at node 0, after b arrived, before c can.
+    // T1 = [(r c)(r b)(w a)] at node 0, after b arrived (the reliable
+    // layer redelivers it within one retransmission interval of the 0-1
+    // link coming up), before c can (node 2 stays cut off until t=20).
     sys.submit_at(
-        secs(11),
+        secs(15),
         Submission::update(
             f1,
             Box::new(move |ctx| {

@@ -14,9 +14,7 @@
 use std::fmt;
 
 use fragdb_core::{Notification, System, SystemConfig};
-use fragdb_model::{
-    History, NodeId, OpKind, TxnId, TxnType,
-};
+use fragdb_model::{History, NodeId, OpKind, TxnId, TxnType};
 use fragdb_net::{NetworkChange, Topology};
 use fragdb_sim::{SimDuration, SimTime};
 use fragdb_workloads::{AirlineDriver, AirlineSchema};
@@ -53,12 +51,20 @@ impl fmt::Display for E6Report {
         t.row([
             "paper schedule (completed): globally serializable",
             "no",
-            if self.replay_globally_serializable { "yes" } else { "no" },
+            if self.replay_globally_serializable {
+                "yes"
+            } else {
+                "no"
+            },
         ]);
         t.row([
             "paper schedule: fragmentwise serializable",
             "yes",
-            if self.replay_fragmentwise { "yes" } else { "no" },
+            if self.replay_fragmentwise {
+                "yes"
+            } else {
+                "no"
+            },
         ]);
         t.row([
             "live: request availability",
@@ -185,16 +191,24 @@ fn live_run(seed: u64) -> (System, AirlineDriver, u64, u64) {
     );
     // Each customer requests seats on BOTH flights, in one transaction —
     // that is what threads the serialization cycle through the customers.
-    sys.submit_at(SimTime::from_secs(1), air.request_many(0, vec![(0, 2), (1, 2)]));
-    sys.submit_at(SimTime::from_secs(1), air.request_many(1, vec![(0, 3), (1, 3)]));
+    sys.submit_at(
+        SimTime::from_secs(1),
+        air.request_many(0, vec![(0, 2), (1, 2)]),
+    );
+    sys.submit_at(
+        SimTime::from_secs(1),
+        air.request_many(1, vec![(0, 3), (1, 3)]),
+    );
     // Scans during the partition: F1 sees only C1, F2 only C2.
     sys.submit_at(SimTime::from_secs(5), air.flight_scan(0));
     sys.submit_at(SimTime::from_secs(5), air.flight_scan(1));
     let notes = sys.run_until(SimTime::from_secs(20));
     let served = notes
         .iter()
-        .filter(|n| matches!(n, Notification::Committed { fragment, .. }
-            if air.schema.customer.contains(fragment)))
+        .filter(|n| {
+            matches!(n, Notification::Committed { fragment, .. }
+            if air.schema.customer.contains(fragment))
+        })
         .count() as u64;
     // Heal; final scans grant the rest.
     sys.net_change_at(SimTime::from_secs(30), NetworkChange::HealAll);
@@ -259,7 +273,10 @@ mod tests {
     #[test]
     fn live_run_is_fragmentwise_but_not_globally_serializable() {
         let r = run(3);
-        assert!(r.live_gsg_cyclic, "the partition timing creates the 4-cycle");
+        assert!(
+            r.live_gsg_cyclic,
+            "the partition timing creates the 4-cycle"
+        );
         assert!(r.live_fragmentwise, "§4.3's guarantee still holds");
     }
 

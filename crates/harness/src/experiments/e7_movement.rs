@@ -18,9 +18,7 @@
 
 use std::fmt;
 
-use fragdb_core::{
-    MovePolicy, Notification, Submission, System, SystemConfig,
-};
+use fragdb_core::{MovePolicy, Notification, Submission, System, SystemConfig};
 use fragdb_model::{AgentId, FragmentCatalog, NodeId, UserId};
 use fragdb_net::{NetworkChange, Topology};
 use fragdb_sim::{SimDuration, SimTime};
@@ -130,7 +128,10 @@ fn one_policy(seed: u64, policy: MovePolicy) -> MovementRow {
     // Move 1 at t=45 to node 2, while node 1 (old home) is isolated 40-70.
     sys.net_change_at(
         secs(40),
-        NetworkChange::Split(vec![vec![NodeId(1)], vec![NodeId(0), NodeId(2), NodeId(3), NodeId(4)]]),
+        NetworkChange::Split(vec![
+            vec![NodeId(1)],
+            vec![NodeId(0), NodeId(2), NodeId(3), NodeId(4)],
+        ]),
     );
     let mut move_requests = vec![secs(45)];
     sys.move_agent_at(secs(45), frag, NodeId(2));
@@ -139,7 +140,10 @@ fn one_policy(seed: u64, policy: MovePolicy) -> MovementRow {
     // Move 2 at t=125 to node 3, while node 2 is isolated 120-150.
     sys.net_change_at(
         secs(120),
-        NetworkChange::Split(vec![vec![NodeId(2)], vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]]),
+        NetworkChange::Split(vec![
+            vec![NodeId(2)],
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)],
+        ]),
     );
     move_requests.push(secs(125));
     sys.move_agent_at(secs(125), frag, NodeId(3));
@@ -156,11 +160,10 @@ fn one_policy(seed: u64, policy: MovePolicy) -> MovementRow {
             match note {
                 Notification::Committed { .. } => committed += 1,
                 Notification::Aborted { .. } => unavailable += 1,
-                Notification::MoveCompleted { .. }
-                    if next_move < move_requests.len() => {
-                        move_delays.push((at - move_requests[next_move]).micros());
-                        next_move += 1;
-                    }
+                Notification::MoveCompleted { .. } if next_move < move_requests.len() => {
+                    move_delays.push((at - move_requests[next_move]).micros());
+                    next_move += 1;
+                }
                 Notification::MissingRepackaged { .. } => repackaged += 1,
                 _ => {}
             }
@@ -181,7 +184,7 @@ fn one_policy(seed: u64, policy: MovePolicy) -> MovementRow {
             move_delays.iter().sum::<u64>() / move_delays.len() as u64
         },
         repackaged,
-        messages: sys.transport_stats().sent,
+        messages: sys.net_stats().sent,
         fragmentwise: verdict.fragmentwise_serializable(),
         converged: sys.divergent_fragments().is_empty(),
     }
@@ -243,7 +246,10 @@ mod tests {
     fn prepared_protocols_preserve_fragmentwise_serializability() {
         let r = run(23);
         for label in ["4.4.1 majority", "4.4.2A with-data", "4.4.2B with-seqno"] {
-            assert!(row(&r, label).fragmentwise, "{label} must stay fragmentwise");
+            assert!(
+                row(&r, label).fragmentwise,
+                "{label} must stay fragmentwise"
+            );
         }
     }
 
@@ -253,7 +259,10 @@ mod tests {
         let n = row(&r, "4.4.3 no-prep");
         assert_eq!(n.unavailable, 0, "no-prep never blocks");
         assert_eq!(n.committed, n.submitted);
-        assert!(n.repackaged > 0, "late transactions were found and repackaged");
+        assert!(
+            n.repackaged > 0,
+            "late transactions were found and repackaged"
+        );
     }
 
     #[test]

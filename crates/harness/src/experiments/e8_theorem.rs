@@ -38,7 +38,10 @@ pub struct E8Report {
 
 impl fmt::Display for E8Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E8 — §4.2 theorem, Monte-Carlo over random schemas/partitions")?;
+        writeln!(
+            f,
+            "E8 — §4.2 theorem, Monte-Carlo over random schemas/partitions"
+        )?;
         let mut t = Table::new(["arm", "trials", "GSG cycles found", "violation rate"]);
         t.row([
             "elementarily acyclic RAG".to_string(),

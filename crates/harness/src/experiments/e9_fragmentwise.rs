@@ -102,13 +102,8 @@ fn one_trial(seed: u64) -> (bool, bool, bool, bool, u64) {
     .unwrap();
 
     let horizon = SimTime::from_secs(120);
-    let sched = partitions::random_alternating(
-        &mut rng,
-        n,
-        SimDuration::from_secs(12),
-        0.5,
-        horizon,
-    );
+    let sched =
+        partitions::random_alternating(&mut rng, n, SimDuration::from_secs(12), 0.5, horizon);
     sys.schedule_partitions(&sched);
 
     let mut txns = 0u64;
@@ -119,7 +114,11 @@ fn one_trial(seed: u64) -> (bool, bool, bool, bool, u64) {
         for t in times {
             let own = objects[i].clone();
             let j = rng.gen_range(0..k);
-            let foreign: Vec<ObjectId> = if j == i { Vec::new() } else { objects[j].clone() };
+            let foreign: Vec<ObjectId> = if j == i {
+                Vec::new()
+            } else {
+                objects[j].clone()
+            };
             sys.submit_at(
                 t,
                 Submission::update(

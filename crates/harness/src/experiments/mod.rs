@@ -1,6 +1,9 @@
 //! One module per reproduced figure/scenario. See the crate docs for the
 //! mapping to the paper's artifacts.
 
+pub mod e10_broadcast;
+pub mod e11_mixed;
+pub mod e12_partial_replication;
 pub mod e1_spectrum;
 pub mod e2_banking_scenarios;
 pub mod e3_local_view;
@@ -10,7 +13,4 @@ pub mod e6_airline;
 pub mod e7_movement;
 pub mod e8_theorem;
 pub mod e9_fragmentwise;
-pub mod e10_broadcast;
-pub mod e11_mixed;
-pub mod e12_partial_replication;
 pub mod scenario;

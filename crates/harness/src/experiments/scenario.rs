@@ -87,7 +87,11 @@ impl Scenario {
                 let account = rng.gen_range(0..params.accounts);
                 // 60% deposits, 40% withdrawals; amounts 10..200.
                 let magnitude = rng.gen_range(10..200i64);
-                let amount = if rng.chance(0.6) { magnitude } else { -magnitude };
+                let amount = if rng.chance(0.6) {
+                    magnitude
+                } else {
+                    -magnitude
+                };
                 BankOp {
                     at,
                     account,

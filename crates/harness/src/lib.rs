@@ -19,7 +19,7 @@
 //! | `e7_movement` | Figure 4.4.1 + §4.4.1–3 — movement protocols |
 //! | `e8_theorem` | §4.2 theorem — Monte-Carlo validation |
 //! | `e9_fragmentwise` | §4.3 Properties 1–2 — Monte-Carlo validation |
-//! | `e10_broadcast` | §3.2 — reliable FIFO broadcast under faults |
+//! | `e10_broadcast` | §3.2 — drop/duplicate/reorder/crash sweep of the full system |
 //! | `e11_mixed` | §6 — three strategy groups in one system |
 //! | `e12_partial_replication` | §6 — partial replication |
 

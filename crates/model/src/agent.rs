@@ -13,12 +13,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{FragmentId, NodeId, UserId};
 
 /// The principal holding a fragment's token.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AgentId {
     /// The agent is a computer node (e.g. the bank's central office machine).
     Node(NodeId),
@@ -57,7 +55,7 @@ impl fmt::Display for AgentId {
 }
 
 /// The unique token for one fragment.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     /// The fragment this token controls.
     pub fragment: FragmentId,

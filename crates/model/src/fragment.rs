@@ -7,13 +7,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::ids::{FragmentId, ObjectId};
 
 /// One fragment: a named, disjoint set of data objects.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fragment {
     /// Identifier, dense from 0.
     pub id: FragmentId,
@@ -53,7 +51,7 @@ impl Fragment {
 }
 
 /// The validated set of all fragments: the database schema.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FragmentCatalog {
     fragments: Vec<Fragment>,
     object_to_fragment: BTreeMap<ObjectId, FragmentId>,
@@ -148,7 +146,8 @@ impl FragmentCatalogBuilder {
             .map(|i| ObjectId(self.next_object + i as u64))
             .collect();
         self.next_object += n_objects as u64;
-        self.fragments.push(Fragment::new(id, name, objects.clone()));
+        self.fragments
+            .push(Fragment::new(id, name, objects.clone()));
         (id, objects)
     }
 

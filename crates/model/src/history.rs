@@ -16,14 +16,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use fragdb_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{FragmentId, NodeId, ObjectId, TxnId};
 use crate::txn::OpKind;
 
 /// Type of a transaction in the sense of Definition 8.1: the fragment whose
 /// agent initiated it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TxnType {
     /// An update transaction on the given fragment.
     Update(FragmentId),
@@ -46,7 +45,7 @@ impl TxnType {
 }
 
 /// One recorded atomic action.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistoryOp {
     /// Node at which the action physically took place.
     pub node: NodeId,
@@ -70,7 +69,7 @@ pub struct HistoryOp {
 }
 
 /// The executed history of one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct History {
     ops: Vec<HistoryOp>,
     next_seq: u64,
@@ -299,7 +298,10 @@ mod tests {
             ObjectId(7),
             SimTime(1),
         );
-        assert_eq!(h.objects().into_iter().collect::<Vec<_>>(), vec![ObjectId(7)]);
+        assert_eq!(
+            h.objects().into_iter().collect::<Vec<_>>(),
+            vec![ObjectId(7)]
+        );
         assert_eq!(h.nodes().into_iter().collect::<Vec<_>>(), vec![NodeId(2)]);
     }
 

@@ -7,13 +7,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $repr);
 
@@ -79,7 +77,7 @@ id_type!(
 /// The paper's broadcast requirement (§3.2) orders messages *per sender*, so
 /// identifying transactions by their home node plus a local counter gives a
 /// total order per origin for free.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId {
     /// Home node of the transaction (where it was initiated and executed).
     pub origin: NodeId,

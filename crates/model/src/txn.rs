@@ -17,15 +17,13 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::fragment::FragmentCatalog;
 use crate::ids::{FragmentId, NodeId, ObjectId, TxnId};
 use crate::value::Value;
 
 /// Read or write.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Read a data object.
     Read,
@@ -35,7 +33,7 @@ pub enum OpKind {
 
 /// One atomic action, the paper's `(T, r|w, d)` triplet (plus the written
 /// value for writes).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Op {
     /// Read or write.
     pub kind: OpKind,
@@ -75,7 +73,7 @@ impl Op {
 }
 
 /// A literal transaction: an ordered sequence of operations.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TxnSpec {
     /// The actions, in program order.
     pub ops: Vec<Op>,
@@ -154,7 +152,7 @@ impl TxnSpec {
 /// (for update classes) the single fragment they write. The read-access
 /// graph of §4.2 has an edge `(F_i, F_j)` whenever a class initiated by
 /// `A(F_i)` reads from `F_j`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AccessDecl {
     /// Fragment whose agent initiates this class.
     pub initiator: FragmentId,
@@ -195,7 +193,7 @@ impl AccessDecl {
 /// The propagated form of a committed update transaction (§3.2): a
 /// write-only batch installed atomically and in per-origin order at every
 /// other replica.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuasiTransaction {
     /// Identifier of the originating update transaction.
     pub txn: TxnId,
@@ -300,7 +298,9 @@ mod tests {
         assert!(matches!(err, ModelError::InitiationViolation { .. }));
         // Reads of foreign fragments are always allowed.
         let read_foreign = TxnSpec::new(vec![Op::read(b_objs[1]), Op::write(a_objs[1], 2i64)]);
-        assert!(read_foreign.check_initiation(&cat, FragmentId(0), txn).is_ok());
+        assert!(read_foreign
+            .check_initiation(&cat, FragmentId(0), txn)
+            .is_ok());
     }
 
     #[test]

@@ -6,40 +6,41 @@
 //! 2. messages broadcast by one node are *processed* at all other nodes in
 //!    the order they were sent.
 //!
-//! (1) is provided by the store-and-forward [`Transport`]. (2) is enforced
-//! here: every broadcast carries a per-sender sequence number, and each
-//! receiver keeps a **hold-back queue** per sender, releasing messages to
-//! the application strictly in sequence order. Duplicates (possible under
-//! retransmission schemes) are dropped.
+//! (1) is provided by the transport underneath (the store-and-forward
+//! [`Transport`], or [`ReliableNet`] when links are lossy). (2) is enforced
+//! here: every broadcast carries a per-`(sender, receiver)` sequence
+//! number, and each receiver keeps a **hold-back queue** per sender,
+//! releasing messages to the application strictly in sequence order.
+//! Duplicates (possible under retransmission schemes) are dropped.
 //!
-//! The layer is transport-agnostic: [`BroadcastLayer::stamp`] allocates the
-//! sequence number, the caller fans the stamped message out over whatever
-//! channel it likes, and [`BroadcastLayer::accept`] runs the hold-back
-//! logic at the receiver.
+//! Sequencing is per ordered pair rather than per sender so that a message
+//! may go to any *subset* of receivers (partial replication) without
+//! stalling the skipped receivers' hold-back queues on sequence numbers
+//! they will never see. An earlier revision also offered a per-sender
+//! counter (`stamp`); mixing the two fed the same `(receiver, sender)`
+//! hold-back key from two independent counters, silently dropping live
+//! messages as "duplicates" — that path is gone, [`stamp_for`] is the only
+//! way to allocate a sequence number.
+//!
+//! The layer is transport-agnostic: [`stamp_for`] allocates the sequence
+//! number, the caller fans the stamped message out over whatever channel it
+//! likes, and [`BroadcastLayer::accept`] runs the hold-back logic at the
+//! receiver. [`resync_node`] re-synchronizes both directions of a node's
+//! streams after a crash, abstracting the recovery handshake of a real
+//! deployment.
 //!
 //! [`Transport`]: crate::transport::Transport
+//! [`ReliableNet`]: crate::reliable::ReliableNet
+//! [`stamp_for`]: BroadcastLayer::stamp_for
+//! [`resync_node`]: BroadcastLayer::resync_node
 
 use std::collections::BTreeMap;
 
 use fragdb_model::NodeId;
-use serde::{Deserialize, Serialize};
 
-/// A stamped broadcast message, ready to fan out.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct BcastMsg<M> {
-    /// Broadcasting node.
-    pub from: NodeId,
-    /// Per-sender sequence number, dense from 0.
-    pub seq: u64,
-    /// Application payload.
-    pub payload: M,
-}
-
-/// Per-sender stamping and per-receiver FIFO hold-back state.
+/// Per-pair stamping and per-receiver FIFO hold-back state.
 #[derive(Clone, Debug, Default)]
 pub struct BroadcastLayer<M> {
-    /// Next sequence number to assign, per sender.
-    next_seq: BTreeMap<NodeId, u64>,
     /// Next sequence number to assign, per `(sender, receiver)` pair.
     pair_seq: BTreeMap<(NodeId, NodeId), u64>,
     /// Next sequence expected, per `(receiver, sender)`.
@@ -55,25 +56,11 @@ impl<M> BroadcastLayer<M> {
     /// Fresh layer with no history.
     pub fn new() -> Self {
         BroadcastLayer {
-            next_seq: BTreeMap::new(),
             pair_seq: BTreeMap::new(),
             next_expected: BTreeMap::new(),
             holdback: BTreeMap::new(),
             duplicates: 0,
         }
-    }
-
-    /// Allocate the next sequence number for a broadcast by `from`,
-    /// shared by every receiver. Use only when the message goes to ALL
-    /// other nodes; for subset fan-out (partial replication) use
-    /// [`BroadcastLayer::stamp_for`], or the skipped receivers' hold-back
-    /// queues will stall forever waiting for sequence numbers they never
-    /// get.
-    pub fn stamp(&mut self, from: NodeId) -> u64 {
-        let seq = self.next_seq.entry(from).or_insert(0);
-        let s = *seq;
-        *seq += 1;
-        s
     }
 
     /// Allocate the next sequence number for the ordered pair
@@ -85,11 +72,6 @@ impl<M> BroadcastLayer<M> {
         let s = *seq;
         *seq += 1;
         s
-    }
-
-    /// Sequence number the next `stamp(from)` would return.
-    pub fn peek_seq(&self, from: NodeId) -> u64 {
-        self.next_seq.get(&from).copied().unwrap_or(0)
     }
 
     /// Process an arrival of `(sender, seq, payload)` at `receiver`.
@@ -123,6 +105,40 @@ impl<M> BroadcastLayer<M> {
             *expected += 1;
         }
         ready
+    }
+
+    /// Re-synchronize every stream touching `node` after it crashed and
+    /// lost its volatile broadcast state.
+    ///
+    /// Both directions are cut over to "now": the recovering node expects
+    /// from each peer exactly what that peer will stamp next, and each peer
+    /// expects from the recovering node what it will stamp next. Hold-back
+    /// queues on both sides are discarded — anything unprocessed there (and
+    /// any pre-crash message still in flight, which necessarily carries a
+    /// stamp below the cut) is dropped as stale on arrival, and its
+    /// *content* is recovered out-of-band via WAL replay and the
+    /// `SeqQuery` anti-entropy path. This models the sequence-number
+    /// handshake a real recovery protocol would run, compressed to an
+    /// instant (safe here because every in-flight stamp is strictly below
+    /// the cut).
+    pub fn resync_node(&mut self, node: NodeId) {
+        let peers: std::collections::BTreeSet<NodeId> = self
+            .pair_seq
+            .keys()
+            .chain(self.next_expected.keys())
+            .flat_map(|&(a, b)| [a, b])
+            .filter(|&n| n != node)
+            .collect();
+        for &p in &peers {
+            // node's inbound stream from p.
+            let inbound = self.pair_seq.get(&(p, node)).copied().unwrap_or(0);
+            self.next_expected.insert((node, p), inbound);
+            self.holdback.remove(&(node, p));
+            // p's inbound stream from node.
+            let outbound = self.pair_seq.get(&(node, p)).copied().unwrap_or(0);
+            self.next_expected.insert((p, node), outbound);
+            self.holdback.remove(&(p, node));
+        }
     }
 
     /// Number of messages held back across all `(receiver, sender)` pairs.
@@ -160,13 +176,12 @@ mod tests {
     }
 
     #[test]
-    fn stamp_is_dense_per_sender() {
+    fn stamp_for_is_dense_per_pair() {
         let mut b: BroadcastLayer<&str> = BroadcastLayer::new();
-        assert_eq!(b.stamp(n(0)), 0);
-        assert_eq!(b.stamp(n(0)), 1);
-        assert_eq!(b.stamp(n(1)), 0);
-        assert_eq!(b.peek_seq(n(0)), 2);
-        assert_eq!(b.peek_seq(n(2)), 0);
+        assert_eq!(b.stamp_for(n(0), n(1)), 0);
+        assert_eq!(b.stamp_for(n(0), n(1)), 1);
+        assert_eq!(b.stamp_for(n(0), n(2)), 0);
+        assert_eq!(b.stamp_for(n(1), n(0)), 0);
     }
 
     #[test]
@@ -231,5 +246,70 @@ mod tests {
         assert_eq!(released.len(), 100);
         let seqs: Vec<u64> = released.iter().map(|(s, _)| *s).collect();
         assert_eq!(seqs, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Regression for the seq-collision footgun: the removed per-sender
+    /// `stamp` counter and `stamp_for` both fed the same
+    /// `(receiver, sender)` hold-back key, so mixing them dropped live
+    /// messages as duplicates. With per-pair stamping only, subset fan-out
+    /// followed by full fan-out releases every message exactly once.
+    #[test]
+    fn subset_then_full_fanout_loses_nothing() {
+        let mut b: BroadcastLayer<u64> = BroadcastLayer::new();
+        let sender = n(0);
+        let sub = [n(1)]; // partial-replication style subset
+        let all = [n(1), n(2)];
+        let mut released: BTreeMap<NodeId, Vec<u64>> = BTreeMap::new();
+        // Message 100 goes only to node 1; message 200 goes to everyone.
+        for &to in &sub {
+            let seq = b.stamp_for(sender, to);
+            for (_, m) in b.accept(to, sender, seq, 100) {
+                released.entry(to).or_default().push(m);
+            }
+        }
+        for &to in &all {
+            let seq = b.stamp_for(sender, to);
+            for (_, m) in b.accept(to, sender, seq, 200) {
+                released.entry(to).or_default().push(m);
+            }
+        }
+        // Node 1 sees both, in order; node 2 sees only the second — and
+        // crucially nothing was dropped as a duplicate.
+        assert_eq!(released[&n(1)], vec![100, 200]);
+        assert_eq!(released[&n(2)], vec![200]);
+        assert_eq!(b.duplicates(), 0);
+    }
+
+    #[test]
+    fn resync_cuts_both_directions() {
+        let mut b: BroadcastLayer<&str> = BroadcastLayer::new();
+        // Node 0 sends seqs 0..3 to node 1; only 0 and 1 get processed,
+        // 3 sits in the hold-back (2 "lost in flight").
+        for (seq, msg) in [(0, "a"), (1, "b")] {
+            b.stamp_for(n(0), n(1));
+            b.accept(n(1), n(0), seq, msg);
+        }
+        b.stamp_for(n(0), n(1)); // seq 2, in flight
+        let seq3 = b.stamp_for(n(0), n(1));
+        b.accept(n(1), n(0), seq3, "d");
+        assert_eq!(b.held_back_for(n(1), n(0)), 1);
+        // Node 1 also had sent one message to node 0.
+        let s = b.stamp_for(n(1), n(0));
+        b.accept(n(0), n(1), s, "x");
+
+        // Node 1 crashes and recovers: both directions cut to "now".
+        b.resync_node(n(1));
+        assert_eq!(b.held_back_for(n(1), n(0)), 0);
+        assert_eq!(b.expected(n(1), n(0)), 4); // node 0 stamped 4 so far
+        assert_eq!(b.expected(n(0), n(1)), 1); // node 1 stamped 1 so far
+
+        // The in-flight pre-crash seq 2 now arrives: dropped as stale.
+        assert!(b.accept(n(1), n(0), 2, "c").is_empty());
+        assert_eq!(b.duplicates(), 1);
+        // Fresh post-recovery traffic flows normally in both directions.
+        let s = b.stamp_for(n(0), n(1));
+        assert_eq!(b.accept(n(1), n(0), s, "e"), vec![(4, "e")]);
+        let s = b.stamp_for(n(1), n(0));
+        assert_eq!(b.accept(n(0), n(1), s, "y"), vec![(1, "y")]);
     }
 }

@@ -1,0 +1,142 @@
+//! Per-link fault plans: message drop, duplication, and reordering jitter.
+//!
+//! A [`FaultPlan`] describes how hostile one directed link is; a
+//! [`FaultConfig`] maps every ordered pair of nodes to a plan (a default
+//! plus per-link overrides). The plans are *pure data* — sampling happens
+//! in the [`ReliableNet`] layer, driven by the engine's seeded RNG, so two
+//! runs with the same seed inject exactly the same faults.
+//!
+//! [`ReliableNet`]: crate::reliable::ReliableNet
+
+use std::collections::BTreeMap;
+
+use fragdb_model::NodeId;
+use fragdb_sim::SimDuration;
+
+/// Fault characteristics of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a transmission attempt is silently lost.
+    pub drop: f64,
+    /// Probability that a transmission attempt is duplicated (a second
+    /// copy is injected with its own independently sampled delay).
+    pub dup: f64,
+    /// Maximum extra delay added to a transmission, sampled uniformly from
+    /// `[0, jitter]`. With per-packet jitter two packets can overtake each
+    /// other, producing genuine reordering on the wire.
+    pub jitter: SimDuration,
+}
+
+impl FaultPlan {
+    /// A perfectly clean link.
+    pub const NONE: FaultPlan = FaultPlan {
+        drop: 0.0,
+        dup: 0.0,
+        jitter: SimDuration(0),
+    };
+
+    /// A plan with the given drop/dup probabilities and jitter bound.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= drop < 1` and `0 <= dup <= 1`: a drop
+    /// probability of 1 would defeat eventual delivery outright.
+    pub fn new(drop: f64, dup: f64, jitter: SimDuration) -> Self {
+        assert!((0.0..1.0).contains(&drop), "drop must be in [0, 1)");
+        assert!((0.0..=1.0).contains(&dup), "dup must be in [0, 1]");
+        FaultPlan { drop, dup, jitter }
+    }
+
+    /// Drop-only plan.
+    pub fn lossy(drop: f64) -> Self {
+        FaultPlan::new(drop, 0.0, SimDuration(0))
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0 && self.dup == 0.0 && self.jitter == SimDuration(0)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+/// Fault plans for the whole network: a default plus per-link overrides.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    default: FaultPlan,
+    overrides: BTreeMap<(NodeId, NodeId), FaultPlan>,
+}
+
+impl FaultConfig {
+    /// Every link clean.
+    pub fn clean() -> Self {
+        FaultConfig::default()
+    }
+
+    /// The same plan on every directed link.
+    pub fn uniform(plan: FaultPlan) -> Self {
+        FaultConfig {
+            default: plan,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Override the plan for one directed link `(from, to)`.
+    pub fn with_link(mut self, from: NodeId, to: NodeId, plan: FaultPlan) -> Self {
+        self.overrides.insert((from, to), plan);
+        self
+    }
+
+    /// The plan governing transmissions from `from` to `to`.
+    pub fn plan_for(&self, from: NodeId, to: NodeId) -> FaultPlan {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// True when no link anywhere injects faults.
+    pub fn is_clean(&self) -> bool {
+        self.default.is_clean() && self.overrides.values().all(FaultPlan::is_clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        assert!(FaultPlan::NONE.is_clean());
+        assert!(FaultConfig::clean().is_clean());
+        assert_eq!(
+            FaultConfig::clean().plan_for(NodeId(0), NodeId(1)),
+            FaultPlan::NONE
+        );
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let plan = FaultPlan::lossy(0.3);
+        let cfg = FaultConfig::clean().with_link(NodeId(0), NodeId(1), plan);
+        assert_eq!(cfg.plan_for(NodeId(0), NodeId(1)), plan);
+        assert_eq!(cfg.plan_for(NodeId(1), NodeId(0)), FaultPlan::NONE);
+        assert!(!cfg.is_clean());
+    }
+
+    #[test]
+    fn uniform_applies_everywhere() {
+        let plan = FaultPlan::new(0.1, 0.2, SimDuration::from_millis(5));
+        let cfg = FaultConfig::uniform(plan);
+        assert_eq!(cfg.plan_for(NodeId(3), NodeId(7)), plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop must be in [0, 1)")]
+    fn certain_loss_is_rejected() {
+        FaultPlan::new(1.0, 0.0, SimDuration(0));
+    }
+}

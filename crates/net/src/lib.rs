@@ -19,21 +19,33 @@
 //! * [`broadcast`] — per-sender sequence numbers plus per-receiver
 //!   hold-back queues, yielding exactly the paper's two requirements even
 //!   if the transport were to reorder.
+//! * [`fault`] — per-link fault plans: drop/duplication probabilities and
+//!   reordering jitter, as pure data sampled by the reliable layer.
+//! * [`reliable`] — ack/retransmit point-to-point delivery that *earns*
+//!   eventual, exactly-once, per-pair-FIFO delivery under injected loss,
+//!   duplication, and reordering, instead of assuming it.
 //!
 //! The crate is engine-agnostic: methods take the current [`SimTime`] and
-//! return `(deliver_at, Delivery)` pairs for the caller to schedule, so any
-//! event-loop owner (fragdb-core, the baselines, tests) can drive it.
+//! return `(deliver_at, Delivery)` pairs (or [`reliable::NetAction`]s) for
+//! the caller to schedule, so any event-loop owner (fragdb-core, the
+//! baselines, tests) can drive it.
 //!
 //! [`SimTime`]: fragdb_sim::SimTime
 
 pub mod broadcast;
+pub mod fault;
 pub mod linkstate;
 pub mod partition;
+pub mod reliable;
 pub mod topology;
 pub mod transport;
 
-pub use broadcast::{BcastMsg, BroadcastLayer};
+pub use broadcast::BroadcastLayer;
+pub use fault::{FaultConfig, FaultPlan};
 pub use linkstate::LinkState;
 pub use partition::{NetworkChange, PartitionSchedule};
+pub use reliable::{
+    NetAction, Pkt, PktDelivery, ReliableNet, ReliableStats, RetransmitConfig, RetransmitTimer,
+};
 pub use topology::Topology;
 pub use transport::{Delivery, Transport, TransportStats};

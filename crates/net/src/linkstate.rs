@@ -7,12 +7,11 @@
 use std::collections::BTreeSet;
 
 use fragdb_model::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::topology::canon;
 
 /// The set of currently-severed links (empty = everything up).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LinkState {
     down: BTreeSet<(NodeId, NodeId)>,
 }

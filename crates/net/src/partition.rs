@@ -9,12 +9,11 @@
 
 use fragdb_model::NodeId;
 use fragdb_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::linkstate::LinkState;
 
 /// One network mutation.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NetworkChange {
     /// Sever one link.
     LinkDown(NodeId, NodeId),
@@ -43,7 +42,7 @@ impl NetworkChange {
 }
 
 /// A time-ordered list of network changes.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PartitionSchedule {
     /// `(when, what)` pairs, kept sorted by time (stable for equal times).
     events: Vec<(SimTime, NetworkChange)>,
@@ -176,10 +175,8 @@ mod tests {
 
     #[test]
     fn disrupted_time_open_interval_runs_to_horizon() {
-        let s = PartitionSchedule::none().at(
-            secs(90),
-            NetworkChange::Split(vec![vec![n(0)], vec![n(1)]]),
-        );
+        let s = PartitionSchedule::none()
+            .at(secs(90), NetworkChange::Split(vec![vec![n(0)], vec![n(1)]]));
         assert_eq!(s.disrupted_time(secs(100)), SimDuration::from_secs(10));
     }
 

@@ -2,9 +2,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
-use fragdb_sim::SimDuration;
 use fragdb_model::NodeId;
-use serde::{Deserialize, Serialize};
+use fragdb_sim::SimDuration;
 
 use crate::linkstate::LinkState;
 
@@ -20,7 +19,7 @@ pub(crate) fn canon(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 /// The static link graph. Which links are *currently up* is tracked
 /// separately in [`LinkState`] so one topology can be shared across
 /// scenarios.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     n: u32,
     /// Undirected links with their one-way delay.
@@ -258,7 +257,10 @@ mod tests {
         let up = LinkState::all_up();
         assert_eq!(t.path_delay(NodeId(0), NodeId(1), &up), Some(ms(10)));
         assert_eq!(t.path_delay(NodeId(0), NodeId(2), &up), Some(ms(20)));
-        assert_eq!(t.path_delay(NodeId(1), NodeId(1), &up), Some(SimDuration::ZERO));
+        assert_eq!(
+            t.path_delay(NodeId(1), NodeId(1), &up),
+            Some(SimDuration::ZERO)
+        );
     }
 
     #[test]

@@ -162,9 +162,7 @@ impl<M> Transport<M> {
         let ready: Vec<(NodeId, NodeId)> = self
             .outbox
             .iter()
-            .filter(|((from, to), q)| {
-                !q.is_empty() && self.topo.connected(*from, *to, &self.state)
-            })
+            .filter(|((from, to), q)| !q.is_empty() && self.topo.connected(*from, *to, &self.state))
             .map(|(&pair, _)| pair)
             .collect();
         for pair in ready {
@@ -205,7 +203,14 @@ mod tests {
         let mut t = mesh(3);
         let (at, d) = t.send(SimTime::from_secs(1), n(0), n(1), 42).unwrap();
         assert_eq!(at, SimTime::from_secs(1) + ms(10));
-        assert_eq!(d, Delivery { from: n(0), to: n(1), msg: 42 });
+        assert_eq!(
+            d,
+            Delivery {
+                from: n(0),
+                to: n(1),
+                msg: 42
+            }
+        );
         assert_eq!(t.stats().delivered_direct, 1);
     }
 

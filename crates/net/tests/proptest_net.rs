@@ -1,11 +1,13 @@
 //! Property tests for the network substrate: eventual delivery and FIFO
 //! under arbitrary link-flap/send interleavings.
-
-use proptest::prelude::*;
+//!
+//! Implemented as seeded randomized loops over [`SimRng`] rather than a
+//! proptest harness so the suite builds with no external dependencies;
+//! every case is reproducible from the printed seed.
 
 use fragdb_model::NodeId;
 use fragdb_net::{NetworkChange, Topology, Transport};
-use fragdb_sim::{SimDuration, SimTime};
+use fragdb_sim::{SimDuration, SimRng, SimTime};
 
 /// One step of a randomized transport scenario.
 #[derive(Debug, Clone)]
@@ -15,31 +17,38 @@ enum Step {
     LinkUp { a: u32, b: u32 },
 }
 
-fn step_strategy(n: u32) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..n, 0..n, any::<u64>()).prop_filter_map("no loopback", |(from, to, tag)| {
-            (from != to).then_some(Step::Send { from, to, tag })
-        }),
-        (0..n, 0..n).prop_filter_map("no self-link", |(a, b)| {
-            (a != b).then_some(Step::LinkDown { a, b })
-        }),
-        (0..n, 0..n).prop_filter_map("no self-link", |(a, b)| {
-            (a != b).then_some(Step::LinkUp { a, b })
-        }),
-    ]
+fn random_steps(rng: &mut SimRng, n: u32, count: usize) -> Vec<Step> {
+    let mut steps = Vec::with_capacity(count);
+    while steps.len() < count {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        steps.push(match rng.gen_range(0..3u32) {
+            0 => Step::Send {
+                from: a,
+                to: b,
+                tag: rng.next_u64(),
+            },
+            1 => Step::LinkDown { a, b },
+            _ => Step::LinkUp { a, b },
+        });
+    }
+    steps
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Whatever the interleaving of sends and link flaps, once all links
+/// heal every message is delivered exactly once, and per ordered pair
+/// the delivery order equals the send order with strictly increasing
+/// delivery times.
+#[test]
+fn transport_delivers_everything_after_heal() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x4E45_5400 + case);
+        let count = rng.gen_range(1..80);
+        let steps = random_steps(&mut rng, 4, count);
 
-    /// Whatever the interleaving of sends and link flaps, once all links
-    /// heal every message is delivered exactly once, and per ordered pair
-    /// the delivery order equals the send order with strictly increasing
-    /// delivery times.
-    #[test]
-    fn transport_delivers_everything_after_heal(
-        steps in proptest::collection::vec(step_strategy(4), 1..80),
-    ) {
         let mut transport: Transport<u64> =
             Transport::new(Topology::full_mesh(4, SimDuration::from_millis(5)));
         let mut now = SimTime::ZERO;
@@ -77,7 +86,11 @@ proptest! {
         for (at, d) in transport.apply_change(now, &NetworkChange::HealAll) {
             delivered.push((at, d.from, d.to, d.msg));
         }
-        prop_assert_eq!(transport.queued_count(), 0, "nothing may stay parked");
+        assert_eq!(
+            transport.queued_count(),
+            0,
+            "case {case}: nothing may stay parked"
+        );
 
         // Exactly-once, order-preserving per pair.
         let mut got: std::collections::BTreeMap<(NodeId, NodeId), Vec<(SimTime, u64)>> =
@@ -88,26 +101,35 @@ proptest! {
         for (pair, tags) in &sent {
             let deliveries = got.get(pair).cloned().unwrap_or_default();
             let tag_order: Vec<u64> = deliveries.iter().map(|(_, t)| *t).collect();
-            prop_assert_eq!(&tag_order, tags, "pair {:?} reordered or lost", pair);
+            assert_eq!(
+                &tag_order, tags,
+                "case {case}: pair {pair:?} reordered or lost"
+            );
             for w in deliveries.windows(2) {
-                prop_assert!(w[0].0 < w[1].0, "delivery times must strictly increase");
+                assert!(
+                    w[0].0 < w[1].0,
+                    "case {case}: delivery times must strictly increase"
+                );
             }
         }
         let total_sent: usize = sent.values().map(Vec::len).sum();
         let total_got: usize = got.values().map(Vec::len).sum();
-        prop_assert_eq!(total_sent, total_got);
+        assert_eq!(total_sent, total_got, "case {case}");
     }
+}
 
-    /// Components always partition the node set (every node in exactly one
-    /// component), whatever the link state.
-    #[test]
-    fn components_partition_the_nodes(
-        downs in proptest::collection::vec((0u32..5, 0u32..5), 0..12),
-    ) {
+/// Components always partition the node set (every node in exactly one
+/// component), whatever the link state.
+#[test]
+fn components_partition_the_nodes() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x434F_4D50 + case);
         let topo = Topology::full_mesh(5, SimDuration::from_millis(1));
         let mut transport: Transport<u8> = Transport::new(topo);
         let mut now = SimTime::ZERO;
-        for (a, b) in downs {
+        for _ in 0..rng.gen_range(0..12usize) {
+            let a = rng.gen_range(0..5u32);
+            let b = rng.gen_range(0..5u32);
             if a != b {
                 now += SimDuration::from_millis(1);
                 transport.apply_change(now, &NetworkChange::LinkDown(NodeId(a), NodeId(b)));
@@ -117,15 +139,15 @@ proptest! {
         let mut seen = std::collections::BTreeSet::new();
         for comp in &comps {
             for &n in comp {
-                prop_assert!(seen.insert(n), "node {n} in two components");
+                assert!(seen.insert(n), "case {case}: node {n} in two components");
             }
         }
-        prop_assert_eq!(seen.len(), 5);
+        assert_eq!(seen.len(), 5, "case {case}");
         // Connectivity is consistent with the components.
         for comp in &comps {
             for &a in comp {
                 for &b in comp {
-                    prop_assert!(transport.connected(a, b));
+                    assert!(transport.connected(a, b), "case {case}");
                 }
             }
         }

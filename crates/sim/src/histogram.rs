@@ -6,13 +6,11 @@
 //! percentile queries — ample for reproducing the *shape* of the paper's
 //! qualitative results.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometric growth factor per bucket (~7% wide buckets).
 const GROWTH: f64 = 1.07;
 
 /// A histogram of non-negative `u64` samples with geometric buckets.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Histogram {
     /// `buckets[i]` counts samples whose bucket index is `i`.
     buckets: Vec<u64>,

@@ -1,28 +1,47 @@
 //! Seeded randomness for simulations.
 //!
-//! [`SimRng`] wraps a fixed, version-pinned PRNG so that every stochastic
-//! choice in a run (arrival times, partition onsets, picked accounts) is a
-//! pure function of the experiment seed. The distributions exposed are
-//! exactly the ones the workloads need; anything fancier should be built
-//! from these so determinism is preserved.
+//! [`SimRng`] is a fixed, version-pinned PRNG (xoshiro256++ seeded through
+//! SplitMix64) so that every stochastic choice in a run (arrival times,
+//! partition onsets, fault rolls, picked accounts) is a pure function of
+//! the experiment seed. The generator is implemented in-tree: the build
+//! must work in fully offline environments, and pinning the algorithm here
+//! guarantees the stream never shifts under a dependency upgrade — seeds
+//! in golden tests and bug reports stay meaningful forever.
+//!
+//! The distributions exposed are exactly the ones the workloads need;
+//! anything fancier should be built from these so determinism is preserved.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64 step — used for seeding and fork-salt mixing.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Deterministic random source for one simulation run.
+///
+/// Algorithm: xoshiro256++ (Blackman & Vigna), with the 256-bit state
+/// derived from the 64-bit seed via SplitMix64 — the reference seeding
+/// procedure recommended by the authors.
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s, seed }
     }
 
     /// The seed this stream was created from.
@@ -40,30 +59,60 @@ impl SimRng {
         z ^= z >> 31;
         // Also consume one value from self so sequential forks differ even
         // with equal salts.
-        let extra = self.inner.next_u64();
+        let extra = self.next_u64();
         SimRng::new(z ^ extra)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value below `bound` (> 0), via Lemire's unbiased
+    /// multiply-shift rejection method.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Values of `low` below `threshold` land in over-represented slots
+        // and are rejected; everything else maps uniformly via the high word.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform sample from a range, e.g. `rng.gen_range(0..10)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
     #[inline]
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 uniform mantissa bits).
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -101,6 +150,79 @@ impl SimRng {
 impl std::fmt::Debug for SimRng {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SimRng(seed={})", self.seed)
+    }
+}
+
+/// Types [`SimRng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `[low, high)`; `high > low` guaranteed.
+    fn sample_exclusive(rng: &mut SimRng, low: Self, high: Self) -> Self;
+    /// Sample uniformly from `[low, high]`; `high >= low` guaranteed.
+    fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+                let span = (high as u64) - (low as u64);
+                low + rng.below(span) as $t
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+                let span = (high as u64) - (low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                (low as $u).wrapping_add(rng.below(span) as $u) as $t
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (low as $u).wrapping_add(rng.below(span + 1) as $u) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges [`SimRng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample(self, rng: &mut SimRng) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample(self, rng: &mut SimRng) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample from an empty range");
+        T::sample_inclusive(rng, low, high)
     }
 }
 
@@ -199,7 +321,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]
@@ -209,5 +335,35 @@ mod tests {
             let x: u32 = r.gen_range(10..20);
             assert!((10..20).contains(&x));
         }
+        for _ in 0..1000 {
+            let x: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&x));
+        }
+        for _ in 0..100 {
+            let x: usize = r.gen_range(0..=0);
+            assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = SimRng::new(16);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SimRng::new(17);
+        let _: u32 = r.gen_range(5..5);
     }
 }

@@ -93,7 +93,10 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier entries dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier entries dropped ...\n",
+                self.dropped
+            ));
         }
         for e in &self.entries {
             out.push_str(&format!("[{}] {}\n", e.at, e.message));

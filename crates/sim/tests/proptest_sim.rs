@@ -1,16 +1,17 @@
-//! Property tests for the simulation kernel.
+//! Property tests for the simulation kernel, run as seeded randomized
+//! loops (reproducible from the case number, no external deps).
 
-use proptest::prelude::*;
+use fragdb_sim::{Engine, Histogram, SimDuration, SimRng, SimTime};
 
-use fragdb_sim::{Engine, Histogram, SimDuration, SimTime};
+/// Events always pop in non-decreasing time order, and same-time events
+/// pop in insertion order.
+#[test]
+fn engine_orders_events() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x454E_4700 + case);
+        let n = rng.gen_range(1..100usize);
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50u64)).collect();
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Events always pop in non-decreasing time order, and same-time events
-    /// pop in insertion order.
-    #[test]
-    fn engine_orders_events(delays in proptest::collection::vec(0u64..50, 1..100)) {
         let mut e: Engine<usize> = Engine::new(0);
         for (i, &d) in delays.iter().enumerate() {
             e.schedule(SimDuration(d), i);
@@ -19,21 +20,28 @@ proptest! {
         while let Some(item) = e.pop() {
             popped.push(item);
         }
-        prop_assert_eq!(popped.len(), delays.len());
+        assert_eq!(popped.len(), delays.len(), "case {case}");
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            assert!(w[0].0 <= w[1].0, "case {case}: time went backwards");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "same-time events must be FIFO");
+                assert!(
+                    w[0].1 < w[1].1,
+                    "case {case}: same-time events must be FIFO"
+                );
             }
         }
     }
+}
 
-    /// The histogram's percentile always lies within [min, max], and
-    /// percentiles are monotone in q.
-    #[test]
-    fn histogram_percentiles_are_bounded_and_monotone(
-        samples in proptest::collection::vec(0u64..1_000_000, 1..300),
-    ) {
+/// The histogram's percentile always lies within [min, max], and
+/// percentiles are monotone in q.
+#[test]
+fn histogram_percentiles_are_bounded_and_monotone() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x4849_5300 + case);
+        let n = rng.gen_range(1..300usize);
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(s);
@@ -43,21 +51,28 @@ proptest! {
         let mut prev = 0u64;
         for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let p = h.percentile(q).unwrap();
-            prop_assert!(p >= lo && p <= hi, "p{q}={p} outside [{lo}, {hi}]");
-            prop_assert!(p >= prev, "percentiles must be monotone");
+            assert!(
+                p >= lo && p <= hi,
+                "case {case}: p{q}={p} outside [{lo}, {hi}]"
+            );
+            assert!(p >= prev, "case {case}: percentiles must be monotone");
             prev = p;
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.count(), samples.len() as u64, "case {case}");
         let exact_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        prop_assert!((h.mean().unwrap() - exact_mean).abs() < 1e-6);
+        assert!((h.mean().unwrap() - exact_mean).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// The approximate median is within the histogram's relative-error
-    /// budget of the exact median.
-    #[test]
-    fn histogram_median_error_is_bounded(
-        samples in proptest::collection::vec(1u64..1_000_000, 10..300),
-    ) {
+/// The approximate median is within the histogram's relative-error
+/// budget of the exact median.
+#[test]
+fn histogram_median_error_is_bounded() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x4D45_4400 + case);
+        let n = rng.gen_range(10..300usize);
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(1..1_000_000u64)).collect();
+
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(s);
@@ -67,18 +82,23 @@ proptest! {
         let exact = sorted[(sorted.len() - 1) / 2] as f64;
         let approx = h.percentile(50.0).unwrap() as f64;
         // One geometric bucket is ~7% wide; allow double for rank rounding.
-        prop_assert!(
+        assert!(
             approx <= exact * 1.15 + 1.0 && approx >= exact / 1.15 - 1.0,
-            "approx {approx} vs exact {exact}"
+            "case {case}: approx {approx} vs exact {exact}"
         );
     }
+}
 
-    /// Merging histograms equals recording everything into one.
-    #[test]
-    fn histogram_merge_is_union(
-        a in proptest::collection::vec(0u64..10_000, 0..100),
-        b in proptest::collection::vec(0u64..10_000, 0..100),
-    ) {
+/// Merging histograms equals recording everything into one.
+#[test]
+fn histogram_merge_is_union() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x4D52_4700 + case);
+        let na = rng.gen_range(0..100usize);
+        let nb = rng.gen_range(0..100usize);
+        let a: Vec<u64> = (0..na).map(|_| rng.gen_range(0..10_000u64)).collect();
+        let b: Vec<u64> = (0..nb).map(|_| rng.gen_range(0..10_000u64)).collect();
+
         let mut ha = Histogram::new();
         let mut hb = Histogram::new();
         let mut hall = Histogram::new();
@@ -91,12 +111,12 @@ proptest! {
             hall.record(s);
         }
         ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hall.count());
-        prop_assert_eq!(ha.sum(), hall.sum());
-        prop_assert_eq!(ha.min(), hall.min());
-        prop_assert_eq!(ha.max(), hall.max());
+        assert_eq!(ha.count(), hall.count(), "case {case}");
+        assert_eq!(ha.sum(), hall.sum(), "case {case}");
+        assert_eq!(ha.min(), hall.min(), "case {case}");
+        assert_eq!(ha.max(), hall.max(), "case {case}");
         for q in [25.0, 50.0, 95.0] {
-            prop_assert_eq!(ha.percentile(q), hall.percentile(q));
+            assert_eq!(ha.percentile(q), hall.percentile(q), "case {case}");
         }
     }
 }

@@ -201,14 +201,13 @@ impl LockManager {
         }
         let mut granted = Vec::new();
         for object in touched {
-            let slot = self.table.get_mut(&object).expect("tracked object has slot");
+            let slot = self
+                .table
+                .get_mut(&object)
+                .expect("tracked object has slot");
             slot.holders.retain(|(t, _)| *t != txn);
             slot.queue.retain(|(t, _)| *t != txn);
-            granted.extend(
-                Self::promote(slot, object)
-                    .into_iter()
-                    .map(|t| (t, object)),
-            );
+            granted.extend(Self::promote(slot, object).into_iter().map(|t| (t, object)));
             if slot.holders.is_empty() && slot.queue.is_empty() {
                 self.table.remove(&object);
             }
@@ -280,8 +279,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), o(0), LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), o(0), LockMode::Shared),
+            LockOutcome::Granted
+        );
         assert!(lm.holds(t(1), o(0)));
         assert!(lm.holds(t(2), o(0)));
     }
@@ -289,9 +294,18 @@ mod tests {
     #[test]
     fn exclusive_blocks_everyone() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), o(0), LockMode::Shared), LockOutcome::Waiting);
-        assert_eq!(lm.acquire(t(3), o(0), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), o(0), LockMode::Shared),
+            LockOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(t(3), o(0), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         assert!(lm.is_waiting(t(2)));
     }
 
@@ -299,20 +313,35 @@ mod tests {
     fn reacquire_is_idempotent() {
         let mut lm = LockManager::new();
         lm.acquire(t(1), o(0), LockMode::Exclusive);
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Shared),
+            LockOutcome::Granted
+        );
         lm.release_all(t(1));
         lm.acquire(t(1), o(0), LockMode::Shared);
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Shared),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
     fn sole_holder_upgrades_in_place() {
         let mut lm = LockManager::new();
         lm.acquire(t(1), o(0), LockMode::Shared);
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         // Now exclusive: another shared must wait.
-        assert_eq!(lm.acquire(t(2), o(0), LockMode::Shared), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(2), o(0), LockMode::Shared),
+            LockOutcome::Waiting
+        );
     }
 
     #[test]
@@ -347,8 +376,11 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(t(1), o(0), LockMode::Shared);
         lm.acquire(t(2), o(0), LockMode::Exclusive); // waits
-        // A new shared request must NOT jump the queued writer.
-        assert_eq!(lm.acquire(t(3), o(0), LockMode::Shared), LockOutcome::Waiting);
+                                                     // A new shared request must NOT jump the queued writer.
+        assert_eq!(
+            lm.acquire(t(3), o(0), LockMode::Shared),
+            LockOutcome::Waiting
+        );
     }
 
     #[test]
@@ -356,9 +388,15 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(t(1), o(0), LockMode::Exclusive);
         lm.acquire(t(2), o(1), LockMode::Exclusive);
-        assert_eq!(lm.acquire(t(1), o(1), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(1), o(1), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         // t2 -> o0 closes the cycle t1→t2→t1.
-        assert_eq!(lm.acquire(t(2), o(0), LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            lm.acquire(t(2), o(0), LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
         // The refused request is not left queued: releasing t1 lets t2 be unaffected.
         assert!(!lm.is_waiting(t(2)));
     }
@@ -369,9 +407,18 @@ mod tests {
         lm.acquire(t(1), o(0), LockMode::Exclusive);
         lm.acquire(t(2), o(1), LockMode::Exclusive);
         lm.acquire(t(3), o(2), LockMode::Exclusive);
-        assert_eq!(lm.acquire(t(1), o(1), LockMode::Exclusive), LockOutcome::Waiting);
-        assert_eq!(lm.acquire(t(2), o(2), LockMode::Exclusive), LockOutcome::Waiting);
-        assert_eq!(lm.acquire(t(3), o(0), LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            lm.acquire(t(1), o(1), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(t(2), o(2), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(t(3), o(0), LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
     }
 
     #[test]
@@ -379,9 +426,15 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(t(1), o(0), LockMode::Shared);
         lm.acquire(t(2), o(0), LockMode::Shared);
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         // t2's upgrade closes the classic upgrade deadlock.
-        assert_eq!(lm.acquire(t(2), o(0), LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            lm.acquire(t(2), o(0), LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
     }
 
     #[test]
@@ -414,8 +467,14 @@ mod tests {
     #[test]
     fn independent_objects_do_not_conflict() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), o(0), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), o(1), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), o(0), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), o(1), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.active_objects(), 2);
     }
 }

@@ -3,13 +3,12 @@
 
 use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, Value};
 use fragdb_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::store::Store;
 use crate::wal::{Wal, WalEntry};
 
 /// One node's complete database copy plus its installation log.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Replica {
     /// The node this replica lives at.
     pub node: NodeId,
@@ -108,6 +107,24 @@ impl Replica {
     pub fn digest(&self, objects: &[ObjectId]) -> u64 {
         self.store.digest(objects)
     }
+
+    /// The node crashed: the in-memory store (volatile) is wiped; the WAL
+    /// (durable) survives. [`Replica::recover`] rebuilds the store from it.
+    pub fn crash(&mut self) {
+        self.store = Store::new();
+    }
+
+    /// Crash recovery: replay the durable WAL in log order to rebuild the
+    /// store. Entries are re-applied, not re-appended; `installed_at`
+    /// provenance reflects the (local) recovery time.
+    pub fn recover(&mut self, at: SimTime) {
+        let entries: Vec<WalEntry> = self.wal.entries().to_vec();
+        for e in &entries {
+            for (o, v) in &e.updates {
+                self.store.put(*o, v.clone(), e.txn, at);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +219,32 @@ mod tests {
         let snap = x.snapshot(&objs);
         y.restore(&snap, t(0, 0), SimTime(2));
         assert_eq!(x.digest(&objs), y.digest(&objs));
+    }
+
+    #[test]
+    fn crash_wipes_store_and_recover_replays_wal() {
+        let mut r = Replica::new(NodeId(0));
+        r.commit_local(
+            t(0, 0),
+            FragmentId(0),
+            0,
+            0,
+            vec![(o(1), Value::Int(7))],
+            SimTime(1),
+        );
+        r.install_quasi(&quasi(t(1, 0), 1, vec![(o(1), Value::Int(8))]), SimTime(2));
+        let before = r.digest(&[o(1)]);
+        r.crash();
+        assert!(r.read(o(1)).is_null(), "volatile store must be gone");
+        assert_eq!(r.wal().len(), 2, "WAL is durable");
+        r.recover(SimTime(10));
+        assert_eq!(r.digest(&[o(1)]), before, "replay must rebuild the store");
+        assert_eq!(r.wal().len(), 2, "replay must not re-append");
+        assert_eq!(
+            r.store().version(o(1)).unwrap().installed_at,
+            SimTime(10),
+            "provenance reflects recovery time"
+        );
     }
 
     #[test]

@@ -4,10 +4,9 @@ use std::collections::BTreeMap;
 
 use fragdb_model::{ObjectId, TxnId, Value};
 use fragdb_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One object replica: current value plus provenance.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Versioned {
     /// Current value (starts [`Value::Null`]).
     pub value: Value,
@@ -32,7 +31,7 @@ impl Default for Versioned {
 /// Objects are created lazily: reading a never-written object yields
 /// [`Value::Null`], matching the paper's implicit "initially zero/empty"
 /// conventions (workloads map `Null` to their domain default).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Store {
     objects: BTreeMap<ObjectId, Versioned>,
 }
@@ -98,10 +97,7 @@ impl Store {
     /// Current `(object, value)` pairs for the given objects (missing
     /// objects appear as `Null`) — a fragment snapshot for §4.4.2A.
     pub fn snapshot(&self, objects: &[ObjectId]) -> Vec<(ObjectId, Value)> {
-        objects
-            .iter()
-            .map(|&o| (o, self.get(o).clone()))
-            .collect()
+        objects.iter().map(|&o| (o, self.get(o).clone())).collect()
     }
 
     /// Overwrite the given objects from a snapshot (move-with-data install).

@@ -17,10 +17,9 @@ use std::collections::BTreeMap;
 
 use fragdb_model::{FragmentId, ObjectId, TxnId, Value};
 use fragdb_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One installed transaction.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalEntry {
     /// Originating transaction.
     pub txn: TxnId,
@@ -37,7 +36,7 @@ pub struct WalEntry {
 }
 
 /// Append-only installation log with a per-fragment index.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Wal {
     entries: Vec<WalEntry>,
     /// `fragment -> indices into entries`, in installation order.
@@ -85,9 +84,7 @@ impl Wal {
 
     /// Highest `frag_seq` installed for `fragment`, or `None`.
     pub fn last_frag_seq(&self, fragment: FragmentId) -> Option<u64> {
-        self.fragment_entries(fragment)
-            .map(|e| e.frag_seq)
-            .max()
+        self.fragment_entries(fragment).map(|e| e.frag_seq).max()
     }
 
     /// Has a transaction with this `frag_seq` on `fragment` been installed?
@@ -147,9 +144,15 @@ mod tests {
         w.append(entry(1, 0, 20, 2));
         w.append(entry(0, 1, 10, 3));
         assert_eq!(w.len(), 3);
-        let f0: Vec<u64> = w.fragment_entries(FragmentId(0)).map(|e| e.frag_seq).collect();
+        let f0: Vec<u64> = w
+            .fragment_entries(FragmentId(0))
+            .map(|e| e.frag_seq)
+            .collect();
         assert_eq!(f0, vec![0, 1]);
-        let f1: Vec<u64> = w.fragment_entries(FragmentId(1)).map(|e| e.frag_seq).collect();
+        let f1: Vec<u64> = w
+            .fragment_entries(FragmentId(1))
+            .map(|e| e.frag_seq)
+            .collect();
         assert_eq!(f1, vec![0]);
     }
 

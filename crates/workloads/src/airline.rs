@@ -44,7 +44,11 @@ impl AirlineSchema {
         capacity: i64,
         customer_homes: &[NodeId],
         flight_homes: &[NodeId],
-    ) -> (FragmentCatalog, AirlineSchema, Vec<(FragmentId, AgentId, NodeId)>) {
+    ) -> (
+        FragmentCatalog,
+        AirlineSchema,
+        Vec<(FragmentId, AgentId, NodeId)>,
+    ) {
         assert_eq!(customer_homes.len(), customers as usize);
         assert_eq!(flight_homes.len(), flights as usize);
         let mut b = FragmentCatalog::builder();
@@ -199,7 +203,12 @@ impl AirlineDriver {
         let replica = sys.replica(node);
         self.schema.f_objs[flight as usize]
             .iter()
-            .map(|&o| replica.read(o).as_int_or(0).expect("seat counts are integers"))
+            .map(|&o| {
+                replica
+                    .read(o)
+                    .as_int_or(0)
+                    .expect("seat counts are integers")
+            })
             .sum()
     }
 }
@@ -238,16 +247,14 @@ mod tests {
 
     #[test]
     fn rag_of_figure_4_3_3_is_elementarily_cyclic() {
-        let (_, schema, _) = AirlineSchema::build(
-            2,
-            2,
-            10,
-            &[NodeId(0), NodeId(1)],
-            &[NodeId(2), NodeId(3)],
-        );
+        let (_, schema, _) =
+            AirlineSchema::build(2, 2, 10, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
         let rag = ReadAccessGraph::from_decls(&schema.decls());
         assert!(rag.is_acyclic(), "directed: no cycle");
-        assert!(!rag.is_elementarily_acyclic(), "undirected square C1-F1-C2-F2");
+        assert!(
+            !rag.is_elementarily_acyclic(),
+            "undirected square C1-F1-C2-F2"
+        );
     }
 
     #[test]
@@ -316,7 +323,10 @@ mod tests {
         let notes = sys.run_until(secs(30));
         assert!(notes.iter().any(|n| matches!(
             n,
-            Notification::Aborted { reason: fragdb_core::AbortReason::Logic(_), .. }
+            Notification::Aborted {
+                reason: fragdb_core::AbortReason::Logic(_),
+                ..
+            }
         )));
     }
 }

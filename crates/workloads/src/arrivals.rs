@@ -46,12 +46,7 @@ mod tests {
     #[test]
     fn poisson_count_close_to_expectation() {
         let mut rng = SimRng::new(42);
-        let times = poisson(
-            &mut rng,
-            10.0,
-            SimTime::ZERO,
-            SimTime::from_secs(100),
-        );
+        let times = poisson(&mut rng, 10.0, SimTime::ZERO, SimTime::from_secs(100));
         let expected = 1000.0;
         assert!(
             (times.len() as f64 - expected).abs() < expected * 0.2,
@@ -67,8 +62,18 @@ mod tests {
 
     #[test]
     fn poisson_is_deterministic_per_seed() {
-        let a = poisson(&mut SimRng::new(7), 5.0, SimTime::ZERO, SimTime::from_secs(10));
-        let b = poisson(&mut SimRng::new(7), 5.0, SimTime::ZERO, SimTime::from_secs(10));
+        let a = poisson(
+            &mut SimRng::new(7),
+            5.0,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let b = poisson(
+            &mut SimRng::new(7),
+            5.0,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
         assert_eq!(a, b);
     }
 

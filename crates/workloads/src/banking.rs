@@ -30,9 +30,7 @@ use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use fragdb_core::{Notification, Submission, System};
-use fragdb_model::{
-    AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, UserId, Value,
-};
+use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, UserId, Value};
 use fragdb_sim::{SimDuration, SimTime};
 use fragdb_storage::Replica;
 
@@ -70,7 +68,13 @@ pub struct BankSchema {
 
 impl BankSchema {
     /// Build the catalog and the agent assignment from a config.
-    pub fn build(cfg: &BankConfig) -> (FragmentCatalog, BankSchema, Vec<(FragmentId, AgentId, NodeId)>) {
+    pub fn build(
+        cfg: &BankConfig,
+    ) -> (
+        FragmentCatalog,
+        BankSchema,
+        Vec<(FragmentId, AgentId, NodeId)>,
+    ) {
         assert_eq!(
             cfg.account_homes.len(),
             cfg.accounts as usize,
@@ -83,16 +87,12 @@ impl BankSchema {
         let mut recorded = Vec::new();
         let mut rec_objs = Vec::new();
         for i in 0..cfg.accounts {
-            let (f, objs) = b.add_fragment(
-                format!("ACTIVITY({i:04})"),
-                cfg.slots_per_account as usize,
-            );
+            let (f, objs) =
+                b.add_fragment(format!("ACTIVITY({i:04})"), cfg.slots_per_account as usize);
             activity.push(f);
             act_objs.push(objs);
-            let (f, objs) = b.add_fragment(
-                format!("RECORDED({i:04})"),
-                cfg.slots_per_account as usize,
-            );
+            let (f, objs) =
+                b.add_fragment(format!("RECORDED({i:04})"), cfg.slots_per_account as usize);
             recorded.push(f);
             rec_objs.push(objs);
         }
@@ -144,7 +144,10 @@ impl BankSchema {
             .expect("balance is an integer");
         let mut unrecorded = 0i64;
         for (k, &slot) in self.act_objs[account].iter().enumerate() {
-            let amount = replica.read(slot).as_int_or(0).expect("amount is an integer");
+            let amount = replica
+                .read(slot)
+                .as_int_or(0)
+                .expect("amount is an integer");
             if amount == 0 {
                 continue;
             }
@@ -267,37 +270,40 @@ impl BankDriver {
         } else {
             Vec::new()
         };
-        Some(Submission::update(
-            fragment,
-            Box::new(move |ctx| {
-                // Compute the local view from this node's replica through
-                // transactional reads (so they enter the history).
-                let balance = ctx.read_int(schema.bal_objs[acct], 0);
-                let mut unrecorded = 0i64;
-                for (k, &s) in schema.act_objs[acct].iter().enumerate() {
-                    if s == slot {
-                        continue;
+        Some(
+            Submission::update(
+                fragment,
+                Box::new(move |ctx| {
+                    // Compute the local view from this node's replica through
+                    // transactional reads (so they enter the history).
+                    let balance = ctx.read_int(schema.bal_objs[acct], 0);
+                    let mut unrecorded = 0i64;
+                    for (k, &s) in schema.act_objs[acct].iter().enumerate() {
+                        if s == slot {
+                            continue;
+                        }
+                        let a = ctx.read_int(s, 0);
+                        if a == 0 {
+                            continue;
+                        }
+                        let posted =
+                            matches!(ctx.read(schema.rec_objs[acct][k]), Value::Bool(true));
+                        if !posted {
+                            unrecorded += a;
+                        }
                     }
-                    let a = ctx.read_int(s, 0);
-                    if a == 0 {
-                        continue;
+                    let view = balance + unrecorded;
+                    if strict && view < amount {
+                        return Err(
+                            ctx.abort(format!("insufficient funds: local view {view} < {amount}"))
+                        );
                     }
-                    let posted = matches!(ctx.read(schema.rec_objs[acct][k]), Value::Bool(true));
-                    if !posted {
-                        unrecorded += a;
-                    }
-                }
-                let view = balance + unrecorded;
-                if strict && view < amount {
-                    return Err(ctx.abort(format!(
-                        "insufficient funds: local view {view} < {amount}"
-                    )));
-                }
-                ctx.write(slot, -amount)?;
-                Ok(())
-            }),
+                    ctx.write(slot, -amount)?;
+                    Ok(())
+                }),
+            )
+            .with_foreign_reads(foreign),
         )
-        .with_foreign_reads(foreign))
     }
 
     /// The central-office trigger. Call for every notification the system
@@ -346,21 +352,22 @@ impl BankDriver {
             let rec_obj = self.schema.rec_objs[acct][k as usize];
             let fine = self.cfg.overdraft_fine;
             let letters = Rc::clone(&self.letters);
-            let post = move |ctx: &mut fragdb_core::TxnCtx<'_>| -> Result<(), fragdb_core::ProgramError> {
-                let bal = ctx.read_int(bal_obj, 0);
-                let mut new = bal + amount;
-                if new < 0 {
-                    letters.borrow_mut().push(Letter {
-                        account,
-                        balance_before_fine: new,
-                        fine,
-                        at: ctx.now(),
-                    });
-                    new -= fine;
-                }
-                ctx.write(bal_obj, new)?;
-                Ok(())
-            };
+            let post =
+                move |ctx: &mut fragdb_core::TxnCtx<'_>| -> Result<(), fragdb_core::ProgramError> {
+                    let bal = ctx.read_int(bal_obj, 0);
+                    let mut new = bal + amount;
+                    if new < 0 {
+                        letters.borrow_mut().push(Letter {
+                            account,
+                            balance_before_fine: new,
+                            fine,
+                            at: ctx.now(),
+                        });
+                        new -= fine;
+                    }
+                    ctx.write(bal_obj, new)?;
+                    Ok(())
+                };
             if self.atomic_posting {
                 // One atomic posting across BALANCES and RECORDED(i).
                 sys.submit_at(
@@ -495,8 +502,7 @@ mod tests {
             Topology::full_mesh(2, SimDuration::from_millis(10)),
             catalog,
             agents,
-            SystemConfig::unrestricted(3)
-                .with_move_policy(fragdb_core::MovePolicy::NoPrep),
+            SystemConfig::unrestricted(3).with_move_policy(fragdb_core::MovePolicy::NoPrep),
         )
         .unwrap();
         let mut bank = BankDriver::new(schema, cfg);
@@ -545,7 +551,10 @@ mod tests {
         let notes = bank.run(&mut sys, secs(10));
         assert!(notes.iter().any(|n| matches!(
             n,
-            Notification::Aborted { reason: fragdb_core::AbortReason::Logic(_), .. }
+            Notification::Aborted {
+                reason: fragdb_core::AbortReason::Logic(_),
+                ..
+            }
         )));
         assert_eq!(bank.schema.local_view(sys.replica(NodeId(1)), 0), 0);
     }

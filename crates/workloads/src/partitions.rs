@@ -32,7 +32,10 @@ pub fn random_alternating(
     horizon: SimTime,
 ) -> PartitionSchedule {
     assert!(n_nodes >= 2, "need at least two nodes to partition");
-    assert!((0.0..=1.0).contains(&disruption), "disruption is a fraction");
+    assert!(
+        (0.0..=1.0).contains(&disruption),
+        "disruption is a fraction"
+    );
     let mut schedule = PartitionSchedule::none();
     if disruption <= 0.0 {
         return schedule;

@@ -49,7 +49,11 @@ impl WarehouseSchema {
     /// Build catalog, schema, and agent assignment.
     pub fn build(
         cfg: &WarehouseConfig,
-    ) -> (FragmentCatalog, WarehouseSchema, Vec<(FragmentId, AgentId, NodeId)>) {
+    ) -> (
+        FragmentCatalog,
+        WarehouseSchema,
+        Vec<(FragmentId, AgentId, NodeId)>,
+    ) {
         assert_eq!(cfg.warehouse_homes.len(), cfg.warehouses as usize);
         let mut b = FragmentCatalog::builder();
         let (central, plan_objs) = b.add_fragment("C", cfg.products as usize);

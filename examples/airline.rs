@@ -42,10 +42,7 @@ fn part1_reservations() {
 
     sys.net_change_at(
         SimTime::ZERO,
-        NetworkChange::Split(vec![
-            vec![NodeId(0), NodeId(2)],
-            vec![NodeId(1), NodeId(3)],
-        ]),
+        NetworkChange::Split(vec![vec![NodeId(0), NodeId(2)], vec![NodeId(1), NodeId(3)]]),
     );
     println!("t=1s  customer 1 asks for 2 seats on flight 1 (partitioned — still accepted)");
     sys.submit_at(secs(1), air.request(0, 0, 2));

@@ -75,7 +75,10 @@ fn main() {
     bank.run(&mut sys, secs(600));
 
     let bal = bank.schema.bal_objs[0];
-    println!("\nfinal balance at A: ${}", sys.replica(NodeId(0)).read(bal));
+    println!(
+        "\nfinal balance at A: ${}",
+        sys.replica(NodeId(0)).read(bal)
+    );
     println!("final balance at B: ${}", sys.replica(NodeId(1)).read(bal));
     for letter in bank.letters() {
         println!(

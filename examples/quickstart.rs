@@ -56,10 +56,7 @@ fn main() {
 
     println!("\nfinal counter at each node:");
     for node in 0..3u32 {
-        println!(
-            "  node {node}: {}",
-            sys.replica(NodeId(node)).read(obj)
-        );
+        println!("  node {node}: {}", sys.replica(NodeId(node)).read(obj));
     }
     let verdict = fragdb::graphs::analyze(&sys.history);
     println!("\nverdict: {}", verdict.spectrum_label());

@@ -59,7 +59,10 @@ fn main() {
 
     // Warehouses keep selling; the central office keeps scanning.
     for i in 0..12u64 {
-        sys.submit_at(secs(6 + i * 2), wh.sale((i % k as u64) as u32, (i % 2) as u32, 5));
+        sys.submit_at(
+            secs(6 + i * 2),
+            wh.sale((i % k as u64) as u32, (i % 2) as u32, 5),
+        );
     }
     sys.submit_at(secs(15), wh.central_scan());
 

@@ -190,7 +190,14 @@ fn harness_experiments_run_programmatically() {
     assert!(e5.cycle.is_some());
     assert!(e5.fragmentwise);
 
-    let e10 = fragdb::harness::experiments::e10_broadcast::run(1, &[0.3]);
-    assert_eq!(e10.samples[0].fifo_violations, 0);
-    assert_eq!(e10.samples[0].delivered, e10.samples[0].expected_deliveries);
+    use fragdb::harness::experiments::e10_broadcast::{self, FaultLevel};
+    let lossy = FaultLevel {
+        label: "drop 30%",
+        plan: fragdb::net::FaultPlan::lossy(0.3),
+        crash: false,
+    };
+    let e10 = e10_broadcast::run(1, &[lossy]);
+    assert!(e10.samples[0].converged);
+    assert!(e10.samples[0].fragmentwise);
+    assert!(e10.samples[0].retransmissions > 0);
 }

@@ -11,8 +11,9 @@
 //!   consistency hold under unrestricted reads and arbitrary partitions;
 //! * lock-manager safety — no two transactions ever hold conflicting
 //!   locks simultaneously, and released objects are fully cleaned up.
-
-use proptest::prelude::*;
+//!
+//! Implemented as seeded randomized loops over [`SimRng`]; each failure
+//! message carries the case seed so any run is reproducible.
 
 use fragdb::core::{Submission, System, SystemConfig};
 use fragdb::model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, TxnId};
@@ -24,15 +25,15 @@ use fragdb::storage::{LockManager, LockMode, LockOutcome};
 // Broadcast layer
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Whatever permutation (with duplicates) of a sender's messages
+/// arrives, the receiver processes each exactly once, in order.
+#[test]
+fn broadcast_releases_in_order_exactly_once() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::new(0x4243_0000 + case);
+        let n = rng.gen_range(1..60usize);
+        let order: Vec<u64> = (0..n).map(|_| rng.gen_range(0..20u64)).collect();
 
-    /// Whatever permutation (with duplicates) of a sender's messages
-    /// arrives, the receiver processes each exactly once, in order.
-    #[test]
-    fn broadcast_releases_in_order_exactly_once(
-        order in proptest::collection::vec(0u64..20, 1..60),
-    ) {
         let mut layer: BroadcastLayer<u64> = BroadcastLayer::new();
         let receiver = NodeId(1);
         let sender = NodeId(0);
@@ -40,7 +41,7 @@ proptest! {
         let mut released: Vec<u64> = Vec::new();
         for &seq in &order {
             for (s, payload) in layer.accept(receiver, sender, seq, seq) {
-                prop_assert_eq!(s, payload);
+                assert_eq!(s, payload, "case {case}");
                 released.push(s);
             }
         }
@@ -51,21 +52,27 @@ proptest! {
             }
         }
         let expected: Vec<u64> = (0..=max_seq).collect();
-        prop_assert_eq!(released, expected);
+        assert_eq!(released, expected, "case {case}: order {order:?}");
     }
+}
 
-    /// Multiple interleaved senders never bleed into each other.
-    #[test]
-    fn broadcast_streams_are_isolated(
-        steps in proptest::collection::vec((0u32..3, 0u64..10), 1..80),
-    ) {
+/// Multiple interleaved senders never bleed into each other.
+#[test]
+fn broadcast_streams_are_isolated() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::new(0x4253_0000 + case);
+        let n = rng.gen_range(1..80usize);
+        let steps: Vec<(u32, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0..3u32), rng.gen_range(0..10u64)))
+            .collect();
+
         let mut layer: BroadcastLayer<(u32, u64)> = BroadcastLayer::new();
         let receiver = NodeId(9);
         for &(sender, seq) in &steps {
             for (_, (s, q)) in layer.accept(receiver, NodeId(sender), seq, (sender, seq)) {
-                prop_assert_eq!(s, sender);
+                assert_eq!(s, sender, "case {case}");
                 // Released seq must be from that sender's own stream.
-                prop_assert!(q <= seq || q < 10);
+                assert!(q <= seq || q < 10, "case {case}");
             }
         }
     }
@@ -75,64 +82,55 @@ proptest! {
 // Lock manager
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum LockStep {
-    Acquire { txn: u64, obj: u64, exclusive: bool },
-    Release { txn: u64 },
-}
+/// Safety: after any sequence of acquires/releases, no object has two
+/// holders unless all holders are shared; and a deadlock verdict never
+/// leaves residue.
+#[test]
+fn lock_manager_safety() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x4C4B_0000 + case);
+        let n_steps = rng.gen_range(1..60usize);
 
-fn lock_step() -> impl Strategy<Value = LockStep> {
-    prop_oneof![
-        (0u64..6, 0u64..4, any::<bool>()).prop_map(|(txn, obj, exclusive)| LockStep::Acquire {
-            txn,
-            obj,
-            exclusive
-        }),
-        (0u64..6).prop_map(|txn| LockStep::Release { txn }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Safety: after any sequence of acquires/releases, no object has two
-    /// holders unless all holders are shared; and a deadlock verdict never
-    /// leaves residue.
-    #[test]
-    fn lock_manager_safety(steps in proptest::collection::vec(lock_step(), 1..60)) {
         let mut lm = LockManager::new();
         // Track what we believe is held: (txn -> set of (obj, mode)).
         let mut held: std::collections::BTreeMap<u64, std::collections::BTreeMap<u64, LockMode>> =
             Default::default();
         let mut granted_log: Vec<(TxnId, ObjectId)> = Vec::new();
-        for step in steps {
-            match step {
-                LockStep::Acquire { txn, obj, exclusive } => {
-                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
-                    let t = TxnId::new(NodeId(0), txn);
-                    match lm.acquire(t, ObjectId(obj), mode) {
-                        LockOutcome::Granted => {
-                            let entry = held.entry(txn).or_default();
-                            let cur = entry.get(&obj).copied();
-                            // Upgrades replace; same-mode is idempotent.
-                            let effective = match (cur, mode) {
-                                (Some(LockMode::Exclusive), _) => LockMode::Exclusive,
-                                (_, m) => m,
-                            };
-                            entry.insert(obj, effective);
-                        }
-                        LockOutcome::Waiting | LockOutcome::Deadlock => {}
+        for _ in 0..n_steps {
+            if rng.chance(2.0 / 3.0) {
+                // Acquire.
+                let txn = rng.gen_range(0..6u64);
+                let obj = rng.gen_range(0..4u64);
+                let exclusive = rng.chance(0.5);
+                let mode = if exclusive {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
+                let t = TxnId::new(NodeId(0), txn);
+                match lm.acquire(t, ObjectId(obj), mode) {
+                    LockOutcome::Granted => {
+                        let entry = held.entry(txn).or_default();
+                        let cur = entry.get(&obj).copied();
+                        // Upgrades replace; same-mode is idempotent.
+                        let effective = match (cur, mode) {
+                            (Some(LockMode::Exclusive), _) => LockMode::Exclusive,
+                            (_, m) => m,
+                        };
+                        entry.insert(obj, effective);
                     }
+                    LockOutcome::Waiting | LockOutcome::Deadlock => {}
                 }
-                LockStep::Release { txn } => {
-                    let t = TxnId::new(NodeId(0), txn);
-                    for (g, o) in lm.release_all(t) {
-                        granted_log.push((g, o));
-                        // A grant on release goes to a *different* txn.
-                        prop_assert_ne!(g, t);
-                    }
-                    held.remove(&txn);
+            } else {
+                // Release.
+                let txn = rng.gen_range(0..6u64);
+                let t = TxnId::new(NodeId(0), txn);
+                for (g, o) in lm.release_all(t) {
+                    granted_log.push((g, o));
+                    // A grant on release goes to a *different* txn.
+                    assert_ne!(g, t, "case {case}");
                 }
+                held.remove(&txn);
             }
             // Invariant: for every object, at most one exclusive holder,
             // and exclusive excludes shared — per our model of what was
@@ -142,9 +140,9 @@ proptest! {
                 for obj in objs.keys() {
                     // The manager may have granted more (from release), but
                     // everything we hold must still be held.
-                    prop_assert!(
+                    assert!(
                         lm.holds(TxnId::new(NodeId(0), *txn), ObjectId(*obj)),
-                        "txn {} lost its lock on {}", txn, obj
+                        "case {case}: txn {txn} lost its lock on {obj}"
                     );
                 }
             }
@@ -165,15 +163,13 @@ struct RunPlan {
     disruption_pct: u8,
 }
 
-fn run_plan() -> impl Strategy<Value = RunPlan> {
-    (any::<u64>(), 2usize..5, 1usize..8, 0u8..80).prop_map(
-        |(seed, fragments, updates_per_fragment, disruption_pct)| RunPlan {
-            seed,
-            fragments,
-            updates_per_fragment,
-            disruption_pct,
-        },
-    )
+fn run_plan(rng: &mut SimRng) -> RunPlan {
+    RunPlan {
+        seed: rng.next_u64(),
+        fragments: rng.gen_range(2..5usize),
+        updates_per_fragment: rng.gen_range(1..8usize),
+        disruption_pct: rng.gen_range(0..80u8),
+    }
 }
 
 /// Build and run a random unrestricted-mode system per the plan; return it
@@ -248,36 +244,37 @@ fn execute(plan: &RunPlan, cross_reads: bool) -> System {
     sys
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// §4.3: fragmentwise serializability and mutual consistency hold for
-    /// ANY random plan with cross-fragment reads and partitions.
-    #[test]
-    fn fragmentwise_serializability_always_holds(plan in run_plan()) {
+/// §4.3: fragmentwise serializability and mutual consistency hold for
+/// ANY random plan with cross-fragment reads and partitions.
+#[test]
+fn fragmentwise_serializability_always_holds() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::new(0x5321_0000 + case);
+        let plan = run_plan(&mut rng);
         let sys = execute(&plan, true);
         let verdict = fragdb::graphs::analyze(&sys.history);
-        prop_assert!(
+        assert!(
             verdict.fragmentwise_serializable(),
-            "violated for plan {:?}", plan
+            "violated for plan {plan:?}"
         );
-        prop_assert!(
+        assert!(
             sys.divergent_fragments().is_empty(),
-            "replicas diverged for plan {:?}", plan
+            "replicas diverged for plan {plan:?}"
         );
     }
+}
 
-    /// §4.2 theorem, edgeless special case: with NO cross-fragment reads
-    /// the read-access graph is trivially elementarily acyclic, so every
-    /// execution must be globally serializable.
-    #[test]
-    fn no_cross_reads_implies_global_serializability(plan in run_plan()) {
+/// §4.2 theorem, edgeless special case: with NO cross-fragment reads
+/// the read-access graph is trivially elementarily acyclic, so every
+/// execution must be globally serializable.
+#[test]
+fn no_cross_reads_implies_global_serializability() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::new(0x5322_0000 + case);
+        let plan = run_plan(&mut rng);
         let sys = execute(&plan, false);
         let verdict = fragdb::graphs::analyze(&sys.history);
-        prop_assert!(
-            verdict.globally_serializable,
-            "violated for plan {:?}", plan
-        );
+        assert!(verdict.globally_serializable, "violated for plan {plan:?}");
     }
 }
 
@@ -285,18 +282,18 @@ proptest! {
 // Local serialization graphs (the paper's premise) and agent movement
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The paper's premise — "local concurrency control mechanisms will
-    /// guarantee that all the l.s.g.'s are acyclic" — holds for every
-    /// execution the engine produces.
-    #[test]
-    fn local_serialization_graphs_are_acyclic(plan in run_plan()) {
+/// The paper's premise — "local concurrency control mechanisms will
+/// guarantee that all the l.s.g.'s are acyclic" — holds for every
+/// execution the engine produces.
+#[test]
+fn local_serialization_graphs_are_acyclic() {
+    for case in 0..16u64 {
+        let mut rng = SimRng::new(0x4C53_0000 + case);
+        let plan = run_plan(&mut rng);
         let sys = execute(&plan, true);
         let homes = sys.tokens().homes();
         for lsg in fragdb::graphs::LocalSerializationGraph::build_all(&sys.history, &homes) {
-            prop_assert!(
+            assert!(
                 lsg.is_acyclic(),
                 "l.s.g. of {} at {} is cyclic (plan {:?})",
                 lsg.fragment,
@@ -314,32 +311,24 @@ proptest! {
 #[derive(Debug, Clone)]
 struct MovePlan {
     seed: u64,
-    hops: Vec<u8>,        // target node of each move (mod n)
-    policy_idx: u8,       // which §4.4 protocol
+    hops: Vec<u8>,  // target node of each move (mod n)
+    policy_idx: u8, // which §4.4 protocol
     disruption_pct: u8,
 }
 
-fn move_plan() -> impl Strategy<Value = MovePlan> {
-    (
-        any::<u64>(),
-        proptest::collection::vec(0u8..4, 1..4),
-        0u8..4,
-        0u8..60,
-    )
-        .prop_map(|(seed, hops, policy_idx, disruption_pct)| MovePlan {
-            seed,
-            hops,
-            policy_idx,
-            disruption_pct,
-        })
-}
+#[test]
+fn movement_protocols_converge_under_random_schedules() {
+    use fragdb::core::MovePolicy;
+    for case in 0..24u64 {
+        let mut rng = SimRng::new(0x4D56_0000 + case);
+        let n_hops = rng.gen_range(1..4usize);
+        let plan = MovePlan {
+            seed: rng.next_u64(),
+            hops: (0..n_hops).map(|_| rng.gen_range(0..4u8)).collect(),
+            policy_idx: rng.gen_range(0..4u8),
+            disruption_pct: rng.gen_range(0..60u8),
+        };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn movement_protocols_converge_under_random_schedules(plan in move_plan()) {
-        use fragdb::core::MovePolicy;
         let policy = match plan.policy_idx {
             0 => MovePolicy::MajorityCommit {
                 timeout: SimDuration::from_secs(6),
@@ -364,9 +353,9 @@ proptest! {
         .unwrap();
 
         let horizon = SimTime::from_secs(100);
-        let mut rng = SimRng::new(plan.seed ^ 0x4D4F);
+        let mut prng = SimRng::new(plan.seed ^ 0x4D4F);
         let sched = fragdb::workloads::partitions::random_alternating(
-            &mut rng,
+            &mut prng,
             4,
             SimDuration::from_secs(10),
             plan.disruption_pct as f64 / 100.0,
@@ -395,19 +384,22 @@ proptest! {
         }
         sys.run_until(horizon + SimDuration::from_secs(600));
 
-        prop_assert!(
+        assert!(
             sys.divergent_fragments().is_empty(),
             "policy {:?} diverged under plan {:?}",
             plan.policy_idx,
             plan
         );
-        prop_assert_eq!(sys.queued_submissions(), 0, "no submission stuck forever");
+        assert_eq!(
+            sys.queued_submissions(),
+            0,
+            "no submission stuck forever (plan {plan:?})"
+        );
         if prepared {
             let verdict = fragdb::graphs::analyze(&sys.history);
-            prop_assert!(
+            assert!(
                 verdict.fragmentwise_serializable(),
-                "prepared policy lost fragmentwise serializability: {:?}",
-                plan
+                "prepared policy lost fragmentwise serializability: {plan:?}"
             );
         }
     }

@@ -1,0 +1,201 @@
+//! Minimal in-tree stand-in for the `criterion` bench harness.
+//!
+//! The real criterion crate cannot be fetched in the offline build
+//! environment this repo targets, so this crate re-implements the small
+//! API surface our benches use: timed `iter` loops with median-of-samples
+//! reporting, benchmark groups, and the `criterion_group!` /
+//! `criterion_main!` entry-point macros. Numbers it prints are honest
+//! wall-clock medians, but there is no outlier analysis, warm-up tuning,
+//! or HTML report — swap the workspace `criterion` dependency back to the
+//! registry version when the environment allows to regain those.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a benchmarked value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark driver handed to the closure: call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Time `routine`, collecting `sample_count` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow iteration count until one sample takes >= ~1ms,
+        // so short routines are not dominated by timer resolution.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 4;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name}: no samples (routine never called iter?)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Parameterized benchmark label, e.g. `BenchmarkId::from_parameter(n)`.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId {
+            param: p.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, p: P) -> Self {
+        BenchmarkId {
+            param: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.param));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench context, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_count = self.sample_count;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count,
+            _parent: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
