@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Benchmark support crate. The actual benchmarks live in `benches/`:

@@ -1,0 +1,89 @@
+//! The admission hook: refuse (or merely warn about) a run whose declared
+//! configuration fails the static checks, *before* anything executes.
+
+use std::fmt;
+
+use fragdb_core::{BuildError, System, SystemConfig};
+use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId};
+use fragdb_net::Topology;
+
+use crate::checks::check;
+use crate::diag::Report;
+use crate::input::{CheckInput, ClassDecl};
+
+/// What to do when admission finds error-severity diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse to start the run (the default posture for CI and harnesses).
+    Enforce,
+    /// Start anyway; the caller inspects the report (useful when
+    /// deliberately demonstrating a misconfiguration, as experiments do).
+    Warn,
+}
+
+/// Why an admitted build did not produce a [`System`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The static checks found errors and the policy was
+    /// [`AdmissionPolicy::Enforce`].
+    Rejected(Report),
+    /// The checks passed (or were only warnings) but [`System::build`]
+    /// still refused the configuration.
+    Build(BuildError),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Rejected(report) => {
+                writeln!(f, "configuration refused admission:")?;
+                write!(f, "{report}")
+            }
+            AdmissionError::Build(e) => write!(f, "system build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl From<BuildError> for AdmissionError {
+    fn from(e: BuildError) -> Self {
+        AdmissionError::Build(e)
+    }
+}
+
+/// Run the checks and apply `policy`: `Ok(report)` means the run may
+/// start (the report may still carry warnings/infos, and errors under
+/// [`AdmissionPolicy::Warn`]).
+pub fn admit(input: &CheckInput, policy: AdmissionPolicy) -> Result<Report, AdmissionError> {
+    let report = check(input);
+    if policy == AdmissionPolicy::Enforce && !report.is_admissible() {
+        return Err(AdmissionError::Rejected(report));
+    }
+    Ok(report)
+}
+
+/// Check first, build second: the admission-gated replacement for calling
+/// [`System::build`] directly. Returns the built system together with the
+/// (possibly warning-laden) report.
+pub fn build_admitted(
+    topology: Topology,
+    catalog: FragmentCatalog,
+    agents: Vec<(FragmentId, AgentId, NodeId)>,
+    classes: &[ClassDecl],
+    config: SystemConfig,
+    policy: AdmissionPolicy,
+) -> Result<(System, Report), AdmissionError> {
+    let report = admit(
+        &CheckInput {
+            topology: &topology,
+            catalog: &catalog,
+            agents: &agents,
+            classes,
+            config: &config,
+        },
+        policy,
+    )?;
+    let system = System::build(topology, catalog, agents, config)?;
+    Ok((system, report))
+}

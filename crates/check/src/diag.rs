@@ -1,0 +1,301 @@
+//! Structured diagnostics: stable codes, severities, rustc-style rendering.
+//!
+//! Every check emits [`Diagnostic`]s carrying a stable [`Code`], so drivers
+//! can match on outcomes programmatically while humans read the rendered
+//! [`Report`]. Codes are never reused; retired codes stay reserved.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Purely informational — explains a non-obvious consequence of the
+    /// declarations (e.g. why an own-fragment read is not a RAG edge).
+    Info,
+    /// The configuration is admissible but smells — e.g. a lock-order
+    /// cycle that *can* deadlock under §4.1.
+    Warning,
+    /// The configuration violates a precondition: the run would abort,
+    /// wedge, or void a paper guarantee. Admission refuses it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. The block structure mirrors the paper:
+/// `FDB00x` schema (§3.1), `FDB01x` transaction classes (§3.2), `FDB02x`
+/// read-access graph (§4.2), `FDB03x` strategy/topology compatibility
+/// (§4.1, §4.4.1, §6), `FDB04x` lock analysis (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Fragments are not disjoint (§3.1).
+    Fdb001,
+    /// Bad token/agent assignment or a reference to an undeclared
+    /// fragment (§3.1: exactly one token per fragment).
+    Fdb002,
+    /// An agent's home node is invalid (out of range, or a node agent
+    /// homed away from its own node) (§3.1).
+    Fdb003,
+    /// A class declares writes outside its initiator's fragment without
+    /// opting into the §3.2-footnote multi-fragment protocol — the
+    /// initiation requirement would be violated at run time (§3.2).
+    Fdb010,
+    /// A declared multi-fragment class: legal, but commits through the
+    /// two-phase protocol among the written fragments' agents (§3.2
+    /// footnote).
+    Fdb011,
+    /// The read-access graph is not elementarily acyclic (§4.2).
+    Fdb020,
+    /// A class reads its own fragment: by definition (`i ≠ j`) this is
+    /// *not* a RAG edge and cannot create a cycle (§4.2).
+    Fdb021,
+    /// The §4.2 strategy is selected but no transaction classes are
+    /// declared: every update would abort as an undeclared class.
+    Fdb022,
+    /// A §4.4.1 majority is unreachable from the fragment's home even
+    /// with every link up (§4.4.1).
+    Fdb030,
+    /// A §4.1 lock site is unreachable from a class initiator's home even
+    /// with every link up (§4.1).
+    Fdb031,
+    /// A declared read is not covered by a replica at the node that would
+    /// perform it (§6 partial replication).
+    Fdb032,
+    /// §4.1 read locks combined with a movement policy — read locks are
+    /// defined for fixed agents only (§4.1/§4.4).
+    Fdb033,
+    /// A fragment's agent home is outside its own replica set (§6).
+    Fdb034,
+    /// A malformed replica set: empty, an unknown node, or an unknown
+    /// fragment (§6).
+    Fdb035,
+    /// Deadlock-prone cyclic lock acquisition across §4.1 classes.
+    Fdb040,
+}
+
+impl Code {
+    /// The stable code string, e.g. `"FDB020"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Fdb001 => "FDB001",
+            Code::Fdb002 => "FDB002",
+            Code::Fdb003 => "FDB003",
+            Code::Fdb010 => "FDB010",
+            Code::Fdb011 => "FDB011",
+            Code::Fdb020 => "FDB020",
+            Code::Fdb021 => "FDB021",
+            Code::Fdb022 => "FDB022",
+            Code::Fdb030 => "FDB030",
+            Code::Fdb031 => "FDB031",
+            Code::Fdb032 => "FDB032",
+            Code::Fdb033 => "FDB033",
+            Code::Fdb034 => "FDB034",
+            Code::Fdb035 => "FDB035",
+            Code::Fdb040 => "FDB040",
+        }
+    }
+
+    /// The paper section the check derives from.
+    pub fn paper_section(self) -> &'static str {
+        match self {
+            Code::Fdb001 | Code::Fdb002 | Code::Fdb003 => "§3.1",
+            Code::Fdb010 | Code::Fdb011 => "§3.2",
+            Code::Fdb020 | Code::Fdb021 | Code::Fdb022 => "§4.2",
+            Code::Fdb030 => "§4.4.1",
+            Code::Fdb031 | Code::Fdb040 => "§4.1",
+            Code::Fdb032 | Code::Fdb034 | Code::Fdb035 => "§6",
+            Code::Fdb033 => "§4.1/§4.4",
+        }
+    }
+
+    /// The severity this code is always emitted at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Fdb011 | Code::Fdb021 => Severity::Info,
+            Code::Fdb022 | Code::Fdb040 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// What is wrong, one line.
+    pub message: String,
+    /// The offending declaration, e.g. ``class `reserve` `` or
+    /// `fragment F2`.
+    pub subject: String,
+    /// A suggested fix, when one is mechanical.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic at the code's canonical severity.
+    pub fn new(code: Code, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            subject: subject.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a suggested fix (builder style).
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity,
+            self.code,
+            self.message,
+            self.code.paper_section()
+        )?;
+        writeln!(f, "  --> {}", self.subject)?;
+        if let Some(help) = &self.help {
+            writeln!(f, "  = help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings from one analysis run, errors first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wrap raw findings, sorting errors before warnings before infos
+    /// (ties broken by code, then subject, for deterministic output).
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.code.cmp(&b.code))
+                .then(a.subject.cmp(&b.subject))
+        });
+        Report { diagnostics }
+    }
+
+    /// The findings, errors first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Consume into the raw findings.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diagnostics
+    }
+
+    /// Does any finding have `code`?
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// No findings at all?
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Admissible ⟺ no error-severity findings.
+    pub fn is_admissible(&self) -> bool {
+        self.error_count() == 0
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} note(s)",
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_sectioned() {
+        assert_eq!(Code::Fdb020.as_str(), "FDB020");
+        assert_eq!(Code::Fdb020.paper_section(), "§4.2");
+        assert_eq!(Code::Fdb030.paper_section(), "§4.4.1");
+        assert_eq!(Code::Fdb021.severity(), Severity::Info);
+        assert_eq!(Code::Fdb040.severity(), Severity::Warning);
+        assert_eq!(Code::Fdb001.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn report_sorts_errors_first_and_counts() {
+        let r = Report::new(vec![
+            Diagnostic::new(Code::Fdb021, "class `a`", "own-fragment read"),
+            Diagnostic::new(Code::Fdb020, "class `b`", "cycle"),
+            Diagnostic::new(Code::Fdb040, "classes", "lock cycle"),
+        ]);
+        assert_eq!(r.diagnostics()[0].code, Code::Fdb020);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert!(!r.is_admissible() || r.error_count() == 0);
+        assert!(r.has(Code::Fdb021));
+        assert!(!r.has(Code::Fdb001));
+    }
+
+    #[test]
+    fn rendering_is_rustc_like() {
+        let d = Diagnostic::new(Code::Fdb020, "class `scan` (edge F1 -> F2)", "cycle closed")
+            .with_help("remove the read of F2");
+        let s = d.to_string();
+        assert!(s.starts_with("error[FDB020]: cycle closed (§4.2)"));
+        assert!(s.contains("--> class `scan`"));
+        assert!(s.contains("help: remove the read of F2"));
+        let r = Report::new(vec![d]);
+        assert!(r.to_string().contains("1 error(s)"));
+    }
+}

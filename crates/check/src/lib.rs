@@ -1,0 +1,38 @@
+//! `fragdb-check`: static admission analysis for fragdb configurations.
+//!
+//! Every guarantee in the paper's §4 spectrum is conditional on properties
+//! of the *declared* configuration that can be checked without running
+//! anything: §4.2's global serializability needs an elementarily acyclic
+//! read-access graph, §4.4.1 needs a reachable majority, §4.1 needs
+//! reachable lock sites and fixed agents, and the §3.2 initiation
+//! requirement is a property of transaction-class declarations. This crate
+//! takes a [`CheckInput`] — catalog, agent assignment, named classes,
+//! topology, and the chosen [`SystemConfig`](fragdb_core::SystemConfig) —
+//! and emits rustc-style [`Diagnostic`]s with stable `FDB0xx` codes, so a
+//! misconfiguration is a red report naming the offending declaration, not
+//! a wasted (or silently non-serializable) run.
+//!
+//! Three entry points:
+//!
+//! * [`check`] — the library API: run every analysis, get a [`Report`];
+//! * [`build_admitted`] — the system hook: refuse (or warn, per
+//!   [`AdmissionPolicy`]) to build a `System` from an inadmissible config;
+//! * `examples/check.rs` in the workspace root — the CLI over every
+//!   shipped example/experiment configuration (`-- --all-configs`), run
+//!   in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod checks;
+mod diag;
+mod input;
+
+pub use admission::{admit, build_admitted, AdmissionError, AdmissionPolicy};
+pub use checks::{
+    check, check_classes, check_fragment_disjointness, check_lock_order, check_rag,
+    check_replication, check_strategy_topology, check_tokens,
+};
+pub use diag::{Code, Diagnostic, Report, Severity};
+pub use input::{CheckInput, ClassDecl};

@@ -207,6 +207,9 @@ pub enum AbortReason {
     /// §4.2: the transaction's declared class is not in the validated
     /// read-access graph.
     UndeclaredClass,
+    /// The submission was malformed at the model level (e.g. it declared a
+    /// read of an object belonging to no fragment).
+    Model(fragdb_model::ModelError),
 }
 
 /// What the system tells the driver after handling an event.
@@ -270,6 +273,20 @@ pub enum Notification {
         /// The new home.
         node: NodeId,
         /// Completion time.
+        at: SimTime,
+    },
+    /// A received quasi-transaction failed model-level validation and was
+    /// refused instead of being installed (the replica is untouched).
+    InstallRejected {
+        /// Node that refused it.
+        node: NodeId,
+        /// The offending quasi-transaction's id.
+        txn: TxnId,
+        /// Fragment it claimed to update.
+        fragment: FragmentId,
+        /// What was wrong with it.
+        error: fragdb_model::ModelError,
+        /// When it was refused.
         at: SimTime,
     },
     /// §4.4.3: a missing (late) transaction was found and repackaged at the

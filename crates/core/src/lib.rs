@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `fragdb-core` — the fragments-and-agents engine.
@@ -40,6 +41,6 @@ pub use envelope::Envelope;
 pub use events::{AbortReason, Ev, Notification, Submission};
 pub use movement::MovePolicy;
 pub use program::{ProgramError, TxnCtx, TxnEffects, UpdateFn};
-pub use strategy::StrategyKind;
-pub use system::System;
+pub use strategy::{StrategyError, StrategyKind};
+pub use system::{BuildError, System};
 pub use tokens::TokenRegistry;

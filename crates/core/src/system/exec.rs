@@ -128,9 +128,15 @@ impl System {
 
         // §6 partial replication: a replica read must happen at a node
         // holding the fragment (reads via §4.1 lock grants are recorded at
-        // the lock site, which is always a replica).
+        // the lock site, which is always a replica). Replicas answer reads
+        // of unknown objects with Null, so a program can reach this point
+        // having read an object outside every fragment — a typed abort,
+        // not a panic.
         for &(site, object) in &effects.reads {
-            let frag = self.catalog.fragment_of(object).expect("known object");
+            let frag = match self.catalog.fragment_of(object) {
+                Ok(frag) => frag,
+                Err(e) => return self.finish_abort(txn, fragment, AbortReason::Model(e)),
+            };
             if !self.replicated_at(frag, site) {
                 return self.finish_abort(
                     txn,
@@ -282,6 +288,7 @@ impl System {
             AbortReason::Deadlock => "abort.deadlock",
             AbortReason::Unavailable => "abort.unavailable",
             AbortReason::UndeclaredClass => "abort.undeclared_class",
+            AbortReason::Model(_) => "abort.malformed",
         };
         self.engine.metrics.incr(key);
         vec![Notification::Aborted {

@@ -12,13 +12,32 @@
 //! The §4.4.3 path lives in `moves.rs` (it is intertwined with `M0`
 //! processing).
 
-use fragdb_model::{NodeId, QuasiTransaction, TxnType};
+use fragdb_model::{ModelError, NodeId, QuasiTransaction, TxnType};
 use fragdb_sim::SimTime;
 
 use crate::events::Notification;
 use crate::system::{MoveState, System};
 
 impl System {
+    /// Refuse a malformed quasi-transaction: the replica is untouched, the
+    /// refusal is metered and surfaced to the driver as a typed error.
+    pub(crate) fn reject_install(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        quasi: &QuasiTransaction,
+        error: ModelError,
+    ) -> Vec<Notification> {
+        self.engine.metrics.incr("install.rejected");
+        vec![Notification::InstallRejected {
+            node,
+            txn: quasi.txn,
+            fragment: quasi.fragment,
+            error,
+            at,
+        }]
+    }
+
     /// Install `quasi` at `node` respecting `frag_seq` order; out-of-order
     /// arrivals are held back, duplicates dropped.
     pub(crate) fn ordered_install(
@@ -27,6 +46,9 @@ impl System {
         node: NodeId,
         quasi: QuasiTransaction,
     ) -> Vec<Notification> {
+        if let Err(e) = quasi.validate_against(&self.catalog) {
+            return self.reject_install(at, node, &quasi, e);
+        }
         let slot = &mut self.nodes[node.0 as usize];
         let fragment = quasi.fragment;
         let next = slot.next_install.entry(fragment).or_insert(0);
@@ -46,7 +68,9 @@ impl System {
         let mut notes = self.do_install(at, node, quasi);
         loop {
             let slot = &mut self.nodes[node.0 as usize];
-            let next = *slot.next_install.get(&fragment).expect("set by do_install");
+            let Some(&next) = slot.next_install.get(&fragment) else {
+                break;
+            };
             let Some(q) = slot
                 .holdback
                 .get_mut(&fragment)

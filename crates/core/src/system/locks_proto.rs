@@ -37,12 +37,14 @@ impl System {
         let fragment = sub.fragment;
 
         // Group foreign reads by the home node of their fragment's agent.
+        // A driver can declare a read of an object in no fragment; that is
+        // the driver's mistake, surfaced as a typed abort.
         let mut by_site: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
         for &object in &sub.foreign_reads {
-            let frag = self
-                .catalog
-                .fragment_of(object)
-                .expect("declared read of unknown object");
+            let frag = match self.catalog.fragment_of(object) {
+                Ok(frag) => frag,
+                Err(e) => return self.finish_abort(txn, fragment, AbortReason::Model(e)),
+            };
             let site = self.tokens.home(frag);
             by_site.entry(site).or_default().push(object);
         }

@@ -85,6 +85,11 @@ impl System {
         to: NodeId,
         quasi: QuasiTransaction,
     ) -> Vec<Notification> {
+        // Refuse (and never acknowledge) a malformed prepare: a missing ack
+        // keeps the majority from forming, so the home aborts on timeout.
+        if let Err(e) = quasi.validate_against(&self.catalog) {
+            return self.reject_install(at, to, &quasi, e);
+        }
         let txn = quasi.txn;
         self.nodes[to.0 as usize].staged.insert(txn, quasi);
         self.send_direct(at, to, from, Envelope::PrepareAck { txn, from: to })

@@ -177,6 +177,116 @@ pub(crate) enum CrashTombstone {
     LockRelease { txn: TxnId, sites: BTreeSet<NodeId> },
 }
 
+/// Why a declared configuration cannot be assembled into a [`System`].
+///
+/// Every variant corresponds to a static precondition from the paper;
+/// `fragdb-check` renders the same conditions as `FDB0xx` diagnostics
+/// before a build is ever attempted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The chosen control strategy failed its own validation (e.g. a §4.2
+    /// read-access graph that is not elementarily acyclic).
+    Strategy(StrategyError),
+    /// A catalog fragment was assigned no agent token.
+    MissingAgent(FragmentId),
+    /// A fragment appeared more than once in the agent assignment (§3.1:
+    /// exactly one token per fragment).
+    DuplicateAgent(FragmentId),
+    /// An agent assignment referenced a fragment not in the catalog.
+    UnknownFragment(FragmentId),
+    /// An agent's home node does not exist in the topology.
+    HomeOutOfRange {
+        /// Fragment whose agent is misplaced.
+        fragment: FragmentId,
+        /// The out-of-range home.
+        home: NodeId,
+        /// Number of nodes in the topology.
+        nodes: u32,
+    },
+    /// A node agent must be homed at its own node (§3.1: "the agent is
+    /// the node").
+    NodeAgentForeignHome {
+        /// Fragment concerned.
+        fragment: FragmentId,
+        /// The node agent.
+        agent: NodeId,
+        /// The (different) declared home.
+        home: NodeId,
+    },
+    /// §4.1 read locks are defined for fixed agents only; the fragment
+    /// mixes them with a movement policy.
+    LocksRequireFixedAgents(FragmentId),
+    /// A §6 replica set is empty.
+    EmptyReplicaSet(FragmentId),
+    /// A §6 replica set names a node outside the topology.
+    ReplicaOutOfRange {
+        /// Fragment concerned.
+        fragment: FragmentId,
+        /// The out-of-range replica.
+        replica: NodeId,
+    },
+    /// A fragment's agent home is missing from its own replica set.
+    HomeNotInReplicaSet {
+        /// Fragment concerned.
+        fragment: FragmentId,
+        /// The home that holds no replica.
+        home: NodeId,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Strategy(e) => write!(f, "{e}"),
+            BuildError::MissingAgent(fr) => write!(f, "fragment {fr} has no agent token"),
+            BuildError::DuplicateAgent(fr) => {
+                write!(f, "fragment {fr} assigned more than one agent token")
+            }
+            BuildError::UnknownFragment(fr) => {
+                write!(f, "agent assigned to unknown fragment {fr}")
+            }
+            BuildError::HomeOutOfRange {
+                fragment,
+                home,
+                nodes,
+            } => write!(
+                f,
+                "fragment {fragment}'s agent home {home} out of range (topology has {nodes} nodes)"
+            ),
+            BuildError::NodeAgentForeignHome {
+                fragment,
+                agent,
+                home,
+            } => write!(
+                f,
+                "fragment {fragment}'s node agent {agent} must be homed at itself, not {home}"
+            ),
+            BuildError::LocksRequireFixedAgents(fr) => write!(
+                f,
+                "§4.1 read locks are defined for fixed agents only (fragment {fr})"
+            ),
+            BuildError::EmptyReplicaSet(fr) => {
+                write!(f, "empty replica set for fragment {fr}")
+            }
+            BuildError::ReplicaOutOfRange { fragment, replica } => {
+                write!(f, "replica {replica} out of range for fragment {fragment}")
+            }
+            BuildError::HomeNotInReplicaSet { fragment, home } => write!(
+                f,
+                "fragment {fragment}'s agent home {home} must be in its replica set"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<StrategyError> for BuildError {
+    fn from(e: StrategyError) -> Self {
+        BuildError::Strategy(e)
+    }
+}
+
 /// The fragments-and-agents distributed database system.
 pub struct System {
     /// The discrete-event engine driving everything.
@@ -229,20 +339,43 @@ impl System {
         catalog: FragmentCatalog,
         agents: Vec<(FragmentId, AgentId, NodeId)>,
         config: SystemConfig,
-    ) -> Result<System, StrategyError> {
+    ) -> Result<System, BuildError> {
         config.strategy.validate()?;
         for strategy in config.strategy_overrides.values() {
             strategy.validate()?;
         }
         let n = topology.node_count();
         let mut tokens = TokenRegistry::new();
-        for (fragment, agent, home) in agents {
-            assert!(home.0 < n, "agent home {home} out of range");
+        for &(fragment, agent, home) in &agents {
+            if catalog.fragment(fragment).is_err() {
+                return Err(BuildError::UnknownFragment(fragment));
+            }
+            if home.0 >= n {
+                return Err(BuildError::HomeOutOfRange {
+                    fragment,
+                    home,
+                    nodes: n,
+                });
+            }
+            if let AgentId::Node(node) = agent {
+                if node != home {
+                    return Err(BuildError::NodeAgentForeignHome {
+                        fragment,
+                        agent: node,
+                        home,
+                    });
+                }
+            }
+            if tokens.fragments().any(|f| f == fragment) {
+                return Err(BuildError::DuplicateAgent(fragment));
+            }
             tokens.mint(fragment, agent, home);
         }
         for frag in catalog.fragments() {
-            // Every fragment needs a token; `mint` panics on duplicates.
-            let _ = tokens.token(frag.id);
+            // Every fragment needs exactly one token (§3.1).
+            if !tokens.fragments().any(|f| f == frag.id) {
+                return Err(BuildError::MissingAgent(frag.id));
+            }
             // §4.1 read locks are defined for fixed agents only — checked
             // per fragment so §6 mixtures stay sound.
             let strategy = config
@@ -253,27 +386,26 @@ impl System {
                 .move_overrides
                 .get(&frag.id)
                 .unwrap_or(&config.move_policy);
-            assert!(
-                !(strategy.uses_read_locks() && *movement != MovePolicy::Fixed),
-                "§4.1 read locks are defined for fixed agents only (fragment {})",
-                frag.id
-            );
+            if strategy.uses_read_locks() && *movement != MovePolicy::Fixed {
+                return Err(BuildError::LocksRequireFixedAgents(frag.id));
+            }
             if let Some(set) = config.replica_sets.get(&frag.id) {
-                assert!(
-                    !set.is_empty(),
-                    "empty replica set for fragment {}",
-                    frag.id
-                );
-                assert!(
-                    set.iter().all(|r| r.0 < n),
-                    "replica out of range for fragment {}",
-                    frag.id
-                );
-                assert!(
-                    set.contains(&tokens.home(frag.id)),
-                    "fragment {}'s agent home must be in its replica set",
-                    frag.id
-                );
+                if set.is_empty() {
+                    return Err(BuildError::EmptyReplicaSet(frag.id));
+                }
+                if let Some(&replica) = set.iter().find(|r| r.0 >= n) {
+                    return Err(BuildError::ReplicaOutOfRange {
+                        fragment: frag.id,
+                        replica,
+                    });
+                }
+                let home = tokens.home(frag.id);
+                if !set.contains(&home) {
+                    return Err(BuildError::HomeNotInReplicaSet {
+                        fragment: frag.id,
+                        home,
+                    });
+                }
             }
         }
         let nodes = (0..n)
@@ -417,7 +549,9 @@ impl System {
                 .iter()
                 .filter(|n| self.replicated_at(frag.id, n.replica.node))
                 .map(|n| n.replica.digest(objects));
-            let first = digests.next().expect("replica sets are non-empty");
+            let Some(first) = digests.next() else {
+                continue;
+            };
             if digests.any(|d| d != first) {
                 out.push(frag.id);
             }

@@ -291,6 +291,9 @@ impl System {
         node: NodeId,
         quasi: QuasiTransaction,
     ) -> Vec<Notification> {
+        if let Err(e) = quasi.validate_against(&self.catalog) {
+            return self.reject_install(at, node, &quasi, e);
+        }
         if quasi.origin() == node || self.already_installed(node, &quasi) {
             self.engine.metrics.incr("install.duplicate");
             return Vec::new();

@@ -200,17 +200,26 @@ fn majority_commit_uses_the_replica_set_majority() {
 }
 
 #[test]
-#[should_panic(expected = "agent home must be in its replica set")]
 fn agent_home_outside_replica_set_is_rejected() {
     let mut b = FragmentCatalog::builder();
     let (f0, _) = b.add_fragment("F", 1);
     let catalog = b.build();
-    let _ = System::build(
+    let Err(err) = System::build(
         Topology::full_mesh(3, SimDuration::from_millis(1)),
         catalog,
         vec![(f0, AgentId::Node(NodeId(0)), NodeId(0))],
         SystemConfig::unrestricted(1).with_replica_set(f0, [NodeId(1), NodeId(2)]),
+    ) else {
+        panic!("home outside replica set must be rejected");
+    };
+    assert_eq!(
+        err,
+        fragdb_core::BuildError::HomeNotInReplicaSet {
+            fragment: f0,
+            home: NodeId(0),
+        }
     );
+    assert!(err.to_string().contains("must be in its replica set"));
 }
 
 #[test]

@@ -746,9 +746,8 @@ fn per_fragment_policy_lookups_resolve_overrides() {
 }
 
 #[test]
-#[should_panic(expected = "read locks are defined for fixed agents only")]
 fn per_fragment_readlocks_with_movement_is_rejected() {
-    use fragdb_core::StrategyKind;
+    use fragdb_core::{BuildError, StrategyKind};
     let mut b = fragdb_model::FragmentCatalog::builder();
     let (f0, _) = b.add_fragment("A", 1);
     let catalog = b.build();
@@ -760,12 +759,18 @@ fn per_fragment_readlocks_with_movement_is_rejected() {
             },
         )
         .with_fragment_move_policy(f0, MovePolicy::NoPrep);
-    let _ = System::build(
+    let Err(err) = System::build(
         fragdb_net::Topology::full_mesh(2, ms(1)),
         catalog,
         vec![(f0, fragdb_model::AgentId::Node(NodeId(0)), NodeId(0))],
         config,
-    );
+    ) else {
+        panic!("locks + movement must be rejected");
+    };
+    assert_eq!(err, BuildError::LocksRequireFixedAgents(f0));
+    assert!(err
+        .to_string()
+        .contains("read locks are defined for fixed agents only"));
 }
 
 #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Serialization-theory toolkit: the paper's Appendix, mechanized.

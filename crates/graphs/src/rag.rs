@@ -25,6 +25,10 @@ pub struct ReadAccessGraph {
     fragments: BTreeSet<FragmentId>,
     /// Directed edges `(initiator, read fragment)`, `initiator ≠ read`.
     edges: BTreeSet<(FragmentId, FragmentId)>,
+    /// Fragments whose classes read their *own* fragment: not edges (the
+    /// definition requires `i ≠ j`), but recorded so tooling can explain
+    /// why an expected "self-loop cycle" is not one.
+    self_reads: BTreeSet<FragmentId>,
 }
 
 impl ReadAccessGraph {
@@ -35,11 +39,12 @@ impl ReadAccessGraph {
 
     /// Build from declared transaction classes: each class contributes an
     /// edge from its initiator to every *foreign* fragment it reads.
+    /// Own-fragment reads are recorded in [`ReadAccessGraph::self_reads`].
     pub fn from_decls(decls: &[AccessDecl]) -> Self {
         let mut g = ReadAccessGraph::new();
         for d in decls {
             g.add_fragment(d.initiator);
-            for f in d.foreign_reads() {
+            for &f in &d.reads {
                 g.add_edge(d.initiator, f);
             }
         }
@@ -53,12 +58,15 @@ impl ReadAccessGraph {
 
     /// Record that `A(initiator)`'s transactions read from `read`.
     /// Reads of one's own fragment are not edges (the definition requires
-    /// `i ≠ j`) and are ignored.
+    /// `i ≠ j`); they are recorded separately, visible via
+    /// [`ReadAccessGraph::self_reads`].
     pub fn add_edge(&mut self, initiator: FragmentId, read: FragmentId) {
         self.fragments.insert(initiator);
         self.fragments.insert(read);
         if initiator != read {
             self.edges.insert((initiator, read));
+        } else {
+            self.self_reads.insert(initiator);
         }
     }
 
@@ -70,6 +78,13 @@ impl ReadAccessGraph {
     /// All fragments mentioned.
     pub fn fragments(&self) -> impl Iterator<Item = FragmentId> + '_ {
         self.fragments.iter().copied()
+    }
+
+    /// Fragments with recorded own-fragment reads. These never contribute
+    /// edges — a class reading its own fragment cannot create a cycle —
+    /// and are surfaced so diagnostics can say so explicitly.
+    pub fn self_reads(&self) -> impl Iterator<Item = FragmentId> + '_ {
+        self.self_reads.iter().copied()
     }
 
     /// Is the *directed* graph acyclic? (Weaker than elementary
@@ -124,6 +139,43 @@ impl ReadAccessGraph {
         }
         None
     }
+
+    /// A **minimal** set of directed edges whose removal makes the graph
+    /// elementarily acyclic; empty when it already is.
+    ///
+    /// One union-find pass over the sorted edges keeps every edge that
+    /// joins two separate components (a spanning forest) and rejects every
+    /// edge that would close an undirected cycle — including the second
+    /// member of an antiparallel pair. The rejected set has exactly
+    /// `|E| − (|V| − components)` edges, the minimum possible.
+    pub fn removal_set(&self) -> Vec<(FragmentId, FragmentId)> {
+        let ids: Vec<FragmentId> = self.fragments.iter().copied().collect();
+        let index = |f: FragmentId| ids.binary_search(&f).expect("fragment registered");
+        let mut parent: Vec<usize> = (0..ids.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut seen_pairs: BTreeSet<(FragmentId, FragmentId)> = BTreeSet::new();
+        let mut removed = Vec::new();
+        for &(a, b) in &self.edges {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            if !seen_pairs.insert(key) {
+                removed.push((a, b));
+                continue;
+            }
+            let (ra, rb) = (find(&mut parent, index(a)), find(&mut parent, index(b)));
+            if ra == rb {
+                removed.push((a, b));
+                continue;
+            }
+            parent[ra] = rb;
+        }
+        removed
+    }
 }
 
 #[cfg(test)]
@@ -142,11 +194,12 @@ mod tests {
     }
 
     #[test]
-    fn own_fragment_reads_are_not_edges() {
+    fn own_fragment_reads_are_not_edges_but_are_recorded() {
         let mut g = ReadAccessGraph::new();
         g.add_edge(f(0), f(0));
         assert_eq!(g.edges().count(), 0);
         assert_eq!(g.fragments().count(), 1);
+        assert_eq!(g.self_reads().collect::<Vec<_>>(), vec![f(0)]);
     }
 
     #[test]
@@ -215,6 +268,41 @@ mod tests {
         let g = ReadAccessGraph::from_decls(&decls);
         assert_eq!(g.edges().collect::<Vec<_>>(), vec![(f(0), f(1))]);
         assert_eq!(g.fragments().count(), 2);
+        assert_eq!(g.self_reads().collect::<Vec<_>>(), vec![f(0), f(1)]);
+    }
+
+    #[test]
+    fn removal_set_is_empty_for_forests() {
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(1), f(2));
+        assert!(g.removal_set().is_empty());
+    }
+
+    #[test]
+    fn removal_set_breaks_the_antiparallel_pair() {
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f(0), f(1));
+        g.add_edge(f(1), f(0));
+        assert_eq!(g.removal_set(), vec![(f(1), f(0))]);
+    }
+
+    #[test]
+    fn removal_set_is_minimal_on_the_airline_graph() {
+        // F1-C1-F2-C2 is a single 4-cycle: one edge suffices.
+        let (c1, c2, f1, f2) = (f(0), f(1), f(2), f(3));
+        let mut g = ReadAccessGraph::new();
+        g.add_edge(f1, c1);
+        g.add_edge(f1, c2);
+        g.add_edge(f2, c1);
+        g.add_edge(f2, c2);
+        let removed = g.removal_set();
+        assert_eq!(removed.len(), 1);
+        let mut pruned = ReadAccessGraph::new();
+        for e in g.edges().filter(|e| !removed.contains(e)) {
+            pruned.add_edge(e.0, e.1);
+        }
+        assert!(pruned.is_elementarily_acyclic());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Experiment harness: regenerates every figure/scenario of the paper.
@@ -23,6 +24,7 @@
 //! | `e11_mixed` | §6 — three strategy groups in one system |
 //! | `e12_partial_replication` | §6 — partial replication |
 
+pub mod configs;
 pub mod experiments;
 pub mod table;
 

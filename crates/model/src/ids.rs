@@ -107,7 +107,7 @@ impl fmt::Display for TxnId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn ids_display_with_prefixes() {
@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn txn_ids_hash_distinctly() {
-        let mut set = HashSet::new();
+        let mut set = BTreeSet::new();
         for origin in 0..4u32 {
             for seq in 0..4u64 {
                 set.insert(TxnId::new(NodeId(origin), seq));

@@ -216,6 +216,25 @@ impl QuasiTransaction {
     pub fn origin(&self) -> NodeId {
         self.txn.origin
     }
+
+    /// Check the quasi-transaction is well-formed with respect to
+    /// `catalog`: every update targets a known object, and every object
+    /// lies in [`QuasiTransaction::fragment`] (the §3.2 initiation
+    /// requirement, re-checked at the installation boundary so a malformed
+    /// envelope is a typed error, not a corrupted replica).
+    pub fn validate_against(&self, catalog: &FragmentCatalog) -> Result<(), ModelError> {
+        for (object, _) in &self.updates {
+            let frag = catalog.fragment_of(*object)?;
+            if frag != self.fragment {
+                return Err(ModelError::InitiationViolation {
+                    txn: self.txn,
+                    agent_fragment: self.fragment,
+                    object: *object,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +348,29 @@ mod tests {
         assert!(d.updates);
         let r = AccessDecl::read_only(FragmentId(1), [FragmentId(0)]);
         assert!(!r.updates);
+    }
+
+    #[test]
+    fn quasi_validate_against_catches_foreign_and_unknown_objects() {
+        let (cat, a_objs, b_objs) = catalog();
+        let mut q = QuasiTransaction {
+            txn: TxnId::new(NodeId(0), 0),
+            fragment: FragmentId(0),
+            frag_seq: 0,
+            epoch: 0,
+            updates: vec![(a_objs[0], Value::Int(1))],
+        };
+        assert!(q.validate_against(&cat).is_ok());
+        q.updates.push((b_objs[0], Value::Int(2)));
+        assert!(matches!(
+            q.validate_against(&cat),
+            Err(ModelError::InitiationViolation { .. })
+        ));
+        q.updates = vec![(ObjectId(999), Value::Int(3))];
+        assert!(matches!(
+            q.validate_against(&cat),
+            Err(ModelError::UnknownObject(_))
+        ));
     }
 
     #[test]

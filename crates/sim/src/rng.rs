@@ -306,7 +306,7 @@ mod tests {
     fn pick_covers_all_items() {
         let mut r = SimRng::new(13);
         let items = [1u32, 2, 3, 4];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             seen.insert(*r.pick(&items));
         }

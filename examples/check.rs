@@ -1,0 +1,140 @@
+//! Static admission analysis over shipped configurations.
+//!
+//! ```text
+//! cargo run --example check -- --all-configs   # certify every registry entry (CI runs this)
+//! cargo run --example check -- --demo-bad      # show a §4.2 rejection end to end
+//! cargo run --example check -- <name>          # check one registry entry by name
+//! ```
+//!
+//! Exits nonzero if any checked configuration has error-severity
+//! diagnostics, so a misdeclared example fails CI instead of producing a
+//! silently non-serializable run.
+
+use std::process::ExitCode;
+
+use fragdb::check::{AdmissionError, AdmissionPolicy, ClassDecl, Code, Severity};
+use fragdb::core::{StrategyKind, SystemConfig};
+use fragdb::harness::configs::{self, NamedConfig};
+use fragdb::model::{AgentId, FragmentCatalog, NodeId};
+use fragdb::net::Topology;
+use fragdb::sim::SimDuration;
+
+fn certify(cfg: &NamedConfig) -> bool {
+    match cfg.admit(AdmissionPolicy::Warn) {
+        Ok(report) => {
+            let verdict = if report.is_admissible() { "ok" } else { "FAIL" };
+            println!(
+                "{:<32} {:<40} {verdict}  ({} error(s), {} warning(s), {} note(s))",
+                cfg.name,
+                cfg.source,
+                report.error_count(),
+                report.count(Severity::Warning),
+                report.count(Severity::Info),
+            );
+            if !report.is_admissible() {
+                println!("{report}");
+            }
+            report.is_admissible()
+        }
+        Err(e) => {
+            println!("{:<32} {:<40} FAIL", cfg.name, cfg.source);
+            println!("{e}");
+            false
+        }
+    }
+}
+
+/// A deliberately mutually-reading two-class §4.2 configuration — the
+/// kind of schema the analyzer exists to refuse.
+fn demo_bad() -> ExitCode {
+    let mut b = FragmentCatalog::builder();
+    let (activity, _) = b.add_fragment("ACTIVITY", 2);
+    let (balances, _) = b.add_fragment("BALANCES", 2);
+    let classes = vec![
+        ClassDecl::update("post-activity", activity, [activity, balances]),
+        ClassDecl::update("apply-postings", balances, [balances, activity]),
+    ];
+    let config = SystemConfig::unrestricted(7).with_strategy(StrategyKind::AcyclicRag {
+        decls: classes.iter().map(ClassDecl::to_access).collect(),
+        allow_violating_read_only: true,
+    });
+    let outcome = fragdb::check::build_admitted(
+        Topology::full_mesh(2, SimDuration::from_millis(10)),
+        b.build(),
+        vec![
+            (activity, AgentId::Node(NodeId(0)), NodeId(0)),
+            (balances, AgentId::Node(NodeId(1)), NodeId(1)),
+        ],
+        &classes,
+        config,
+        AdmissionPolicy::Enforce,
+    );
+    match outcome {
+        Err(AdmissionError::Rejected(report)) => {
+            println!("admission refused the mutually-reading §4.2 schema, as it should:\n");
+            println!("{report}");
+            assert!(report.has(Code::Fdb020));
+            ExitCode::SUCCESS
+        }
+        Err(other) => {
+            println!("unexpected failure mode: {other}");
+            ExitCode::FAILURE
+        }
+        Ok(_) => {
+            println!("BUG: the cyclic schema was admitted");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = 42;
+    match args.first().map(String::as_str) {
+        Some("--all-configs") | None => {
+            let all = configs::all(seed);
+            let bad = all.iter().filter(|c| !certify(c)).count();
+            println!(
+                "\n{} configuration(s) checked, {} inadmissible",
+                all.len(),
+                bad
+            );
+            if bad == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("--demo-bad") => demo_bad(),
+        Some(name) => match configs::by_name(name, seed) {
+            Some(cfg) => {
+                // Single-config mode prints the full report even when clean.
+                match cfg.admit(AdmissionPolicy::Warn) {
+                    Ok(report) => {
+                        print!("{report}");
+                        if report.is_admissible() {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::FAILURE
+                        }
+                    }
+                    Err(e) => {
+                        println!("{e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown config `{name}`; known: {}",
+                    configs::all(seed)
+                        .iter()
+                        .map(|c| c.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # fragdb — fragments and agents for high availability
@@ -59,11 +60,13 @@
 //! | [`storage`] | per-node replicas, WAL, lock manager |
 //! | [`graphs`] | read-access / serialization graphs and all checkers |
 //! | [`core`] | the fragments-and-agents engine: strategies §4.1–4.3, movement §4.4 |
+//! | [`check`] | static admission analysis (`FDB0xx` diagnostics) over declared configs |
 //! | [`baselines`] | mutual exclusion and log transformation (§1) |
 //! | [`workloads`] | banking, warehouse, airline applications + generators |
 //! | [`harness`] | experiments E1–E10 regenerating the paper's figures |
 
 pub use fragdb_baselines as baselines;
+pub use fragdb_check as check;
 pub use fragdb_core as core;
 pub use fragdb_graphs as graphs;
 pub use fragdb_harness as harness;

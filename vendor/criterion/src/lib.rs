@@ -9,6 +9,10 @@
 //! or HTML report — swap the workspace `criterion` dependency back to the
 //! registry version when the environment allows to regain those.
 
+// A bench harness is the one place wall-clock time is the point; the
+// workspace-wide determinism lint does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque hint preventing the optimizer from deleting a benchmarked value.
