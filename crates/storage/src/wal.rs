@@ -41,6 +41,14 @@ pub struct Wal {
     entries: Vec<WalEntry>,
     /// `fragment -> indices into entries`, in installation order.
     by_fragment: BTreeMap<FragmentId, Vec<usize>>,
+    /// `fragment -> frag_seq -> indices into entries`. §4.4.3 installs out
+    /// of `frag_seq` order, so an ordered map (not a sorted `Vec` + binary
+    /// search over `by_fragment`) is what keeps range queries correct; the
+    /// inner `Vec` preserves installation order for same-seq re-installs
+    /// under different epochs.
+    seq_index: BTreeMap<FragmentId, BTreeMap<u64, Vec<usize>>>,
+    /// `object -> index of the last entry (installation order) writing it`.
+    last_writer: BTreeMap<ObjectId, usize>,
 }
 
 impl Wal {
@@ -51,10 +59,20 @@ impl Wal {
 
     /// Append an entry.
     pub fn append(&mut self, entry: WalEntry) {
+        let idx = self.entries.len();
         self.by_fragment
             .entry(entry.fragment)
             .or_default()
-            .push(self.entries.len());
+            .push(idx);
+        self.seq_index
+            .entry(entry.fragment)
+            .or_default()
+            .entry(entry.frag_seq)
+            .or_default()
+            .push(idx);
+        for (o, _) in &entry.updates {
+            self.last_writer.insert(*o, idx);
+        }
         self.entries.push(entry);
     }
 
@@ -84,18 +102,44 @@ impl Wal {
 
     /// Highest `frag_seq` installed for `fragment`, or `None`.
     pub fn last_frag_seq(&self, fragment: FragmentId) -> Option<u64> {
-        self.fragment_entries(fragment).map(|e| e.frag_seq).max()
+        self.seq_index
+            .get(&fragment)
+            .and_then(|seqs| seqs.keys().next_back().copied())
     }
 
     /// Has a transaction with this `frag_seq` on `fragment` been installed?
     pub fn has_frag_seq(&self, fragment: FragmentId, frag_seq: u64) -> bool {
-        self.fragment_entries(fragment)
-            .any(|e| e.frag_seq == frag_seq)
+        self.seq_index
+            .get(&fragment)
+            .is_some_and(|seqs| seqs.contains_key(&frag_seq))
     }
 
     /// Entries on `fragment` with `frag_seq` in the given inclusive range,
     /// ordered by `frag_seq` (catch-up transfer for §4.4.1 / §4.4.2B).
     pub fn fragment_range(&self, fragment: FragmentId, from: u64, to: u64) -> Vec<&WalEntry> {
+        if from > to {
+            return Vec::new();
+        }
+        self.seq_index
+            .get(&fragment)
+            .into_iter()
+            .flat_map(|seqs| seqs.range(from..=to))
+            .flat_map(|(_, idxs)| idxs.iter().map(|&i| &self.entries[i]))
+            .collect()
+    }
+
+    /// The last transaction (by installation order at this node) that wrote
+    /// `object`, if any — used by §4.4.3 to decide whether a late update has
+    /// been overwritten.
+    pub fn last_writer_of(&self, object: ObjectId) -> Option<&WalEntry> {
+        self.last_writer.get(&object).map(|&i| &self.entries[i])
+    }
+
+    /// Scan-based reference implementation of [`Wal::fragment_range`]: walk
+    /// the whole fragment log, filter, sort. Retained as the oracle the
+    /// indexed path is tested against and as the "before" arm of the bench
+    /// runner; production code should use `fragment_range`.
+    pub fn fragment_range_scan(&self, fragment: FragmentId, from: u64, to: u64) -> Vec<&WalEntry> {
         let mut out: Vec<&WalEntry> = self
             .fragment_entries(fragment)
             .filter(|e| (from..=to).contains(&e.frag_seq))
@@ -104,10 +148,9 @@ impl Wal {
         out
     }
 
-    /// The last transaction (by installation order at this node) that wrote
-    /// `object`, if any — used by §4.4.3 to decide whether a late update has
-    /// been overwritten.
-    pub fn last_writer_of(&self, object: ObjectId) -> Option<&WalEntry> {
+    /// Scan-based reference implementation of [`Wal::last_writer_of`]
+    /// (reverse scan over every entry) — oracle / bench "before" arm.
+    pub fn last_writer_of_scan(&self, object: ObjectId) -> Option<&WalEntry> {
         self.entries
             .iter()
             .rev()
@@ -211,5 +254,76 @@ mod tests {
         assert!(w.is_empty());
         assert_eq!(w.fragment_entries(FragmentId(0)).count(), 0);
         assert!(w.fragment_range(FragmentId(0), 0, 10).is_empty());
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let mut w = Wal::new();
+        w.append(entry(0, 2, 10, 1));
+        assert!(w.fragment_range(FragmentId(0), 3, 1).is_empty());
+        assert!(w.fragment_range_scan(FragmentId(0), 3, 1).is_empty());
+    }
+
+    /// Seeded pseudo-random log (out-of-order seqs, duplicate seqs across
+    /// epochs, overlapping write sets): the indexed lookups must agree with
+    /// the scan oracles on every query.
+    #[test]
+    fn indexed_lookups_agree_with_scan_oracles() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            // xorshift64* — deterministic, no external RNG needed here.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        let mut w = Wal::new();
+        for i in 0..400u64 {
+            let frag = (next() % 3) as u32;
+            let frag_seq = next() % 40;
+            let nobj = 1 + next() % 3;
+            let updates: Vec<(ObjectId, Value)> = (0..nobj)
+                .map(|_| (ObjectId(next() % 20), Value::Int(next() as i64)))
+                .collect();
+            w.append(WalEntry {
+                txn: TxnId::new(NodeId(frag), i),
+                fragment: FragmentId(frag),
+                frag_seq,
+                epoch: next() % 4,
+                updates,
+                installed_at: SimTime(i),
+            });
+        }
+        for frag in 0..4u32 {
+            let f = FragmentId(frag);
+            for from in 0..42u64 {
+                for span in [0u64, 1, 5, 40] {
+                    let to = from.saturating_add(span);
+                    assert_eq!(
+                        w.fragment_range(f, from, to),
+                        w.fragment_range_scan(f, from, to),
+                        "range mismatch frag={frag} from={from} to={to}"
+                    );
+                }
+                assert_eq!(
+                    w.has_frag_seq(f, from),
+                    w.fragment_entries(f).any(|e| e.frag_seq == from),
+                    "has_frag_seq mismatch frag={frag} seq={from}"
+                );
+            }
+            assert_eq!(
+                w.last_frag_seq(f),
+                w.fragment_entries(f).map(|e| e.frag_seq).max(),
+                "last_frag_seq mismatch frag={frag}"
+            );
+        }
+        for obj in 0..22u64 {
+            assert_eq!(
+                w.last_writer_of(ObjectId(obj)),
+                w.last_writer_of_scan(ObjectId(obj)),
+                "last_writer mismatch obj={obj}"
+            );
+        }
     }
 }
