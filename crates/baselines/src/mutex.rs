@@ -91,7 +91,7 @@ pub enum MxMsg {
         /// Position in the primary's commit order.
         seq: u64,
         /// The `(object, value)` pairs to install.
-        updates: Vec<(ObjectId, Value)>,
+        updates: fragdb_model::Updates,
     },
 }
 
@@ -118,7 +118,7 @@ pub struct MutexConfig {
 }
 
 /// An install in flight through the FIFO layer: `(txn, seq, updates)`.
-type StagedInstall = (TxnId, u64, Vec<(ObjectId, Value)>);
+type StagedInstall = (TxnId, u64, fragdb_model::Updates);
 
 /// The mutual-exclusion system.
 pub struct MutexSystem {
@@ -314,13 +314,16 @@ impl MutexSystem {
             }
             last.insert(o, v);
         }
-        let updates: Vec<(ObjectId, Value)> = order
+        // Materialized once; every receiver's Install message, the primary's
+        // WAL entry, and all replica WAL entries share the allocation.
+        let updates: fragdb_model::Updates = order
             .into_iter()
             .map(|o| {
                 let v = last.remove(&o).expect("present");
                 (o, v)
             })
             .collect();
+        self.engine.metrics.incr("payload.clones");
         for (o, _) in &updates {
             self.history
                 .record_local(self.primary, txn, ttype, OpKind::Write, *o, at);

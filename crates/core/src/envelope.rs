@@ -12,7 +12,7 @@
 //!   and `ForwardMissing` (a late old-regime transaction routed to the new
 //!   home).
 
-use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, Value};
+use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, Updates, Value};
 use fragdb_storage::WalEntry;
 
 /// A network message.
@@ -146,8 +146,8 @@ pub enum Envelope {
         xid: TxnId,
         /// The fragment this share updates.
         fragment: FragmentId,
-        /// The share's `(object, value)` writes.
-        updates: Vec<(ObjectId, Value)>,
+        /// The share's `(object, value)` writes (shared payload).
+        updates: Updates,
         /// Coordinator node to vote back to.
         reply_to: NodeId,
     },
@@ -200,6 +200,23 @@ impl Envelope {
         }
     }
 
+    /// Approximate bytes of immutable shared payload this envelope carries,
+    /// if any — the amount that a per-receiver deep copy used to duplicate
+    /// before payloads were reference-counted. Drives the `payload.shares`
+    /// / `payload.share_bytes` cost-model metrics.
+    pub fn payload_bytes(&self) -> Option<u64> {
+        match self {
+            Envelope::Quasi { quasi, .. }
+            | Envelope::Prepare { quasi, .. }
+            | Envelope::ForwardMissing { quasi } => Some(quasi.updates.approx_bytes()),
+            Envelope::M0 { entries, .. } | Envelope::SeqReply { entries, .. } => {
+                Some(entries.iter().map(|e| e.updates.approx_bytes()).sum())
+            }
+            Envelope::MfPrepare { updates, .. } => Some(updates.approx_bytes()),
+            _ => None,
+        }
+    }
+
     /// The broadcast sequence number, for envelopes that travel through the
     /// FIFO broadcast layer.
     pub fn bseq(&self) -> Option<u64> {
@@ -236,7 +253,7 @@ mod tests {
                 fragment: FragmentId(0),
                 frag_seq: 0,
                 epoch: 0,
-                updates: vec![],
+                updates: Updates::empty(),
             },
         };
         assert_eq!(q.bseq(), Some(7));

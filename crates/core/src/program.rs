@@ -220,7 +220,7 @@ mod tests {
             FragmentId(0),
             0,
             0,
-            vec![(ObjectId(0), Value::Int(100))],
+            vec![(ObjectId(0), Value::Int(100))].into(),
             SimTime(0),
         );
         (catalog, replica)

@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use fragdb_model::{FragmentId, NodeId, ObjectId, OpKind, QuasiTransaction, TxnId, TxnType, Value};
+use fragdb_model::{
+    FragmentId, NodeId, ObjectId, OpKind, QuasiTransaction, TxnId, TxnType, Updates, Value,
+};
 use fragdb_sim::SimTime;
 
 use crate::envelope::Envelope;
@@ -207,11 +209,15 @@ impl System {
     ) -> Vec<Notification> {
         let frag_seq = self.tokens.alloc_frag_seq(fragment);
         let epoch = self.tokens.epoch(fragment);
-        self.finish_commit(at, home, txn, fragment, frag_seq, epoch, effects, true)
+        let TxnEffects { reads, writes } = effects;
+        let updates = self.materialize_payload(writes);
+        self.finish_commit(at, home, txn, fragment, frag_seq, epoch, &reads, updates, true)
     }
 
     /// Commit with a pre-allocated sequence number (majority path) and an
     /// optional quasi broadcast (majority broadcasts `CommitCmd` instead).
+    /// `updates` is the already-materialized shared payload: the WAL entry,
+    /// every broadcast envelope, and all retransmission buffers share it.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish_commit(
         &mut self,
@@ -221,35 +227,35 @@ impl System {
         fragment: FragmentId,
         frag_seq: u64,
         epoch: u64,
-        effects: TxnEffects,
+        reads: &[(NodeId, ObjectId)],
+        updates: Updates,
         broadcast_quasi: bool,
     ) -> Vec<Notification> {
         let ttype = TxnType::Update(fragment);
-        self.flush_reads(txn, ttype, &effects.reads, at);
-        for (object, _) in &effects.writes {
+        self.flush_reads(txn, ttype, reads, at);
+        for (object, _) in &updates {
             self.history
                 .record_local(home, txn, ttype, OpKind::Write, *object, at);
         }
         let slot = &mut self.nodes[home.0 as usize];
         slot.replica
-            .commit_local(txn, fragment, frag_seq, epoch, effects.writes.clone(), at);
+            .commit_local(txn, fragment, frag_seq, epoch, updates.clone(), at);
         // The home already has the data; ordered installation at the home
         // resumes from the next sequence number.
         slot.next_install.insert(fragment, frag_seq + 1);
         self.commit_times.insert((fragment, epoch, frag_seq), at);
 
-        let quasi = QuasiTransaction {
-            txn,
-            fragment,
-            frag_seq,
-            epoch,
-            updates: effects.writes,
-        };
         if broadcast_quasi {
-            let q = quasi.clone();
+            let quasi = QuasiTransaction {
+                txn,
+                fragment,
+                frag_seq,
+                epoch,
+                updates,
+            };
             self.broadcast_fragment(at, home, fragment, move |bseq| Envelope::Quasi {
                 bseq,
-                quasi: q.clone(),
+                quasi: quasi.clone(),
             });
         }
         self.engine.metrics.incr("txn.committed");

@@ -48,12 +48,14 @@ impl System {
         };
         let frag_seq = self.tokens.alloc_frag_seq(fragment);
         let epoch = self.tokens.epoch(fragment);
+        let TxnEffects { reads, writes } = effects;
+        let updates = self.materialize_payload(writes);
         let quasi = QuasiTransaction {
             txn,
             fragment,
             frag_seq,
             epoch,
-            updates: effects.writes.clone(),
+            updates,
         };
         self.majority_inflight.insert(fragment, txn);
         let q = quasi.clone();
@@ -67,7 +69,7 @@ impl System {
                 fragment,
                 home,
                 quasi,
-                reads: effects.reads,
+                reads,
                 acks: [home].into_iter().collect(),
                 submitted_at: at,
             },
@@ -130,10 +132,6 @@ impl System {
             unreachable!("checked above");
         };
         self.majority_inflight.remove(&fragment);
-        let effects = TxnEffects {
-            reads,
-            writes: quasi.updates.clone(),
-        };
         let mut notes = self.finish_commit(
             at,
             home,
@@ -141,8 +139,9 @@ impl System {
             fragment,
             quasi.frag_seq,
             quasi.epoch,
-            effects,
-            false, // receivers install from their staged copy on CommitCmd
+            &reads,
+            quasi.updates.clone(), // shares the staged payload, no deep copy
+            false,                 // receivers install from their staged copy on CommitCmd
         );
         self.broadcast_fragment(at, home, fragment, |bseq| Envelope::CommitCmd {
             bseq,

@@ -19,7 +19,8 @@ mod multi;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use fragdb_model::{
-    AgentId, FragmentCatalog, FragmentId, History, NodeId, ObjectId, QuasiTransaction, TxnId, Value,
+    AgentId, FragmentCatalog, FragmentId, History, NodeId, ObjectId, QuasiTransaction, TxnId,
+    Updates, Value,
 };
 use fragdb_net::{
     BroadcastLayer, Delivery, NetAction, NetworkChange, PktDelivery, ReliableNet, Topology,
@@ -69,8 +70,8 @@ pub struct MfStage {
     pub frag_seq: u64,
     /// Token epoch at staging time.
     pub epoch: u64,
-    /// The share's writes.
-    pub updates: Vec<(ObjectId, Value)>,
+    /// The share's writes, shared with the envelope that delivered them.
+    pub updates: Updates,
 }
 
 /// §4.4.3 knowledge recorded when `M0` arrives.
@@ -803,11 +804,34 @@ impl System {
                 continue;
             }
             let bseq = self.bcast.stamp_for(from, to);
-            let actions = self
-                .net
-                .send(at, from, to, build(bseq), &mut self.engine.rng);
+            let env = build(bseq);
+            self.meter_payload_share(&env);
+            let actions = self.net.send(at, from, to, env, &mut self.engine.rng);
             self.schedule_net(actions);
         }
+    }
+
+    /// Meter an outgoing payload-bearing envelope: the payload travels as a
+    /// shared reference, where it used to be deep-cloned once per receiver.
+    fn meter_payload_share(&mut self, env: &Envelope) {
+        if let Some(bytes) = env.payload_bytes() {
+            self.engine.metrics.incr("payload.shares");
+            self.engine.metrics.add("payload.share_bytes", bytes);
+        }
+    }
+
+    /// Materialize a commit's broadcast payload from its owned writes — the
+    /// single deep copy the commit performs; every downstream copy
+    /// (envelopes, retransmission buffers, hold-back, staging, WALs) shares
+    /// the allocation. Metered so tests can assert the O(1)-per-commit
+    /// property.
+    pub(crate) fn materialize_payload(&mut self, writes: Vec<(ObjectId, Value)>) -> Updates {
+        let updates: Updates = writes.into();
+        self.engine.metrics.incr("payload.clones");
+        self.engine
+            .metrics
+            .add("payload.clone_bytes", updates.approx_bytes());
+        updates
     }
 
     /// Send a point-to-point envelope (retransmitted until acknowledged;
@@ -822,6 +846,7 @@ impl System {
         if from == to {
             return self.dispatch_direct(at, from, to, env);
         }
+        self.meter_payload_share(&env);
         let actions = self.net.send(at, from, to, env, &mut self.engine.rng);
         self.schedule_net(actions);
         Vec::new()

@@ -394,12 +394,13 @@ impl System {
                     at,
                 );
             }
+            let payload = self.materialize_payload(kept.clone());
             self.nodes[node.0 as usize].replica.commit_local(
                 repackaged,
                 fragment,
                 frag_seq,
                 epoch,
-                kept.clone(),
+                payload.clone(),
                 at,
             );
             self.commit_times.insert((fragment, epoch, frag_seq), at);
@@ -408,7 +409,7 @@ impl System {
                 fragment,
                 frag_seq,
                 epoch,
-                updates: kept.clone(),
+                updates: payload,
             };
             self.broadcast_fragment(at, node, fragment, move |bseq| Envelope::Quasi {
                 bseq,

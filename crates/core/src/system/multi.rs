@@ -36,7 +36,7 @@
 
 use std::collections::BTreeMap;
 
-use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, TxnType, Value};
+use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, TxnType, Updates, Value};
 use fragdb_sim::SimTime;
 
 use crate::envelope::Envelope;
@@ -100,8 +100,16 @@ impl System {
             return notes;
         }
 
+        // One materialization per share; each participant's envelope,
+        // retransmission buffer, staged copy, WAL entry, and rebroadcast
+        // share it.
+        let mut payloads: BTreeMap<FragmentId, Updates> = BTreeMap::new();
+        for (f, w) in shares {
+            let payload = self.materialize_payload(w);
+            payloads.insert(f, payload);
+        }
         let participants: Vec<(FragmentId, NodeId)> =
-            shares.keys().map(|&f| (f, self.tokens.home(f))).collect();
+            payloads.keys().map(|&f| (f, self.tokens.home(f))).collect();
         debug_assert!(participants
             .iter()
             .any(|(f, _)| *f == first || declared.contains(f)));
@@ -124,7 +132,7 @@ impl System {
             let env = Envelope::MfPrepare {
                 xid,
                 fragment,
-                updates: shares[&fragment].clone(),
+                updates: payloads[&fragment].clone(),
                 reply_to: home,
             };
             notes.extend(self.send_direct(at, home, agent_home, env));
@@ -139,7 +147,7 @@ impl System {
         node: NodeId,
         xid: TxnId,
         fragment: FragmentId,
-        updates: Vec<(ObjectId, Value)>,
+        updates: Updates,
         reply_to: NodeId,
     ) -> Vec<Notification> {
         let busy = self.mf_inflight.contains_key(&fragment)

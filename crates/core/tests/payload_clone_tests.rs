@@ -1,0 +1,113 @@
+//! Payload-sharing acceptance tests: a commit materializes its write set
+//! exactly once, no matter how many replicas it must reach. Fan-out shows
+//! up only in `payload.shares` (Arc bumps), never in `payload.clones`
+//! (deep copies).
+
+use fragdb_core::{MovePolicy, Notification, Submission, System, SystemConfig};
+use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, Value};
+use fragdb_net::Topology;
+use fragdb_sim::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn ms(x: u64) -> SimDuration {
+    SimDuration::from_millis(x)
+}
+
+/// One fragment homed at node 0, replicated on an `n`-node full mesh.
+fn build(n: u32, config: SystemConfig) -> (System, Vec<ObjectId>) {
+    let mut b = FragmentCatalog::builder();
+    let (f0, objs) = b.add_fragment("F0", 4);
+    let catalog = b.build();
+    let agents = vec![(f0, AgentId::Node(NodeId(0)), NodeId(0))];
+    let sys = System::build(Topology::full_mesh(n, ms(10)), catalog, agents, config).unwrap();
+    (sys, objs)
+}
+
+fn write_update(object: ObjectId, value: i64) -> Submission {
+    Submission::update(
+        FragmentId(0),
+        Box::new(move |ctx| {
+            ctx.write(object, value)?;
+            Ok(())
+        }),
+    )
+}
+
+/// Run `commits` single-object updates to completion and return
+/// (payload.clones, payload.shares, committed).
+fn run_workload(n: u32, config: SystemConfig, commits: u64) -> (u64, u64, usize) {
+    let (mut sys, objs) = build(n, config);
+    for i in 0..commits {
+        sys.submit_at(secs(1 + i), write_update(objs[(i % 4) as usize], i as i64));
+    }
+    let notes = sys.run_until(secs(200));
+    let committed = notes
+        .iter()
+        .filter(|note| matches!(note, Notification::Committed { .. }))
+        .count();
+    // Every replica must actually hold the last value — shares are real work.
+    for node in 0..n {
+        assert_eq!(
+            sys.replica(NodeId(node)).read(objs[((commits - 1) % 4) as usize]),
+            &Value::Int(commits as i64 - 1),
+            "node {node} must hold the final update"
+        );
+    }
+    (
+        sys.engine.metrics.counter("payload.clones"),
+        sys.engine.metrics.counter("payload.shares"),
+        committed,
+    )
+}
+
+/// The acceptance criterion from the issue: the payload-clone metric at
+/// 16 nodes equals the 4-node value — the broadcast install path performs
+/// O(1) payload clones per commit, not O(replicas).
+#[test]
+fn payload_clones_are_o1_per_commit() {
+    const COMMITS: u64 = 8;
+    let (clones_4, shares_4, committed_4) =
+        run_workload(4, SystemConfig::unrestricted(1), COMMITS);
+    let (clones_16, shares_16, committed_16) =
+        run_workload(16, SystemConfig::unrestricted(1), COMMITS);
+
+    assert_eq!(committed_4, COMMITS as usize);
+    assert_eq!(committed_16, COMMITS as usize);
+    // One materialization per commit, independent of replica count.
+    assert_eq!(clones_4, COMMITS);
+    assert_eq!(
+        clones_16, clones_4,
+        "deep payload copies must not scale with the replica count"
+    );
+    // Fan-out is visible only as Arc shares, and it does scale.
+    assert!(
+        shares_16 > shares_4,
+        "16 nodes must share the payload more often than 4 ({shares_16} vs {shares_4})"
+    );
+}
+
+/// The same O(1) property holds under majority commit (§4.4.1), where the
+/// payload additionally rides in prepare messages and staged WAL entries.
+#[test]
+fn majority_commit_payload_clones_are_o1() {
+    const COMMITS: u64 = 4;
+    let majority = |seed: u64| {
+        SystemConfig::unrestricted(seed).with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(30),
+        })
+    };
+    let (clones_4, shares_4, committed_4) = run_workload(4, majority(1), COMMITS);
+    let (clones_16, shares_16, committed_16) = run_workload(16, majority(2), COMMITS);
+
+    assert_eq!(committed_4, COMMITS as usize);
+    assert_eq!(committed_16, COMMITS as usize);
+    assert_eq!(clones_4, COMMITS);
+    assert_eq!(
+        clones_16, clones_4,
+        "majority prepare/commit must stage one shared payload per commit"
+    );
+    assert!(shares_16 > shares_4);
+}

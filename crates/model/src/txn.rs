@@ -16,11 +16,90 @@
 //!   §4.2 is built from.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::error::ModelError;
 use crate::fragment::FragmentCatalog;
 use crate::ids::{FragmentId, NodeId, ObjectId, TxnId};
 use crate::value::Value;
+
+/// The immutable `(d_i, v_i)` payload of a quasi-transaction, shared by
+/// reference count.
+///
+/// A committed update's write batch is broadcast to every other replica,
+/// buffered for retransmission, held back for ordered installation, staged
+/// for majority commit, and logged in each WAL — all as *copies of the same
+/// immutable data*. Sharing one allocation makes each of those copies an
+/// O(1) reference-count bump instead of an O(payload) deep clone, so a
+/// commit materializes its payload exactly once regardless of the replica
+/// count (the paper's r−1 messages stay r−1 *pointers*, §6).
+///
+/// Cloning an `Updates` is always cheap; building one from a `Vec` is the
+/// single per-commit materialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Updates(Arc<[(ObjectId, Value)]>);
+
+impl Updates {
+    /// Materialize a payload from owned pairs. This is the one deep copy a
+    /// commit performs; every subsequent [`Clone`] shares it.
+    pub fn new(pairs: Vec<(ObjectId, Value)>) -> Self {
+        Updates(pairs.into())
+    }
+
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Updates(Arc::from(Vec::new()))
+    }
+
+    /// Approximate in-memory size of the payload in bytes (pairs plus text
+    /// heap) — the quantity a deep clone would copy. Used by the payload
+    /// cost-model metrics.
+    pub fn approx_bytes(&self) -> u64 {
+        let inline = std::mem::size_of::<(ObjectId, Value)>() * self.0.len();
+        let heap: usize = self
+            .0
+            .iter()
+            .map(|(_, v)| match v {
+                Value::Text(s) => s.len(),
+                _ => 0,
+            })
+            .sum();
+        (inline + heap) as u64
+    }
+
+    /// Copy the payload out into an owned `Vec` (a deliberate deep copy,
+    /// e.g. for a driver-facing notification).
+    pub fn to_vec(&self) -> Vec<(ObjectId, Value)> {
+        self.0.to_vec()
+    }
+}
+
+impl std::ops::Deref for Updates {
+    type Target = [(ObjectId, Value)];
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl From<Vec<(ObjectId, Value)>> for Updates {
+    fn from(pairs: Vec<(ObjectId, Value)>) -> Self {
+        Updates::new(pairs)
+    }
+}
+
+impl FromIterator<(ObjectId, Value)> for Updates {
+    fn from_iter<I: IntoIterator<Item = (ObjectId, Value)>>(iter: I) -> Self {
+        Updates(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Updates {
+    type Item = &'a (ObjectId, Value);
+    type IntoIter = std::slice::Iter<'a, (ObjectId, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
 
 /// Read or write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -207,8 +286,10 @@ pub struct QuasiTransaction {
     /// Token epoch under which the update was issued (which ownership
     /// regime); used by the movement protocols.
     pub epoch: u64,
-    /// The unconditional updates `(d_i, v_i)` to install.
-    pub updates: Vec<(ObjectId, Value)>,
+    /// The unconditional updates `(d_i, v_i)` to install, shared (not
+    /// copied) across every in-flight and logged copy of this
+    /// quasi-transaction.
+    pub updates: Updates,
 }
 
 impl QuasiTransaction {
@@ -358,15 +439,15 @@ mod tests {
             fragment: FragmentId(0),
             frag_seq: 0,
             epoch: 0,
-            updates: vec![(a_objs[0], Value::Int(1))],
+            updates: vec![(a_objs[0], Value::Int(1))].into(),
         };
         assert!(q.validate_against(&cat).is_ok());
-        q.updates.push((b_objs[0], Value::Int(2)));
+        q.updates = vec![(a_objs[0], Value::Int(1)), (b_objs[0], Value::Int(2))].into();
         assert!(matches!(
             q.validate_against(&cat),
             Err(ModelError::InitiationViolation { .. })
         ));
-        q.updates = vec![(ObjectId(999), Value::Int(3))];
+        q.updates = vec![(ObjectId(999), Value::Int(3))].into();
         assert!(matches!(
             q.validate_against(&cat),
             Err(ModelError::UnknownObject(_))
@@ -380,8 +461,25 @@ mod tests {
             fragment: FragmentId(1),
             frag_seq: 4,
             epoch: 0,
-            updates: vec![(ObjectId(0), Value::Int(10))],
+            updates: vec![(ObjectId(0), Value::Int(10))].into(),
         };
         assert_eq!(q.origin(), NodeId(3));
+    }
+
+    #[test]
+    fn updates_clone_shares_the_allocation() {
+        let u = Updates::new(vec![
+            (ObjectId(0), Value::Int(1)),
+            (ObjectId(1), Value::Text("x".into())),
+        ]);
+        let copies: Vec<Updates> = (0..64).map(|_| u.clone()).collect();
+        for c in &copies {
+            // Same allocation, not an equal copy.
+            assert!(std::ptr::eq(c.as_ptr(), u.as_ptr()));
+        }
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.to_vec().len(), 2);
+        assert!(u.approx_bytes() >= 1);
+        assert!(Updates::empty().is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! The per-node replica facade: store + WAL, with the operations the
 //! fragments-and-agents engine performs.
 
-use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, Value};
+use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, Updates, Value};
 use fragdb_sim::SimTime;
 
 use crate::store::Store;
@@ -51,7 +51,7 @@ impl Replica {
         fragment: FragmentId,
         frag_seq: u64,
         epoch: u64,
-        updates: Vec<(ObjectId, Value)>,
+        updates: Updates,
         at: SimTime,
     ) {
         for (o, v) in &updates {
@@ -116,10 +116,10 @@ impl Replica {
 
     /// Crash recovery: replay the durable WAL in log order to rebuild the
     /// store. Entries are re-applied, not re-appended; `installed_at`
-    /// provenance reflects the (local) recovery time.
+    /// provenance reflects the (local) recovery time. The log is borrowed
+    /// in place (disjoint fields), never copied.
     pub fn recover(&mut self, at: SimTime) {
-        let entries: Vec<WalEntry> = self.wal.entries().to_vec();
-        for e in &entries {
+        for e in self.wal.entries() {
             for (o, v) in &e.updates {
                 self.store.put(*o, v.clone(), e.txn, at);
             }
@@ -145,7 +145,7 @@ mod tests {
             fragment: FragmentId(0),
             frag_seq,
             epoch: 0,
-            updates,
+            updates: updates.into(),
         }
     }
 
@@ -157,7 +157,7 @@ mod tests {
             FragmentId(0),
             0,
             0,
-            vec![(o(1), Value::Int(100))],
+            vec![(o(1), Value::Int(100))].into(),
             SimTime(5),
         );
         assert_eq!(r.read(o(1)), &Value::Int(100));
@@ -170,7 +170,7 @@ mod tests {
         let mut origin = Replica::new(NodeId(0));
         let mut remote = Replica::new(NodeId(1));
         let updates = vec![(o(0), Value::Int(1)), (o(1), Value::Int(2))];
-        origin.commit_local(t(0, 0), FragmentId(0), 0, 0, updates.clone(), SimTime(1));
+        origin.commit_local(t(0, 0), FragmentId(0), 0, 0, updates.clone().into(), SimTime(1));
         remote.install_quasi(&quasi(t(0, 0), 0, updates), SimTime(9));
         let objs = [o(0), o(1)];
         assert_eq!(origin.digest(&objs), remote.digest(&objs));
@@ -192,7 +192,7 @@ mod tests {
             FragmentId(0),
             3,
             1,
-            vec![(o(5), Value::Int(50))],
+            vec![(o(5), Value::Int(50))].into(),
             SimTime(2),
         );
         assert_eq!(r.read(o(5)), &Value::Int(50));
@@ -210,7 +210,7 @@ mod tests {
             FragmentId(0),
             0,
             0,
-            vec![(o(0), Value::Int(10)), (o(1), Value::Int(20))],
+            vec![(o(0), Value::Int(10)), (o(1), Value::Int(20))].into(),
             SimTime(1),
         );
         // Y has stale state for o(0).
@@ -229,7 +229,7 @@ mod tests {
             FragmentId(0),
             0,
             0,
-            vec![(o(1), Value::Int(7))],
+            vec![(o(1), Value::Int(7))].into(),
             SimTime(1),
         );
         r.install_quasi(&quasi(t(1, 0), 1, vec![(o(1), Value::Int(8))]), SimTime(2));

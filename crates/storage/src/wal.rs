@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use fragdb_model::{FragmentId, ObjectId, TxnId, Value};
+use fragdb_model::{FragmentId, ObjectId, TxnId, Updates};
 use fragdb_sim::SimTime;
 
 /// One installed transaction.
@@ -29,8 +29,10 @@ pub struct WalEntry {
     pub frag_seq: u64,
     /// Token epoch under which the update was issued.
     pub epoch: u64,
-    /// The installed `(object, value)` pairs.
-    pub updates: Vec<(ObjectId, Value)>,
+    /// The installed `(object, value)` pairs — shared with every other
+    /// in-flight copy of the originating quasi-transaction, so logging (and
+    /// shipping WAL entries during catch-up) never deep-copies the payload.
+    pub updates: Updates,
     /// Virtual time of installation at this node.
     pub installed_at: SimTime,
 }
@@ -167,7 +169,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fragdb_model::NodeId;
+    use fragdb_model::{NodeId, Value};
 
     fn entry(frag: u32, frag_seq: u64, obj: u64, at: u64) -> WalEntry {
         WalEntry {
@@ -175,7 +177,7 @@ mod tests {
             fragment: FragmentId(frag),
             frag_seq,
             epoch: 0,
-            updates: vec![(ObjectId(obj), Value::Int(frag_seq as i64))],
+            updates: vec![(ObjectId(obj), Value::Int(frag_seq as i64))].into(),
             installed_at: SimTime(at),
         }
     }
@@ -283,7 +285,7 @@ mod tests {
             let frag = (next() % 3) as u32;
             let frag_seq = next() % 40;
             let nobj = 1 + next() % 3;
-            let updates: Vec<(ObjectId, Value)> = (0..nobj)
+            let updates: Updates = (0..nobj)
                 .map(|_| (ObjectId(next() % 20), Value::Int(next() as i64)))
                 .collect();
             w.append(WalEntry {
