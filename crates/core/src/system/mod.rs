@@ -494,6 +494,9 @@ impl System {
     /// such event remains (clock advances to `limit`).
     pub fn step_until(&mut self, limit: SimTime) -> Option<(SimTime, Vec<Notification>)> {
         let (at, ev) = self.engine.pop_until(limit)?;
+        if self.engine.trace.is_enabled() {
+            self.engine.trace.log(at, || format!("{ev:?}"));
+        }
         let notes = self.handle(at, ev);
         Some((at, notes))
     }

@@ -18,16 +18,21 @@
 //!   (per-fragment serializability and quasi-transaction atomicity), which
 //!   together define **fragmentwise serializability**.
 //! * [`verdict`] — a one-call summary running every checker over a history.
+//! * [`incremental`] — online versions of the same checkers (Pearce–Kelly
+//!   incremental topological order, union-find), fed one op at a time so
+//!   repeated verdict queries cost O(1) instead of O(history). The batch
+//!   checkers above remain the oracle they are tested against.
 //!
-//! All checkers consume the [`History`] recorded during a simulation run;
-//! none of them is consulted *during* execution, mirroring how the paper
-//! reasons about schedules after the fact.
+//! The batch checkers consume the [`History`] recorded during a simulation
+//! run after the fact, mirroring how the paper reasons about schedules;
+//! the incremental analyzer maintains the same verdicts online.
 //!
 //! [`History`]: fragdb_model::History
 
 pub mod digraph;
 pub mod fragmentwise;
 pub mod gsg;
+pub mod incremental;
 pub mod lsg;
 pub mod rag;
 pub mod verdict;
@@ -35,6 +40,7 @@ pub mod verdict;
 pub use digraph::DiGraph;
 pub use fragmentwise::{check_property1, check_property2, FragmentwiseReport};
 pub use gsg::GlobalSerializationGraph;
+pub use incremental::{IncrementalAnalyzer, IncrementalRag, IncrementalTopo, IncrementalVerdict};
 pub use lsg::LocalSerializationGraph;
 pub use rag::ReadAccessGraph;
 pub use verdict::{analyze, Verdict};

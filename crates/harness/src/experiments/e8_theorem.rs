@@ -188,6 +188,12 @@ fn one_trial(seed: u64, close_cycle: bool) -> (bool, u64) {
     sys.run_until(horizon + SimDuration::from_secs(300));
     let verdict = fragdb_graphs::analyze(&sys.history);
     debug_assert!(verdict.fragmentwise_serializable());
+    debug_assert!(
+        fragdb_graphs::IncrementalAnalyzer::from_history(&sys.history)
+            .verdict()
+            .agrees_with(&verdict),
+        "incremental checker diverged from the batch oracle"
+    );
     (verdict.globally_serializable, txns)
 }
 

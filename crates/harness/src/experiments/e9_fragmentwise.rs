@@ -161,6 +161,12 @@ fn one_trial(seed: u64) -> (bool, bool, bool, bool, u64) {
     }
     sys.run_until(horizon + SimDuration::from_secs(300));
     let verdict = fragdb_graphs::analyze(&sys.history);
+    debug_assert!(
+        fragdb_graphs::IncrementalAnalyzer::from_history(&sys.history)
+            .verdict()
+            .agrees_with(&verdict),
+        "incremental checker diverged from the batch oracle"
+    );
     (
         verdict.fragmentwise.property1_violations.is_empty(),
         verdict.fragmentwise.property2_violations.is_empty(),
