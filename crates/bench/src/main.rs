@@ -1,0 +1,551 @@
+//! `fragdb-bench` — the PR 3 performance-trajectory runner.
+//!
+//! Reproduces the before/after numbers for the three optimizations of
+//! the performance pass, at 4/16/64 nodes, and writes them to a
+//! machine-readable `BENCH_pr3.json`:
+//!
+//! * **payload broadcast** — a commit's payload is materialized once
+//!   (`payload.clones`) and every downstream copy is an `Arc` bump
+//!   (`payload.shares`). The "before" numbers model the old behaviour,
+//!   where every share site performed a deep copy.
+//! * **WAL index** — `fragment_range` / `last_writer_of` answered from
+//!   the per-fragment seq index and last-writer map, versus the retained
+//!   `*_scan` oracles that walk the whole log.
+//! * **incremental checkers** — repeated verdict queries over a growing
+//!   history: the batch oracle re-analyzes from scratch per query, the
+//!   incremental analyzer ingests once and answers in O(1).
+//!
+//! All workload numbers (events, messages, clone/share counts, checker
+//! edge insertions) are deterministic virtual-time metrics; only the
+//! `*_secs` fields are wall-clock (medians via the vendored criterion
+//! stub, the one place `Instant::now` is allowed).
+//!
+//! Usage:
+//!   fragdb-bench [--quick] [--out PATH]   generate the report
+//!   fragdb-bench --validate PATH          schema-check an existing report
+
+use std::fmt::Write as _;
+
+use fragdb_core::{Notification, Submission, System, SystemConfig};
+use fragdb_graphs::IncrementalAnalyzer;
+use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, TxnId, Updates, Value};
+use fragdb_net::Topology;
+use fragdb_sim::{SimDuration, SimRng, SimTime};
+use fragdb_storage::{Wal, WalEntry};
+use fragdb_workloads::{arrivals, partitions};
+
+const SEED: u64 = 42;
+const NODE_COUNTS: [u32; 3] = [4, 16, 64];
+
+/// Workload knobs, scaled down under `--quick` so CI stays fast.
+struct Scale {
+    mode: &'static str,
+    commits: u64,
+    wal_records_per_node: usize,
+    wal_queries: usize,
+    sweep_horizon: u64,
+    update_rate: f64,
+    verdict_queries: usize,
+    samples: usize,
+}
+
+const FULL: Scale = Scale {
+    mode: "full",
+    commits: 32,
+    wal_records_per_node: 1_500,
+    wal_queries: 200,
+    sweep_horizon: 20,
+    update_rate: 0.3,
+    verdict_queries: 15,
+    samples: 3,
+};
+
+const QUICK: Scale = Scale {
+    mode: "quick",
+    commits: 8,
+    wal_records_per_node: 150,
+    wal_queries: 40,
+    sweep_horizon: 12,
+    update_rate: 0.2,
+    verdict_queries: 10,
+    samples: 2,
+};
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_pr3.json");
+    let mut validate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--validate" => validate = Some(args.next().expect("--validate needs a path")),
+            "--help" | "-h" => {
+                println!("fragdb-bench [--quick] [--out PATH] | --validate PATH");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate_report(&text) {
+            Ok(summary) => println!("{path}: OK — {summary}"),
+            Err(msg) => {
+                eprintln!("{path}: INVALID — {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let scale = if quick { QUICK } else { FULL };
+    let report = generate(&scale);
+    validate_report(&report).expect("generated report must pass its own schema check");
+    std::fs::write(&out, &report).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out} ({} bytes, mode={})", report.len(), scale.mode);
+}
+
+// ---- generation ----------------------------------------------------------
+
+fn generate(scale: &Scale) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"fragdb-bench-pr3/v1\",\n");
+    let _ = writeln!(j, "  \"mode\": \"{}\",", scale.mode);
+    let _ = writeln!(j, "  \"seed\": {SEED},");
+    j.push_str("  \"node_counts\": [4, 16, 64],\n");
+
+    j.push_str("  \"payload_broadcast\": [\n");
+    for (i, &n) in NODE_COUNTS.iter().enumerate() {
+        let row = bench_payload(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < NODE_COUNTS.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"wal_index\": [\n");
+    for (i, &n) in NODE_COUNTS.iter().enumerate() {
+        let row = bench_wal(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < NODE_COUNTS.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"checker\": [\n");
+    for (i, &n) in NODE_COUNTS.iter().enumerate() {
+        let row = bench_checker(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < NODE_COUNTS.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+/// One fragment homed at node 0 on an `n`-node full mesh; `commits`
+/// single-object updates, run to quiescence. The shape the O(1)-clone
+/// acceptance test uses, scaled up.
+fn payload_run(n: u32, commits: u64) -> System {
+    let mut b = FragmentCatalog::builder();
+    let (frag, objs) = b.add_fragment("F0", 4);
+    let mut sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        b.build(),
+        vec![(frag, AgentId::Node(NodeId(0)), NodeId(0))],
+        SystemConfig::unrestricted(SEED),
+    )
+    .expect("valid system");
+    for i in 0..commits {
+        let obj = objs[(i % objs.len() as u64) as usize];
+        sys.submit_at(
+            SimTime::from_secs(1 + i),
+            Submission::update(
+                frag,
+                Box::new(move |ctx| {
+                    let v = ctx.read_int(obj, 0);
+                    ctx.write(obj, v + 1)?;
+                    Ok(())
+                }),
+            ),
+        );
+    }
+    let limit = SimTime::from_secs(commits + 120);
+    let mut committed = 0u64;
+    while let Some((_, notes)) = sys.step_until(limit) {
+        for note in notes {
+            if matches!(note, Notification::Committed { .. }) {
+                committed += 1;
+            }
+        }
+    }
+    assert_eq!(committed, commits, "payload workload must fully commit");
+    sys
+}
+
+fn bench_payload(n: u32, scale: &Scale) -> String {
+    let commits = scale.commits;
+    let sys = payload_run(n, commits);
+    let m = &sys.engine.metrics;
+    let events = m.counter("sim.events");
+    let messages: u64 = m
+        .counters()
+        .filter(|(k, _)| k.starts_with("msg."))
+        .map(|(_, v)| v)
+        .sum();
+    let clones = m.counter("payload.clones");
+    let clone_bytes = m.counter("payload.clone_bytes");
+    let shares = m.counter("payload.shares");
+    let share_bytes = m.counter("payload.share_bytes");
+    assert_eq!(clones, commits, "one materialization per commit");
+    let wall = criterion::median_secs(scale.samples, || {
+        criterion::black_box(payload_run(n, commits));
+    });
+    // Before the Arc payloads, every share site deep-copied.
+    format!(
+        "{{ \"nodes\": {n}, \"commits\": {commits}, \"events\": {events}, \
+         \"messages\": {messages}, \"clones_after\": {clones}, \
+         \"clone_bytes_after\": {clone_bytes}, \"shares\": {shares}, \
+         \"share_bytes\": {share_bytes}, \"clones_before\": {}, \
+         \"clone_bytes_before\": {}, \"wall_secs\": {} }}",
+        clones + shares,
+        clone_bytes + share_bytes,
+        fmt_secs(wall),
+    )
+}
+
+fn bench_wal(n: u32, scale: &Scale) -> String {
+    let records = scale.wal_records_per_node * n as usize;
+    let frags = n; // one fragment per node, as the sims are laid out
+    let objects = 256u64;
+    let mut rng = SimRng::new(SEED ^ u64::from(n));
+    let mut wal = Wal::new();
+    for i in 0..records {
+        let f = FragmentId(rng.gen_range(0..frags));
+        let obj = ObjectId(rng.gen_range(0..objects));
+        let updates: Updates = vec![(obj, Value::Int(i as i64))].into();
+        wal.append(WalEntry {
+            txn: TxnId::new(NodeId(f.0), i as u64),
+            fragment: f,
+            frag_seq: i as u64 / u64::from(frags),
+            epoch: 0,
+            updates,
+            installed_at: SimTime(i as u64),
+        });
+    }
+    // Query workloads: catch-up ranges ("give me j+1..=i on F") and
+    // §4.4.3 overwrite checks ("who last wrote x?").
+    let ranges: Vec<(FragmentId, u64, u64)> = (0..scale.wal_queries)
+        .map(|_| {
+            let f = FragmentId(rng.gen_range(0..frags));
+            let hi = records as u64 / u64::from(frags);
+            let a = rng.gen_range(0..hi.max(1));
+            let b = rng.gen_range(0..hi.max(1));
+            (f, a.min(b), a.max(b))
+        })
+        .collect();
+    let probes: Vec<ObjectId> = (0..scale.wal_queries)
+        .map(|_| ObjectId(rng.gen_range(0..objects)))
+        .collect();
+    for &(f, a, b) in &ranges {
+        assert_eq!(
+            wal.fragment_range(f, a, b),
+            wal.fragment_range_scan(f, a, b),
+            "index must agree with the scan oracle"
+        );
+    }
+    for &o in &probes {
+        assert_eq!(wal.last_writer_of(o), wal.last_writer_of_scan(o));
+    }
+    let scan_secs = criterion::median_secs(scale.samples, || {
+        for &(f, a, b) in &ranges {
+            criterion::black_box(wal.fragment_range_scan(f, a, b));
+        }
+        for &o in &probes {
+            criterion::black_box(wal.last_writer_of_scan(o));
+        }
+    });
+    let indexed_secs = criterion::median_secs(scale.samples, || {
+        for &(f, a, b) in &ranges {
+            criterion::black_box(wal.fragment_range(f, a, b));
+        }
+        for &o in &probes {
+            criterion::black_box(wal.last_writer_of(o));
+        }
+    });
+    format!(
+        "{{ \"nodes\": {n}, \"records\": {records}, \"queries\": {}, \
+         \"scan_secs\": {}, \"indexed_secs\": {}, \"speedup\": {} }}",
+        scale.wal_queries * 2,
+        fmt_secs(scan_secs),
+        fmt_secs(indexed_secs),
+        fmt_ratio(scan_secs / indexed_secs.max(1e-12)),
+    )
+}
+
+/// An E8/E9-shaped sweep: `n` fragments homed one-per-node, multi-object
+/// updates reading a random foreign fragment, cross-fragment readers at
+/// random nodes, adversarial alternating partitions.
+fn sweep_run(n: u32, scale: &Scale) -> System {
+    let k = n as usize;
+    let mut rng = SimRng::new(SEED);
+    let mut b = FragmentCatalog::builder();
+    let mut objects = Vec::with_capacity(k);
+    for i in 0..k {
+        let (_, objs) = b.add_fragment(format!("F{i}"), 3);
+        objects.push(objs);
+    }
+    let agents: Vec<(FragmentId, AgentId, NodeId)> = (0..k)
+        .map(|i| {
+            (
+                FragmentId(i as u32),
+                AgentId::Node(NodeId(i as u32)),
+                NodeId(i as u32),
+            )
+        })
+        .collect();
+    let mut sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        b.build(),
+        agents,
+        SystemConfig::unrestricted(SEED),
+    )
+    .expect("valid system");
+    let horizon = SimTime::from_secs(scale.sweep_horizon);
+    let sched =
+        partitions::random_alternating(&mut rng, n, SimDuration::from_secs(10), 0.4, horizon);
+    sys.schedule_partitions(&sched);
+    for i in 0..k {
+        for t in arrivals::poisson(&mut rng, scale.update_rate, SimTime::ZERO, horizon) {
+            let own = objects[i].clone();
+            let j = rng.gen_range(0..k);
+            let foreign: Vec<ObjectId> = if j == i {
+                Vec::new()
+            } else {
+                objects[j].clone()
+            };
+            sys.submit_at(
+                t,
+                Submission::update(
+                    FragmentId(i as u32),
+                    Box::new(move |ctx| {
+                        let mut acc = 1i64;
+                        for &o in &foreign {
+                            acc = acc.wrapping_add(ctx.read_int(o, 0));
+                        }
+                        for &o in &own {
+                            let v = ctx.read_int(o, 0);
+                            ctx.write(o, v.wrapping_add(acc) % 1_000_003)?;
+                        }
+                        Ok(())
+                    }),
+                ),
+            );
+        }
+    }
+    sys.run_until(horizon + SimDuration::from_secs(300));
+    sys
+}
+
+fn bench_checker(n: u32, scale: &Scale) -> String {
+    let sys = sweep_run(n, scale);
+    let h = &sys.history;
+    let ops = h.len();
+    let queries = scale.verdict_queries;
+    let batch_verdict = fragdb_graphs::analyze(h);
+    let mut inc = IncrementalAnalyzer::new();
+    inc.ingest(h);
+    assert!(
+        inc.verdict().agrees_with(&batch_verdict),
+        "incremental checker diverged from the batch oracle at {n} nodes"
+    );
+    let edge_insertions = inc.edge_insertions();
+    // The repeated-verdict workload: "is the run still serializable?"
+    // asked `queries` times over the same recorded history. Batch
+    // re-analyzes from scratch each time; incremental pays one ingest.
+    let batch_secs = criterion::median_secs(scale.samples, || {
+        for _ in 0..queries {
+            criterion::black_box(fragdb_graphs::analyze(h));
+        }
+    });
+    let incremental_secs = criterion::median_secs(scale.samples, || {
+        let mut a = IncrementalAnalyzer::new();
+        a.ingest(h);
+        for _ in 0..queries {
+            criterion::black_box(a.verdict());
+        }
+    });
+    assert!(
+        incremental_secs < batch_secs,
+        "incremental checkers must beat batch re-analysis on the sweep \
+         workload at {n} nodes ({incremental_secs} vs {batch_secs})"
+    );
+    format!(
+        "{{ \"nodes\": {n}, \"ops\": {ops}, \"queries\": {queries}, \
+         \"edge_insertions\": {edge_insertions}, \"batch_secs\": {}, \
+         \"incremental_secs\": {}, \"speedup\": {} }}",
+        fmt_secs(batch_secs),
+        fmt_secs(incremental_secs),
+        fmt_ratio(batch_secs / incremental_secs.max(1e-12)),
+    )
+}
+
+fn fmt_secs(s: f64) -> String {
+    format!("{s:.9}")
+}
+
+fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+// ---- validation ----------------------------------------------------------
+
+/// Schema check for a `BENCH_pr3.json`: required keys, each section has
+/// one entry per node count in strictly increasing order, and the
+/// deterministic counters are nonzero. Hand-rolled because no JSON
+/// parser is available in this build environment; the emitter above is
+/// the only producer, so the format is fully under our control.
+fn validate_report(text: &str) -> Result<String, String> {
+    for key in [
+        "\"schema\": \"fragdb-bench-pr3/v1\"",
+        "\"mode\":",
+        "\"seed\": 42",
+        "\"node_counts\": [4, 16, 64]",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing {key}"));
+        }
+    }
+    let mut summary = String::new();
+    for (section, nonzero_fields) in [
+        (
+            "payload_broadcast",
+            &["events", "messages", "clones_after", "shares"][..],
+        ),
+        ("wal_index", &["records", "queries"][..]),
+        ("checker", &["ops", "queries", "edge_insertions"][..]),
+    ] {
+        let body =
+            section_body(text, section).ok_or_else(|| format!("missing section \"{section}\""))?;
+        let nodes = number_fields(body, "nodes")?;
+        if nodes.len() != NODE_COUNTS.len() {
+            return Err(format!(
+                "section {section}: expected {} entries, found {}",
+                NODE_COUNTS.len(),
+                nodes.len()
+            ));
+        }
+        if !nodes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(format!(
+                "section {section}: node counts not strictly increasing: {nodes:?}"
+            ));
+        }
+        for field in nonzero_fields {
+            let values = number_fields(body, field)?;
+            if values.len() != nodes.len() {
+                return Err(format!(
+                    "section {section}: field {field} missing from some entries"
+                ));
+            }
+            if values.iter().any(|&v| v <= 0.0) {
+                return Err(format!(
+                    "section {section}: field {field} must be nonzero in every entry"
+                ));
+            }
+        }
+        for field in ["speedup", "wall_secs", "scan_secs", "batch_secs"] {
+            // Wall-clock fields, where present, must parse as positive.
+            let values = number_fields(body, field).unwrap_or_default();
+            if values.iter().any(|&v| v <= 0.0) {
+                return Err(format!("section {section}: field {field} not positive"));
+            }
+        }
+        let _ = write!(summary, "{section}: {} entries; ", nodes.len());
+    }
+    Ok(summary)
+}
+
+/// Slice out a section's array body: from `"name": [` to the next `]`.
+fn section_body<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\": [");
+    let start = text.find(&needle)? + needle.len();
+    let end = text[start..].find(']')?;
+    Some(&text[start..start + end])
+}
+
+/// All values of `"field": <number>` within `body`, in order.
+fn number_fields(body: &str, field: &str) -> Result<Vec<f64>, String> {
+    let needle = format!("\"{field}\": ");
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find(&needle) {
+        let tail = &rest[pos + needle.len()..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(tail.len());
+        let raw = &tail[..end];
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| format!("field {field}: bad number {raw:?}"))?;
+        out.push(v);
+        rest = tail;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_generates_and_validates() {
+        let report = generate(&QUICK);
+        let summary = validate_report(&report).expect("quick report is schema-valid");
+        assert!(summary.contains("checker"));
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let report = generate(&QUICK);
+        assert!(validate_report(&report.replace("\"seed\": 42", "\"seed\": 7")).is_err());
+        assert!(validate_report(&report.replace("checker", "chequer")).is_err());
+        // Zero out a required counter.
+        let broken = {
+            let body = section_body(&report, "checker").unwrap().to_string();
+            report.replace(&body, &regex_free_zero(&body, "ops"))
+        };
+        assert!(validate_report(&broken).is_err());
+    }
+
+    /// Replace every `"field": N` with `"field": 0` without regexes.
+    fn regex_free_zero(body: &str, field: &str) -> String {
+        let needle = format!("\"{field}\": ");
+        let mut out = String::new();
+        let mut rest = body;
+        while let Some(pos) = rest.find(&needle) {
+            out.push_str(&rest[..pos + needle.len()]);
+            let tail = &rest[pos + needle.len()..];
+            let end = tail
+                .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+                .unwrap_or(tail.len());
+            out.push('0');
+            rest = &tail[end..];
+        }
+        out.push_str(rest);
+        out
+    }
+}

@@ -211,7 +211,9 @@ impl System {
         let epoch = self.tokens.epoch(fragment);
         let TxnEffects { reads, writes } = effects;
         let updates = self.materialize_payload(writes);
-        self.finish_commit(at, home, txn, fragment, frag_seq, epoch, &reads, updates, true)
+        self.finish_commit(
+            at, home, txn, fragment, frag_seq, epoch, &reads, updates, true,
+        )
     }
 
     /// Commit with a pre-allocated sequence number (majority path) and an

@@ -36,7 +36,9 @@
 
 use std::collections::BTreeMap;
 
-use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, TxnType, Updates, Value};
+use fragdb_model::{
+    FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, TxnType, Updates, Value,
+};
 use fragdb_sim::SimTime;
 
 use crate::envelope::Envelope;

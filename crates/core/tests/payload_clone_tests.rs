@@ -51,7 +51,8 @@ fn run_workload(n: u32, config: SystemConfig, commits: u64) -> (u64, u64, usize)
     // Every replica must actually hold the last value — shares are real work.
     for node in 0..n {
         assert_eq!(
-            sys.replica(NodeId(node)).read(objs[((commits - 1) % 4) as usize]),
+            sys.replica(NodeId(node))
+                .read(objs[((commits - 1) % 4) as usize]),
             &Value::Int(commits as i64 - 1),
             "node {node} must hold the final update"
         );
@@ -69,8 +70,7 @@ fn run_workload(n: u32, config: SystemConfig, commits: u64) -> (u64, u64, usize)
 #[test]
 fn payload_clones_are_o1_per_commit() {
     const COMMITS: u64 = 8;
-    let (clones_4, shares_4, committed_4) =
-        run_workload(4, SystemConfig::unrestricted(1), COMMITS);
+    let (clones_4, shares_4, committed_4) = run_workload(4, SystemConfig::unrestricted(1), COMMITS);
     let (clones_16, shares_16, committed_16) =
         run_workload(16, SystemConfig::unrestricted(1), COMMITS);
 

@@ -440,12 +440,7 @@ impl IncrementalAnalyzer {
         // Property 2: a new (updater, object) pair classifies every
         // earlier read of the object as "saw the old value" for this
         // pair — any future write position exceeds those reads' seqs.
-        if self
-            .write_sets
-            .entry(op.txn)
-            .or_default()
-            .insert(op.object)
-        {
+        if self.write_sets.entry(op.txn).or_default().insert(op.object) {
             self.updaters_of
                 .entry(op.object)
                 .or_default()

@@ -84,7 +84,9 @@ impl<E> Engine<E> {
     pub fn new(seed: u64) -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            // Even the smallest scenario schedules hundreds of events
+            // (timers, packets, acks); skip the first few heap regrowths.
+            queue: BinaryHeap::with_capacity(256),
             next_seq: 0,
             rng: SimRng::new(seed),
             metrics: Metrics::new(),

@@ -42,7 +42,10 @@ impl Histogram {
     /// Empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: Vec::new(),
+            // Pre-size for the common case: latency samples in microseconds
+            // up to ~1 s land in bucket 2 + ln(1e6)/ln(GROWTH) ≈ 206, so one
+            // allocation covers them; rarer larger values still grow the Vec.
+            buckets: Vec::with_capacity(208),
             count: 0,
             sum: 0,
             min: u64::MAX,

@@ -170,7 +170,14 @@ mod tests {
         let mut origin = Replica::new(NodeId(0));
         let mut remote = Replica::new(NodeId(1));
         let updates = vec![(o(0), Value::Int(1)), (o(1), Value::Int(2))];
-        origin.commit_local(t(0, 0), FragmentId(0), 0, 0, updates.clone().into(), SimTime(1));
+        origin.commit_local(
+            t(0, 0),
+            FragmentId(0),
+            0,
+            0,
+            updates.clone().into(),
+            SimTime(1),
+        );
         remote.install_quasi(&quasi(t(0, 0), 0, updates), SimTime(9));
         let objs = [o(0), o(1)];
         assert_eq!(origin.digest(&objs), remote.digest(&objs));

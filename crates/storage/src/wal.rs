@@ -138,13 +138,14 @@ impl Wal {
     }
 
     /// Scan-based reference implementation of [`Wal::fragment_range`]: walk
-    /// the whole fragment log, filter, sort. Retained as the oracle the
-    /// indexed path is tested against and as the "before" arm of the bench
-    /// runner; production code should use `fragment_range`.
+    /// the whole log, filter, sort — touching no index at all. Retained as
+    /// the oracle the indexed path is tested against and as the "before"
+    /// arm of the bench runner; production code should use `fragment_range`.
     pub fn fragment_range_scan(&self, fragment: FragmentId, from: u64, to: u64) -> Vec<&WalEntry> {
         let mut out: Vec<&WalEntry> = self
-            .fragment_entries(fragment)
-            .filter(|e| (from..=to).contains(&e.frag_seq))
+            .entries
+            .iter()
+            .filter(|e| e.fragment == fragment && (from..=to).contains(&e.frag_seq))
             .collect();
         out.sort_by_key(|e| e.frag_seq);
         out

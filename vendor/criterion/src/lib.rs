@@ -99,6 +99,24 @@ fn fmt_time(secs: f64) -> String {
     }
 }
 
+/// Time `routine` and return the median seconds per call across
+/// `samples` calls (each sample is one un-calibrated call — intended for
+/// routines in the millisecond-and-up range). This is the
+/// value-returning twin of [`Bencher::iter`]; the `fragdb-bench` runner
+/// uses it to embed wall-clock numbers in its machine-readable report,
+/// keeping `Instant::now` confined to this crate's lint allowance.
+pub fn median_secs<O, R: FnMut() -> O>(samples: usize, mut routine: R) -> f64 {
+    let samples = samples.max(1);
+    let mut v = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(routine());
+        v.push(start.elapsed().as_secs_f64());
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
 /// Parameterized benchmark label, e.g. `BenchmarkId::from_parameter(n)`.
 pub struct BenchmarkId {
     param: String,
