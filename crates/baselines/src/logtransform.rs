@@ -29,6 +29,7 @@ use std::collections::BTreeSet;
 
 use fragdb_model::NodeId;
 use fragdb_net::{Delivery, NetworkChange, Topology, Transport};
+use fragdb_sim::metrics::keys;
 use fragdb_sim::{Engine, SimTime};
 
 /// A domain operation that can be replayed against a state.
@@ -168,8 +169,8 @@ impl<O: LoggedOp> LogTransformSystem<O> {
     fn handle(&mut self, at: SimTime, ev: LtEv<O>) -> Vec<Merged<O>> {
         match ev {
             LtEv::Submit { node, op } => {
-                self.engine.metrics.incr("txn.submitted");
-                self.engine.metrics.incr("txn.committed"); // always available
+                self.engine.metrics.incr(keys::TXN_SUBMITTED);
+                self.engine.metrics.incr(keys::TXN_COMMITTED); // always available
                 let seq = {
                     let slot = &mut self.nodes[node.0 as usize];
                     let s = slot.next_seq;
@@ -233,7 +234,9 @@ impl<O: LoggedOp> LogTransformSystem<O> {
         for e in &slot.log {
             e.op.apply(&mut state);
         }
-        self.engine.metrics.add("replay.ops", slot.log.len() as u64);
+        self.engine
+            .metrics
+            .add(keys::REPLAY_OPS, slot.log.len() as u64);
         slot.state = state;
     }
 }

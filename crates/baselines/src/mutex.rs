@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use fragdb_model::{FragmentId, History, NodeId, ObjectId, OpKind, TxnId, TxnType, Value};
 use fragdb_net::{BroadcastLayer, Delivery, NetworkChange, Topology, Transport};
+use fragdb_sim::metrics::keys;
 use fragdb_sim::{Engine, SimTime};
 use fragdb_storage::Replica;
 
@@ -201,13 +202,13 @@ impl MutexSystem {
                 program,
                 read_only,
             } => {
-                self.engine.metrics.incr("txn.submitted");
+                self.engine.metrics.incr(keys::TXN_SUBMITTED);
                 if node == self.primary {
                     return self.execute_at_primary(at, program, read_only, at);
                 }
                 if !self.transport.connected(node, self.primary) {
                     // Mutual exclusion: no primary, no service.
-                    self.engine.metrics.incr("abort.unavailable");
+                    self.engine.metrics.incr(keys::ABORT_UNAVAILABLE);
                     return vec![MxOutcome::Unavailable];
                 }
                 let msg = MxMsg::Forward {
@@ -259,7 +260,7 @@ impl MutexSystem {
                         self.history
                             .record_install(d.to, txn, TxnType::Update(WHOLE_DB), *o, at);
                     }
-                    self.engine.metrics.incr("install.count");
+                    self.engine.metrics.incr(keys::INSTALL_COUNT);
                 }
                 Vec::new()
             }
@@ -286,7 +287,7 @@ impl MutexSystem {
             (r, ctx.reads, ctx.writes)
         };
         if let Err(msg) = result {
-            self.engine.metrics.incr("abort.logic");
+            self.engine.metrics.incr(keys::ABORT_LOGIC);
             return vec![MxOutcome::LogicAbort(msg)];
         }
         let ttype = if read_only {
@@ -300,9 +301,9 @@ impl MutexSystem {
         }
         self.engine
             .metrics
-            .observe("latency.commit", (at - submitted_at).micros());
+            .observe(keys::LATENCY_COMMIT, (at - submitted_at).micros());
         if read_only {
-            self.engine.metrics.incr("txn.read_finished");
+            self.engine.metrics.incr(keys::TXN_READ_FINISHED);
             return vec![MxOutcome::ReadServed(txn)];
         }
         // Deduplicate writes last-wins.
@@ -323,7 +324,7 @@ impl MutexSystem {
                 (o, v)
             })
             .collect();
-        self.engine.metrics.incr("payload.clones");
+        self.engine.metrics.incr(keys::PAYLOAD_CLONES);
         for (o, _) in &updates {
             self.history
                 .record_local(self.primary, txn, ttype, OpKind::Write, *o, at);
@@ -338,7 +339,7 @@ impl MutexSystem {
             updates.clone(),
             at,
         );
-        self.engine.metrics.incr("txn.committed");
+        self.engine.metrics.incr(keys::TXN_COMMITTED);
         // Fan out, FIFO from the primary.
         let n = self.replicas.len() as u32;
         for i in 0..n {

@@ -200,6 +200,30 @@ impl Envelope {
         }
     }
 
+    /// The pre-formed `msg.<kind>` metric key, so the delivery hot path
+    /// counts messages without a per-delivery `format!` allocation.
+    pub fn metric_key(&self) -> &'static str {
+        match self {
+            Envelope::Quasi { .. } => "msg.quasi",
+            Envelope::LockReq { .. } => "msg.lock_req",
+            Envelope::LockGrant { .. } => "msg.lock_grant",
+            Envelope::LockDenied { .. } => "msg.lock_denied",
+            Envelope::LockRelease { .. } => "msg.lock_release",
+            Envelope::Prepare { .. } => "msg.prepare",
+            Envelope::PrepareAck { .. } => "msg.prepare_ack",
+            Envelope::CommitCmd { .. } => "msg.commit_cmd",
+            Envelope::AbortCmd { .. } => "msg.abort_cmd",
+            Envelope::SeqQuery { .. } => "msg.seq_query",
+            Envelope::SeqReply { .. } => "msg.seq_reply",
+            Envelope::M0 { .. } => "msg.m0",
+            Envelope::ForwardMissing { .. } => "msg.forward_missing",
+            Envelope::MfPrepare { .. } => "msg.mf_prepare",
+            Envelope::MfVote { .. } => "msg.mf_vote",
+            Envelope::MfCommit { .. } => "msg.mf_commit",
+            Envelope::MfAbort { .. } => "msg.mf_abort",
+        }
+    }
+
     /// Approximate bytes of immutable shared payload this envelope carries,
     /// if any — the amount that a per-receiver deep copy used to duplicate
     /// before payloads were reference-counted. Drives the `payload.shares`
@@ -242,6 +266,18 @@ mod tests {
         };
         assert_eq!(q.kind(), "lock_release");
         assert_eq!(q.bseq(), None);
+    }
+
+    #[test]
+    fn metric_key_matches_kind_and_registry() {
+        let q = Envelope::LockRelease {
+            txn: TxnId::new(NodeId(0), 0),
+        };
+        assert_eq!(q.metric_key(), "msg.lock_release");
+        assert_eq!(q.metric_key(), format!("msg.{}", q.kind()));
+        assert!(fragdb_sim::metrics::keys::is_registered(q.metric_key()));
+        // Every wire kind the registry knows structurally is a real kind.
+        assert!(fragdb_sim::metrics::keys::MSG_KINDS.contains(&q.kind()));
     }
 
     #[test]

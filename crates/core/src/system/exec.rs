@@ -5,7 +5,8 @@ use std::collections::BTreeMap;
 use fragdb_model::{
     FragmentId, NodeId, ObjectId, OpKind, QuasiTransaction, TxnId, TxnType, Updates, Value,
 };
-use fragdb_sim::SimTime;
+use fragdb_sim::metrics::keys;
+use fragdb_sim::{SimTime, TelemetryEvent};
 
 use crate::envelope::Envelope;
 use crate::events::{AbortReason, Notification, Submission};
@@ -15,7 +16,7 @@ use crate::system::{Pending, QueuedSub, System};
 impl System {
     /// Entry point for a submission event.
     pub(crate) fn handle_submission(&mut self, at: SimTime, sub: Submission) -> Vec<Notification> {
-        self.engine.metrics.incr("txn.submitted");
+        self.engine.metrics.incr(keys::TXN_SUBMITTED);
         let fragment = sub.fragment;
 
         // Updates park while their fragment's agent is mid-move, while a
@@ -33,13 +34,16 @@ impl System {
                 .find(|f| fragment_busy(f))
                 .copied();
             if let Some(busy_fragment) = busy {
-                self.queued
-                    .entry(busy_fragment)
-                    .or_default()
-                    .push_back(QueuedSub {
-                        submission: sub,
-                        queued_at: at,
-                    });
+                let queue = self.queued.entry(busy_fragment).or_default();
+                queue.push_back(QueuedSub {
+                    submission: sub,
+                    queued_at: at,
+                });
+                let depth = queue.len() as u64;
+                self.engine.emit(|| TelemetryEvent::SubmissionQueued {
+                    fragment: busy_fragment.0,
+                    depth,
+                });
                 return Vec::new();
             }
         }
@@ -60,6 +64,11 @@ impl System {
             let txn = self.alloc_txn(home);
             return self.finish_abort(txn, fragment, AbortReason::Unavailable);
         }
+
+        self.engine.emit(|| TelemetryEvent::Initiated {
+            node: home.0,
+            fragment: fragment.0,
+        });
 
         if !sub.extra_fragments.is_empty() {
             return self.begin_multi_update(at, home, sub);
@@ -171,7 +180,7 @@ impl System {
 
         if read_only {
             self.flush_reads(txn, TxnType::ReadOnly(fragment), &effects.reads, at);
-            self.engine.metrics.incr("txn.read_finished");
+            self.engine.metrics.incr(keys::TXN_READ_FINISHED);
             return vec![Notification::ReadFinished { txn, node: home }];
         }
 
@@ -184,7 +193,12 @@ impl System {
         notes
     }
 
-    /// Record buffered reads into the run history.
+    /// Record buffered reads into the run history; for read-only
+    /// transactions also emit one `ReadObserved` telemetry event per
+    /// distinct `(site, fragment)`, measuring how many agent-committed
+    /// updates the serving replica had not yet installed. (Updates always
+    /// execute at the agent home on current data, so only reads can be
+    /// stale — the paper's §4.1 vs §4.3 freshness spectrum.)
     pub(crate) fn flush_reads(
         &mut self,
         txn: TxnId,
@@ -195,6 +209,32 @@ impl System {
         for &(site, object) in reads {
             self.history
                 .record_local(site, txn, ttype, OpKind::Read, object, at);
+        }
+        if self.engine.telemetry.is_enabled() && matches!(ttype, TxnType::ReadOnly(_)) {
+            let mut seen: std::collections::BTreeSet<(NodeId, FragmentId)> =
+                std::collections::BTreeSet::new();
+            for &(site, object) in reads {
+                let Ok(frag) = self.catalog.fragment_of(object) else {
+                    continue;
+                };
+                if !seen.insert((site, frag)) {
+                    continue;
+                }
+                // Both counters are "next sequence number": what the agent
+                // would assign next vs. what the replica expects next.
+                let agent_seq = self.tokens.peek_frag_seq(frag);
+                let seen_seq = self.nodes[site.0 as usize]
+                    .next_install
+                    .get(&frag)
+                    .copied()
+                    .unwrap_or(0);
+                self.engine.emit(|| TelemetryEvent::ReadObserved {
+                    node: site.0,
+                    fragment: frag.0,
+                    seen_seq,
+                    agent_seq,
+                });
+            }
         }
     }
 
@@ -247,6 +287,28 @@ impl System {
         slot.next_install.insert(fragment, frag_seq + 1);
         self.commit_times.insert((fragment, epoch, frag_seq), at);
 
+        if self.engine.telemetry.is_enabled() {
+            let cause = Self::cid(fragment, epoch, frag_seq);
+            self.engine.emit(|| TelemetryEvent::Committed {
+                cause,
+                node: home.0,
+            });
+            // The home's local commit is its install: fault-free, a commit
+            // joins to exactly R installs (R = replica-set size).
+            self.engine.emit(|| TelemetryEvent::Installed {
+                cause,
+                node: home.0,
+            });
+            if broadcast_quasi {
+                let recipients = self.broadcast_recipients(fragment);
+                self.engine.emit(|| TelemetryEvent::BroadcastSent {
+                    cause,
+                    node: home.0,
+                    recipients,
+                });
+            }
+        }
+
         if broadcast_quasi {
             let quasi = QuasiTransaction {
                 txn,
@@ -260,7 +322,7 @@ impl System {
                 quasi: quasi.clone(),
             });
         }
-        self.engine.metrics.incr("txn.committed");
+        self.engine.metrics.incr(keys::TXN_COMMITTED);
         vec![Notification::Committed {
             txn,
             fragment,
@@ -278,7 +340,7 @@ impl System {
     ) -> Vec<Notification> {
         self.engine
             .metrics
-            .observe("latency.commit", (committed_at - submitted_at).micros());
+            .observe(keys::LATENCY_COMMIT, (committed_at - submitted_at).micros());
         Vec::new()
     }
 
@@ -289,16 +351,22 @@ impl System {
         fragment: FragmentId,
         reason: AbortReason,
     ) -> Vec<Notification> {
-        self.engine.metrics.incr("txn.aborted");
+        self.engine.metrics.incr(keys::TXN_ABORTED);
         let key = match &reason {
-            AbortReason::Logic(_) => "abort.logic",
-            AbortReason::Initiation => "abort.initiation",
-            AbortReason::Deadlock => "abort.deadlock",
-            AbortReason::Unavailable => "abort.unavailable",
-            AbortReason::UndeclaredClass => "abort.undeclared_class",
-            AbortReason::Model(_) => "abort.malformed",
+            AbortReason::Logic(_) => keys::ABORT_LOGIC,
+            AbortReason::Initiation => keys::ABORT_INITIATION,
+            AbortReason::Deadlock => keys::ABORT_DEADLOCK,
+            AbortReason::Unavailable => keys::ABORT_UNAVAILABLE,
+            AbortReason::UndeclaredClass => keys::ABORT_UNDECLARED_CLASS,
+            AbortReason::Model(_) => keys::ABORT_MALFORMED,
         };
         self.engine.metrics.incr(key);
+        let why = key.strip_prefix("abort.").unwrap_or(key);
+        self.engine.emit(|| TelemetryEvent::Aborted {
+            node: txn.origin.0,
+            fragment: fragment.0,
+            reason: why,
+        });
         vec![Notification::Aborted {
             txn,
             fragment,
@@ -366,7 +434,7 @@ impl System {
         while let Some(q) = self.queued.get_mut(&fragment).and_then(|v| v.pop_front()) {
             self.engine
                 .metrics
-                .observe("latency.move_wait", (at - q.queued_at).micros());
+                .observe(keys::LATENCY_MOVE_WAIT, (at - q.queued_at).micros());
             notes.extend(self.handle_submission(at, q.submission));
             // A drained submission may itself start a majority commit or a
             // 2PC, which re-parks the rest; stop draining in that case.

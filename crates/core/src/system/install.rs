@@ -13,7 +13,8 @@
 //! processing).
 
 use fragdb_model::{ModelError, NodeId, QuasiTransaction, TxnType};
-use fragdb_sim::SimTime;
+use fragdb_sim::metrics::keys;
+use fragdb_sim::{SimTime, TelemetryEvent};
 
 use crate::events::Notification;
 use crate::system::{MoveState, System};
@@ -28,7 +29,7 @@ impl System {
         quasi: &QuasiTransaction,
         error: ModelError,
     ) -> Vec<Notification> {
-        self.engine.metrics.incr("install.rejected");
+        self.engine.metrics.incr(keys::INSTALL_REJECTED);
         vec![Notification::InstallRejected {
             node,
             txn: quasi.txn,
@@ -53,15 +54,19 @@ impl System {
         let fragment = quasi.fragment;
         let next = slot.next_install.entry(fragment).or_insert(0);
         if quasi.frag_seq < *next {
-            self.engine.metrics.incr("install.duplicate");
+            self.engine.metrics.incr(keys::INSTALL_DUPLICATE);
             return Vec::new();
         }
         if quasi.frag_seq > *next {
-            self.engine.metrics.incr("install.heldback");
-            slot.holdback
-                .entry(fragment)
-                .or_default()
-                .insert(quasi.frag_seq, quasi);
+            self.engine.metrics.incr(keys::INSTALL_HELDBACK);
+            let hb = slot.holdback.entry(fragment).or_default();
+            hb.insert(quasi.frag_seq, quasi);
+            let depth = hb.len() as u64;
+            self.engine.emit(|| TelemetryEvent::HeldBack {
+                node: node.0,
+                fragment: fragment.0,
+                depth,
+            });
             return Vec::new();
         }
         // quasi.frag_seq == *next: install it, then drain the hold-back.
@@ -111,9 +116,14 @@ impl System {
         {
             self.engine
                 .metrics
-                .observe("latency.propagation", (at - committed).micros());
+                .observe(keys::LATENCY_PROPAGATION, (at - committed).micros());
         }
-        self.engine.metrics.incr("install.count");
+        self.engine.metrics.incr(keys::INSTALL_COUNT);
+        let cause = Self::cid(quasi.fragment, quasi.epoch, quasi.frag_seq);
+        self.engine.emit(|| TelemetryEvent::Installed {
+            cause,
+            node: node.0,
+        });
 
         // Crash recovery: did this install reach the catch-up target?
         if let Some(&(target, since)) = self.recovering.get(&(node, quasi.fragment)) {
@@ -125,7 +135,11 @@ impl System {
                 self.recovering.remove(&(node, quasi.fragment));
                 self.engine
                     .metrics
-                    .observe("latency.recovery", (at - since).micros());
+                    .observe(keys::LATENCY_RECOVERY, (at - since).micros());
+                if !self.recovering.keys().any(|&(n, _)| n == node) {
+                    self.engine
+                        .emit(|| TelemetryEvent::CatchupComplete { node: node.0 });
+                }
             }
         }
 
@@ -149,6 +163,10 @@ impl System {
                 if caught_up {
                     let fragment = quasi.fragment;
                     self.move_state.remove(&fragment);
+                    self.engine.emit(|| TelemetryEvent::TokenArrived {
+                        fragment: fragment.0,
+                        node: new_home.0,
+                    });
                     notes.push(Notification::MoveCompleted {
                         fragment,
                         node: new_home,

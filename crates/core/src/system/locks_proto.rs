@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use fragdb_model::{NodeId, ObjectId, TxnId, TxnType, Value};
+use fragdb_sim::metrics::keys;
 use fragdb_sim::SimTime;
 use fragdb_storage::{LockMode, LockOutcome};
 
@@ -210,7 +211,7 @@ impl System {
 
         if read_only {
             self.flush_reads(txn, TxnType::ReadOnly(fragment), &effects.reads, at);
-            self.engine.metrics.incr("txn.read_finished");
+            self.engine.metrics.incr(keys::TXN_READ_FINISHED);
             let mut notes = self.release_all_sites(at, home, txn, &contacted_sites);
             notes.push(Notification::ReadFinished { txn, node: home });
             notes.extend(self.observe_commit_latency(submitted_at, at));

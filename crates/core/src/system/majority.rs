@@ -15,7 +15,7 @@
 //! the new home recovers the complete sequence.
 
 use fragdb_model::{FragmentId, NodeId, QuasiTransaction, TxnId};
-use fragdb_sim::SimTime;
+use fragdb_sim::{SimTime, TelemetryEvent};
 use fragdb_storage::WalEntry;
 
 use crate::envelope::Envelope;
@@ -58,6 +58,15 @@ impl System {
             updates,
         };
         self.majority_inflight.insert(fragment, txn);
+        if self.engine.telemetry.is_enabled() {
+            let cause = Self::cid(fragment, epoch, frag_seq);
+            let recipients = self.broadcast_recipients(fragment);
+            self.engine.emit(|| TelemetryEvent::BroadcastSent {
+                cause,
+                node: home.0,
+                recipients,
+            });
+        }
         let q = quasi.clone();
         self.broadcast_fragment(at, home, fragment, move |bseq| Envelope::Prepare {
             bseq,
@@ -347,6 +356,10 @@ impl System {
             .copied()
             .unwrap_or(0);
         self.tokens.set_next_frag_seq(fragment, next);
+        self.engine.emit(|| TelemetryEvent::TokenArrived {
+            fragment: fragment.0,
+            node: new_home.0,
+        });
         let mut notes = vec![Notification::MoveCompleted {
             fragment,
             node: new_home,

@@ -25,7 +25,8 @@ use fragdb_model::{
 use fragdb_net::{
     BroadcastLayer, Delivery, NetAction, NetworkChange, PktDelivery, ReliableNet, Topology,
 };
-use fragdb_sim::{Engine, SimDuration, SimTime};
+use fragdb_sim::metrics::keys;
+use fragdb_sim::{CausalId, Engine, SimDuration, SimTime, TelemetryEvent};
 use fragdb_storage::{LockManager, Replica};
 
 use crate::config::SystemConfig;
@@ -575,8 +576,12 @@ impl System {
             Ev::Submit(sub) => self.handle_submission(at, sub),
             Ev::Pkt(pd) => self.handle_packet(at, pd),
             Ev::Rto(timer) => {
+                let before = self.net_stats_if_telemetry();
                 let actions = self.net.on_timer(at, timer, &mut self.engine.rng);
                 self.schedule_net(actions);
+                if let Some(b) = before {
+                    self.emit_net_delta(b, timer.from, timer.to);
+                }
                 Vec::new()
             }
             Ev::Net(change) => {
@@ -619,11 +624,23 @@ impl System {
     /// application message it releases is dispatched in order.
     fn handle_packet(&mut self, at: SimTime, pd: PktDelivery<Envelope>) -> Vec<Notification> {
         if self.down.contains(&pd.to) {
-            self.engine.metrics.incr("net.dropped_at_down_node");
+            self.engine.metrics.incr(keys::NET_DROPPED_AT_DOWN_NODE);
+            let (from, to) = (pd.from, pd.to);
+            self.engine.emit(|| TelemetryEvent::Dropped {
+                from: from.0,
+                to: to.0,
+                count: 1,
+            });
             return Vec::new();
         }
+        let (from, to) = (pd.from, pd.to);
+        let before = self.net_stats_if_telemetry();
         let (released, actions) = self.net.on_packet(at, pd, &mut self.engine.rng);
         self.schedule_net(actions);
+        if let Some(b) = before {
+            // Any loss here is of the ack the receiver sent back.
+            self.emit_net_delta(b, to, from);
+        }
         let mut notes = Vec::new();
         for d in released {
             notes.extend(self.handle_delivery(at, d));
@@ -632,8 +649,14 @@ impl System {
     }
 
     fn handle_delivery(&mut self, at: SimTime, d: Delivery<Envelope>) -> Vec<Notification> {
-        self.engine.metrics.incr(format!("msg.{}", d.msg.kind()));
+        self.engine.metrics.incr(d.msg.metric_key());
         let Delivery { from, to, msg } = d;
+        let kind = msg.kind();
+        self.engine.emit(|| TelemetryEvent::Delivered {
+            from: from.0,
+            to: to.0,
+            kind,
+        });
         match msg.bseq() {
             Some(bseq) => {
                 let ready = self.bcast.accept(to, from, bseq, msg);
@@ -729,6 +752,54 @@ impl System {
 
     // ---- shared plumbing -------------------------------------------------
 
+    /// Telemetry causal id for a quasi-transaction's coordinates.
+    pub(crate) fn cid(fragment: FragmentId, epoch: u64, frag_seq: u64) -> CausalId {
+        CausalId {
+            fragment: fragment.0,
+            epoch,
+            frag_seq,
+        }
+    }
+
+    /// Snapshot reliable-layer stats, but only when telemetry will consume
+    /// the delta — the disabled path stays a single branch.
+    fn net_stats_if_telemetry(&self) -> Option<fragdb_net::ReliableStats> {
+        self.engine.telemetry.is_enabled().then(|| self.net.stats())
+    }
+
+    /// Emit `Dropped` / `Retransmit` telemetry from a reliable-layer stats
+    /// delta over one `send`/`on_timer`/`on_packet` call, attributed to the
+    /// `from → to` direction the call transmitted in.
+    fn emit_net_delta(&mut self, before: fragdb_net::ReliableStats, from: NodeId, to: NodeId) {
+        let after = self.net.stats();
+        let dropped =
+            (after.fault_dropped - before.fault_dropped) + (after.unreachable - before.unreachable);
+        if dropped > 0 {
+            self.engine.emit(|| TelemetryEvent::Dropped {
+                from: from.0,
+                to: to.0,
+                count: dropped,
+            });
+        }
+        let retx = after.retransmissions - before.retransmissions;
+        if retx > 0 {
+            self.engine.emit(|| TelemetryEvent::Retransmit {
+                from: from.0,
+                to: to.0,
+                count: retx,
+            });
+        }
+    }
+
+    /// Number of nodes a fragment-scoped broadcast addresses (the replica
+    /// set minus the sender, which always holds a replica).
+    pub(crate) fn broadcast_recipients(&self, fragment: FragmentId) -> u32 {
+        match self.replica_sets.get(&fragment) {
+            Some(set) => set.len().saturating_sub(1) as u32,
+            None => self.nodes.len() as u32 - 1,
+        }
+    }
+
     /// The nodes holding a replica of `fragment` (§6 partial replication);
     /// `None` means fully replicated.
     pub fn replicas_of(&self, fragment: FragmentId) -> Option<&BTreeSet<NodeId>> {
@@ -809,8 +880,12 @@ impl System {
             let bseq = self.bcast.stamp_for(from, to);
             let env = build(bseq);
             self.meter_payload_share(&env);
+            let before = self.net_stats_if_telemetry();
             let actions = self.net.send(at, from, to, env, &mut self.engine.rng);
             self.schedule_net(actions);
+            if let Some(b) = before {
+                self.emit_net_delta(b, from, to);
+            }
         }
     }
 
@@ -818,8 +893,8 @@ impl System {
     /// shared reference, where it used to be deep-cloned once per receiver.
     fn meter_payload_share(&mut self, env: &Envelope) {
         if let Some(bytes) = env.payload_bytes() {
-            self.engine.metrics.incr("payload.shares");
-            self.engine.metrics.add("payload.share_bytes", bytes);
+            self.engine.metrics.incr(keys::PAYLOAD_SHARES);
+            self.engine.metrics.add(keys::PAYLOAD_SHARE_BYTES, bytes);
         }
     }
 
@@ -830,10 +905,10 @@ impl System {
     /// property.
     pub(crate) fn materialize_payload(&mut self, writes: Vec<(ObjectId, Value)>) -> Updates {
         let updates: Updates = writes.into();
-        self.engine.metrics.incr("payload.clones");
+        self.engine.metrics.incr(keys::PAYLOAD_CLONES);
         self.engine
             .metrics
-            .add("payload.clone_bytes", updates.approx_bytes());
+            .add(keys::PAYLOAD_CLONE_BYTES, updates.approx_bytes());
         updates
     }
 
@@ -850,8 +925,12 @@ impl System {
             return self.dispatch_direct(at, from, to, env);
         }
         self.meter_payload_share(&env);
+        let before = self.net_stats_if_telemetry();
         let actions = self.net.send(at, from, to, env, &mut self.engine.rng);
         self.schedule_net(actions);
+        if let Some(b) = before {
+            self.emit_net_delta(b, from, to);
+        }
         Vec::new()
     }
 
@@ -879,7 +958,8 @@ impl System {
         if !self.down.insert(node) {
             return Vec::new(); // already down
         }
-        self.engine.metrics.incr("node.crash");
+        self.engine.metrics.incr(keys::NODE_CRASH);
+        self.engine.emit(|| TelemetryEvent::Crash { node: node.0 });
         self.net.crash(node);
 
         let slot = &mut self.nodes[node.0 as usize];
@@ -976,7 +1056,7 @@ impl System {
         if !self.down.remove(&node) {
             return Vec::new(); // was not down
         }
-        self.engine.metrics.incr("node.recover");
+        self.engine.metrics.incr(keys::NODE_RECOVER);
 
         let frags: Vec<FragmentId> = self.catalog.fragments().iter().map(|f| f.id).collect();
         let slot = &mut self.nodes[node.0 as usize];
@@ -1049,9 +1129,16 @@ impl System {
                 },
             ));
         }
-        if !self.recovering.keys().any(|&(n, _)| n == node) {
+        let behind = self.recovering.keys().filter(|&&(n, _)| n == node).count() as u64;
+        self.engine.emit(|| TelemetryEvent::Recover {
+            node: node.0,
+            behind_fragments: behind,
+        });
+        if behind == 0 {
             // Nothing was missed: recovery completes with WAL replay alone.
-            self.engine.metrics.observe("latency.recovery", 0);
+            self.engine.metrics.observe(keys::LATENCY_RECOVERY, 0);
+            self.engine
+                .emit(|| TelemetryEvent::CatchupComplete { node: node.0 });
         }
         notes.push(Notification::Recovered { node, at });
         notes

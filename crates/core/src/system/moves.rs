@@ -2,7 +2,8 @@
 //! other than majority recovery (which lives in `majority.rs`).
 
 use fragdb_model::{FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, Value};
-use fragdb_sim::SimTime;
+use fragdb_sim::metrics::keys;
+use fragdb_sim::{SimTime, TelemetryEvent};
 use fragdb_storage::WalEntry;
 
 use crate::envelope::Envelope;
@@ -31,7 +32,12 @@ impl System {
         // snapshot/close the regime, the new home must receive). Retry
         // shortly, like a move racing another move.
         if self.down.contains(&old_home) || self.down.contains(&to) {
-            self.engine.metrics.incr("moves.deferred");
+            self.engine.metrics.incr(keys::MOVES_DEFERRED);
+            self.engine.emit(|| TelemetryEvent::MoveAborted {
+                fragment: fragment.0,
+                from: old_home.0,
+                to: to.0,
+            });
             self.engine.schedule(
                 fragdb_sim::SimDuration::from_secs(1),
                 Ev::Move { fragment, to },
@@ -48,14 +54,24 @@ impl System {
         // A move while the previous one is still completing would corrupt
         // the protocol state; retry shortly instead.
         if self.move_state.contains_key(&fragment) {
-            self.engine.metrics.incr("moves.deferred");
+            self.engine.metrics.incr(keys::MOVES_DEFERRED);
+            self.engine.emit(|| TelemetryEvent::MoveAborted {
+                fragment: fragment.0,
+                from: old_home.0,
+                to: to.0,
+            });
             self.engine.schedule(
                 fragdb_sim::SimDuration::from_secs(1),
                 Ev::Move { fragment, to },
             );
             return Vec::new();
         }
-        self.engine.metrics.incr("moves.requested");
+        self.engine.metrics.incr(keys::MOVES_REQUESTED);
+        self.engine.emit(|| TelemetryEvent::MoveRequested {
+            fragment: fragment.0,
+            from: old_home.0,
+            to: to.0,
+        });
 
         // Any in-flight transaction touching this fragment is orphaned by
         // the move: collect it for abort. The aborts run AFTER the policy
@@ -119,6 +135,10 @@ impl System {
                     .unwrap_or(0)
                     >= upto;
                 if caught_up {
+                    self.engine.emit(|| TelemetryEvent::TokenArrived {
+                        fragment: fragment.0,
+                        node: to.0,
+                    });
                     notes.push(Notification::MoveCompleted {
                         fragment,
                         node: to,
@@ -168,6 +188,10 @@ impl System {
             .or_default()
             .retain(|&seq, _| seq >= next_frag_seq);
         self.move_state.remove(&fragment);
+        self.engine.emit(|| TelemetryEvent::TokenArrived {
+            fragment: fragment.0,
+            node: to.0,
+        });
         let mut notes = vec![Notification::MoveCompleted {
             fragment,
             node: to,
@@ -232,6 +256,10 @@ impl System {
             new_home: to,
         });
         // Availability is immediate: the move completes now.
+        self.engine.emit(|| TelemetryEvent::TokenArrived {
+            fragment: fragment.0,
+            node: to.0,
+        });
         vec![Notification::MoveCompleted {
             fragment,
             node: to,
@@ -295,7 +323,7 @@ impl System {
             return self.reject_install(at, node, &quasi, e);
         }
         if quasi.origin() == node || self.already_installed(node, &quasi) {
-            self.engine.metrics.incr("install.duplicate");
+            self.engine.metrics.incr(keys::INSTALL_DUPLICATE);
             return Vec::new();
         }
         let close = self.nodes[node.0 as usize]
@@ -315,7 +343,7 @@ impl System {
                         // again. Forward to the current home rather than
                         // repackaging under a sequence we no longer own.
                         let current = self.tokens.home(quasi.fragment);
-                        self.engine.metrics.incr("noprep.forwarded");
+                        self.engine.metrics.incr(keys::NOPREP_FORWARDED);
                         return self.send_direct(
                             at,
                             node,
@@ -328,7 +356,7 @@ impl System {
                 } else {
                     // Step B.2: forward to the new home for corrective
                     // handling; do not install.
-                    self.engine.metrics.incr("noprep.forwarded");
+                    self.engine.metrics.incr(keys::NOPREP_FORWARDED);
                     self.send_direct(at, node, close.new_home, Envelope::ForwardMissing { quasi })
                 }
             }
@@ -363,10 +391,10 @@ impl System {
             .entry(fragment)
             .or_default();
         if !handled.insert((quasi.epoch, quasi.frag_seq)) {
-            self.engine.metrics.incr("install.duplicate");
+            self.engine.metrics.incr(keys::INSTALL_DUPLICATE);
             return Vec::new();
         }
-        self.engine.metrics.incr("noprep.repackaged");
+        self.engine.metrics.incr(keys::NOPREP_REPACKAGED);
         let (kept, dropped): (Vec<_>, Vec<_>) = {
             let wal = self.nodes[node.0 as usize].replica.wal();
             quasi.updates.iter().cloned().partition(|(object, _)| {
@@ -404,6 +432,23 @@ impl System {
                 at,
             );
             self.commit_times.insert((fragment, epoch, frag_seq), at);
+            if self.engine.telemetry.is_enabled() {
+                let cause = Self::cid(fragment, epoch, frag_seq);
+                self.engine.emit(|| TelemetryEvent::Committed {
+                    cause,
+                    node: node.0,
+                });
+                self.engine.emit(|| TelemetryEvent::Installed {
+                    cause,
+                    node: node.0,
+                });
+                let recipients = self.broadcast_recipients(fragment);
+                self.engine.emit(|| TelemetryEvent::BroadcastSent {
+                    cause,
+                    node: node.0,
+                    recipients,
+                });
+            }
             let q = QuasiTransaction {
                 txn: repackaged,
                 fragment,

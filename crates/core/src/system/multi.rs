@@ -39,7 +39,8 @@ use std::collections::BTreeMap;
 use fragdb_model::{
     FragmentId, NodeId, ObjectId, QuasiTransaction, TxnId, TxnType, Updates, Value,
 };
-use fragdb_sim::SimTime;
+use fragdb_sim::metrics::keys;
+use fragdb_sim::{SimTime, TelemetryEvent};
 
 use crate::envelope::Envelope;
 use crate::events::{AbortReason, Notification, Submission};
@@ -115,7 +116,7 @@ impl System {
         debug_assert!(participants
             .iter()
             .any(|(f, _)| *f == first || declared.contains(f)));
-        self.engine.metrics.incr("mf.started");
+        self.engine.metrics.incr(keys::MF_STARTED);
         self.pending.insert(
             xid,
             Pending::MultiCoord {
@@ -157,7 +158,7 @@ impl System {
             || self.move_state.contains_key(&fragment)
             || !self.tokens.is_home(fragment, node);
         if busy {
-            self.engine.metrics.incr("mf.vote_no");
+            self.engine.metrics.incr(keys::MF_VOTE_NO);
             return self.send_direct(
                 at,
                 node,
@@ -229,7 +230,7 @@ impl System {
         else {
             unreachable!("checked above");
         };
-        self.engine.metrics.incr("mf.committed");
+        self.engine.metrics.incr(keys::MF_COMMITTED);
         let mut notes = Vec::new();
         // Flush the coordinator's reads under the share executed at the
         // coordinator itself (its own fragment's share) — it performed
@@ -297,6 +298,23 @@ impl System {
         slot.next_install.insert(fragment, stage.frag_seq + 1);
         self.commit_times
             .insert((fragment, stage.epoch, stage.frag_seq), at);
+        if self.engine.telemetry.is_enabled() {
+            let cause = Self::cid(fragment, stage.epoch, stage.frag_seq);
+            self.engine.emit(|| TelemetryEvent::Committed {
+                cause,
+                node: node.0,
+            });
+            self.engine.emit(|| TelemetryEvent::Installed {
+                cause,
+                node: node.0,
+            });
+            let recipients = self.broadcast_recipients(fragment);
+            self.engine.emit(|| TelemetryEvent::BroadcastSent {
+                cause,
+                node: node.0,
+                recipients,
+            });
+        }
         let quasi = QuasiTransaction {
             txn: stage.local_txn,
             fragment,
@@ -309,7 +327,7 @@ impl System {
             bseq,
             quasi: q.clone(),
         });
-        self.engine.metrics.incr("txn.committed");
+        self.engine.metrics.incr(keys::TXN_COMMITTED);
         let mut notes = vec![Notification::Committed {
             txn: stage.local_txn,
             fragment,
@@ -345,7 +363,7 @@ impl System {
         {
             self.tokens.set_next_frag_seq(fragment, stage.frag_seq);
         }
-        self.engine.metrics.incr("mf.aborted_share");
+        self.engine.metrics.incr(keys::MF_ABORTED_SHARE);
         self.drain_queued(at, fragment)
     }
 
@@ -357,7 +375,7 @@ impl System {
         participants: Vec<(FragmentId, NodeId)>,
         home: NodeId,
     ) -> Vec<Notification> {
-        self.engine.metrics.incr("mf.aborted");
+        self.engine.metrics.incr(keys::MF_ABORTED);
         let mut notes = Vec::new();
         for (fragment, agent_home) in participants {
             notes.extend(self.send_direct(

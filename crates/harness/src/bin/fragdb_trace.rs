@@ -1,0 +1,130 @@
+//! `fragdb-trace` — the structured-telemetry explorer.
+//!
+//! Runs one or more telemetry scenarios (§4.1 read locks fault-free,
+//! §4.3 unrestricted under faults, §4.4.1 majority movement) and renders:
+//!
+//! 1. a per-fragment ASCII timeline joining each commit to the installs it
+//!    caused (flagging incomplete R-joins);
+//! 2. a lag/staleness/stall summary table from the derived probes;
+//! 3. optionally a JSON-lines export of the raw event log (hand-rolled,
+//!    no serde), which `--validate` schema-checks.
+//!
+//! The run fails (exit 1) if any emitted metric key is missing from the
+//! `fragdb_sim::metrics::keys` registry — CI uses this as the telemetry
+//! smoke check.
+//!
+//! Usage:
+//!   fragdb-trace [--scenario NAME]... [--seed N] [--quick]
+//!                [--out PATH] [--rows N]
+//!   fragdb-trace --list
+//!   fragdb-trace --validate PATH
+
+use fragdb_harness::trace::{
+    render_jsonl, render_summary, render_timeline, run_scenario, unregistered_metric_keys,
+    validate_jsonl, SCENARIOS,
+};
+
+fn main() {
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut seed: u64 = 42;
+    let mut quick = false;
+    let mut rows: usize = 10;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scenario" => scenarios.push(args.next().expect("--scenario needs a name")),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer")
+            }
+            "--quick" => quick = true,
+            "--rows" => {
+                rows = args
+                    .next()
+                    .expect("--rows needs a value")
+                    .parse()
+                    .expect("--rows must be an integer")
+            }
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--validate" => validate = Some(args.next().expect("--validate needs a path")),
+            "--list" => {
+                for s in SCENARIOS {
+                    println!("{s}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "fragdb-trace [--scenario NAME]... [--seed N] [--quick] \
+                     [--out PATH] [--rows N] | --list | --validate PATH"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate_jsonl(&text) {
+            Ok(stats) => {
+                let kinds: Vec<String> = stats
+                    .by_event
+                    .iter()
+                    .map(|(k, n)| format!("{k}:{n}"))
+                    .collect();
+                println!("{path}: OK — {} events ({})", stats.events, kinds.join(" "));
+            }
+            Err(msg) => {
+                eprintln!("{path}: INVALID — {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if scenarios.is_empty() {
+        scenarios = SCENARIOS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut export = String::new();
+    let mut bad_keys: Vec<String> = Vec::new();
+    for name in &scenarios {
+        let Some(run) = run_scenario(name, seed, quick) else {
+            eprintln!("unknown scenario: {name} (try --list)");
+            std::process::exit(2);
+        };
+        println!("{}", render_timeline(&run, rows));
+        println!("{}", render_summary(&run));
+        for key in unregistered_metric_keys(&run.metrics) {
+            bad_keys.push(format!("{name}: {key}"));
+        }
+        if out.is_some() {
+            let text = render_jsonl(&run);
+            validate_jsonl(&text).expect("export must satisfy its own schema");
+            export.push_str(&text);
+        }
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, &export).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path} ({} bytes)", export.len());
+    }
+
+    if !bad_keys.is_empty() {
+        eprintln!("unregistered metric keys emitted:");
+        for k in &bad_keys {
+            eprintln!("  {k}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -27,5 +27,6 @@
 pub mod configs;
 pub mod experiments;
 pub mod table;
+pub mod trace;
 
 pub use table::Table;

@@ -1,0 +1,702 @@
+//! Telemetry trace scenarios and renderers behind the `fragdb-trace`
+//! explorer.
+//!
+//! Three shipped scenarios exercise the three regimes the paper contrasts:
+//!
+//! * [`READ_LOCKS_FIXED`] — §4.1 read locks with fixed agents, fault-free:
+//!   the globally-serializable end of the spectrum. Expected telemetry:
+//!   **zero** network drops and **zero** read staleness (every read runs
+//!   under locks at the lock site, which is the agent home).
+//! * [`UNRESTRICTED_FAULTS`] — §4.3 unrestricted reads over lossy links
+//!   with a crash/recovery cycle: reads at non-home nodes observe the
+//!   mutual-consistency window directly (nonzero `node.<n>.staleness`),
+//!   and commit→install lag (`frag.<f>.lag`) widens under retransmission.
+//! * [`MAJORITY_MOVEMENT`] — §4.4.1 majority commit with token moves under
+//!   faults: `frag.<f>.move_stall` measures the §5 unavailability window
+//!   between `MoveRequested` and `TokenArrived`.
+//!
+//! A [`TraceRun`] captures the full structured event log plus the derived
+//! probe metrics; the renderers turn it into a per-fragment causality
+//! timeline, a lag/staleness summary table, and a JSON-lines export with a
+//! hand-rolled schema validator (no serde in this offline build).
+
+use std::collections::BTreeMap;
+
+use fragdb_core::{Submission, System};
+use fragdb_model::{FragmentId, NodeId, ObjectId};
+use fragdb_net::{FaultConfig, FaultPlan};
+use fragdb_sim::metrics::{keys, Metrics};
+use fragdb_sim::{CausalId, SimDuration, SimTime, Telemetry, TelemetryEvent, TelemetryRecord};
+
+use crate::configs;
+use crate::table::Table;
+
+/// §4.1 scenario name: read locks, fixed agents, fault-free.
+pub const READ_LOCKS_FIXED: &str = "read-locks-fixed";
+/// §4.3 scenario name: unrestricted reads under injected faults.
+pub const UNRESTRICTED_FAULTS: &str = "unrestricted-faults";
+/// §4.4.1 scenario name: majority commit with token movement under faults.
+pub const MAJORITY_MOVEMENT: &str = "majority-movement";
+
+/// Every shipped scenario name, in a stable order.
+pub const SCENARIOS: [&str; 3] = [READ_LOCKS_FIXED, UNRESTRICTED_FAULTS, MAJORITY_MOVEMENT];
+
+/// Cap on retained telemetry events per run (probes stay exact past it).
+const TELEMETRY_CAP: usize = 200_000;
+
+/// A completed scenario run: the retained event log plus derived metrics.
+pub struct TraceRun {
+    /// Scenario name (one of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Paper section the scenario reproduces.
+    pub section: &'static str,
+    /// Retained telemetry records, oldest first.
+    pub records: Vec<TelemetryRecord>,
+    /// Events evicted from the bounded buffer.
+    pub dropped: u64,
+    /// Final metrics (counters + probe histograms).
+    pub metrics: Metrics,
+    /// `(fragment id, name, replica count R)` per fragment.
+    pub fragments: Vec<(u32, String, u32)>,
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// Increment the first object of `objects` by one.
+fn bump(objects: &[ObjectId]) -> fragdb_core::UpdateFn {
+    let obj = objects[0];
+    Box::new(move |ctx| {
+        let v = ctx.read_int(obj, 0);
+        ctx.write(obj, v + 1)?;
+        Ok(())
+    })
+}
+
+/// Read every object of `objects`.
+fn scan(objects: &[ObjectId]) -> fragdb_core::UpdateFn {
+    let objs = objects.to_vec();
+    Box::new(move |ctx| {
+        for &o in &objs {
+            ctx.read(o);
+        }
+        Ok(())
+    })
+}
+
+fn drive(
+    mut sys: System,
+    limit: SimTime,
+    scenario: &'static str,
+    section: &'static str,
+) -> TraceRun {
+    sys.engine.telemetry = Telemetry::bounded(TELEMETRY_CAP);
+    while sys.step_until(limit).is_some() {}
+    sys.engine.sync_drop_metrics();
+    let fragments = sys
+        .catalog()
+        .fragments()
+        .iter()
+        .map(|f| {
+            let replicas = sys
+                .replicas_of(f.id)
+                .map_or(sys.node_count() as usize, |set| set.len());
+            (f.id.0, f.name.clone(), replicas as u32)
+        })
+        .collect();
+    TraceRun {
+        scenario,
+        section,
+        records: sys.engine.telemetry.events().cloned().collect(),
+        dropped: sys.engine.telemetry.dropped(),
+        metrics: std::mem::take(&mut sys.engine.metrics),
+        fragments,
+    }
+}
+
+/// §4.1: the two-ledger read-lock configuration, fault-free. Transfers
+/// read the foreign ledger under remote read locks; read-only scans run
+/// at the lock site (the home), so every read is fresh.
+fn read_locks_fixed(seed: u64, quick: bool) -> TraceRun {
+    let named = configs::by_name("ledger-read-locks", seed).expect("registered");
+    let objects: Vec<Vec<ObjectId>> = named
+        .catalog
+        .fragments()
+        .iter()
+        .map(|f| f.objects.clone())
+        .collect();
+    let mut sys = System::build(named.topology, named.catalog, named.agents, named.config)
+        .expect("admissible config");
+    let rounds = if quick { 4 } else { 12 };
+    for k in 0..rounds {
+        // Alternating transfers, each reading the other ledger.
+        for (own, other) in [(0usize, 1usize), (1, 0)] {
+            let own_obj = objects[own][0];
+            let other_obj = objects[other][0];
+            sys.submit_at(
+                secs(4 * k + 1 + own as u64),
+                Submission::update(
+                    FragmentId(own as u32),
+                    Box::new(move |ctx| {
+                        let funds = ctx.read_int(other_obj, 0);
+                        let v = ctx.read_int(own_obj, 0);
+                        ctx.write(own_obj, v + 1 + funds % 2)?;
+                        Ok(())
+                    }),
+                ),
+            );
+        }
+        // Read-only audits at each ledger's home.
+        for f in 0..2u32 {
+            sys.submit_at(
+                secs(4 * k + 3),
+                Submission::read_only(FragmentId(f), scan(&objects[f as usize])).at(NodeId(f)),
+            );
+        }
+    }
+    drive(sys, secs(4 * rounds + 30), READ_LOCKS_FIXED, "4.1")
+}
+
+/// §4.3: the chaos mesh under lossy links with a crash/recovery cycle.
+/// Reads run unrestricted at node 4 (which homes no agent) shortly after
+/// each commit, so they observe the propagation window as staleness.
+fn unrestricted_faults(seed: u64, quick: bool) -> TraceRun {
+    let mut named = configs::by_name("chaos-mesh", seed).expect("registered");
+    let mut plan_rng = fragdb_sim::SimRng::new(seed ^ 0xC4A0_5000);
+    let plan = FaultPlan::new(
+        plan_rng.gen_range(0..30u64) as f64 / 100.0,
+        plan_rng.gen_range(0..30u64) as f64 / 100.0,
+        ms(plan_rng.gen_range(0..50u64)),
+    );
+    named.config = named.config.with_faults(FaultConfig::uniform(plan));
+    let objects: Vec<Vec<ObjectId>> = named
+        .catalog
+        .fragments()
+        .iter()
+        .map(|f| f.objects.clone())
+        .collect();
+    let mut sys = System::build(named.topology, named.catalog, named.agents, named.config)
+        .expect("admissible config");
+    let updates = if quick { 6 } else { 20 };
+    for (fi, objs) in objects.iter().enumerate() {
+        for k in 0..updates {
+            let at = secs(3 * k + fi as u64 + 1);
+            sys.submit_at(at, Submission::update(FragmentId(fi as u32), bump(objs)));
+            // 5ms after the commit the broadcast (10ms links) is still in
+            // flight: a read at agent-free node 4 is provably stale.
+            sys.submit_at(
+                at + ms(5),
+                Submission::read_only(FragmentId(fi as u32), scan(objs)).at(NodeId(4)),
+            );
+        }
+    }
+    sys.crash_at(secs(40), NodeId(4));
+    sys.recover_at(secs(70), NodeId(4));
+    drive(
+        sys,
+        secs(if quick { 200 } else { 500 }),
+        UNRESTRICTED_FAULTS,
+        "4.3",
+    )
+}
+
+/// §4.4.1: a movable fragment under majority commit, with moves, mild
+/// packet loss, and a crash of one acknowledging replica.
+fn majority_movement(seed: u64, quick: bool) -> TraceRun {
+    let mut named = configs::by_name("movement-majority", seed).expect("registered");
+    named.config = named
+        .config
+        .with_faults(FaultConfig::uniform(FaultPlan::new(0.10, 0.05, ms(20))));
+    let objects: Vec<ObjectId> = named.catalog.fragments()[0].objects.clone();
+    let fragment = named.catalog.fragments()[0].id;
+    let mut sys = System::build(named.topology, named.catalog, named.agents, named.config)
+        .expect("admissible config");
+    let horizon = if quick { 20 } else { 40 };
+    for k in 0..horizon / 2 {
+        sys.submit_at(
+            secs(2 * k + 1),
+            Submission::update(fragment, bump(&objects)),
+        );
+    }
+    sys.submit_at(
+        secs(3),
+        Submission::read_only(fragment, scan(&objects)).at(NodeId(3)),
+    );
+    sys.move_agent_at(secs(8), fragment, NodeId(1));
+    sys.crash_at(secs(10), NodeId(3));
+    if !quick {
+        sys.move_agent_at(secs(18), fragment, NodeId(2));
+        sys.recover_at(secs(25), NodeId(3));
+        sys.move_agent_at(secs(30), fragment, NodeId(4));
+    } else {
+        sys.recover_at(secs(15), NodeId(3));
+    }
+    drive(sys, secs(horizon + 80), MAJORITY_MOVEMENT, "4.4.1")
+}
+
+/// Run a scenario by name. `quick` scales the workload down for CI smoke.
+pub fn run_scenario(name: &str, seed: u64, quick: bool) -> Option<TraceRun> {
+    match name {
+        READ_LOCKS_FIXED => Some(read_locks_fixed(seed, quick)),
+        UNRESTRICTED_FAULTS => Some(unrestricted_faults(seed, quick)),
+        MAJORITY_MOVEMENT => Some(majority_movement(seed, quick)),
+        _ => None,
+    }
+}
+
+// ---- renderers -----------------------------------------------------------
+
+fn fmt_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else {
+        format!("{:.1}ms", us as f64 / 1e3)
+    }
+}
+
+/// Per-cause join of the commit to its downstream installs.
+struct CauseRow {
+    committed: Option<(SimTime, u32)>,
+    installs: Vec<(u32, SimTime)>,
+    recipients: Option<u32>,
+}
+
+/// Render the per-fragment ASCII timeline: each committed quasi-transaction
+/// with its commit site and the lag of every install it caused, flagging
+/// incomplete R-joins (installs still missing at the end of the run).
+pub fn render_timeline(run: &TraceRun, max_rows_per_fragment: usize) -> String {
+    let mut by_cause: BTreeMap<CausalId, CauseRow> = BTreeMap::new();
+    for r in &run.records {
+        match &r.event {
+            TelemetryEvent::Committed { cause, node } => {
+                let row = by_cause.entry(*cause).or_insert_with(|| CauseRow {
+                    committed: None,
+                    installs: Vec::new(),
+                    recipients: None,
+                });
+                row.committed = Some((r.at, *node));
+            }
+            TelemetryEvent::Installed { cause, node } => {
+                by_cause
+                    .entry(*cause)
+                    .or_insert_with(|| CauseRow {
+                        committed: None,
+                        installs: Vec::new(),
+                        recipients: None,
+                    })
+                    .installs
+                    .push((*node, r.at));
+            }
+            TelemetryEvent::BroadcastSent {
+                cause, recipients, ..
+            } => {
+                by_cause
+                    .entry(*cause)
+                    .or_insert_with(|| CauseRow {
+                        committed: None,
+                        installs: Vec::new(),
+                        recipients: None,
+                    })
+                    .recipients = Some(*recipients);
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {} (§{}) — {} events retained, {} dropped\n",
+        run.scenario,
+        run.section,
+        run.records.len(),
+        run.dropped
+    ));
+    for &(fid, ref name, replicas) in &run.fragments {
+        let causes: Vec<(&CausalId, &CauseRow)> =
+            by_cause.iter().filter(|(c, _)| c.fragment == fid).collect();
+        out.push_str(&format!(
+            "\nfragment {fid} ({name}) — {} commits, R={replicas}\n",
+            causes
+                .iter()
+                .filter(|(_, row)| row.committed.is_some())
+                .count(),
+        ));
+        if causes.is_empty() {
+            out.push_str("  (no committed updates)\n");
+            continue;
+        }
+        for (c, row) in causes.iter().take(max_rows_per_fragment) {
+            let (commit_str, t0) = match row.committed {
+                Some((at, node)) => (format!("{} @n{node}", fmt_micros(at.micros())), Some(at)),
+                None => ("(commit evicted)".to_string(), None),
+            };
+            let mut installs = row.installs.clone();
+            installs.sort();
+            let install_str: Vec<String> = installs
+                .iter()
+                .map(|&(node, at)| match t0 {
+                    Some(t0) => format!(
+                        "n{node}+{}",
+                        fmt_micros(at.micros().saturating_sub(t0.micros()))
+                    ),
+                    None => format!("n{node}@{}", fmt_micros(at.micros())),
+                })
+                .collect();
+            let join = if installs.len() as u32 >= replicas {
+                String::new()
+            } else {
+                format!("  [join {}/{replicas} INCOMPLETE]", installs.len())
+            };
+            out.push_str(&format!(
+                "  e{}#{:<4} committed {commit_str:<14} installs: {}{join}\n",
+                c.epoch,
+                c.frag_seq,
+                if install_str.is_empty() {
+                    "-".to_string()
+                } else {
+                    install_str.join(" ")
+                },
+            ));
+        }
+        if causes.len() > max_rows_per_fragment {
+            out.push_str(&format!(
+                "  … {} more commits elided\n",
+                causes.len() - max_rows_per_fragment
+            ));
+        }
+    }
+    out
+}
+
+/// Render the lag/staleness/stall summary table from the probe histograms.
+pub fn render_summary(run: &TraceRun) -> String {
+    let mut t = Table::new(["probe", "n", "min", "mean", "p99", "max"]);
+    for (key, h) in run.metrics.histograms() {
+        let dimensioned = keys::dim_matches(key, "frag.", keys::FRAG_PROBES)
+            || keys::dim_matches(key, "node.", keys::NODE_PROBES);
+        if !dimensioned {
+            continue;
+        }
+        let time_valued = key.ends_with(".lag") || key.ends_with(".move_stall");
+        let fmt = |v: u64| {
+            if time_valued {
+                fmt_micros(v)
+            } else {
+                v.to_string()
+            }
+        };
+        t.row([
+            key.to_string(),
+            h.count().to_string(),
+            h.min().map_or("-".into(), &fmt),
+            h.mean().map_or("-".into(), |m| fmt(m.round() as u64)),
+            h.percentile(99.0).map_or("-".into(), &fmt),
+            h.max().map_or("-".into(), &fmt),
+        ]);
+    }
+    let mut out = format!("probes: {} (§{})\n", run.scenario, run.section);
+    if t.is_empty() {
+        out.push_str("  (no probe observations)\n");
+    } else {
+        out.push_str(&t.to_string());
+    }
+    let drops: u64 = run
+        .records
+        .iter()
+        .map(|r| match r.event {
+            TelemetryEvent::Dropped { count, .. } => count,
+            _ => 0,
+        })
+        .sum();
+    let stale_reads = run
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                TelemetryEvent::ReadObserved { seen_seq, agent_seq, .. } if agent_seq > seen_seq
+            )
+        })
+        .count();
+    out.push_str(&format!(
+        "network drops: {drops}   stale reads: {stale_reads}   telemetry dropped: {}\n",
+        run.dropped
+    ));
+    out
+}
+
+/// Render the run as JSON lines (scenario header comment, drop marker when
+/// the buffer wrapped, then one flat object per event).
+pub fn render_jsonl(run: &TraceRun) -> String {
+    let mut out = format!("# scenario: {} section: {}\n", run.scenario, run.section);
+    if run.dropped > 0 {
+        out.push_str(&format!("# {} earlier events dropped\n", run.dropped));
+    }
+    for r in &run.records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Metric keys present in `metrics` that the registry does not know.
+pub fn unregistered_metric_keys(metrics: &Metrics) -> Vec<String> {
+    let mut bad: Vec<String> = metrics
+        .counters()
+        .map(|(k, _)| k)
+        .chain(metrics.histograms().map(|(k, _)| k))
+        .filter(|k| !keys::is_registered(k))
+        .map(str::to_string)
+        .collect();
+    bad.dedup();
+    bad
+}
+
+// ---- JSONL validation ----------------------------------------------------
+
+/// Every event name the exporter can emit, with the fields each requires
+/// (beyond `at_micros` and `event`). The schema is flat by construction.
+const EVENT_SCHEMA: &[(&str, &[&str])] = &[
+    ("initiated", &["node", "fragment"]),
+    ("committed", &["fragment", "epoch", "frag_seq", "node"]),
+    (
+        "broadcast_sent",
+        &["fragment", "epoch", "frag_seq", "node", "recipients"],
+    ),
+    ("installed", &["fragment", "epoch", "frag_seq", "node"]),
+    ("aborted", &["node", "fragment", "reason"]),
+    (
+        "read_observed",
+        &["node", "fragment", "seen_seq", "agent_seq"],
+    ),
+    ("held_back", &["node", "fragment", "depth"]),
+    ("submission_queued", &["fragment", "depth"]),
+    ("move_requested", &["fragment", "from", "to"]),
+    ("token_arrived", &["fragment", "node"]),
+    ("move_aborted", &["fragment", "from", "to"]),
+    ("dropped", &["from", "to", "count"]),
+    ("retransmit", &["from", "to", "count"]),
+    ("delivered", &["from", "to", "kind"]),
+    ("crash", &["node"]),
+    ("recover", &["node", "behind_fragments"]),
+    ("catchup_complete", &["node"]),
+];
+
+/// Summary statistics from a validated JSONL export.
+pub struct JsonlStats {
+    /// Event lines (comments excluded).
+    pub events: usize,
+    /// Count per event name.
+    pub by_event: BTreeMap<String, usize>,
+}
+
+/// Parse one flat JSON object of string/number fields. Hand-rolled: the
+/// exporter only ever writes `{"k":123,"k":"str",…}` with no nesting.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, String>, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "line is not a {...} object".to_string())?;
+    let mut fields = BTreeMap::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let key_start = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected quoted key at: {rest}"))?;
+        let key_end = key_start
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?;
+        let key = &key_start[..key_end];
+        let after_key = key_start[key_end + 1..]
+            .strip_prefix(':')
+            .ok_or_else(|| format!("missing ':' after key {key}"))?;
+        let (value, remainder) = if let Some(sq) = after_key.strip_prefix('"') {
+            // String value; exporter escapes only '"' and '\'.
+            let mut end = None;
+            let mut prev_backslash = false;
+            for (i, c) in sq.char_indices() {
+                if prev_backslash {
+                    prev_backslash = false;
+                } else if c == '\\' {
+                    prev_backslash = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.ok_or_else(|| format!("unterminated string for key {key}"))?;
+            (sq[..end].to_string(), &sq[end + 1..])
+        } else {
+            let end = after_key.find(',').unwrap_or(after_key.len());
+            let raw = &after_key[..end];
+            if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(format!(
+                    "field {key} is neither a string nor a number: {raw}"
+                ));
+            }
+            (raw.to_string(), &after_key[end..])
+        };
+        if fields.insert(key.to_string(), value).is_some() {
+            return Err(format!("duplicate field {key}"));
+        }
+        rest = match remainder.strip_prefix(',') {
+            Some(r) => r,
+            None if remainder.is_empty() => remainder,
+            None => return Err(format!("trailing garbage after field {key}: {remainder}")),
+        };
+    }
+    Ok(fields)
+}
+
+/// Validate a JSONL export against the hand-rolled event schema: every
+/// non-comment line must be a flat object with `at_micros` (numeric,
+/// non-decreasing) and a known `event` carrying exactly its schema fields.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let schema: BTreeMap<&str, &[&str]> = EVENT_SCHEMA.iter().copied().collect();
+    let mut stats = JsonlStats {
+        events: 0,
+        by_event: BTreeMap::new(),
+    };
+    let mut last_at: u64 = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.starts_with('#') || line.is_empty() {
+            // A new scenario segment restarts virtual time.
+            if line.starts_with("# scenario:") {
+                last_at = 0;
+            }
+            continue;
+        }
+        let fields = parse_flat_object(line).map_err(|e| format!("line {n}: {e}"))?;
+        let at: u64 = fields
+            .get("at_micros")
+            .ok_or_else(|| format!("line {n}: missing at_micros"))?
+            .parse()
+            .map_err(|_| format!("line {n}: at_micros is not numeric"))?;
+        if at < last_at {
+            return Err(format!(
+                "line {n}: at_micros {at} decreases (previous {last_at})"
+            ));
+        }
+        last_at = at;
+        let event = fields
+            .get("event")
+            .ok_or_else(|| format!("line {n}: missing event"))?;
+        let required = schema
+            .get(event.as_str())
+            .ok_or_else(|| format!("line {n}: unknown event {event:?}"))?;
+        for &f in *required {
+            if !fields.contains_key(f) {
+                return Err(format!("line {n}: event {event:?} missing field {f:?}"));
+            }
+        }
+        let expected = required.len() + 2; // + at_micros + event
+        if fields.len() != expected {
+            return Err(format!(
+                "line {n}: event {event:?} has {} fields, schema says {expected}",
+                fields.len()
+            ));
+        }
+        stats.events += 1;
+        *stats.by_event.entry(event.clone()).or_insert(0) += 1;
+    }
+    if stats.events == 0 {
+        return Err("no event lines".to_string());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_resolve() {
+        for name in SCENARIOS {
+            assert!(run_scenario(name, 7, true).is_some(), "{name} must resolve");
+        }
+        assert!(run_scenario("nope", 7, true).is_none());
+    }
+
+    #[test]
+    fn fault_free_locks_run_is_clean() {
+        let run = read_locks_fixed(42, true);
+        assert!(!run.records.is_empty());
+        let drops = run
+            .records
+            .iter()
+            .filter(|r| matches!(r.event, TelemetryEvent::Dropped { .. }))
+            .count();
+        assert_eq!(drops, 0, "fault-free run must not drop packets");
+        for r in &run.records {
+            if let TelemetryEvent::ReadObserved {
+                seen_seq,
+                agent_seq,
+                ..
+            } = r.event
+            {
+                assert_eq!(seen_seq, agent_seq, "§4.1 locked reads must never be stale");
+            }
+        }
+        assert_eq!(run.dropped, 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_validates() {
+        let run = read_locks_fixed(42, true);
+        let text = render_jsonl(&run);
+        let stats = validate_jsonl(&text).expect("export must satisfy its own schema");
+        assert_eq!(stats.events, run.records.len());
+        assert!(stats.by_event.contains_key("committed"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("{\"event\":\"committed\"}").is_err());
+        assert!(validate_jsonl("{\"at_micros\":1,\"event\":\"mystery\"}").is_err());
+        // Missing a schema field.
+        assert!(validate_jsonl("{\"at_micros\":1,\"event\":\"crash\"}").is_err());
+        // Extra field not in the schema.
+        assert!(
+            validate_jsonl("{\"at_micros\":1,\"event\":\"crash\",\"node\":2,\"x\":3}").is_err()
+        );
+        // Time going backwards.
+        let two = "{\"at_micros\":5,\"event\":\"crash\",\"node\":1}\n{\"at_micros\":4,\"event\":\"crash\",\"node\":1}";
+        assert!(validate_jsonl(two).is_err());
+        // A valid line passes.
+        let ok = "{\"at_micros\":5,\"event\":\"crash\",\"node\":1}";
+        assert_eq!(validate_jsonl(ok).unwrap().events, 1);
+    }
+
+    #[test]
+    fn renderers_mention_fragments_and_probes() {
+        let run = unrestricted_faults(42, true);
+        let timeline = render_timeline(&run, 5);
+        assert!(timeline.contains("fragment 0"));
+        assert!(timeline.contains("committed"));
+        let summary = render_summary(&run);
+        assert!(
+            summary.contains(".lag"),
+            "summary must show lag probes:\n{summary}"
+        );
+        assert!(
+            summary.contains(".staleness"),
+            "summary must show staleness probes:\n{summary}"
+        );
+    }
+
+    #[test]
+    fn all_scenario_metric_keys_are_registered() {
+        for name in SCENARIOS {
+            let run = run_scenario(name, 42, true).unwrap();
+            let bad = unregistered_metric_keys(&run.metrics);
+            assert!(bad.is_empty(), "{name}: unregistered metric keys: {bad:?}");
+        }
+    }
+}

@@ -29,8 +29,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::metrics::Metrics;
+use crate::metrics::{keys, Metrics};
 use crate::rng::SimRng;
+use crate::telemetry::{Telemetry, TelemetryEvent};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
@@ -74,6 +75,8 @@ pub struct Engine<E> {
     pub metrics: Metrics,
     /// Optional bounded execution trace.
     pub trace: Trace,
+    /// Optional structured event telemetry (see [`crate::telemetry`]).
+    pub telemetry: Telemetry,
 }
 
 impl<E> Engine<E> {
@@ -91,7 +94,32 @@ impl<E> Engine<E> {
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
             trace: Trace::disabled(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Emit a telemetry event at the current virtual time.
+    ///
+    /// The event is constructed by the closure only when telemetry is
+    /// enabled, so a disabled stream costs a single branch on hot paths —
+    /// the same discipline as [`Trace::log`].
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> TelemetryEvent) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let ev = build();
+        self.telemetry.record(self.now, ev, &mut self.metrics);
+    }
+
+    /// Publish the trace/telemetry buffer drop counts as metrics
+    /// ([`keys::TRACE_DROPPED`], [`keys::TELEMETRY_DROPPED`]) so report
+    /// rendering can warn about truncated logs. Call before reading or
+    /// rendering metrics at the end of a run.
+    pub fn sync_drop_metrics(&mut self) {
+        self.metrics.set(keys::TRACE_DROPPED, self.trace.dropped());
+        self.metrics
+            .set(keys::TELEMETRY_DROPPED, self.telemetry.dropped());
     }
 
     /// Current virtual time.
@@ -135,7 +163,7 @@ impl<E> Engine<E> {
         let Reverse(ev) = self.queue.pop()?;
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
-        self.metrics.incr("sim.events");
+        self.metrics.incr(keys::SIM_EVENTS);
         Some((ev.at, ev.payload))
     }
 
@@ -284,6 +312,40 @@ mod tests {
         e.schedule(SimDuration(2), Ev::A(2));
         drain(&mut e);
         assert_eq!(e.metrics.counter("sim.events"), 2);
+    }
+
+    #[test]
+    fn disabled_telemetry_does_not_evaluate_closure() {
+        let mut e = Engine::<Ev>::new(1);
+        let mut evaluated = false;
+        e.emit(|| {
+            evaluated = true;
+            crate::telemetry::TelemetryEvent::Crash { node: 0 }
+        });
+        assert!(!evaluated);
+        assert!(e.telemetry.is_empty());
+    }
+
+    #[test]
+    fn emit_records_at_current_time() {
+        let mut e = Engine::<Ev>::new(1);
+        e.telemetry = crate::telemetry::Telemetry::bounded(8);
+        e.schedule(SimDuration(9), Ev::A(0));
+        e.pop();
+        e.emit(|| crate::telemetry::TelemetryEvent::Crash { node: 3 });
+        let rec = e.telemetry.events().next().expect("one event");
+        assert_eq!(rec.at, SimTime(9));
+    }
+
+    #[test]
+    fn sync_drop_metrics_publishes_totals() {
+        let mut e = Engine::<Ev>::new(1);
+        e.trace = Trace::bounded(1);
+        e.trace.log(SimTime(0), || "a".into());
+        e.trace.log(SimTime(0), || "b".into());
+        e.sync_drop_metrics();
+        assert_eq!(e.metrics.counter(keys::TRACE_DROPPED), 1);
+        assert_eq!(e.metrics.counter(keys::TELEMETRY_DROPPED), 0);
     }
 
     #[test]

@@ -21,11 +21,14 @@
 //!   experiment harness to measure availability and staleness.
 //! * [`histogram`] — a log-bucketed histogram with percentile queries.
 //! * [`trace`] — an optional bounded execution trace for debugging.
+//! * [`telemetry`] — typed, causally-joined event stream with online
+//!   probes (propagation lag, read staleness, move stalls).
 
 pub mod engine;
 pub mod histogram;
 pub mod metrics;
 pub mod rng;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -33,5 +36,6 @@ pub use engine::Engine;
 pub use histogram::Histogram;
 pub use metrics::Metrics;
 pub use rng::SimRng;
+pub use telemetry::{CausalId, Telemetry, TelemetryEvent, TelemetryRecord};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

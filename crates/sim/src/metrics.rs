@@ -9,6 +9,227 @@ use std::collections::BTreeMap;
 
 use crate::histogram::Histogram;
 
+pub mod keys {
+    //! Central registry of metric keys.
+    //!
+    //! Every fixed key spelled anywhere in the workspace lives here as a
+    //! `&'static str` constant; call sites reference the constant instead
+    //! of an inline literal, so a typo is a compile error instead of a
+    //! silent zero counter. Dimensioned keys (`msg.<kind>`,
+    //! `frag.<f>.<probe>`, `node.<n>.<probe>`) are validated structurally
+    //! by [`is_registered`].
+
+    /// Events popped from the engine queue.
+    pub const SIM_EVENTS: &str = "sim.events";
+    /// Trace entries evicted by the bounded buffer.
+    pub const TRACE_DROPPED: &str = "trace.dropped";
+    /// Telemetry events evicted by the bounded buffer.
+    pub const TELEMETRY_DROPPED: &str = "telemetry.dropped";
+
+    /// Submissions entering the system.
+    pub const TXN_SUBMITTED: &str = "txn.submitted";
+    /// Update transactions committed at an agent home.
+    pub const TXN_COMMITTED: &str = "txn.committed";
+    /// Read-only transactions finished.
+    pub const TXN_READ_FINISHED: &str = "txn.read_finished";
+    /// Transactions aborted (any reason).
+    pub const TXN_ABORTED: &str = "txn.aborted";
+
+    /// Aborts: program logic (`abort!`).
+    pub const ABORT_LOGIC: &str = "abort.logic";
+    /// Aborts: initiation rule violation (§3.2).
+    pub const ABORT_INITIATION: &str = "abort.initiation";
+    /// Aborts: lock-protocol deadlock (§4.1).
+    pub const ABORT_DEADLOCK: &str = "abort.deadlock";
+    /// Aborts: required node/agent unavailable.
+    pub const ABORT_UNAVAILABLE: &str = "abort.unavailable";
+    /// Aborts: submission from an undeclared class.
+    pub const ABORT_UNDECLARED_CLASS: &str = "abort.undeclared_class";
+    /// Aborts: model violation (malformed program/catalog mismatch).
+    pub const ABORT_MALFORMED: &str = "abort.malformed";
+
+    /// Token moves requested.
+    pub const MOVES_REQUESTED: &str = "moves.requested";
+    /// Token moves deferred (endpoint down / move in progress).
+    pub const MOVES_DEFERRED: &str = "moves.deferred";
+
+    /// Quasi-transactions installed at replicas.
+    pub const INSTALL_COUNT: &str = "install.count";
+    /// Duplicate installs dropped.
+    pub const INSTALL_DUPLICATE: &str = "install.duplicate";
+    /// Out-of-order installs held back.
+    pub const INSTALL_HELDBACK: &str = "install.heldback";
+    /// Installs rejected by catalog validation.
+    pub const INSTALL_REJECTED: &str = "install.rejected";
+
+    /// Packets discarded because the destination node was down.
+    pub const NET_DROPPED_AT_DOWN_NODE: &str = "net.dropped_at_down_node";
+
+    /// Deep payload materializations (one per commit).
+    pub const PAYLOAD_CLONES: &str = "payload.clones";
+    /// Bytes deep-copied in payload materializations.
+    pub const PAYLOAD_CLONE_BYTES: &str = "payload.clone_bytes";
+    /// Arc bumps sharing an already-materialized payload.
+    pub const PAYLOAD_SHARES: &str = "payload.shares";
+    /// Bytes shared by reference instead of copied.
+    pub const PAYLOAD_SHARE_BYTES: &str = "payload.share_bytes";
+
+    /// Node crash events.
+    pub const NODE_CRASH: &str = "node.crash";
+    /// Node recovery events.
+    pub const NODE_RECOVER: &str = "node.recover";
+
+    /// Multi-fragment 2PC transactions started.
+    pub const MF_STARTED: &str = "mf.started";
+    /// Participant no-votes.
+    pub const MF_VOTE_NO: &str = "mf.vote_no";
+    /// 2PC transactions committed.
+    pub const MF_COMMITTED: &str = "mf.committed";
+    /// 2PC transactions aborted by the coordinator.
+    pub const MF_ABORTED: &str = "mf.aborted";
+    /// Participant shares released by an abort.
+    pub const MF_ABORTED_SHARE: &str = "mf.aborted_share";
+
+    /// §4.4.3 missing updates forwarded by peers.
+    pub const NOPREP_FORWARDED: &str = "noprep.forwarded";
+    /// §4.4.3 missing updates repackaged by the new agent.
+    pub const NOPREP_REPACKAGED: &str = "noprep.repackaged";
+
+    /// Log-transform baseline: operations replayed.
+    pub const REPLAY_OPS: &str = "replay.ops";
+
+    /// Submission→commit/read-finish latency (µs).
+    pub const LATENCY_COMMIT: &str = "latency.commit";
+    /// Crash→caught-up latency (µs).
+    pub const LATENCY_RECOVERY: &str = "latency.recovery";
+    /// Commit→install propagation latency (µs), all fragments pooled.
+    pub const LATENCY_PROPAGATION: &str = "latency.propagation";
+    /// Queued-behind-a-move wait (µs).
+    pub const LATENCY_MOVE_WAIT: &str = "latency.move_wait";
+
+    /// Every fixed key, for exhaustive registration checks.
+    pub const ALL: &[&str] = &[
+        SIM_EVENTS,
+        TRACE_DROPPED,
+        TELEMETRY_DROPPED,
+        TXN_SUBMITTED,
+        TXN_COMMITTED,
+        TXN_READ_FINISHED,
+        TXN_ABORTED,
+        ABORT_LOGIC,
+        ABORT_INITIATION,
+        ABORT_DEADLOCK,
+        ABORT_UNAVAILABLE,
+        ABORT_UNDECLARED_CLASS,
+        ABORT_MALFORMED,
+        MOVES_REQUESTED,
+        MOVES_DEFERRED,
+        INSTALL_COUNT,
+        INSTALL_DUPLICATE,
+        INSTALL_HELDBACK,
+        INSTALL_REJECTED,
+        NET_DROPPED_AT_DOWN_NODE,
+        PAYLOAD_CLONES,
+        PAYLOAD_CLONE_BYTES,
+        PAYLOAD_SHARES,
+        PAYLOAD_SHARE_BYTES,
+        NODE_CRASH,
+        NODE_RECOVER,
+        MF_STARTED,
+        MF_VOTE_NO,
+        MF_COMMITTED,
+        MF_ABORTED,
+        MF_ABORTED_SHARE,
+        NOPREP_FORWARDED,
+        NOPREP_REPACKAGED,
+        REPLAY_OPS,
+        LATENCY_COMMIT,
+        LATENCY_RECOVERY,
+        LATENCY_PROPAGATION,
+        LATENCY_MOVE_WAIT,
+    ];
+
+    /// Wire names of the system's message envelopes (the `msg.<kind>`
+    /// dimension).
+    pub const MSG_KINDS: &[&str] = &[
+        "quasi",
+        "lock_req",
+        "lock_grant",
+        "lock_denied",
+        "lock_release",
+        "prepare",
+        "prepare_ack",
+        "commit_cmd",
+        "abort_cmd",
+        "seq_query",
+        "seq_reply",
+        "m0",
+        "forward_missing",
+        "mf_prepare",
+        "mf_vote",
+        "mf_commit",
+        "mf_abort",
+    ];
+
+    /// Probe suffixes of the `frag.<f>.<probe>` dimension.
+    pub const FRAG_PROBES: &[&str] = &["lag", "queue", "move_stall"];
+    /// Probe suffixes of the `node.<n>.<probe>` dimension.
+    pub const NODE_PROBES: &[&str] = &["staleness", "holdback"];
+
+    /// Whether `key` is `<prefix><digits>.<suffix>` for one of `suffixes`
+    /// (the prefix includes its trailing dot, e.g. `"frag."`).
+    pub fn dim_matches(key: &str, prefix: &str, suffixes: &[&str]) -> bool {
+        let Some(rest) = key.strip_prefix(prefix) else {
+            return false;
+        };
+        let Some(dot) = rest.find('.') else {
+            return false;
+        };
+        let (index, suffix) = rest.split_at(dot);
+        !index.is_empty()
+            && index.bytes().all(|b| b.is_ascii_digit())
+            && suffixes.contains(&&suffix[1..])
+    }
+
+    /// Whether `key` is a registered fixed key or matches a registered
+    /// dimensioned pattern.
+    pub fn is_registered(key: &str) -> bool {
+        if ALL.contains(&key) {
+            return true;
+        }
+        if let Some(kind) = key.strip_prefix("msg.") {
+            return MSG_KINDS.contains(&kind);
+        }
+        dim_matches(key, "frag.", FRAG_PROBES) || dim_matches(key, "node.", NODE_PROBES)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fixed_keys_are_registered() {
+            for k in ALL {
+                assert!(is_registered(k), "{k} should be registered");
+            }
+        }
+
+        #[test]
+        fn dimensioned_keys_match_structurally() {
+            assert!(is_registered("msg.quasi"));
+            assert!(is_registered("frag.12.lag"));
+            assert!(is_registered("frag.0.move_stall"));
+            assert!(is_registered("node.7.staleness"));
+            assert!(!is_registered("msg.bogus"));
+            assert!(!is_registered("frag.12.bogus"));
+            assert!(!is_registered("frag.x.lag"));
+            assert!(!is_registered("frag..lag"));
+            assert!(!is_registered("node.7.lag"));
+            assert!(!is_registered("latency.typo"));
+        }
+    }
+}
+
 /// Counter / histogram registry for one simulation run.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -37,9 +258,40 @@ impl Metrics {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
+    /// Set counter `key` to an absolute `value` (gauge semantics) — used to
+    /// publish buffer drop counts, which are totals rather than deltas.
+    pub fn set(&mut self, key: impl Into<Cow<'static, str>>, value: u64) {
+        *self.counters.entry(key.into()).or_insert(0) = value;
+    }
+
+    /// Add `delta` to counter `key` without taking ownership of the key:
+    /// allocates an owned copy only on the counter's *first* update, so a
+    /// hot path using an interned key (see `telemetry::DimKeys`) is
+    /// allocation-free in steady state.
+    pub fn add_named(&mut self, key: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += delta;
+        } else {
+            self.counters.insert(Cow::Owned(key.to_owned()), delta);
+        }
+    }
+
     /// Record `value` in histogram `key`.
     pub fn observe(&mut self, key: impl Into<Cow<'static, str>>, value: u64) {
         self.histograms.entry(key.into()).or_default().record(value);
+    }
+
+    /// Record `value` in histogram `key` without taking ownership of the
+    /// key; allocates only on the histogram's first observation (see
+    /// [`Metrics::add_named`]).
+    pub fn observe_named(&mut self, key: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default();
+            h.record(value);
+            self.histograms.insert(Cow::Owned(key.to_owned()), h);
+        }
     }
 
     /// Read histogram `key`, if it exists.
@@ -73,6 +325,39 @@ impl Metrics {
     pub fn reset(&mut self) {
         self.counters.clear();
         self.histograms.clear();
+    }
+
+    /// Render a human-readable report: counters, then histogram summaries,
+    /// in key order. Leads with a WARNING when [`keys::TRACE_DROPPED`] or
+    /// [`keys::TELEMETRY_DROPPED`] is nonzero, so a truncated trace cannot
+    /// silently masquerade as a complete run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (key, label) in [
+            (keys::TRACE_DROPPED, "trace entries"),
+            (keys::TELEMETRY_DROPPED, "telemetry events"),
+        ] {
+            let n = self.counter(key);
+            if n > 0 {
+                out.push_str(&format!(
+                    "WARNING: {n} {label} dropped ({key} > 0); the log is incomplete\n"
+                ));
+            }
+        }
+        for (k, v) in self.counters() {
+            out.push_str(&format!("{k} = {v}\n"));
+        }
+        for (k, h) in self.histograms() {
+            out.push_str(&format!(
+                "{k}: n={} min={} mean={:.1} p99={} max={}\n",
+                h.count(),
+                h.min().unwrap_or(0),
+                h.mean().unwrap_or(0.0),
+                h.percentile(99.0).unwrap_or(0),
+                h.max().unwrap_or(0),
+            ));
+        }
+        out
     }
 }
 
@@ -136,6 +421,42 @@ mod tests {
         assert_eq!(a.counter("x"), 5);
         assert_eq!(a.counter("y"), 1);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn named_variants_accumulate_like_owned() {
+        let mut m = Metrics::new();
+        m.add_named("node.1.x", 2);
+        m.add_named("node.1.x", 3);
+        m.incr("node.1.x");
+        assert_eq!(m.counter("node.1.x"), 6);
+        m.observe_named("h", 5);
+        m.observe_named("h", 7);
+        assert_eq!(m.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn set_is_absolute() {
+        let mut m = Metrics::new();
+        m.set("g", 5);
+        m.set("g", 3);
+        assert_eq!(m.counter("g"), 3);
+    }
+
+    #[test]
+    fn render_warns_on_dropped_trace() {
+        let mut m = Metrics::new();
+        m.incr("txn.committed");
+        m.observe("lat", 10);
+        let clean = m.render();
+        assert!(!clean.contains("WARNING"));
+        assert!(clean.contains("txn.committed = 1"));
+        assert!(clean.contains("lat: n=1"));
+        m.set(keys::TRACE_DROPPED, 7);
+        let report = m.render();
+        assert!(report.starts_with("WARNING: 7 trace entries dropped"));
+        m.set(keys::TELEMETRY_DROPPED, 2);
+        assert!(m.render().contains("2 telemetry events dropped"));
     }
 
     #[test]

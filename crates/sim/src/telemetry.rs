@@ -1,0 +1,791 @@
+//! Structured event telemetry.
+//!
+//! Where [`crate::trace::Trace`] records free-form strings, this module
+//! records **typed** events carrying virtual time, node/fragment ids, and a
+//! causal id — the originating quasi-transaction's `(fragment, epoch,
+//! frag_seq)` — so a commit at the agent can be joined to its install at
+//! every replica, a move request to the token's arrival, and a crash to the
+//! completion of catch-up.
+//!
+//! Layering: this crate sits below the model crate, so events carry *raw*
+//! ids (`u32` node/fragment, `u64` epoch/sequence). The system layer
+//! converts its typed ids at the emission site.
+//!
+//! Discipline mirrors `Trace`:
+//!
+//! * disabled by default; emission sites construct events inside closures so
+//!   a disabled stream is a single branch — zero allocation on hot paths;
+//! * the buffer is bounded; overflow evicts oldest-first and counts drops;
+//! * everything is deterministic: the event log for a seeded run is
+//!   byte-for-byte reproducible.
+//!
+//! On top of the raw stream, [`Probes`] derives online measurements and
+//! publishes them as dimensioned [`Metrics`] keys (`frag.<f>.lag`,
+//! `node.<n>.staleness`, …) through an interning cache so steady-state
+//! observation allocates nothing.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::metrics::Metrics;
+use crate::time::SimTime;
+
+/// Causal identity of a quasi-transaction: the fragment it updates, the
+/// token epoch it was issued under, and its position in the fragment's
+/// update sequence. Every event downstream of a commit (broadcast, install,
+/// forward, repackage) carries the same id, which is what makes the
+/// commit→install join well-defined even across §4.4.3 repackaging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CausalId {
+    /// Fragment whose update sequence this transaction extends.
+    pub fragment: u32,
+    /// Token epoch under which the sequence number was issued.
+    pub epoch: u64,
+    /// Position in the fragment's update sequence.
+    pub frag_seq: u64,
+}
+
+/// One structured telemetry event.
+///
+/// Variants cover the transaction lifecycle, token movement, the network,
+/// and crash recovery. The set is deliberately open-ended: renderers must
+/// treat unknown variants as opaque (match with a wildcard arm).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// A submission entered the system at its initiating node.
+    Initiated {
+        /// Initiating node.
+        node: u32,
+        /// Fragment the transaction runs against.
+        fragment: u32,
+    },
+    /// A quasi-transaction committed at the fragment's agent home.
+    Committed {
+        /// Causal id of the committed quasi-transaction.
+        cause: CausalId,
+        /// Agent home where the commit happened.
+        node: u32,
+    },
+    /// The committed quasi-transaction was broadcast to replicas.
+    BroadcastSent {
+        /// Causal id of the broadcast quasi-transaction.
+        cause: CausalId,
+        /// Broadcasting node (the agent home).
+        node: u32,
+        /// Number of recipients addressed.
+        recipients: u32,
+    },
+    /// A quasi-transaction was installed at a replica (the commit at the
+    /// agent home counts as that node's install, so fault-free each commit
+    /// joins to exactly R installs, R = replica count).
+    Installed {
+        /// Causal id of the installed quasi-transaction.
+        cause: CausalId,
+        /// Node the install happened at.
+        node: u32,
+    },
+    /// A transaction aborted.
+    Aborted {
+        /// Node at which the abort was decided.
+        node: u32,
+        /// Fragment of the aborted transaction.
+        fragment: u32,
+        /// Abort reason, matching the `abort.*` metric suffixes.
+        reason: &'static str,
+    },
+    /// A read ran at a node; records how far behind the agent it was.
+    ReadObserved {
+        /// Node that served the read.
+        node: u32,
+        /// Fragment read.
+        fragment: u32,
+        /// Highest update sequence installed at the reading node.
+        seen_seq: u64,
+        /// Agent's current update sequence (what a fresh read would see).
+        agent_seq: u64,
+    },
+    /// An out-of-order quasi-transaction was held back at a replica.
+    HeldBack {
+        /// Node holding the update back.
+        node: u32,
+        /// Fragment concerned.
+        fragment: u32,
+        /// Hold-back buffer depth after insertion.
+        depth: u64,
+    },
+    /// A submission queued behind a move / majority commit / 2PC.
+    SubmissionQueued {
+        /// Fragment whose queue grew.
+        fragment: u32,
+        /// Queue depth after insertion.
+        depth: u64,
+    },
+    /// A token (agent) move was requested.
+    MoveRequested {
+        /// Fragment whose token moves.
+        fragment: u32,
+        /// Current agent home.
+        from: u32,
+        /// Destination node.
+        to: u32,
+    },
+    /// The token finished moving: the destination is now the agent.
+    TokenArrived {
+        /// Fragment whose token arrived.
+        fragment: u32,
+        /// New agent home.
+        node: u32,
+    },
+    /// A move was deferred or abandoned (endpoint down, move in progress).
+    MoveAborted {
+        /// Fragment whose move did not start.
+        fragment: u32,
+        /// Agent home at the time of the request.
+        from: u32,
+        /// Requested destination.
+        to: u32,
+    },
+    /// The link layer dropped transmissions (fault injection or the
+    /// destination node being down).
+    Dropped {
+        /// Sender.
+        from: u32,
+        /// Intended receiver.
+        to: u32,
+        /// Number of transmissions lost in this batch.
+        count: u64,
+    },
+    /// The reliable layer retransmitted unacked packets.
+    Retransmit {
+        /// Sender.
+        from: u32,
+        /// Receiver.
+        to: u32,
+        /// Number of retransmissions in this batch.
+        count: u64,
+    },
+    /// An application message was released in order to its destination.
+    Delivered {
+        /// Sender.
+        from: u32,
+        /// Receiver.
+        to: u32,
+        /// Message kind (the envelope's wire name).
+        kind: &'static str,
+    },
+    /// A node crashed (volatile state lost; WAL survives).
+    Crash {
+        /// Crashed node.
+        node: u32,
+    },
+    /// A node recovered: the WAL was replayed into the store.
+    Recover {
+        /// Recovered node.
+        node: u32,
+        /// Fragments found divergent from the agents at recovery time.
+        behind_fragments: u64,
+    },
+    /// A recovered node finished catching up on every divergent fragment.
+    CatchupComplete {
+        /// Node whose catch-up completed.
+        node: u32,
+    },
+}
+
+impl TelemetryEvent {
+    /// The variant's stable wire name, used by the JSON-lines export and
+    /// the timeline renderer.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Initiated { .. } => "initiated",
+            TelemetryEvent::Committed { .. } => "committed",
+            TelemetryEvent::BroadcastSent { .. } => "broadcast_sent",
+            TelemetryEvent::Installed { .. } => "installed",
+            TelemetryEvent::Aborted { .. } => "aborted",
+            TelemetryEvent::ReadObserved { .. } => "read_observed",
+            TelemetryEvent::HeldBack { .. } => "held_back",
+            TelemetryEvent::SubmissionQueued { .. } => "submission_queued",
+            TelemetryEvent::MoveRequested { .. } => "move_requested",
+            TelemetryEvent::TokenArrived { .. } => "token_arrived",
+            TelemetryEvent::MoveAborted { .. } => "move_aborted",
+            TelemetryEvent::Dropped { .. } => "dropped",
+            TelemetryEvent::Retransmit { .. } => "retransmit",
+            TelemetryEvent::Delivered { .. } => "delivered",
+            TelemetryEvent::Crash { .. } => "crash",
+            TelemetryEvent::Recover { .. } => "recover",
+            TelemetryEvent::CatchupComplete { .. } => "catchup_complete",
+        }
+    }
+}
+
+/// A timestamped telemetry event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// Virtual time of emission.
+    pub at: SimTime,
+    /// The event.
+    pub event: TelemetryEvent,
+}
+
+fn push_field(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    // All emitted strings are static identifiers; escape defensively anyway.
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_cause(out: &mut String, cause: &CausalId) {
+    push_field(out, "fragment", u64::from(cause.fragment));
+    push_field(out, "epoch", cause.epoch);
+    push_field(out, "frag_seq", cause.frag_seq);
+}
+
+impl TelemetryRecord {
+    /// Hand-rolled JSON-lines encoding (no serde in this offline build).
+    ///
+    /// One flat object per line: `at_micros`, `event`, then the variant's
+    /// fields. Causal ids flatten to `fragment`/`epoch`/`frag_seq`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"at_micros\":");
+        out.push_str(&self.at.micros().to_string());
+        out.push_str(",\"event\":\"");
+        out.push_str(self.event.name());
+        out.push('"');
+        match &self.event {
+            TelemetryEvent::Initiated { node, fragment } => {
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "fragment", u64::from(*fragment));
+            }
+            TelemetryEvent::Committed { cause, node } => {
+                push_cause(&mut out, cause);
+                push_field(&mut out, "node", u64::from(*node));
+            }
+            TelemetryEvent::BroadcastSent {
+                cause,
+                node,
+                recipients,
+            } => {
+                push_cause(&mut out, cause);
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "recipients", u64::from(*recipients));
+            }
+            TelemetryEvent::Installed { cause, node } => {
+                push_cause(&mut out, cause);
+                push_field(&mut out, "node", u64::from(*node));
+            }
+            TelemetryEvent::Aborted {
+                node,
+                fragment,
+                reason,
+            } => {
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_str_field(&mut out, "reason", reason);
+            }
+            TelemetryEvent::ReadObserved {
+                node,
+                fragment,
+                seen_seq,
+                agent_seq,
+            } => {
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "seen_seq", *seen_seq);
+                push_field(&mut out, "agent_seq", *agent_seq);
+            }
+            TelemetryEvent::HeldBack {
+                node,
+                fragment,
+                depth,
+            } => {
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "depth", *depth);
+            }
+            TelemetryEvent::SubmissionQueued { fragment, depth } => {
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "depth", *depth);
+            }
+            TelemetryEvent::MoveRequested { fragment, from, to }
+            | TelemetryEvent::MoveAborted { fragment, from, to } => {
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "from", u64::from(*from));
+                push_field(&mut out, "to", u64::from(*to));
+            }
+            TelemetryEvent::TokenArrived { fragment, node } => {
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "node", u64::from(*node));
+            }
+            TelemetryEvent::Dropped { from, to, count }
+            | TelemetryEvent::Retransmit { from, to, count } => {
+                push_field(&mut out, "from", u64::from(*from));
+                push_field(&mut out, "to", u64::from(*to));
+                push_field(&mut out, "count", *count);
+            }
+            TelemetryEvent::Delivered { from, to, kind } => {
+                push_field(&mut out, "from", u64::from(*from));
+                push_field(&mut out, "to", u64::from(*to));
+                push_str_field(&mut out, "kind", kind);
+            }
+            TelemetryEvent::Crash { node } | TelemetryEvent::CatchupComplete { node } => {
+                push_field(&mut out, "node", u64::from(*node));
+            }
+            TelemetryEvent::Recover {
+                node,
+                behind_fragments,
+            } => {
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "behind_fragments", *behind_fragments);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Interning cache for dimensioned metric keys (`frag.3.lag`,
+/// `node.7.staleness`, …). The first observation of a `(prefix, index,
+/// suffix)` triple formats and stores the key; every later observation
+/// reuses the stored `String`, so steady-state emission performs no
+/// formatting and no allocation.
+#[derive(Debug, Default)]
+pub struct DimKeys {
+    cache: BTreeMap<(&'static str, u32, &'static str), String>,
+    interned: u64,
+}
+
+impl DimKeys {
+    /// Empty cache.
+    pub fn new() -> Self {
+        DimKeys::default()
+    }
+
+    /// The interned key for `<prefix>.<index>.<suffix>`, formatting it only
+    /// on first use.
+    pub fn key(&mut self, prefix: &'static str, index: u32, suffix: &'static str) -> &str {
+        let interned = &mut self.interned;
+        self.cache
+            .entry((prefix, index, suffix))
+            .or_insert_with(|| {
+                *interned += 1;
+                format!("{prefix}.{index}.{suffix}")
+            })
+    }
+
+    /// How many distinct keys have been formatted so far. Tests pin this to
+    /// assert steady-state observation allocates no new keys.
+    pub fn interned(&self) -> u64 {
+        self.interned
+    }
+}
+
+/// Online probe state derived from the event stream.
+///
+/// Probes publish into [`Metrics`] under dimensioned keys:
+///
+/// * `frag.<f>.lag` — histogram of commit→install propagation lag (µs),
+///   one observation per *remote* install (the paper's mutual-consistency
+///   window, §4.3 discussion).
+/// * `node.<n>.staleness` — histogram of `agent_seq − seen_seq` at each
+///   read served by node `n` (how many updates behind the agent the read
+///   ran, §4.1 vs §4.3 freshness).
+/// * `node.<n>.holdback` — histogram of hold-back buffer depth at each
+///   out-of-order arrival.
+/// * `frag.<f>.queue` — histogram of submission queue depth behind a
+///   move/majority-commit/2PC.
+/// * `frag.<f>.move_stall` — histogram of token-movement stall time (µs),
+///   `MoveRequested`→`TokenArrived` (§5 unavailability window).
+#[derive(Debug, Default)]
+pub struct Probes {
+    keys: DimKeys,
+    commit_at: BTreeMap<CausalId, SimTime>,
+    move_started: BTreeMap<u32, SimTime>,
+}
+
+impl Probes {
+    fn update(&mut self, at: SimTime, ev: &TelemetryEvent, metrics: &mut Metrics) {
+        match ev {
+            TelemetryEvent::Committed { cause, .. } => {
+                self.commit_at.insert(*cause, at);
+            }
+            TelemetryEvent::Installed { cause, node: _ } => {
+                if let Some(&t0) = self.commit_at.get(cause) {
+                    // The agent home's own install records a zero lag, so
+                    // the fault-free distribution is visibly zero rather
+                    // than silently absent; remote installs measure the
+                    // mutual-consistency window.
+                    let lag = at.micros().saturating_sub(t0.micros());
+                    let key = self.keys.key("frag", cause.fragment, "lag");
+                    metrics.observe_named(key, lag);
+                }
+            }
+            TelemetryEvent::ReadObserved {
+                node,
+                seen_seq,
+                agent_seq,
+                ..
+            } => {
+                let staleness = agent_seq.saturating_sub(*seen_seq);
+                let key = self.keys.key("node", *node, "staleness");
+                metrics.observe_named(key, staleness);
+            }
+            TelemetryEvent::HeldBack { node, depth, .. } => {
+                let key = self.keys.key("node", *node, "holdback");
+                metrics.observe_named(key, *depth);
+            }
+            TelemetryEvent::SubmissionQueued { fragment, depth } => {
+                let key = self.keys.key("frag", *fragment, "queue");
+                metrics.observe_named(key, *depth);
+            }
+            TelemetryEvent::MoveRequested { fragment, .. } => {
+                self.move_started.entry(*fragment).or_insert(at);
+            }
+            TelemetryEvent::TokenArrived { fragment, .. } => {
+                if let Some(t0) = self.move_started.remove(fragment) {
+                    let stall = at.micros().saturating_sub(t0.micros());
+                    let key = self.keys.key("frag", *fragment, "move_stall");
+                    metrics.observe_named(key, stall);
+                }
+            }
+            TelemetryEvent::MoveAborted { fragment, .. } => {
+                // A deferred move never started a stall window.
+                self.move_started.remove(fragment);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of distinct dimensioned keys formatted so far.
+    pub fn interned_keys(&self) -> u64 {
+        self.keys.interned()
+    }
+}
+
+/// Bounded, optionally-disabled structured event stream with online probes.
+///
+/// Mirrors [`crate::trace::Trace`]: disabled by default, closure-deferred
+/// emission (see `Engine::emit`), bounded buffer with a drop counter.
+#[derive(Debug)]
+pub struct Telemetry {
+    enabled: bool,
+    cap: usize,
+    dropped: u64,
+    events: VecDeque<TelemetryRecord>,
+    probes: Probes,
+}
+
+impl Telemetry {
+    /// A stream that records nothing (the default for production runs).
+    pub fn disabled() -> Self {
+        Telemetry {
+            enabled: false,
+            cap: 0,
+            dropped: 0,
+            events: VecDeque::new(),
+            probes: Probes::default(),
+        }
+    }
+
+    /// A stream that keeps at most `cap` most-recent events. Probes are
+    /// updated on every event regardless of eviction, so derived metrics
+    /// stay exact even when the raw buffer wraps.
+    pub fn bounded(cap: usize) -> Self {
+        Telemetry {
+            enabled: true,
+            cap: cap.max(1),
+            dropped: 0,
+            events: VecDeque::new(),
+            probes: Probes::default(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event: update probes, then buffer (evicting oldest-first
+    /// past the cap). No-op when disabled — but callers should gate on
+    /// [`Telemetry::is_enabled`] *before* constructing the event so hot
+    /// paths pay a single branch (see `Engine::emit`).
+    pub fn record(&mut self, at: SimTime, event: TelemetryEvent, metrics: &mut Metrics) {
+        if !self.enabled {
+            return;
+        }
+        self.probes.update(at, &event, metrics);
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TelemetryRecord { at, event });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TelemetryRecord> {
+        self.events.iter()
+    }
+
+    /// How many events were evicted due to the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Probe state (for key-interning assertions).
+    pub fn probes(&self) -> &Probes {
+        &self.probes
+    }
+
+    /// Render the retained events as JSON lines, newest last, preceded by a
+    /// drop-marker comment line when the buffer wrapped. The marker uses
+    /// `#` so a JSONL consumer can skip it unambiguously.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("# {} earlier events dropped\n", self.dropped));
+        }
+        for r in &self.events {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cause(f: u32, seq: u64) -> CausalId {
+        CausalId {
+            fragment: f,
+            epoch: 0,
+            frag_seq: seq,
+        }
+    }
+
+    #[test]
+    fn disabled_stream_records_nothing() {
+        let mut t = Telemetry::disabled();
+        let mut m = Metrics::new();
+        t.record(SimTime(1), TelemetryEvent::Crash { node: 0 }, &mut m);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(m.counters().count(), 0);
+    }
+
+    #[test]
+    fn bounded_stream_evicts_oldest_and_counts_drops() {
+        let mut t = Telemetry::bounded(2);
+        let mut m = Metrics::new();
+        for n in 0..4 {
+            t.record(SimTime(n), TelemetryEvent::Crash { node: n as u32 }, &mut m);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 2);
+        let nodes: Vec<u32> = t
+            .events()
+            .map(|r| match r.event {
+                TelemetryEvent::Crash { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![2, 3]);
+        assert!(t.render_jsonl().starts_with("# 2 earlier events dropped\n"));
+    }
+
+    #[test]
+    fn lag_probe_joins_commit_to_install() {
+        let mut t = Telemetry::bounded(16);
+        let mut m = Metrics::new();
+        let c = cause(3, 7);
+        t.record(
+            SimTime::from_millis(10),
+            TelemetryEvent::Committed { cause: c, node: 0 },
+            &mut m,
+        );
+        t.record(
+            SimTime::from_millis(10),
+            TelemetryEvent::Installed { cause: c, node: 0 },
+            &mut m,
+        );
+        t.record(
+            SimTime::from_millis(35),
+            TelemetryEvent::Installed { cause: c, node: 1 },
+            &mut m,
+        );
+        let h = m.histogram("frag.3.lag").expect("lag histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(25_000));
+    }
+
+    #[test]
+    fn staleness_probe_is_per_node() {
+        let mut t = Telemetry::bounded(16);
+        let mut m = Metrics::new();
+        t.record(
+            SimTime(1),
+            TelemetryEvent::ReadObserved {
+                node: 2,
+                fragment: 0,
+                seen_seq: 5,
+                agent_seq: 9,
+            },
+            &mut m,
+        );
+        let h = m
+            .histogram("node.2.staleness")
+            .expect("staleness histogram");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(4));
+    }
+
+    #[test]
+    fn move_stall_probe_spans_request_to_arrival() {
+        let mut t = Telemetry::bounded(16);
+        let mut m = Metrics::new();
+        t.record(
+            SimTime::from_secs(1),
+            TelemetryEvent::MoveRequested {
+                fragment: 1,
+                from: 0,
+                to: 2,
+            },
+            &mut m,
+        );
+        t.record(
+            SimTime::from_secs(4),
+            TelemetryEvent::TokenArrived {
+                fragment: 1,
+                node: 2,
+            },
+            &mut m,
+        );
+        let h = m.histogram("frag.1.move_stall").expect("stall histogram");
+        assert_eq!(h.max(), Some(3_000_000));
+        // A second arrival with no open request records nothing.
+        t.record(
+            SimTime::from_secs(5),
+            TelemetryEvent::TokenArrived {
+                fragment: 1,
+                node: 0,
+            },
+            &mut m,
+        );
+        assert_eq!(m.histogram("frag.1.move_stall").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn dim_keys_intern_once() {
+        let mut k = DimKeys::new();
+        assert_eq!(k.key("frag", 3, "lag"), "frag.3.lag");
+        assert_eq!(k.key("frag", 3, "lag"), "frag.3.lag");
+        assert_eq!(k.key("node", 3, "lag"), "node.3.lag");
+        assert_eq!(k.interned(), 2);
+    }
+
+    #[test]
+    fn steady_state_observation_interns_no_new_keys() {
+        let mut t = Telemetry::bounded(64);
+        let mut m = Metrics::new();
+        let warm = |t: &mut Telemetry, m: &mut Metrics, at: u64| {
+            t.record(
+                SimTime(at),
+                TelemetryEvent::ReadObserved {
+                    node: 1,
+                    fragment: 0,
+                    seen_seq: 0,
+                    agent_seq: 1,
+                },
+                m,
+            );
+        };
+        warm(&mut t, &mut m, 1);
+        let after_first = t.probes().interned_keys();
+        for i in 2..50 {
+            warm(&mut t, &mut m, i);
+        }
+        assert_eq!(t.probes().interned_keys(), after_first);
+        assert_eq!(m.histogram("node.1.staleness").unwrap().count(), 49);
+    }
+
+    #[test]
+    fn json_lines_are_flat_and_escaped() {
+        let r = TelemetryRecord {
+            at: SimTime::from_millis(5),
+            event: TelemetryEvent::Delivered {
+                from: 1,
+                to: 2,
+                kind: "quasi",
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":5000,\"event\":\"delivered\",\"from\":1,\"to\":2,\"kind\":\"quasi\"}"
+        );
+        let r = TelemetryRecord {
+            at: SimTime(0),
+            event: TelemetryEvent::Committed {
+                cause: cause(2, 11),
+                node: 4,
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":0,\"event\":\"committed\",\"fragment\":2,\"epoch\":0,\"frag_seq\":11,\"node\":4}"
+        );
+    }
+
+    #[test]
+    fn probes_survive_buffer_eviction() {
+        // Cap of 1: every event is evicted immediately, yet derived metrics
+        // keep counting.
+        let mut t = Telemetry::bounded(1);
+        let mut m = Metrics::new();
+        let c = cause(0, 0);
+        t.record(
+            SimTime(0),
+            TelemetryEvent::Committed { cause: c, node: 0 },
+            &mut m,
+        );
+        t.record(
+            SimTime(9),
+            TelemetryEvent::Installed { cause: c, node: 1 },
+            &mut m,
+        );
+        assert_eq!(m.histogram("frag.0.lag").unwrap().count(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+}
