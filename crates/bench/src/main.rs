@@ -1,13 +1,19 @@
-//! `fragdb-bench` — the PR 3 performance-trajectory runner.
+//! `fragdb-bench` — the performance-trajectory runner.
 //!
-//! Reproduces the before/after numbers for the three optimizations of
-//! the performance pass, at 4/16/64 nodes, and writes them to a
-//! machine-readable `BENCH_pr3.json`:
+//! Reproduces the before/after numbers for the performance passes, at
+//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr5.json`:
 //!
 //! * **payload broadcast** — a commit's payload is materialized once
 //!   (`payload.clones`) and every downstream copy is an `Arc` bump
 //!   (`payload.shares`). The "before" numbers model the old behaviour,
-//!   where every share site performed a deep copy.
+//!   where every share site performed a deep copy. The wall-clock column
+//!   also tracks the route-cache fix: transmissions no longer run a
+//!   Dijkstra each, which is what made the 64-node row superlinear in
+//!   `BENCH_pr3.json`.
+//! * **broadcast batching** — bursty same-instant commits with group
+//!   commit off versus a window of 8: data transmissions, standalone
+//!   acks, timing-wheel operations, and wall-clock, plus the combined
+//!   messages+acks reduction factor.
 //! * **WAL index** — `fragment_range` / `last_writer_of` answered from
 //!   the per-fragment seq index and last-writer map, versus the retained
 //!   `*_scan` oracles that walk the whole log.
@@ -26,7 +32,7 @@
 
 use std::fmt::Write as _;
 
-use fragdb_core::{Notification, Submission, System, SystemConfig};
+use fragdb_core::{BatchConfig, Notification, Submission, System, SystemConfig};
 use fragdb_graphs::IncrementalAnalyzer;
 use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, TxnId, Updates, Value};
 use fragdb_net::Topology;
@@ -41,6 +47,8 @@ const NODE_COUNTS: [u32; 3] = [4, 16, 64];
 struct Scale {
     mode: &'static str,
     commits: u64,
+    bursts: u64,
+    burst_size: u64,
     wal_records_per_node: usize,
     wal_queries: usize,
     sweep_horizon: u64,
@@ -52,6 +60,8 @@ struct Scale {
 const FULL: Scale = Scale {
     mode: "full",
     commits: 32,
+    bursts: 16,
+    burst_size: 8,
     wal_records_per_node: 1_500,
     wal_queries: 200,
     sweep_horizon: 20,
@@ -63,6 +73,8 @@ const FULL: Scale = Scale {
 const QUICK: Scale = Scale {
     mode: "quick",
     commits: 8,
+    bursts: 4,
+    burst_size: 8,
     wal_records_per_node: 150,
     wal_queries: 40,
     sweep_horizon: 12,
@@ -73,7 +85,7 @@ const QUICK: Scale = Scale {
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr3.json");
+    let mut out = String::from("BENCH_pr5.json");
     let mut validate: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -117,7 +129,7 @@ fn main() {
 fn generate(scale: &Scale) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"fragdb-bench-pr3/v1\",\n");
+    j.push_str("  \"schema\": \"fragdb-bench-pr5/v1\",\n");
     let _ = writeln!(j, "  \"mode\": \"{}\",", scale.mode);
     let _ = writeln!(j, "  \"seed\": {SEED},");
     j.push_str("  \"node_counts\": [4, 16, 64],\n");
@@ -125,6 +137,17 @@ fn generate(scale: &Scale) -> String {
     j.push_str("  \"payload_broadcast\": [\n");
     for (i, &n) in NODE_COUNTS.iter().enumerate() {
         let row = bench_payload(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < NODE_COUNTS.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"broadcast_batching\": [\n");
+    for (i, &n) in NODE_COUNTS.iter().enumerate() {
+        let row = bench_batching(n, scale);
         let _ = writeln!(
             j,
             "    {row}{}",
@@ -225,6 +248,94 @@ fn bench_payload(n: u32, scale: &Scale) -> String {
         clones + shares,
         clone_bytes + share_bytes,
         fmt_secs(wall),
+    )
+}
+
+/// One fragment homed at node 0 on an `n`-node full mesh; `bursts`
+/// groups of `burst_size` simultaneous commits (the shape group commit
+/// exists for), run to quiescence under the given batching config.
+fn bursty_run(n: u32, scale: &Scale, batch: BatchConfig) -> System {
+    let mut b = FragmentCatalog::builder();
+    let (frag, objs) = b.add_fragment("F0", 4);
+    let mut sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        b.build(),
+        vec![(frag, AgentId::Node(NodeId(0)), NodeId(0))],
+        SystemConfig::unrestricted(SEED).with_batching(batch),
+    )
+    .expect("valid system");
+    for burst in 0..scale.bursts {
+        for k in 0..scale.burst_size {
+            let obj = objs[(k % objs.len() as u64) as usize];
+            sys.submit_at(
+                SimTime::from_secs(1 + burst),
+                Submission::update(
+                    frag,
+                    Box::new(move |ctx| {
+                        let v = ctx.read_int(obj, 0);
+                        ctx.write(obj, v + 1)?;
+                        Ok(())
+                    }),
+                ),
+            );
+        }
+    }
+    let limit = SimTime::from_secs(scale.bursts + 120);
+    let mut committed = 0u64;
+    while let Some((_, notes)) = sys.step_until(limit) {
+        for note in notes {
+            if matches!(note, Notification::Committed { .. }) {
+                committed += 1;
+            }
+        }
+    }
+    assert_eq!(
+        committed,
+        scale.bursts * scale.burst_size,
+        "bursty workload must fully commit"
+    );
+    assert!(
+        sys.divergent_fragments().is_empty(),
+        "bursty workload must quiesce consistent"
+    );
+    sys
+}
+
+fn bench_batching(n: u32, scale: &Scale) -> String {
+    let commits = scale.bursts * scale.burst_size;
+    let count = |sys: &System| {
+        let stats = sys.net_stats();
+        let timer_ops = sys.engine.metrics.counter("net.timer.wheel_ops");
+        (stats.transmissions, stats.acks_sent, timer_ops)
+    };
+    let off = bursty_run(n, scale, BatchConfig::off());
+    let on = bursty_run(n, scale, BatchConfig::window(scale.burst_size as usize));
+    let (msg_off, ack_off, timer_off) = count(&off);
+    let (msg_on, ack_on, timer_on) = count(&on);
+    let reduction = (msg_off + ack_off) as f64 / (msg_on + ack_on).max(1) as f64;
+    assert!(
+        reduction >= 5.0,
+        "group commit must cut messages+acks at least 5x on the bursty \
+         workload at {n} nodes (got {reduction:.2})"
+    );
+    let wall_off = criterion::median_secs(scale.samples, || {
+        criterion::black_box(bursty_run(n, scale, BatchConfig::off()));
+    });
+    let wall_on = criterion::median_secs(scale.samples, || {
+        criterion::black_box(bursty_run(
+            n,
+            scale,
+            BatchConfig::window(scale.burst_size as usize),
+        ));
+    });
+    format!(
+        "{{ \"nodes\": {n}, \"commits\": {commits}, \"messages_off\": {msg_off}, \
+         \"messages_on\": {msg_on}, \"acks_off\": {ack_off}, \"acks_on\": {ack_on}, \
+         \"timer_ops_off\": {timer_off}, \"timer_ops_on\": {timer_on}, \
+         \"wall_off_secs\": {}, \"wall_on_secs\": {}, \"reduction\": {} }}",
+        fmt_secs(wall_off),
+        fmt_secs(wall_on),
+        fmt_ratio(reduction),
     )
 }
 
@@ -414,31 +525,54 @@ fn fmt_ratio(r: f64) -> String {
 
 // ---- validation ----------------------------------------------------------
 
-/// Schema check for a `BENCH_pr3.json`: required keys, each section has
+/// Schema check for a bench report: required keys, each section has
 /// one entry per node count in strictly increasing order, and the
-/// deterministic counters are nonzero. Hand-rolled because no JSON
-/// parser is available in this build environment; the emitter above is
-/// the only producer, so the format is fully under our control.
+/// deterministic counters are nonzero. Accepts both the PR 3 schema
+/// (three sections) and the PR 5 schema (which adds
+/// `broadcast_batching`). Hand-rolled because no JSON parser is
+/// available in this build environment; the emitter above is the only
+/// producer, so the format is fully under our control.
 fn validate_report(text: &str) -> Result<String, String> {
-    for key in [
-        "\"schema\": \"fragdb-bench-pr3/v1\"",
-        "\"mode\":",
-        "\"seed\": 42",
-        "\"node_counts\": [4, 16, 64]",
-    ] {
+    let pr5 = text.contains("\"schema\": \"fragdb-bench-pr5/v1\"");
+    let pr3 = text.contains("\"schema\": \"fragdb-bench-pr3/v1\"");
+    if !pr5 && !pr3 {
+        return Err(
+            "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1 or -pr5/v1)".into(),
+        );
+    }
+    for key in ["\"mode\":", "\"seed\": 42", "\"node_counts\": [4, 16, 64]"] {
         if !text.contains(key) {
             return Err(format!("missing {key}"));
         }
     }
-    let mut summary = String::new();
-    for (section, nonzero_fields) in [
+    let mut sections = vec![
         (
             "payload_broadcast",
             &["events", "messages", "clones_after", "shares"][..],
         ),
         ("wal_index", &["records", "queries"][..]),
         ("checker", &["ops", "queries", "edge_insertions"][..]),
-    ] {
+    ];
+    if pr5 {
+        sections.insert(
+            1,
+            (
+                "broadcast_batching",
+                &[
+                    "commits",
+                    "messages_off",
+                    "messages_on",
+                    "acks_off",
+                    "acks_on",
+                    "timer_ops_off",
+                    "timer_ops_on",
+                    "reduction",
+                ][..],
+            ),
+        );
+    }
+    let mut summary = String::new();
+    for (section, nonzero_fields) in sections {
         let body =
             section_body(text, section).ok_or_else(|| format!("missing section \"{section}\""))?;
         let nodes = number_fields(body, "nodes")?;
@@ -467,7 +601,14 @@ fn validate_report(text: &str) -> Result<String, String> {
                 ));
             }
         }
-        for field in ["speedup", "wall_secs", "scan_secs", "batch_secs"] {
+        for field in [
+            "speedup",
+            "wall_secs",
+            "scan_secs",
+            "batch_secs",
+            "wall_off_secs",
+            "wall_on_secs",
+        ] {
             // Wall-clock fields, where present, must parse as positive.
             let values = number_fields(body, field).unwrap_or_default();
             if values.iter().any(|&v| v <= 0.0) {

@@ -17,6 +17,71 @@ use fragdb_sim::SimDuration;
 use crate::movement::MovePolicy;
 use crate::strategy::StrategyKind;
 
+/// Group-commit batching of the §3.2 quasi-transaction broadcast.
+///
+/// The home node coalesces consecutive commits for the same fragment into
+/// one `Batch` envelope, cutting steady-state messages from
+/// O(commits × R) to O(batches × R). Each batched quasi-transaction keeps
+/// its own causal id `(fragment, epoch, frag_seq)`, so FIFO/hold-back
+/// logic and telemetry joins are unchanged. Defaults to **off**: the
+/// default path is byte-identical to the unbatched broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum quasi-transactions coalesced into one envelope; a full
+    /// window flushes immediately. `0` or `1` disables batching.
+    pub window: usize,
+    /// How long an under-full batch may wait for more commits. Zero means
+    /// "flush on idle": the batch is flushed once every event at the
+    /// current instant has run, so same-instant commits still coalesce.
+    pub linger: SimDuration,
+}
+
+impl BatchConfig {
+    /// Batching disabled (the default): every commit broadcasts alone.
+    pub fn off() -> Self {
+        BatchConfig {
+            window: 1,
+            linger: SimDuration::ZERO,
+        }
+    }
+
+    /// Batch up to `window` commits, lingering at most 5 ms for the
+    /// window to fill.
+    pub fn window(window: usize) -> Self {
+        BatchConfig {
+            window,
+            linger: SimDuration::from_millis(5),
+        }
+    }
+
+    /// No size bound; a batch flushes as soon as the engine drains every
+    /// event at the current instant (maximal same-instant coalescing with
+    /// no added latency).
+    pub fn flush_on_idle() -> Self {
+        BatchConfig {
+            window: usize::MAX,
+            linger: SimDuration::ZERO,
+        }
+    }
+
+    /// Replace the linger bound (builder style).
+    pub fn with_linger(mut self, linger: SimDuration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Is group-commit batching on?
+    pub fn enabled(&self) -> bool {
+        self.window > 1
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::off()
+    }
+}
+
 /// Everything the [`System`](crate::system::System) needs besides the
 /// schema and the topology.
 #[derive(Debug, Clone)]
@@ -37,6 +102,8 @@ pub struct SystemConfig {
     pub faults: FaultConfig,
     /// Reliable-layer retransmission timing.
     pub retransmit: RetransmitConfig,
+    /// Group-commit batching of the quasi broadcast (off by default).
+    pub batch: BatchConfig,
     /// RNG seed for the run.
     pub seed: u64,
 }
@@ -53,6 +120,7 @@ impl SystemConfig {
             replica_sets: BTreeMap::new(),
             faults: FaultConfig::clean(),
             retransmit: RetransmitConfig::default(),
+            batch: BatchConfig::off(),
             seed,
         }
     }
@@ -85,6 +153,13 @@ impl SystemConfig {
     /// Tune the reliable layer's retransmission timing (builder style).
     pub fn with_retransmit(mut self, retransmit: RetransmitConfig) -> Self {
         self.retransmit = retransmit;
+        self
+    }
+
+    /// Turn on group-commit batching of the quasi broadcast (builder
+    /// style).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -132,6 +207,25 @@ mod tests {
             timeout: SimDuration::from_secs(1),
         });
         assert!(c.strategy.uses_read_locks());
+    }
+
+    #[test]
+    fn batching_defaults_off_and_builders_enable() {
+        let c = SystemConfig::unrestricted(1);
+        assert_eq!(c.batch, BatchConfig::off());
+        assert!(!c.batch.enabled());
+        assert!(!BatchConfig::window(1).enabled());
+
+        let c = c.with_batching(BatchConfig::window(8));
+        assert!(c.batch.enabled());
+        assert_eq!(c.batch.window, 8);
+        assert_eq!(c.batch.linger, SimDuration::from_millis(5));
+
+        let idle = BatchConfig::flush_on_idle();
+        assert!(idle.enabled());
+        assert_eq!(idle.linger, SimDuration::ZERO);
+        let tuned = BatchConfig::window(4).with_linger(SimDuration::from_millis(1));
+        assert_eq!(tuned.linger, SimDuration::from_millis(1));
     }
 
     #[test]

@@ -26,6 +26,17 @@ pub enum Envelope {
         /// The propagated updates.
         quasi: QuasiTransaction,
     },
+    /// A group-commit batch: consecutive quasi-transactions for one
+    /// fragment coalesced into a single broadcast envelope. Each element
+    /// keeps its own causal id `(fragment, epoch, frag_seq)`, so the
+    /// receiver unpacks them through the ordinary install paths and
+    /// telemetry's commit→install join is unchanged.
+    Batch {
+        /// Per-sender broadcast sequence.
+        bseq: u64,
+        /// The batched quasi-transactions, in `frag_seq` order.
+        batch: Vec<QuasiTransaction>,
+    },
 
     // ---- §4.1 read-lock protocol -------------------------------------
     /// Request shared locks on `objects` at the receiving node (the home
@@ -96,6 +107,13 @@ pub enum Envelope {
         fragment: FragmentId,
         /// Highest `frag_seq` the querier already has.
         have: Option<u64>,
+        /// Highest `frag_seq` the querier wants (inclusive), or `None` for
+        /// "everything you have". Crash recovery bounds the request at its
+        /// known catch-up target so the reply is a closed range served
+        /// straight from the responder's WAL `frag_seq` index — updates
+        /// committed after the query was sent travel as ordinary
+        /// broadcasts, not in the reply.
+        upto: Option<u64>,
         /// Node to reply to.
         reply_to: NodeId,
         /// Whether staged-but-uncommitted prepares count as "seen". The
@@ -181,6 +199,7 @@ impl Envelope {
     pub fn kind(&self) -> &'static str {
         match self {
             Envelope::Quasi { .. } => "quasi",
+            Envelope::Batch { .. } => "batch",
             Envelope::LockReq { .. } => "lock_req",
             Envelope::LockGrant { .. } => "lock_grant",
             Envelope::LockDenied { .. } => "lock_denied",
@@ -205,6 +224,7 @@ impl Envelope {
     pub fn metric_key(&self) -> &'static str {
         match self {
             Envelope::Quasi { .. } => "msg.quasi",
+            Envelope::Batch { .. } => "msg.batch",
             Envelope::LockReq { .. } => "msg.lock_req",
             Envelope::LockGrant { .. } => "msg.lock_grant",
             Envelope::LockDenied { .. } => "msg.lock_denied",
@@ -233,6 +253,9 @@ impl Envelope {
             Envelope::Quasi { quasi, .. }
             | Envelope::Prepare { quasi, .. }
             | Envelope::ForwardMissing { quasi } => Some(quasi.updates.approx_bytes()),
+            Envelope::Batch { batch, .. } => {
+                Some(batch.iter().map(|q| q.updates.approx_bytes()).sum())
+            }
             Envelope::M0 { entries, .. } | Envelope::SeqReply { entries, .. } => {
                 Some(entries.iter().map(|e| e.updates.approx_bytes()).sum())
             }
@@ -246,6 +269,7 @@ impl Envelope {
     pub fn bseq(&self) -> Option<u64> {
         match self {
             Envelope::Quasi { bseq, .. }
+            | Envelope::Batch { bseq, .. }
             | Envelope::Prepare { bseq, .. }
             | Envelope::CommitCmd { bseq, .. }
             | Envelope::AbortCmd { bseq, .. }

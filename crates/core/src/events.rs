@@ -168,6 +168,14 @@ pub enum Ev {
         /// The transaction to give up on.
         txn: TxnId,
     },
+    /// A group-commit linger timer fired: flush `fragment`'s open batch if
+    /// it is still the one the timer was armed for (`gen` matches).
+    FlushBatch {
+        /// Fragment whose open batch should flush.
+        fragment: FragmentId,
+        /// Generation of the batch the timer guards; stale timers no-op.
+        gen: u64,
+    },
 }
 
 impl std::fmt::Debug for Ev {
@@ -176,18 +184,19 @@ impl std::fmt::Debug for Ev {
             Ev::Submit(s) => f.debug_tuple("Submit").field(s).finish(),
             Ev::Pkt(p) => {
                 let what = match &p.pkt {
-                    fragdb_net::Pkt::Data { id, msg } => format!("data#{id} {}", msg.kind()),
-                    fragdb_net::Pkt::Ack { id } => format!("ack#{id}"),
+                    fragdb_net::Pkt::Data { id, msg, .. } => format!("data#{id} {}", msg.kind()),
+                    fragdb_net::Pkt::Ack { upto } => format!("ack<{upto}"),
                 };
                 write!(f, "Pkt({what} {}->{})", p.from, p.to)
             }
-            Ev::Rto(t) => write!(f, "Rto(#{} {}->{})", t.id, t.from, t.to),
+            Ev::Rto(t) => write!(f, "Rto(gen{} {}->{})", t.gen, t.from, t.to),
             Ev::Net(c) => f.debug_tuple("Net").field(c).finish(),
             Ev::Crash(n) => write!(f, "Crash({n})"),
             Ev::Recover(n) => write!(f, "Recover({n})"),
             Ev::Move { fragment, to } => write!(f, "Move({fragment} -> {to})"),
             Ev::DataArrive { fragment, to, .. } => write!(f, "DataArrive({fragment} at {to})"),
             Ev::Timeout { txn } => write!(f, "Timeout({txn})"),
+            Ev::FlushBatch { fragment, gen } => write!(f, "FlushBatch({fragment} gen{gen})"),
         }
     }
 }

@@ -317,10 +317,17 @@ impl System {
                 epoch,
                 updates,
             };
-            self.broadcast_fragment(at, home, fragment, move |bseq| Envelope::Quasi {
-                bseq,
-                quasi: quasi.clone(),
-            });
+            if self.batch_cfg.enabled() {
+                // Group commit: park the quasi in the fragment's open
+                // batch; it travels in one coalesced envelope when the
+                // window fills or the linger timer fires.
+                self.enqueue_batch(at, home, quasi);
+            } else {
+                self.broadcast_fragment(at, home, fragment, move |bseq| Envelope::Quasi {
+                    bseq,
+                    quasi: quasi.clone(),
+                });
+            }
         }
         self.engine.metrics.incr(keys::TXN_COMMITTED);
         vec![Notification::Committed {

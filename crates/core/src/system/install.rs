@@ -71,6 +71,19 @@ impl System {
         }
         // quasi.frag_seq == *next: install it, then drain the hold-back.
         let mut notes = self.do_install(at, node, quasi);
+        notes.extend(self.drain_holdback(at, node, fragment));
+        notes
+    }
+
+    /// Install every held-back quasi-transaction that is now next in
+    /// `frag_seq` order at `node` (after an in-order install or a batch).
+    pub(crate) fn drain_holdback(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        fragment: fragdb_model::FragmentId,
+    ) -> Vec<Notification> {
+        let mut notes = Vec::new();
         loop {
             let slot = &mut self.nodes[node.0 as usize];
             let Some(&next) = slot.next_install.get(&fragment) else {
@@ -102,8 +115,24 @@ impl System {
             node,
             "a node never re-installs its own commit"
         );
+        self.nodes[node.0 as usize]
+            .replica
+            .install_quasi(&quasi, at);
+        self.post_install(at, node, quasi)
+    }
+
+    /// Everything an installation does *besides* the replica/WAL write:
+    /// sequence bookkeeping, history records, staleness metrics,
+    /// telemetry, and the recovery / §4.4.2B completion checks. The batch
+    /// fast path writes a whole batch to the replica in one call and then
+    /// runs this per element.
+    pub(crate) fn post_install(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        quasi: QuasiTransaction,
+    ) -> Vec<Notification> {
         let slot = &mut self.nodes[node.0 as usize];
-        slot.replica.install_quasi(&quasi, at);
         slot.next_install.insert(quasi.fragment, quasi.frag_seq + 1);
         let ttype = TxnType::Update(quasi.fragment);
         for (object, _) in &quasi.updates {

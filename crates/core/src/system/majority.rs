@@ -15,6 +15,7 @@
 //! the new home recovers the complete sequence.
 
 use fragdb_model::{FragmentId, NodeId, QuasiTransaction, TxnId};
+use fragdb_sim::metrics::keys;
 use fragdb_sim::{SimTime, TelemetryEvent};
 use fragdb_storage::WalEntry;
 
@@ -184,6 +185,7 @@ impl System {
                 Envelope::SeqQuery {
                     fragment,
                     have,
+                    upto: None,
                     reply_to: node,
                     include_staged: false,
                 },
@@ -228,6 +230,7 @@ impl System {
                 Envelope::SeqQuery {
                     fragment,
                     have,
+                    upto: None,
                     reply_to: new_home,
                     include_staged: true,
                 },
@@ -252,28 +255,31 @@ impl System {
     /// share can be resurrected at the new home. Both races stem from
     /// moving an agent with commands in flight; drivers should quiesce a
     /// fragment before moving it (same caveat as for multi-fragment 2PC).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_seq_query(
         &mut self,
         at: SimTime,
         node: NodeId,
         fragment: FragmentId,
         have: Option<u64>,
+        upto: Option<u64>,
         reply_to: NodeId,
         include_staged: bool,
     ) -> Vec<Notification> {
         let from_seq = have.map_or(0, |h| h + 1);
+        let to_seq = upto.unwrap_or(u64::MAX);
         let slot = &self.nodes[node.0 as usize];
         let mut entries: Vec<WalEntry> = slot
             .replica
             .wal()
-            .fragment_range(fragment, from_seq, u64::MAX)
+            .fragment_range(fragment, from_seq, to_seq)
             .into_iter()
             .cloned()
             .collect();
         if include_staged {
             for quasi in slot.staged.values() {
                 if quasi.fragment == fragment
-                    && quasi.frag_seq >= from_seq
+                    && (from_seq..=to_seq).contains(&quasi.frag_seq)
                     && !entries.iter().any(|e| e.frag_seq == quasi.frag_seq)
                 {
                     entries.push(WalEntry {
@@ -288,6 +294,9 @@ impl System {
             }
         }
         entries.sort_by_key(|e| e.frag_seq);
+        self.engine
+            .metrics
+            .observe(keys::CATCHUP_RANGE_LEN, entries.len() as u64);
         self.send_direct(
             at,
             node,

@@ -9,6 +9,7 @@
 //! reaches the central office, post it to BALANCES" — are driver reactions
 //! to [`Notification::Installed`].
 
+mod batch;
 mod exec;
 mod install;
 mod locks_proto;
@@ -329,6 +330,22 @@ pub struct System {
     pub(crate) mf_inflight: BTreeMap<FragmentId, TxnId>,
     /// How long a multi-fragment coordinator waits for votes.
     pub(crate) mf_timeout: fragdb_sim::SimDuration,
+    /// Group-commit batching knob (off by default).
+    pub(crate) batch_cfg: crate::config::BatchConfig,
+    /// Per-fragment open group-commit batch at the fragment's home.
+    pub(crate) open_batches: BTreeMap<FragmentId, OpenBatch>,
+    /// Flush-timer generation allocator (stale timers are no-ops).
+    pub(crate) next_batch_gen: u64,
+}
+
+/// An under-construction group-commit batch (volatile, home-side).
+pub(crate) struct OpenBatch {
+    /// The home node that committed the batched transactions.
+    pub(crate) home: NodeId,
+    /// Generation guarding this batch's linger timer.
+    pub(crate) gen: u64,
+    /// The coalesced quasi-transactions, in commit (`frag_seq`) order.
+    pub(crate) quasis: Vec<QuasiTransaction>,
 }
 
 impl System {
@@ -449,6 +466,9 @@ impl System {
             replica_sets: config.replica_sets,
             mf_inflight: BTreeMap::new(),
             mf_timeout: fragdb_sim::SimDuration::from_secs(30),
+            batch_cfg: config.batch,
+            open_batches: BTreeMap::new(),
+            next_batch_gen: 0,
         })
     }
 
@@ -538,6 +558,17 @@ impl System {
         self.net.stats()
     }
 
+    /// Publish reliable-layer totals into the metrics registry (gauge
+    /// semantics — the stats are running totals, not deltas). Harnesses
+    /// call this once at the end of a run so trace/report tooling sees the
+    /// ack-compression win next to the event-level metrics.
+    pub fn publish_net_metrics(&mut self) {
+        let stats = self.net.stats();
+        self.engine
+            .metrics
+            .set(keys::NET_ACK_CUMULATIVE, stats.cumulative_acks);
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> u32 {
         self.nodes.len() as u32
@@ -601,6 +632,7 @@ impl System {
                 epoch,
             } => self.handle_data_arrive(at, fragment, to, snapshot, next_frag_seq, epoch),
             Ev::Timeout { txn } => self.handle_timeout(at, txn),
+            Ev::FlushBatch { fragment, gen } => self.handle_flush_batch(at, fragment, gen),
         }
     }
 
@@ -612,7 +644,10 @@ impl System {
                     self.engine.schedule_at(deliver_at, Ev::Pkt(pd));
                 }
                 NetAction::Timer(fire_at, timer) => {
-                    self.engine.schedule_at(fire_at, Ev::Rto(timer));
+                    // Timers go through the timing wheel (O(1) insert);
+                    // the shared sequence counter keeps the pop order
+                    // identical to heap scheduling.
+                    self.engine.schedule_timer_at(fire_at, Ev::Rto(timer));
                 }
             }
         }
@@ -678,13 +713,8 @@ impl System {
         env: Envelope,
     ) -> Vec<Notification> {
         match env {
-            Envelope::Quasi { quasi, .. } => {
-                if self.move_policy_for(quasi.fragment).ordered_installs() {
-                    self.ordered_install(at, to, quasi)
-                } else {
-                    self.noprep_install(at, to, quasi)
-                }
-            }
+            Envelope::Quasi { quasi, .. } => self.route_quasi_install(at, to, quasi),
+            Envelope::Batch { batch, .. } => self.install_batch_env(at, to, batch),
             Envelope::Prepare { quasi, .. } => self.on_prepare(at, from, to, quasi),
             Envelope::CommitCmd { txn, fragment, .. } => {
                 self.on_commit_cmd(at, from, to, txn, fragment)
@@ -728,9 +758,10 @@ impl System {
             Envelope::SeqQuery {
                 fragment,
                 have,
+                upto,
                 reply_to,
                 include_staged,
-            } => self.on_seq_query(at, to, fragment, have, reply_to, include_staged),
+            } => self.on_seq_query(at, to, fragment, have, upto, reply_to, include_staged),
             Envelope::SeqReply {
                 fragment,
                 from: replier,
@@ -961,6 +992,11 @@ impl System {
         self.engine.metrics.incr(keys::NODE_CRASH);
         self.engine.emit(|| TelemetryEvent::Crash { node: node.0 });
         self.net.crash(node);
+        // Un-flushed group-commit batches are volatile send-side state,
+        // exactly like the reliable layer's unacked buffer: the commits
+        // survive only in this node's WAL and reach the other replicas
+        // through recovery anti-entropy.
+        self.open_batches.retain(|_, ob| ob.home != node);
 
         let slot = &mut self.nodes[node.0 as usize];
         slot.replica.crash();
@@ -1117,6 +1153,9 @@ impl System {
                 continue;
             }
             self.recovering.insert((node, f), (target, at));
+            // Bounded range anti-entropy: the catch-up target is known, so
+            // ask for exactly `have+1 ..= target-1`. Commits issued after
+            // this instant reach the node as ordinary broadcasts.
             notes.extend(self.send_direct(
                 at,
                 node,
@@ -1124,6 +1163,7 @@ impl System {
                 Envelope::SeqQuery {
                     fragment: f,
                     have,
+                    upto: target.checked_sub(1),
                     reply_to: node,
                     include_staged: false,
                 },

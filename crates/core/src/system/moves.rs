@@ -27,6 +27,10 @@ impl System {
             self.replicated_at(fragment, to),
             "cannot move {fragment}'s agent to {to}: no replica there"
         );
+        // A move ends the regime: the old home's open group-commit batch
+        // (if any) must hit the wire *before* the move's own broadcasts so
+        // the old-regime commits are FIFO-ordered ahead of the epoch bump.
+        self.flush_batch(at, fragment);
         let old_home = self.tokens.home(fragment);
         // Either endpoint down: the move cannot proceed (the old home must
         // snapshot/close the regime, the new home must receive). Retry

@@ -56,6 +56,8 @@ pub struct TraceRun {
     pub dropped: u64,
     /// Final metrics (counters + probe histograms).
     pub metrics: Metrics,
+    /// Reliable-layer totals (transmissions, acks, retransmissions).
+    pub net: fragdb_net::ReliableStats,
     /// `(fragment id, name, replica count R)` per fragment.
     pub fragments: Vec<(u32, String, u32)>,
 }
@@ -98,6 +100,7 @@ fn drive(
     sys.engine.telemetry = Telemetry::bounded(TELEMETRY_CAP);
     while sys.step_until(limit).is_some() {}
     sys.engine.sync_drop_metrics();
+    sys.publish_net_metrics();
     let fragments = sys
         .catalog()
         .fragments()
@@ -115,6 +118,7 @@ fn drive(
         records: sys.engine.telemetry.events().cloned().collect(),
         dropped: sys.engine.telemetry.dropped(),
         metrics: std::mem::take(&mut sys.engine.metrics),
+        net: sys.net_stats(),
         fragments,
     }
 }
@@ -426,6 +430,14 @@ pub fn render_summary(run: &TraceRun) -> String {
     out.push_str(&format!(
         "network drops: {drops}   stale reads: {stale_reads}   telemetry dropped: {}\n",
         run.dropped
+    ));
+    out.push_str(&format!(
+        "acks: {} standalone, {} piggybacked, {} suppressed ({} cumulative applications)   retransmissions: {}\n",
+        run.net.acks_sent,
+        run.net.acks_piggybacked,
+        run.net.acks_suppressed,
+        run.net.cumulative_acks,
+        run.net.retransmissions,
     ));
     out
 }

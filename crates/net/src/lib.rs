@@ -48,5 +48,5 @@ pub use partition::{NetworkChange, PartitionSchedule};
 pub use reliable::{
     NetAction, Pkt, PktDelivery, ReliableNet, ReliableStats, RetransmitConfig, RetransmitTimer,
 };
-pub use topology::Topology;
+pub use topology::{RouteCache, Topology};
 pub use transport::{Delivery, Transport, TransportStats};

@@ -4,10 +4,14 @@
 //! *by construction*: nothing is ever lost, parked messages wait out the
 //! partition. [`ReliableNet`] earns the same guarantee the way a real
 //! network stack does — every application message becomes a numbered
-//! `Data` packet that is retransmitted on a timer (capped exponential
-//! backoff) until the receiver's `Ack` comes back. Between retransmission
-//! and the receiver's in-order reassembly buffer, the layer delivers every
-//! message **exactly once, in per-pair send order**, under any mix of:
+//! `Data` packet that stays in the sender's window until covered by a
+//! **cumulative ack** (`Ack { upto }` acknowledges every id below `upto`,
+//! and the same watermark piggybacks on reverse-direction `Data` when
+//! there is any). One retransmission timer per ordered link — not per
+//! packet — re-sends the whole unacked window (go-back-N) with capped
+//! exponential backoff. Between retransmission and the receiver's
+//! in-order reassembly buffer, the layer delivers every message **exactly
+//! once, in per-pair send order**, under any mix of:
 //!
 //! * message loss ([`FaultPlan::drop`]), including total loss while the
 //!   pair is partitioned (an unreachable destination just counts as a
@@ -16,6 +20,15 @@
 //!   the copies;
 //! * reordering ([`FaultPlan::jitter`]) — per-packet extra delay lets
 //!   packets overtake on the wire; the reassembly buffer re-sequences.
+//!
+//! Ack compression: the receiver sends a standalone ack only when its
+//! in-order watermark *advances* or when a stale (already-covered) packet
+//! arrives — an out-of-order packet parked in the reassembly buffer is
+//! not acked (the ack that eventually closes the gap covers it). This is
+//! safe because the sender's per-link timer stays armed while anything is
+//! unacked, and every retransmission of the window includes its lowest
+//! outstanding id, whose arrival always triggers an ack that clears at
+//! least that packet (see DESIGN.md §3f for the full argument).
 //!
 //! The layer is engine-agnostic like the rest of the crate: methods return
 //! [`NetAction`]s (future packet arrivals and retransmission timers) that
@@ -26,8 +39,9 @@
 //! Crash semantics: [`crash`] forgets the unacked sends of a dead node
 //! (its volatile send buffer); [`resync_node`] — called at *recovery* —
 //! cuts both directions of every stream touching the node to "now", so
-//! packets stamped before recovery drain as duplicates (still acked, which
-//! terminates their senders' retransmit loops) and fresh traffic flows.
+//! packets stamped before recovery drain as duplicates (stale arrivals
+//! still draw a cumulative ack, which clears the senders' whole windows
+//! at once and stops their retransmit timers) and fresh traffic flows.
 //! Message *content* lost to the crash is the application's to repair
 //! (WAL replay + anti-entropy).
 //!
@@ -46,7 +60,7 @@ use fragdb_sim::{SimDuration, SimRng, SimTime};
 use crate::fault::FaultConfig;
 use crate::linkstate::LinkState;
 use crate::partition::NetworkChange;
-use crate::topology::Topology;
+use crate::topology::{RouteCache, Topology};
 use crate::transport::Delivery;
 
 /// A packet on the wire.
@@ -56,13 +70,18 @@ pub enum Pkt<M> {
     Data {
         /// Per-pair packet id.
         id: u64,
+        /// Piggybacked cumulative ack for the *reverse* stream: the sender
+        /// has released every id below this from the receiver. `None` when
+        /// the reverse stream has never delivered anything.
+        ack: Option<u64>,
         /// The application payload.
         msg: M,
     },
-    /// Acknowledgment of a `Data` packet's id.
+    /// Cumulative acknowledgment: every `Data` id below `upto` (for the
+    /// stream flowing toward this packet's sender) is acknowledged.
     Ack {
-        /// The acknowledged packet id.
-        id: u64,
+        /// One past the highest id released in order by the receiver.
+        upto: u64,
     },
 }
 
@@ -77,17 +96,18 @@ pub struct PktDelivery<M> {
     pub pkt: Pkt<M>,
 }
 
-/// A pending retransmission check.
+/// A pending retransmission check for one ordered link. There is at most
+/// one *live* timer per `(from, to)` pair; `gen` invalidates timers that
+/// outlived the window they guarded (the window fully drained and a new
+/// one started).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetransmitTimer {
     /// Original sender.
     pub from: NodeId,
     /// Destination.
     pub to: NodeId,
-    /// Packet id the timer guards.
-    pub id: u64,
-    /// How many times the packet has been retransmitted already.
-    pub attempt: u32,
+    /// Window generation the timer was armed for.
+    pub gen: u64,
 }
 
 /// Something the caller must schedule on its event loop.
@@ -140,8 +160,30 @@ pub struct ReliableStats {
     pub delivered: u64,
     /// Data packets discarded by the receiver as duplicates or stale.
     pub dup_dropped: u64,
-    /// Ack packets put on the wire.
+    /// Standalone cumulative `Ack` packets put on the wire.
     pub acks_sent: u64,
+    /// Arrivals that would have drawn a per-packet ack under the old
+    /// scheme but were absorbed by ack compression (out-of-order packets
+    /// parked in the reassembly buffer).
+    pub acks_suppressed: u64,
+    /// `Data` transmissions that carried a piggybacked cumulative ack for
+    /// the reverse stream.
+    pub acks_piggybacked: u64,
+    /// Cumulative-ack applications (standalone or piggybacked) that
+    /// cleared at least one pending packet from a sender window.
+    pub cumulative_acks: u64,
+}
+
+/// Sender-side retransmission control for one ordered link.
+#[derive(Clone, Copy, Debug, Default)]
+struct SendCtl {
+    /// Window generation; bumped when the window drains so a still-
+    /// scheduled timer from the old window becomes a no-op.
+    gen: u64,
+    /// Consecutive timer firings without ack progress (drives backoff).
+    attempt: u32,
+    /// Is a timer currently scheduled for this generation?
+    armed: bool,
 }
 
 /// Reliable, in-order, exactly-once point-to-point delivery with
@@ -157,6 +199,10 @@ pub struct ReliableNet<M> {
     next_id: BTreeMap<(NodeId, NodeId), u64>,
     /// Sender-side unacked packets per ordered `(from, to)` pair. Volatile.
     pending: BTreeMap<(NodeId, NodeId), BTreeMap<u64, M>>,
+    /// Per-link retransmission state (one timer per ordered pair).
+    ctl: BTreeMap<(NodeId, NodeId), SendCtl>,
+    /// Memoized shortest-path delays for the current link state.
+    routes: RouteCache,
     /// Receiver-side next id to release, per `(receiver, sender)`. Volatile.
     expected: BTreeMap<(NodeId, NodeId), u64>,
     /// Receiver-side reassembly buffer, per `(receiver, sender)`. Volatile.
@@ -179,6 +225,8 @@ impl<M: Clone> ReliableNet<M> {
             rcfg: RetransmitConfig::default(),
             next_id: BTreeMap::new(),
             pending: BTreeMap::new(),
+            ctl: BTreeMap::new(),
+            routes: RouteCache::new(),
             expected: BTreeMap::new(),
             inbuf: BTreeMap::new(),
             last_sched: BTreeMap::new(),
@@ -240,6 +288,7 @@ impl<M: Clone> ReliableNet<M> {
     /// [`Transport`]: crate::transport::Transport
     pub fn apply_change(&mut self, change: &NetworkChange) {
         change.apply(&mut self.state);
+        self.routes.invalidate();
     }
 
     /// Put one packet on the wire, rolling the link's fault dice.
@@ -253,7 +302,7 @@ impl<M: Clone> ReliableNet<M> {
         out: &mut Vec<NetAction<M>>,
     ) {
         let plan = self.faults.plan_for(from, to);
-        let Some(base) = self.topo.path_delay(from, to, &self.state) else {
+        let Some(base) = self.routes.path_delay(&self.topo, &self.state, from, to) else {
             self.stats.unreachable += 1;
             return;
         };
@@ -293,9 +342,54 @@ impl<M: Clone> ReliableNet<M> {
         }
     }
 
+    /// The cumulative-ack watermark `from` can piggyback on data to `to`:
+    /// one past the highest id released in order from the `to -> from`
+    /// stream, or `None` if that stream never delivered anything.
+    fn reverse_ack(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        self.expected.get(&(from, to)).copied()
+    }
+
+    /// Apply a cumulative ack for the stream `sender -> acker`: clear
+    /// every pending id below `upto`; on progress reset the backoff, and
+    /// when the window fully drains invalidate the link's live timer.
+    fn apply_cum_ack(&mut self, sender: NodeId, acker: NodeId, upto: u64) {
+        let key = (sender, acker);
+        let Some(p) = self.pending.get_mut(&key) else {
+            return;
+        };
+        let keep = p.split_off(&upto);
+        let cleared = p.len();
+        *p = keep;
+        let emptied = p.is_empty();
+        if cleared == 0 {
+            return;
+        }
+        self.stats.cumulative_acks += 1;
+        let ctl = self.ctl.entry(key).or_default();
+        ctl.attempt = 0;
+        if emptied {
+            self.pending.remove(&key);
+            ctl.gen += 1;
+            ctl.armed = false;
+        }
+    }
+
+    /// Capped exponential backoff interval after `attempt` fruitless
+    /// timer firings.
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.min(20);
+        SimDuration(
+            self.rcfg
+                .rto
+                .0
+                .saturating_mul(1u64 << shift)
+                .min(self.rcfg.max_rto.0),
+        )
+    }
+
     /// Accept an application message for delivery. Returns the actions to
-    /// schedule: the initial transmission attempt(s) and the first
-    /// retransmission timer.
+    /// schedule: the initial transmission attempt(s) and — only if the
+    /// link had no live timer — one retransmission timer for the link.
     ///
     /// # Panics
     /// Panics if `from == to`; local loopback should not go through the
@@ -322,58 +416,65 @@ impl<M: Clone> ReliableNet<M> {
             .insert(id, msg.clone());
         let mut out = Vec::new();
         self.stats.transmissions += 1;
-        self.transmit(now, from, to, Pkt::Data { id, msg }, rng, &mut out);
-        out.push(NetAction::Timer(
-            now + self.rcfg.rto,
-            RetransmitTimer {
-                from,
-                to,
-                id,
-                attempt: 0,
-            },
-        ));
+        let ack = self.reverse_ack(from, to);
+        if ack.is_some() {
+            self.stats.acks_piggybacked += 1;
+        }
+        self.transmit(now, from, to, Pkt::Data { id, ack, msg }, rng, &mut out);
+        let ctl = self.ctl.entry((from, to)).or_default();
+        if !ctl.armed {
+            ctl.armed = true;
+            ctl.attempt = 0;
+            let gen = ctl.gen;
+            out.push(NetAction::Timer(
+                now + self.rcfg.rto,
+                RetransmitTimer { from, to, gen },
+            ));
+        }
         out
     }
 
-    /// A retransmission timer fired. If the packet is still unacked it is
-    /// retransmitted and the timer re-armed with doubled (capped) delay;
-    /// otherwise nothing happens.
+    /// A link's retransmission timer fired. If the timer's generation is
+    /// current and the window is non-empty, the whole unacked window is
+    /// retransmitted (go-back-N) and the timer re-armed with doubled
+    /// (capped) delay; a stale or empty-window firing is a no-op.
     pub fn on_timer(
         &mut self,
         now: SimTime,
         timer: RetransmitTimer,
         rng: &mut SimRng,
     ) -> Vec<NetAction<M>> {
-        let RetransmitTimer {
-            from,
-            to,
-            id,
-            attempt,
-        } = timer;
-        let Some(msg) = self.pending.get(&(from, to)).and_then(|p| p.get(&id)) else {
-            return Vec::new();
+        let RetransmitTimer { from, to, gen } = timer;
+        let key = (from, to);
+        match self.ctl.get(&key) {
+            Some(ctl) if ctl.gen == gen => {}
+            _ => return Vec::new(), // superseded by a drained window
+        }
+        let window: Vec<(u64, M)> = match self.pending.get(&key) {
+            Some(p) if !p.is_empty() => p.iter().map(|(&id, m)| (id, m.clone())).collect(),
+            _ => {
+                // Nothing left to guard (e.g. a crash dropped the sends).
+                let ctl = self.ctl.get_mut(&key).expect("checked above");
+                ctl.armed = false;
+                return Vec::new();
+            }
         };
-        let msg = msg.clone();
+        let ctl = self.ctl.get_mut(&key).expect("checked above");
+        ctl.attempt += 1;
+        let attempt = ctl.attempt;
         let mut out = Vec::new();
-        self.stats.retransmissions += 1;
-        self.stats.transmissions += 1;
-        self.transmit(now, from, to, Pkt::Data { id, msg }, rng, &mut out);
-        let shift = (attempt + 1).min(20);
-        let interval = SimDuration(
-            self.rcfg
-                .rto
-                .0
-                .saturating_mul(1u64 << shift)
-                .min(self.rcfg.max_rto.0),
-        );
+        let ack = self.reverse_ack(from, to);
+        for (id, msg) in window {
+            self.stats.retransmissions += 1;
+            self.stats.transmissions += 1;
+            if ack.is_some() {
+                self.stats.acks_piggybacked += 1;
+            }
+            self.transmit(now, from, to, Pkt::Data { id, ack, msg }, rng, &mut out);
+        }
         out.push(NetAction::Timer(
-            now + interval,
-            RetransmitTimer {
-                from,
-                to,
-                id,
-                attempt: attempt + 1,
-            },
+            now + self.backoff(attempt),
+            RetransmitTimer { from, to, gen },
         ));
         out
     }
@@ -390,48 +491,63 @@ impl<M: Clone> ReliableNet<M> {
         let mut actions = Vec::new();
         let mut released = Vec::new();
         match d.pkt {
-            Pkt::Data { id, msg } => {
-                // Always ack — even duplicates and stale packets, so the
-                // sender's retransmit loop terminates after a crash resync.
-                self.stats.acks_sent += 1;
-                self.transmit(now, d.to, d.from, Pkt::Ack { id }, rng, &mut actions);
+            Pkt::Data { id, ack, msg } => {
+                if let Some(upto) = ack {
+                    // Piggybacked ack for the reverse stream (d.to -> d.from).
+                    self.apply_cum_ack(d.to, d.from, upto);
+                }
                 let key = (d.to, d.from);
-                let expected = self.expected.entry(key).or_insert(0);
-                if id < *expected {
-                    self.stats.dup_dropped += 1;
-                } else {
-                    let buf = self.inbuf.entry(key).or_default();
-                    if buf.insert(id, msg).is_some() {
+                // Decide whether this arrival draws a standalone ack:
+                // stale packets always do (so post-resync windows drain),
+                // watermark advances do; out-of-order parks are absorbed.
+                let ack_upto = {
+                    let expected = self.expected.entry(key).or_insert(0);
+                    if id < *expected {
                         self.stats.dup_dropped += 1;
+                        Some(*expected)
+                    } else {
+                        let buf = self.inbuf.entry(key).or_default();
+                        if buf.insert(id, msg).is_some() {
+                            self.stats.dup_dropped += 1;
+                        }
+                        let before = *expected;
+                        while let Some(m) = buf.remove(expected) {
+                            self.stats.delivered += 1;
+                            released.push(Delivery {
+                                from: d.from,
+                                to: d.to,
+                                msg: m,
+                            });
+                            *expected += 1;
+                        }
+                        if *expected > before {
+                            Some(*expected)
+                        } else {
+                            None
+                        }
                     }
-                    while let Some(m) = buf.remove(expected) {
-                        self.stats.delivered += 1;
-                        released.push(Delivery {
-                            from: d.from,
-                            to: d.to,
-                            msg: m,
-                        });
-                        *expected += 1;
+                };
+                match ack_upto {
+                    Some(upto) => {
+                        self.stats.acks_sent += 1;
+                        self.transmit(now, d.to, d.from, Pkt::Ack { upto }, rng, &mut actions);
                     }
+                    None => self.stats.acks_suppressed += 1,
                 }
             }
-            Pkt::Ack { id } => {
+            Pkt::Ack { upto } => {
                 // The acked stream is (original sender = d.to) -> (acker =
                 // d.from).
-                if let Some(p) = self.pending.get_mut(&(d.to, d.from)) {
-                    p.remove(&id);
-                    if p.is_empty() {
-                        self.pending.remove(&(d.to, d.from));
-                    }
-                }
+                self.apply_cum_ack(d.to, d.from, upto);
             }
         }
         (released, actions)
     }
 
-    /// `node` crashed: its volatile send buffer is gone. Packets other
-    /// nodes have pending toward it keep retransmitting — they drain via
-    /// duplicate-acks after [`ReliableNet::resync_node`] at recovery.
+    /// `node` crashed: its volatile send buffer is gone (its links' live
+    /// timers fire once more as no-ops and disarm). Packets other nodes
+    /// have pending toward it keep retransmitting — they drain via stale
+    /// cumulative acks after [`ReliableNet::resync_node`] at recovery.
     pub fn crash(&mut self, node: NodeId) {
         self.pending.retain(|&(from, _), _| from != node);
     }
@@ -641,6 +757,65 @@ mod tests {
         l.run(SimTime::from_secs(120));
         let got: Vec<u64> = l.delivered.iter().map(|d| d.msg).collect();
         assert_eq!(got, vec![7, 8]);
+    }
+
+    #[test]
+    fn one_link_arms_one_timer() {
+        let net: ReliableNet<u64> = ReliableNet::new(Topology::full_mesh(2, ms(10)));
+        let mut l = Loop::new(net, 1);
+        let mut timers = 0;
+        for i in 0..10u64 {
+            let acts = l.net.send(SimTime(i), n(0), n(1), i, &mut l.rng);
+            timers += acts
+                .iter()
+                .filter(|a| matches!(a, NetAction::Timer(..)))
+                .count();
+            l.push(acts);
+        }
+        assert_eq!(timers, 1, "a busy link keeps exactly one live timer");
+        l.run(SimTime::from_secs(60));
+        assert_eq!(l.delivered.len(), 10);
+        assert_eq!(l.net.pending_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_suppress_acks() {
+        // Heavy jitter reorders arrivals; parked packets must not each
+        // draw a standalone ack, and one cumulative ack must clear a
+        // multi-packet window when the gap closes.
+        let net: ReliableNet<u64> = ReliableNet::new(Topology::full_mesh(2, ms(10)))
+            .with_faults(FaultConfig::uniform(FaultPlan::new(0.0, 0.0, ms(30))));
+        let mut l = Loop::new(net, 11);
+        for i in 0..40u64 {
+            l.send(SimTime::from_millis(i), n(0), n(1), i);
+        }
+        l.run(SimTime::from_secs(60));
+        let got: Vec<u64> = l.delivered.iter().map(|d| d.msg).collect();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+        let s = l.net.stats();
+        assert!(s.acks_suppressed > 0, "reordering must absorb some acks");
+        assert!(s.cumulative_acks > 0, "acks must clear pending packets");
+        assert!(
+            s.acks_sent < s.delivered,
+            "compression: fewer standalone acks ({}) than deliveries ({})",
+            s.acks_sent,
+            s.delivered
+        );
+        assert_eq!(l.net.pending_count(), 0);
+    }
+
+    #[test]
+    fn reverse_data_piggybacks_cumulative_ack() {
+        let net: ReliableNet<u64> = ReliableNet::new(Topology::full_mesh(2, ms(10)));
+        let mut l = Loop::new(net, 2);
+        l.send(SimTime::ZERO, n(0), n(1), 1);
+        l.run(SimTime::from_secs(1));
+        // Node 1 has received from node 0, so its own data carries an ack.
+        l.send(SimTime::from_secs(2), n(1), n(0), 2);
+        l.run(SimTime::from_secs(60));
+        assert_eq!(l.delivered.len(), 2);
+        assert!(l.net.stats().acks_piggybacked > 0);
+        assert_eq!(l.net.pending_count(), 0);
     }
 
     #[test]

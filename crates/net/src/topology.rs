@@ -194,12 +194,78 @@ impl Topology {
     }
 }
 
+/// Memoized [`Topology::path_delay`] lookups for one link-state epoch.
+///
+/// A full-mesh simulation asks for the same `(from, to)` delay once per
+/// packet; running Dijkstra each time is the dominant cost at 64 nodes
+/// (the BENCH_pr3 superlinearity). The cache answers repeats in O(log n)
+/// and must be [`invalidate`]d whenever the live [`LinkState`] changes —
+/// both [`ReliableNet`] and [`Transport`] do so in their `apply_change`.
+///
+/// [`invalidate`]: RouteCache::invalidate
+/// [`ReliableNet`]: crate::reliable::ReliableNet
+/// [`Transport`]: crate::transport::Transport
+#[derive(Clone, Debug, Default)]
+pub struct RouteCache {
+    cache: BTreeMap<(NodeId, NodeId), Option<SimDuration>>,
+}
+
+impl RouteCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RouteCache::default()
+    }
+
+    /// Drop every memoized route. Call on any link-state change.
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Cached [`Topology::path_delay`]: Dijkstra on first use per pair,
+    /// map lookup afterwards. Unreachability (`None`) is cached too.
+    pub fn path_delay(
+        &mut self,
+        topo: &Topology,
+        state: &LinkState,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<SimDuration> {
+        if let Some(&d) = self.cache.get(&(from, to)) {
+            return d;
+        }
+        let d = topo.path_delay(from, to, state);
+        self.cache.insert((from, to), d);
+        d
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ms(x: u64) -> SimDuration {
         SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn route_cache_matches_dijkstra_and_invalidates() {
+        let t = Topology::line(3, ms(10));
+        let mut state = LinkState::all_up();
+        let mut cache = RouteCache::new();
+        assert_eq!(
+            cache.path_delay(&t, &state, NodeId(0), NodeId(2)),
+            Some(ms(20))
+        );
+        // Second lookup is served from the cache (same answer).
+        assert_eq!(
+            cache.path_delay(&t, &state, NodeId(0), NodeId(2)),
+            Some(ms(20))
+        );
+        state.fail(NodeId(1), NodeId(2));
+        cache.invalidate();
+        assert_eq!(cache.path_delay(&t, &state, NodeId(0), NodeId(2)), None);
+        // Unreachability is cached as well.
+        assert_eq!(cache.path_delay(&t, &state, NodeId(0), NodeId(2)), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use fragdb_sim::{SimDuration, SimTime};
 
 use crate::linkstate::LinkState;
 use crate::partition::NetworkChange;
-use crate::topology::Topology;
+use crate::topology::{RouteCache, Topology};
 
 /// A message due for delivery.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +63,8 @@ pub struct Transport<M> {
     outbox: BTreeMap<(NodeId, NodeId), VecDeque<M>>,
     /// Last scheduled delivery time per ordered pair, for FIFO enforcement.
     last_sched: BTreeMap<(NodeId, NodeId), SimTime>,
+    /// Memoized shortest-path delays for the current link state.
+    routes: RouteCache,
     stats: TransportStats,
 }
 
@@ -74,6 +76,7 @@ impl<M> Transport<M> {
             state: LinkState::all_up(),
             outbox: BTreeMap::new(),
             last_sched: BTreeMap::new(),
+            routes: RouteCache::new(),
             stats: TransportStats::default(),
         }
     }
@@ -135,7 +138,7 @@ impl<M> Transport<M> {
     ) -> Option<(SimTime, Delivery<M>)> {
         assert!(from != to, "loopback send through the network");
         self.stats.sent += 1;
-        match self.topo.path_delay(from, to, &self.state) {
+        match self.routes.path_delay(&self.topo, &self.state, from, to) {
             Some(delay) => {
                 let at = self.fifo_slot((from, to), now + delay);
                 self.stats.delivered_direct += 1;
@@ -157,6 +160,7 @@ impl<M> Transport<M> {
         change: &NetworkChange,
     ) -> Vec<(SimTime, Delivery<M>)> {
         change.apply(&mut self.state);
+        self.routes.invalidate();
         let mut released = Vec::new();
         // Collect the reachable pairs first to avoid borrowing conflicts.
         let ready: Vec<(NodeId, NodeId)> = self
@@ -168,8 +172,8 @@ impl<M> Transport<M> {
         for pair in ready {
             let (from, to) = pair;
             let delay = self
-                .topo
-                .path_delay(from, to, &self.state)
+                .routes
+                .path_delay(&self.topo, &self.state, from, to)
                 .expect("checked connected above");
             let queue = self.outbox.remove(&pair).expect("pair was present");
             for msg in queue {

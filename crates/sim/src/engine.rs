@@ -34,6 +34,22 @@ use crate::rng::SimRng;
 use crate::telemetry::{Telemetry, TelemetryEvent};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
+use crate::wheel::{tick_of, ReadyBuf, TimerWheel, WheelEntry};
+
+/// Handle to a timer scheduled with [`Engine::schedule_timer_at`]; pass it
+/// to [`Engine::cancel_timer`] to cancel in O(1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerToken {
+    idx: u32,
+    gen: u32,
+}
+
+/// Slab slot backing a [`TimerToken`]: generation guards against reuse.
+#[derive(Clone, Copy, Debug)]
+struct TimerSlot {
+    gen: u32,
+    alive: bool,
+}
 
 /// A scheduled event: ordering key is `(time, seq)` so ties are FIFO.
 struct Scheduled<E> {
@@ -68,6 +84,18 @@ impl<E> Ord for Scheduled<E> {
 pub struct Engine<E> {
     now: SimTime,
     queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Timers parked by expiry tick (O(1) insert/cancel); the heap keeps
+    /// every non-timer event. Due timers migrate into `ready` with their
+    /// exact `(at, seq)` keys, so the merged pop order is identical to a
+    /// heap-only engine.
+    wheel: TimerWheel<E>,
+    /// Due (or near-due) timers in exact pop order.
+    ready: ReadyBuf<E>,
+    /// Token slab; `timer_free` lists reusable indices.
+    timer_slots: Vec<TimerSlot>,
+    timer_free: Vec<u32>,
+    /// Timers scheduled and neither fired nor cancelled.
+    live_timers: usize,
     next_seq: u64,
     /// Seeded random source shared by all simulation components.
     pub rng: SimRng,
@@ -90,6 +118,11 @@ impl<E> Engine<E> {
             // Even the smallest scenario schedules hundreds of events
             // (timers, packets, acks); skip the first few heap regrowths.
             queue: BinaryHeap::with_capacity(256),
+            wheel: TimerWheel::new(),
+            ready: ReadyBuf::new(),
+            timer_slots: Vec::new(),
+            timer_free: Vec::new(),
+            live_timers: 0,
             next_seq: 0,
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
@@ -128,10 +161,10 @@ impl<E> Engine<E> {
         self.now
     }
 
-    /// Number of events still queued.
+    /// Number of events still queued (heap events plus live timers).
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.live_timers
     }
 
     /// Schedule `payload` to fire `delay` after the current time.
@@ -156,15 +189,159 @@ impl<E> Engine<E> {
         self.queue.push(Reverse(Scheduled { at, seq, payload }));
     }
 
+    /// Schedule a cancellable timer to fire `delay` after the current time.
+    pub fn schedule_timer(&mut self, delay: SimDuration, payload: E) -> TimerToken {
+        self.schedule_timer_at(self.now + delay, payload)
+    }
+
+    /// Schedule a cancellable timer at an absolute instant.
+    ///
+    /// Timers go through the timing wheel — O(1) insert regardless of how
+    /// many are outstanding — but fire interleaved with heap events in the
+    /// exact same `(time, seq)` order [`Engine::schedule_at`] would give.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past, like [`Engine::schedule_at`].
+    pub fn schedule_timer_at(&mut self, at: SimTime, payload: E) -> TimerToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={:?} now={:?}",
+            at,
+            self.now
+        );
+        self.metrics.incr(keys::NET_TIMER_WHEEL_OPS);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let token = match self.timer_free.pop() {
+            Some(idx) => {
+                self.timer_slots[idx as usize].alive = true;
+                TimerToken {
+                    idx,
+                    gen: self.timer_slots[idx as usize].gen,
+                }
+            }
+            None => {
+                let idx = self.timer_slots.len() as u32;
+                self.timer_slots.push(TimerSlot {
+                    gen: 0,
+                    alive: true,
+                });
+                TimerToken { idx, gen: 0 }
+            }
+        };
+        self.live_timers += 1;
+        if tick_of(at) < self.wheel.current_tick() {
+            // The wheel's cursor already swept this tick; keep exact order
+            // by parking the timer in the ready buffer directly.
+            self.ready.insert((at, seq), (token, payload));
+        } else {
+            self.wheel.insert(WheelEntry {
+                at,
+                seq,
+                token,
+                payload,
+            });
+        }
+        token
+    }
+
+    /// Cancel a scheduled timer in O(1). Returns `false` if it already
+    /// fired, was already cancelled, or the token is stale. The entry is
+    /// reaped lazily, so [`Engine::peek_time`] may briefly still report a
+    /// cancelled timer's instant (never its payload).
+    pub fn cancel_timer(&mut self, token: TimerToken) -> bool {
+        match self.timer_slots.get_mut(token.idx as usize) {
+            Some(slot) if slot.gen == token.gen && slot.alive => {
+                slot.alive = false;
+                self.live_timers -= 1;
+                self.metrics.incr(keys::NET_TIMER_WHEEL_OPS);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Retire a token whose entry has surfaced (fired or reaped dead).
+    fn free_token(&mut self, token: TimerToken) {
+        let slot = &mut self.timer_slots[token.idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.alive = false;
+        self.timer_free.push(token.idx);
+    }
+
+    fn token_alive(&self, token: TimerToken) -> bool {
+        self.timer_slots
+            .get(token.idx as usize)
+            .is_some_and(|s| s.gen == token.gen && s.alive)
+    }
+
+    /// Migrate due timers from the wheel into `ready` and reap cancelled
+    /// entries off its head, so the heads of `queue` and `ready` are the
+    /// only candidates for the next event.
+    fn settle(&mut self) {
+        match self.queue.peek() {
+            Some(Reverse(ev)) => {
+                let tick = tick_of(ev.at);
+                if self.wheel.len() > 0 && self.wheel.current_tick() <= tick {
+                    self.wheel.collect_through(tick, &mut self.ready);
+                }
+            }
+            None => {
+                loop {
+                    // Reap dead heads first so an all-cancelled buffer
+                    // falls through to the wheel.
+                    while let Some((&key, &(token, _))) = self.ready.iter().next() {
+                        if self.token_alive(token) {
+                            return;
+                        }
+                        self.ready.remove(&key);
+                        self.free_token(token);
+                    }
+                    if self.wheel.len() == 0 {
+                        return;
+                    }
+                    self.wheel.collect_next(&mut self.ready);
+                }
+            }
+        }
+        while let Some((&key, &(token, _))) = self.ready.iter().next() {
+            if self.token_alive(token) {
+                break;
+            }
+            self.ready.remove(&key);
+            self.free_token(token);
+        }
+    }
+
     /// Pop the next event, advancing the clock to its timestamp.
     ///
     /// Returns `None` when the queue is empty (the simulation has quiesced).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(ev) = self.queue.pop()?;
-        debug_assert!(ev.at >= self.now, "event queue went backwards");
-        self.now = ev.at;
-        self.metrics.incr(keys::SIM_EVENTS);
-        Some((ev.at, ev.payload))
+        self.settle();
+        let heap_key = self.queue.peek().map(|Reverse(ev)| (ev.at, ev.seq));
+        let ready_key = self.ready.keys().next().copied();
+        let take_ready = match (heap_key, ready_key) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(h), Some(r)) => r < h,
+        };
+        if take_ready {
+            let (key, (token, payload)) = self.ready.pop_first().expect("ready head exists");
+            self.free_token(token);
+            self.live_timers -= 1;
+            self.metrics.incr(keys::NET_TIMER_WHEEL_OPS);
+            debug_assert!(key.0 >= self.now, "event queue went backwards");
+            self.now = key.0;
+            self.metrics.incr(keys::SIM_EVENTS);
+            Some((key.0, payload))
+        } else {
+            let Reverse(ev) = self.queue.pop().expect("heap head exists");
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.metrics.incr(keys::SIM_EVENTS);
+            Some((ev.at, ev.payload))
+        }
     }
 
     /// Pop the next event only if it fires at or before `limit`.
@@ -173,8 +350,15 @@ impl<E> Engine<E> {
     /// `limit` when the horizon is reached, so a subsequent `pop_until`
     /// with a later limit continues seamlessly.
     pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
-        match self.queue.peek() {
-            Some(Reverse(ev)) if ev.at <= limit => self.pop(),
+        self.settle();
+        let heap_at = self.queue.peek().map(|Reverse(ev)| ev.at);
+        let ready_at = self.ready.keys().next().map(|&(at, _)| at);
+        let next = match (heap_at, ready_at) {
+            (Some(h), Some(r)) => Some(h.min(r)),
+            (h, r) => h.or(r),
+        };
+        match next {
+            Some(at) if at <= limit => self.pop(),
             _ => {
                 if self.now < limit {
                     self.now = limit;
@@ -184,14 +368,28 @@ impl<E> Engine<E> {
         }
     }
 
-    /// Timestamp of the next queued event, if any.
+    /// Timestamp of the next queued event, if any. A timer cancelled but
+    /// not yet reaped may still be reported (see [`Engine::cancel_timer`]).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(ev)| ev.at)
+        let mut best = self.queue.peek().map(|Reverse(ev)| (ev.at, ev.seq));
+        if let Some(&key) = self.ready.keys().next() {
+            best = Some(best.map_or(key, |b| b.min(key)));
+        }
+        if let Some(key) = self.wheel.min_key() {
+            best = Some(best.map_or(key, |b| b.min(key)));
+        }
+        best.map(|(at, _)| at)
     }
 
     /// Discard every queued event (used when tearing down a scenario early).
     pub fn clear(&mut self) {
         self.queue.clear();
+        self.wheel.clear();
+        self.ready.clear();
+        for slot in &mut self.timer_slots {
+            slot.alive = false;
+        }
+        self.live_timers = 0;
     }
 }
 
@@ -346,6 +544,141 @@ mod tests {
         e.sync_drop_metrics();
         assert_eq!(e.metrics.counter(keys::TRACE_DROPPED), 1);
         assert_eq!(e.metrics.counter(keys::TELEMETRY_DROPPED), 0);
+    }
+
+    #[test]
+    fn timers_interleave_with_heap_events_in_exact_order() {
+        // Same schedule issued twice: once all-heap, once with every other
+        // event going through the wheel. Pop sequences must be identical.
+        let times = [30u64, 10, 10, 500, 70_000, 10, 200_000, 65, 64 * 1024];
+        let mut heap_only = Engine::new(1);
+        for (i, &t) in times.iter().enumerate() {
+            heap_only.schedule(SimDuration(t), Ev::A(i as u32));
+        }
+        let expected = drain(&mut heap_only);
+
+        let mut mixed = Engine::new(1);
+        for (i, &t) in times.iter().enumerate() {
+            if i % 2 == 0 {
+                mixed.schedule_timer(SimDuration(t), Ev::A(i as u32));
+            } else {
+                mixed.schedule(SimDuration(t), Ev::A(i as u32));
+            }
+        }
+        assert_eq!(drain(&mut mixed), expected);
+    }
+
+    #[test]
+    fn same_instant_fifo_holds_across_heap_and_wheel() {
+        let mut e = Engine::new(1);
+        for i in 0..100 {
+            if i % 3 == 0 {
+                e.schedule_timer(SimDuration(5), Ev::A(i));
+            } else {
+                e.schedule(SimDuration(5), Ev::A(i));
+            }
+        }
+        let order: Vec<u32> = drain(&mut e).iter().map(|(_, Ev::A(i))| *i).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut e = Engine::new(1);
+        let keep = e.schedule_timer(SimDuration(10), Ev::A(1));
+        let kill = e.schedule_timer(SimDuration(5), Ev::A(2));
+        assert_eq!(e.pending(), 2);
+        assert!(e.cancel_timer(kill));
+        assert!(!e.cancel_timer(kill), "double cancel must fail");
+        assert_eq!(e.pending(), 1);
+        let seen = drain(&mut e);
+        assert_eq!(seen, vec![(SimTime(10), Ev::A(1))]);
+        assert!(!e.cancel_timer(keep), "fired timer's token is stale");
+    }
+
+    #[test]
+    fn long_horizon_timers_cascade_correctly() {
+        let mut e = Engine::new(1);
+        // Spread across wheel levels: sub-tick, level 0..3, and overflow
+        // (beyond 64^4 ticks ≈ 4.77 simulated hours).
+        let delays = [
+            100u64,            // below one tick
+            50_000,            // level 0
+            3_000_000,         // level 1 (~3 s)
+            150_000_000,       // level 2 (~2.5 min)
+            10_000_000_000,    // level 3 (~2.8 h)
+            3_000_000_000_000, // overflow (~83 h)
+        ];
+        for (i, &d) in delays.iter().enumerate() {
+            e.schedule_timer(SimDuration(d), Ev::A(i as u32));
+        }
+        let seen = drain(&mut e);
+        let order: Vec<u32> = seen.iter().map(|(_, Ev::A(i))| *i).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+        let ats: Vec<u64> = seen.iter().map(|(t, _)| t.0).collect();
+        assert_eq!(ats, delays.to_vec(), "timers fire at their exact instants");
+    }
+
+    #[test]
+    fn pop_until_covers_wheel_timers() {
+        let mut e = Engine::new(1);
+        e.schedule_timer(SimDuration(10), Ev::A(1));
+        e.schedule(SimDuration(100), Ev::A(2));
+        e.schedule_timer(SimDuration(200), Ev::A(3));
+        assert_eq!(e.pop_until(SimTime(50)), Some((SimTime(10), Ev::A(1))));
+        assert!(e.pop_until(SimTime(50)).is_none());
+        assert_eq!(e.now(), SimTime(50));
+        assert_eq!(e.pop_until(SimTime(150)), Some((SimTime(100), Ev::A(2))));
+        assert_eq!(e.pop_until(SimTime(300)), Some((SimTime(200), Ev::A(3))));
+        assert!(e.pop_until(SimTime(300)).is_none());
+    }
+
+    #[test]
+    fn peek_time_sees_wheel_timers() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(9), Ev::A(1));
+        e.schedule_timer(SimDuration(3), Ev::A(2));
+        assert_eq!(e.peek_time(), Some(SimTime(3)));
+        e.pop();
+        assert_eq!(e.peek_time(), Some(SimTime(9)));
+        drain(&mut e);
+        assert_eq!(e.peek_time(), None);
+        e.schedule_timer(SimDuration(30_000_000), Ev::A(3));
+        assert_eq!(e.peek_time(), Some(SimTime(9) + SimDuration(30_000_000)));
+    }
+
+    #[test]
+    fn wheel_ops_metric_counts_insert_cancel_fire() {
+        let mut e = Engine::new(1);
+        let t1 = e.schedule_timer(SimDuration(5), Ev::A(1));
+        e.schedule_timer(SimDuration(6), Ev::A(2));
+        e.cancel_timer(t1);
+        drain(&mut e);
+        // 2 inserts + 1 cancel + 1 fire.
+        assert_eq!(e.metrics.counter(keys::NET_TIMER_WHEEL_OPS), 4);
+    }
+
+    #[test]
+    fn clear_discards_wheel_timers_too() {
+        let mut e = Engine::new(1);
+        let t = e.schedule_timer(SimDuration(5), Ev::A(1));
+        e.schedule(SimDuration(6), Ev::A(2));
+        assert_eq!(e.pending(), 2);
+        e.clear();
+        assert_eq!(e.pending(), 0);
+        assert!(e.pop().is_none());
+        assert!(!e.cancel_timer(t), "cleared timer token is dead");
+    }
+
+    #[test]
+    fn token_slab_reuse_keeps_tokens_distinct() {
+        let mut e = Engine::new(1);
+        let t1 = e.schedule_timer(SimDuration(1), Ev::A(1));
+        drain(&mut e);
+        let t2 = e.schedule_timer(SimDuration(1), Ev::A(2));
+        assert_ne!(t1, t2, "generation must differ on slab reuse");
+        assert!(!e.cancel_timer(t1));
+        assert!(e.cancel_timer(t2));
     }
 
     #[test]

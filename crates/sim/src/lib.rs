@@ -31,8 +31,9 @@ pub mod rng;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
+mod wheel;
 
-pub use engine::Engine;
+pub use engine::{Engine, TimerToken};
 pub use histogram::Histogram;
 pub use metrics::Metrics;
 pub use rng::SimRng;

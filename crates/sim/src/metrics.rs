@@ -65,6 +65,17 @@ pub mod keys {
     /// Packets discarded because the destination node was down.
     pub const NET_DROPPED_AT_DOWN_NODE: &str = "net.dropped_at_down_node";
 
+    /// Quasi-transactions coalesced per batched broadcast envelope
+    /// (histogram; recorded once per flushed batch).
+    pub const NET_BATCH_SIZE: &str = "net.batch.size";
+    /// Cumulative acks (standalone or piggybacked) that cleared at least
+    /// one pending packet at the sender.
+    pub const NET_ACK_CUMULATIVE: &str = "net.ack.cumulative";
+    /// Timing-wheel operations: timer inserts, cancels, and fires.
+    pub const NET_TIMER_WHEEL_OPS: &str = "net.timer.wheel_ops";
+    /// WAL entries served per range anti-entropy reply (histogram).
+    pub const CATCHUP_RANGE_LEN: &str = "catchup.range_len";
+
     /// Deep payload materializations (one per commit).
     pub const PAYLOAD_CLONES: &str = "payload.clones";
     /// Bytes deep-copied in payload materializations.
@@ -129,6 +140,10 @@ pub mod keys {
         INSTALL_HELDBACK,
         INSTALL_REJECTED,
         NET_DROPPED_AT_DOWN_NODE,
+        NET_BATCH_SIZE,
+        NET_ACK_CUMULATIVE,
+        NET_TIMER_WHEEL_OPS,
+        CATCHUP_RANGE_LEN,
         PAYLOAD_CLONES,
         PAYLOAD_CLONE_BYTES,
         PAYLOAD_SHARES,
@@ -153,6 +168,7 @@ pub mod keys {
     /// dimension).
     pub const MSG_KINDS: &[&str] = &[
         "quasi",
+        "batch",
         "lock_req",
         "lock_grant",
         "lock_denied",
@@ -212,6 +228,15 @@ pub mod keys {
             for k in ALL {
                 assert!(is_registered(k), "{k} should be registered");
             }
+        }
+
+        #[test]
+        fn batching_and_catchup_keys_are_registered() {
+            assert!(is_registered(NET_BATCH_SIZE));
+            assert!(is_registered(NET_ACK_CUMULATIVE));
+            assert!(is_registered(NET_TIMER_WHEEL_OPS));
+            assert!(is_registered(CATCHUP_RANGE_LEN));
+            assert!(is_registered("msg.batch"));
         }
 
         #[test]

@@ -1,0 +1,270 @@
+//! Hierarchical timing wheel backing [`Engine`]'s timer API.
+//!
+//! Four levels of 64 slots over a 1024 µs tick give O(1) insert for any
+//! timer within ~4.7 simulated hours (beyond that an ordered overflow map
+//! takes over). Expired entries are *collected* into a caller-owned ordered
+//! "ready" buffer keyed by the exact `(at, seq)` scheduling key, so the
+//! engine can merge wheel timers with its binary heap without perturbing
+//! the global event order: a run that schedules its timers through the
+//! wheel pops the identical event sequence it would have popped had every
+//! timer gone through the heap.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use std::collections::BTreeMap;
+
+use crate::engine::TimerToken;
+use crate::time::SimTime;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; level `l` covers tick deltas below `64^(l+1)`.
+const LEVELS: usize = 4;
+/// log2 of the tick granularity in microseconds (1 tick = 1024 µs).
+pub(crate) const TICK_SHIFT: u32 = 10;
+/// Tick deltas at or beyond this go to the overflow map.
+const HORIZON: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// Expiry tick of an instant.
+#[inline]
+pub(crate) fn tick_of(at: SimTime) -> u64 {
+    at.0 >> TICK_SHIFT
+}
+
+/// A timer parked in the wheel.
+pub(crate) struct WheelEntry<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) token: TimerToken,
+    pub(crate) payload: E,
+}
+
+/// The ordered buffer collected entries land in: exact `(at, seq)` keys.
+pub(crate) type ReadyBuf<E> = BTreeMap<(SimTime, u64), (TimerToken, E)>;
+
+/// Hashed hierarchical timing wheel with an ordered overflow map.
+pub(crate) struct TimerWheel<E> {
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<WheelEntry<E>>>,
+    /// Per-level occupancy bitmap (bit `s` = slot `s` non-empty).
+    occ: [u64; LEVELS],
+    /// Next tick not yet collected.
+    current: u64,
+    /// Start of the last 64-tick window whose cascade has run.
+    cascaded_upto: u64,
+    /// Entries beyond the wheel horizon, exact order.
+    overflow: BTreeMap<(SimTime, u64), WheelEntry<E>>,
+    /// Entries stored (slots + overflow), including cancelled ones.
+    len: usize,
+}
+
+impl<E> TimerWheel<E> {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            current: 0,
+            cascaded_upto: 0,
+            overflow: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Entries stored (including cancelled ones awaiting reap).
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// First tick not yet collected; inserts below it must go straight to
+    /// the ready buffer.
+    pub(crate) fn current_tick(&self) -> u64 {
+        self.current
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for v in &mut self.slots {
+            v.clear();
+        }
+        self.occ = [0; LEVELS];
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    /// Store an entry. Caller guarantees `tick_of(e.at) >= self.current`.
+    pub(crate) fn insert(&mut self, e: WheelEntry<E>) {
+        debug_assert!(tick_of(e.at) >= self.current);
+        self.len += 1;
+        self.place(e);
+    }
+
+    /// Bucket an entry without touching `len` (shared by insert/cascade).
+    fn place(&mut self, e: WheelEntry<E>) {
+        let tick = tick_of(e.at);
+        let delta = tick - self.current;
+        if delta >= HORIZON {
+            self.overflow.insert((e.at, e.seq), e);
+            return;
+        }
+        let mut level = 0usize;
+        while delta >= 1u64 << (SLOT_BITS * (level as u32 + 1)) {
+            level += 1;
+        }
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.occ[level] |= 1u64 << slot;
+        self.slots[level * SLOTS + slot].push(e);
+    }
+
+    fn slots_empty(&self) -> bool {
+        self.len == self.overflow.len()
+    }
+
+    /// Move every entry with `tick <= target` into `sink`, advancing the
+    /// collection cursor to `target + 1`. Amortized O(1) per entry plus one
+    /// bitmap step per 64-tick window crossed over the wheel's lifetime.
+    pub(crate) fn collect_through(&mut self, target: u64, sink: &mut ReadyBuf<E>) {
+        while self.current <= target {
+            if self.slots_empty() {
+                self.jump_to(target + 1, sink);
+                return;
+            }
+            let window_base = self.current & !(SLOTS as u64 - 1);
+            if window_base > self.cascaded_upto {
+                self.cascade_for(window_base);
+                self.cascaded_upto = window_base;
+                continue; // cascade may have emptied the slots
+            }
+            let window_end = window_base + SLOTS as u64;
+            let end_excl = (target + 1).min(window_end);
+            let lo = (self.current - window_base) as u32;
+            let hi = (end_excl - window_base) as u32;
+            let mask = if hi >= 64 {
+                !0u64 << lo
+            } else {
+                (!0u64 << lo) & !(!0u64 << hi)
+            };
+            let mut bits = self.occ[0] & mask;
+            while bits != 0 {
+                let s = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.occ[0] &= !(1u64 << s);
+                for e in std::mem::take(&mut self.slots[s]) {
+                    self.len -= 1;
+                    sink.insert((e.at, e.seq), (e.token, e.payload));
+                }
+            }
+            self.current = end_excl;
+        }
+    }
+
+    /// Advance until at least one entry lands in `sink` (or the wheel is
+    /// empty) — used when the engine's heap is empty and the next event, if
+    /// any, must come from the wheel.
+    pub(crate) fn collect_next(&mut self, sink: &mut ReadyBuf<E>) {
+        while self.len > 0 {
+            if self.slots_empty() {
+                // Only far-future overflow remains: jump straight to it.
+                let &(at, _) = self.overflow.keys().next().expect("overflow non-empty");
+                self.jump_to(tick_of(at) + 1, sink);
+                return;
+            }
+            let before = sink.len();
+            let window_end = (self.current & !(SLOTS as u64 - 1)) + SLOTS as u64;
+            self.collect_through(window_end - 1, sink);
+            if sink.len() > before {
+                return;
+            }
+        }
+    }
+
+    /// Skip the cursor to `new_current` while the slots are empty, sweeping
+    /// due overflow entries into `sink` and re-bucketing the rest that are
+    /// now within the wheel horizon.
+    fn jump_to(&mut self, new_current: u64, sink: &mut ReadyBuf<E>) {
+        self.current = new_current;
+        self.cascaded_upto = new_current & !(SLOTS as u64 - 1);
+        if self.overflow.is_empty() {
+            return;
+        }
+        let due_bound = split_key(new_current);
+        let rest = self.overflow.split_off(&due_bound);
+        for ((at, seq), e) in std::mem::replace(&mut self.overflow, rest) {
+            self.len -= 1;
+            sink.insert((at, seq), (e.token, e.payload));
+        }
+        let horizon_bound = split_key(new_current.saturating_add(HORIZON));
+        let keep = self.overflow.split_off(&horizon_bound);
+        for (_, e) in std::mem::replace(&mut self.overflow, keep) {
+            self.place(e);
+        }
+    }
+
+    /// Pull higher-level buckets down when the level-0 window starting at
+    /// `base` begins (top-down so entries trickle through at most once).
+    fn cascade_for(&mut self, base: u64) {
+        debug_assert_eq!(base & (SLOTS as u64 - 1), 0);
+        let pull = |wheel: &mut Self, level: usize, slot: usize| {
+            if wheel.occ[level] & (1u64 << slot) != 0 {
+                wheel.occ[level] &= !(1u64 << slot);
+                for e in std::mem::take(&mut wheel.slots[level * SLOTS + slot]) {
+                    wheel.place(e);
+                }
+            }
+        };
+        let g1 = ((base >> SLOT_BITS) & (SLOTS as u64 - 1)) as usize;
+        if g1 == 0 {
+            let g2 = ((base >> (2 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
+            if g2 == 0 {
+                let g3 = ((base >> (3 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
+                if g3 == 0 && !self.overflow.is_empty() {
+                    // A full level-3 rotation completed: refill from overflow.
+                    let bound = split_key(base.saturating_add(HORIZON));
+                    let keep = self.overflow.split_off(&bound);
+                    for (_, e) in std::mem::replace(&mut self.overflow, keep) {
+                        self.place(e);
+                    }
+                }
+                pull(self, 3, g3);
+            }
+            pull(self, 2, g2);
+        }
+        pull(self, 1, g1);
+    }
+
+    /// Exact `(at, seq)` of the earliest stored entry, without advancing
+    /// the cursor. Cancelled-but-unreaped entries are still counted.
+    pub(crate) fn min_key(&self) -> Option<(SimTime, u64)> {
+        let mut best: Option<(SimTime, u64)> = None;
+        for level in 0..LEVELS {
+            if self.occ[level] == 0 {
+                continue;
+            }
+            // Rotation order from the cursor's position: slots wrap, and a
+            // slot "behind" the cursor holds the *next* rotation's ticks.
+            let start = ((self.current >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as u32;
+            let rotated = self.occ[level].rotate_right(start);
+            let first = (rotated.trailing_zeros() + start) % SLOTS as u32;
+            let slot_min = self.slots[level * SLOTS + first as usize]
+                .iter()
+                .map(|e| (e.at, e.seq))
+                .min();
+            best = min_opt(best, slot_min);
+        }
+        best = min_opt(best, self.overflow.keys().next().copied());
+        best
+    }
+}
+
+fn min_opt(a: Option<(SimTime, u64)>, b: Option<(SimTime, u64)>) -> Option<(SimTime, u64)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+/// Smallest `(at, seq)` key whose tick is `>= tick` — the split point for
+/// overflow range extraction.
+fn split_key(tick: u64) -> (SimTime, u64) {
+    (SimTime(tick.saturating_mul(1u64 << TICK_SHIFT)), 0)
+}

@@ -78,6 +78,18 @@ impl Wal {
         self.entries.push(entry);
     }
 
+    /// Append a group-commit batch of entries in one call. One reservation
+    /// covers the whole batch (a single "group fsync" in a disk-backed
+    /// log); each entry is then indexed exactly as [`Wal::append`] would.
+    pub fn append_batch(&mut self, batch: impl IntoIterator<Item = WalEntry>) {
+        let batch = batch.into_iter();
+        let (lo, _) = batch.size_hint();
+        self.entries.reserve(lo);
+        for entry in batch {
+            self.append(entry);
+        }
+    }
+
     /// All entries, installation order.
     pub fn entries(&self) -> &[WalEntry] {
         &self.entries
