@@ -1,7 +1,7 @@
 //! `fragdb-bench` — the performance-trajectory runner.
 //!
 //! Reproduces the before/after numbers for the performance passes, at
-//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr5.json`:
+//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr6.json`:
 //!
 //! * **payload broadcast** — a commit's payload is materialized once
 //!   (`payload.clones`) and every downstream copy is an `Arc` bump
@@ -20,6 +20,10 @@
 //! * **incremental checkers** — repeated verdict queries over a growing
 //!   history: the batch oracle re-analyzes from scratch per query, the
 //!   incremental analyzer ingests once and answers in O(1).
+//! * **self-heal** — the §5 failure detector + quorum election: crash the
+//!   token home of a majority-commit fragment and record detection
+//!   latency, election rounds, and the write-unavailability window
+//!   (virtual time), plus post-recovery commit counts.
 //!
 //! All workload numbers (events, messages, clone/share counts, checker
 //! edge insertions) are deterministic virtual-time metrics; only the
@@ -32,11 +36,13 @@
 
 use std::fmt::Write as _;
 
-use fragdb_core::{BatchConfig, Notification, Submission, System, SystemConfig};
+use fragdb_core::{
+    BatchConfig, DetectorConfig, MovePolicy, Notification, Submission, System, SystemConfig,
+};
 use fragdb_graphs::IncrementalAnalyzer;
 use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, TxnId, Updates, Value};
 use fragdb_net::Topology;
-use fragdb_sim::{SimDuration, SimRng, SimTime};
+use fragdb_sim::{SimDuration, SimRng, SimTime, Telemetry};
 use fragdb_storage::{Wal, WalEntry};
 use fragdb_workloads::{arrivals, partitions};
 
@@ -55,6 +61,7 @@ struct Scale {
     update_rate: f64,
     verdict_queries: usize,
     samples: usize,
+    heal_updates: u64,
 }
 
 const FULL: Scale = Scale {
@@ -68,6 +75,7 @@ const FULL: Scale = Scale {
     update_rate: 0.3,
     verdict_queries: 15,
     samples: 3,
+    heal_updates: 30,
 };
 
 const QUICK: Scale = Scale {
@@ -81,11 +89,12 @@ const QUICK: Scale = Scale {
     update_rate: 0.2,
     verdict_queries: 10,
     samples: 2,
+    heal_updates: 16,
 };
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr5.json");
+    let mut out = String::from("BENCH_pr6.json");
     let mut validate: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -129,7 +138,7 @@ fn main() {
 fn generate(scale: &Scale) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"fragdb-bench-pr5/v1\",\n");
+    j.push_str("  \"schema\": \"fragdb-bench-pr6/v1\",\n");
     let _ = writeln!(j, "  \"mode\": \"{}\",", scale.mode);
     let _ = writeln!(j, "  \"seed\": {SEED},");
     j.push_str("  \"node_counts\": [4, 16, 64],\n");
@@ -170,6 +179,17 @@ fn generate(scale: &Scale) -> String {
     j.push_str("  \"checker\": [\n");
     for (i, &n) in NODE_COUNTS.iter().enumerate() {
         let row = bench_checker(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < NODE_COUNTS.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"self_heal\": [\n");
+    for (i, &n) in NODE_COUNTS.iter().enumerate() {
+        let row = bench_self_heal(n, scale);
         let _ = writeln!(
             j,
             "    {row}{}",
@@ -515,6 +535,103 @@ fn bench_checker(n: u32, scale: &Scale) -> String {
     )
 }
 
+/// One majority-commit fragment homed at node 0 on an `n`-node full mesh
+/// with the §5 failure detector on; steady 1/s updates, home crashes at
+/// t=10s and only returns after the workload ends. Run to quiescence; the
+/// quorum election must re-home the token and writes must flow again.
+///
+/// Returns the system plus (commits before crash, commits after crash,
+/// first-suspicion virtual time in µs). The suspicion time is sampled by
+/// polling `detector.suspicions` in the drive loop rather than scanning
+/// the telemetry buffer: at 64 nodes the per-delivery events evict the
+/// early detector events from the bounded ring, while counters are exact.
+fn heal_run(n: u32, scale: &Scale) -> (System, u64, u64, u64) {
+    let mut b = FragmentCatalog::builder();
+    let (frag, objs) = b.add_fragment("F0", 2);
+    let det = DetectorConfig::period(SimDuration::from_millis(500))
+        .with_election_timeout(SimDuration::from_secs(2));
+    let mut sys = System::build(
+        Topology::full_mesh(n, SimDuration::from_millis(10)),
+        b.build(),
+        vec![(frag, AgentId::Node(NodeId(0)), NodeId(0))],
+        SystemConfig::unrestricted(SEED)
+            .with_move_policy(MovePolicy::MajorityCommit {
+                timeout: SimDuration::from_secs(5),
+            })
+            .with_detector(det),
+    )
+    .expect("valid system");
+    sys.engine.telemetry = Telemetry::bounded(200_000);
+    let obj = objs[0];
+    for k in 0..scale.heal_updates {
+        sys.submit_at(
+            SimTime::from_secs(k + 1),
+            Submission::update(
+                frag,
+                Box::new(move |ctx| {
+                    let v = ctx.read_int(obj, 0);
+                    ctx.write(obj, v + 1)?;
+                    Ok(())
+                }),
+            ),
+        );
+    }
+    let crash = SimTime::from_secs(10);
+    sys.crash_at(crash, NodeId(0));
+    // The deposed home returns long after the workload ends; catch-up
+    // anti-entropy must reconverge it so the divergence check below holds.
+    sys.recover_at(SimTime::from_secs(scale.heal_updates + 60), NodeId(0));
+    let limit = SimTime::from_secs(scale.heal_updates + 120);
+    let (mut before, mut after) = (0u64, 0u64);
+    let mut suspected_us = None;
+    while let Some((at, notes)) = sys.step_until(limit) {
+        if suspected_us.is_none() && sys.engine.metrics.counter("detector.suspicions") > 0 {
+            suspected_us = Some(at.micros());
+        }
+        for note in notes {
+            if matches!(note, Notification::Committed { .. }) {
+                if at < crash {
+                    before += 1;
+                } else {
+                    after += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        after > 0,
+        "self-heal workload must commit again after the election at {n} nodes"
+    );
+    assert!(
+        sys.divergent_fragments().is_empty(),
+        "self-heal workload must quiesce consistent at {n} nodes"
+    );
+    let suspected_us = suspected_us.expect("detector must suspect the crashed home");
+    (sys, before, after, suspected_us)
+}
+
+fn bench_self_heal(n: u32, scale: &Scale) -> String {
+    let (sys, before, after, suspected_us) = heal_run(n, scale);
+    let crash_us = SimTime::from_secs(10).micros();
+    let detection_us = suspected_us - crash_us;
+    let rounds = sys.engine.metrics.counter("election.rounds");
+    let unavail_us = sys
+        .engine
+        .metrics
+        .histogram("frag.0.unavail_window")
+        .and_then(|h| h.max())
+        .expect("unavailability window must be observed");
+    let wall = criterion::median_secs(scale.samples, || {
+        criterion::black_box(heal_run(n, scale));
+    });
+    format!(
+        "{{ \"nodes\": {n}, \"commits_before\": {before}, \"commits_after\": {after}, \
+         \"detection_us\": {detection_us}, \"election_rounds\": {rounds}, \
+         \"unavail_us\": {unavail_us}, \"wall_secs\": {} }}",
+        fmt_secs(wall),
+    )
+}
+
 fn fmt_secs(s: f64) -> String {
     format!("{s:.9}")
 }
@@ -527,17 +644,20 @@ fn fmt_ratio(r: f64) -> String {
 
 /// Schema check for a bench report: required keys, each section has
 /// one entry per node count in strictly increasing order, and the
-/// deterministic counters are nonzero. Accepts both the PR 3 schema
-/// (three sections) and the PR 5 schema (which adds
-/// `broadcast_batching`). Hand-rolled because no JSON parser is
-/// available in this build environment; the emitter above is the only
-/// producer, so the format is fully under our control.
+/// deterministic counters are nonzero. Accepts the PR 3 schema (three
+/// sections), the PR 5 schema (which adds `broadcast_batching`), and
+/// the PR 6 schema (which adds `self_heal`). Hand-rolled because no
+/// JSON parser is available in this build environment; the emitter
+/// above is the only producer, so the format is fully under our
+/// control.
 fn validate_report(text: &str) -> Result<String, String> {
+    let pr6 = text.contains("\"schema\": \"fragdb-bench-pr6/v1\"");
     let pr5 = text.contains("\"schema\": \"fragdb-bench-pr5/v1\"");
     let pr3 = text.contains("\"schema\": \"fragdb-bench-pr3/v1\"");
-    if !pr5 && !pr3 {
+    if !pr6 && !pr5 && !pr3 {
         return Err(
-            "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1 or -pr5/v1)".into(),
+            "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1, -pr5/v1, or -pr6/v1)"
+                .into(),
         );
     }
     for key in ["\"mode\":", "\"seed\": 42", "\"node_counts\": [4, 16, 64]"] {
@@ -553,7 +673,7 @@ fn validate_report(text: &str) -> Result<String, String> {
         ("wal_index", &["records", "queries"][..]),
         ("checker", &["ops", "queries", "edge_insertions"][..]),
     ];
-    if pr5 {
+    if pr5 || pr6 {
         sections.insert(
             1,
             (
@@ -570,6 +690,18 @@ fn validate_report(text: &str) -> Result<String, String> {
                 ][..],
             ),
         );
+    }
+    if pr6 {
+        sections.push((
+            "self_heal",
+            &[
+                "commits_before",
+                "commits_after",
+                "detection_us",
+                "election_rounds",
+                "unavail_us",
+            ][..],
+        ));
     }
     let mut summary = String::new();
     for (section, nonzero_fields) in sections {

@@ -21,6 +21,7 @@ pub fn check(input: &CheckInput) -> Report {
     out.extend(check_replication(input));
     out.extend(check_strategy_topology(input));
     out.extend(check_lock_order(input));
+    out.extend(check_self_heal(input));
     Report::new(out)
 }
 
@@ -488,6 +489,71 @@ pub fn check_lock_order(input: &CheckInput) -> Vec<Diagnostic> {
         ),
     )
     .with_help("break the cycle by reordering reads into one direction or splitting a class")]
+}
+
+/// FDB050/FDB051/FDB052 — §5 self-healing token recovery. Elections act
+/// only on fragments under the §4.4.1 majority-commit policy (the one
+/// policy whose recovery needs nothing from the dead home), so with the
+/// detector enabled the configuration must give it something to protect
+/// (FDB050), each protected fragment a population an election can win
+/// (FDB051), and the rounds a non-zero patience (FDB052).
+pub fn check_self_heal(input: &CheckInput) -> Vec<Diagnostic> {
+    if !input.config.detector.enabled() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let n = input.topology.node_count();
+    let protected: Vec<&Fragment> = input
+        .catalog
+        .fragments()
+        .iter()
+        .filter(|f| move_policy_for(input, f.id).needs_majority_commit())
+        .collect();
+    if protected.is_empty() {
+        out.push(
+            Diagnostic::new(
+                Code::Fdb050,
+                "detector config",
+                "failure detector enabled but no fragment runs under §4.4.1 majority \
+                 commit — elections can never act, the heartbeat traffic buys nothing",
+            )
+            .with_help(
+                "run at least one fragment under MovePolicy::MajorityCommit, \
+                 or disable the detector",
+            ),
+        );
+    }
+    for frag in protected {
+        let population = match input.config.replica_sets.get(&frag.id) {
+            Some(set) => set.iter().filter(|r| r.0 < n).count(),
+            None => n as usize,
+        };
+        if population < 3 {
+            out.push(
+                Diagnostic::new(
+                    Code::Fdb051,
+                    format!("fragment {}", frag.id),
+                    format!(
+                        "population of {population} cannot elect around a dead home — \
+                         a majority of {} must include it",
+                        population / 2 + 1
+                    ),
+                )
+                .with_help("replicate the fragment at 3 or more nodes"),
+            );
+        }
+    }
+    if input.config.detector.election_timeout.micros() == 0 {
+        out.push(
+            Diagnostic::new(
+                Code::Fdb052,
+                "detector config",
+                "election timeout is zero — every round aborts before a vote can arrive",
+            )
+            .with_help("set election_timeout to at least one network round trip"),
+        );
+    }
+    out
 }
 
 // ---- helpers ----------------------------------------------------------

@@ -33,7 +33,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes. The block structure mirrors the paper:
 /// `FDB00x` schema (§3.1), `FDB01x` transaction classes (§3.2), `FDB02x`
 /// read-access graph (§4.2), `FDB03x` strategy/topology compatibility
-/// (§4.1, §4.4.1, §6), `FDB04x` lock analysis (§4.1).
+/// (§4.1, §4.4.1, §6), `FDB04x` lock analysis (§4.1), `FDB05x`
+/// self-healing token recovery (§5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Code {
     /// Fragments are not disjoint (§3.1).
@@ -79,6 +80,17 @@ pub enum Code {
     Fdb035,
     /// Deadlock-prone cyclic lock acquisition across §4.1 classes.
     Fdb040,
+    /// The failure detector is enabled but no fragment runs under the
+    /// §4.4.1 majority-commit policy — elections can never act, so the
+    /// self-healing configuration is inert (§5).
+    Fdb050,
+    /// A majority-commit fragment's population is smaller than 3 with the
+    /// detector enabled: an election cannot out-vote the (dead) home, so
+    /// self-healing cannot recover this fragment (§5).
+    Fdb051,
+    /// The election timeout is zero with the detector enabled: every round
+    /// aborts before a single vote can arrive (§5).
+    Fdb052,
 }
 
 impl Code {
@@ -100,6 +112,9 @@ impl Code {
             Code::Fdb034 => "FDB034",
             Code::Fdb035 => "FDB035",
             Code::Fdb040 => "FDB040",
+            Code::Fdb050 => "FDB050",
+            Code::Fdb051 => "FDB051",
+            Code::Fdb052 => "FDB052",
         }
     }
 
@@ -113,6 +128,7 @@ impl Code {
             Code::Fdb031 | Code::Fdb040 => "§4.1",
             Code::Fdb032 | Code::Fdb034 | Code::Fdb035 => "§6",
             Code::Fdb033 => "§4.1/§4.4",
+            Code::Fdb050 | Code::Fdb051 | Code::Fdb052 => "§5",
         }
     }
 
@@ -120,7 +136,7 @@ impl Code {
     pub fn severity(self) -> Severity {
         match self {
             Code::Fdb011 | Code::Fdb021 => Severity::Info,
-            Code::Fdb022 | Code::Fdb040 => Severity::Warning,
+            Code::Fdb022 | Code::Fdb040 | Code::Fdb051 => Severity::Warning,
             _ => Severity::Error,
         }
     }

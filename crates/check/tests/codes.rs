@@ -8,7 +8,7 @@ use fragdb_check::{
     admit, build_admitted, check, check_fragment_disjointness, AdmissionError, AdmissionPolicy,
     CheckInput, ClassDecl, Code, Severity,
 };
-use fragdb_core::{MovePolicy, StrategyKind, SystemConfig};
+use fragdb_core::{DetectorConfig, MovePolicy, StrategyKind, SystemConfig};
 use fragdb_model::{AgentId, Fragment, FragmentCatalog, FragmentId, NodeId, ObjectId};
 use fragdb_net::Topology;
 use fragdb_sim::SimDuration;
@@ -506,4 +506,86 @@ fn clean_config_is_admitted_and_builds() {
     .expect("clean config admitted");
     assert_eq!(system.node_count(), 3);
     assert!(report.is_admissible());
+}
+
+#[test]
+fn fdb05x_self_heal_admission() {
+    let (catalog, agents, topology) = schema(1, 4);
+    let input = |config: &SystemConfig| {
+        check(&CheckInput {
+            topology: &topology,
+            catalog: &catalog,
+            agents: &agents,
+            classes: &[],
+            config,
+        })
+        .into_diagnostics()
+        .into_iter()
+        .collect::<Vec<_>>()
+    };
+
+    // Detector on, but every fragment still on the default fixed policy:
+    // the heartbeats buy nothing (FDB050).
+    let inert = SystemConfig::unrestricted(1)
+        .with_detector(DetectorConfig::period(SimDuration::from_millis(50)));
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &inert,
+    });
+    assert!(report.has(Code::Fdb050), "{report}");
+    assert!(!report.is_admissible());
+
+    // Majority commit but only 2 replicas: a majority must include the
+    // dead home, so the election is unwinnable (FDB051, warning only).
+    let two_replica = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_replica_set(f(0), [n(0), n(1)])
+        .with_detector(DetectorConfig::period(SimDuration::from_millis(50)));
+    let diags = input(&two_replica);
+    let d = diags
+        .iter()
+        .find(|d| d.code == Code::Fdb051)
+        .expect("FDB051 expected");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.subject.contains("F0"), "{d}");
+    assert!(!diags.iter().any(|d| d.code == Code::Fdb050));
+
+    // Zero election timeout: every round aborts before a vote lands.
+    let hasty = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_detector(
+            DetectorConfig::period(SimDuration::from_millis(50))
+                .with_election_timeout(SimDuration::ZERO),
+        );
+    let diags = input(&hasty);
+    assert!(diags.iter().any(|d| d.code == Code::Fdb052));
+
+    // A well-formed self-healing config raises none of the three.
+    let sound = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_detector(DetectorConfig::period(SimDuration::from_millis(50)));
+    let diags = input(&sound);
+    assert!(!diags
+        .iter()
+        .any(|d| matches!(d.code, Code::Fdb050 | Code::Fdb051 | Code::Fdb052)));
+
+    // Detector off: the FDB05x block is silent even on a 2-replica set.
+    let off = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_replica_set(f(0), [n(0), n(1)]);
+    let diags = input(&off);
+    assert!(!diags
+        .iter()
+        .any(|d| matches!(d.code, Code::Fdb050 | Code::Fdb051 | Code::Fdb052)));
 }

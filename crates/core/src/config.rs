@@ -82,6 +82,84 @@ impl Default for BatchConfig {
     }
 }
 
+/// Self-healing token recovery: heartbeat failure detection plus quorum
+/// election.
+///
+/// When enabled, every node broadcasts a heartbeat each `heartbeat_period`
+/// over `ReliableNet`, and every node counts beats it should have seen
+/// from each peer. After `suspect_after` consecutive missed beats the
+/// observer raises a suspicion; if the suspect is the token home of a
+/// fragment the observer replicates, the lowest-id live replica starts a
+/// majority vote among the fragment's replicas. Winning re-homes the token
+/// through the §4.4.1 recovery machinery under a **bumped epoch**, fencing
+/// out the old home: in-flight majority commits from the dead epoch are
+/// refused at completion time, so a falsely-suspected (slow or
+/// partitioned) home that rejoins cannot split-brain the token.
+///
+/// Defaults to **off**: with the detector disabled no heartbeat traffic
+/// or timers exist and runs are byte-identical to a build without it
+/// (same pattern as [`BatchConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Heartbeat broadcast period; `ZERO` disables the detector.
+    pub heartbeat_period: SimDuration,
+    /// Consecutive missed heartbeats before raising a suspicion.
+    pub suspect_after: u32,
+    /// How long an election waits for votes before aborting the round.
+    pub election_timeout: SimDuration,
+}
+
+impl DetectorConfig {
+    /// Detector disabled (the default): no heartbeats, no elections.
+    pub fn off() -> Self {
+        DetectorConfig {
+            heartbeat_period: SimDuration::ZERO,
+            suspect_after: 3,
+            election_timeout: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Detector enabled with the given heartbeat period, suspecting after
+    /// 3 missed beats, with a 2-second election timeout.
+    pub fn period(heartbeat_period: SimDuration) -> Self {
+        DetectorConfig {
+            heartbeat_period,
+            ..DetectorConfig::off()
+        }
+    }
+
+    /// Replace the missed-beat suspicion threshold (builder style).
+    pub fn with_suspect_after(mut self, suspect_after: u32) -> Self {
+        self.suspect_after = suspect_after;
+        self
+    }
+
+    /// Replace the election timeout (builder style).
+    pub fn with_election_timeout(mut self, election_timeout: SimDuration) -> Self {
+        self.election_timeout = election_timeout;
+        self
+    }
+
+    /// Is the failure detector on?
+    pub fn enabled(&self) -> bool {
+        self.heartbeat_period > SimDuration::ZERO
+    }
+
+    /// Upper bound on detection latency: the suspicion threshold worth of
+    /// heartbeat periods, plus one period of sampling skew.
+    pub fn detection_bound(&self) -> SimDuration {
+        SimDuration::from_micros(
+            self.heartbeat_period.micros() * (u64::from(self.suspect_after) + 1),
+        )
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig::off()
+    }
+}
+
 /// Everything the [`System`](crate::system::System) needs besides the
 /// schema and the topology.
 #[derive(Debug, Clone)]
@@ -104,6 +182,8 @@ pub struct SystemConfig {
     pub retransmit: RetransmitConfig,
     /// Group-commit batching of the quasi broadcast (off by default).
     pub batch: BatchConfig,
+    /// Self-healing token recovery (off by default).
+    pub detector: DetectorConfig,
     /// RNG seed for the run.
     pub seed: u64,
 }
@@ -121,6 +201,7 @@ impl SystemConfig {
             faults: FaultConfig::clean(),
             retransmit: RetransmitConfig::default(),
             batch: BatchConfig::off(),
+            detector: DetectorConfig::off(),
             seed,
         }
     }
@@ -160,6 +241,12 @@ impl SystemConfig {
     /// style).
     pub fn with_batching(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Turn on self-healing token recovery (builder style).
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
         self
     }
 
@@ -226,6 +313,25 @@ mod tests {
         assert_eq!(idle.linger, SimDuration::ZERO);
         let tuned = BatchConfig::window(4).with_linger(SimDuration::from_millis(1));
         assert_eq!(tuned.linger, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn detector_defaults_off_and_builders_enable() {
+        let c = SystemConfig::unrestricted(1);
+        assert_eq!(c.detector, DetectorConfig::off());
+        assert!(!c.detector.enabled());
+
+        let d = DetectorConfig::period(SimDuration::from_millis(500))
+            .with_suspect_after(4)
+            .with_election_timeout(SimDuration::from_secs(1));
+        assert!(d.enabled());
+        assert_eq!(d.suspect_after, 4);
+        assert_eq!(d.election_timeout, SimDuration::from_secs(1));
+        // 4 missed beats + 1 period of sampling skew at 500 ms each.
+        assert_eq!(d.detection_bound(), SimDuration::from_millis(2500));
+
+        let c = c.with_detector(d);
+        assert!(c.detector.enabled());
     }
 
     #[test]

@@ -192,6 +192,43 @@ pub enum Envelope {
         /// The fragment whose share is dropped.
         fragment: FragmentId,
     },
+
+    // ---- self-healing token recovery ----------------------------------
+    /// "I am alive" — periodic liveness beacon from the failure detector.
+    /// Rides `ReliableNet` directly (no broadcast sequencing: liveness is
+    /// per-pair, and a heartbeat must not stall behind held-back updates).
+    Heartbeat {
+        /// The beating node.
+        from: NodeId,
+        /// The sender's beat counter, monotone per node.
+        beat: u64,
+    },
+    /// An election initiator asks a replica to vote for re-homing
+    /// `fragment`'s token away from its suspected home.
+    VoteReq {
+        /// Fragment whose home is suspected.
+        fragment: FragmentId,
+        /// The token epoch the initiator observed; a voter refuses when
+        /// its own view has moved past it (a newer election or an
+        /// explicit move already re-homed the token).
+        epoch: u64,
+        /// Proposed new home (the initiator itself).
+        candidate: NodeId,
+        /// Node to send the vote back to.
+        reply_to: NodeId,
+    },
+    /// A replica's answer to a [`Envelope::VoteReq`].
+    Vote {
+        /// Fragment being voted on.
+        fragment: FragmentId,
+        /// Epoch the vote fences on (copied from the request).
+        epoch: u64,
+        /// The voting node.
+        from: NodeId,
+        /// `true` = vote granted; `false` = refused (stale epoch, or this
+        /// voter already granted another candidate this epoch).
+        granted: bool,
+    },
 }
 
 impl Envelope {
@@ -216,6 +253,9 @@ impl Envelope {
             Envelope::MfVote { .. } => "mf_vote",
             Envelope::MfCommit { .. } => "mf_commit",
             Envelope::MfAbort { .. } => "mf_abort",
+            Envelope::Heartbeat { .. } => "heartbeat",
+            Envelope::VoteReq { .. } => "vote_req",
+            Envelope::Vote { .. } => "vote",
         }
     }
 
@@ -241,6 +281,9 @@ impl Envelope {
             Envelope::MfVote { .. } => "msg.mf_vote",
             Envelope::MfCommit { .. } => "msg.mf_commit",
             Envelope::MfAbort { .. } => "msg.mf_abort",
+            Envelope::Heartbeat { .. } => "msg.heartbeat",
+            Envelope::VoteReq { .. } => "msg.vote_req",
+            Envelope::Vote { .. } => "msg.vote",
         }
     }
 
@@ -318,5 +361,32 @@ mod tests {
         };
         assert_eq!(q.bseq(), Some(7));
         assert_eq!(q.kind(), "quasi");
+    }
+
+    #[test]
+    fn self_heal_envelopes_bypass_broadcast_sequencing() {
+        for env in [
+            Envelope::Heartbeat {
+                from: NodeId(1),
+                beat: 3,
+            },
+            Envelope::VoteReq {
+                fragment: FragmentId(0),
+                epoch: 2,
+                candidate: NodeId(1),
+                reply_to: NodeId(1),
+            },
+            Envelope::Vote {
+                fragment: FragmentId(0),
+                epoch: 2,
+                from: NodeId(2),
+                granted: true,
+            },
+        ] {
+            assert_eq!(env.bseq(), None, "{} must be direct", env.kind());
+            assert_eq!(env.payload_bytes(), None);
+            assert_eq!(env.metric_key(), format!("msg.{}", env.kind()));
+            assert!(fragdb_sim::metrics::keys::MSG_KINDS.contains(&env.kind()));
+        }
     }
 }

@@ -176,6 +176,19 @@ pub enum Ev {
         /// Generation of the batch the timer guards; stale timers no-op.
         gen: u64,
     },
+    /// The failure-detector heartbeat period elapsed: every live node
+    /// broadcasts a heartbeat and sweeps its local detector for newly
+    /// silent peers. Never scheduled when the detector is off.
+    DetectorTick,
+    /// An election's patience ran out: if the election for `fragment` at
+    /// `epoch` is still open, abort the round (a retry starts at the next
+    /// detector tick if the home is still suspected).
+    ElectionTimeout {
+        /// Fragment whose token is being recovered.
+        fragment: FragmentId,
+        /// Token epoch the election was fenced to; stale timers no-op.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Debug for Ev {
@@ -197,6 +210,10 @@ impl std::fmt::Debug for Ev {
             Ev::DataArrive { fragment, to, .. } => write!(f, "DataArrive({fragment} at {to})"),
             Ev::Timeout { txn } => write!(f, "Timeout({txn})"),
             Ev::FlushBatch { fragment, gen } => write!(f, "FlushBatch({fragment} gen{gen})"),
+            Ev::DetectorTick => write!(f, "DetectorTick"),
+            Ev::ElectionTimeout { fragment, epoch } => {
+                write!(f, "ElectionTimeout({fragment} e{epoch})")
+            }
         }
     }
 }

@@ -36,7 +36,7 @@ pub mod strategy;
 pub mod system;
 pub mod tokens;
 
-pub use config::{BatchConfig, SystemConfig};
+pub use config::{BatchConfig, DetectorConfig, SystemConfig};
 pub use envelope::Envelope;
 pub use events::{AbortReason, Ev, Notification, Submission};
 pub use movement::MovePolicy;

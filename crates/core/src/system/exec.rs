@@ -416,12 +416,22 @@ impl System {
                 notes.extend(self.abort_multi(at, txn, participants, home));
                 fragment
             }
-            Pending::Majority { fragment, home, .. } => {
+            Pending::Majority {
+                fragment,
+                home,
+                quasi,
+                ..
+            } => {
                 self.majority_inflight.remove(&fragment);
-                // Return the reserved sequence number so no gap forms.
-                let seq = self.tokens.peek_frag_seq(fragment);
-                self.tokens
-                    .set_next_frag_seq(fragment, seq.saturating_sub(1));
+                // Return the reserved sequence number so no gap forms —
+                // unless an election has re-homed the token since staging
+                // (epoch bumped): the new regime's recovery already reset
+                // the counter, and rolling it back would corrupt it.
+                if quasi.epoch == self.tokens.epoch(fragment) {
+                    let seq = self.tokens.peek_frag_seq(fragment);
+                    self.tokens
+                        .set_next_frag_seq(fragment, seq.saturating_sub(1));
+                }
                 self.broadcast_fragment(at, home, fragment, |bseq| Envelope::AbortCmd {
                     bseq,
                     txn,

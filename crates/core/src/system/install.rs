@@ -110,11 +110,9 @@ impl System {
         node: NodeId,
         quasi: QuasiTransaction,
     ) -> Vec<Notification> {
-        debug_assert_ne!(
-            quasi.origin(),
-            node,
-            "a node never re-installs its own commit"
-        );
+        // `quasi.origin() == node` is legitimate here: a home that crashed
+        // between `Prepare` and its local commit re-installs its own entry
+        // during catch-up after an elected successor resurrected it.
         self.nodes[node.0 as usize]
             .replica
             .install_quasi(&quasi, at);
@@ -134,6 +132,11 @@ impl System {
     ) -> Vec<Notification> {
         let slot = &mut self.nodes[node.0 as usize];
         slot.next_install.insert(quasi.fragment, quasi.frag_seq + 1);
+        // Prune any staged copy of this transaction: once installed, the
+        // stage is redundant, and leaving it would let a later
+        // `include_staged` recovery resurrect an entry that is already in
+        // the sequence (and leak memory until then).
+        slot.staged.remove(&quasi.txn);
         let ttype = TxnType::Update(quasi.fragment);
         for (object, _) in &quasi.updates {
             self.history
@@ -180,7 +183,7 @@ impl System {
 
         // §4.4.2B: if this node is a new home waiting to catch up, check
         // whether this install completed the prefix.
-        if let Some(MoveState::AwaitingSeq { new_home, upto }) =
+        if let Some(MoveState::AwaitingSeq { new_home, upto, .. }) =
             self.move_state.get(&quasi.fragment)
         {
             let (new_home, upto) = (*new_home, *upto);

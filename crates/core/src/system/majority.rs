@@ -142,6 +142,22 @@ impl System {
             unreachable!("checked above");
         };
         self.majority_inflight.remove(&fragment);
+        // Epoch fence: the quasi was staged under `quasi.epoch`. If a
+        // quorum election (or an explicit move) has re-homed the token
+        // since, this commit belongs to a deposed regime — refuse it even
+        // though a majority acked, so a falsely-suspected home that
+        // rejoins cannot fork the update sequence. The reserved sequence
+        // number is NOT returned: the new regime's recovery already reset
+        // the counter.
+        if quasi.epoch != self.tokens.epoch(fragment) {
+            self.broadcast_fragment(at, home, fragment, move |bseq| Envelope::AbortCmd {
+                bseq,
+                txn,
+            });
+            let mut notes = self.finish_abort(txn, fragment, crate::AbortReason::Unavailable);
+            notes.extend(self.drain_queued(at, fragment));
+            return notes;
+        }
         let mut notes = self.finish_commit(
             at,
             home,
@@ -191,23 +207,58 @@ impl System {
                 },
             );
         };
-        self.ordered_install(at, node, quasi)
+        // Gap fence: if the sequence has a hole below this entry, the
+        // install will be held back — and nothing retransmits the hole.
+        // The gap arises when a predecessor's `CommitCmd` died with a
+        // crashed home and an elected successor resurrected the entry
+        // from the staged majority (§4.4.1): the new home's WAL has the
+        // prefix, this node only ever staged it. Ask the commanding home
+        // for exactly the missing range, or every later commit at this
+        // node is held back forever.
+        let next = self.nodes[node.0 as usize]
+            .next_install
+            .get(&fragment)
+            .copied()
+            .unwrap_or(0);
+        let mut notes = Vec::new();
+        if quasi.frag_seq > next {
+            let have = self.nodes[node.0 as usize].replica.last_frag_seq(fragment);
+            notes.extend(self.send_direct(
+                at,
+                node,
+                from,
+                Envelope::SeqQuery {
+                    fragment,
+                    have,
+                    upto: Some(quasi.frag_seq - 1),
+                    reply_to: node,
+                    include_staged: false,
+                },
+            ));
+        }
+        notes.extend(self.ordered_install(at, node, quasi));
+        notes
     }
 
     // ---- move-time recovery ---------------------------------------------
 
     /// §4.4.1 move: start recovering the fragment's sequence from a
-    /// majority.
+    /// majority. `elected` marks a recovery started by a quorum election
+    /// (rather than the driver); completion then emits `TokenRecovered`.
     pub(crate) fn begin_majority_recovery(
         &mut self,
         at: SimTime,
         fragment: FragmentId,
+        old_home: NodeId,
         new_home: NodeId,
+        elected: bool,
     ) -> Vec<Notification> {
         self.move_state.insert(
             fragment,
             MoveState::MajorityRecovery {
                 new_home,
+                old_home,
+                elected,
                 replies: [new_home].into_iter().collect(),
             },
         );
@@ -322,13 +373,21 @@ impl System {
         entries: Vec<WalEntry>,
     ) -> Vec<Notification> {
         let mut notes = Vec::new();
-        if let Some(MoveState::MajorityRecovery { new_home, replies }) =
-            self.move_state.get_mut(&fragment)
+        if let Some(MoveState::MajorityRecovery {
+            new_home, replies, ..
+        }) = self.move_state.get_mut(&fragment)
         {
             if *new_home == node {
                 replies.insert(replier);
             }
         }
+        // Install unconditionally — `ordered_install` drops anything
+        // already present. In particular an entry *originated* by this
+        // node must not be skipped: after a crash the origin may never
+        // have installed its own commit (it crashed between `Prepare`
+        // and the local install) while an elected successor resurrected
+        // it from the staged majority; skipping it here would leave a
+        // permanent hole that holds back the rest of the sequence.
         for e in entries {
             let quasi = QuasiTransaction {
                 txn: e.txn,
@@ -337,9 +396,7 @@ impl System {
                 epoch: e.epoch,
                 updates: e.updates,
             };
-            if quasi.origin() != node {
-                notes.extend(self.ordered_install(at, node, quasi));
-            }
+            notes.extend(self.ordered_install(at, node, quasi));
         }
         notes.extend(self.check_recovery_done(at, fragment));
         notes
@@ -354,7 +411,9 @@ impl System {
         if !done {
             return Vec::new();
         }
-        let Some(MoveState::MajorityRecovery { new_home, .. }) = self.move_state.remove(&fragment)
+        let Some(MoveState::MajorityRecovery {
+            new_home, elected, ..
+        }) = self.move_state.remove(&fragment)
         else {
             unreachable!("checked above");
         };
@@ -369,6 +428,16 @@ impl System {
             fragment: fragment.0,
             node: new_home.0,
         });
+        if elected {
+            // Self-healing complete: the fragment is writable again at the
+            // elected home. Probes close `frag.<f>.unavail_window` here.
+            let epoch = self.tokens.epoch(fragment);
+            self.engine.emit(|| TelemetryEvent::TokenRecovered {
+                fragment: fragment.0,
+                epoch,
+                node: new_home.0,
+            });
+        }
         let mut notes = vec![Notification::MoveCompleted {
             fragment,
             node: new_home,

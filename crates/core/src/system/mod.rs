@@ -10,6 +10,7 @@
 //! to [`Notification::Installed`].
 
 mod batch;
+mod election;
 mod exec;
 mod install;
 mod locks_proto;
@@ -24,7 +25,8 @@ use fragdb_model::{
     Updates, Value,
 };
 use fragdb_net::{
-    BroadcastLayer, Delivery, NetAction, NetworkChange, PktDelivery, ReliableNet, Topology,
+    BroadcastLayer, Delivery, FailureDetector, NetAction, NetworkChange, PktDelivery, ReliableNet,
+    Topology,
 };
 use fragdb_sim::metrics::keys;
 use fragdb_sim::{CausalId, Engine, SimDuration, SimTime, TelemetryEvent};
@@ -143,18 +145,29 @@ pub(crate) enum Pending {
     },
 }
 
-/// Per-fragment state while an agent move is in progress.
+/// Per-fragment state while an agent move is in progress. Every variant
+/// remembers `old_home` so a crash of either endpoint mid-move can be
+/// unwound (the token reattaches to the surviving side instead of the
+/// move stalling forever).
 pub(crate) enum MoveState {
     /// §4.4.1: new home is recovering the update sequence from a majority.
     MajorityRecovery {
         new_home: NodeId,
+        old_home: NodeId,
+        /// `true` when a quorum election (not the driver) started the
+        /// recovery; completion then emits `TokenRecovered`.
+        elected: bool,
         replies: BTreeSet<NodeId>,
     },
     /// §4.4.2A: waiting for the couriered fragment copy.
-    AwaitingData { new_home: NodeId },
+    AwaitingData { new_home: NodeId, old_home: NodeId },
     /// §4.4.2B: new home waits until it has installed everything below
     /// `upto`.
-    AwaitingSeq { new_home: NodeId, upto: u64 },
+    AwaitingSeq {
+        new_home: NodeId,
+        old_home: NodeId,
+        upto: u64,
+    },
 }
 
 /// A submission parked while its fragment is mid-move (or behind a
@@ -336,6 +349,20 @@ pub struct System {
     pub(crate) open_batches: BTreeMap<FragmentId, OpenBatch>,
     /// Flush-timer generation allocator (stale timers are no-ops).
     pub(crate) next_batch_gen: u64,
+    /// Self-healing token recovery knob (off by default).
+    pub(crate) detector_cfg: crate::config::DetectorConfig,
+    /// Each live node's local liveness view (present only when the
+    /// detector is enabled; a crashed node's entry is volatile and is
+    /// rebuilt fresh at recovery).
+    pub(crate) detectors: BTreeMap<NodeId, FailureDetector>,
+    /// Open quorum elections, at most one per fragment.
+    pub(crate) elections: BTreeMap<FragmentId, election::ElectionState>,
+    /// Vote ledger: `(fragment, epoch, voter) → candidate`. A voter grants
+    /// at most one candidate per `(fragment, epoch)`, so two candidates
+    /// can never both assemble a majority in the same epoch.
+    pub(crate) granted_votes: BTreeMap<(FragmentId, u64, NodeId), NodeId>,
+    /// Monotone heartbeat counter shared by all senders (diagnostic only).
+    pub(crate) detector_beat: u64,
 }
 
 /// An under-construction group-commit batch (volatile, home-side).
@@ -440,7 +467,24 @@ impl System {
                 mf_staged: BTreeMap::new(),
             })
             .collect();
-        Ok(System {
+        let mut detectors = BTreeMap::new();
+        if config.detector.enabled() {
+            // Every node starts with a full silence allowance for every
+            // peer; the first sweep happens one period in.
+            for i in 0..n {
+                let mut d = FailureDetector::new(
+                    config.detector.heartbeat_period,
+                    config.detector.suspect_after,
+                );
+                for j in 0..n {
+                    if j != i {
+                        d.track(NodeId(j), SimTime::ZERO);
+                    }
+                }
+                detectors.insert(NodeId(i), d);
+            }
+        }
+        let mut system = System {
             engine: Engine::new(config.seed),
             history: History::new(),
             catalog,
@@ -469,7 +513,19 @@ impl System {
             batch_cfg: config.batch,
             open_batches: BTreeMap::new(),
             next_batch_gen: 0,
-        })
+            detector_cfg: config.detector,
+            detectors,
+            elections: BTreeMap::new(),
+            granted_votes: BTreeMap::new(),
+            detector_beat: 0,
+        };
+        if system.detector_cfg.enabled() {
+            // The recurring tick re-arms itself; with the detector off it
+            // is never scheduled, keeping default runs byte-identical.
+            let first = SimTime::ZERO + system.detector_cfg.heartbeat_period;
+            system.engine.schedule_timer_at(first, Ev::DetectorTick);
+        }
+        Ok(system)
     }
 
     // ---- driver API ----------------------------------------------------
@@ -633,6 +689,10 @@ impl System {
             } => self.handle_data_arrive(at, fragment, to, snapshot, next_frag_seq, epoch),
             Ev::Timeout { txn } => self.handle_timeout(at, txn),
             Ev::FlushBatch { fragment, gen } => self.handle_flush_batch(at, fragment, gen),
+            Ev::DetectorTick => self.handle_detector_tick(at),
+            Ev::ElectionTimeout { fragment, epoch } => {
+                self.handle_election_timeout(at, fragment, epoch)
+            }
         }
     }
 
@@ -777,6 +837,19 @@ impl System {
             Envelope::MfVote { xid, fragment, yes } => self.on_mf_vote(at, xid, fragment, yes),
             Envelope::MfCommit { xid, fragment } => self.on_mf_commit(at, to, xid, fragment),
             Envelope::MfAbort { xid, fragment } => self.on_mf_abort(at, to, xid, fragment),
+            Envelope::Heartbeat { from: beater, .. } => self.on_heartbeat(at, to, beater),
+            Envelope::VoteReq {
+                fragment,
+                epoch,
+                candidate,
+                reply_to,
+            } => self.on_vote_req(at, to, fragment, epoch, candidate, reply_to),
+            Envelope::Vote {
+                fragment,
+                epoch,
+                from: voter,
+                granted,
+            } => self.on_vote(at, to, fragment, epoch, voter, granted),
             other => unreachable!("broadcast envelope {:?} in direct path", other.kind()),
         }
     }
@@ -995,8 +1068,26 @@ impl System {
         // Un-flushed group-commit batches are volatile send-side state,
         // exactly like the reliable layer's unacked buffer: the commits
         // survive only in this node's WAL and reach the other replicas
-        // through recovery anti-entropy.
-        self.open_batches.retain(|_, ob| ob.home != node);
+        // through recovery anti-entropy. Each discarded quasi gets an
+        // explicit `BatchDiscarded` event so its causal id is closed in
+        // the telemetry join rather than dangling as a phantom lag.
+        let dead_batches: Vec<FragmentId> = self
+            .open_batches
+            .iter()
+            .filter(|(_, ob)| ob.home == node)
+            .map(|(&f, _)| f)
+            .collect();
+        for f in dead_batches {
+            let ob = self.open_batches.remove(&f).expect("collected above");
+            for q in &ob.quasis {
+                self.engine.metrics.incr(keys::BATCH_DISCARDED);
+                let cause = Self::cid(q.fragment, q.epoch, q.frag_seq);
+                self.engine.emit(|| TelemetryEvent::BatchDiscarded {
+                    cause,
+                    node: node.0,
+                });
+            }
+        }
 
         let slot = &mut self.nodes[node.0 as usize];
         slot.replica.crash();
@@ -1024,7 +1115,116 @@ impl System {
         for txn in mine {
             notes.extend(self.abort_crashed(node, txn));
         }
+        notes.extend(self.unwind_moves_on_crash(at, node));
+        self.election_cleanup_on_crash(node);
+        self.detectors.remove(&node);
         notes.push(Notification::Crashed { node, at });
+        notes
+    }
+
+    /// Bug-sweep (liveness): a crash of a move endpoint used to leave the
+    /// `MoveState` entry in place forever — nothing re-drove it, so the
+    /// fragment stayed write-unavailable and queued submissions never
+    /// drained. Unwind or re-drive every affected move.
+    fn unwind_moves_on_crash(&mut self, at: SimTime, node: NodeId) -> Vec<Notification> {
+        let affected: Vec<FragmentId> = self
+            .move_state
+            .iter()
+            .filter(|(_, st)| match st {
+                MoveState::MajorityRecovery {
+                    new_home, old_home, ..
+                }
+                | MoveState::AwaitingData { new_home, old_home }
+                | MoveState::AwaitingSeq {
+                    new_home, old_home, ..
+                } => *new_home == node || *old_home == node,
+            })
+            .map(|(&f, _)| f)
+            .collect();
+        let mut notes = Vec::new();
+        for fragment in affected {
+            let st = self.move_state.get(&fragment).expect("collected above");
+            let (new_home, old_home) = match st {
+                MoveState::MajorityRecovery {
+                    new_home, old_home, ..
+                }
+                | MoveState::AwaitingData { new_home, old_home }
+                | MoveState::AwaitingSeq {
+                    new_home, old_home, ..
+                } => (*new_home, *old_home),
+            };
+            if new_home == node {
+                // The destination died mid-move: abort the move. The token
+                // reattaches to the old home when it is still alive (epoch
+                // bumps, fencing any stray destination-side traffic); when
+                // it is not — an elected recovery whose candidate crashed —
+                // the token stays put and the next detector sweep elects a
+                // fresh candidate.
+                self.move_state.remove(&fragment);
+                if !self.down.contains(&old_home) {
+                    self.tokens.reattach(fragment, old_home);
+                    // Resume the sequence from the old home's installed
+                    // prefix, exactly as a *completed* recovery would
+                    // (`check_recovery_done`). Without this, a sequence
+                    // number reserved by a commit the move orphan-aborted
+                    // stays consumed — the abort's epoch fence refused to
+                    // roll the counter back — and the permanent hole holds
+                    // back every later install at every replica.
+                    let next = self.nodes[old_home.0 as usize]
+                        .next_install
+                        .get(&fragment)
+                        .copied()
+                        .unwrap_or(0);
+                    self.tokens.set_next_frag_seq(fragment, next);
+                }
+                self.engine.emit(|| TelemetryEvent::MoveAborted {
+                    fragment: fragment.0,
+                    from: old_home.0,
+                    to: new_home.0,
+                });
+                notes.extend(self.drain_queued(at, fragment));
+            } else if matches!(st, MoveState::AwaitingSeq { .. }) {
+                // §4.4.2B with the old home dead: the missing prefix may
+                // have died in the old home's unacked send buffer. Re-drive
+                // via anti-entropy against every other replica — a live one
+                // answers from its installed copy, and the query addressed
+                // to the dead old home itself is retransmitted until it
+                // recovers and answers from its WAL, so the move completes
+                // even when no live replica ever saw the missing entries.
+                let MoveState::AwaitingSeq { upto, .. } =
+                    *self.move_state.get(&fragment).expect("collected above")
+                else {
+                    unreachable!("matched above");
+                };
+                let have = self.nodes[new_home.0 as usize]
+                    .replica
+                    .last_frag_seq(fragment);
+                let targets: Vec<NodeId> = match self.replicas_of(fragment) {
+                    Some(set) => set.iter().copied().collect(),
+                    None => (0..self.nodes.len() as u32).map(NodeId).collect(),
+                };
+                for t in targets {
+                    if t == new_home {
+                        continue;
+                    }
+                    notes.extend(self.send_direct(
+                        at,
+                        new_home,
+                        t,
+                        Envelope::SeqQuery {
+                            fragment,
+                            have,
+                            upto: upto.checked_sub(1),
+                            reply_to: new_home,
+                            include_staged: false,
+                        },
+                    ));
+                }
+            }
+            // MajorityRecovery with the old home dead needs nothing: the
+            // recovery majority forms from the surviving replicas'
+            // `SeqReply`s (every committed entry was acked by a majority).
+        }
         notes
     }
 
@@ -1069,12 +1269,19 @@ impl System {
                     }),
                 )
             }
-            Pending::Majority { fragment, .. } => {
+            Pending::Majority {
+                fragment, quasi, ..
+            } => {
                 self.majority_inflight.remove(&fragment);
-                // Return the reserved sequence number so no gap forms.
-                let seq = self.tokens.peek_frag_seq(fragment);
-                self.tokens
-                    .set_next_frag_seq(fragment, seq.saturating_sub(1));
+                // Return the reserved sequence number so no gap forms —
+                // unless the token has since been re-homed (epoch bumped):
+                // the new regime's recovery already reset the counter, and
+                // rolling it back would corrupt the new home's sequence.
+                if quasi.epoch == self.tokens.epoch(fragment) {
+                    let seq = self.tokens.peek_frag_seq(fragment);
+                    self.tokens
+                        .set_next_frag_seq(fragment, seq.saturating_sub(1));
+                }
                 (fragment, Some(CrashTombstone::AbortCmd { fragment, txn }))
             }
         };
@@ -1105,6 +1312,22 @@ impl System {
 
         self.net.resync_node(node);
         self.bcast.resync_node(node);
+
+        if self.detector_cfg.enabled() {
+            // The liveness view is volatile: restart with a fresh full
+            // silence allowance for every peer, so stale pre-crash
+            // timestamps cannot produce instant suspicions.
+            let mut d = FailureDetector::new(
+                self.detector_cfg.heartbeat_period,
+                self.detector_cfg.suspect_after,
+            );
+            for i in 0..self.nodes.len() as u32 {
+                if NodeId(i) != node {
+                    d.track(NodeId(i), at);
+                }
+            }
+            self.detectors.insert(node, d);
+        }
 
         let mut notes = Vec::new();
         for t in self.tombstones.remove(&node).unwrap_or_default() {

@@ -100,7 +100,7 @@ impl System {
             MovePolicy::Fixed => unreachable!("checked above"),
             MovePolicy::MajorityCommit { .. } => {
                 self.tokens.reattach(fragment, to);
-                notes.extend(self.begin_majority_recovery(at, fragment, to));
+                notes.extend(self.begin_majority_recovery(at, fragment, old_home, to, false));
             }
             MovePolicy::WithData { transfer_delay } => {
                 // §4.4.2A: the agent carries a copy of the fragment from X.
@@ -115,8 +115,13 @@ impl System {
                 let snapshot = self.nodes[old_home.0 as usize].replica.snapshot(&objects);
                 let next_frag_seq = self.tokens.peek_frag_seq(fragment);
                 let epoch = self.tokens.reattach(fragment, to);
-                self.move_state
-                    .insert(fragment, MoveState::AwaitingData { new_home: to });
+                self.move_state.insert(
+                    fragment,
+                    MoveState::AwaitingData {
+                        new_home: to,
+                        old_home,
+                    },
+                );
                 self.engine.schedule(
                     transfer_delay,
                     Ev::DataArrive {
@@ -149,8 +154,14 @@ impl System {
                         at,
                     });
                 } else {
-                    self.move_state
-                        .insert(fragment, MoveState::AwaitingSeq { new_home: to, upto });
+                    self.move_state.insert(
+                        fragment,
+                        MoveState::AwaitingSeq {
+                            new_home: to,
+                            old_home,
+                            upto,
+                        },
+                    );
                 }
             }
             MovePolicy::NoPrep => {
@@ -173,13 +184,15 @@ impl System {
         next_frag_seq: u64,
         _epoch: u64,
     ) -> Vec<Notification> {
-        debug_assert!(
-            matches!(
-                self.move_state.get(&fragment),
-                Some(MoveState::AwaitingData { new_home }) if *new_home == to
-            ),
-            "DataArrive without a matching AwaitingData move"
-        );
+        // No matching move: the destination crashed in transit and the
+        // crash sweep unwound the move — the courier's copy is lost with
+        // the node (the paper's tape on the crashed mainframe's desk).
+        if !matches!(
+            self.move_state.get(&fragment),
+            Some(MoveState::AwaitingData { new_home, .. }) if *new_home == to
+        ) {
+            return Vec::new();
+        }
         let restore_txn = self.alloc_txn(to);
         let slot = &mut self.nodes[to.0 as usize];
         slot.replica.restore(&snapshot, restore_txn, at);

@@ -1,7 +1,8 @@
 //! `fragdb-trace` — the structured-telemetry explorer.
 //!
 //! Runs one or more telemetry scenarios (§4.1 read locks fault-free,
-//! §4.3 unrestricted under faults, §4.4.1 majority movement) and renders:
+//! §4.3 unrestricted under faults, §4.4.1 majority movement, §5
+//! self-healing token recovery) and renders:
 //!
 //! 1. a per-fragment ASCII timeline joining each commit to the installs it
 //!    caused (flagging incomplete R-joins);

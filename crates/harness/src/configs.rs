@@ -8,7 +8,7 @@
 //! configuration stops passing admission.
 
 use fragdb_check::{admit, AdmissionError, AdmissionPolicy, CheckInput, ClassDecl, Report};
-use fragdb_core::{MovePolicy, StrategyKind, SystemConfig};
+use fragdb_core::{DetectorConfig, MovePolicy, StrategyKind, SystemConfig};
 use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, UserId};
 use fragdb_net::Topology;
 use fragdb_sim::SimDuration;
@@ -291,6 +291,29 @@ fn movement(seed: u64) -> NamedConfig {
     }
 }
 
+/// §5 self-healing (tests/self_heal.rs): a majority-commit fragment over
+/// five nodes with the failure detector on, so a crash of the token home
+/// is detected, voted on, and repaired without an operator.
+fn self_heal(seed: u64) -> NamedConfig {
+    let mut b = FragmentCatalog::builder();
+    let (p, _) = b.add_fragment("PROTECTED", 2);
+    NamedConfig {
+        name: "self-heal",
+        source: "tests/self_heal.rs",
+        topology: Topology::full_mesh(5, ms(10)),
+        catalog: b.build(),
+        agents: vec![(p, AgentId::User(UserId(0)), NodeId(0))],
+        classes: vec![ClassDecl::update("bump", p, [p])],
+        config: SystemConfig::unrestricted(seed)
+            .with_move_policy(MovePolicy::MajorityCommit {
+                timeout: SimDuration::from_secs(5),
+            })
+            .with_detector(
+                DetectorConfig::period(ms(500)).with_election_timeout(SimDuration::from_secs(2)),
+            ),
+    }
+}
+
 /// `tests/chaos.rs`: four user fragments over five nodes, unrestricted.
 fn chaos(seed: u64) -> NamedConfig {
     let mut b = FragmentCatalog::builder();
@@ -330,6 +353,7 @@ pub fn all(seed: u64) -> Vec<NamedConfig> {
         mixed(seed),
         partial_replication(seed),
         movement(seed),
+        self_heal(seed),
         chaos(seed),
     ]
 }

@@ -37,9 +37,17 @@ pub const READ_LOCKS_FIXED: &str = "read-locks-fixed";
 pub const UNRESTRICTED_FAULTS: &str = "unrestricted-faults";
 /// §4.4.1 scenario name: majority commit with token movement under faults.
 pub const MAJORITY_MOVEMENT: &str = "majority-movement";
+/// §5 scenario name: failure detector + quorum election re-homing the
+/// token after the home crashes, without an operator in the loop.
+pub const SELF_HEAL: &str = "self-heal";
 
 /// Every shipped scenario name, in a stable order.
-pub const SCENARIOS: [&str; 3] = [READ_LOCKS_FIXED, UNRESTRICTED_FAULTS, MAJORITY_MOVEMENT];
+pub const SCENARIOS: [&str; 4] = [
+    READ_LOCKS_FIXED,
+    UNRESTRICTED_FAULTS,
+    MAJORITY_MOVEMENT,
+    SELF_HEAL,
+];
 
 /// Cap on retained telemetry events per run (probes stay exact past it).
 const TELEMETRY_CAP: usize = 200_000;
@@ -243,12 +251,39 @@ fn majority_movement(seed: u64, quick: bool) -> TraceRun {
     drive(sys, secs(horizon + 80), MAJORITY_MOVEMENT, "4.4.1")
 }
 
+/// §5: the self-healing configuration. The token home crashes mid-stream;
+/// the failure detector suspects it, the surviving replicas elect a new
+/// home under a bumped epoch, and the §4.4.1 recovery re-seats the token.
+/// The crashed home later recovers into the new regime (the epoch fence
+/// keeps its stale state harmless). Probes: `frag.<f>.unavail_window`
+/// (election start → token recovered), `detector.suspicions`,
+/// `election.rounds`, and `batch.discarded` for the open batch that died
+/// with the home.
+fn self_heal(seed: u64, quick: bool) -> TraceRun {
+    let named = configs::by_name("self-heal", seed).expect("registered");
+    let objects: Vec<ObjectId> = named.catalog.fragments()[0].objects.clone();
+    let fragment = named.catalog.fragments()[0].id;
+    let mut sys = System::build(named.topology, named.catalog, named.agents, named.config)
+        .expect("admissible config");
+    let rounds = if quick { 10 } else { 24 };
+    for k in 0..rounds {
+        sys.submit_at(secs(k + 1), Submission::update(fragment, bump(&objects)));
+    }
+    // Kill the home mid-stream: detection bound is 2s (500ms × (3+1)),
+    // election timeout 2s, so the token re-seats well before the
+    // submissions run out.
+    sys.crash_at(secs(4), NodeId(0));
+    sys.recover_at(secs(rounds / 2 + 4), NodeId(0));
+    drive(sys, secs(rounds + 60), SELF_HEAL, "5")
+}
+
 /// Run a scenario by name. `quick` scales the workload down for CI smoke.
 pub fn run_scenario(name: &str, seed: u64, quick: bool) -> Option<TraceRun> {
     match name {
         READ_LOCKS_FIXED => Some(read_locks_fixed(seed, quick)),
         UNRESTRICTED_FAULTS => Some(unrestricted_faults(seed, quick)),
         MAJORITY_MOVEMENT => Some(majority_movement(seed, quick)),
+        SELF_HEAL => Some(self_heal(seed, quick)),
         _ => None,
     }
 }
@@ -268,6 +303,20 @@ struct CauseRow {
     committed: Option<(SimTime, u32)>,
     installs: Vec<(u32, SimTime)>,
     recipients: Option<u32>,
+    /// The home crashed with this quasi still in an open batch: the join
+    /// is closed (no installs will ever arrive), not incomplete.
+    discarded: Option<u32>,
+}
+
+impl CauseRow {
+    fn empty() -> Self {
+        CauseRow {
+            committed: None,
+            installs: Vec::new(),
+            recipients: None,
+            discarded: None,
+        }
+    }
 }
 
 /// Render the per-fragment ASCII timeline: each committed quasi-transaction
@@ -278,21 +327,13 @@ pub fn render_timeline(run: &TraceRun, max_rows_per_fragment: usize) -> String {
     for r in &run.records {
         match &r.event {
             TelemetryEvent::Committed { cause, node } => {
-                let row = by_cause.entry(*cause).or_insert_with(|| CauseRow {
-                    committed: None,
-                    installs: Vec::new(),
-                    recipients: None,
-                });
+                let row = by_cause.entry(*cause).or_insert_with(CauseRow::empty);
                 row.committed = Some((r.at, *node));
             }
             TelemetryEvent::Installed { cause, node } => {
                 by_cause
                     .entry(*cause)
-                    .or_insert_with(|| CauseRow {
-                        committed: None,
-                        installs: Vec::new(),
-                        recipients: None,
-                    })
+                    .or_insert_with(CauseRow::empty)
                     .installs
                     .push((*node, r.at));
             }
@@ -301,12 +342,14 @@ pub fn render_timeline(run: &TraceRun, max_rows_per_fragment: usize) -> String {
             } => {
                 by_cause
                     .entry(*cause)
-                    .or_insert_with(|| CauseRow {
-                        committed: None,
-                        installs: Vec::new(),
-                        recipients: None,
-                    })
+                    .or_insert_with(CauseRow::empty)
                     .recipients = Some(*recipients);
+            }
+            TelemetryEvent::BatchDiscarded { cause, node } => {
+                by_cause
+                    .entry(*cause)
+                    .or_insert_with(CauseRow::empty)
+                    .discarded = Some(*node);
             }
             _ => {}
         }
@@ -351,7 +394,11 @@ pub fn render_timeline(run: &TraceRun, max_rows_per_fragment: usize) -> String {
                     None => format!("n{node}@{}", fmt_micros(at.micros())),
                 })
                 .collect();
-            let join = if installs.len() as u32 >= replicas {
+            let join = if let Some(node) = row.discarded {
+                // The open batch died with its home: the join is closed,
+                // not pending — downstream installs can never arrive.
+                format!("  [batch DISCARDED @n{node}]")
+            } else if installs.len() as u32 >= replicas {
                 String::new()
             } else {
                 format!("  [join {}/{replicas} INCOMPLETE]", installs.len())
@@ -386,7 +433,9 @@ pub fn render_summary(run: &TraceRun) -> String {
         if !dimensioned {
             continue;
         }
-        let time_valued = key.ends_with(".lag") || key.ends_with(".move_stall");
+        let time_valued = key.ends_with(".lag")
+            || key.ends_with(".move_stall")
+            || key.ends_with(".unavail_window");
         let fmt = |v: u64| {
             if time_valued {
                 fmt_micros(v)
@@ -497,6 +546,15 @@ const EVENT_SCHEMA: &[(&str, &[&str])] = &[
     ("crash", &["node"]),
     ("recover", &["node", "behind_fragments"]),
     ("catchup_complete", &["node"]),
+    ("suspect_raised", &["node", "suspect"]),
+    ("election_started", &["fragment", "epoch", "candidate"]),
+    ("election_won", &["fragment", "epoch", "node"]),
+    ("election_aborted", &["fragment", "epoch", "reason"]),
+    ("token_recovered", &["fragment", "epoch", "node"]),
+    (
+        "batch_discarded",
+        &["fragment", "epoch", "frag_seq", "node"],
+    ),
 ];
 
 /// Summary statistics from a validated JSONL export.
@@ -700,6 +758,32 @@ mod tests {
         assert!(
             summary.contains(".staleness"),
             "summary must show staleness probes:\n{summary}"
+        );
+    }
+
+    #[test]
+    fn self_heal_scenario_recovers_the_token() {
+        let run = self_heal(42, true);
+        let recovered = run
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TelemetryEvent::TokenRecovered { .. }));
+        assert!(recovered, "the election must re-home the crashed token");
+        let h = run
+            .metrics
+            .histograms()
+            .find(|(k, _)| k.ends_with(".unavail_window"))
+            .map(|(_, h)| h)
+            .expect("unavailability window observed");
+        assert!(h.count() >= 1);
+        // The export (including the six §5 events) satisfies its schema.
+        let stats = validate_jsonl(&render_jsonl(&run)).expect("schema-valid");
+        assert!(stats.by_event.contains_key("election_started"));
+        assert!(stats.by_event.contains_key("token_recovered"));
+        let summary = render_summary(&run);
+        assert!(
+            summary.contains(".unavail_window"),
+            "summary must show the §5 probe:\n{summary}"
         );
     }
 

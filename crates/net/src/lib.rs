@@ -25,6 +25,9 @@
 //! * [`reliable`] — ack/retransmit point-to-point delivery that *earns*
 //!   eventual, exactly-once, per-pair-FIFO delivery under injected loss,
 //!   duplication, and reordering, instead of assuming it.
+//! * [`detector`] — deterministic heartbeat failure detection: each node's
+//!   local view of peer liveness, feeding the quorum election that
+//!   replaces the paper's manual post-failure operator hooks.
 //!
 //! The crate is engine-agnostic: methods take the current [`SimTime`] and
 //! return `(deliver_at, Delivery)` pairs (or [`reliable::NetAction`]s) for
@@ -34,6 +37,7 @@
 //! [`SimTime`]: fragdb_sim::SimTime
 
 pub mod broadcast;
+pub mod detector;
 pub mod fault;
 pub mod linkstate;
 pub mod partition;
@@ -42,6 +46,7 @@ pub mod topology;
 pub mod transport;
 
 pub use broadcast::BroadcastLayer;
+pub use detector::FailureDetector;
 pub use fault::{FaultConfig, FaultPlan};
 pub use linkstate::LinkState;
 pub use partition::{NetworkChange, PartitionSchedule};

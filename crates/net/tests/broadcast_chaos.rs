@@ -17,7 +17,9 @@
 use std::collections::BTreeMap;
 
 use fragdb_model::NodeId;
-use fragdb_net::{BroadcastLayer, FaultConfig, FaultPlan, NetAction, ReliableNet, Topology};
+use fragdb_net::{
+    BroadcastLayer, FaultConfig, FaultPlan, NetAction, ReliableNet, RetransmitTimer, Topology,
+};
 use fragdb_sim::{SimDuration, SimRng, SimTime};
 
 fn n(i: u32) -> NodeId {
@@ -105,6 +107,15 @@ struct ChaosLoop {
     queue: BTreeMap<(SimTime, u64), NetAction<Wire>>,
     seq: u64,
     processed: BTreeMap<(NodeId, NodeId), Vec<u64>>,
+    /// `Timer` actions handed to the loop by the reliable layer (armed)
+    /// vs fed back through `on_timer` (fired). Conservation — armed ==
+    /// fired at quiescence — is the wheel-ops hygiene law: a timer that
+    /// never fires is a leak in the caller's wheel, and a firing that was
+    /// never armed is a phantom.
+    timers_armed: u64,
+    timers_fired: u64,
+    /// Every timer ever armed, for the stale-replay hygiene test.
+    timer_log: Vec<RetransmitTimer>,
 }
 
 impl ChaosLoop {
@@ -116,6 +127,9 @@ impl ChaosLoop {
             queue: BTreeMap::new(),
             seq: 0,
             processed: BTreeMap::new(),
+            timers_armed: 0,
+            timers_fired: 0,
+            timer_log: Vec::new(),
         }
     }
 
@@ -123,7 +137,11 @@ impl ChaosLoop {
         for a in actions {
             let at = match &a {
                 NetAction::Deliver(t, _) => *t,
-                NetAction::Timer(t, _) => *t,
+                NetAction::Timer(t, tm) => {
+                    self.timers_armed += 1;
+                    self.timer_log.push(*tm);
+                    *t
+                }
             };
             self.queue.insert((at, self.seq), a);
             self.seq += 1;
@@ -162,6 +180,7 @@ impl ChaosLoop {
                     self.push(acts);
                 }
                 NetAction::Timer(_, t) => {
+                    self.timers_fired += 1;
                     let acts = self.net.on_timer(at, t, &mut self.rng);
                     self.push(acts);
                 }
@@ -216,7 +235,54 @@ fn faulty_stack_preserves_fifo_exactly_once() {
         }
         assert_eq!(l.net.pending_count(), 0, "case {case}: unacked packets");
         assert_eq!(l.layer.held_back(), 0, "case {case}: messages stuck");
+        // Timer conservation: the loop drained, so every retransmission
+        // timer the layer armed must have fired exactly once — a deficit
+        // is a leaked wheel entry, a surplus a phantom firing.
+        assert_eq!(
+            l.timers_armed, l.timers_fired,
+            "case {case}: timers armed != timers fired at quiescence"
+        );
     }
+}
+
+/// Timer hygiene: once every window has drained, re-firing any timer the
+/// layer ever armed is a generation-checked no-op — no retransmissions,
+/// no new actions, no stat movement. A regression here means a stale
+/// timer can resurrect acked traffic or re-arm itself forever.
+#[test]
+fn stale_timers_are_no_ops_after_quiescence() {
+    let mut rng = SimRng::new(0xB_CA57_4000);
+    let plan = random_plan(&mut rng);
+    let net = ReliableNet::new(Topology::full_mesh(3, SimDuration::from_millis(10)))
+        .with_faults(FaultConfig::uniform(plan));
+    let mut l = ChaosLoop::new(net, 0xB_CA57_4001);
+    for k in 0..10u64 {
+        for s in 0..3u32 {
+            l.broadcast(SimTime::from_millis(k * 30 + s as u64), n(s), (s, k), 3);
+        }
+    }
+    l.run(SimTime::from_secs(3_600));
+    assert_eq!(l.net.pending_count(), 0, "loop must quiesce first");
+    assert!(!l.timer_log.is_empty(), "the plan must have armed timers");
+
+    let before = l.net.stats();
+    let late = SimTime::from_secs(7_200);
+    for &t in &l.timer_log {
+        let acts = l.net.on_timer(late, t, &mut l.rng);
+        assert!(
+            acts.is_empty(),
+            "stale timer {t:?} produced actions after quiescence"
+        );
+    }
+    let after = l.net.stats();
+    assert_eq!(
+        before.retransmissions, after.retransmissions,
+        "stale timers must not retransmit"
+    );
+    assert_eq!(
+        before.transmissions, after.transmissions,
+        "stale timers must not put packets on the wire"
+    );
 }
 
 /// Chaos runs are deterministic: the same seed yields byte-identical

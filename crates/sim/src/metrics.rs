@@ -106,6 +106,19 @@ pub mod keys {
     /// §4.4.3 missing updates repackaged by the new agent.
     pub const NOPREP_REPACKAGED: &str = "noprep.repackaged";
 
+    /// Heartbeats broadcast by the failure detector.
+    pub const DETECTOR_HEARTBEATS: &str = "detector.heartbeats";
+    /// Suspicions raised by the failure detector (missed-beat threshold).
+    pub const DETECTOR_SUSPICIONS: &str = "detector.suspicions";
+    /// Quorum-election rounds started on behalf of suspected homes.
+    pub const ELECTION_ROUNDS: &str = "election.rounds";
+    /// Elections won (token re-homed through §4.4.1 recovery).
+    pub const ELECTION_WON: &str = "election.won";
+    /// Elections aborted (quorum unreachable or home proved alive).
+    pub const ELECTION_ABORTED: &str = "election.aborted";
+    /// Open group-commit batches discarded by a home crash.
+    pub const BATCH_DISCARDED: &str = "batch.discarded";
+
     /// Log-transform baseline: operations replayed.
     pub const REPLAY_OPS: &str = "replay.ops";
 
@@ -157,6 +170,12 @@ pub mod keys {
         MF_ABORTED_SHARE,
         NOPREP_FORWARDED,
         NOPREP_REPACKAGED,
+        DETECTOR_HEARTBEATS,
+        DETECTOR_SUSPICIONS,
+        ELECTION_ROUNDS,
+        ELECTION_WON,
+        ELECTION_ABORTED,
+        BATCH_DISCARDED,
         REPLAY_OPS,
         LATENCY_COMMIT,
         LATENCY_RECOVERY,
@@ -185,10 +204,13 @@ pub mod keys {
         "mf_vote",
         "mf_commit",
         "mf_abort",
+        "heartbeat",
+        "vote_req",
+        "vote",
     ];
 
     /// Probe suffixes of the `frag.<f>.<probe>` dimension.
-    pub const FRAG_PROBES: &[&str] = &["lag", "queue", "move_stall"];
+    pub const FRAG_PROBES: &[&str] = &["lag", "queue", "move_stall", "unavail_window"];
     /// Probe suffixes of the `node.<n>.<probe>` dimension.
     pub const NODE_PROBES: &[&str] = &["staleness", "holdback"];
 
@@ -237,6 +259,20 @@ pub mod keys {
             assert!(is_registered(NET_TIMER_WHEEL_OPS));
             assert!(is_registered(CATCHUP_RANGE_LEN));
             assert!(is_registered("msg.batch"));
+        }
+
+        #[test]
+        fn self_heal_keys_are_registered() {
+            assert!(is_registered(DETECTOR_HEARTBEATS));
+            assert!(is_registered(DETECTOR_SUSPICIONS));
+            assert!(is_registered(ELECTION_ROUNDS));
+            assert!(is_registered(ELECTION_WON));
+            assert!(is_registered(ELECTION_ABORTED));
+            assert!(is_registered(BATCH_DISCARDED));
+            assert!(is_registered("msg.heartbeat"));
+            assert!(is_registered("msg.vote_req"));
+            assert!(is_registered("msg.vote"));
+            assert!(is_registered("frag.3.unavail_window"));
         }
 
         #[test]

@@ -189,6 +189,61 @@ pub enum TelemetryEvent {
         /// Node whose catch-up completed.
         node: u32,
     },
+    /// A node's failure detector suspected a silent peer.
+    SuspectRaised {
+        /// Observing node (whose local detector raised the suspicion).
+        node: u32,
+        /// The suspected peer.
+        suspect: u32,
+    },
+    /// A quorum election started to re-home a suspected token.
+    ElectionStarted {
+        /// Fragment whose token is being re-homed.
+        fragment: u32,
+        /// The token epoch the election fences on.
+        epoch: u64,
+        /// The initiating node (and candidate new home).
+        candidate: u32,
+    },
+    /// An election reached a majority: the token re-homed under a new
+    /// epoch, fencing out the old home.
+    ElectionWon {
+        /// Fragment whose token re-homed.
+        fragment: u32,
+        /// The **new** (post-reattach) token epoch.
+        epoch: u64,
+        /// The winning node (new agent home).
+        node: u32,
+    },
+    /// An election round ended without re-homing the token.
+    ElectionAborted {
+        /// Fragment the round concerned.
+        fragment: u32,
+        /// The epoch the round fenced on.
+        epoch: u64,
+        /// Why: `"timeout"`, `"home_alive"`, `"superseded"`, or
+        /// `"candidate_crashed"`.
+        reason: &'static str,
+    },
+    /// Post-election §4.4.1 recovery finished: the elected home holds the
+    /// token and the fragment accepts writes again.
+    TokenRecovered {
+        /// Recovered fragment.
+        fragment: u32,
+        /// Epoch the fragment now runs under.
+        epoch: u64,
+        /// The elected home.
+        node: u32,
+    },
+    /// An open group-commit batch element was discarded by a home crash
+    /// before its broadcast; closes the causal id's lifecycle so the
+    /// commit→install join is not left dangling.
+    BatchDiscarded {
+        /// Causal id of the never-broadcast quasi-transaction.
+        cause: CausalId,
+        /// The crashed home that held the open batch.
+        node: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -213,6 +268,12 @@ impl TelemetryEvent {
             TelemetryEvent::Crash { .. } => "crash",
             TelemetryEvent::Recover { .. } => "recover",
             TelemetryEvent::CatchupComplete { .. } => "catchup_complete",
+            TelemetryEvent::SuspectRaised { .. } => "suspect_raised",
+            TelemetryEvent::ElectionStarted { .. } => "election_started",
+            TelemetryEvent::ElectionWon { .. } => "election_won",
+            TelemetryEvent::ElectionAborted { .. } => "election_aborted",
+            TelemetryEvent::TokenRecovered { .. } => "token_recovered",
+            TelemetryEvent::BatchDiscarded { .. } => "batch_discarded",
         }
     }
 }
@@ -352,6 +413,46 @@ impl TelemetryRecord {
                 push_field(&mut out, "node", u64::from(*node));
                 push_field(&mut out, "behind_fragments", *behind_fragments);
             }
+            TelemetryEvent::SuspectRaised { node, suspect } => {
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "suspect", u64::from(*suspect));
+            }
+            TelemetryEvent::ElectionStarted {
+                fragment,
+                epoch,
+                candidate,
+            } => {
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "epoch", *epoch);
+                push_field(&mut out, "candidate", u64::from(*candidate));
+            }
+            TelemetryEvent::ElectionWon {
+                fragment,
+                epoch,
+                node,
+            }
+            | TelemetryEvent::TokenRecovered {
+                fragment,
+                epoch,
+                node,
+            } => {
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "epoch", *epoch);
+                push_field(&mut out, "node", u64::from(*node));
+            }
+            TelemetryEvent::ElectionAborted {
+                fragment,
+                epoch,
+                reason,
+            } => {
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "epoch", *epoch);
+                push_str_field(&mut out, "reason", reason);
+            }
+            TelemetryEvent::BatchDiscarded { cause, node } => {
+                push_cause(&mut out, cause);
+                push_field(&mut out, "node", u64::from(*node));
+            }
         }
         out.push('}');
         out
@@ -409,12 +510,20 @@ impl DimKeys {
 /// * `frag.<f>.queue` — histogram of submission queue depth behind a
 ///   move/majority-commit/2PC.
 /// * `frag.<f>.move_stall` — histogram of token-movement stall time (µs),
-///   `MoveRequested`→`TokenArrived` (§5 unavailability window).
+///   `MoveRequested`→`TokenArrived` (§5 unavailability window). A move
+///   aborted mid-flight (endpoint crash) **also** closes its window with
+///   an observation — the stall was real — provided the abort names the
+///   same `(from, to)` endpoints that opened it; a deferral of an
+///   unrelated request for the same fragment does not.
+/// * `frag.<f>.unavail_window` — histogram of self-heal unavailability
+///   (µs), `ElectionStarted`→`TokenRecovered`; an election aborted because
+///   the home proved alive discards the window (no recovery happened).
 #[derive(Debug, Default)]
 pub struct Probes {
     keys: DimKeys,
     commit_at: BTreeMap<CausalId, SimTime>,
-    move_started: BTreeMap<u32, SimTime>,
+    move_started: BTreeMap<u32, (SimTime, u32, u32)>,
+    unavail_started: BTreeMap<u32, SimTime>,
 }
 
 impl Probes {
@@ -452,19 +561,57 @@ impl Probes {
                 let key = self.keys.key("frag", *fragment, "queue");
                 metrics.observe_named(key, *depth);
             }
-            TelemetryEvent::MoveRequested { fragment, .. } => {
-                self.move_started.entry(*fragment).or_insert(at);
+            TelemetryEvent::MoveRequested { fragment, from, to } => {
+                self.move_started
+                    .entry(*fragment)
+                    .or_insert((at, *from, *to));
             }
             TelemetryEvent::TokenArrived { fragment, .. } => {
-                if let Some(t0) = self.move_started.remove(fragment) {
+                if let Some((t0, _, _)) = self.move_started.remove(fragment) {
                     let stall = at.micros().saturating_sub(t0.micros());
                     let key = self.keys.key("frag", *fragment, "move_stall");
                     metrics.observe_named(key, stall);
                 }
             }
-            TelemetryEvent::MoveAborted { fragment, .. } => {
-                // A deferred move never started a stall window.
-                self.move_started.remove(fragment);
+            TelemetryEvent::MoveAborted { fragment, from, to } => {
+                // Only the move that opened the window may close it: a
+                // deferred *unrelated* request for the same fragment must
+                // not swallow the in-flight move's stall measurement. The
+                // matching abort observes the stall — the fragment really
+                // was unavailable that long — instead of leaking it.
+                if let Some(&(t0, f0, t0_to)) = self.move_started.get(fragment) {
+                    if f0 == *from && t0_to == *to {
+                        self.move_started.remove(fragment);
+                        let stall = at.micros().saturating_sub(t0.micros());
+                        let key = self.keys.key("frag", *fragment, "move_stall");
+                        metrics.observe_named(key, stall);
+                    }
+                }
+            }
+            TelemetryEvent::ElectionStarted { fragment, .. } => {
+                self.unavail_started.entry(*fragment).or_insert(at);
+            }
+            TelemetryEvent::TokenRecovered { fragment, .. } => {
+                if let Some(t0) = self.unavail_started.remove(fragment) {
+                    let window = at.micros().saturating_sub(t0.micros());
+                    let key = self.keys.key("frag", *fragment, "unavail_window");
+                    metrics.observe_named(key, window);
+                }
+            }
+            // A false suspicion (the home answered mid-election) never
+            // made the fragment unavailable; timed-out rounds keep the
+            // window open for the retry.
+            TelemetryEvent::ElectionAborted {
+                fragment,
+                reason: "home_alive",
+                ..
+            } => {
+                self.unavail_started.remove(fragment);
+            }
+            TelemetryEvent::BatchDiscarded { cause, .. } => {
+                // The commit will never install anywhere else; close the
+                // lag join so the causal id does not dangle.
+                self.commit_at.remove(cause);
             }
             _ => {}
         }
@@ -704,6 +851,195 @@ mod tests {
             &mut m,
         );
         assert_eq!(m.histogram("frag.1.move_stall").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn move_stall_observed_not_leaked_on_matching_abort() {
+        let mut t = Telemetry::bounded(16);
+        let mut m = Metrics::new();
+        t.record(
+            SimTime::from_secs(1),
+            TelemetryEvent::MoveRequested {
+                fragment: 2,
+                from: 0,
+                to: 3,
+            },
+            &mut m,
+        );
+        // An unrelated deferred request (different endpoints) must not
+        // close the in-flight move's window.
+        t.record(
+            SimTime::from_secs(2),
+            TelemetryEvent::MoveAborted {
+                fragment: 2,
+                from: 3,
+                to: 4,
+            },
+            &mut m,
+        );
+        assert!(m.histogram("frag.2.move_stall").is_none());
+        // The matching abort (the opener crashed mid-move) closes the
+        // window WITH an observation — emitted, not leaked.
+        t.record(
+            SimTime::from_secs(5),
+            TelemetryEvent::MoveAborted {
+                fragment: 2,
+                from: 0,
+                to: 3,
+            },
+            &mut m,
+        );
+        let h = m.histogram("frag.2.move_stall").expect("stall observed");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(4_000_000));
+        // And the window is closed: a later arrival records nothing new.
+        t.record(
+            SimTime::from_secs(9),
+            TelemetryEvent::TokenArrived {
+                fragment: 2,
+                node: 0,
+            },
+            &mut m,
+        );
+        assert_eq!(m.histogram("frag.2.move_stall").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn unavail_window_spans_election_to_recovery() {
+        let mut t = Telemetry::bounded(16);
+        let mut m = Metrics::new();
+        t.record(
+            SimTime::from_secs(1),
+            TelemetryEvent::ElectionStarted {
+                fragment: 0,
+                epoch: 3,
+                candidate: 1,
+            },
+            &mut m,
+        );
+        // A timed-out round keeps the window open for the retry.
+        t.record(
+            SimTime::from_secs(2),
+            TelemetryEvent::ElectionAborted {
+                fragment: 0,
+                epoch: 3,
+                reason: "timeout",
+            },
+            &mut m,
+        );
+        t.record(
+            SimTime::from_secs(3),
+            TelemetryEvent::ElectionStarted {
+                fragment: 0,
+                epoch: 3,
+                candidate: 1,
+            },
+            &mut m,
+        );
+        t.record(
+            SimTime::from_secs(4),
+            TelemetryEvent::TokenRecovered {
+                fragment: 0,
+                epoch: 4,
+                node: 1,
+            },
+            &mut m,
+        );
+        let h = m.histogram("frag.0.unavail_window").expect("window");
+        assert_eq!(h.count(), 1);
+        // Measured from the FIRST round, not the retry.
+        assert_eq!(h.max(), Some(3_000_000));
+        // A false suspicion discards the window entirely.
+        t.record(
+            SimTime::from_secs(10),
+            TelemetryEvent::ElectionStarted {
+                fragment: 0,
+                epoch: 4,
+                candidate: 2,
+            },
+            &mut m,
+        );
+        t.record(
+            SimTime::from_secs(11),
+            TelemetryEvent::ElectionAborted {
+                fragment: 0,
+                epoch: 4,
+                reason: "home_alive",
+            },
+            &mut m,
+        );
+        t.record(
+            SimTime::from_secs(20),
+            TelemetryEvent::TokenRecovered {
+                fragment: 0,
+                epoch: 5,
+                node: 2,
+            },
+            &mut m,
+        );
+        assert_eq!(m.histogram("frag.0.unavail_window").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn batch_discarded_closes_the_lag_join() {
+        let mut t = Telemetry::bounded(16);
+        let mut m = Metrics::new();
+        let c = cause(1, 4);
+        t.record(
+            SimTime(0),
+            TelemetryEvent::Committed { cause: c, node: 0 },
+            &mut m,
+        );
+        t.record(
+            SimTime(10),
+            TelemetryEvent::BatchDiscarded { cause: c, node: 0 },
+            &mut m,
+        );
+        // A stray install after the discard joins to nothing.
+        t.record(
+            SimTime(99),
+            TelemetryEvent::Installed { cause: c, node: 2 },
+            &mut m,
+        );
+        assert!(m.histogram("frag.1.lag").is_none());
+    }
+
+    #[test]
+    fn self_heal_events_serialize_flat() {
+        let r = TelemetryRecord {
+            at: SimTime::from_millis(2),
+            event: TelemetryEvent::SuspectRaised {
+                node: 1,
+                suspect: 0,
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":2000,\"event\":\"suspect_raised\",\"node\":1,\"suspect\":0}"
+        );
+        let r = TelemetryRecord {
+            at: SimTime(7),
+            event: TelemetryEvent::ElectionAborted {
+                fragment: 3,
+                epoch: 2,
+                reason: "home_alive",
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":7,\"event\":\"election_aborted\",\"fragment\":3,\"epoch\":2,\"reason\":\"home_alive\"}"
+        );
+        let r = TelemetryRecord {
+            at: SimTime(8),
+            event: TelemetryEvent::BatchDiscarded {
+                cause: cause(2, 11),
+                node: 4,
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":8,\"event\":\"batch_discarded\",\"fragment\":2,\"epoch\":0,\"frag_seq\":11,\"node\":4}"
+        );
     }
 
     #[test]
