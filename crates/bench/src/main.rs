@@ -1,7 +1,7 @@
 //! `fragdb-bench` — the performance-trajectory runner.
 //!
 //! Reproduces the before/after numbers for the performance passes, at
-//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr6.json`:
+//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr7.json`:
 //!
 //! * **payload broadcast** — a commit's payload is materialized once
 //!   (`payload.clones`) and every downstream copy is an `Arc` bump
@@ -24,6 +24,10 @@
 //!   token home of a majority-commit fragment and record detection
 //!   latency, election rounds, and the write-unavailability window
 //!   (virtual time), plus post-recovery commit counts.
+//! * **model check** — the bounded exhaustive explorer (`crates/mc`) over
+//!   a one-fragment instance at 2/3/4 nodes: distinct states, transitions,
+//!   dedup hit rate, POR prunes, exploration throughput (states/sec), and
+//!   the length of the minimized FDB020 counterexample witness.
 //!
 //! All workload numbers (events, messages, clone/share counts, checker
 //! edge insertions) are deterministic virtual-time metrics; only the
@@ -36,10 +40,12 @@
 
 use std::fmt::Write as _;
 
+use fragdb_check::Code;
 use fragdb_core::{
     BatchConfig, DetectorConfig, MovePolicy, Notification, Submission, System, SystemConfig,
 };
 use fragdb_graphs::IncrementalAnalyzer;
+use fragdb_mc::{explore, witness_for, ExploreConfig, McInstance};
 use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId, TxnId, Updates, Value};
 use fragdb_net::Topology;
 use fragdb_sim::{SimDuration, SimRng, SimTime, Telemetry};
@@ -48,6 +54,9 @@ use fragdb_workloads::{arrivals, partitions};
 
 const SEED: u64 = 42;
 const NODE_COUNTS: [u32; 3] = [4, 16, 64];
+/// Node counts for the model-check section: exhaustive exploration only
+/// scales to small instances, so this section uses its own axis.
+const MC_NODE_COUNTS: [u32; 3] = [2, 3, 4];
 
 /// Workload knobs, scaled down under `--quick` so CI stays fast.
 struct Scale {
@@ -62,6 +71,7 @@ struct Scale {
     verdict_queries: usize,
     samples: usize,
     heal_updates: u64,
+    mc_states: u64,
 }
 
 const FULL: Scale = Scale {
@@ -76,6 +86,7 @@ const FULL: Scale = Scale {
     verdict_queries: 15,
     samples: 3,
     heal_updates: 30,
+    mc_states: 2_000,
 };
 
 const QUICK: Scale = Scale {
@@ -90,11 +101,12 @@ const QUICK: Scale = Scale {
     verdict_queries: 10,
     samples: 2,
     heal_updates: 16,
+    mc_states: 400,
 };
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr6.json");
+    let mut out = String::from("BENCH_pr7.json");
     let mut validate: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -138,7 +150,7 @@ fn main() {
 fn generate(scale: &Scale) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"fragdb-bench-pr6/v1\",\n");
+    j.push_str("  \"schema\": \"fragdb-bench-pr7/v1\",\n");
     let _ = writeln!(j, "  \"mode\": \"{}\",", scale.mode);
     let _ = writeln!(j, "  \"seed\": {SEED},");
     j.push_str("  \"node_counts\": [4, 16, 64],\n");
@@ -194,6 +206,21 @@ fn generate(scale: &Scale) -> String {
             j,
             "    {row}{}",
             if i + 1 < NODE_COUNTS.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"model_check\": [\n");
+    for (i, &n) in MC_NODE_COUNTS.iter().enumerate() {
+        let row = bench_model_check(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < MC_NODE_COUNTS.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     j.push_str("  ]\n}\n");
@@ -632,6 +659,70 @@ fn bench_self_heal(n: u32, scale: &Scale) -> String {
     )
 }
 
+/// Exhaustive exploration of a one-fragment, two-commit instance at `n`
+/// nodes: the same shape as the `quickstart` shrunk-registry entry, with
+/// the node count as the scaling axis. Also times a witness derivation
+/// (the minimized FDB020 counterexample) since `--explain` and `demo_bad`
+/// pay that cost on every rejection.
+fn bench_model_check(n: u32, scale: &Scale) -> String {
+    let cfg = ExploreConfig {
+        max_states: scale.mc_states,
+        ..ExploreConfig::full()
+    };
+    let inst = McInstance::new(format!("bench-mc-{n}"), true, false, move || {
+        let mut b = FragmentCatalog::builder();
+        let (frag, objs) = b.add_fragment("MC", 1);
+        let mut sys = System::build(
+            Topology::full_mesh(n, SimDuration::from_millis(10)),
+            b.build(),
+            vec![(frag, AgentId::Node(NodeId(0)), NodeId(0))],
+            SystemConfig::unrestricted(SEED),
+        )
+        .expect("model-check bench instance builds");
+        let obj = objs[0];
+        for k in 0..2u64 {
+            sys.submit_at(
+                SimTime::from_secs(k + 1),
+                Submission::update(
+                    frag,
+                    Box::new(move |ctx| {
+                        let v = ctx.read_int(obj, 0);
+                        ctx.write(obj, v + 1)?;
+                        Ok(())
+                    }),
+                ),
+            );
+        }
+        sys
+    });
+    let stats = explore(&inst, &cfg);
+    assert!(
+        stats.clean(),
+        "model-check bench instance must explore clean at {n} nodes: {:?}",
+        stats.violations.first()
+    );
+    let dedup_rate = stats.dedup_hits as f64 / stats.transitions.max(1) as f64;
+    let wall = criterion::median_secs(scale.samples, || {
+        criterion::black_box(explore(&inst, &cfg));
+    });
+    let states_per_sec = stats.states as f64 / wall;
+    let witness = witness_for(Code::Fdb020).expect("FDB020 must carry a witness");
+    assert!(witness.replay(), "FDB020 witness must replay");
+    format!(
+        "{{ \"nodes\": {n}, \"states\": {}, \"transitions\": {}, \"dedup_hits\": {}, \
+         \"dedup_rate\": {}, \"por_pruned\": {}, \"truncated\": {}, \
+         \"states_per_sec\": {states_per_sec:.1}, \"witness_len\": {}, \"wall_secs\": {} }}",
+        stats.states,
+        stats.transitions,
+        stats.dedup_hits,
+        fmt_ratio(dedup_rate),
+        stats.por_pruned,
+        stats.truncated,
+        witness.len(),
+        fmt_secs(wall),
+    )
+}
+
 fn fmt_secs(s: f64) -> String {
     format!("{s:.9}")
 }
@@ -645,18 +736,21 @@ fn fmt_ratio(r: f64) -> String {
 /// Schema check for a bench report: required keys, each section has
 /// one entry per node count in strictly increasing order, and the
 /// deterministic counters are nonzero. Accepts the PR 3 schema (three
-/// sections), the PR 5 schema (which adds `broadcast_batching`), and
-/// the PR 6 schema (which adds `self_heal`). Hand-rolled because no
-/// JSON parser is available in this build environment; the emitter
+/// sections), the PR 5 schema (which adds `broadcast_batching`), the
+/// PR 6 schema (which adds `self_heal`), and the PR 7 schema (which
+/// adds `model_check`, on its own 2/3/4-node axis). Hand-rolled because
+/// no JSON parser is available in this build environment; the emitter
 /// above is the only producer, so the format is fully under our
 /// control.
 fn validate_report(text: &str) -> Result<String, String> {
+    let pr7 = text.contains("\"schema\": \"fragdb-bench-pr7/v1\"");
     let pr6 = text.contains("\"schema\": \"fragdb-bench-pr6/v1\"");
     let pr5 = text.contains("\"schema\": \"fragdb-bench-pr5/v1\"");
     let pr3 = text.contains("\"schema\": \"fragdb-bench-pr3/v1\"");
-    if !pr6 && !pr5 && !pr3 {
+    if !pr7 && !pr6 && !pr5 && !pr3 {
         return Err(
-            "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1, -pr5/v1, or -pr6/v1)"
+            "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1, -pr5/v1, -pr6/v1, \
+             or -pr7/v1)"
                 .into(),
         );
     }
@@ -673,7 +767,7 @@ fn validate_report(text: &str) -> Result<String, String> {
         ("wal_index", &["records", "queries"][..]),
         ("checker", &["ops", "queries", "edge_insertions"][..]),
     ];
-    if pr5 || pr6 {
+    if pr5 || pr6 || pr7 {
         sections.insert(
             1,
             (
@@ -691,7 +785,7 @@ fn validate_report(text: &str) -> Result<String, String> {
             ),
         );
     }
-    if pr6 {
+    if pr6 || pr7 {
         sections.push((
             "self_heal",
             &[
@@ -701,6 +795,12 @@ fn validate_report(text: &str) -> Result<String, String> {
                 "election_rounds",
                 "unavail_us",
             ][..],
+        ));
+    }
+    if pr7 {
+        sections.push((
+            "model_check",
+            &["states", "transitions", "states_per_sec", "witness_len"][..],
         ));
     }
     let mut summary = String::new();

@@ -552,6 +552,23 @@ pub fn check_self_heal(input: &CheckInput) -> Vec<Diagnostic> {
             )
             .with_help("set election_timeout to at least one network round trip"),
         );
+    } else if input.config.detector.election_timeout < input.config.detector.detection_bound() {
+        // A round that expires before the detector can even confirm a
+        // failure restarts against the same silence, forever: livelock,
+        // not recovery.
+        out.push(
+            Diagnostic::new(
+                Code::Fdb053,
+                "detector config",
+                format!(
+                    "election timeout ({:?}) is shorter than the detection bound ({:?}) — \
+                     rounds abort and restart faster than a failure can be confirmed",
+                    input.config.detector.election_timeout,
+                    input.config.detector.detection_bound(),
+                ),
+            )
+            .with_help("raise election_timeout to at least heartbeat_period * (suspect_after + 1)"),
+        );
     }
     out
 }

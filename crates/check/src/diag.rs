@@ -91,9 +91,191 @@ pub enum Code {
     /// The election timeout is zero with the detector enabled: every round
     /// aborts before a single vote can arrive (§5).
     Fdb052,
+    /// The election timeout is shorter than the detector's own detection
+    /// bound: rounds abort and restart faster than a failure can even be
+    /// confirmed, so elections livelock instead of converging (§5).
+    Fdb053,
 }
 
 impl Code {
+    /// Every code the analyzer can emit, in numeric order. Tests assert
+    /// this stays complete, so `--explain` can never lag behind a new
+    /// check.
+    pub const ALL: [Code; 19] = [
+        Code::Fdb001,
+        Code::Fdb002,
+        Code::Fdb003,
+        Code::Fdb010,
+        Code::Fdb011,
+        Code::Fdb020,
+        Code::Fdb021,
+        Code::Fdb022,
+        Code::Fdb030,
+        Code::Fdb031,
+        Code::Fdb032,
+        Code::Fdb033,
+        Code::Fdb034,
+        Code::Fdb035,
+        Code::Fdb040,
+        Code::Fdb050,
+        Code::Fdb051,
+        Code::Fdb052,
+        Code::Fdb053,
+    ];
+
+    /// Parse a code string such as `"FDB020"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL
+            .into_iter()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// The rustc-style long-form explanation (`--explain`): what the
+    /// check means, why the paper requires it, and what to do about it.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Code::Fdb001 => {
+                "The database must be partitioned into disjoint fragments (§3.1): every \
+                 object belongs to exactly one fragment, and the fragment's token is the \
+                 sole authority over updates to those objects. Two fragments claiming the \
+                 same object would mean two tokens could serialize conflicting updates to \
+                 it independently, which voids the §3 model before any protocol runs. Fix \
+                 the catalog so each object appears in exactly one fragment."
+            }
+            Code::Fdb002 => {
+                "Each fragment has exactly one token, held by exactly one agent (§3.1). \
+                 This report fires when the agent assignment references an undeclared \
+                 fragment, declares two agents for one fragment, or leaves a fragment \
+                 without an agent. Updates to an agent-less fragment can never commit; a \
+                 doubly-agented fragment would mint two independent update sequences. \
+                 Declare exactly one (fragment, agent, home) triple per fragment."
+            }
+            Code::Fdb003 => {
+                "An agent's home node must exist in the topology, and a node agent must \
+                 be homed at its own node (§3.1: node agents represent the node itself, \
+                 so homing one elsewhere is contradictory). Point the home at a declared \
+                 node, or use a user agent if the token should live away from the node."
+            }
+            Code::Fdb010 => {
+                "A transaction must be initiated at the agent holding the token of the \
+                 fragment it updates (§3.2's initiation requirement). A class declaring \
+                 writes outside its initiator's fragment would commit updates whose \
+                 token-holder never saw them — unless the class opts into the §3.2 \
+                 footnote's multi-fragment protocol, which runs two-phase commit among \
+                 the written fragments' agents. Either restrict writes to the initiating \
+                 fragment or declare the class multi-fragment."
+            }
+            Code::Fdb011 => {
+                "This class declares writes to several fragments and opted into the §3.2 \
+                 footnote protocol: its commits run two-phase commit among the written \
+                 fragments' agents. That is legal and serializable, but slower than \
+                 single-fragment commits and unavailable while any participant is down — \
+                 this note exists so the cost is a decision, not a surprise."
+            }
+            Code::Fdb020 => {
+                "The §4.2 strategy commits foreign-read transactions locally, without \
+                 coordination, and stays globally serializable only while the read-access \
+                 graph — fragment i points at fragment j when some class initiated at i \
+                 reads j — is elementarily acyclic. A cycle means two fragments can each \
+                 commit a transaction that read the other's past, producing a global \
+                 serialization-graph cycle no local order can repair (run `fragdb-mc` for \
+                 the two-step counterexample). Remove a read edge, split a fragment, or \
+                 run the cyclic classes under §4.1 read locks instead."
+            }
+            Code::Fdb021 => {
+                "A class reads its own fragment. The read-access graph only tracks reads \
+                 of *other* fragments (§4.2 defines edges for i ≠ j): own-fragment reads \
+                 are serialized by the fragment's own token and can never contribute to a \
+                 cycle. This note confirms the read was deliberately ignored."
+            }
+            Code::Fdb022 => {
+                "The §4.2 strategy admits only transactions belonging to declared \
+                 classes — that is how the analyzer knows the read-access graph it \
+                 certified is the one that runs. With no classes declared, every update \
+                 is undeclared and aborts. Declare the transaction classes, or choose a \
+                 strategy that does not require them."
+            }
+            Code::Fdb030 => {
+                "A fragment under §4.4.1 majority commit can only commit while its home \
+                 can gather acknowledgments from a majority of the fragment's replicas. \
+                 Here the topology (with every link up) gives the home no path to any \
+                 majority, so every commit times out and aborts: permanent unavailability \
+                 by construction, not by failure (run `fragdb-mc` for the trace). Add \
+                 links, move the home, or shrink the replica set."
+            }
+            Code::Fdb031 => {
+                "Under §4.1, a transaction that reads another fragment must first acquire \
+                 a read lock at that fragment's lock site. A class initiator with no path \
+                 to the lock site can never acquire the lock: the request is undeliverable \
+                 and the transaction aborts on lock timeout, every time (run `fragdb-mc` \
+                 for the trace). Connect the nodes or re-home one of the fragments."
+            }
+            Code::Fdb032 => {
+                "With §6 partial replication, a transaction executes at its initiating \
+                 agent's home using that node's local replicas. A declared read of a \
+                 fragment the home does not replicate has no data to read — execution \
+                 aborts with a logic error at run time (run `fragdb-mc` for the \
+                 one-step trace). Add the home to the read fragment's replica set, or \
+                 initiate the class at a node that replicates it."
+            }
+            Code::Fdb033 => {
+                "§4.1 read locks name a fixed lock site per fragment — the paper defines \
+                 the protocol for agents that do not move. Combining read locks with a \
+                 movement policy would leave remote lock holders pointing at a node that \
+                 no longer owns the token after a move. The system refuses to build this \
+                 configuration; pin the fragment (MovePolicy::Fixed) or use a strategy \
+                 that does not take remote locks."
+            }
+            Code::Fdb034 => {
+                "A fragment's agent home must be inside the fragment's own replica set \
+                 (§6): the home is where updates execute and commit, so it needs the \
+                 data. The system refuses to build such a configuration. Add the home to \
+                 the replica set or move the agent."
+            }
+            Code::Fdb035 => {
+                "A replica set is malformed: empty, naming an undeclared fragment, or \
+                 naming a node outside the topology (§6). An empty set would leave the \
+                 fragment stored nowhere. The system refuses to build such a \
+                 configuration; fix the replica-set declaration."
+            }
+            Code::Fdb040 => {
+                "§4.1 classes acquire read locks in declaration order. Two classes that \
+                 acquire locks on the same fragments in opposite orders can deadlock; \
+                 the runtime resolves this by lock timeout (aborting one side), so this \
+                 is a warning about wasted work and latency, not a safety hole. Order \
+                 the declared reads consistently to avoid the aborts."
+            }
+            Code::Fdb050 => {
+                "The §5 failure detector is enabled, but no fragment runs under §4.4.1 \
+                 majority commit — the only policy whose epoch fencing and majority \
+                 recovery make a takeover safe. Elections can trigger but never act, so \
+                 the heartbeat traffic buys nothing. Run a fragment under \
+                 MovePolicy::MajorityCommit or disable the detector."
+            }
+            Code::Fdb051 => {
+                "Self-healing (§5) re-homes a dead token by majority vote among the \
+                 fragment's replicas. With fewer than 3 replicas, any majority must \
+                 include the dead home itself, so no election can ever win and the \
+                 fragment stays unavailable until manual recovery. Replicate at 3 or \
+                 more nodes for the vote to be winnable."
+            }
+            Code::Fdb052 => {
+                "The election timeout is zero with the detector enabled (§5): every \
+                 election round expires before a single vote can arrive, so takeovers \
+                 abort forever while heartbeats keep announcing the failure. Set \
+                 election_timeout to at least one network round trip."
+            }
+            Code::Fdb053 => {
+                "The election timeout is shorter than the detector's own detection \
+                 bound — heartbeat_period × (suspect_after + 1), the time it takes to \
+                 confirm a silent node (§5). A round that expires before the failure it \
+                 reacts to can be confirmed restarts against the same silence, \
+                 livelocking instead of recovering. Raise election_timeout to at least \
+                 the detection bound."
+            }
+        }
+    }
+
     /// The stable code string, e.g. `"FDB020"`.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -115,6 +297,7 @@ impl Code {
             Code::Fdb050 => "FDB050",
             Code::Fdb051 => "FDB051",
             Code::Fdb052 => "FDB052",
+            Code::Fdb053 => "FDB053",
         }
     }
 
@@ -128,7 +311,7 @@ impl Code {
             Code::Fdb031 | Code::Fdb040 => "§4.1",
             Code::Fdb032 | Code::Fdb034 | Code::Fdb035 => "§6",
             Code::Fdb033 => "§4.1/§4.4",
-            Code::Fdb050 | Code::Fdb051 | Code::Fdb052 => "§5",
+            Code::Fdb050 | Code::Fdb051 | Code::Fdb052 | Code::Fdb053 => "§5",
         }
     }
 
@@ -286,6 +469,22 @@ mod tests {
         assert_eq!(Code::Fdb021.severity(), Severity::Info);
         assert_eq!(Code::Fdb040.severity(), Severity::Warning);
         assert_eq!(Code::Fdb001.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn all_codes_listed_parseable_and_explained() {
+        assert!(Code::ALL.windows(2).all(|w| w[0] < w[1]), "ALL is ordered");
+        for code in Code::ALL {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert_eq!(Code::parse(&code.as_str().to_lowercase()), Some(code));
+            let text = code.explain();
+            assert!(
+                text.len() > 100,
+                "{code} explanation should be long-form, got {} chars",
+                text.len()
+            );
+        }
+        assert_eq!(Code::parse("FDB999"), None);
     }
 
     #[test]

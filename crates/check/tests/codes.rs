@@ -566,17 +566,49 @@ fn fdb05x_self_heal_admission() {
         );
     let diags = input(&hasty);
     assert!(diags.iter().any(|d| d.code == Code::Fdb052));
+    // Zero timeout is FDB052's finding alone, not double-reported as 053.
+    assert!(!diags.iter().any(|d| d.code == Code::Fdb053));
 
-    // A well-formed self-healing config raises none of the three.
+    // Election timeout below the detection bound (50ms * (3+1) = 200ms):
+    // rounds expire before the failure they react to can be confirmed.
+    let livelocked = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_detector(
+            DetectorConfig::period(SimDuration::from_millis(50))
+                .with_election_timeout(SimDuration::from_millis(100)),
+        );
+    let diags = input(&livelocked);
+    let d = diags
+        .iter()
+        .find(|d| d.code == Code::Fdb053)
+        .expect("FDB053 expected");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("detection bound"), "{d}");
+
+    // A timeout exactly at the bound is the threshold case: admitted.
+    let at_bound = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_detector(
+            DetectorConfig::period(SimDuration::from_millis(50))
+                .with_election_timeout(SimDuration::from_millis(200)),
+        );
+    assert!(!input(&at_bound).iter().any(|d| d.code == Code::Fdb053));
+
+    // A well-formed self-healing config raises none of the block.
     let sound = SystemConfig::unrestricted(1)
         .with_move_policy(MovePolicy::MajorityCommit {
             timeout: SimDuration::from_secs(5),
         })
         .with_detector(DetectorConfig::period(SimDuration::from_millis(50)));
     let diags = input(&sound);
-    assert!(!diags
-        .iter()
-        .any(|d| matches!(d.code, Code::Fdb050 | Code::Fdb051 | Code::Fdb052)));
+    assert!(!diags.iter().any(|d| matches!(
+        d.code,
+        Code::Fdb050 | Code::Fdb051 | Code::Fdb052 | Code::Fdb053
+    )));
 
     // Detector off: the FDB05x block is silent even on a 2-replica set.
     let off = SystemConfig::unrestricted(1)
@@ -585,7 +617,8 @@ fn fdb05x_self_heal_admission() {
         })
         .with_replica_set(f(0), [n(0), n(1)]);
     let diags = input(&off);
-    assert!(!diags
-        .iter()
-        .any(|d| matches!(d.code, Code::Fdb050 | Code::Fdb051 | Code::Fdb052)));
+    assert!(!diags.iter().any(|d| matches!(
+        d.code,
+        Code::Fdb050 | Code::Fdb051 | Code::Fdb052 | Code::Fdb053
+    )));
 }

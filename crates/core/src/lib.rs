@@ -42,5 +42,5 @@ pub use events::{AbortReason, Ev, Notification, Submission};
 pub use movement::MovePolicy;
 pub use program::{ProgramError, TxnCtx, TxnEffects, UpdateFn};
 pub use strategy::{StrategyError, StrategyKind};
-pub use system::{BuildError, System};
+pub use system::{BuildError, McChoice, McDelivery, System};
 pub use tokens::TokenRegistry;

@@ -15,8 +15,11 @@ mod exec;
 mod install;
 mod locks_proto;
 mod majority;
+mod mc;
 mod moves;
 mod multi;
+
+pub use mc::{McChoice, McDelivery};
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 

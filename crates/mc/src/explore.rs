@@ -1,0 +1,576 @@
+//! Replay-based DFS exploration with state-hash deduplication, POR, and
+//! per-state invariant checking.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use fragdb_core::{McChoice, Notification, System};
+use fragdb_graphs::IncrementalAnalyzer;
+use fragdb_model::{FragmentId, NodeId, TxnId};
+
+use crate::instance::McInstance;
+
+/// Exploration bounds and feature toggles.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum path length (steps from the initial state).
+    pub max_depth: usize,
+    /// Maximum number of distinct states to expand.
+    pub max_states: u64,
+    /// Partial-order reduction for commutative broadcast deliveries.
+    pub por: bool,
+    /// Stop at the first violation (used by the witness search).
+    pub stop_on_violation: bool,
+    /// Treat a quiescent state with zero commits and at least one abort as
+    /// a violation ([`InvariantKind::Stuck`]). Off for soundness-oracle
+    /// runs (aborts can be legitimate); on for unavailability witnesses.
+    pub check_stuck: bool,
+}
+
+impl ExploreConfig {
+    /// Full exploration bounds used by CI's non-quick runs and tests.
+    pub fn full() -> Self {
+        ExploreConfig {
+            max_depth: 64,
+            max_states: 60_000,
+            por: true,
+            stop_on_violation: false,
+            check_stuck: false,
+        }
+    }
+
+    /// Reduced bounds for `fragdb-mc --quick` smoke runs.
+    pub fn quick() -> Self {
+        ExploreConfig {
+            max_states: 6_000,
+            ..ExploreConfig::full()
+        }
+    }
+}
+
+/// Which safety invariant a violating state breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Two different transactions occupy the same `(fragment, epoch,
+    /// frag_seq)` WAL slot — observable evidence of two token holders in
+    /// one regime.
+    TokenConflict,
+    /// A node's `next_install` frontier moved backwards without a crash.
+    FrontierRegression,
+    /// The history is not fragmentwise serializable (§4.3 Properties 1&2).
+    NotFragmentwise,
+    /// The history is not globally serializable although every fragment
+    /// runs a strategy that promises it (§4.1/§4.2).
+    NotGlobal,
+    /// The incremental serializability checker disagrees with the batch
+    /// analyzer on the same history.
+    IncrementalMismatch,
+    /// Quiescent with every node up, yet replica contents diverge.
+    Divergence,
+    /// A committed write is missing from a live replica's WAL at
+    /// quiescence.
+    LostCommit,
+    /// Quiescent with zero commits and at least one abort — the
+    /// configuration can never make progress (unavailability witnesses).
+    Stuck,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvariantKind::TokenConflict => "token-conflict",
+            InvariantKind::FrontierRegression => "frontier-regression",
+            InvariantKind::NotFragmentwise => "not-fragmentwise-serializable",
+            InvariantKind::NotGlobal => "not-globally-serializable",
+            InvariantKind::IncrementalMismatch => "incremental-mismatch",
+            InvariantKind::Divergence => "replica-divergence",
+            InvariantKind::LostCommit => "lost-committed-write",
+            InvariantKind::Stuck => "no-progress",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A state that breaks an invariant, addressed by the exact event trace
+/// that reaches it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Broken invariant.
+    pub kind: InvariantKind,
+    /// Human-readable specifics (which slot, which cycle, which replica).
+    pub detail: String,
+    /// Event labels along the path from the initial state.
+    pub steps: Vec<String>,
+    /// Choice keys along the same path — replayable via
+    /// [`McInstance::replay`].
+    pub path: Vec<u64>,
+}
+
+/// Aggregate result of one exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreStats {
+    /// Instance name.
+    pub instance: String,
+    /// Distinct states visited (after dedup).
+    pub states: u64,
+    /// Transitions executed while exploring (excludes replay steps).
+    pub transitions: u64,
+    /// Transitions that landed on an already-visited state.
+    pub dedup_hits: u64,
+    /// Choices skipped by the partial-order reduction.
+    pub por_pruned: u64,
+    /// Retransmission-timer choices skipped in fault-free instances.
+    pub rto_pruned: u64,
+    /// Full rebuild-and-replay operations performed while backtracking.
+    pub replays: u64,
+    /// Steps executed inside replays.
+    pub replay_steps: u64,
+    /// Deepest path reached.
+    pub max_depth_seen: usize,
+    /// Number of states where at least one invariant failed.
+    pub violation_states: u64,
+    /// Exploration hit a depth/state cap with choices still unexplored.
+    pub truncated: bool,
+    /// Recorded violations (capped at [`MAX_RECORDED_VIOLATIONS`]).
+    pub violations: Vec<Violation>,
+}
+
+/// Cap on stored [`Violation`]s; `violation_states` keeps the true count.
+pub const MAX_RECORDED_VIOLATIONS: usize = 32;
+
+impl ExploreStats {
+    fn new(instance: String) -> Self {
+        ExploreStats {
+            instance,
+            states: 0,
+            transitions: 0,
+            dedup_hits: 0,
+            por_pruned: 0,
+            rto_pruned: 0,
+            replays: 0,
+            replay_steps: 0,
+            max_depth_seen: 0,
+            violation_states: 0,
+            truncated: false,
+            violations: Vec::new(),
+        }
+    }
+
+    /// No invariant failed anywhere in the explored space.
+    pub fn clean(&self) -> bool {
+        self.violation_states == 0
+    }
+}
+
+struct Frame {
+    /// `(seq, label)` of each enabled (post-filter) choice.
+    choices: Vec<(u64, String)>,
+    next: usize,
+    /// `(node, fragment) -> next_install` of this frame's state.
+    frontier: BTreeMap<(NodeId, FragmentId), u64>,
+    /// Commits accumulated along the path to this state.
+    committed: Vec<(TxnId, FragmentId)>,
+    /// Aborts accumulated along the path to this state.
+    aborted: u64,
+}
+
+/// Enabled choices after the retransmission filter and the POR.
+fn filtered_choices(
+    sys: &System,
+    inst: &McInstance,
+    cfg: &ExploreConfig,
+    stats: &mut ExploreStats,
+) -> Vec<(u64, String)> {
+    let all = sys.mc_choices();
+    let mut keep: Vec<&McChoice> = Vec::with_capacity(all.len());
+    for c in &all {
+        // In a lossless fault-free net a retransmission is protocol-
+        // invisible: the original delivery is itself still a pending
+        // choice, and the timer is cancelled once the ack (also a pending
+        // choice) lands. Skipping the timer firing removes an infinite
+        // resend⇄re-arm lattice without removing any reachable protocol
+        // state. With faults, retransmissions are how a recovered node is
+        // caught up, so they stay in.
+        if !inst.has_faults && c.label.starts_with("Rto(") {
+            stats.rto_pruned += 1;
+            continue;
+        }
+        keep.push(c);
+    }
+    // POR: deliveries of the same replicated install to different
+    // destinations touch disjoint node state and commute; explore only the
+    // lowest-destination order. Disabled while any fault event is pending
+    // (a crash of the destination does not commute with its delivery).
+    if cfg.por && !keep.iter().any(|c| c.is_fault) {
+        let mut best: BTreeMap<(NodeId, FragmentId, u64, u64), (NodeId, u64)> = BTreeMap::new();
+        for c in &keep {
+            if let Some(d) = c.delivery {
+                let key = (d.from, d.fragment, d.epoch, d.frag_seq);
+                let cand = (d.to, c.seq);
+                best.entry(key)
+                    .and_modify(|b| *b = (*b).min(cand))
+                    .or_insert(cand);
+            }
+        }
+        keep.retain(|c| match c.delivery {
+            Some(d) => {
+                let rep = best[&(d.from, d.fragment, d.epoch, d.frag_seq)];
+                let canonical = rep == (d.to, c.seq);
+                if !canonical {
+                    stats.por_pruned += 1;
+                }
+                canonical
+            }
+            None => true,
+        });
+    }
+    keep.into_iter().map(|c| (c.seq, c.label.clone())).collect()
+}
+
+fn frontier_of(sys: &System) -> BTreeMap<(NodeId, FragmentId), u64> {
+    sys.mc_install_frontier()
+        .into_iter()
+        .map(|(n, f, v)| ((n, f), v))
+        .collect()
+}
+
+struct StepContext<'a> {
+    parent_frontier: Option<&'a BTreeMap<(NodeId, FragmentId), u64>>,
+    is_fault_step: bool,
+    committed: &'a [(TxnId, FragmentId)],
+    aborted: u64,
+    no_choices_left: bool,
+}
+
+/// Run every invariant against the current state; push violations.
+fn check_state(
+    sys: &System,
+    inst: &McInstance,
+    ctx: &StepContext<'_>,
+    path: &[(u64, String)],
+    cfg: &ExploreConfig,
+    stats: &mut ExploreStats,
+) -> bool {
+    let mut found: Vec<(InvariantKind, String)> = Vec::new();
+
+    // 1. At most one transaction per (fragment, epoch, frag_seq) WAL slot
+    //    across every node — two holders of one token regime would mint
+    //    conflicting sequence numbers.
+    let mut slots: BTreeMap<(FragmentId, u64, u64), TxnId> = BTreeMap::new();
+    for n in 0..sys.node_count() {
+        for e in sys.replica(NodeId(n)).wal().entries() {
+            match slots.entry((e.fragment, e.epoch, e.frag_seq)) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(e.txn);
+                }
+                std::collections::btree_map::Entry::Occupied(o) if *o.get() != e.txn => {
+                    found.push((
+                        InvariantKind::TokenConflict,
+                        format!(
+                            "slot ({}, epoch {}, seq {}) written by both {} and {}",
+                            e.fragment,
+                            e.epoch,
+                            e.frag_seq,
+                            o.get(),
+                            e.txn
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // 2. next_install frontiers never regress except across a crash.
+    if let (Some(parent), false) = (ctx.parent_frontier, ctx.is_fault_step) {
+        let child = frontier_of(sys);
+        for (&(node, frag), &v) in parent {
+            if sys.is_down(node) {
+                continue;
+            }
+            match child.get(&(node, frag)) {
+                Some(&v2) if v2 >= v => {}
+                got => found.push((
+                    InvariantKind::FrontierRegression,
+                    format!(
+                        "next_install[{node}, {frag}] went {v} -> {:?} without a crash",
+                        got.copied()
+                    ),
+                )),
+            }
+        }
+    }
+
+    // 3. Serializability: fragmentwise always; global when promised. Both
+    //    are prefix-closed (serialization-graph edges only accumulate), so
+    //    checking every state is sound and catches violations at their
+    //    earliest — which is what makes witnesses minimal.
+    let verdict = fragdb_graphs::analyze(&sys.history);
+    if !verdict.fragmentwise_serializable() {
+        found.push((
+            InvariantKind::NotFragmentwise,
+            "history violates §4.3 Properties 1&2".to_string(),
+        ));
+    }
+    if inst.expect_global && !verdict.globally_serializable {
+        let cycle = verdict
+            .gsg_cycle
+            .as_ref()
+            .map(|c| {
+                c.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            })
+            .unwrap_or_default();
+        found.push((
+            InvariantKind::NotGlobal,
+            format!("global serialization graph has a cycle: {cycle}"),
+        ));
+    }
+    let inc = IncrementalAnalyzer::from_history(&sys.history);
+    if !inc.verdict().agrees_with(&verdict) {
+        found.push((
+            InvariantKind::IncrementalMismatch,
+            "incremental checker disagrees with batch analyzer".to_string(),
+        ));
+    }
+
+    // 4. Final-state invariants at (effective) quiescence.
+    if ctx.no_choices_left {
+        let all_up = (0..sys.node_count()).all(|n| !sys.is_down(NodeId(n)));
+        if all_up {
+            // Moved fragments are exempt: a move racing in-flight commands
+            // may legitimately leave replicas unequal (see
+            // `McInstance::moved`).
+            let mut div = sys.divergent_fragments();
+            div.retain(|f| !inst.moved.contains(f));
+            if !div.is_empty() {
+                found.push((
+                    InvariantKind::Divergence,
+                    format!("replicas diverge on fragments {div:?}"),
+                ));
+            }
+        }
+        for &(txn, fragment) in ctx.committed {
+            // Under faults, only majority-committed fragments promise
+            // durability at every replica (§4.4.1); an unrestricted
+            // fragment may legitimately shed a commit with the crashed
+            // home (§4.3's availability/consistency trade).
+            if inst.has_faults && !sys.move_policy_for(fragment).needs_majority_commit() {
+                continue;
+            }
+            if inst.moved.contains(&fragment) {
+                continue;
+            }
+            let replicas: Vec<NodeId> = match sys.replicas_of(fragment) {
+                Some(set) => set.iter().copied().collect(),
+                None => (0..sys.node_count()).map(NodeId).collect(),
+            };
+            for r in replicas {
+                if sys.is_down(r) {
+                    continue;
+                }
+                let present = sys
+                    .replica(r)
+                    .wal()
+                    .fragment_entries(fragment)
+                    .any(|e| e.txn == txn);
+                if !present {
+                    found.push((
+                        InvariantKind::LostCommit,
+                        format!("committed {txn} on {fragment} missing from {r}'s WAL"),
+                    ));
+                }
+            }
+        }
+        if cfg.check_stuck && ctx.committed.is_empty() && ctx.aborted > 0 {
+            found.push((
+                InvariantKind::Stuck,
+                format!("quiesced with 0 commits and {} abort(s)", ctx.aborted),
+            ));
+        }
+    }
+
+    if found.is_empty() {
+        return false;
+    }
+    stats.violation_states += 1;
+    for (kind, detail) in found {
+        if stats.violations.len() < MAX_RECORDED_VIOLATIONS {
+            stats.violations.push(Violation {
+                kind,
+                detail,
+                steps: path.iter().map(|(_, l)| l.clone()).collect(),
+                path: path.iter().map(|(s, _)| *s).collect(),
+            });
+        }
+    }
+    true
+}
+
+/// Re-run a recorded choice path on a fresh build of `inst`, checking the
+/// invariants at every step exactly as the explorer does, and return the
+/// violations observed along the way. Used by witness replay to confirm a
+/// counterexample still demonstrates its defect. A path that no longer
+/// replays (stale seq keys) yields whatever was found up to the break.
+pub(crate) fn violations_along_path(
+    inst: &McInstance,
+    path_seqs: &[u64],
+    cfg: &ExploreConfig,
+) -> Vec<Violation> {
+    let mut stats = ExploreStats::new(inst.name.clone());
+    let mut sys = inst.build();
+    let mut committed: Vec<(TxnId, FragmentId)> = Vec::new();
+    let mut aborted = 0u64;
+    let mut labeled: Vec<(u64, String)> = Vec::new();
+
+    let root_choices = filtered_choices(&sys, inst, cfg, &mut stats);
+    let root_ctx = StepContext {
+        parent_frontier: None,
+        is_fault_step: false,
+        committed: &[],
+        aborted: 0,
+        no_choices_left: root_choices.is_empty(),
+    };
+    check_state(&sys, inst, &root_ctx, &[], cfg, &mut stats);
+
+    for &seq in path_seqs {
+        let parent_frontier = frontier_of(&sys);
+        let label = sys
+            .mc_choices()
+            .iter()
+            .find(|c| c.seq == seq)
+            .map(|c| c.label.clone())
+            .unwrap_or_default();
+        let Some(notifs) = sys.mc_step(seq) else {
+            break;
+        };
+        labeled.push((seq, label.clone()));
+        for n in &notifs {
+            match n {
+                Notification::Committed { txn, fragment, .. } => committed.push((*txn, *fragment)),
+                Notification::Aborted { .. } => aborted += 1,
+                _ => {}
+            }
+        }
+        let choices = filtered_choices(&sys, inst, cfg, &mut stats);
+        let ctx = StepContext {
+            parent_frontier: Some(&parent_frontier),
+            is_fault_step: label.starts_with("Crash(") || label.starts_with("Recover("),
+            committed: &committed,
+            aborted,
+            no_choices_left: choices.is_empty(),
+        };
+        check_state(&sys, inst, &ctx, &labeled, cfg, &mut stats);
+    }
+    stats.violations
+}
+
+/// Exhaustively explore `inst` within `cfg`'s bounds.
+///
+/// Deterministic: the same instance and config produce the identical
+/// state/transition counts and the identical violation list on every run.
+pub fn explore(inst: &McInstance, cfg: &ExploreConfig) -> ExploreStats {
+    let mut stats = ExploreStats::new(inst.name.clone());
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
+    let mut sys = inst.build();
+    visited.insert(sys.mc_digest());
+    stats.states = 1;
+
+    let root_choices = filtered_choices(&sys, inst, cfg, &mut stats);
+    let root_ctx = StepContext {
+        parent_frontier: None,
+        is_fault_step: false,
+        committed: &[],
+        aborted: 0,
+        no_choices_left: root_choices.is_empty(),
+    };
+    let root_bad = check_state(&sys, inst, &root_ctx, &[], cfg, &mut stats);
+    if root_bad && cfg.stop_on_violation {
+        return stats;
+    }
+    let mut path: Vec<(u64, String)> = Vec::new();
+    let mut stack: Vec<Frame> = vec![Frame {
+        choices: root_choices,
+        next: 0,
+        frontier: frontier_of(&sys),
+        committed: Vec::new(),
+        aborted: 0,
+    }];
+    // Whether `sys` currently sits at the state addressed by `path`.
+    let mut in_sync = true;
+
+    while let Some(top) = stack.last_mut() {
+        if top.next >= top.choices.len() {
+            stack.pop();
+            path.pop();
+            in_sync = false;
+            continue;
+        }
+        let (seq, label) = top.choices[top.next].clone();
+        top.next += 1;
+        let parent_frontier = top.frontier.clone();
+        let mut committed = top.committed.clone();
+        let mut aborted = top.aborted;
+
+        if !in_sync {
+            stats.replays += 1;
+            stats.replay_steps += path.len() as u64;
+            let prefix: Vec<u64> = path.iter().map(|(s, _)| *s).collect();
+            sys = inst.replay(&prefix);
+            in_sync = true;
+        }
+        let notifs = sys.mc_step(seq).expect("enabled choice is live");
+        stats.transitions += 1;
+        path.push((seq, label.clone()));
+        stats.max_depth_seen = stats.max_depth_seen.max(path.len());
+        for n in &notifs {
+            match n {
+                Notification::Committed { txn, fragment, .. } => committed.push((*txn, *fragment)),
+                Notification::Aborted { .. } => aborted += 1,
+                _ => {}
+            }
+        }
+
+        let choices = filtered_choices(&sys, inst, cfg, &mut stats);
+        let ctx = StepContext {
+            parent_frontier: Some(&parent_frontier),
+            is_fault_step: label.starts_with("Crash(") || label.starts_with("Recover("),
+            committed: &committed,
+            aborted,
+            no_choices_left: choices.is_empty(),
+        };
+        let bad = check_state(&sys, inst, &ctx, &path, cfg, &mut stats);
+        if bad && cfg.stop_on_violation {
+            return stats;
+        }
+
+        let digest = sys.mc_digest();
+        if !visited.insert(digest) {
+            stats.dedup_hits += 1;
+            path.pop();
+            in_sync = false;
+            continue;
+        }
+        stats.states += 1;
+        // A violating state is a counterexample leaf; exploring beyond it
+        // only multiplies reports of the same defect.
+        if bad || path.len() >= cfg.max_depth || stats.states >= cfg.max_states {
+            if !choices.is_empty() && !bad {
+                stats.truncated = true;
+            }
+            path.pop();
+            in_sync = false;
+            continue;
+        }
+        stack.push(Frame {
+            choices,
+            next: 0,
+            frontier: frontier_of(&sys),
+            committed,
+            aborted,
+        });
+    }
+    stats
+}

@@ -1,0 +1,48 @@
+//! `fragdb-mc` — bounded exhaustive model checking for the
+//! fragments-and-agents protocols.
+//!
+//! The checker explores *every* interleaving of pending simulation events
+//! over small protocol instances (2–4 nodes, 1–3 fragments, a handful of
+//! commits, optionally a crash/recover pair or a token move), using the
+//! deterministic simulator itself as the transition function:
+//!
+//! * **Replay-based DFS.** [`System`](fragdb_core::System) is not `Clone`
+//!   (update programs are boxed closures), so backtracking re-builds the
+//!   instance from its builder closure and replays the recorded choice
+//!   keys. Full determinism makes a `(seq)` key sequence a perfect state
+//!   address.
+//! * **State-hash deduplication.** Each state is digested by
+//!   [`System::mc_digest`](fragdb_core::System::mc_digest) — a
+//!   time-abstract FNV-1a over the protocol-visible state — and revisits
+//!   are pruned.
+//! * **Partial-order reduction.** Deliveries of the same replicated
+//!   install to different destinations commute; only the canonical
+//!   (lowest-destination) order is explored when no fault event is
+//!   pending.
+//!
+//! At every state the explorer checks the invariants the repo already
+//! knows how to state: at most one writer per `(fragment, epoch,
+//! frag_seq)` WAL slot, hold-back/`next_install` monotonicity, and
+//! serializability via [`fragdb_graphs::analyze`] with the incremental
+//! checker asserted in agreement. At quiescent states it additionally
+//! checks replica convergence and that no committed write was lost.
+//!
+//! Two integrations tie this back to `fragdb-check` (see `crates/check`):
+//! the **soundness oracle** ([`registry::shrunk_registry`]) explores a
+//! shrunk copy of every admitted `harness::configs` entry and demands zero
+//! violations, and **witness generation** ([`witness::witness_for`])
+//! turns every rejecting `FDB02x`/`FDB03x` diagnostic into a concrete,
+//! minimized counterexample trace found by iterative deepening.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod instance;
+pub mod registry;
+pub mod witness;
+
+pub use explore::{explore, ExploreConfig, ExploreStats, InvariantKind, Violation};
+pub use instance::McInstance;
+pub use registry::shrunk_registry;
+pub use witness::{witness_for, Witness};

@@ -1,0 +1,115 @@
+//! The soundness oracle and the explorer's structural guarantees.
+//!
+//! These run in debug under `cargo test`, so they use tight state caps;
+//! CI's `fragdb-mc --quick` run covers the release-mode, larger-bound
+//! sweep of the same instances.
+
+use fragdb_mc::registry::{shrunk_by_name, shrunk_registry};
+use fragdb_mc::{explore, ExploreConfig};
+
+/// Small bounds that keep debug-mode exploration fast while still
+/// visiting hundreds of distinct interleavings per instance.
+fn test_cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_states: 400,
+        ..ExploreConfig::full()
+    }
+}
+
+#[test]
+fn every_shrunk_registry_instance_explores_clean() {
+    for inst in shrunk_registry(42) {
+        let stats = explore(&inst, &test_cfg());
+        assert!(
+            stats.clean(),
+            "{}: {} violating state(s), first: {:?}",
+            inst.name,
+            stats.violation_states,
+            stats.violations.first()
+        );
+        assert!(stats.states > 1, "{}: nothing explored", inst.name);
+    }
+}
+
+#[test]
+fn shrunk_registry_names_match_harness_registry() {
+    // Every admitted config in the harness registry must have a shrunk
+    // model-checking twin: adding a registry entry without one fails here.
+    let harness: Vec<&str> = fragdb_harness::configs::all(42)
+        .iter()
+        .map(|c| c.name)
+        .collect();
+    let shrunk: Vec<String> = shrunk_registry(42).iter().map(|i| i.name.clone()).collect();
+    assert_eq!(
+        harness, shrunk,
+        "shrunk registry must mirror harness::configs::all, in order"
+    );
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let cfg = test_cfg();
+    for name in ["quickstart", "airline-unrestricted", "self-heal"] {
+        let a = explore(&shrunk_by_name(name, 42).unwrap(), &cfg);
+        let b = explore(&shrunk_by_name(name, 42).unwrap(), &cfg);
+        assert_eq!(a.states, b.states, "{name}: state counts differ");
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        assert_eq!(a.por_pruned, b.por_pruned);
+        assert_eq!(a.max_depth_seen, b.max_depth_seen);
+        assert_eq!(a.violation_states, b.violation_states);
+    }
+}
+
+#[test]
+fn quickstart_and_airline_explore_to_exhaustion() {
+    // The two smallest instances fit comfortably under the test caps, so
+    // their exploration is genuinely exhaustive — the strongest form of
+    // the oracle.
+    for name in ["quickstart", "airline-unrestricted"] {
+        let stats = explore(&shrunk_by_name(name, 42).unwrap(), &test_cfg());
+        assert!(
+            !stats.truncated,
+            "{name} should explore its whole state space (got {} states)",
+            stats.states
+        );
+        assert!(stats.clean());
+        assert!(stats.dedup_hits > 0, "{name}: dedup never fired");
+    }
+}
+
+#[test]
+fn por_prunes_without_changing_the_verdict() {
+    let with_por = test_cfg();
+    let without_por = ExploreConfig {
+        por: false,
+        ..test_cfg()
+    };
+    let inst = shrunk_by_name("quickstart", 42).unwrap();
+    let a = explore(&inst, &with_por);
+    let b = explore(&inst, &without_por);
+    assert!(a.por_pruned > 0, "POR should fire on a replicated commit");
+    assert_eq!(b.por_pruned, 0);
+    assert!(a.clean() && b.clean());
+    // Exhaustive both ways on this instance: POR must not hide states
+    // beyond the commutative reorderings it is allowed to collapse.
+    assert!(!a.truncated && !b.truncated);
+    assert!(
+        a.transitions < b.transitions,
+        "POR should shrink the transition count ({} vs {})",
+        a.transitions,
+        b.transitions
+    );
+}
+
+#[test]
+fn rto_pruning_only_applies_to_fault_free_instances() {
+    let cfg = test_cfg();
+    let fault_free = explore(&shrunk_by_name("quickstart", 42).unwrap(), &cfg);
+    assert!(fault_free.rto_pruned > 0);
+    let faulty = explore(&shrunk_by_name("chaos-mesh", 42).unwrap(), &cfg);
+    assert_eq!(
+        faulty.rto_pruned, 0,
+        "retransmissions are real choices under faults"
+    );
+}

@@ -97,6 +97,9 @@ pub struct Engine<E> {
     /// Timers scheduled and neither fired nor cancelled.
     live_timers: usize,
     next_seq: u64,
+    /// Model-checking mode: timers bypass the wheel so every pending event
+    /// is enumerable and individually takeable (see [`Engine::enable_mc`]).
+    mc: bool,
     /// Seeded random source shared by all simulation components.
     pub rng: SimRng,
     /// Counters and histograms accumulated during the run.
@@ -124,6 +127,7 @@ impl<E> Engine<E> {
             timer_free: Vec::new(),
             live_timers: 0,
             next_seq: 0,
+            mc: false,
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
             trace: Trace::disabled(),
@@ -230,7 +234,7 @@ impl<E> Engine<E> {
             }
         };
         self.live_timers += 1;
-        if tick_of(at) < self.wheel.current_tick() {
+        if self.mc || tick_of(at) < self.wheel.current_tick() {
             // The wheel's cursor already swept this tick; keep exact order
             // by parking the timer in the ready buffer directly.
             self.ready.insert((at, seq), (token, payload));
@@ -379,6 +383,87 @@ impl<E> Engine<E> {
             best = Some(best.map_or(key, |b| b.min(key)));
         }
         best.map(|(at, _)| at)
+    }
+
+    /// Switch the engine into model-checking mode.
+    ///
+    /// From this point on, timers skip the timing wheel and park directly in
+    /// the exact-order ready buffer, and any timers already in the wheel are
+    /// migrated there. This makes the complete pending set enumerable via
+    /// [`Engine::mc_pending`] and individually consumable via
+    /// [`Engine::mc_take`], which a model checker needs in order to explore
+    /// arbitrary event interleavings instead of the canonical `(time, seq)`
+    /// order. Normal [`Engine::pop`] execution is unaffected by the flag
+    /// itself (the ready buffer already participates in exact pop order).
+    pub fn enable_mc(&mut self) {
+        self.mc = true;
+        while self.wheel.len() > 0 {
+            self.wheel.collect_next(&mut self.ready);
+        }
+    }
+
+    /// Whether [`Engine::enable_mc`] has been called.
+    pub fn is_mc(&self) -> bool {
+        self.mc
+    }
+
+    /// Enumerate every pending event as `(at, seq, payload)`, sorted by the
+    /// canonical `(at, seq)` key. Cancelled-but-unreaped timers are skipped.
+    ///
+    /// Only meaningful after [`Engine::enable_mc`] (otherwise timers parked
+    /// in the wheel are invisible and the listing is incomplete).
+    pub fn mc_pending(&self) -> Vec<(SimTime, u64, &E)> {
+        debug_assert!(self.mc, "mc_pending requires enable_mc");
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .queue
+            .iter()
+            .map(|Reverse(ev)| (ev.at, ev.seq, &ev.payload))
+            .collect();
+        for (&(at, seq), (token, payload)) in self.ready.iter() {
+            if self.token_alive(*token) {
+                out.push((at, seq, payload));
+            }
+        }
+        out.sort_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+
+    /// Remove and return one pending event by its `seq`, regardless of its
+    /// position in the queue. The clock advances to `max(now, at)` — taking
+    /// an event "early" reinterprets it as firing now, which is exactly the
+    /// delay/skew nondeterminism a model checker explores; causality is
+    /// preserved because only already-scheduled events are takeable.
+    ///
+    /// Returns `None` if no live pending event carries `seq`. The returned
+    /// time is the post-advance clock, safe to feed back into handlers that
+    /// schedule follow-up events.
+    pub fn mc_take(&mut self, seq: u64) -> Option<(SimTime, E)> {
+        debug_assert!(self.mc, "mc_take requires enable_mc");
+        let ready_key = self
+            .ready
+            .iter()
+            .find(|(&(_, s), (token, _))| s == seq && self.token_alive(*token))
+            .map(|(&key, _)| key);
+        if let Some(key) = ready_key {
+            let (token, payload) = self.ready.remove(&key).expect("key just found");
+            self.free_token(token);
+            self.live_timers -= 1;
+            self.metrics.incr(keys::NET_TIMER_WHEEL_OPS);
+            self.now = self.now.max(key.0);
+            self.metrics.incr(keys::SIM_EVENTS);
+            return Some((self.now, payload));
+        }
+        // O(n) heap rebuild: fine at model-checking scale (tens of events).
+        let mut items = std::mem::take(&mut self.queue).into_vec();
+        let taken = items
+            .iter()
+            .position(|Reverse(ev)| ev.seq == seq)
+            .map(|pos| items.swap_remove(pos));
+        self.queue = BinaryHeap::from(items);
+        let Reverse(ev) = taken?;
+        self.now = self.now.max(ev.at);
+        self.metrics.incr(keys::SIM_EVENTS);
+        Some((self.now, ev.payload))
     }
 
     /// Discard every queued event (used when tearing down a scenario early).
@@ -679,6 +764,67 @@ mod tests {
         assert_ne!(t1, t2, "generation must differ on slab reuse");
         assert!(!e.cancel_timer(t1));
         assert!(e.cancel_timer(t2));
+    }
+
+    #[test]
+    fn mc_pending_lists_heap_and_timer_events_in_order() {
+        let mut e = Engine::new(1);
+        e.schedule(SimDuration(30), Ev::A(2));
+        e.schedule_timer(SimDuration(10), Ev::A(0));
+        e.enable_mc();
+        e.schedule_timer(SimDuration(20), Ev::A(1));
+        let listed: Vec<u32> = e.mc_pending().iter().map(|&(_, _, Ev::A(i))| *i).collect();
+        assert_eq!(listed, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mc_take_out_of_order_advances_clock_monotonically() {
+        let mut e = Engine::new(1);
+        e.enable_mc();
+        e.schedule(SimDuration(10), Ev::A(0));
+        e.schedule_timer(SimDuration(50), Ev::A(1));
+        e.schedule(SimDuration(20), Ev::A(2));
+        let pend = e.mc_pending();
+        // Take the latest event first: clock jumps to 50.
+        let seq_late = pend
+            .iter()
+            .find(|&&(at, _, _)| at == SimTime(50))
+            .unwrap()
+            .1;
+        assert_eq!(e.mc_take(seq_late), Some((SimTime(50), Ev::A(1))));
+        assert_eq!(e.now(), SimTime(50));
+        // Earlier events are reinterpreted as firing "now": clock holds.
+        let keys: Vec<u64> = e.mc_pending().iter().map(|&(_, s, _)| s).collect();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(e.mc_take(keys[0]), Some((SimTime(50), Ev::A(0))));
+        assert_eq!(e.mc_take(keys[0]), None, "already taken");
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn mc_take_skips_cancelled_timers_and_frees_tokens() {
+        let mut e = Engine::new(1);
+        e.enable_mc();
+        let kill = e.schedule_timer(SimDuration(5), Ev::A(0));
+        e.schedule_timer(SimDuration(6), Ev::A(1));
+        assert!(e.cancel_timer(kill));
+        let pend = e.mc_pending();
+        assert_eq!(pend.len(), 1, "cancelled timer invisible");
+        assert_eq!(e.mc_take(pend[0].1), Some((SimTime(6), Ev::A(1))));
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn enable_mc_migrates_wheel_timers() {
+        let mut e = Engine::new(1);
+        e.schedule_timer(SimDuration(50_000), Ev::A(0));
+        e.schedule_timer(SimDuration(3_000_000), Ev::A(1));
+        e.enable_mc();
+        assert_eq!(e.mc_pending().len(), 2);
+        // Canonical pop order is still intact after migration.
+        let seen = drain(&mut e);
+        let order: Vec<u32> = seen.iter().map(|(_, Ev::A(i))| *i).collect();
+        assert_eq!(order, vec![0, 1]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --example check -- --all-configs   # certify every registry entry (CI runs this)
 //! cargo run --example check -- --demo-bad      # show a §4.2 rejection end to end
+//! cargo run --example check -- --explain FDB020  # long-form explanation + counterexample
 //! cargo run --example check -- <name>          # check one registry entry by name
 //! ```
 //!
@@ -74,6 +75,10 @@ fn demo_bad() -> ExitCode {
             println!("admission refused the mutually-reading §4.2 schema, as it should:\n");
             println!("{report}");
             assert!(report.has(Code::Fdb020));
+            // The model checker backs the refusal with a concrete run.
+            if let Some(w) = fragdb::mc::witness_for(Code::Fdb020) {
+                println!("\n{w}");
+            }
             ExitCode::SUCCESS
         }
         Err(other) => {
@@ -106,6 +111,30 @@ fn main() -> ExitCode {
             }
         }
         Some("--demo-bad") => demo_bad(),
+        Some("--explain") => match args.get(1).and_then(|s| Code::parse(s)) {
+            Some(code) => {
+                println!(
+                    "{}[{}] ({})\n",
+                    code.severity(),
+                    code.as_str(),
+                    code.paper_section()
+                );
+                println!("{}", code.explain());
+                // Rejecting FDB02x/FDB03x codes come with a minimized
+                // counterexample from the bounded model checker.
+                if let Some(w) = fragdb::mc::witness_for(code) {
+                    println!("\n{w}");
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "--explain needs a known code; one of: {}",
+                    Code::ALL.map(Code::as_str).join(", ")
+                );
+                ExitCode::FAILURE
+            }
+        },
         Some(name) => match configs::by_name(name, seed) {
             Some(cfg) => {
                 // Single-config mode prints the full report even when clean.

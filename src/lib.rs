@@ -61,6 +61,7 @@
 //! | [`graphs`] | read-access / serialization graphs and all checkers |
 //! | [`core`] | the fragments-and-agents engine: strategies §4.1–4.3, movement §4.4 |
 //! | [`check`] | static admission analysis (`FDB0xx` diagnostics) over declared configs |
+//! | [`mc`] | bounded exhaustive model checker + counterexample witnesses |
 //! | [`baselines`] | mutual exclusion and log transformation (§1) |
 //! | [`workloads`] | banking, warehouse, airline applications + generators |
 //! | [`harness`] | experiments E1–E10 regenerating the paper's figures |
@@ -70,6 +71,7 @@ pub use fragdb_check as check;
 pub use fragdb_core as core;
 pub use fragdb_graphs as graphs;
 pub use fragdb_harness as harness;
+pub use fragdb_mc as mc;
 pub use fragdb_model as model;
 pub use fragdb_net as net;
 pub use fragdb_sim as sim;

@@ -4,9 +4,12 @@
 //! partition. The schemas are generated from seeded randomness (the chaos
 //! suite's seeds), so each seed exercises a different forest.
 
-use fragdb::check::{build_admitted, AdmissionPolicy, ClassDecl};
-use fragdb::core::{StrategyKind, Submission, SystemConfig};
+use std::rc::Rc;
+
+use fragdb::check::{build_admitted, check, AdmissionPolicy, CheckInput, ClassDecl, Code};
+use fragdb::core::{StrategyKind, Submission, System, SystemConfig};
 use fragdb::graphs::analyze;
+use fragdb::mc::{explore, witness_for, ExploreConfig, InvariantKind, McInstance};
 use fragdb::model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId};
 use fragdb::net::{NetworkChange, Topology};
 use fragdb::sim::{SimDuration, SimRng, SimTime};
@@ -140,4 +143,108 @@ fn admitted_acyclic_rag_configs_stay_globally_serializable() {
             verdict.gsg_cycle
         );
     }
+}
+
+/// The model checker and the static analyzer cross-validate each other on
+/// seeded random schemas: a schema the analyzer *admits* must explore with
+/// zero violations over every bounded interleaving (soundness), and a
+/// schema it *rejects* is backed by a concrete counterexample trace that
+/// still replays to the claimed invariant violation (completeness of the
+/// refusal's evidence).
+#[test]
+fn model_checker_cross_validates_admission() {
+    let mc_cfg = ExploreConfig {
+        max_states: 250,
+        ..ExploreConfig::full()
+    };
+    for seed in [0xC4B0u64, 0xC4B1, 0xC4B2] {
+        let mut rng = SimRng::new(seed);
+        let schema = Rc::new(forest_schema(&mut rng));
+        let n = schema.catalog.fragments().len() as u32;
+        let strategy = StrategyKind::AcyclicRag {
+            decls: schema.classes.iter().map(ClassDecl::to_access).collect(),
+            allow_violating_read_only: true,
+        };
+        let topology = Topology::full_mesh(n, SimDuration::from_millis(10));
+        let config = SystemConfig::unrestricted(seed).with_strategy(strategy);
+
+        // Admitted by the static analyzer...
+        let report = check(&CheckInput {
+            topology: &topology,
+            catalog: &schema.catalog,
+            agents: &schema.agents,
+            classes: &schema.classes,
+            config: &config,
+        });
+        assert!(
+            report.is_admissible(),
+            "seed {seed:#x}: generated forest must be admissible:\n{report}"
+        );
+
+        // ...must explore clean at model-checking scale.
+        let builder_schema = Rc::clone(&schema);
+        let inst = McInstance::new(
+            format!("admission-prop-{seed:#x}"),
+            true,
+            false,
+            move || {
+                let strategy = StrategyKind::AcyclicRag {
+                    decls: builder_schema
+                        .classes
+                        .iter()
+                        .map(ClassDecl::to_access)
+                        .collect(),
+                    allow_violating_read_only: true,
+                };
+                let mut sys = System::build(
+                    Topology::full_mesh(n, SimDuration::from_millis(10)),
+                    builder_schema.catalog.clone(),
+                    builder_schema.agents.clone(),
+                    SystemConfig::unrestricted(seed).with_strategy(strategy),
+                )
+                .expect("admitted schema builds");
+                for (i, class) in builder_schema.classes.iter().enumerate() {
+                    sys.submit_at(secs(1 + i as u64), txn_of(&builder_schema, class));
+                }
+                sys
+            },
+        );
+        let stats = explore(&inst, &mc_cfg);
+        assert!(
+            stats.clean(),
+            "seed {seed:#x}: admitted schema has a bounded counterexample: {:?}",
+            stats.violations.first()
+        );
+        assert!(stats.states > 1, "seed {seed:#x}: nothing explored");
+
+        // Rejected direction: close a read cycle between the first two
+        // fragments. The analyzer must refuse it with FDB020...
+        let frags: Vec<FragmentId> = schema.catalog.fragments().iter().map(|f| f.id).collect();
+        let (a, b) = (frags[0], frags[1]);
+        let cyclic = vec![
+            ClassDecl::update("cyc-a", a, [a, b]),
+            ClassDecl::update("cyc-b", b, [b, a]),
+        ];
+        let cyclic_config =
+            SystemConfig::unrestricted(seed).with_strategy(StrategyKind::AcyclicRag {
+                decls: cyclic.iter().map(ClassDecl::to_access).collect(),
+                allow_violating_read_only: true,
+            });
+        let report = check(&CheckInput {
+            topology: &topology,
+            catalog: &schema.catalog,
+            agents: &schema.agents,
+            classes: &cyclic,
+            config: &cyclic_config,
+        });
+        assert!(report.has(Code::Fdb020), "seed {seed:#x}:\n{report}");
+        assert!(!report.is_admissible());
+    }
+
+    // ...and the refusal's witness is a real, replaying serializability
+    // violation — not just a plausible story.
+    let w = witness_for(Code::Fdb020).expect("FDB020 must carry a witness");
+    assert_eq!(w.kind(), Some(InvariantKind::NotGlobal));
+    assert!(w.len() >= 2, "a GSG cycle needs two transactions");
+    assert!(w.replay(), "FDB020 witness must replay to its violation");
 }
