@@ -1,7 +1,7 @@
 //! `fragdb-bench` — the performance-trajectory runner.
 //!
 //! Reproduces the before/after numbers for the performance passes, at
-//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr7.json`:
+//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr8.json`:
 //!
 //! * **payload broadcast** — a commit's payload is materialized once
 //!   (`payload.clones`) and every downstream copy is an `Arc` bump
@@ -28,6 +28,18 @@
 //!   a one-fragment instance at 2/3/4 nodes: distinct states, transitions,
 //!   dedup hit rate, POR prunes, exploration throughput (states/sec), and
 //!   the length of the minimized FDB020 counterexample witness.
+//! * **scale** — the open-loop Zipf workload (`fragdb-harness`'s scale
+//!   runner) over large full meshes, on its own node axis (64/256/1024
+//!   full, 8/16/32 quick): a million-user Zipf(0.99) population at a
+//!   fixed offered rate, reporting engine events, wire messages,
+//!   events/sec, messages/sec, peak pending-event depth, pool reuse,
+//!   and p50/p99 commit→install lag from the telemetry probes.
+//! * **scale kernels** — before/after arms for the PR 8 kernel pass,
+//!   sized by the same node axis: the event queue (reference binary
+//!   heap vs the timing-wheel engine) and the store scan (`BTreeStore`
+//!   map-of-records `digest_all` vs the dense flat-index `Store`). At
+//!   the million-entry row both speedups are asserted ≥ 3× at
+//!   generation time.
 //!
 //! All workload numbers (events, messages, clone/share counts, checker
 //! edge insertions) are deterministic virtual-time metrics; only the
@@ -52,6 +64,8 @@ use fragdb_sim::{SimDuration, SimRng, SimTime, Telemetry};
 use fragdb_storage::{Wal, WalEntry};
 use fragdb_workloads::{arrivals, partitions};
 
+use fragdb_harness::scale as hscale;
+
 const SEED: u64 = 42;
 const NODE_COUNTS: [u32; 3] = [4, 16, 64];
 /// Node counts for the model-check section: exhaustive exploration only
@@ -72,6 +86,15 @@ struct Scale {
     samples: usize,
     heal_updates: u64,
     mc_states: u64,
+    /// Node axis of the open-loop scale section (its own axis: the
+    /// classic sections stay at 4/16/64).
+    scale_nodes: [u32; 3],
+    /// Offered rate of the open-loop scale workload (tx per sim-second).
+    scale_rate: f64,
+    /// Arrival horizon of the open-loop scale workload, sim-seconds.
+    scale_horizon_secs: u64,
+    /// Pop→reschedule operations per timed queue-kernel run.
+    kernel_churn: u64,
 }
 
 const FULL: Scale = Scale {
@@ -87,6 +110,10 @@ const FULL: Scale = Scale {
     samples: 3,
     heal_updates: 30,
     mc_states: 2_000,
+    scale_nodes: [64, 256, 1024],
+    scale_rate: 50.0,
+    scale_horizon_secs: 10,
+    kernel_churn: 200_000,
 };
 
 const QUICK: Scale = Scale {
@@ -102,11 +129,15 @@ const QUICK: Scale = Scale {
     samples: 2,
     heal_updates: 16,
     mc_states: 400,
+    scale_nodes: [8, 16, 32],
+    scale_rate: 40.0,
+    scale_horizon_secs: 5,
+    kernel_churn: 50_000,
 };
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr7.json");
+    let mut out = String::from("BENCH_pr8.json");
     let mut validate: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -150,10 +181,15 @@ fn main() {
 fn generate(scale: &Scale) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"fragdb-bench-pr7/v1\",\n");
+    j.push_str("  \"schema\": \"fragdb-bench-pr8/v1\",\n");
     let _ = writeln!(j, "  \"mode\": \"{}\",", scale.mode);
     let _ = writeln!(j, "  \"seed\": {SEED},");
     j.push_str("  \"node_counts\": [4, 16, 64],\n");
+    let _ = writeln!(
+        j,
+        "  \"scale_node_counts\": [{}, {}, {}],",
+        scale.scale_nodes[0], scale.scale_nodes[1], scale.scale_nodes[2]
+    );
 
     j.push_str("  \"payload_broadcast\": [\n");
     for (i, &n) in NODE_COUNTS.iter().enumerate() {
@@ -223,8 +259,193 @@ fn generate(scale: &Scale) -> String {
             }
         );
     }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"scale\": [\n");
+    for (i, &n) in scale.scale_nodes.iter().enumerate() {
+        let row = bench_scale(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < scale.scale_nodes.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"scale_kernels\": [\n");
+    for (i, &n) in scale.scale_nodes.iter().enumerate() {
+        let row = bench_scale_kernels(n, scale);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < scale.scale_nodes.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
     j.push_str("  ]\n}\n");
     j
+}
+
+/// One open-loop Zipf run on an `n`-node mesh: a million-user Zipf(0.99)
+/// population offering `scale_rate` tx/s for `scale_horizon_secs`,
+/// against eight fragments striped over the mesh. All counters are
+/// deterministic virtual-time numbers; only `wall_secs` (and the
+/// throughput rates derived from it) are wall-clock.
+fn bench_scale(n: u32, scale: &Scale) -> String {
+    let spec = hscale::ScaleSpec {
+        nodes: n,
+        fragments: 8,
+        objects_per_fragment: 32,
+        users: 1_000_000,
+        theta: 0.99,
+        rate_per_sec: scale.scale_rate,
+        horizon: SimDuration::from_secs(scale.scale_horizon_secs),
+        seed: SEED,
+    };
+    let (_, stats) = hscale::run(&spec);
+    assert!(stats.commits > 0, "scale run must commit at {n} nodes");
+    assert!(
+        stats.lag_p99_us >= stats.lag_p50_us && stats.lag_p50_us > 0,
+        "scale run must observe install lag at {n} nodes"
+    );
+    let wall = criterion::median_secs(scale.samples, || {
+        criterion::black_box(hscale::run(&spec));
+    });
+    let events_per_sec = stats.events as f64 / wall;
+    let msgs_per_sec = stats.messages as f64 / wall;
+    format!(
+        "{{ \"nodes\": {n}, \"users\": {}, \"offered_rate\": {}, \"arrivals\": {}, \
+         \"commits\": {}, \"events\": {}, \"messages\": {}, \"peak_queue_depth\": {}, \
+         \"pool_reuse\": {}, \"lag_p50_us\": {}, \"lag_p99_us\": {}, \
+         \"events_per_sec\": {events_per_sec:.1}, \"msgs_per_sec\": {msgs_per_sec:.1}, \
+         \"wall_secs\": {} }}",
+        spec.users,
+        stats.offered_rate,
+        stats.arrivals,
+        stats.commits,
+        stats.events,
+        stats.messages,
+        stats.peak_queue_depth,
+        stats.pool_reuse,
+        stats.lag_p50_us,
+        stats.lag_p99_us,
+        fmt_secs(wall),
+    )
+}
+
+/// Before/after kernel arms sized by the scale axis (`n * 1000` live
+/// entries / objects).
+///
+/// Queue: a reference `BinaryHeap<Reverse<(at, seq)>>` versus the
+/// engine's timing wheel, both doing pop→reschedule churn over the same
+/// pending population with the same delay sequence (the hold model).
+/// Store: the retained `BTreeStore` map-of-records `digest_all` (key
+/// list materialized, per-key tree lookups) versus the dense flat-index
+/// `Store`, over a mixed int/flag population. At the million-entry row
+/// both speedups must clear 3× — checked here, at generation time.
+fn bench_scale_kernels(n: u32, scale: &Scale) -> String {
+    let population = n as u64 * 1000;
+    let churn = scale.kernel_churn;
+
+    // Queue arm, before: binary heap ordered by (at, seq).
+    let mut rng = SimRng::new(SEED);
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>> =
+        std::collections::BinaryHeap::with_capacity(population as usize);
+    let mut seq = 0u64;
+    for _ in 0..population {
+        heap.push(std::cmp::Reverse((rng.gen_range(0..1_000_000_000), seq)));
+        seq += 1;
+    }
+    let heap_secs = criterion::median_secs(scale.samples, || {
+        for _ in 0..churn {
+            let std::cmp::Reverse((at, _)) = heap.pop().expect("population is conserved");
+            heap.push(std::cmp::Reverse((
+                at + rng.gen_range(1_000..10_000_000),
+                seq,
+            )));
+            seq += 1;
+        }
+    });
+
+    // Queue arm, after: the engine (timing wheel + calendar overflow).
+    let mut rng = SimRng::new(SEED);
+    let mut eng: fragdb_sim::Engine<u64> = fragdb_sim::Engine::new(SEED);
+    for i in 0..population {
+        eng.schedule_at(SimTime(rng.gen_range(0..1_000_000_000)), i);
+    }
+    let wheel_secs = criterion::median_secs(scale.samples, || {
+        for i in 0..churn {
+            let (at, _) = eng.pop().expect("population is conserved");
+            eng.schedule_at(at + SimDuration(rng.gen_range(1_000..10_000_000)), i);
+        }
+    });
+    let queue_speedup = heap_secs / wheel_secs.max(1e-12);
+    let queue_events_per_sec = churn as f64 / wheel_secs.max(1e-12);
+
+    // Store arm: same digest over both layouts, mixed int/flag values.
+    let mut dense = fragdb_storage::Store::new();
+    let mut oracle = fragdb_storage::BTreeStore::new();
+    for i in 0..population {
+        let v = if i % 4 == 3 {
+            fragdb_model::Value::Bool(i % 8 == 3)
+        } else {
+            fragdb_model::Value::Int(i as i64)
+        };
+        let writer = TxnId::new(NodeId(0), i);
+        dense.put(ObjectId(i), v.clone(), writer, SimTime(i));
+        oracle.put(ObjectId(i), v, writer, SimTime(i));
+    }
+    let reps = (2_000_000 / population).max(1);
+    let mut btree_digest = 0u64;
+    let btree_secs = criterion::median_secs(scale.samples, || {
+        for _ in 0..reps {
+            btree_digest = criterion::black_box(oracle.digest_all());
+        }
+    });
+    let mut dense_digest = 0u64;
+    let dense_secs = criterion::median_secs(scale.samples, || {
+        for _ in 0..reps {
+            dense_digest = criterion::black_box(dense.digest_all());
+        }
+    });
+    assert_eq!(
+        btree_digest, dense_digest,
+        "layouts must agree on the digest at {population} objects"
+    );
+    let store_speedup = btree_secs / dense_secs.max(1e-12);
+    let digests_per_sec = reps as f64 / dense_secs.max(1e-12);
+
+    if population >= 1_000_000 {
+        assert!(
+            queue_speedup >= 3.0,
+            "queue kernel must be >= 3x at {population} pending (got {queue_speedup:.2}x)"
+        );
+        assert!(
+            store_speedup >= 3.0,
+            "store kernel must be >= 3x at {population} objects (got {store_speedup:.2}x)"
+        );
+    }
+
+    format!(
+        "{{ \"nodes\": {n}, \"queue_population\": {population}, \"queue_events\": {churn}, \
+         \"heap_secs\": {}, \"wheel_secs\": {}, \"queue_speedup\": {}, \
+         \"queue_events_per_sec\": {queue_events_per_sec:.1}, \
+         \"store_objects\": {population}, \"btree_secs\": {}, \"dense_secs\": {}, \
+         \"store_speedup\": {}, \"digests_per_sec\": {digests_per_sec:.1} }}",
+        fmt_secs(heap_secs),
+        fmt_secs(wheel_secs),
+        fmt_ratio(queue_speedup),
+        fmt_secs(btree_secs),
+        fmt_secs(dense_secs),
+        fmt_ratio(store_speedup),
+    )
 }
 
 /// One fragment homed at node 0 on an `n`-node full mesh; `commits`
@@ -737,22 +958,27 @@ fn fmt_ratio(r: f64) -> String {
 /// one entry per node count in strictly increasing order, and the
 /// deterministic counters are nonzero. Accepts the PR 3 schema (three
 /// sections), the PR 5 schema (which adds `broadcast_batching`), the
-/// PR 6 schema (which adds `self_heal`), and the PR 7 schema (which
-/// adds `model_check`, on its own 2/3/4-node axis). Hand-rolled because
-/// no JSON parser is available in this build environment; the emitter
-/// above is the only producer, so the format is fully under our
-/// control.
+/// PR 6 schema (which adds `self_heal`), the PR 7 schema (which adds
+/// `model_check`, on its own 2/3/4-node axis), and the PR 8 schema
+/// (which adds `scale` and `scale_kernels`, on their own large-mesh
+/// axis). Hand-rolled because no JSON parser is available in this
+/// build environment; the emitter above is the only producer, so the
+/// format is fully under our control.
 fn validate_report(text: &str) -> Result<String, String> {
+    let pr8 = text.contains("\"schema\": \"fragdb-bench-pr8/v1\"");
     let pr7 = text.contains("\"schema\": \"fragdb-bench-pr7/v1\"");
     let pr6 = text.contains("\"schema\": \"fragdb-bench-pr6/v1\"");
     let pr5 = text.contains("\"schema\": \"fragdb-bench-pr5/v1\"");
     let pr3 = text.contains("\"schema\": \"fragdb-bench-pr3/v1\"");
-    if !pr7 && !pr6 && !pr5 && !pr3 {
+    if !pr8 && !pr7 && !pr6 && !pr5 && !pr3 {
         return Err(
             "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1, -pr5/v1, -pr6/v1, \
-             or -pr7/v1)"
+             -pr7/v1, or -pr8/v1)"
                 .into(),
         );
+    }
+    if pr8 && !text.contains("\"scale_node_counts\": [") {
+        return Err("missing \"scale_node_counts\"".into());
     }
     for key in ["\"mode\":", "\"seed\": 42", "\"node_counts\": [4, 16, 64]"] {
         if !text.contains(key) {
@@ -767,7 +993,7 @@ fn validate_report(text: &str) -> Result<String, String> {
         ("wal_index", &["records", "queries"][..]),
         ("checker", &["ops", "queries", "edge_insertions"][..]),
     ];
-    if pr5 || pr6 || pr7 {
+    if pr5 || pr6 || pr7 || pr8 {
         sections.insert(
             1,
             (
@@ -785,7 +1011,7 @@ fn validate_report(text: &str) -> Result<String, String> {
             ),
         );
     }
-    if pr6 || pr7 {
+    if pr6 || pr7 || pr8 {
         sections.push((
             "self_heal",
             &[
@@ -797,10 +1023,41 @@ fn validate_report(text: &str) -> Result<String, String> {
             ][..],
         ));
     }
-    if pr7 {
+    if pr7 || pr8 {
         sections.push((
             "model_check",
             &["states", "transitions", "states_per_sec", "witness_len"][..],
+        ));
+    }
+    if pr8 {
+        sections.push((
+            "scale",
+            &[
+                "users",
+                "offered_rate",
+                "arrivals",
+                "commits",
+                "events",
+                "messages",
+                "peak_queue_depth",
+                "pool_reuse",
+                "lag_p50_us",
+                "lag_p99_us",
+                "events_per_sec",
+                "msgs_per_sec",
+            ][..],
+        ));
+        sections.push((
+            "scale_kernels",
+            &[
+                "queue_population",
+                "queue_events",
+                "queue_speedup",
+                "queue_events_per_sec",
+                "store_objects",
+                "store_speedup",
+                "digests_per_sec",
+            ][..],
         ));
     }
     let mut summary = String::new();
@@ -840,6 +1097,10 @@ fn validate_report(text: &str) -> Result<String, String> {
             "batch_secs",
             "wall_off_secs",
             "wall_on_secs",
+            "heap_secs",
+            "wheel_secs",
+            "btree_secs",
+            "dense_secs",
         ] {
             // Wall-clock fields, where present, must parse as positive.
             let values = number_fields(body, field).unwrap_or_default();

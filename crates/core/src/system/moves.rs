@@ -216,13 +216,13 @@ impl System {
         }];
         // Queued quasi-transactions at or above the restore point may now
         // be installable.
-        let resume: Vec<QuasiTransaction> = {
+        let resume = {
             let slot = &mut self.nodes[to.0 as usize];
-            let hb = slot.holdback.entry(fragment).or_default();
-            let keys: Vec<u64> = hb.keys().copied().collect();
-            keys.into_iter().filter_map(|k| hb.remove(&k)).collect()
+            // Take the whole hold-back map (ascending seq order) instead of
+            // materializing a key list and removing one by one.
+            std::mem::take(slot.holdback.entry(fragment).or_default())
         };
-        for q in resume {
+        for q in resume.into_values() {
             notes.extend(self.ordered_install(at, to, q));
         }
         notes.extend(self.drain_queued(at, fragment));

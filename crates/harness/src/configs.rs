@@ -342,6 +342,36 @@ fn chaos(seed: u64) -> NamedConfig {
     }
 }
 
+/// The open-loop Zipf scale shape (`scale::run`, `fragdb-bench` scale
+/// section): independent unrestricted fragments striped over a full
+/// mesh, one updater class per fragment. Registered at a modest node
+/// count so admission certifies the shape without analyzing a thousand
+/// replicas; the bench scales only the mesh size, not the schema.
+fn scale_zipf(seed: u64) -> NamedConfig {
+    let spec = crate::scale::ScaleSpec::smoke(6, seed);
+    let mut b = FragmentCatalog::builder();
+    let frags: Vec<_> = (0..spec.fragments)
+        .map(|f| b.add_fragment(format!("S{f}"), spec.objects_per_fragment as usize))
+        .collect();
+    let classes = crate::scale::classes(&frags);
+    let frags: Vec<FragmentId> = frags.into_iter().map(|(f, _)| f).collect();
+    NamedConfig {
+        name: "scale-zipf-open-loop",
+        source: "harness::scale / fragdb-bench scale section",
+        topology: Topology::full_mesh(spec.nodes, ms(10)),
+        catalog: b.build(),
+        agents: frags
+            .iter()
+            .map(|&f| {
+                let home = NodeId(f.0 % spec.nodes);
+                (f, AgentId::Node(home), home)
+            })
+            .collect(),
+        classes,
+        config: SystemConfig::unrestricted(seed),
+    }
+}
+
 /// Every shipped configuration, in a stable order.
 pub fn all(seed: u64) -> Vec<NamedConfig> {
     vec![
@@ -355,6 +385,7 @@ pub fn all(seed: u64) -> Vec<NamedConfig> {
         movement(seed),
         self_heal(seed),
         chaos(seed),
+        scale_zipf(seed),
     ]
 }
 

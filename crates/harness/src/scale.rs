@@ -1,0 +1,269 @@
+//! Open-loop Zipf scale runner: the million-user / 1k-node harness.
+//!
+//! Closed-loop drivers (submit, wait for the commit, submit again) hide
+//! overload: the offered rate collapses to whatever the system sustains,
+//! so saturation never shows up in the numbers. The scale runner is
+//! *open-loop* — arrivals are drawn from a Poisson process at a fixed
+//! offered rate and submitted at their arrival instants regardless of
+//! completions — so queue growth and commit→install lag remain visible.
+//!
+//! Keys are chosen by a Zipf(θ) sampler over a large user population
+//! (millions of users are fine: the rejection-inversion sampler is O(1)
+//! per draw and nothing per-user is materialized). User ranks fold onto
+//! the fragment/object space with the hottest ranks spread round-robin
+//! across fragments, so every fragment sees a skewed key distribution.
+//!
+//! [`run`] drives a full-mesh [`System`] under this workload and returns
+//! [`ScaleStats`]: engine events, wire messages, peak pending-event depth,
+//! allocation-pool reuse, and p50/p99 commit→install lag from the
+//! `frag.<f>.lag` telemetry histograms. `fragdb-bench`'s `scale` section
+//! is a thin wrapper that adds wall-clock timing.
+
+use fragdb_check::ClassDecl;
+use fragdb_core::{Notification, Submission, System, SystemConfig};
+use fragdb_model::{AgentId, FragmentCatalog, FragmentId, NodeId, ObjectId};
+use fragdb_net::Topology;
+use fragdb_sim::metrics::keys;
+use fragdb_sim::{SimDuration, SimRng, SimTime, Telemetry};
+use fragdb_workloads::{OpenLoop, OpenLoopConfig};
+
+/// Parameters of one open-loop scale run.
+#[derive(Clone, Debug)]
+pub struct ScaleSpec {
+    /// Node count of the full-mesh topology.
+    pub nodes: u32,
+    /// Number of independent fragments (each homed at `f % nodes`).
+    pub fragments: u32,
+    /// Objects per fragment; user ranks fold onto this space.
+    pub objects_per_fragment: u32,
+    /// Zipf population — the "million users".
+    pub users: u64,
+    /// Zipf skew θ (0.99 is the YCSB-style default).
+    pub theta: f64,
+    /// Offered arrival rate, transactions per simulated second.
+    pub rate_per_sec: f64,
+    /// Arrival horizon: arrivals stop here; the run then drains.
+    pub horizon: SimDuration,
+    /// Engine / workload RNG seed.
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// A small smoke-test shape: quick to run, still multi-fragment.
+    pub fn smoke(nodes: u32, seed: u64) -> Self {
+        ScaleSpec {
+            nodes,
+            fragments: 4,
+            objects_per_fragment: 32,
+            users: 1_000_000,
+            theta: 0.99,
+            rate_per_sec: 40.0,
+            horizon: SimDuration::from_secs(5),
+            seed,
+        }
+    }
+}
+
+/// What one scale run observed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScaleStats {
+    /// Open-loop arrivals submitted.
+    pub arrivals: u64,
+    /// Transactions committed by the drain deadline.
+    pub commits: u64,
+    /// Engine events popped (`sim.events`).
+    pub events: u64,
+    /// Data packets put on the wire (transmissions, incl. retransmits).
+    pub messages: u64,
+    /// High-water mark of pending engine events.
+    pub peak_queue_depth: u64,
+    /// Slab/buffer reuse hits in the engine hot path.
+    pub pool_reuse: u64,
+    /// Offered rate as recorded under `workload.offered_rate` (tx/s).
+    pub offered_rate: u64,
+    /// Median commit→install propagation lag in µs.
+    pub lag_p50_us: u64,
+    /// 99th-percentile commit→install propagation lag in µs.
+    pub lag_p99_us: u64,
+}
+
+/// Build the system under test: `fragments` unrestricted fragments over
+/// an `n`-node full mesh (10 ms links), fragment `f` homed at `f % n`.
+pub fn build_system(spec: &ScaleSpec) -> (System, Vec<(FragmentId, Vec<ObjectId>)>) {
+    assert!(spec.nodes >= 2, "scale runs need at least two nodes");
+    assert!(spec.fragments >= 1, "scale runs need at least one fragment");
+    let mut b = FragmentCatalog::builder();
+    let frags: Vec<(FragmentId, Vec<ObjectId>)> = (0..spec.fragments)
+        .map(|f| b.add_fragment(format!("S{f}"), spec.objects_per_fragment as usize))
+        .collect();
+    let agents = frags
+        .iter()
+        .map(|(f, _)| {
+            let home = NodeId(f.0 % spec.nodes);
+            (*f, AgentId::Node(home), home)
+        })
+        .collect();
+    let sys = System::build(
+        Topology::full_mesh(spec.nodes, SimDuration::from_millis(10)),
+        b.build(),
+        agents,
+        SystemConfig::unrestricted(spec.seed),
+    )
+    .expect("scale system must build");
+    (sys, frags)
+}
+
+/// Fold a Zipf user rank onto `(fragment, object)`.
+///
+/// Round-robin over fragments first, so rank 0..F-1 — the hottest users —
+/// land on distinct fragments and every fragment gets a skewed keyspace.
+fn place(rank: u64, fragments: u32, objects: u32) -> (usize, usize) {
+    let f = (rank % fragments as u64) as usize;
+    let o = ((rank / fragments as u64) % objects as u64) as usize;
+    (f, o)
+}
+
+/// Drive one open-loop run to quiescence and collect [`ScaleStats`].
+pub fn run(spec: &ScaleSpec) -> (System, ScaleStats) {
+    let (mut sys, frags) = build_system(spec);
+    sys.engine.telemetry = Telemetry::bounded(200_000);
+    let mut wl_rng = SimRng::new(spec.seed ^ 0x5ca1_ab1e);
+    let mut open = OpenLoop::new(
+        OpenLoopConfig {
+            users: spec.users,
+            theta: spec.theta,
+            rate_per_sec: spec.rate_per_sec,
+            start: SimTime::ZERO,
+            horizon: SimTime::ZERO + spec.horizon,
+        },
+        &mut wl_rng,
+    );
+    let mut arrivals = 0u64;
+    while let Some(a) = open.next_arrival(&mut wl_rng) {
+        arrivals += 1;
+        let (fi, oi) = place(a.user, spec.fragments, spec.objects_per_fragment);
+        let (frag, ref objs) = frags[fi];
+        let obj = objs[oi];
+        sys.submit_at(
+            a.at,
+            Submission::update(
+                frag,
+                Box::new(move |ctx| {
+                    let v = ctx.read_int(obj, 0);
+                    ctx.write(obj, v + 1)?;
+                    Ok(())
+                }),
+            ),
+        );
+    }
+    // Drain window: enough for broadcasts and retransmissions to settle.
+    let limit = SimTime::ZERO + spec.horizon + SimDuration::from_secs(60);
+    let mut commits = 0u64;
+    while let Some((_, notes)) = sys.step_until(limit) {
+        for note in notes {
+            if matches!(note, Notification::Committed { .. }) {
+                commits += 1;
+            }
+        }
+    }
+    let offered = spec.rate_per_sec.round() as u64;
+    sys.engine.metrics.set(keys::WORKLOAD_OFFERED_RATE, offered);
+    sys.engine.publish_kernel_stats();
+    let mut lag = fragdb_sim::Histogram::new();
+    for (f, _) in &frags {
+        if let Some(h) = sys.engine.metrics.histogram(&format!("frag.{}.lag", f.0)) {
+            lag.merge(h);
+        }
+    }
+    let stats = ScaleStats {
+        arrivals,
+        commits,
+        events: sys.engine.metrics.counter(keys::SIM_EVENTS),
+        messages: sys.net_stats().transmissions,
+        peak_queue_depth: sys.engine.peak_queue_depth() as u64,
+        pool_reuse: sys.engine.pool_reuse(),
+        offered_rate: offered,
+        lag_p50_us: lag.percentile(50.0).unwrap_or(0),
+        lag_p99_us: lag.percentile(99.0).unwrap_or(0),
+    };
+    (sys, stats)
+}
+
+/// The transaction classes a scale shape declares (one updater per
+/// fragment) — used by the registry entry so admission covers the shape.
+pub fn classes(frags: &[(FragmentId, Vec<ObjectId>)]) -> Vec<ClassDecl> {
+    frags
+        .iter()
+        .map(|(f, _)| ClassDecl::update(format!("scale-bump({})", f.0), *f, [*f]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScaleSpec {
+        ScaleSpec {
+            nodes: 4,
+            fragments: 4,
+            objects_per_fragment: 16,
+            users: 100_000,
+            theta: 0.99,
+            rate_per_sec: 30.0,
+            horizon: SimDuration::from_secs(4),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn open_loop_run_commits_and_reports_kernel_stats() {
+        let (sys, stats) = run(&spec());
+        assert!(stats.arrivals > 50, "open loop must offer real load");
+        assert!(stats.commits > 0, "some transactions must commit");
+        assert!(stats.commits <= stats.arrivals);
+        assert!(stats.events > stats.arrivals, "each txn costs >1 event");
+        assert!(stats.messages > 0, "commits broadcast over the wire");
+        assert!(stats.peak_queue_depth > 0);
+        assert!(stats.lag_p99_us >= stats.lag_p50_us);
+        assert!(stats.lag_p50_us > 0, "remote installs lag the commit");
+        assert_eq!(stats.offered_rate, 30);
+        assert_eq!(
+            sys.engine.metrics.counter(keys::WORKLOAD_OFFERED_RATE),
+            30,
+            "offered rate must be published under the registered key"
+        );
+        assert!(
+            sys.engine.metrics.counter(keys::ENGINE_QUEUE_DEPTH) > 0,
+            "publish_kernel_stats must surface the queue depth"
+        );
+        assert!(
+            sys.divergent_fragments().is_empty(),
+            "must quiesce consistent"
+        );
+    }
+
+    #[test]
+    fn scale_run_is_deterministic_across_replays() {
+        let (_, a) = run(&spec());
+        let (_, b) = run(&spec());
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.lag_p50_us, b.lag_p50_us);
+        assert_eq!(a.lag_p99_us, b.lag_p99_us);
+    }
+
+    #[test]
+    fn hot_ranks_spread_across_fragments() {
+        let f = 4;
+        let o = 16;
+        assert_eq!(place(0, f, o), (0, 0));
+        assert_eq!(place(1, f, o), (1, 0));
+        assert_eq!(place(2, f, o), (2, 0));
+        assert_eq!(place(3, f, o), (3, 0));
+        assert_eq!(place(4, f, o), (0, 1));
+        // Ranks past the keyspace wrap instead of overflowing.
+        assert_eq!(place(4 * 16, f, o), (0, 0));
+    }
+}

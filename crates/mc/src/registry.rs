@@ -339,6 +339,28 @@ fn chaos(seed: u64) -> McInstance {
     })
 }
 
+/// `scale-zipf-open-loop` shrink: the open-loop Zipf shape at model-check
+/// scope — independent unrestricted fragments homed on distinct nodes,
+/// with the hot fragment receiving skewed traffic (two bumps to the other
+/// fragment's one, the smallest expression of a Zipf key distribution).
+fn scale(seed: u64) -> McInstance {
+    McInstance::new("scale-zipf-open-loop", true, false, move || {
+        let hot = FragmentId(0);
+        let cold = FragmentId(1);
+        let mut sys = System::build(
+            Topology::full_mesh(3, ms(5)),
+            catalog(&["S0", "S1"]),
+            node_agents(&[0, 1]),
+            SystemConfig::unrestricted(seed),
+        )
+        .expect("scale shrink builds");
+        sys.submit_at(at(1), bump(hot, ObjectId(0)));
+        sys.submit_at(at(2), bump(cold, ObjectId(1)));
+        sys.submit_at(at(3), bump(hot, ObjectId(0)));
+        sys
+    })
+}
+
 /// The full shrunk registry, in the same order as
 /// `fragdb_harness::configs::all`. A test asserts the name sets match, so
 /// adding a registry entry without a shrunk counterpart fails CI.
@@ -354,6 +376,7 @@ pub fn shrunk_registry(seed: u64) -> Vec<McInstance> {
         movement(seed),
         self_heal(seed),
         chaos(seed),
+        scale(seed),
     ]
 }
 

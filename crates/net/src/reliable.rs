@@ -414,7 +414,8 @@ impl<M: Clone> ReliableNet<M> {
             .entry((from, to))
             .or_default()
             .insert(id, msg.clone());
-        let mut out = Vec::new();
+        // At most the data transmission plus one timer arm.
+        let mut out = Vec::with_capacity(2);
         self.stats.transmissions += 1;
         let ack = self.reverse_ack(from, to);
         if ack.is_some() {
@@ -451,7 +452,11 @@ impl<M: Clone> ReliableNet<M> {
             _ => return Vec::new(), // superseded by a drained window
         }
         let window: Vec<(u64, M)> = match self.pending.get(&key) {
-            Some(p) if !p.is_empty() => p.iter().map(|(&id, m)| (id, m.clone())).collect(),
+            Some(p) if !p.is_empty() => {
+                let mut w = Vec::with_capacity(p.len());
+                w.extend(p.iter().map(|(&id, m)| (id, m.clone())));
+                w
+            }
             _ => {
                 // Nothing left to guard (e.g. a crash dropped the sends).
                 let ctl = self.ctl.get_mut(&key).expect("checked above");
@@ -462,7 +467,8 @@ impl<M: Clone> ReliableNet<M> {
         let ctl = self.ctl.get_mut(&key).expect("checked above");
         ctl.attempt += 1;
         let attempt = ctl.attempt;
-        let mut out = Vec::new();
+        // Pre-size for the whole go-back-N window plus the re-armed timer.
+        let mut out = Vec::with_capacity(window.len() + 1);
         let ack = self.reverse_ack(from, to);
         for (id, msg) in window {
             self.stats.retransmissions += 1;

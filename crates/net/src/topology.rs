@@ -24,8 +24,10 @@ pub struct Topology {
     n: u32,
     /// Undirected links with their one-way delay.
     links: BTreeMap<(NodeId, NodeId), SimDuration>,
-    /// Adjacency lists, kept in sync with `links`.
-    adj: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Adjacency lists indexed by dense node id, carrying the link delay
+    /// so Dijkstra's inner loop never touches the `links` map — at half a
+    /// million links a per-edge `BTreeMap` lookup dominated routing.
+    adj: Vec<Vec<(NodeId, SimDuration)>>,
 }
 
 impl Topology {
@@ -35,7 +37,7 @@ impl Topology {
         Topology {
             n,
             links: BTreeMap::new(),
-            adj: (0..n).map(|i| (NodeId(i), Vec::new())).collect(),
+            adj: vec![Vec::new(); n as usize],
         }
     }
 
@@ -88,8 +90,20 @@ impl Topology {
         assert!(a.0 < self.n && b.0 < self.n, "node id out of range");
         let key = canon(a, b);
         if self.links.insert(key, delay).is_none() {
-            self.adj.get_mut(&a).expect("node exists").push(b);
-            self.adj.get_mut(&b).expect("node exists").push(a);
+            self.adj[a.0 as usize].push((b, delay));
+            self.adj[b.0 as usize].push((a, delay));
+        } else {
+            // Replacement: refresh the delay carried on both adjacency rows.
+            for (v, d) in &mut self.adj[a.0 as usize] {
+                if *v == b {
+                    *d = delay;
+                }
+            }
+            for (v, d) in &mut self.adj[b.0 as usize] {
+                if *v == a {
+                    *d = delay;
+                }
+            }
         }
     }
 
@@ -118,41 +132,78 @@ impl Topology {
         self.links.get(&canon(a, b)).copied()
     }
 
-    /// Neighbors of `node` over *static* links.
-    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        self.adj.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    /// Neighbors of `node` over *static* links, with their link delays.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, SimDuration)] {
+        self.adj
+            .get(node.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Shortest-path delay from `from` to `to` over links that are up,
-    /// or `None` if they are disconnected. Dijkstra over link delays.
+    /// or `None` if they are disconnected. Dijkstra over link delays,
+    /// with dense-id distance arrays so the inner loop is map-free.
     pub fn path_delay(&self, from: NodeId, to: NodeId, state: &LinkState) -> Option<SimDuration> {
         if from == to {
             return Some(SimDuration::ZERO);
         }
-        let mut dist: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut dist = vec![u64::MAX; self.n as usize];
         let mut heap: BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = BinaryHeap::new();
-        dist.insert(from, 0);
+        dist[from.0 as usize] = 0;
         heap.push(std::cmp::Reverse((0, from)));
         while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
             if u == to {
                 return Some(SimDuration(d));
             }
-            if dist.get(&u).is_some_and(|&best| d > best) {
+            if d > dist[u.0 as usize] {
                 continue;
             }
-            for &v in self.neighbors(u) {
+            for &(v, w) in self.neighbors(u) {
                 if state.is_down(u, v) {
                     continue;
                 }
-                let w = self.links[&canon(u, v)].micros();
-                let nd = d + w;
-                if dist.get(&v).is_none_or(|&best| nd < best) {
-                    dist.insert(v, nd);
+                let nd = d + w.micros();
+                if nd < dist[v.0 as usize] {
+                    dist[v.0 as usize] = nd;
                     heap.push(std::cmp::Reverse((nd, v)));
                 }
             }
         }
         None
+    }
+
+    /// Shortest-path delays from `from` to *every* node reachable over up
+    /// links, as one full Dijkstra sweep.
+    ///
+    /// One sweep costs the same as the single worst `path_delay` query
+    /// from `from`, so a source that fans out to many destinations (a
+    /// broadcast home on a large mesh) answers all of them for the price
+    /// of one instead of re-running Dijkstra per destination.
+    pub fn delays_from(&self, from: NodeId, state: &LinkState) -> BTreeMap<NodeId, SimDuration> {
+        let mut dist = vec![u64::MAX; self.n as usize];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        dist[from.0 as usize] = 0;
+        heap.push(std::cmp::Reverse((0, from)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u.0 as usize] {
+                continue;
+            }
+            for &(v, w) in self.neighbors(u) {
+                if state.is_down(u, v) {
+                    continue;
+                }
+                let nd = d + w.micros();
+                if nd < dist[v.0 as usize] {
+                    dist[v.0 as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        dist.iter()
+            .enumerate()
+            .filter(|(_, &d)| d != u64::MAX)
+            .map(|(i, &d)| (NodeId(i as u32), SimDuration(d)))
+            .collect()
     }
 
     /// Are `a` and `b` in the same connected component over up links?
@@ -167,7 +218,7 @@ impl Topology {
         seen.insert(start);
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
-            for &v in self.neighbors(u) {
+            for &(v, _) in self.neighbors(u) {
                 if !state.is_down(u, v) && seen.insert(v) {
                     queue.push_back(v);
                 }
@@ -208,7 +259,23 @@ impl Topology {
 #[derive(Clone, Debug, Default)]
 pub struct RouteCache {
     cache: BTreeMap<(NodeId, NodeId), Option<SimDuration>>,
+    /// Cache misses per source since the last invalidation; past
+    /// [`ROW_PROMOTE_MISSES`] the source's whole row is filled at once.
+    misses: BTreeMap<NodeId, u32>,
+    /// Sources whose full row is cached: absent pairs mean unreachable.
+    full_rows: BTreeSet<NodeId>,
 }
+
+/// Base miss count before a source's whole Dijkstra row is cached.
+///
+/// A broadcast home on an `n`-node mesh would otherwise pay `n` separate
+/// Dijkstras (each scanning a large frontier before the early exit) —
+/// cubic in `n` overall, which is what made 1k-node meshes intractable.
+/// One full sweep after enough misses makes it quadratic. The effective
+/// threshold grows with `n` (see [`RouteCache::path_delay`]) so sources
+/// that only talk to a handful of peers — ack paths back to a few
+/// fragment homes — never pay for a row they would not use.
+const ROW_PROMOTE_MISSES: u32 = 2;
 
 impl RouteCache {
     /// An empty cache.
@@ -219,10 +286,14 @@ impl RouteCache {
     /// Drop every memoized route. Call on any link-state change.
     pub fn invalidate(&mut self) {
         self.cache.clear();
+        self.misses.clear();
+        self.full_rows.clear();
     }
 
     /// Cached [`Topology::path_delay`]: Dijkstra on first use per pair,
     /// map lookup afterwards. Unreachability (`None`) is cached too.
+    /// A source that keeps missing gets its entire row computed in one
+    /// sweep ([`Topology::delays_from`]).
     pub fn path_delay(
         &mut self,
         topo: &Topology,
@@ -231,6 +302,25 @@ impl RouteCache {
         to: NodeId,
     ) -> Option<SimDuration> {
         if let Some(&d) = self.cache.get(&(from, to)) {
+            return d;
+        }
+        if self.full_rows.contains(&from) {
+            // Row is complete; a missing pair means `to` is unreachable.
+            self.cache.insert((from, to), None);
+            return None;
+        }
+        let missed = self.misses.entry(from).or_insert(0);
+        *missed += 1;
+        // Promote only once the misses amortize the sweep: a row costs
+        // about n/32 single lookups, so fan-out below that stays per-pair.
+        let threshold = ROW_PROMOTE_MISSES.max(topo.node_count() / 32);
+        if *missed > threshold {
+            for (node, d) in topo.delays_from(from, state) {
+                self.cache.insert((from, node), Some(d));
+            }
+            self.full_rows.insert(from);
+            let d = self.cache.get(&(from, to)).copied().flatten();
+            self.cache.insert((from, to), d);
             return d;
         }
         let d = topo.path_delay(from, to, state);
@@ -266,6 +356,45 @@ mod tests {
         assert_eq!(cache.path_delay(&t, &state, NodeId(0), NodeId(2)), None);
         // Unreachability is cached as well.
         assert_eq!(cache.path_delay(&t, &state, NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn delays_from_matches_per_pair_dijkstra() {
+        let t = Topology::line(5, ms(10));
+        let mut state = LinkState::all_up();
+        state.fail(NodeId(3), NodeId(4));
+        let row = t.delays_from(NodeId(0), &state);
+        for to in t.nodes() {
+            assert_eq!(
+                row.get(&to).copied(),
+                t.path_delay(NodeId(0), to, &state),
+                "row answer must equal Dijkstra for 0->{to:?}"
+            );
+        }
+        assert!(!row.contains_key(&NodeId(4)), "cut node must be absent");
+    }
+
+    #[test]
+    fn route_cache_row_promotion_answers_every_destination() {
+        let t = Topology::full_mesh(8, ms(10));
+        let mut state = LinkState::all_up();
+        let mut cache = RouteCache::new();
+        // A fanning-out source promotes to a full row after a few misses
+        // and still answers exactly what per-pair Dijkstra would.
+        for to in 1..8 {
+            assert_eq!(
+                cache.path_delay(&t, &state, NodeId(0), NodeId(to)),
+                Some(ms(10))
+            );
+        }
+        // Promotion must also cache unreachability correctly.
+        for to in 1..8 {
+            state.fail(NodeId(0), NodeId(to));
+        }
+        cache.invalidate();
+        for to in 1..8 {
+            assert_eq!(cache.path_delay(&t, &state, NodeId(0), NodeId(to)), None);
+        }
     }
 
     #[test]
@@ -314,7 +443,7 @@ mod tests {
         t.add_link(NodeId(1), NodeId(0), ms(20));
         assert_eq!(t.links().count(), 1);
         assert_eq!(t.link_delay(NodeId(0), NodeId(1)), Some(ms(20)));
-        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(0)), &[(NodeId(1), ms(20))]);
     }
 
     #[test]

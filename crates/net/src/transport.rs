@@ -145,7 +145,12 @@ impl<M> Transport<M> {
                 Some((at, Delivery { from, to, msg }))
             }
             None => {
-                self.outbox.entry((from, to)).or_default().push_back(msg);
+                // Pre-size: a partition that parks one message usually
+                // parks a burst; skip the first few regrowths.
+                self.outbox
+                    .entry((from, to))
+                    .or_insert_with(|| VecDeque::with_capacity(16))
+                    .push_back(msg);
                 self.stats.queued += 1;
                 None
             }

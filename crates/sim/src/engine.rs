@@ -5,6 +5,15 @@
 //! FIFO tie-break via a monotone sequence number), which is essential for
 //! reproducibility: a `BinaryHeap` alone would break ties arbitrarily.
 //!
+//! Since the PR 8 kernel pass the queue is not a heap at all: every event —
+//! plain or cancellable — parks in the hierarchical timing wheel (near
+//! horizon) or its bucketed far-event calendar (see [`crate::wheel`]), and
+//! due events surface into an allocation-reusing ordered ready buffer. The
+//! observable pop order is exactly what the old `BinaryHeap` gave (`(at,
+//! seq)` with FIFO ties), pinned by the interleaving tests below and the
+//! seed-42 golden traces, but insert/pop are O(1) amortized and the steady
+//! state loop performs no heap allocation.
+//!
 //! The engine is generic over the event payload `E` so that each layer of
 //! the system (network, nodes, workload) can define one event enum and drive
 //! the loop itself:
@@ -26,15 +35,12 @@
 //! assert_eq!(seen[1].0, SimTime::from_millis(5));
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::metrics::{keys, Metrics};
 use crate::rng::SimRng;
 use crate::telemetry::{Telemetry, TelemetryEvent};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
-use crate::wheel::{tick_of, ReadyBuf, TimerWheel, WheelEntry};
+use crate::wheel::{tick_of, Ready, ReadyEntry, TimerWheel, WheelEntry};
 
 /// Handle to a timer scheduled with [`Engine::schedule_timer_at`]; pass it
 /// to [`Engine::cancel_timer`] to cancel in O(1).
@@ -51,30 +57,6 @@ struct TimerSlot {
     alive: bool,
 }
 
-/// A scheduled event: ordering key is `(time, seq)` so ties are FIFO.
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Deterministic discrete-event engine.
 ///
 /// Owns the virtual clock, the event queue, a seeded RNG, run metrics, and
@@ -83,21 +65,26 @@ impl<E> Ord for Scheduled<E> {
 /// and the caller's world state.
 pub struct Engine<E> {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
-    /// Timers parked by expiry tick (O(1) insert/cancel); the heap keeps
-    /// every non-timer event. Due timers migrate into `ready` with their
-    /// exact `(at, seq)` keys, so the merged pop order is identical to a
-    /// heap-only engine.
+    /// Every future event, bucketed by expiry tick (O(1) insert); far
+    /// events live in the wheel's calendar overflow. Due entries migrate
+    /// into `ready` with their exact `(at, seq)` keys.
     wheel: TimerWheel<E>,
-    /// Due (or near-due) timers in exact pop order.
-    ready: ReadyBuf<E>,
+    /// Due (or near-due) events in exact pop order. Cancelled timers
+    /// tombstone in place (dead token) and are reaped when they surface.
+    ready: Ready<E>,
     /// Token slab; `timer_free` lists reusable indices.
     timer_slots: Vec<TimerSlot>,
     timer_free: Vec<u32>,
     /// Timers scheduled and neither fired nor cancelled.
     live_timers: usize,
+    /// Plain (non-timer) events scheduled and not yet fired.
+    live_events: usize,
+    /// High-water mark of `live_timers + live_events`.
+    peak_pending: usize,
+    /// Timer-slab free-list hits (slot reuse instead of growth).
+    slab_reuses: u64,
     next_seq: u64,
-    /// Model-checking mode: timers bypass the wheel so every pending event
+    /// Model-checking mode: events bypass the wheel so every pending event
     /// is enumerable and individually takeable (see [`Engine::enable_mc`]).
     mc: bool,
     /// Seeded random source shared by all simulation components.
@@ -118,14 +105,14 @@ impl<E> Engine<E> {
     pub fn new(seed: u64) -> Self {
         Engine {
             now: SimTime::ZERO,
-            // Even the smallest scenario schedules hundreds of events
-            // (timers, packets, acks); skip the first few heap regrowths.
-            queue: BinaryHeap::with_capacity(256),
             wheel: TimerWheel::new(),
-            ready: ReadyBuf::new(),
+            ready: Ready::new(),
             timer_slots: Vec::new(),
             timer_free: Vec::new(),
             live_timers: 0,
+            live_events: 0,
+            peak_pending: 0,
+            slab_reuses: 0,
             next_seq: 0,
             mc: false,
             rng: SimRng::new(seed),
@@ -159,16 +146,47 @@ impl<E> Engine<E> {
             .set(keys::TELEMETRY_DROPPED, self.telemetry.dropped());
     }
 
+    /// Publish the kernel allocation/queue gauges ([`keys::ENGINE_POOL_REUSE`],
+    /// [`keys::ENGINE_QUEUE_DEPTH`]) into the metrics table.
+    ///
+    /// Opt-in (the scale harness calls it) rather than folded into
+    /// [`Engine::sync_drop_metrics`], so existing experiment reports keep
+    /// their exact metric sets.
+    pub fn publish_kernel_stats(&mut self) {
+        self.metrics.set(keys::ENGINE_POOL_REUSE, self.pool_reuse());
+        self.metrics
+            .set(keys::ENGINE_QUEUE_DEPTH, self.peak_queue_depth() as u64);
+    }
+
+    /// Times a pooled resource was reused instead of freshly allocated:
+    /// timer-slab free-list hits plus warm ready-buffer batch appends.
+    pub fn pool_reuse(&self) -> u64 {
+        self.slab_reuses + self.ready.reuses()
+    }
+
+    /// High-water mark of the pending-event count over the run so far.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Current virtual time.
     #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Number of events still queued (heap events plus live timers).
+    /// Number of events still queued (plain events plus live timers).
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len() + self.live_timers
+        self.live_events + self.live_timers
+    }
+
+    #[inline]
+    fn note_depth(&mut self) {
+        let depth = self.live_events + self.live_timers;
+        if depth > self.peak_pending {
+            self.peak_pending = depth;
+        }
     }
 
     /// Schedule `payload` to fire `delay` after the current time.
@@ -190,7 +208,25 @@ impl<E> Engine<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, payload }));
+        self.live_events += 1;
+        self.note_depth();
+        if self.mc || tick_of(at) < self.wheel.current_tick() {
+            // The wheel's cursor already swept this tick; keep exact order
+            // by parking the event in the ready buffer directly.
+            self.ready.insert(ReadyEntry {
+                at,
+                seq,
+                token: None,
+                payload,
+            });
+        } else {
+            self.wheel.insert(WheelEntry {
+                at,
+                seq,
+                token: None,
+                payload,
+            });
+        }
     }
 
     /// Schedule a cancellable timer to fire `delay` after the current time.
@@ -201,7 +237,7 @@ impl<E> Engine<E> {
     /// Schedule a cancellable timer at an absolute instant.
     ///
     /// Timers go through the timing wheel — O(1) insert regardless of how
-    /// many are outstanding — but fire interleaved with heap events in the
+    /// many are outstanding — but fire interleaved with plain events in the
     /// exact same `(time, seq)` order [`Engine::schedule_at`] would give.
     ///
     /// # Panics
@@ -218,6 +254,7 @@ impl<E> Engine<E> {
         self.next_seq += 1;
         let token = match self.timer_free.pop() {
             Some(idx) => {
+                self.slab_reuses += 1;
                 self.timer_slots[idx as usize].alive = true;
                 TimerToken {
                     idx,
@@ -234,15 +271,19 @@ impl<E> Engine<E> {
             }
         };
         self.live_timers += 1;
+        self.note_depth();
         if self.mc || tick_of(at) < self.wheel.current_tick() {
-            // The wheel's cursor already swept this tick; keep exact order
-            // by parking the timer in the ready buffer directly.
-            self.ready.insert((at, seq), (token, payload));
+            self.ready.insert(ReadyEntry {
+                at,
+                seq,
+                token: Some(token),
+                payload,
+            });
         } else {
             self.wheel.insert(WheelEntry {
                 at,
                 seq,
-                token,
+                token: Some(token),
                 payload,
             });
         }
@@ -251,8 +292,9 @@ impl<E> Engine<E> {
 
     /// Cancel a scheduled timer in O(1). Returns `false` if it already
     /// fired, was already cancelled, or the token is stale. The entry is
-    /// reaped lazily, so [`Engine::peek_time`] may briefly still report a
-    /// cancelled timer's instant (never its payload).
+    /// reaped lazily (a tombstone until it surfaces), so
+    /// [`Engine::peek_time`] may briefly still report a cancelled timer's
+    /// instant (never its payload).
     pub fn cancel_timer(&mut self, token: TimerToken) -> bool {
         match self.timer_slots.get_mut(token.idx as usize) {
             Some(slot) if slot.gen == token.gen && slot.alive => {
@@ -279,41 +321,27 @@ impl<E> Engine<E> {
             .is_some_and(|s| s.gen == token.gen && s.alive)
     }
 
-    /// Migrate due timers from the wheel into `ready` and reap cancelled
-    /// entries off its head, so the heads of `queue` and `ready` are the
-    /// only candidates for the next event.
+    /// Reap cancelled tombstones off the ready head and refill from the
+    /// wheel when the buffer runs dry, so after return either the ready
+    /// head is the next live event or the whole queue is empty.
     fn settle(&mut self) {
-        match self.queue.peek() {
-            Some(Reverse(ev)) => {
-                let tick = tick_of(ev.at);
-                if self.wheel.len() > 0 && self.wheel.current_tick() <= tick {
-                    self.wheel.collect_through(tick, &mut self.ready);
-                }
-            }
-            None => {
-                loop {
-                    // Reap dead heads first so an all-cancelled buffer
-                    // falls through to the wheel.
-                    while let Some((&key, &(token, _))) = self.ready.iter().next() {
-                        if self.token_alive(token) {
-                            return;
-                        }
-                        self.ready.remove(&key);
-                        self.free_token(token);
+        loop {
+            match self.ready.peek().map(|e| e.token) {
+                Some(None) => return,
+                Some(Some(token)) => {
+                    if self.token_alive(token) {
+                        return;
                     }
+                    self.ready.pop();
+                    self.free_token(token);
+                }
+                None => {
                     if self.wheel.len() == 0 {
                         return;
                     }
                     self.wheel.collect_next(&mut self.ready);
                 }
             }
-        }
-        while let Some((&key, &(token, _))) = self.ready.iter().next() {
-            if self.token_alive(token) {
-                break;
-            }
-            self.ready.remove(&key);
-            self.free_token(token);
         }
     }
 
@@ -322,30 +350,18 @@ impl<E> Engine<E> {
     /// Returns `None` when the queue is empty (the simulation has quiesced).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.settle();
-        let heap_key = self.queue.peek().map(|Reverse(ev)| (ev.at, ev.seq));
-        let ready_key = self.ready.keys().next().copied();
-        let take_ready = match (heap_key, ready_key) {
-            (None, None) => return None,
-            (Some(_), None) => false,
-            (None, Some(_)) => true,
-            (Some(h), Some(r)) => r < h,
-        };
-        if take_ready {
-            let (key, (token, payload)) = self.ready.pop_first().expect("ready head exists");
+        let e = self.ready.pop()?;
+        if let Some(token) = e.token {
             self.free_token(token);
             self.live_timers -= 1;
             self.metrics.incr(keys::NET_TIMER_WHEEL_OPS);
-            debug_assert!(key.0 >= self.now, "event queue went backwards");
-            self.now = key.0;
-            self.metrics.incr(keys::SIM_EVENTS);
-            Some((key.0, payload))
         } else {
-            let Reverse(ev) = self.queue.pop().expect("heap head exists");
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
-            self.metrics.incr(keys::SIM_EVENTS);
-            Some((ev.at, ev.payload))
+            self.live_events -= 1;
         }
+        debug_assert!(e.at >= self.now, "event queue went backwards");
+        self.now = e.at;
+        self.metrics.incr(keys::SIM_EVENTS);
+        Some((e.at, e.payload))
     }
 
     /// Pop the next event only if it fires at or before `limit`.
@@ -355,14 +371,8 @@ impl<E> Engine<E> {
     /// with a later limit continues seamlessly.
     pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
         self.settle();
-        let heap_at = self.queue.peek().map(|Reverse(ev)| ev.at);
-        let ready_at = self.ready.keys().next().map(|&(at, _)| at);
-        let next = match (heap_at, ready_at) {
-            (Some(h), Some(r)) => Some(h.min(r)),
-            (h, r) => h.or(r),
-        };
-        match next {
-            Some(at) if at <= limit => self.pop(),
+        match self.ready.peek() {
+            Some(e) if e.at <= limit => self.pop(),
             _ => {
                 if self.now < limit {
                     self.now = limit;
@@ -375,10 +385,7 @@ impl<E> Engine<E> {
     /// Timestamp of the next queued event, if any. A timer cancelled but
     /// not yet reaped may still be reported (see [`Engine::cancel_timer`]).
     pub fn peek_time(&self) -> Option<SimTime> {
-        let mut best = self.queue.peek().map(|Reverse(ev)| (ev.at, ev.seq));
-        if let Some(&key) = self.ready.keys().next() {
-            best = Some(best.map_or(key, |b| b.min(key)));
-        }
+        let mut best = self.ready.peek().map(|e| (e.at, e.seq));
         if let Some(key) = self.wheel.min_key() {
             best = Some(best.map_or(key, |b| b.min(key)));
         }
@@ -387,8 +394,8 @@ impl<E> Engine<E> {
 
     /// Switch the engine into model-checking mode.
     ///
-    /// From this point on, timers skip the timing wheel and park directly in
-    /// the exact-order ready buffer, and any timers already in the wheel are
+    /// From this point on, events skip the timing wheel and park directly in
+    /// the exact-order ready buffer, and any events already in the wheel are
     /// migrated there. This makes the complete pending set enumerable via
     /// [`Engine::mc_pending`] and individually consumable via
     /// [`Engine::mc_take`], which a model checker needs in order to explore
@@ -410,22 +417,18 @@ impl<E> Engine<E> {
     /// Enumerate every pending event as `(at, seq, payload)`, sorted by the
     /// canonical `(at, seq)` key. Cancelled-but-unreaped timers are skipped.
     ///
-    /// Only meaningful after [`Engine::enable_mc`] (otherwise timers parked
+    /// Only meaningful after [`Engine::enable_mc`] (otherwise events parked
     /// in the wheel are invisible and the listing is incomplete).
     pub fn mc_pending(&self) -> Vec<(SimTime, u64, &E)> {
         debug_assert!(self.mc, "mc_pending requires enable_mc");
-        let mut out: Vec<(SimTime, u64, &E)> = self
-            .queue
+        self.ready
             .iter()
-            .map(|Reverse(ev)| (ev.at, ev.seq, &ev.payload))
-            .collect();
-        for (&(at, seq), (token, payload)) in self.ready.iter() {
-            if self.token_alive(*token) {
-                out.push((at, seq, payload));
-            }
-        }
-        out.sort_by_key(|&(at, seq, _)| (at, seq));
-        out
+            .filter(|e| match e.token {
+                Some(token) => self.token_alive(token),
+                None => true,
+            })
+            .map(|e| (e.at, e.seq, &e.payload))
+            .collect()
     }
 
     /// Remove and return one pending event by its `seq`, regardless of its
@@ -437,44 +440,47 @@ impl<E> Engine<E> {
     /// Returns `None` if no live pending event carries `seq`. The returned
     /// time is the post-advance clock, safe to feed back into handlers that
     /// schedule follow-up events.
+    ///
+    /// Cancelled timers are lazy-deleted tombstones: they are invisible
+    /// here (dead token) and reaped when they surface at the buffer head,
+    /// so taking an arbitrary event is a single ordered remove instead of
+    /// the heap rebuild the pre-PR 8 engine performed.
     pub fn mc_take(&mut self, seq: u64) -> Option<(SimTime, E)> {
         debug_assert!(self.mc, "mc_take requires enable_mc");
-        let ready_key = self
+        let found = self
             .ready
             .iter()
-            .find(|(&(_, s), (token, _))| s == seq && self.token_alive(*token))
-            .map(|(&key, _)| key);
-        if let Some(key) = ready_key {
-            let (token, payload) = self.ready.remove(&key).expect("key just found");
+            .enumerate()
+            .find(|(_, e)| e.seq == seq)
+            .map(|(idx, e)| (idx, e.token));
+        let (idx, token) = found?;
+        if let Some(token) = token {
+            if !self.token_alive(token) {
+                return None;
+            }
+        }
+        let e = self.ready.remove_asc(idx);
+        if let Some(token) = e.token {
             self.free_token(token);
             self.live_timers -= 1;
             self.metrics.incr(keys::NET_TIMER_WHEEL_OPS);
-            self.now = self.now.max(key.0);
-            self.metrics.incr(keys::SIM_EVENTS);
-            return Some((self.now, payload));
+        } else {
+            self.live_events -= 1;
         }
-        // O(n) heap rebuild: fine at model-checking scale (tens of events).
-        let mut items = std::mem::take(&mut self.queue).into_vec();
-        let taken = items
-            .iter()
-            .position(|Reverse(ev)| ev.seq == seq)
-            .map(|pos| items.swap_remove(pos));
-        self.queue = BinaryHeap::from(items);
-        let Reverse(ev) = taken?;
-        self.now = self.now.max(ev.at);
+        self.now = self.now.max(e.at);
         self.metrics.incr(keys::SIM_EVENTS);
-        Some((self.now, ev.payload))
+        Some((self.now, e.payload))
     }
 
     /// Discard every queued event (used when tearing down a scenario early).
     pub fn clear(&mut self) {
-        self.queue.clear();
         self.wheel.clear();
         self.ready.clear();
         for slot in &mut self.timer_slots {
             slot.alive = false;
         }
         self.live_timers = 0;
+        self.live_events = 0;
     }
 }
 
@@ -633,8 +639,9 @@ mod tests {
 
     #[test]
     fn timers_interleave_with_heap_events_in_exact_order() {
-        // Same schedule issued twice: once all-heap, once with every other
-        // event going through the wheel. Pop sequences must be identical.
+        // Same schedule issued twice: once all plain events, once with
+        // every other event as a cancellable timer. Pop sequences must be
+        // identical.
         let times = [30u64, 10, 10, 500, 70_000, 10, 200_000, 65, 64 * 1024];
         let mut heap_only = Engine::new(1);
         for (i, &t) in times.iter().enumerate() {
@@ -705,6 +712,27 @@ mod tests {
     }
 
     #[test]
+    fn plain_events_cascade_and_jump_like_timers() {
+        // Plain events ride the wheel too now: exercise every level and
+        // the far-event calendar without any token involved.
+        let mut e = Engine::new(1);
+        let delays = [
+            100u64,
+            50_000,
+            3_000_000,
+            150_000_000,
+            10_000_000_000,
+            3_000_000_000_000,
+        ];
+        for (i, &d) in delays.iter().enumerate() {
+            e.schedule(SimDuration(d), Ev::A(i as u32));
+        }
+        let seen = drain(&mut e);
+        let ats: Vec<u64> = seen.iter().map(|(t, _)| t.0).collect();
+        assert_eq!(ats, delays.to_vec());
+    }
+
+    #[test]
     fn pop_until_covers_wheel_timers() {
         let mut e = Engine::new(1);
         e.schedule_timer(SimDuration(10), Ev::A(1));
@@ -764,6 +792,31 @@ mod tests {
         assert_ne!(t1, t2, "generation must differ on slab reuse");
         assert!(!e.cancel_timer(t1));
         assert!(e.cancel_timer(t2));
+    }
+
+    #[test]
+    fn pool_reuse_counts_slab_hits() {
+        let mut e = Engine::new(1);
+        e.schedule_timer(SimDuration(1), Ev::A(1));
+        drain(&mut e);
+        assert_eq!(e.pool_reuse(), 0, "first slot is a fresh allocation");
+        e.schedule_timer(SimDuration(1), Ev::A(2));
+        drain(&mut e);
+        assert!(e.pool_reuse() >= 1, "second timer reuses the freed slot");
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_high_water_mark() {
+        let mut e = Engine::new(1);
+        for i in 0..10 {
+            e.schedule(SimDuration(1 + i), Ev::A(i as u32));
+        }
+        drain(&mut e);
+        e.schedule(SimDuration(1), Ev::A(99));
+        drain(&mut e);
+        assert_eq!(e.peak_queue_depth(), 10);
+        e.publish_kernel_stats();
+        assert_eq!(e.metrics.counter(keys::ENGINE_QUEUE_DEPTH), 10);
     }
 
     #[test]

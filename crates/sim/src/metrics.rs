@@ -122,6 +122,14 @@ pub mod keys {
     /// Log-transform baseline: operations replayed.
     pub const REPLAY_OPS: &str = "replay.ops";
 
+    /// Pooled-resource reuses in the engine kernel (timer-slab free-list
+    /// hits plus warm ready-buffer refills).
+    pub const ENGINE_POOL_REUSE: &str = "engine.pool.reuse";
+    /// High-water mark of the engine's pending-event count.
+    pub const ENGINE_QUEUE_DEPTH: &str = "engine.queue.depth";
+    /// Open-loop offered load, in arrivals per simulated second.
+    pub const WORKLOAD_OFFERED_RATE: &str = "workload.offered_rate";
+
     /// Submission→commit/read-finish latency (µs).
     pub const LATENCY_COMMIT: &str = "latency.commit";
     /// Crash→caught-up latency (µs).
@@ -177,6 +185,9 @@ pub mod keys {
         ELECTION_ABORTED,
         BATCH_DISCARDED,
         REPLAY_OPS,
+        ENGINE_POOL_REUSE,
+        ENGINE_QUEUE_DEPTH,
+        WORKLOAD_OFFERED_RATE,
         LATENCY_COMMIT,
         LATENCY_RECOVERY,
         LATENCY_PROPAGATION,
@@ -273,6 +284,15 @@ pub mod keys {
             assert!(is_registered("msg.vote_req"));
             assert!(is_registered("msg.vote"));
             assert!(is_registered("frag.3.unavail_window"));
+        }
+
+        #[test]
+        fn scale_kernel_keys_are_registered() {
+            assert!(is_registered(ENGINE_POOL_REUSE));
+            assert!(is_registered(ENGINE_QUEUE_DEPTH));
+            assert!(is_registered(WORKLOAD_OFFERED_RATE));
+            assert!(!is_registered("engine.pool.bogus"));
+            assert!(!is_registered("workload.bogus"));
         }
 
         #[test]

@@ -1,13 +1,22 @@
-//! Hierarchical timing wheel backing [`Engine`]'s timer API.
+//! Hierarchical timing wheel + far-event calendar backing [`Engine`]'s
+//! event queue.
 //!
+//! Since the PR 8 kernel pass this structure holds *every* future event,
+//! not just cancellable timers: the engine's old `BinaryHeap` is gone.
 //! Four levels of 64 slots over a 1024 µs tick give O(1) insert for any
-//! timer within ~4.7 simulated hours (beyond that an ordered overflow map
-//! takes over). Expired entries are *collected* into a caller-owned ordered
-//! "ready" buffer keyed by the exact `(at, seq)` scheduling key, so the
-//! engine can merge wheel timers with its binary heap without perturbing
-//! the global event order: a run that schedules its timers through the
-//! wheel pops the identical event sequence it would have popped had every
-//! timer gone through the heap.
+//! instant within ~4.7 simulated hours of the cursor; beyond that a
+//! **bucketed calendar queue** takes over — far events are appended to a
+//! `Vec` per horizon-sized window (one ordered-map node per *window*, not
+//! per event) and re-bucketed into the wheel when the cursor reaches the
+//! window. Expired entries are *collected* into a caller-owned ordered
+//! [`Ready`] buffer keyed by the exact `(at, seq)` scheduling key, so the
+//! pop order is identical to what a single global heap would give: a run
+//! that schedules through the wheel pops the identical event sequence.
+//!
+//! Allocation discipline: slot `Vec`s are drained in place (capacity is
+//! retained), the collection scratch and the [`Ready`] buffer are reused
+//! across calls, and cascades recycle one persistent spill buffer — the
+//! steady-state collect/pop loop performs no heap allocation.
 //!
 //! [`Engine`]: crate::engine::Engine
 
@@ -24,8 +33,11 @@ const SLOTS: usize = 1 << SLOT_BITS;
 const LEVELS: usize = 4;
 /// log2 of the tick granularity in microseconds (1 tick = 1024 µs).
 pub(crate) const TICK_SHIFT: u32 = 10;
-/// Tick deltas at or beyond this go to the overflow map.
+/// Tick deltas at or beyond this go to the far-event calendar.
 const HORIZON: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+/// log2 of the calendar window span in ticks (= the wheel horizon, so a
+/// window's worth of far events re-buckets at most once).
+const WIN_BITS: u32 = SLOT_BITS * LEVELS as u32;
 
 /// Expiry tick of an instant.
 #[inline]
@@ -33,18 +45,128 @@ pub(crate) fn tick_of(at: SimTime) -> u64 {
     at.0 >> TICK_SHIFT
 }
 
-/// A timer parked in the wheel.
+/// Calendar window of a tick.
+#[inline]
+fn win_of(tick: u64) -> u64 {
+    tick >> WIN_BITS
+}
+
+/// An event parked in the wheel or calendar.
 pub(crate) struct WheelEntry<E> {
     pub(crate) at: SimTime,
     pub(crate) seq: u64,
-    pub(crate) token: TimerToken,
+    /// `Some` for cancellable timers, `None` for plain events.
+    pub(crate) token: Option<TimerToken>,
     pub(crate) payload: E,
 }
 
-/// The ordered buffer collected entries land in: exact `(at, seq)` keys.
-pub(crate) type ReadyBuf<E> = BTreeMap<(SimTime, u64), (TimerToken, E)>;
+/// A due entry surfaced into the [`Ready`] buffer.
+pub(crate) struct ReadyEntry<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) token: Option<TimerToken>,
+    pub(crate) payload: E,
+}
 
-/// Hashed hierarchical timing wheel with an ordered overflow map.
+impl<E> ReadyEntry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// The ordered buffer collected entries land in: exact `(at, seq)` order.
+///
+/// Stored as a `Vec` sorted *descending* so the next event pops from the
+/// back in O(1) with no per-node allocation (the old `BTreeMap` churned a
+/// node per event). Near-now direct inserts land at or near the back;
+/// collected batches are always later than everything present and splice
+/// at the front.
+pub(crate) struct Ready<E> {
+    /// Entries sorted by `(at, seq)` descending; next to pop is `last()`.
+    buf: Vec<ReadyEntry<E>>,
+    /// Batch appends that fit the warm buffer without regrowing it.
+    reuses: u64,
+}
+
+impl<E> Ready<E> {
+    pub(crate) fn new() -> Self {
+        Ready {
+            buf: Vec::new(),
+            reuses: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn peek(&self) -> Option<&ReadyEntry<E>> {
+        self.buf.last()
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<ReadyEntry<E>> {
+        self.buf.pop()
+    }
+
+    /// Sorted insert. Near-now events (smaller keys than anything stored)
+    /// are an O(1) push to the back.
+    pub(crate) fn insert(&mut self, e: ReadyEntry<E>) {
+        let key = e.key();
+        let idx = self.buf.partition_point(|x| x.key() > key);
+        if idx == self.buf.len() {
+            self.buf.push(e);
+        } else {
+            self.buf.insert(idx, e);
+        }
+    }
+
+    /// Splice a collected batch in. Every batch entry must sort at or
+    /// after every stored entry (the wheel cursor is monotone), so the
+    /// batch lands at the front of the descending buffer.
+    pub(crate) fn append_batch(&mut self, batch: &mut Vec<ReadyEntry<E>>) {
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_unstable_by_key(|b| std::cmp::Reverse(b.key()));
+        debug_assert!(
+            self.buf
+                .first()
+                .is_none_or(|head| batch.last().expect("non-empty").key() > head.key()),
+            "collected batch must be later than every buffered entry"
+        );
+        let fits = self.buf.capacity() - self.buf.len() >= batch.len();
+        if self.buf.is_empty() && self.buf.capacity() < batch.len() {
+            std::mem::swap(&mut self.buf, batch);
+        } else {
+            self.buf.splice(0..0, batch.drain(..));
+        }
+        if fits {
+            self.reuses += 1;
+        }
+    }
+
+    /// Entries in ascending `(at, seq)` order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &ReadyEntry<E>> {
+        self.buf.iter().rev()
+    }
+
+    /// Remove the entry at ascending position `idx` (as yielded by
+    /// [`Ready::iter`]).
+    pub(crate) fn remove_asc(&mut self, idx: usize) -> ReadyEntry<E> {
+        let raw = self.buf.len() - 1 - idx;
+        self.buf.remove(raw)
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Warm-buffer reuse count (see [`Ready::append_batch`]).
+    pub(crate) fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+/// Hashed hierarchical timing wheel with a bucketed far-event calendar.
 pub(crate) struct TimerWheel<E> {
     /// `LEVELS * SLOTS` buckets, level-major.
     slots: Vec<Vec<WheelEntry<E>>>,
@@ -54,10 +176,18 @@ pub(crate) struct TimerWheel<E> {
     current: u64,
     /// Start of the last 64-tick window whose cascade has run.
     cascaded_upto: u64,
-    /// Entries beyond the wheel horizon, exact order.
-    overflow: BTreeMap<(SimTime, u64), WheelEntry<E>>,
+    /// Far-event calendar: entries beyond the wheel horizon, bucketed by
+    /// [`win_of`] window. Unsorted within a window; order is restored when
+    /// the window re-buckets into the wheel.
+    overflow: BTreeMap<u64, Vec<WheelEntry<E>>>,
+    /// Entries stored in `overflow` (its `len()` counts windows).
+    overflow_entries: usize,
     /// Entries stored (slots + overflow), including cancelled ones.
     len: usize,
+    /// Collected-but-unflushed entries (reused across collections).
+    scratch: Vec<ReadyEntry<E>>,
+    /// Spill buffer recycled by cascades and calendar refills.
+    spill: Vec<WheelEntry<E>>,
 }
 
 impl<E> TimerWheel<E> {
@@ -68,7 +198,10 @@ impl<E> TimerWheel<E> {
             current: 0,
             cascaded_upto: 0,
             overflow: BTreeMap::new(),
+            overflow_entries: 0,
             len: 0,
+            scratch: Vec::new(),
+            spill: Vec::new(),
         }
     }
 
@@ -89,7 +222,9 @@ impl<E> TimerWheel<E> {
         }
         self.occ = [0; LEVELS];
         self.overflow.clear();
+        self.overflow_entries = 0;
         self.len = 0;
+        self.scratch.clear();
     }
 
     /// Store an entry. Caller guarantees `tick_of(e.at) >= self.current`.
@@ -104,7 +239,8 @@ impl<E> TimerWheel<E> {
         let tick = tick_of(e.at);
         let delta = tick - self.current;
         if delta >= HORIZON {
-            self.overflow.insert((e.at, e.seq), e);
+            self.overflow.entry(win_of(tick)).or_default().push(e);
+            self.overflow_entries += 1;
             return;
         }
         let mut level = 0usize;
@@ -117,16 +253,21 @@ impl<E> TimerWheel<E> {
     }
 
     fn slots_empty(&self) -> bool {
-        self.len == self.overflow.len()
+        self.len == self.overflow_entries
     }
 
-    /// Move every entry with `tick <= target` into `sink`, advancing the
-    /// collection cursor to `target + 1`. Amortized O(1) per entry plus one
-    /// bitmap step per 64-tick window crossed over the wheel's lifetime.
-    pub(crate) fn collect_through(&mut self, target: u64, sink: &mut ReadyBuf<E>) {
+    /// Flush gathered entries into `sink` in exact order.
+    fn flush(&mut self, sink: &mut Ready<E>) {
+        sink.append_batch(&mut self.scratch);
+    }
+
+    /// Move every entry with `tick <= target` into the scratch, advancing
+    /// the collection cursor to `target + 1`. Amortized O(1) per entry plus
+    /// one bitmap step per 64-tick window crossed over the wheel's lifetime.
+    fn gather_through(&mut self, target: u64) {
         while self.current <= target {
             if self.slots_empty() {
-                self.jump_to(target + 1, sink);
+                self.jump_to(target + 1);
                 return;
             }
             let window_base = self.current & !(SLOTS as u64 - 1);
@@ -149,54 +290,84 @@ impl<E> TimerWheel<E> {
                 let s = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 self.occ[0] &= !(1u64 << s);
-                for e in std::mem::take(&mut self.slots[s]) {
-                    self.len -= 1;
-                    sink.insert((e.at, e.seq), (e.token, e.payload));
-                }
+                // Drain in place: the slot keeps its capacity for reuse.
+                let drained = self.slots[s].len();
+                let (slots, scratch) = (&mut self.slots, &mut self.scratch);
+                scratch.extend(slots[s].drain(..).map(|e| ReadyEntry {
+                    at: e.at,
+                    seq: e.seq,
+                    token: e.token,
+                    payload: e.payload,
+                }));
+                self.len -= drained;
             }
             self.current = end_excl;
         }
     }
 
-    /// Advance until at least one entry lands in `sink` (or the wheel is
-    /// empty) — used when the engine's heap is empty and the next event, if
-    /// any, must come from the wheel.
-    pub(crate) fn collect_next(&mut self, sink: &mut ReadyBuf<E>) {
-        while self.len > 0 {
+    /// Advance until at least one entry is gathered (or the wheel is
+    /// empty), then flush — used when the ready buffer is empty and the
+    /// next event, if any, must come from the wheel.
+    pub(crate) fn collect_next(&mut self, sink: &mut Ready<E>) {
+        while self.len > 0 && self.scratch.is_empty() {
             if self.slots_empty() {
-                // Only far-future overflow remains: jump straight to it.
-                let &(at, _) = self.overflow.keys().next().expect("overflow non-empty");
-                self.jump_to(tick_of(at) + 1, sink);
-                return;
+                // Only far-future calendar windows remain: jump to the
+                // first one's earliest tick.
+                let first = self
+                    .overflow
+                    .values()
+                    .next()
+                    .expect("calendar non-empty")
+                    .iter()
+                    .map(|e| tick_of(e.at))
+                    .min()
+                    .expect("window non-empty");
+                self.jump_to(first + 1);
+                break;
             }
-            let before = sink.len();
             let window_end = (self.current & !(SLOTS as u64 - 1)) + SLOTS as u64;
-            self.collect_through(window_end - 1, sink);
-            if sink.len() > before {
-                return;
-            }
+            self.gather_through(window_end - 1);
         }
+        self.flush(sink);
     }
 
     /// Skip the cursor to `new_current` while the slots are empty, sweeping
-    /// due overflow entries into `sink` and re-bucketing the rest that are
-    /// now within the wheel horizon.
-    fn jump_to(&mut self, new_current: u64, sink: &mut ReadyBuf<E>) {
+    /// due calendar entries into the scratch and re-bucketing the rest that
+    /// are now within the wheel horizon.
+    fn jump_to(&mut self, new_current: u64) {
         self.current = new_current;
         self.cascaded_upto = new_current & !(SLOTS as u64 - 1);
+        self.refill_overflow(new_current.saturating_add(HORIZON));
+    }
+
+    /// Pull every calendar window that may hold a tick below `bound_tick`
+    /// and re-route its entries: due ones (below the cursor) are gathered,
+    /// in-horizon ones go to the wheel slots, still-far ones re-bucket.
+    fn refill_overflow(&mut self, bound_tick: u64) {
         if self.overflow.is_empty() {
             return;
         }
-        let due_bound = split_key(new_current);
-        let rest = self.overflow.split_off(&due_bound);
-        for ((at, seq), e) in std::mem::replace(&mut self.overflow, rest) {
-            self.len -= 1;
-            sink.insert((at, seq), (e.token, e.payload));
-        }
-        let horizon_bound = split_key(new_current.saturating_add(HORIZON));
-        let keep = self.overflow.split_off(&horizon_bound);
-        for (_, e) in std::mem::replace(&mut self.overflow, keep) {
-            self.place(e);
+        let keep = self
+            .overflow
+            .split_off(&(win_of(bound_tick).saturating_add(1)));
+        let pulled = std::mem::replace(&mut self.overflow, keep);
+        for (_, mut entries) in pulled {
+            self.overflow_entries -= entries.len();
+            debug_assert!(self.spill.is_empty());
+            std::mem::swap(&mut self.spill, &mut entries);
+            while let Some(e) = self.spill.pop() {
+                if tick_of(e.at) < self.current {
+                    self.len -= 1;
+                    self.scratch.push(ReadyEntry {
+                        at: e.at,
+                        seq: e.seq,
+                        token: e.token,
+                        payload: e.payload,
+                    });
+                } else {
+                    self.place(e);
+                }
+            }
         }
     }
 
@@ -207,7 +378,11 @@ impl<E> TimerWheel<E> {
         let pull = |wheel: &mut Self, level: usize, slot: usize| {
             if wheel.occ[level] & (1u64 << slot) != 0 {
                 wheel.occ[level] &= !(1u64 << slot);
-                for e in std::mem::take(&mut wheel.slots[level * SLOTS + slot]) {
+                debug_assert!(wheel.spill.is_empty());
+                std::mem::swap(&mut wheel.spill, &mut wheel.slots[level * SLOTS + slot]);
+                // The displaced slot buffer becomes the next spill buffer,
+                // so capacity rotates instead of being freed.
+                while let Some(e) = wheel.spill.pop() {
                     wheel.place(e);
                 }
             }
@@ -217,13 +392,11 @@ impl<E> TimerWheel<E> {
             let g2 = ((base >> (2 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
             if g2 == 0 {
                 let g3 = ((base >> (3 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
-                if g3 == 0 && !self.overflow.is_empty() {
-                    // A full level-3 rotation completed: refill from overflow.
-                    let bound = split_key(base.saturating_add(HORIZON));
-                    let keep = self.overflow.split_off(&bound);
-                    for (_, e) in std::mem::replace(&mut self.overflow, keep) {
-                        self.place(e);
-                    }
+                if g3 == 0 {
+                    // A full level-3 rotation completed: refill from the
+                    // calendar (no due entries possible on this path — the
+                    // cursor never passes a stored tick without a jump).
+                    self.refill_overflow(base.saturating_add(HORIZON));
                 }
                 pull(self, 3, g3);
             }
@@ -251,7 +424,12 @@ impl<E> TimerWheel<E> {
                 .min();
             best = min_opt(best, slot_min);
         }
-        best = min_opt(best, self.overflow.keys().next().copied());
+        let far_min = self
+            .overflow
+            .values()
+            .next()
+            .and_then(|w| w.iter().map(|e| (e.at, e.seq)).min());
+        best = min_opt(best, far_min);
         best
     }
 }
@@ -261,10 +439,4 @@ fn min_opt(a: Option<(SimTime, u64)>, b: Option<(SimTime, u64)>) -> Option<(SimT
         (Some(x), Some(y)) => Some(x.min(y)),
         (x, y) => x.or(y),
     }
-}
-
-/// Smallest `(at, seq)` key whose tick is `>= tick` — the split point for
-/// overflow range extraction.
-fn split_key(tick: u64) -> (SimTime, u64) {
-    (SimTime(tick.saturating_mul(1u64 << TICK_SHIFT)), 0)
 }

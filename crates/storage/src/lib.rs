@@ -27,5 +27,5 @@ pub mod wal;
 
 pub use locks::{LockManager, LockMode, LockOutcome};
 pub use replica::Replica;
-pub use store::Store;
+pub use store::{BTreeStore, Store};
 pub use wal::{Wal, WalEntry};

@@ -31,10 +31,26 @@ impl Default for Versioned {
 /// Objects are created lazily: reading a never-written object yields
 /// [`Value::Null`], matching the paper's implicit "initially zero/empty"
 /// conventions (workloads map `Null` to their domain default).
+///
+/// Layout (PR 8 kernel pass): version records live densely in a `Vec`,
+/// reached through a stable `ObjectId` → slot map held as a *sorted flat
+/// vector* and binary-searched. A record's slot never changes once
+/// assigned, overwrites update the `Vec` in place, and whole scans
+/// (`digest_all`) stream the flat index without materializing a key list
+/// or chasing tree nodes. New-key inserts shift the index vector — cheap
+/// for the catalog-sized key sets a replica holds, and O(1) amortized for
+/// the ascending insertions bulk loads use. [`BTreeStore`] preserves the
+/// previous map-of-records layout as a differential oracle.
 #[derive(Clone, Debug, Default)]
 pub struct Store {
-    objects: BTreeMap<ObjectId, Versioned>,
+    /// `(object, slot)` pairs sorted by object id; binary-searched.
+    index: Vec<(ObjectId, u32)>,
+    /// Version records, dense and contiguous, indexed by slot.
+    vals: Vec<Versioned>,
 }
+
+/// FNV-1a offset basis — the digest seed.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// FNV-1a over a canonical encoding — stable across runs and platforms, so
 /// digests can appear in golden test expectations.
@@ -59,6 +75,109 @@ impl Store {
     /// Empty store (every object reads as `Null`).
     pub fn new() -> Self {
         Store::default()
+    }
+
+    /// Slot of an object, if it was ever written.
+    fn slot_of(&self, object: ObjectId) -> Option<u32> {
+        self.index
+            .binary_search_by_key(&object, |&(o, _)| o)
+            .ok()
+            .map(|i| self.index[i].1)
+    }
+
+    /// Read an object's current value.
+    pub fn get(&self, object: ObjectId) -> &Value {
+        static NULL: Value = Value::Null;
+        self.slot_of(object)
+            .map_or(&NULL, |slot| &self.vals[slot as usize].value)
+    }
+
+    /// Full version record for an object, if it was ever written.
+    pub fn version(&self, object: ObjectId) -> Option<&Versioned> {
+        self.slot_of(object).map(|slot| &self.vals[slot as usize])
+    }
+
+    /// Write an object.
+    pub fn put(&mut self, object: ObjectId, value: Value, writer: TxnId, at: SimTime) {
+        let rec = Versioned {
+            value,
+            writer: Some(writer),
+            installed_at: at,
+        };
+        match self.index.binary_search_by_key(&object, |&(o, _)| o) {
+            Ok(i) => {
+                let slot = self.index[i].1;
+                self.vals[slot as usize] = rec;
+            }
+            Err(i) => {
+                self.index.insert(i, (object, self.vals.len() as u32));
+                self.vals.push(rec);
+            }
+        }
+    }
+
+    /// Number of objects ever written.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if nothing was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Current `(object, value)` pairs for the given objects (missing
+    /// objects appear as `Null`) — a fragment snapshot for §4.4.2A.
+    pub fn snapshot(&self, objects: &[ObjectId]) -> Vec<(ObjectId, Value)> {
+        objects.iter().map(|&o| (o, self.get(o).clone())).collect()
+    }
+
+    /// Overwrite the given objects from a snapshot (move-with-data install).
+    pub fn restore(&mut self, snapshot: &[(ObjectId, Value)], writer: TxnId, at: SimTime) {
+        for (o, v) in snapshot {
+            self.put(*o, v.clone(), writer, at);
+        }
+    }
+
+    /// Content digest over the given objects — equal digests ⟺ equal values
+    /// (up to hash collision), used by the mutual consistency checker.
+    pub fn digest(&self, objects: &[ObjectId]) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &o in objects {
+            h = fnv1a(o.raw().to_le_bytes().into_iter(), h);
+            h = hash_value(self.get(o), h);
+        }
+        h
+    }
+
+    /// Digest over every object ever written in *either* store domain —
+    /// callers should pass a canonical object list; this variant hashes the
+    /// store's own keys and is only meaningful when all stores saw the same
+    /// key set. Walks the index in key order directly: no key list is
+    /// allocated (pinned by the `digest_alloc` regression test).
+    pub fn digest_all(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &(o, slot) in &self.index {
+            h = fnv1a(o.raw().to_le_bytes().into_iter(), h);
+            h = hash_value(&self.vals[slot as usize].value, h);
+        }
+        h
+    }
+}
+
+/// The pre-PR 8 store layout (one map node per object record), kept as a
+/// differential oracle: every operation must produce the same observable
+/// results as [`Store`], which the differential tests drive with seeded
+/// histories.
+#[derive(Clone, Debug, Default)]
+pub struct BTreeStore {
+    objects: BTreeMap<ObjectId, Versioned>,
+}
+
+impl BTreeStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        BTreeStore::default()
     }
 
     /// Read an object's current value.
@@ -89,28 +208,15 @@ impl Store {
         self.objects.len()
     }
 
-    /// True if nothing was ever written.
+    /// True when no object was ever written.
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
     }
 
-    /// Current `(object, value)` pairs for the given objects (missing
-    /// objects appear as `Null`) — a fragment snapshot for §4.4.2A.
-    pub fn snapshot(&self, objects: &[ObjectId]) -> Vec<(ObjectId, Value)> {
-        objects.iter().map(|&o| (o, self.get(o).clone())).collect()
-    }
-
-    /// Overwrite the given objects from a snapshot (move-with-data install).
-    pub fn restore(&mut self, snapshot: &[(ObjectId, Value)], writer: TxnId, at: SimTime) {
-        for (o, v) in snapshot {
-            self.put(*o, v.clone(), writer, at);
-        }
-    }
-
-    /// Content digest over the given objects — equal digests ⟺ equal values
-    /// (up to hash collision), used by the mutual consistency checker.
+    /// Content digest over the given objects (same encoding as
+    /// [`Store::digest`]).
     pub fn digest(&self, objects: &[ObjectId]) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        let mut h = FNV_OFFSET;
         for &o in objects {
             h = fnv1a(o.raw().to_le_bytes().into_iter(), h);
             h = hash_value(self.get(o), h);
@@ -118,10 +224,8 @@ impl Store {
         h
     }
 
-    /// Digest over every object ever written in *either* store domain —
-    /// callers should pass a canonical object list; this variant hashes the
-    /// store's own keys and is only meaningful when all stores saw the same
-    /// key set.
+    /// Digest over the store's own key set, exactly as the pre-PR 8
+    /// `digest_all` computed it (via a materialized key list).
     pub fn digest_all(&self) -> u64 {
         let keys: Vec<ObjectId> = self.objects.keys().copied().collect();
         self.digest(&keys)
@@ -132,6 +236,7 @@ impl Store {
 mod tests {
     use super::*;
     use fragdb_model::NodeId;
+    use fragdb_sim::SimRng;
 
     fn o(i: u64) -> ObjectId {
         ObjectId(i)
@@ -167,6 +272,7 @@ mod tests {
         s.put(o(1), Value::Int(2), t(1), SimTime(2));
         assert_eq!(s.get(o(1)), &Value::Int(2));
         assert_eq!(s.version(o(1)).unwrap().writer, Some(t(1)));
+        assert_eq!(s.len(), 1, "overwrite must not grow the dense storage");
     }
 
     #[test]
@@ -236,5 +342,41 @@ mod tests {
         let first = s.digest(&[o(0)]);
         let again = s.clone().digest(&[o(0)]);
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn dense_store_matches_btree_oracle_on_seeded_histories() {
+        // 20 seeded random write/overwrite histories: the dense layout and
+        // the map-of-records oracle must agree on every observable.
+        for seed in 0..20u64 {
+            let mut rng = SimRng::new(0x5703_0000 + seed);
+            let mut dense = Store::new();
+            let mut oracle = BTreeStore::new();
+            for step in 0..400u64 {
+                let obj = o(rng.gen_range(0..64));
+                let val = match rng.gen_range(0..4) {
+                    0 => Value::Null,
+                    1 => Value::Int(rng.next_u64() as i64),
+                    2 => Value::Bool(rng.chance(0.5)),
+                    _ => Value::from("v"),
+                };
+                let w = t(step);
+                let at = SimTime(step);
+                dense.put(obj, val.clone(), w, at);
+                oracle.put(obj, val, w, at);
+            }
+            assert_eq!(dense.len(), oracle.len(), "seed {seed}");
+            for i in 0..64 {
+                assert_eq!(dense.get(o(i)), oracle.get(o(i)), "seed {seed} obj {i}");
+                assert_eq!(
+                    dense.version(o(i)),
+                    oracle.version(o(i)),
+                    "seed {seed} obj {i}"
+                );
+            }
+            let objs: Vec<ObjectId> = (0..64).map(o).collect();
+            assert_eq!(dense.digest(&objs), oracle.digest(&objs), "seed {seed}");
+            assert_eq!(dense.digest_all(), oracle.digest_all(), "seed {seed}");
+        }
     }
 }

@@ -15,7 +15,9 @@
 //!   customers get availability while the centralized grant decision
 //!   prevents overbooking.
 //! * [`partitions`] — randomized partition-scenario generators.
-//! * [`arrivals`] — Poisson arrival-time generation.
+//! * [`arrivals`] — Poisson arrival-time generation, Zipf(θ) hot-key
+//!   selection over large user populations, and the open-loop driver for
+//!   overload-visible scale runs.
 
 pub mod airline;
 pub mod arrivals;
@@ -24,5 +26,6 @@ pub mod partitions;
 pub mod warehouse;
 
 pub use airline::{AirlineDriver, AirlineSchema};
+pub use arrivals::{open_loop_schedule, Arrival, OpenLoop, OpenLoopConfig, Zipf};
 pub use banking::{BankConfig, BankDriver, BankSchema};
 pub use warehouse::{WarehouseConfig, WarehouseDriver, WarehouseSchema};

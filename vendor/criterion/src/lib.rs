@@ -201,6 +201,94 @@ impl Criterion {
     }
 }
 
+pub mod alloc_probe {
+    //! Heap-allocation counting probe for no-alloc regression tests.
+    //!
+    //! A test (or bench) binary installs [`CountingAllocator`] as its
+    //! global allocator and then wraps the code under scrutiny in
+    //! [`count_allocs`], which returns how many heap allocations the
+    //! closure performed. Counting is off except inside `count_allocs`, so
+    //! the probe costs one relaxed atomic load per allocation elsewhere.
+    //!
+    //! ```ignore
+    //! #[global_allocator]
+    //! static ALLOC: criterion::alloc_probe::CountingAllocator =
+    //!     criterion::alloc_probe::CountingAllocator::new();
+    //!
+    //! let (allocs, _) = criterion::alloc_probe::count_allocs(|| hot_loop());
+    //! assert_eq!(allocs, 0);
+    //! ```
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    /// System-allocator wrapper that counts allocations while a
+    /// [`count_allocs`] scope is active.
+    pub struct CountingAllocator;
+
+    impl CountingAllocator {
+        /// The allocator value for a `#[global_allocator]` static.
+        #[allow(clippy::new_without_default)]
+        pub const fn new() -> Self {
+            CountingAllocator
+        }
+    }
+
+    // SAFETY: delegates verbatim to `System`; the only addition is counter
+    // bookkeeping, which never touches the returned memory.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            INSTALLED.store(true, Ordering::Relaxed);
+            if ENABLED.load(Ordering::Relaxed) {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            if ENABLED.load(Ordering::Relaxed) {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            if ENABLED.load(Ordering::Relaxed) {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    /// Whether a [`CountingAllocator`] is serving this binary's heap (it
+    /// marks itself on first use). Callers can skip an assertion rather
+    /// than report a vacuous zero when the probe is absent.
+    pub fn is_installed() -> bool {
+        INSTALLED.load(Ordering::Relaxed)
+    }
+
+    /// Run `f`, returning `(heap allocations it performed, its result)`.
+    ///
+    /// Counts every `alloc`/`realloc`/`alloc_zeroed` — frees are not
+    /// counted. Not reentrant; intended for single-threaded test bodies.
+    pub fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, T) {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Relaxed);
+        let out = f();
+        ENABLED.store(false, Ordering::Relaxed);
+        let after = ALLOCS.load(Ordering::Relaxed);
+        (after - before, out)
+    }
+}
+
 /// Collect benchmark functions into a runnable group, like criterion's.
 #[macro_export]
 macro_rules! criterion_group {
