@@ -1,7 +1,7 @@
 //! `fragdb-bench` — the performance-trajectory runner.
 //!
 //! Reproduces the before/after numbers for the performance passes, at
-//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr8.json`:
+//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr9.json`:
 //!
 //! * **payload broadcast** — a commit's payload is materialized once
 //!   (`payload.clones`) and every downstream copy is an `Arc` bump
@@ -33,7 +33,9 @@
 //!   full, 8/16/32 quick): a million-user Zipf(0.99) population at a
 //!   fixed offered rate, reporting engine events, wire messages,
 //!   events/sec, messages/sec, peak pending-event depth, pool reuse,
-//!   and p50/p99 commit→install lag from the telemetry probes.
+//!   p50/p99 commit→install lag from the streaming quantile sketch, and
+//!   the phase-decomposed lag (net / hold-back / queue / exec
+//!   percentiles) from the `fragdb-obs` span reconstruction.
 //! * **scale kernels** — before/after arms for the PR 8 kernel pass,
 //!   sized by the same node axis: the event queue (reference binary
 //!   heap vs the timing-wheel engine) and the store scan (`BTreeStore`
@@ -49,6 +51,17 @@
 //! Usage:
 //!   fragdb-bench [--quick] [--out PATH]   generate the report
 //!   fragdb-bench --validate PATH          schema-check an existing report
+//!   fragdb-bench compare BASE CAND [--threshold PCT]
+//!                                         regression-gate CAND against BASE
+//!
+//! `compare` loads two reports (any schema pr3–pr9), matches section rows
+//! by node count, and prints per-field deltas. Deterministic virtual-time
+//! and count fields are *gated*: a monitored field that degrades by more
+//! than the threshold (default 20%) fails the comparison (exit 1). When
+//! the two reports were generated under different modes (`full` vs
+//! `quick`) the workload knobs differ, so only mode-robust fields —
+//! batching `reduction`, self-heal `detection_us` / `unavail_us` — are
+//! gated. Wall-clock fields are reported but never gated.
 
 use std::fmt::Write as _;
 
@@ -137,16 +150,46 @@ const QUICK: Scale = Scale {
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr8.json");
+    let mut out = String::from("BENCH_pr9.json");
     let mut validate: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("compare") {
+        args.next();
+        let mut paths: Vec<String> = Vec::new();
+        let mut threshold = 20.0f64;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--threshold" => {
+                    threshold = args
+                        .next()
+                        .expect("--threshold needs a value")
+                        .parse()
+                        .expect("--threshold must be a number (percent)")
+                }
+                other if !other.starts_with('-') => paths.push(other.to_string()),
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if paths.len() != 2 {
+            eprintln!("usage: fragdb-bench compare BASE.json CAND.json [--threshold PCT]");
+            std::process::exit(2);
+        }
+        cmd_compare(&paths[0], &paths[1], threshold);
+        return;
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out needs a path"),
             "--validate" => validate = Some(args.next().expect("--validate needs a path")),
             "--help" | "-h" => {
-                println!("fragdb-bench [--quick] [--out PATH] | --validate PATH");
+                println!(
+                    "fragdb-bench [--quick] [--out PATH] | --validate PATH | \
+                     compare BASE CAND [--threshold PCT]"
+                );
                 return;
             }
             other => {
@@ -181,7 +224,7 @@ fn main() {
 fn generate(scale: &Scale) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"fragdb-bench-pr8/v1\",\n");
+    j.push_str("  \"schema\": \"fragdb-bench-pr9/v1\",\n");
     let _ = writeln!(j, "  \"mode\": \"{}\",", scale.mode);
     let _ = writeln!(j, "  \"seed\": {SEED},");
     j.push_str("  \"node_counts\": [4, 16, 64],\n");
@@ -315,6 +358,10 @@ fn bench_scale(n: u32, scale: &Scale) -> String {
         stats.lag_p99_us >= stats.lag_p50_us && stats.lag_p50_us > 0,
         "scale run must observe install lag at {n} nodes"
     );
+    assert!(
+        stats.spans >= stats.commits && stats.net_p50_us > 0,
+        "span reconstruction must decompose the lag at {n} nodes"
+    );
     let wall = criterion::median_secs(scale.samples, || {
         criterion::black_box(hscale::run(&spec));
     });
@@ -324,6 +371,10 @@ fn bench_scale(n: u32, scale: &Scale) -> String {
         "{{ \"nodes\": {n}, \"users\": {}, \"offered_rate\": {}, \"arrivals\": {}, \
          \"commits\": {}, \"events\": {}, \"messages\": {}, \"peak_queue_depth\": {}, \
          \"pool_reuse\": {}, \"lag_p50_us\": {}, \"lag_p99_us\": {}, \
+         \"spans\": {}, \"spans_truncated\": {}, \
+         \"net_p50_us\": {}, \"net_p99_us\": {}, \
+         \"holdback_p50_us\": {}, \"holdback_p99_us\": {}, \
+         \"queue_p99_us\": {}, \"exec_p99_us\": {}, \
          \"events_per_sec\": {events_per_sec:.1}, \"msgs_per_sec\": {msgs_per_sec:.1}, \
          \"wall_secs\": {} }}",
         spec.users,
@@ -336,6 +387,14 @@ fn bench_scale(n: u32, scale: &Scale) -> String {
         stats.pool_reuse,
         stats.lag_p50_us,
         stats.lag_p99_us,
+        stats.spans,
+        stats.spans_truncated,
+        stats.net_p50_us,
+        stats.net_p99_us,
+        stats.holdback_p50_us,
+        stats.holdback_p99_us,
+        stats.queue_p99_us,
+        stats.exec_p99_us,
         fmt_secs(wall),
     )
 }
@@ -944,6 +1003,205 @@ fn bench_model_check(n: u32, scale: &Scale) -> String {
     )
 }
 
+// ---- regression gate (`compare`) -----------------------------------------
+
+/// One monitored field of a section: its name, whether a *larger* value
+/// is a degradation, and whether it stays comparable across modes
+/// (`full` vs `quick` runs use different workload knobs, so only
+/// configuration-independent fields survive a cross-mode comparison).
+struct Gate {
+    field: &'static str,
+    higher_is_worse: bool,
+    cross_mode: bool,
+}
+
+const fn gate(field: &'static str, higher_is_worse: bool) -> Gate {
+    Gate {
+        field,
+        higher_is_worse,
+        cross_mode: false,
+    }
+}
+
+const fn gate_x(field: &'static str, higher_is_worse: bool) -> Gate {
+    Gate {
+        field,
+        higher_is_worse,
+        cross_mode: true,
+    }
+}
+
+/// The monitored (gated) fields per section. Everything here is a
+/// deterministic virtual-time or count field — wall-clock columns are
+/// deliberately absent (cross-machine noise must never fail CI).
+const MONITORED: &[(&str, &[Gate])] = &[
+    (
+        "payload_broadcast",
+        &[
+            gate("events", true),
+            gate("messages", true),
+            gate("clones_after", true),
+        ],
+    ),
+    (
+        "broadcast_batching",
+        &[
+            gate("messages_on", true),
+            gate("acks_on", true),
+            gate_x("reduction", false),
+        ],
+    ),
+    (
+        "self_heal",
+        &[
+            gate_x("detection_us", true),
+            gate_x("unavail_us", true),
+            gate("election_rounds", true),
+            gate("commits_after", false),
+        ],
+    ),
+    ("model_check", &[gate("witness_len", true)]),
+    (
+        "scale",
+        &[
+            gate("events", true),
+            gate("messages", true),
+            gate("peak_queue_depth", true),
+            gate("lag_p50_us", true),
+            gate("lag_p99_us", true),
+            gate("net_p99_us", true),
+            gate("holdback_p99_us", true),
+            gate("spans_truncated", true),
+        ],
+    ),
+];
+
+fn mode_of(text: &str) -> &'static str {
+    if text.contains("\"mode\": \"quick\"") {
+        "quick"
+    } else {
+        "full"
+    }
+}
+
+/// Compare a candidate report against a baseline: print per-field deltas
+/// on node-matched rows and exit 1 if any monitored field degrades by
+/// more than `threshold` percent.
+fn cmd_compare(base_path: &str, cand_path: &str, threshold: f64) {
+    let read =
+        |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
+    let base = read(base_path);
+    let cand = read(cand_path);
+    for (path, text) in [(base_path, &base), (cand_path, &cand)] {
+        if let Err(msg) = validate_report(text) {
+            eprintln!("{path}: INVALID — {msg}");
+            std::process::exit(1);
+        }
+    }
+    let same_mode = mode_of(&base) == mode_of(&cand);
+    println!(
+        "comparing {cand_path} ({}) against {base_path} ({}), threshold {threshold}%{}",
+        mode_of(&cand),
+        mode_of(&base),
+        if same_mode {
+            ""
+        } else {
+            " — cross-mode: only mode-robust fields gated"
+        }
+    );
+    let mut checked = 0u64;
+    let mut regressions: Vec<String> = Vec::new();
+    for &(section, gates) in MONITORED {
+        let (Some(bb), Some(cb)) = (section_body(&base, section), section_body(&cand, section))
+        else {
+            println!("  {section}: absent from one report, skipped");
+            continue;
+        };
+        let bnodes = number_fields(bb, "nodes").unwrap_or_default();
+        let cnodes = number_fields(cb, "nodes").unwrap_or_default();
+        for g in gates {
+            if !same_mode && !g.cross_mode {
+                continue;
+            }
+            let bvals = number_fields(bb, g.field).unwrap_or_default();
+            let cvals = number_fields(cb, g.field).unwrap_or_default();
+            if bvals.len() != bnodes.len() || cvals.len() != cnodes.len() {
+                // Field absent from one schema generation (e.g. the pr9
+                // span columns against a pr8 baseline): nothing to gate.
+                println!("  {section}.{}: not in both reports, skipped", g.field);
+                continue;
+            }
+            for (i, bn) in bnodes.iter().enumerate() {
+                let Some(j) = cnodes.iter().position(|cn| cn == bn) else {
+                    continue;
+                };
+                let (b, c) = (bvals[i], cvals[j]);
+                checked += 1;
+                // Degradation in percent: positive = candidate is worse.
+                let worse_pct = if b > 0.0 {
+                    let delta = (c - b) / b * 100.0;
+                    if g.higher_is_worse {
+                        delta
+                    } else {
+                        -delta
+                    }
+                } else if c > 0.0 && g.higher_is_worse {
+                    // A zero baseline growing (e.g. spans_truncated 0→n)
+                    // is an unbounded regression.
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                let flag = if worse_pct > threshold {
+                    regressions.push(format!(
+                        "{section}.{} @ {} nodes: {b} -> {c} ({worse_pct:+.1}% worse)",
+                        g.field, *bn as u64
+                    ));
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "  {section}.{} @ {} nodes: {b} -> {c}{flag}",
+                    g.field, *bn as u64
+                );
+            }
+        }
+        // Wall-clock context, never gated.
+        if let (Ok(bw), Ok(cw)) = (
+            number_fields(bb, "wall_secs"),
+            number_fields(cb, "wall_secs"),
+        ) {
+            if bw.len() == bnodes.len() && cw.len() == cnodes.len() {
+                for (i, bn) in bnodes.iter().enumerate() {
+                    if let Some(j) = cnodes.iter().position(|cn| cn == bn) {
+                        println!(
+                            "  {section}.wall_secs @ {} nodes: {:.6} -> {:.6} (info only)",
+                            *bn as u64, bw[i], cw[j]
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("no comparable rows found — node axes disjoint or sections missing");
+        std::process::exit(1);
+    }
+    if regressions.is_empty() {
+        println!("OK — {checked} gated comparisons, no regression beyond {threshold}%");
+    } else {
+        eprintln!(
+            "FAIL — {} of {checked} gated comparisons regressed beyond {threshold}%:",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn fmt_secs(s: f64) -> String {
     format!("{s:.9}")
 }
@@ -959,13 +1217,15 @@ fn fmt_ratio(r: f64) -> String {
 /// deterministic counters are nonzero. Accepts the PR 3 schema (three
 /// sections), the PR 5 schema (which adds `broadcast_batching`), the
 /// PR 6 schema (which adds `self_heal`), the PR 7 schema (which adds
-/// `model_check`, on its own 2/3/4-node axis), and the PR 8 schema
-/// (which adds `scale` and `scale_kernels`, on their own large-mesh
-/// axis). Hand-rolled because no JSON parser is available in this
-/// build environment; the emitter above is the only producer, so the
-/// format is fully under our control.
+/// `model_check`, on its own 2/3/4-node axis), the PR 8 schema (which
+/// adds `scale` and `scale_kernels`, on their own large-mesh axis),
+/// and the PR 9 schema (which adds the span-phase decomposition to the
+/// `scale` rows). Hand-rolled because no JSON parser is available in
+/// this build environment; the emitter above is the only producer, so
+/// the format is fully under our control.
 fn validate_report(text: &str) -> Result<String, String> {
-    let pr8 = text.contains("\"schema\": \"fragdb-bench-pr8/v1\"");
+    let pr9 = text.contains("\"schema\": \"fragdb-bench-pr9/v1\"");
+    let pr8 = pr9 || text.contains("\"schema\": \"fragdb-bench-pr8/v1\"");
     let pr7 = text.contains("\"schema\": \"fragdb-bench-pr7/v1\"");
     let pr6 = text.contains("\"schema\": \"fragdb-bench-pr6/v1\"");
     let pr5 = text.contains("\"schema\": \"fragdb-bench-pr5/v1\"");
@@ -973,7 +1233,7 @@ fn validate_report(text: &str) -> Result<String, String> {
     if !pr8 && !pr7 && !pr6 && !pr5 && !pr3 {
         return Err(
             "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1, -pr5/v1, -pr6/v1, \
-             -pr7/v1, or -pr8/v1)"
+             -pr7/v1, -pr8/v1, or -pr9/v1)"
                 .into(),
         );
     }
@@ -1032,20 +1292,45 @@ fn validate_report(text: &str) -> Result<String, String> {
     if pr8 {
         sections.push((
             "scale",
-            &[
-                "users",
-                "offered_rate",
-                "arrivals",
-                "commits",
-                "events",
-                "messages",
-                "peak_queue_depth",
-                "pool_reuse",
-                "lag_p50_us",
-                "lag_p99_us",
-                "events_per_sec",
-                "msgs_per_sec",
-            ][..],
+            if pr9 {
+                // The pr9 span decomposition: `spans` and the network leg
+                // percentiles are always nonzero (remote installs cross
+                // real links); hold-back / queue / exec legitimately hit
+                // zero on uncongested fault-free meshes, so they are
+                // presence-checked by `compare` instead.
+                &[
+                    "users",
+                    "offered_rate",
+                    "arrivals",
+                    "commits",
+                    "events",
+                    "messages",
+                    "peak_queue_depth",
+                    "pool_reuse",
+                    "lag_p50_us",
+                    "lag_p99_us",
+                    "spans",
+                    "net_p50_us",
+                    "net_p99_us",
+                    "events_per_sec",
+                    "msgs_per_sec",
+                ][..]
+            } else {
+                &[
+                    "users",
+                    "offered_rate",
+                    "arrivals",
+                    "commits",
+                    "events",
+                    "messages",
+                    "peak_queue_depth",
+                    "pool_reuse",
+                    "lag_p50_us",
+                    "lag_p99_us",
+                    "events_per_sec",
+                    "msgs_per_sec",
+                ][..]
+            },
         ));
         sections.push((
             "scale_kernels",

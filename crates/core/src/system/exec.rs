@@ -65,9 +65,15 @@ impl System {
             return self.finish_abort(txn, fragment, AbortReason::Unavailable);
         }
 
+        // Every dispatch path below allocates its transaction id at `home`
+        // as its first action, so peeking the next sequence here names the
+        // exact txn the submission will run under — the join key that pairs
+        // this event with its `Committed`/`Aborted` in span reconstruction.
+        let txn_seq = self.next_txn_seq[home.0 as usize];
         self.engine.emit(|| TelemetryEvent::Initiated {
             node: home.0,
             fragment: fragment.0,
+            txn_seq,
         });
 
         if !sub.extra_fragments.is_empty() {
@@ -292,6 +298,7 @@ impl System {
             self.engine.emit(|| TelemetryEvent::Committed {
                 cause,
                 node: home.0,
+                txn_seq: txn.seq,
             });
             // The home's local commit is its install: fault-free, a commit
             // joins to exactly R installs (R = replica-set size).
@@ -372,6 +379,7 @@ impl System {
         self.engine.emit(|| TelemetryEvent::Aborted {
             node: txn.origin.0,
             fragment: fragment.0,
+            txn_seq: txn.seq,
             reason: why,
         });
         vec![Notification::Aborted {

@@ -59,12 +59,13 @@ impl System {
         }
         if quasi.frag_seq > *next {
             self.engine.metrics.incr(keys::INSTALL_HELDBACK);
+            let cause = Self::cid(fragment, quasi.epoch, quasi.frag_seq);
             let hb = slot.holdback.entry(fragment).or_default();
             hb.insert(quasi.frag_seq, quasi);
             let depth = hb.len() as u64;
             self.engine.emit(|| TelemetryEvent::HeldBack {
+                cause,
                 node: node.0,
-                fragment: fragment.0,
                 depth,
             });
             return Vec::new();

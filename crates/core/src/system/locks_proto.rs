@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use fragdb_model::{NodeId, ObjectId, TxnId, TxnType, Value};
 use fragdb_sim::metrics::keys;
-use fragdb_sim::SimTime;
+use fragdb_sim::{SimTime, TelemetryEvent};
 use fragdb_storage::{LockMode, LockOutcome};
 
 use crate::envelope::Envelope;
@@ -54,6 +54,17 @@ impl System {
             StrategyKind::ReadLocks { timeout } => *timeout,
             _ => unreachable!("lock path requires ReadLocks strategy"),
         };
+
+        // The lock-wait phase opens here and closes with the `LockGranted`
+        // emitted just before the commit (or the read-only finish), paired
+        // by `(node, txn_seq)`; an abort closes it via `Aborted` instead.
+        let lock_sites = by_site.len() as u32;
+        self.engine.emit(|| TelemetryEvent::LockWaitStarted {
+            node: home.0,
+            fragment: fragment.0,
+            txn_seq: txn.seq,
+            sites: lock_sites,
+        });
 
         let sites: BTreeSet<NodeId> = by_site.keys().copied().collect();
         self.pending.insert(
@@ -210,6 +221,11 @@ impl System {
             };
 
         if read_only {
+            self.engine.emit(|| TelemetryEvent::LockGranted {
+                node: home.0,
+                fragment: fragment.0,
+                txn_seq: txn.seq,
+            });
             self.flush_reads(txn, TxnType::ReadOnly(fragment), &effects.reads, at);
             self.engine.metrics.incr(keys::TXN_READ_FINISHED);
             let mut notes = self.release_all_sites(at, home, txn, &contacted_sites);
@@ -273,6 +289,13 @@ impl System {
         contacted_sites: &BTreeSet<NodeId>,
         submitted_at: SimTime,
     ) -> Vec<Notification> {
+        // Shared grants AND the exclusive write-set locks are all held:
+        // the lock-wait phase ends here, adjacent to the commit itself.
+        self.engine.emit(|| TelemetryEvent::LockGranted {
+            node: home.0,
+            fragment: fragment.0,
+            txn_seq: txn.seq,
+        });
         let mut notes = self.commit_update(at, home, txn, fragment, effects);
         notes.extend(self.observe_commit_latency(submitted_at, at));
         notes.extend(self.release_all_sites(at, home, txn, contacted_sites));

@@ -454,6 +454,7 @@ impl System {
                 self.engine.emit(|| TelemetryEvent::Committed {
                     cause,
                     node: node.0,
+                    txn_seq: repackaged.seq,
                 });
                 self.engine.emit(|| TelemetryEvent::Installed {
                     cause,

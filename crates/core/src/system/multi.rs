@@ -303,6 +303,7 @@ impl System {
             self.engine.emit(|| TelemetryEvent::Committed {
                 cause,
                 node: node.0,
+                txn_seq: stage.local_txn.seq,
             });
             self.engine.emit(|| TelemetryEvent::Installed {
                 cause,

@@ -14,16 +14,70 @@
 //! `fragdb_sim::metrics::keys` registry — CI uses this as the telemetry
 //! smoke check.
 //!
+//! Two subcommands consume a saved JSONL export through the `fragdb-obs`
+//! span reconstruction:
+//!
+//!   fragdb-trace spans FILE.jsonl          per-commit spans + critical paths
+//!   fragdb-trace critical-path FILE.jsonl  attribution table + folded stacks
+//!                [--out PATH]              (write the folded stacks to PATH)
+//!
 //! Usage:
 //!   fragdb-trace [--scenario NAME]... [--seed N] [--quick]
 //!                [--out PATH] [--rows N]
 //!   fragdb-trace --list
 //!   fragdb-trace --validate PATH
+//!   fragdb-trace spans FILE.jsonl
+//!   fragdb-trace critical-path FILE.jsonl [--out PATH]
 
 use fragdb_harness::trace::{
     render_jsonl, render_summary, render_timeline, run_scenario, unregistered_metric_keys,
     validate_jsonl, SCENARIOS,
 };
+use fragdb_obs::{attribution_table, folded, span_lines, validate_folded, SpanReport};
+
+/// Load and reconstruct a JSONL export, exiting with a message on error.
+fn load_report(path: &str) -> SpanReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    match SpanReport::from_jsonl(&text) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{path}: cannot reconstruct spans — {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `spans FILE`: one line per reconstructed span, then the status totals.
+fn cmd_spans(path: &str) {
+    let report = load_report(path);
+    print!("{}", span_lines(&report));
+    println!(
+        "{} spans: {} complete, {} incomplete, {} truncated, {} discarded",
+        report.len(),
+        report.complete,
+        report.incomplete,
+        report.truncated,
+        report.discarded
+    );
+}
+
+/// `critical-path FILE [--out PATH]`: attribution table + folded stacks.
+fn cmd_critical_path(path: &str, out: Option<&str>) {
+    let report = load_report(path);
+    print!("{}", attribution_table(&report));
+    let stacks = folded(&report);
+    if let Err(msg) = validate_folded(&stacks) {
+        eprintln!("internal error: folded output invalid — {msg}");
+        std::process::exit(1);
+    }
+    match out {
+        Some(p) => {
+            std::fs::write(p, &stacks).unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
+            println!("wrote {p} ({} bytes)", stacks.len());
+        }
+        None => print!("{stacks}"),
+    }
+}
 
 fn main() {
     let mut scenarios: Vec<String> = Vec::new();
@@ -32,7 +86,43 @@ fn main() {
     let mut rows: usize = 10;
     let mut out: Option<String> = None;
     let mut validate: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    // Subcommands first: `spans FILE` / `critical-path FILE [--out PATH]`.
+    match args.peek().map(String::as_str) {
+        Some("spans") => {
+            args.next();
+            let file = args.next().unwrap_or_else(|| {
+                eprintln!("usage: fragdb-trace spans FILE.jsonl");
+                std::process::exit(2);
+            });
+            cmd_spans(&file);
+            return;
+        }
+        Some("critical-path") => {
+            args.next();
+            let mut file: Option<String> = None;
+            let mut fold_out: Option<String> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--out" => fold_out = Some(args.next().expect("--out needs a path")),
+                    other if file.is_none() && !other.starts_with('-') => {
+                        file = Some(other.to_string())
+                    }
+                    other => {
+                        eprintln!("unknown argument: {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            let Some(file) = file else {
+                eprintln!("usage: fragdb-trace critical-path FILE.jsonl [--out PATH]");
+                std::process::exit(2);
+            };
+            cmd_critical_path(&file, fold_out.as_deref());
+            return;
+        }
+        _ => {}
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scenario" => scenarios.push(args.next().expect("--scenario needs a name")),
@@ -62,7 +152,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "fragdb-trace [--scenario NAME]... [--seed N] [--quick] \
-                     [--out PATH] [--rows N] | --list | --validate PATH"
+                     [--out PATH] [--rows N] | --list | --validate PATH | \
+                     spans FILE.jsonl | critical-path FILE.jsonl [--out PATH]"
                 );
                 return;
             }

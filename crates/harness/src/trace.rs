@@ -109,6 +109,11 @@ fn drive(
     while sys.step_until(limit).is_some() {}
     sys.engine.sync_drop_metrics();
     sys.publish_net_metrics();
+    // Reconstruct per-commit spans and publish the derived keys
+    // (`telemetry.spans_truncated`, `obs.critical_path.len`,
+    // `span.phase.<p>`) so the strict registry check covers them too.
+    let spans = fragdb_obs::SpanReport::from_records(sys.engine.telemetry.events());
+    spans.publish(&mut sys.engine.metrics);
     let fragments = sys
         .catalog()
         .fragments()
@@ -152,8 +157,9 @@ fn read_locks_fixed(seed: u64, quick: bool) -> TraceRun {
             let other_obj = objects[other][0];
             sys.submit_at(
                 secs(4 * k + 1 + own as u64),
-                Submission::update(
+                Submission::update_reading(
                     FragmentId(own as u32),
+                    vec![other_obj],
                     Box::new(move |ctx| {
                         let funds = ctx.read_int(other_obj, 0);
                         let v = ctx.read_int(own_obj, 0);
@@ -326,7 +332,7 @@ pub fn render_timeline(run: &TraceRun, max_rows_per_fragment: usize) -> String {
     let mut by_cause: BTreeMap<CausalId, CauseRow> = BTreeMap::new();
     for r in &run.records {
         match &r.event {
-            TelemetryEvent::Committed { cause, node } => {
+            TelemetryEvent::Committed { cause, node, .. } => {
                 let row = by_cause.entry(*cause).or_insert_with(CauseRow::empty);
                 row.committed = Some((r.at, *node));
             }
@@ -523,19 +529,30 @@ pub fn unregistered_metric_keys(metrics: &Metrics) -> Vec<String> {
 /// Every event name the exporter can emit, with the fields each requires
 /// (beyond `at_micros` and `event`). The schema is flat by construction.
 const EVENT_SCHEMA: &[(&str, &[&str])] = &[
-    ("initiated", &["node", "fragment"]),
-    ("committed", &["fragment", "epoch", "frag_seq", "node"]),
+    ("initiated", &["node", "fragment", "txn_seq"]),
+    (
+        "lock_wait_started",
+        &["node", "fragment", "txn_seq", "sites"],
+    ),
+    ("lock_granted", &["node", "fragment", "txn_seq"]),
+    (
+        "committed",
+        &["fragment", "epoch", "frag_seq", "node", "txn_seq"],
+    ),
     (
         "broadcast_sent",
         &["fragment", "epoch", "frag_seq", "node", "recipients"],
     ),
     ("installed", &["fragment", "epoch", "frag_seq", "node"]),
-    ("aborted", &["node", "fragment", "reason"]),
+    ("aborted", &["node", "fragment", "txn_seq", "reason"]),
     (
         "read_observed",
         &["node", "fragment", "seen_seq", "agent_seq"],
     ),
-    ("held_back", &["node", "fragment", "depth"]),
+    (
+        "held_back",
+        &["fragment", "epoch", "frag_seq", "node", "depth"],
+    ),
     ("submission_queued", &["fragment", "depth"]),
     ("move_requested", &["fragment", "from", "to"]),
     ("token_arrived", &["fragment", "node"]),

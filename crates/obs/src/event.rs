@@ -1,0 +1,442 @@
+//! The span-relevant view of the telemetry stream.
+//!
+//! Span reconstruction consumes [`ObsRecord`]s — a narrowed, raw-`u64`
+//! projection of [`TelemetryEvent`] — obtainable from two equivalent
+//! sources: the in-memory typed stream ([`ObsRecord::from_telemetry`]) and
+//! the JSONL export ([`parse_jsonl`]). Both yield identical records for
+//! the same run, which is what makes reconstruction *pure over the
+//! export*: a saved `.jsonl` file replays to byte-identical span output.
+
+use fragdb_sim::{CausalId, TelemetryEvent, TelemetryRecord};
+
+/// A timestamped span-relevant event (virtual time in microseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsRecord {
+    /// Virtual time of emission, µs.
+    pub at: u64,
+    /// The event.
+    pub ev: ObsEvent,
+}
+
+/// The subset of telemetry events span reconstruction consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings match `TelemetryEvent` verbatim
+pub enum ObsEvent {
+    Queued {
+        fragment: u32,
+    },
+    Initiated {
+        node: u32,
+        fragment: u32,
+        txn_seq: u64,
+    },
+    LockWaitStarted {
+        node: u32,
+        txn_seq: u64,
+    },
+    LockGranted {
+        node: u32,
+        txn_seq: u64,
+    },
+    Committed {
+        cause: CausalId,
+        node: u32,
+        txn_seq: u64,
+    },
+    BroadcastSent {
+        cause: CausalId,
+        recipients: u32,
+    },
+    HeldBack {
+        cause: CausalId,
+        node: u32,
+    },
+    Installed {
+        cause: CausalId,
+        node: u32,
+    },
+    Aborted {
+        node: u32,
+        fragment: u32,
+        txn_seq: u64,
+    },
+    BatchDiscarded {
+        cause: CausalId,
+    },
+    Retransmit {
+        from: u32,
+        to: u32,
+    },
+    MoveRequested {
+        fragment: u32,
+        from: u32,
+        to: u32,
+    },
+    TokenArrived {
+        fragment: u32,
+    },
+    MoveAborted {
+        fragment: u32,
+        from: u32,
+        to: u32,
+    },
+    ElectionStarted {
+        fragment: u32,
+    },
+    TokenRecovered {
+        fragment: u32,
+    },
+    ElectionAborted {
+        fragment: u32,
+        home_alive: bool,
+    },
+}
+
+impl ObsRecord {
+    /// Project a typed telemetry record; `None` for events spans ignore.
+    pub fn from_telemetry(r: &TelemetryRecord) -> Option<ObsRecord> {
+        let at = r.at.micros();
+        let ev = match &r.event {
+            TelemetryEvent::SubmissionQueued { fragment, .. } => ObsEvent::Queued {
+                fragment: *fragment,
+            },
+            TelemetryEvent::Initiated {
+                node,
+                fragment,
+                txn_seq,
+            } => ObsEvent::Initiated {
+                node: *node,
+                fragment: *fragment,
+                txn_seq: *txn_seq,
+            },
+            TelemetryEvent::LockWaitStarted { node, txn_seq, .. } => ObsEvent::LockWaitStarted {
+                node: *node,
+                txn_seq: *txn_seq,
+            },
+            TelemetryEvent::LockGranted { node, txn_seq, .. } => ObsEvent::LockGranted {
+                node: *node,
+                txn_seq: *txn_seq,
+            },
+            TelemetryEvent::Committed {
+                cause,
+                node,
+                txn_seq,
+            } => ObsEvent::Committed {
+                cause: *cause,
+                node: *node,
+                txn_seq: *txn_seq,
+            },
+            TelemetryEvent::BroadcastSent {
+                cause, recipients, ..
+            } => ObsEvent::BroadcastSent {
+                cause: *cause,
+                recipients: *recipients,
+            },
+            TelemetryEvent::HeldBack { cause, node, .. } => ObsEvent::HeldBack {
+                cause: *cause,
+                node: *node,
+            },
+            TelemetryEvent::Installed { cause, node } => ObsEvent::Installed {
+                cause: *cause,
+                node: *node,
+            },
+            TelemetryEvent::Aborted {
+                node,
+                fragment,
+                txn_seq,
+                ..
+            } => ObsEvent::Aborted {
+                node: *node,
+                fragment: *fragment,
+                txn_seq: *txn_seq,
+            },
+            TelemetryEvent::BatchDiscarded { cause, .. } => {
+                ObsEvent::BatchDiscarded { cause: *cause }
+            }
+            TelemetryEvent::Retransmit { from, to, .. } => ObsEvent::Retransmit {
+                from: *from,
+                to: *to,
+            },
+            TelemetryEvent::MoveRequested { fragment, from, to } => ObsEvent::MoveRequested {
+                fragment: *fragment,
+                from: *from,
+                to: *to,
+            },
+            TelemetryEvent::TokenArrived { fragment, .. } => ObsEvent::TokenArrived {
+                fragment: *fragment,
+            },
+            TelemetryEvent::MoveAborted { fragment, from, to } => ObsEvent::MoveAborted {
+                fragment: *fragment,
+                from: *from,
+                to: *to,
+            },
+            TelemetryEvent::ElectionStarted { fragment, .. } => ObsEvent::ElectionStarted {
+                fragment: *fragment,
+            },
+            TelemetryEvent::TokenRecovered { fragment, .. } => ObsEvent::TokenRecovered {
+                fragment: *fragment,
+            },
+            TelemetryEvent::ElectionAborted {
+                fragment, reason, ..
+            } => ObsEvent::ElectionAborted {
+                fragment: *fragment,
+                home_alive: *reason == "home_alive",
+            },
+            _ => return None,
+        };
+        Some(ObsRecord { at, ev })
+    }
+}
+
+/// One `key` of a parsed flat JSON object, as a number or a string.
+enum FlatValue<'a> {
+    Num(u64),
+    Str(&'a str),
+}
+
+/// Parse one flat JSON object (string/number values only — exactly what
+/// `TelemetryRecord::to_json_line` emits). Returns `(key, value)` pairs.
+fn parse_flat_object(line: &str) -> Result<Vec<(&str, FlatValue<'_>)>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a flat object: {line}"))?;
+    let mut fields = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let r = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected quoted key in: {line}"))?;
+        let kq = r
+            .find('"')
+            .ok_or_else(|| format!("unterminated key in: {line}"))?;
+        let key = &r[..kq];
+        let r = r[kq + 1..]
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key} in: {line}"))?;
+        if let Some(sr) = r.strip_prefix('"') {
+            let vq = sr
+                .find('"')
+                .ok_or_else(|| format!("unterminated string value in: {line}"))?;
+            fields.push((key, FlatValue::Str(&sr[..vq])));
+            rest = sr[vq + 1..].strip_prefix(',').unwrap_or(&sr[vq + 1..]);
+        } else {
+            let end = r.find(',').unwrap_or(r.len());
+            let num: u64 = r[..end]
+                .parse()
+                .map_err(|_| format!("bad number for {key} in: {line}"))?;
+            fields.push((key, FlatValue::Num(num)));
+            rest = if end < r.len() { &r[end + 1..] } else { "" };
+        }
+    }
+    Ok(fields)
+}
+
+fn num(fields: &[(&str, FlatValue<'_>)], key: &str, line: &str) -> Result<u64, String> {
+    fields
+        .iter()
+        .find_map(|(k, v)| match v {
+            FlatValue::Num(n) if *k == key => Some(*n),
+            _ => None,
+        })
+        .ok_or_else(|| format!("missing numeric field {key} in: {line}"))
+}
+
+fn cause_of(fields: &[(&str, FlatValue<'_>)], line: &str) -> Result<CausalId, String> {
+    Ok(CausalId {
+        fragment: num(fields, "fragment", line)? as u32,
+        epoch: num(fields, "epoch", line)?,
+        frag_seq: num(fields, "frag_seq", line)?,
+    })
+}
+
+/// Parse one JSONL line into a span-relevant record. `Ok(None)` for
+/// comment lines (`#`), blank lines, and events spans ignore.
+pub fn parse_line(line: &str) -> Result<Option<ObsRecord>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let fields = parse_flat_object(line)?;
+    let at = num(&fields, "at_micros", line)?;
+    let event = fields
+        .iter()
+        .find_map(|(k, v)| match v {
+            FlatValue::Str(s) if *k == "event" => Some(*s),
+            _ => None,
+        })
+        .ok_or_else(|| format!("missing event field in: {line}"))?;
+    let ev = match event {
+        "submission_queued" => ObsEvent::Queued {
+            fragment: num(&fields, "fragment", line)? as u32,
+        },
+        "initiated" => ObsEvent::Initiated {
+            node: num(&fields, "node", line)? as u32,
+            fragment: num(&fields, "fragment", line)? as u32,
+            txn_seq: num(&fields, "txn_seq", line)?,
+        },
+        "lock_wait_started" => ObsEvent::LockWaitStarted {
+            node: num(&fields, "node", line)? as u32,
+            txn_seq: num(&fields, "txn_seq", line)?,
+        },
+        "lock_granted" => ObsEvent::LockGranted {
+            node: num(&fields, "node", line)? as u32,
+            txn_seq: num(&fields, "txn_seq", line)?,
+        },
+        "committed" => ObsEvent::Committed {
+            cause: cause_of(&fields, line)?,
+            node: num(&fields, "node", line)? as u32,
+            txn_seq: num(&fields, "txn_seq", line)?,
+        },
+        "broadcast_sent" => ObsEvent::BroadcastSent {
+            cause: cause_of(&fields, line)?,
+            recipients: num(&fields, "recipients", line)? as u32,
+        },
+        "held_back" => ObsEvent::HeldBack {
+            cause: cause_of(&fields, line)?,
+            node: num(&fields, "node", line)? as u32,
+        },
+        "installed" => ObsEvent::Installed {
+            cause: cause_of(&fields, line)?,
+            node: num(&fields, "node", line)? as u32,
+        },
+        "aborted" => ObsEvent::Aborted {
+            node: num(&fields, "node", line)? as u32,
+            fragment: num(&fields, "fragment", line)? as u32,
+            txn_seq: num(&fields, "txn_seq", line)?,
+        },
+        "batch_discarded" => ObsEvent::BatchDiscarded {
+            cause: cause_of(&fields, line)?,
+        },
+        "retransmit" => ObsEvent::Retransmit {
+            from: num(&fields, "from", line)? as u32,
+            to: num(&fields, "to", line)? as u32,
+        },
+        "move_requested" => ObsEvent::MoveRequested {
+            fragment: num(&fields, "fragment", line)? as u32,
+            from: num(&fields, "from", line)? as u32,
+            to: num(&fields, "to", line)? as u32,
+        },
+        "token_arrived" => ObsEvent::TokenArrived {
+            fragment: num(&fields, "fragment", line)? as u32,
+        },
+        "move_aborted" => ObsEvent::MoveAborted {
+            fragment: num(&fields, "fragment", line)? as u32,
+            from: num(&fields, "from", line)? as u32,
+            to: num(&fields, "to", line)? as u32,
+        },
+        "election_started" => ObsEvent::ElectionStarted {
+            fragment: num(&fields, "fragment", line)? as u32,
+        },
+        "token_recovered" => ObsEvent::TokenRecovered {
+            fragment: num(&fields, "fragment", line)? as u32,
+        },
+        "election_aborted" => ObsEvent::ElectionAborted {
+            fragment: num(&fields, "fragment", line)? as u32,
+            home_alive: fields.iter().any(|(k, v)| {
+                *k == "reason" && matches!(v, FlatValue::Str(s) if *s == "home_alive")
+            }),
+        },
+        // Open-ended event set: unknown or span-irrelevant events skip.
+        _ => return Ok(None),
+    };
+    Ok(Some(ObsRecord { at, ev }))
+}
+
+/// Parse a whole JSONL export into span-relevant records, skipping
+/// comments and span-irrelevant events.
+pub fn parse_jsonl(text: &str) -> Result<Vec<ObsRecord>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(r) = parse_line(line)? {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commit_line() {
+        let r = parse_line(
+            "{\"at_micros\":12,\"event\":\"committed\",\"fragment\":2,\"epoch\":1,\"frag_seq\":7,\"node\":4,\"txn_seq\":9}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.at, 12);
+        assert_eq!(
+            r.ev,
+            ObsEvent::Committed {
+                cause: CausalId {
+                    fragment: 2,
+                    epoch: 1,
+                    frag_seq: 7
+                },
+                node: 4,
+                txn_seq: 9,
+            }
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_unknown_events() {
+        assert_eq!(parse_line("# 3 earlier events dropped").unwrap(), None);
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(
+            parse_line("{\"at_micros\":1,\"event\":\"crash\",\"node\":0}").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("{\"event\":\"committed\"}").is_err());
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"at_micros\":x,\"event\":\"committed\"}").is_err());
+    }
+
+    #[test]
+    fn telemetry_and_jsonl_projections_agree() {
+        use fragdb_sim::SimTime;
+        let recs = [
+            TelemetryRecord {
+                at: SimTime(5),
+                event: TelemetryEvent::Initiated {
+                    node: 1,
+                    fragment: 0,
+                    txn_seq: 3,
+                },
+            },
+            TelemetryRecord {
+                at: SimTime(9),
+                event: TelemetryEvent::Delivered {
+                    from: 0,
+                    to: 1,
+                    kind: "quasi",
+                },
+            },
+            TelemetryRecord {
+                at: SimTime(11),
+                event: TelemetryEvent::HeldBack {
+                    cause: CausalId {
+                        fragment: 0,
+                        epoch: 0,
+                        frag_seq: 2,
+                    },
+                    node: 2,
+                    depth: 1,
+                },
+            },
+        ];
+        let direct: Vec<ObsRecord> = recs.iter().filter_map(ObsRecord::from_telemetry).collect();
+        let jsonl: String = recs
+            .iter()
+            .map(|r| r.to_json_line() + "\n")
+            .collect::<String>();
+        assert_eq!(direct, parse_jsonl(&jsonl).unwrap());
+    }
+}

@@ -1,0 +1,240 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # fragdb-obs — span reconstruction and critical-path profiling
+//!
+//! Pure, replayable observability over the telemetry stream: the same
+//! `TelemetryEvent`s the simulator already emits (or their JSONL
+//! export) are grouped by causal id `(fragment, epoch, frag_seq)` into
+//! per-commit **span trees** — submission queue wait, §4.1 lock wait,
+//! execution, then one network + hold-back leg per replica install.
+//!
+//! On top of the spans sit:
+//!
+//! * a **critical-path profiler** ([`SpanReport::critical_path`],
+//!   [`critical::attribution_table`]) answering "which phase made the
+//!   slowest replica late" per commit, and
+//! * a deterministic **folded-stack** renderer ([`critical::folded`])
+//!   whose output is byte-identical for a given seed.
+//!
+//! Reconstruction is a pure function of the event stream: feeding the
+//! in-memory records and feeding the parsed JSONL export of the same
+//! run produce identical reports ([`SpanReport::from_records`] /
+//! [`SpanReport::from_jsonl`]). Ring-evicted commits surface as
+//! explicit [`span::SpanStatus::Truncated`] spans — counted, never
+//! silently dropped.
+
+pub mod critical;
+pub mod event;
+pub mod span;
+
+pub use critical::{attribution_table, folded, span_lines, validate_folded};
+pub use event::{parse_jsonl, ObsEvent, ObsRecord};
+pub use span::{CommitSpan, InstallLeg, QueueAttr, SpanReport, SpanStatus};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragdb_sim::Metrics;
+
+    fn line(at: u64, body: &str) -> String {
+        format!("{{\"at_micros\":{at},{body}}}")
+    }
+
+    /// A hand-built stream: one queued+locked commit to 2 replicas with
+    /// one retransmitted leg, plus one truncated install.
+    fn sample_stream() -> String {
+        let l = vec![
+            line(10, "\"event\":\"submission_queued\",\"fragment\":7"),
+            line(
+                40,
+                "\"event\":\"initiated\",\"node\":0,\"fragment\":7,\"txn_seq\":3",
+            ),
+            line(
+                41,
+                "\"event\":\"lock_wait_started\",\"node\":0,\"fragment\":7,\"txn_seq\":3,\"sites\":2",
+            ),
+            line(
+                55,
+                "\"event\":\"lock_granted\",\"node\":0,\"fragment\":7,\"txn_seq\":3",
+            ),
+            line(
+                60,
+                "\"event\":\"committed\",\"fragment\":7,\"epoch\":1,\"frag_seq\":5,\"node\":0,\"txn_seq\":3",
+            ),
+            line(
+                60,
+                "\"event\":\"broadcast_sent\",\"fragment\":7,\"epoch\":1,\"frag_seq\":5,\"node\":0,\"recipients\":2",
+            ),
+            line(
+                60,
+                "\"event\":\"installed\",\"fragment\":7,\"epoch\":1,\"frag_seq\":5,\"node\":0",
+            ),
+            line(
+                70,
+                "\"event\":\"retransmit\",\"from\":0,\"to\":2,\"count\":1",
+            ),
+            line(
+                80,
+                "\"event\":\"installed\",\"fragment\":7,\"epoch\":1,\"frag_seq\":5,\"node\":1",
+            ),
+            line(
+                90,
+                "\"event\":\"held_back\",\"fragment\":7,\"epoch\":1,\"frag_seq\":5,\"node\":2,\"depth\":1",
+            ),
+            line(
+                95,
+                "\"event\":\"installed\",\"fragment\":7,\"epoch\":1,\"frag_seq\":5,\"node\":2",
+            ),
+            // Truncated: an install whose commit was ring-evicted.
+            line(
+                99,
+                "\"event\":\"installed\",\"fragment\":2,\"epoch\":0,\"frag_seq\":1,\"node\":4",
+            ),
+        ];
+        l.join("\n") + "\n"
+    }
+
+    #[test]
+    fn sample_stream_reconstructs_expected_span() {
+        let report = SpanReport::from_jsonl(&sample_stream()).unwrap();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.complete, 1);
+        assert_eq!(report.truncated, 1);
+
+        let s = &report.spans[1];
+        assert_eq!(s.cause.fragment, 7);
+        assert_eq!(s.status, SpanStatus::Complete);
+        assert_eq!(s.queue_us, 30);
+        assert_eq!(s.lock_wait_us, 14);
+        assert_eq!(s.exec_us, 6);
+        assert_eq!(s.legs.len(), 3);
+        // Home leg: zero net, zero holdback.
+        assert_eq!(s.legs[0].node, 0);
+        assert_eq!(s.legs[0].net_us, 0);
+        // Node 1: clean 20us leg.
+        assert_eq!(s.legs[1].net_us, 20);
+        assert!(!s.legs[1].retransmitted);
+        // Node 2: retransmitted, arrived (held back) at 90, installed 95.
+        assert!(s.legs[2].retransmitted);
+        assert_eq!(s.legs[2].net_us, 30);
+        assert_eq!(s.legs[2].holdback_us, 5);
+
+        // Critical path ends at the last install (node 2).
+        let path = SpanReport::critical_path(s);
+        assert_eq!(
+            path,
+            vec![
+                ("queue", 30),
+                ("lock_wait", 14),
+                ("exec", 6),
+                ("retransmit", 30),
+                ("holdback", 5)
+            ]
+        );
+        // Tie between queue and retransmit durations broken toward the
+        // earlier pipeline stage.
+        assert_eq!(report.critical.get("queue"), Some(&(1, 30)));
+    }
+
+    #[test]
+    fn folded_output_is_valid_and_deterministic() {
+        let a = folded(&SpanReport::from_jsonl(&sample_stream()).unwrap());
+        let b = folded(&SpanReport::from_jsonl(&sample_stream()).unwrap());
+        assert_eq!(a, b);
+        validate_folded(&a).unwrap();
+        assert!(a.contains("commit;net;retransmit 30\n"));
+        assert!(a.contains("commit;queue;wait 30\n"));
+        // No election/token-move leaves in a fault-free stream.
+        assert!(!a.contains("election"));
+
+        validate_folded("").unwrap_err();
+        validate_folded("commit;bogus 3\n").unwrap_err();
+        validate_folded("commit;queue;wait x\n").unwrap_err();
+        validate_folded("commit;queue;wait 1\ncommit;exec 1\n").unwrap_err();
+    }
+
+    #[test]
+    fn publish_sets_registered_keys() {
+        let report = SpanReport::from_jsonl(&sample_stream()).unwrap();
+        let mut m = Metrics::new();
+        report.publish(&mut m);
+        assert_eq!(m.counter("telemetry.spans_truncated"), 1);
+        let h = m.histogram("obs.critical_path.len").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(5));
+        assert!(m.histogram("span.phase.retransmit").is_some());
+        assert!(m.histogram("span.phase.holdback").is_some());
+    }
+
+    #[test]
+    fn abort_before_initiation_retires_the_queue_slot() {
+        // Two submissions queue on fragment 3; the first aborts without
+        // ever initiating (home crash drain), the second commits.
+        let l = [
+            line(5, "\"event\":\"submission_queued\",\"fragment\":3"),
+            line(9, "\"event\":\"submission_queued\",\"fragment\":3"),
+            line(
+                20,
+                "\"event\":\"aborted\",\"node\":1,\"fragment\":3,\"txn_seq\":0,\"reason\":\"node_down\"",
+            ),
+            line(
+                30,
+                "\"event\":\"initiated\",\"node\":1,\"fragment\":3,\"txn_seq\":1",
+            ),
+            line(
+                44,
+                "\"event\":\"committed\",\"fragment\":3,\"epoch\":0,\"frag_seq\":0,\"node\":1,\"txn_seq\":1",
+            ),
+        ];
+        let text = l.join("\n") + "\n";
+        let report = SpanReport::from_jsonl(&text).unwrap();
+        let s = &report.spans[0];
+        // The surviving commit pairs with the SECOND queue entry (9→30),
+        // not the aborted first one.
+        assert_eq!(s.queue_us, 21);
+        assert_eq!(s.exec_us, 14);
+    }
+
+    #[test]
+    fn queue_wait_overlapping_election_window_is_attributed() {
+        let l = [
+            line(5, "\"event\":\"submission_queued\",\"fragment\":1"),
+            line(
+                10,
+                "\"event\":\"election_started\",\"fragment\":1,\"candidate\":2,\"epoch\":1",
+            ),
+            line(
+                90,
+                "\"event\":\"token_recovered\",\"fragment\":1,\"node\":2,\"epoch\":2,\"frag_seq\":0",
+            ),
+            line(
+                100,
+                "\"event\":\"initiated\",\"node\":2,\"fragment\":1,\"txn_seq\":0",
+            ),
+            line(
+                110,
+                "\"event\":\"committed\",\"fragment\":1,\"epoch\":2,\"frag_seq\":1,\"node\":2,\"txn_seq\":0",
+            ),
+        ];
+        let report = SpanReport::from_jsonl(&(l.join("\n") + "\n")).unwrap();
+        let s = &report.spans[0];
+        assert_eq!(s.queue_attr, QueueAttr::Election);
+        assert_eq!(s.queue_us, 95);
+        let f = folded(&report);
+        assert!(f.contains("commit;queue;election 95\n"));
+    }
+
+    #[test]
+    fn attribution_table_mentions_every_dominating_phase() {
+        let report = SpanReport::from_jsonl(&sample_stream()).unwrap();
+        let table = attribution_table(&report);
+        assert!(table.contains("over 1 committed spans"));
+        assert!(table.contains("1 truncated"));
+        assert!(table.contains("queue"));
+        let lines = span_lines(&report);
+        assert!(lines.contains("frag=7"));
+        assert!(lines.contains("status=Complete"));
+        assert!(lines.contains("status=Truncated"));
+    }
+}

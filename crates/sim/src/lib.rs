@@ -34,7 +34,7 @@ pub mod trace;
 mod wheel;
 
 pub use engine::{Engine, TimerToken};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, QuantileSketch};
 pub use metrics::Metrics;
 pub use rng::SimRng;
 pub use telemetry::{CausalId, Telemetry, TelemetryEvent, TelemetryRecord};

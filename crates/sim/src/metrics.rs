@@ -139,6 +139,13 @@ pub mod keys {
     /// Queued-behind-a-move wait (µs).
     pub const LATENCY_MOVE_WAIT: &str = "latency.move_wait";
 
+    /// Commit spans that span reconstruction could only partially rebuild
+    /// because ring-buffer eviction discarded their commit-side events.
+    pub const TELEMETRY_SPANS_TRUNCATED: &str = "telemetry.spans_truncated";
+    /// Histogram of per-commit critical-path length (number of nonzero
+    /// phase segments on the longest chain to the last install).
+    pub const OBS_CRITICAL_PATH_LEN: &str = "obs.critical_path.len";
+
     /// Every fixed key, for exhaustive registration checks.
     pub const ALL: &[&str] = &[
         SIM_EVENTS,
@@ -192,6 +199,8 @@ pub mod keys {
         LATENCY_RECOVERY,
         LATENCY_PROPAGATION,
         LATENCY_MOVE_WAIT,
+        TELEMETRY_SPANS_TRUNCATED,
+        OBS_CRITICAL_PATH_LEN,
     ];
 
     /// Wire names of the system's message envelopes (the `msg.<kind>`
@@ -224,6 +233,20 @@ pub mod keys {
     pub const FRAG_PROBES: &[&str] = &["lag", "queue", "move_stall", "unavail_window"];
     /// Probe suffixes of the `node.<n>.<probe>` dimension.
     pub const NODE_PROBES: &[&str] = &["staleness", "holdback"];
+    /// Phase names of the `span.phase.<p>` dimension — one duration
+    /// histogram per reconstructed commit-span phase. `queue` splits into
+    /// `token_move`/`election` when the wait overlapped an open move or
+    /// election window; `net` splits out `retransmit` legs.
+    pub const SPAN_PHASES: &[&str] = &[
+        "queue",
+        "token_move",
+        "election",
+        "lock_wait",
+        "exec",
+        "net",
+        "retransmit",
+        "holdback",
+    ];
 
     /// Whether `key` is `<prefix><digits>.<suffix>` for one of `suffixes`
     /// (the prefix includes its trailing dot, e.g. `"frag."`).
@@ -248,6 +271,11 @@ pub mod keys {
         }
         if let Some(kind) = key.strip_prefix("msg.") {
             return MSG_KINDS.contains(&kind);
+        }
+        // `span.phase.<p>` is dimensioned by phase *name*, not by a numeric
+        // index, so it gets its own rule instead of `dim_matches`.
+        if let Some(phase) = key.strip_prefix("span.phase.") {
+            return SPAN_PHASES.contains(&phase);
         }
         dim_matches(key, "frag.", FRAG_PROBES) || dim_matches(key, "node.", NODE_PROBES)
     }
@@ -293,6 +321,22 @@ pub mod keys {
             assert!(is_registered(WORKLOAD_OFFERED_RATE));
             assert!(!is_registered("engine.pool.bogus"));
             assert!(!is_registered("workload.bogus"));
+        }
+
+        #[test]
+        fn span_phase_dimension_is_fully_covered() {
+            assert!(is_registered(TELEMETRY_SPANS_TRUNCATED));
+            assert!(is_registered(OBS_CRITICAL_PATH_LEN));
+            for p in SPAN_PHASES {
+                let key = format!("span.phase.{p}");
+                assert!(is_registered(&key), "{key} should be registered");
+            }
+            // Unknown phase names and malformed span keys stay strict.
+            assert!(!is_registered("span.phase.bogus"));
+            assert!(!is_registered("span.phase."));
+            assert!(!is_registered("span.phase.net.extra"));
+            assert!(!is_registered("span.bogus.net"));
+            assert!(!is_registered("obs.critical_path.bogus"));
         }
 
         #[test]

@@ -26,6 +26,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use crate::histogram::QuantileSketch;
 use crate::metrics::Metrics;
 use crate::time::SimTime;
 
@@ -57,6 +58,10 @@ pub enum TelemetryEvent {
         node: u32,
         /// Fragment the transaction runs against.
         fragment: u32,
+        /// The node-local transaction sequence number the submission runs
+        /// under — pairs initiation with the eventual `Committed` /
+        /// `Aborted` carrying the same `(node, txn_seq)`.
+        txn_seq: u64,
     },
     /// A quasi-transaction committed at the fragment's agent home.
     Committed {
@@ -64,6 +69,10 @@ pub enum TelemetryEvent {
         cause: CausalId,
         /// Agent home where the commit happened.
         node: u32,
+        /// Node-local sequence of the committing transaction at its origin
+        /// — joins the commit back to its `Initiated` (and any
+        /// `LockWaitStarted`/`LockGranted` pair) for span reconstruction.
+        txn_seq: u64,
     },
     /// The committed quasi-transaction was broadcast to replicas.
     BroadcastSent {
@@ -89,6 +98,9 @@ pub enum TelemetryEvent {
         node: u32,
         /// Fragment of the aborted transaction.
         fragment: u32,
+        /// Node-local sequence of the aborted transaction at its origin —
+        /// closes the `Initiated`/`LockWaitStarted` pair for spans.
+        txn_seq: u64,
         /// Abort reason, matching the `abort.*` metric suffixes.
         reason: &'static str,
     },
@@ -105,12 +117,36 @@ pub enum TelemetryEvent {
     },
     /// An out-of-order quasi-transaction was held back at a replica.
     HeldBack {
+        /// Causal id of the held-back quasi-transaction — lets span
+        /// reconstruction split the replica hop into network time
+        /// (commit→arrival) and hold-back time (arrival→install).
+        cause: CausalId,
         /// Node holding the update back.
         node: u32,
-        /// Fragment concerned.
-        fragment: u32,
         /// Hold-back buffer depth after insertion.
         depth: u64,
+    },
+    /// A §4.1 transaction began acquiring read/exclusive locks (2PC-style
+    /// lock-site round). Paired with `LockGranted` by `(node, txn_seq)`.
+    LockWaitStarted {
+        /// Home node of the acquiring transaction.
+        node: u32,
+        /// Fragment the transaction updates (or reads, for read-only).
+        fragment: u32,
+        /// Node-local sequence of the acquiring transaction.
+        txn_seq: u64,
+        /// Number of *remote* lock sites contacted (0 = all-local).
+        sites: u32,
+    },
+    /// All locks for the transaction are held; execution proceeds. Ends
+    /// the `LockWaitStarted` phase opened by the same `(node, txn_seq)`.
+    LockGranted {
+        /// Home node of the acquiring transaction.
+        node: u32,
+        /// Fragment the transaction updates (or reads, for read-only).
+        fragment: u32,
+        /// Node-local sequence of the acquiring transaction.
+        txn_seq: u64,
     },
     /// A submission queued behind a move / majority commit / 2PC.
     SubmissionQueued {
@@ -258,6 +294,8 @@ impl TelemetryEvent {
             TelemetryEvent::Aborted { .. } => "aborted",
             TelemetryEvent::ReadObserved { .. } => "read_observed",
             TelemetryEvent::HeldBack { .. } => "held_back",
+            TelemetryEvent::LockWaitStarted { .. } => "lock_wait_started",
+            TelemetryEvent::LockGranted { .. } => "lock_granted",
             TelemetryEvent::SubmissionQueued { .. } => "submission_queued",
             TelemetryEvent::MoveRequested { .. } => "move_requested",
             TelemetryEvent::TokenArrived { .. } => "token_arrived",
@@ -328,13 +366,23 @@ impl TelemetryRecord {
         out.push_str(self.event.name());
         out.push('"');
         match &self.event {
-            TelemetryEvent::Initiated { node, fragment } => {
+            TelemetryEvent::Initiated {
+                node,
+                fragment,
+                txn_seq,
+            } => {
                 push_field(&mut out, "node", u64::from(*node));
                 push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "txn_seq", *txn_seq);
             }
-            TelemetryEvent::Committed { cause, node } => {
+            TelemetryEvent::Committed {
+                cause,
+                node,
+                txn_seq,
+            } => {
                 push_cause(&mut out, cause);
                 push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "txn_seq", *txn_seq);
             }
             TelemetryEvent::BroadcastSent {
                 cause,
@@ -352,10 +400,12 @@ impl TelemetryRecord {
             TelemetryEvent::Aborted {
                 node,
                 fragment,
+                txn_seq,
                 reason,
             } => {
                 push_field(&mut out, "node", u64::from(*node));
                 push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "txn_seq", *txn_seq);
                 push_str_field(&mut out, "reason", reason);
             }
             TelemetryEvent::ReadObserved {
@@ -369,14 +419,30 @@ impl TelemetryRecord {
                 push_field(&mut out, "seen_seq", *seen_seq);
                 push_field(&mut out, "agent_seq", *agent_seq);
             }
-            TelemetryEvent::HeldBack {
+            TelemetryEvent::HeldBack { cause, node, depth } => {
+                push_cause(&mut out, cause);
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "depth", *depth);
+            }
+            TelemetryEvent::LockWaitStarted {
                 node,
                 fragment,
-                depth,
+                txn_seq,
+                sites,
             } => {
                 push_field(&mut out, "node", u64::from(*node));
                 push_field(&mut out, "fragment", u64::from(*fragment));
-                push_field(&mut out, "depth", *depth);
+                push_field(&mut out, "txn_seq", *txn_seq);
+                push_field(&mut out, "sites", u64::from(*sites));
+            }
+            TelemetryEvent::LockGranted {
+                node,
+                fragment,
+                txn_seq,
+            } => {
+                push_field(&mut out, "node", u64::from(*node));
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "txn_seq", *txn_seq);
             }
             TelemetryEvent::SubmissionQueued { fragment, depth } => {
                 push_field(&mut out, "fragment", u64::from(*fragment));
@@ -524,6 +590,12 @@ pub struct Probes {
     commit_at: BTreeMap<CausalId, SimTime>,
     move_started: BTreeMap<u32, (SimTime, u32, u32)>,
     unavail_started: BTreeMap<u32, SimTime>,
+    /// Merged commit→install lag across all fragments, recorded online at
+    /// observation time — exact even after ring-buffer eviction, bounded
+    /// memory at any cardinality. The scale runner reads its headline
+    /// p50/p99 from here; per-fragment exact histograms remain the
+    /// differential oracle.
+    lag_sketch: QuantileSketch,
 }
 
 impl Probes {
@@ -541,6 +613,7 @@ impl Probes {
                     let lag = at.micros().saturating_sub(t0.micros());
                     let key = self.keys.key("frag", cause.fragment, "lag");
                     metrics.observe_named(key, lag);
+                    self.lag_sketch.record(lag);
                 }
             }
             TelemetryEvent::ReadObserved {
@@ -620,6 +693,12 @@ impl Probes {
     /// Number of distinct dimensioned keys formatted so far.
     pub fn interned_keys(&self) -> u64 {
         self.keys.interned()
+    }
+
+    /// The merged commit→install lag sketch (all fragments, all installs
+    /// joined so far). Exact in count/sum/min/max; quantiles within 2⁻⁵.
+    pub fn lag_sketch(&self) -> &QuantileSketch {
+        &self.lag_sketch
     }
 }
 
@@ -778,7 +857,11 @@ mod tests {
         let c = cause(3, 7);
         t.record(
             SimTime::from_millis(10),
-            TelemetryEvent::Committed { cause: c, node: 0 },
+            TelemetryEvent::Committed {
+                cause: c,
+                node: 0,
+                txn_seq: 0,
+            },
             &mut m,
         );
         t.record(
@@ -987,7 +1070,11 @@ mod tests {
         let c = cause(1, 4);
         t.record(
             SimTime(0),
-            TelemetryEvent::Committed { cause: c, node: 0 },
+            TelemetryEvent::Committed {
+                cause: c,
+                node: 0,
+                txn_seq: 0,
+            },
             &mut m,
         );
         t.record(
@@ -1095,12 +1182,89 @@ mod tests {
             event: TelemetryEvent::Committed {
                 cause: cause(2, 11),
                 node: 4,
+                txn_seq: 9,
             },
         };
         assert_eq!(
             r.to_json_line(),
-            "{\"at_micros\":0,\"event\":\"committed\",\"fragment\":2,\"epoch\":0,\"frag_seq\":11,\"node\":4}"
+            "{\"at_micros\":0,\"event\":\"committed\",\"fragment\":2,\"epoch\":0,\"frag_seq\":11,\"node\":4,\"txn_seq\":9}"
         );
+        let r = TelemetryRecord {
+            at: SimTime(3),
+            event: TelemetryEvent::HeldBack {
+                cause: cause(1, 6),
+                node: 2,
+                depth: 4,
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":3,\"event\":\"held_back\",\"fragment\":1,\"epoch\":0,\"frag_seq\":6,\"node\":2,\"depth\":4}"
+        );
+    }
+
+    #[test]
+    fn lock_pair_events_serialize_flat() {
+        let r = TelemetryRecord {
+            at: SimTime(10),
+            event: TelemetryEvent::LockWaitStarted {
+                node: 1,
+                fragment: 2,
+                txn_seq: 5,
+                sites: 3,
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":10,\"event\":\"lock_wait_started\",\"node\":1,\"fragment\":2,\"txn_seq\":5,\"sites\":3}"
+        );
+        let r = TelemetryRecord {
+            at: SimTime(20),
+            event: TelemetryEvent::LockGranted {
+                node: 1,
+                fragment: 2,
+                txn_seq: 5,
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":20,\"event\":\"lock_granted\",\"node\":1,\"fragment\":2,\"txn_seq\":5}"
+        );
+    }
+
+    #[test]
+    fn lag_sketch_tracks_the_probe_histograms() {
+        use crate::histogram::Histogram;
+        let mut t = Telemetry::bounded(2); // tiny ring: eviction is constant
+        let mut m = Metrics::new();
+        for seq in 0..8u64 {
+            let c = cause((seq % 2) as u32, seq);
+            t.record(
+                SimTime(1_000 * seq),
+                TelemetryEvent::Committed {
+                    cause: c,
+                    node: 0,
+                    txn_seq: seq,
+                },
+                &mut m,
+            );
+            t.record(
+                SimTime(1_000 * seq + 250 * (seq + 1)),
+                TelemetryEvent::Installed { cause: c, node: 1 },
+                &mut m,
+            );
+        }
+        // The merged sketch saw every install despite ring eviction, and
+        // its exact moments equal the union of the per-frag histograms.
+        let s = t.probes().lag_sketch();
+        let mut union = Histogram::new();
+        union.merge(m.histogram("frag.0.lag").unwrap());
+        union.merge(m.histogram("frag.1.lag").unwrap());
+        assert_eq!(s.count(), union.count());
+        assert_eq!(s.sum(), union.sum());
+        assert_eq!(s.min(), union.min());
+        assert_eq!(s.max(), union.max());
+        assert!(t.dropped() > 0, "ring must actually have wrapped");
     }
 
     #[test]
@@ -1112,7 +1276,11 @@ mod tests {
         let c = cause(0, 0);
         t.record(
             SimTime(0),
-            TelemetryEvent::Committed { cause: c, node: 0 },
+            TelemetryEvent::Committed {
+                cause: c,
+                node: 0,
+                txn_seq: 0,
+            },
             &mut m,
         );
         t.record(

@@ -74,6 +74,7 @@ pub use fragdb_harness as harness;
 pub use fragdb_mc as mc;
 pub use fragdb_model as model;
 pub use fragdb_net as net;
+pub use fragdb_obs as obs;
 pub use fragdb_sim as sim;
 pub use fragdb_storage as storage;
 pub use fragdb_workloads as workloads;
