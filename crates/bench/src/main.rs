@@ -1,7 +1,7 @@
 //! `fragdb-bench` — the performance-trajectory runner.
 //!
 //! Reproduces the before/after numbers for the performance passes, at
-//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr9.json`:
+//! 4/16/64 nodes, and writes them to a machine-readable `BENCH_pr10.json`:
 //!
 //! * **payload broadcast** — a commit's payload is materialized once
 //!   (`payload.clones`) and every downstream copy is an `Arc` bump
@@ -42,6 +42,15 @@
 //!   map-of-records `digest_all` vs the dense flat-index `Store`). At
 //!   the million-entry row both speedups are asserted ≥ 3× at
 //!   generation time.
+//! * **partial replication** — full fan-out versus the telemetry-driven
+//!   fragment allocator (§6), on the scale node axis: identical
+//!   Zipf-skewed open-loop arrivals with per-fragment heavy writers and
+//!   reader clusters, run once fully replicated and once after the
+//!   allocator migrates tokens to the writers (§4.4.2 moves) and
+//!   shrinks replica sets to factor 3 around the readers. Reports
+//!   messages/commit, commit→install lag, and read staleness for both
+//!   arms; at the largest row the messages/commit reduction is asserted
+//!   ≥ 4× at generation time.
 //!
 //! All workload numbers (events, messages, clone/share counts, checker
 //! edge insertions) are deterministic virtual-time metrics; only the
@@ -54,7 +63,7 @@
 //!   fragdb-bench compare BASE CAND [--threshold PCT]
 //!                                         regression-gate CAND against BASE
 //!
-//! `compare` loads two reports (any schema pr3–pr9), matches section rows
+//! `compare` loads two reports (any schema pr3–pr10), matches section rows
 //! by node count, and prints per-field deltas. Deterministic virtual-time
 //! and count fields are *gated*: a monitored field that degrades by more
 //! than the threshold (default 20%) fails the comparison (exit 1). When
@@ -77,6 +86,7 @@ use fragdb_sim::{SimDuration, SimRng, SimTime, Telemetry};
 use fragdb_storage::{Wal, WalEntry};
 use fragdb_workloads::{arrivals, partitions};
 
+use fragdb_harness::partial as hpartial;
 use fragdb_harness::scale as hscale;
 
 const SEED: u64 = 42;
@@ -150,7 +160,7 @@ const QUICK: Scale = Scale {
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr9.json");
+    let mut out = String::from("BENCH_pr10.json");
     let mut validate: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("compare") {
@@ -224,7 +234,7 @@ fn main() {
 fn generate(scale: &Scale) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"fragdb-bench-pr9/v1\",\n");
+    j.push_str("  \"schema\": \"fragdb-bench-pr10/v1\",\n");
     let _ = writeln!(j, "  \"mode\": \"{}\",", scale.mode);
     let _ = writeln!(j, "  \"seed\": {SEED},");
     j.push_str("  \"node_counts\": [4, 16, 64],\n");
@@ -332,6 +342,21 @@ fn generate(scale: &Scale) -> String {
             }
         );
     }
+    j.push_str("  ],\n");
+
+    j.push_str("  \"partial_replication\": [\n");
+    for (i, &n) in scale.scale_nodes.iter().enumerate() {
+        let row = bench_partial(n, scale, n == scale.scale_nodes[2]);
+        let _ = writeln!(
+            j,
+            "    {row}{}",
+            if i + 1 < scale.scale_nodes.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
     j.push_str("  ]\n}\n");
     j
 }
@@ -350,13 +375,17 @@ fn bench_scale(n: u32, scale: &Scale) -> String {
         theta: 0.99,
         rate_per_sec: scale.scale_rate,
         horizon: SimDuration::from_secs(scale.scale_horizon_secs),
+        link_jitter: SimDuration::from_millis(1),
         seed: SEED,
     };
     let (_, stats) = hscale::run(&spec);
     assert!(stats.commits > 0, "scale run must commit at {n} nodes");
     assert!(
-        stats.lag_p99_us >= stats.lag_p50_us && stats.lag_p50_us > 0,
-        "scale run must observe install lag at {n} nodes"
+        stats.lag_p99_us > stats.lag_p50_us && stats.lag_p50_us > 0,
+        "jittered links must spread the lag percentiles at {n} nodes \
+         (p50={} p99={})",
+        stats.lag_p50_us,
+        stats.lag_p99_us
     );
     assert!(
         stats.spans >= stats.commits && stats.net_p50_us > 0,
@@ -504,6 +533,82 @@ fn bench_scale_kernels(n: u32, scale: &Scale) -> String {
         fmt_secs(btree_secs),
         fmt_secs(dense_secs),
         fmt_ratio(store_speedup),
+    )
+}
+
+/// Full replication versus the telemetry-driven allocator (§6) on the
+/// scale node axis: identical Zipf-skewed open-loop arrivals with a
+/// heavy writer and a two-node reader cluster per fragment, run once
+/// fully replicated and once after the allocator migrates tokens to the
+/// writers (§4.4.2B moves) and shrinks replica sets to factor 3 around
+/// the readers. Both arms commit the same workload; the allocated arm's
+/// per-commit broadcast reaches 2 peers instead of `n − 1`. At the
+/// largest row the messages/commit reduction must clear 4× — checked
+/// here, at generation time.
+fn bench_partial(n: u32, scale: &Scale, assert_reduction: bool) -> String {
+    let spec = hpartial::PartialSpec {
+        nodes: n,
+        fragments: 8,
+        objects_per_fragment: 16,
+        users: 1_000_000,
+        theta: 0.99,
+        rate_per_sec: scale.scale_rate,
+        phase: SimDuration::from_secs(scale.scale_horizon_secs),
+        link_jitter: SimDuration::from_millis(1),
+        replication_factor: 3,
+        readers_per_fragment: 2,
+        seed: SEED,
+    };
+    let stats = hpartial::run(&spec);
+    assert!(stats.full.commits > 0, "full arm must commit at {n} nodes");
+    assert_eq!(
+        stats.allocated.commits, stats.full.commits,
+        "both arms must commit the same workload at {n} nodes"
+    );
+    assert_eq!(
+        stats.allocated.replica_count, 3,
+        "allocator must converge at the replication factor at {n} nodes"
+    );
+    let reduction = stats.msgs_reduction_milli();
+    if assert_reduction {
+        assert!(
+            reduction >= 4000,
+            "partial replication must cut messages/commit >= 4x at {n} nodes \
+             (full={} alloc={} reduction={reduction} milli)",
+            stats.full.msgs_per_commit_milli,
+            stats.allocated.msgs_per_commit_milli,
+        );
+    }
+    let wall = criterion::median_secs(scale.samples, || {
+        criterion::black_box(hpartial::run(&spec));
+    });
+    format!(
+        "{{ \"nodes\": {n}, \"arrivals\": {}, \"commits\": {}, \"reads\": {}, \
+         \"full_messages\": {}, \"alloc_messages\": {}, \
+         \"full_msgs_per_commit_milli\": {}, \"alloc_msgs_per_commit_milli\": {}, \
+         \"msgs_reduction_milli\": {reduction}, \
+         \"full_lag_p50_us\": {}, \"full_lag_p99_us\": {}, \
+         \"alloc_lag_p50_us\": {}, \"alloc_lag_p99_us\": {}, \
+         \"full_staleness_max\": {}, \"alloc_staleness_max\": {}, \
+         \"migrations\": {}, \"shrinks\": {}, \"replica_count\": {}, \
+         \"wall_secs\": {} }}",
+        stats.full.arrivals,
+        stats.full.commits,
+        stats.full.reads,
+        stats.full.messages,
+        stats.allocated.messages,
+        stats.full.msgs_per_commit_milli,
+        stats.allocated.msgs_per_commit_milli,
+        stats.full.lag_p50_us,
+        stats.full.lag_p99_us,
+        stats.allocated.lag_p50_us,
+        stats.allocated.lag_p99_us,
+        stats.full.staleness_max,
+        stats.allocated.staleness_max,
+        stats.allocated.migrations,
+        stats.allocated.shrinks,
+        stats.allocated.replica_count,
+        fmt_secs(wall),
     )
 }
 
@@ -847,6 +952,12 @@ fn bench_checker(n: u32, scale: &Scale) -> String {
 /// t=10s and only returns after the workload ends. Run to quiescence; the
 /// quorum election must re-home the token and writes must flow again.
 ///
+/// The fragment declares a 5-node replica set (all nodes when `n < 5`),
+/// which gates detector heartbeats to replica-set peers: without it the
+/// 64-node row paid an O(n²) all-pairs heartbeat exchange that dominated
+/// wall time (24s at 64 nodes) even though only the fragment's replicas
+/// can ever vote in the §5 election.
+///
 /// Returns the system plus (commits before crash, commits after crash,
 /// first-suspicion virtual time in µs). The suspicion time is sampled by
 /// polling `detector.suspicions` in the drive loop rather than scanning
@@ -865,6 +976,7 @@ fn heal_run(n: u32, scale: &Scale) -> (System, u64, u64, u64) {
             .with_move_policy(MovePolicy::MajorityCommit {
                 timeout: SimDuration::from_secs(5),
             })
+            .with_replica_set(frag, (0..n.min(5)).map(NodeId))
             .with_detector(det),
     )
     .expect("valid system");
@@ -928,13 +1040,20 @@ fn bench_self_heal(n: u32, scale: &Scale) -> String {
         .histogram("frag.0.unavail_window")
         .and_then(|h| h.max())
         .expect("unavailability window must be observed");
+    // Heartbeats actually sent (replica-set gated) versus the modeled
+    // all-pairs count the same run would have paid before the gating:
+    // each of n nodes probing n-1 peers instead of k-1 replica peers.
+    let heartbeats = sys.engine.metrics.counter("detector.heartbeats");
+    let k = u64::from(n.min(5));
+    let heartbeats_full_mesh = heartbeats * (u64::from(n) * u64::from(n - 1)) / (k * (k - 1));
     let wall = criterion::median_secs(scale.samples, || {
         criterion::black_box(heal_run(n, scale));
     });
     format!(
         "{{ \"nodes\": {n}, \"commits_before\": {before}, \"commits_after\": {after}, \
          \"detection_us\": {detection_us}, \"election_rounds\": {rounds}, \
-         \"unavail_us\": {unavail_us}, \"wall_secs\": {} }}",
+         \"unavail_us\": {unavail_us}, \"heartbeats\": {heartbeats}, \
+         \"heartbeats_full_mesh\": {heartbeats_full_mesh}, \"wall_secs\": {} }}",
         fmt_secs(wall),
     )
 }
@@ -1058,6 +1177,7 @@ const MONITORED: &[(&str, &[Gate])] = &[
             gate_x("unavail_us", true),
             gate("election_rounds", true),
             gate("commits_after", false),
+            gate("heartbeats", true),
         ],
     ),
     ("model_check", &[gate("witness_len", true)]),
@@ -1074,7 +1194,23 @@ const MONITORED: &[(&str, &[Gate])] = &[
             gate("spans_truncated", true),
         ],
     ),
+    (
+        "partial_replication",
+        &[
+            gate("alloc_msgs_per_commit_milli", true),
+            gate("msgs_reduction_milli", false),
+            gate("alloc_lag_p99_us", true),
+        ],
+    ),
 ];
+
+/// Monitored fields whose zero baseline is a hard anchor: any growth from
+/// 0 is an unbounded regression (truncation counters must *stay* zero).
+/// Every other field treats a zero baseline as "no reference point" —
+/// e.g. `holdback_p99_us` was identically 0 before per-link jitter
+/// existed, and gating its first nonzero value as an infinite regression
+/// would freeze the metric at zero forever.
+const ZERO_ANCHORED: &[&str] = &["spans_truncated"];
 
 fn mode_of(text: &str) -> &'static str {
     if text.contains("\"mode\": \"quick\"") {
@@ -1145,9 +1281,9 @@ fn cmd_compare(base_path: &str, cand_path: &str, threshold: f64) {
                     } else {
                         -delta
                     }
-                } else if c > 0.0 && g.higher_is_worse {
-                    // A zero baseline growing (e.g. spans_truncated 0→n)
-                    // is an unbounded regression.
+                } else if c > 0.0 && g.higher_is_worse && ZERO_ANCHORED.contains(&g.field) {
+                    // A zero-anchored baseline growing (spans_truncated
+                    // 0→n) is an unbounded regression.
                     f64::INFINITY
                 } else {
                     0.0
@@ -1219,12 +1355,16 @@ fn fmt_ratio(r: f64) -> String {
 /// PR 6 schema (which adds `self_heal`), the PR 7 schema (which adds
 /// `model_check`, on its own 2/3/4-node axis), the PR 8 schema (which
 /// adds `scale` and `scale_kernels`, on their own large-mesh axis),
-/// and the PR 9 schema (which adds the span-phase decomposition to the
-/// `scale` rows). Hand-rolled because no JSON parser is available in
+/// the PR 9 schema (which adds the span-phase decomposition to the
+/// `scale` rows), and the PR 10 schema (which adds the
+/// `partial_replication` section on the large-mesh axis and the
+/// heartbeat columns to `self_heal`). Hand-rolled because no JSON
+/// parser is available in
 /// this build environment; the emitter above is the only producer, so
 /// the format is fully under our control.
 fn validate_report(text: &str) -> Result<String, String> {
-    let pr9 = text.contains("\"schema\": \"fragdb-bench-pr9/v1\"");
+    let pr10 = text.contains("\"schema\": \"fragdb-bench-pr10/v1\"");
+    let pr9 = pr10 || text.contains("\"schema\": \"fragdb-bench-pr9/v1\"");
     let pr8 = pr9 || text.contains("\"schema\": \"fragdb-bench-pr8/v1\"");
     let pr7 = text.contains("\"schema\": \"fragdb-bench-pr7/v1\"");
     let pr6 = text.contains("\"schema\": \"fragdb-bench-pr6/v1\"");
@@ -1233,7 +1373,7 @@ fn validate_report(text: &str) -> Result<String, String> {
     if !pr8 && !pr7 && !pr6 && !pr5 && !pr3 {
         return Err(
             "missing or unknown \"schema\" (expected fragdb-bench-pr3/v1, -pr5/v1, -pr6/v1, \
-             -pr7/v1, -pr8/v1, or -pr9/v1)"
+             -pr7/v1, -pr8/v1, -pr9/v1, or -pr10/v1)"
                 .into(),
         );
     }
@@ -1274,13 +1414,25 @@ fn validate_report(text: &str) -> Result<String, String> {
     if pr6 || pr7 || pr8 {
         sections.push((
             "self_heal",
-            &[
-                "commits_before",
-                "commits_after",
-                "detection_us",
-                "election_rounds",
-                "unavail_us",
-            ][..],
+            if pr10 {
+                &[
+                    "commits_before",
+                    "commits_after",
+                    "detection_us",
+                    "election_rounds",
+                    "unavail_us",
+                    "heartbeats",
+                    "heartbeats_full_mesh",
+                ][..]
+            } else {
+                &[
+                    "commits_before",
+                    "commits_after",
+                    "detection_us",
+                    "election_rounds",
+                    "unavail_us",
+                ][..]
+            },
         ));
     }
     if pr7 || pr8 {
@@ -1342,6 +1494,30 @@ fn validate_report(text: &str) -> Result<String, String> {
                 "store_objects",
                 "store_speedup",
                 "digests_per_sec",
+            ][..],
+        ));
+    }
+    if pr10 {
+        // Staleness columns are deliberately absent from the nonzero
+        // list: a fully converged run can legitimately observe 0.
+        sections.push((
+            "partial_replication",
+            &[
+                "arrivals",
+                "commits",
+                "reads",
+                "full_messages",
+                "alloc_messages",
+                "full_msgs_per_commit_milli",
+                "alloc_msgs_per_commit_milli",
+                "msgs_reduction_milli",
+                "full_lag_p50_us",
+                "full_lag_p99_us",
+                "alloc_lag_p50_us",
+                "alloc_lag_p99_us",
+                "migrations",
+                "shrinks",
+                "replica_count",
             ][..],
         ));
     }

@@ -19,6 +19,7 @@ pub fn check(input: &CheckInput) -> Report {
     out.extend(check_classes(input));
     out.extend(check_rag(input));
     out.extend(check_replication(input));
+    out.extend(check_partial_replication(input));
     out.extend(check_strategy_topology(input));
     out.extend(check_lock_order(input));
     out.extend(check_self_heal(input));
@@ -299,6 +300,84 @@ pub fn check_replication(input: &CheckInput) -> Vec<Diagnostic> {
                     .with_help(format!("add {home} to the replica set")),
                 );
             }
+        }
+    }
+    out
+}
+
+/// FDB060/FDB061/FDB062 — §6 partial-replication quality checks over the
+/// *declared* replica sets (malformedness itself is FDB034/FDB035's job):
+///
+/// * every replica must be reachable from the fragment's home with all
+///   links up, or it silently diverges from the first commit (FDB060);
+/// * an even-sized replica set under §4.4.1 majority commit pays an extra
+///   broadcast without tolerating an extra failure (FDB061);
+/// * a replica set naming every node is just full replication spelled
+///   out, so the fan-out reduction it suggests never happens (FDB062).
+pub fn check_partial_replication(input: &CheckInput) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let up = LinkState::all_up();
+    let n = input.topology.node_count();
+    for (&fragment, set) in &input.config.replica_sets {
+        if input.catalog.fragment(fragment).is_err() || set.is_empty() {
+            continue; // malformedness already reported (FDB035)
+        }
+        let valid: Vec<NodeId> = set.iter().copied().filter(|r| r.0 < n).collect();
+        let subject = format!("replica set of fragment {fragment}");
+        if let Some(home) = input.home_of(fragment) {
+            if home.0 < n && set.contains(&home) {
+                for &replica in &valid {
+                    if replica != home && !input.topology.connected(home, replica, &up) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::Fdb060,
+                                subject.clone(),
+                                format!(
+                                    "replica {replica} is unreachable from home {home} even \
+                                     with every link up — it can never receive an update \
+                                     and diverges from the first commit onward"
+                                ),
+                            )
+                            .with_help(format!(
+                                "add a link toward {replica}, or drop it from the replica set"
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+        if move_policy_for(input, fragment).needs_majority_commit()
+            && valid.len() >= 2
+            && valid.len().is_multiple_of(2)
+        {
+            out.push(
+                Diagnostic::new(
+                    Code::Fdb061,
+                    subject.clone(),
+                    format!(
+                        "even population of {} under §4.4.1 majority commit needs {} \
+                         acknowledgments — the same as {} replicas, so the extra \
+                         replica adds cost but no fault tolerance",
+                        valid.len(),
+                        valid.len() / 2 + 1,
+                        valid.len() - 1
+                    ),
+                )
+                .with_help("shrink to the odd size, or grow by two for real tolerance"),
+            );
+        }
+        if valid.len() as u32 == n {
+            out.push(
+                Diagnostic::new(
+                    Code::Fdb062,
+                    subject,
+                    format!(
+                        "replica set names all {n} nodes — identical to the \
+                         full-replication default, no fan-out is saved"
+                    ),
+                )
+                .with_help("drop the declaration, or shrink the set to the actual readers"),
+            );
         }
     }
     out

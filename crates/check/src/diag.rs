@@ -95,13 +95,27 @@ pub enum Code {
     /// bound: rounds abort and restart faster than a failure can even be
     /// confirmed, so elections livelock instead of converging (§5).
     Fdb053,
+    /// A replica in a fragment's replica set is unreachable from the
+    /// fragment's home even with every link up — the broadcast can never
+    /// deliver updates to it, so the replica diverges by construction
+    /// (§6).
+    Fdb060,
+    /// An even-sized replica set under §4.4.1 majority commit: the
+    /// majority threshold is the same as for the next-smaller odd set, so
+    /// the extra replica adds broadcast cost without adding fault
+    /// tolerance (§4.4.1/§6).
+    Fdb061,
+    /// A replica set that explicitly names every node in the topology:
+    /// equivalent to the full-replication default, so the declaration
+    /// buys no fan-out reduction (§6).
+    Fdb062,
 }
 
 impl Code {
     /// Every code the analyzer can emit, in numeric order. Tests assert
     /// this stays complete, so `--explain` can never lag behind a new
     /// check.
-    pub const ALL: [Code; 19] = [
+    pub const ALL: [Code; 22] = [
         Code::Fdb001,
         Code::Fdb002,
         Code::Fdb003,
@@ -121,6 +135,9 @@ impl Code {
         Code::Fdb051,
         Code::Fdb052,
         Code::Fdb053,
+        Code::Fdb060,
+        Code::Fdb061,
+        Code::Fdb062,
     ];
 
     /// Parse a code string such as `"FDB020"` (case-insensitive).
@@ -273,6 +290,36 @@ impl Code {
                  livelocking instead of recovering. Raise election_timeout to at least \
                  the detection bound."
             }
+            Code::Fdb060 => {
+                "Every replica in a fragment's replica set must be reachable from the \
+                 fragment's home with all links up (§6): the home's broadcast is the \
+                 only way updates reach a replica, so an unreachable replica never \
+                 receives a single update and diverges from the first commit onward. \
+                 Unlike FDB030 this can strike even when a majority is reachable — \
+                 commits keep succeeding while the cut-off replica silently rots, and a \
+                 later election or read at that node observes stale data (run \
+                 `fragdb-mc` for the divergence trace). Add links, or drop the \
+                 unreachable node from the replica set."
+            }
+            Code::Fdb061 => {
+                "A §4.4.1 majority over an even-sized replica set needs n/2 + 1 \
+                 acknowledgments — exactly the same threshold as the odd set one \
+                 smaller. The extra replica therefore adds one broadcast message per \
+                 commit and one more node that can be down, while tolerating no \
+                 additional failures: 4 replicas and 3 replicas both survive exactly \
+                 one. Shrink to the odd size (the fragment allocator's replication \
+                 factor does this automatically) or grow by two if more tolerance is \
+                 actually wanted."
+            }
+            Code::Fdb062 => {
+                "This replica set explicitly lists every node in the topology, which is \
+                 exactly the full-replication default a fragment gets with no replica \
+                 set declared (§6). The declaration is harmless but buys nothing: \
+                 broadcasts still fan out to all nodes and commits still pay the full \
+                 price the partial-replication machinery exists to avoid. Either drop \
+                 the declaration for clarity or shrink the set to the nodes that \
+                 actually read the fragment."
+            }
         }
     }
 
@@ -298,6 +345,9 @@ impl Code {
             Code::Fdb051 => "FDB051",
             Code::Fdb052 => "FDB052",
             Code::Fdb053 => "FDB053",
+            Code::Fdb060 => "FDB060",
+            Code::Fdb061 => "FDB061",
+            Code::Fdb062 => "FDB062",
         }
     }
 
@@ -309,17 +359,18 @@ impl Code {
             Code::Fdb020 | Code::Fdb021 | Code::Fdb022 => "§4.2",
             Code::Fdb030 => "§4.4.1",
             Code::Fdb031 | Code::Fdb040 => "§4.1",
-            Code::Fdb032 | Code::Fdb034 | Code::Fdb035 => "§6",
+            Code::Fdb032 | Code::Fdb034 | Code::Fdb035 | Code::Fdb060 | Code::Fdb062 => "§6",
             Code::Fdb033 => "§4.1/§4.4",
             Code::Fdb050 | Code::Fdb051 | Code::Fdb052 | Code::Fdb053 => "§5",
+            Code::Fdb061 => "§4.4.1/§6",
         }
     }
 
     /// The severity this code is always emitted at.
     pub fn severity(self) -> Severity {
         match self {
-            Code::Fdb011 | Code::Fdb021 => Severity::Info,
-            Code::Fdb022 | Code::Fdb040 | Code::Fdb051 => Severity::Warning,
+            Code::Fdb011 | Code::Fdb021 | Code::Fdb062 => Severity::Info,
+            Code::Fdb022 | Code::Fdb040 | Code::Fdb051 | Code::Fdb061 => Severity::Warning,
             _ => Severity::Error,
         }
     }

@@ -31,8 +31,8 @@ mod input;
 
 pub use admission::{admit, build_admitted, AdmissionError, AdmissionPolicy};
 pub use checks::{
-    check, check_classes, check_fragment_disjointness, check_lock_order, check_rag,
-    check_replication, check_self_heal, check_strategy_topology, check_tokens,
+    check, check_classes, check_fragment_disjointness, check_lock_order, check_partial_replication,
+    check_rag, check_replication, check_self_heal, check_strategy_topology, check_tokens,
 };
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use input::{CheckInput, ClassDecl};

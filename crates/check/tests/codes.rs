@@ -622,3 +622,129 @@ fn fdb05x_self_heal_admission() {
         Code::Fdb050 | Code::Fdb051 | Code::Fdb052 | Code::Fdb053
     )));
 }
+
+#[test]
+fn fdb060_unreachable_replica_diverges() {
+    // Nodes 0-1 linked; node 2 is an island but still claims a replica.
+    // A majority (0, 1) stays reachable, so FDB030 stays silent — the
+    // divergence is exactly what FDB060 exists to catch.
+    let mut topology = Topology::new(3);
+    topology.add_link(n(0), n(1), SimDuration::from_millis(1));
+    let (catalog, agents, _) = schema(1, 3);
+    let config = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_replica_set(f(0), [n(0), n(1), n(2)]);
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &config,
+    });
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::Fdb060)
+        .expect("unreachable replica");
+    assert!(d.message.contains("N2"), "{d}");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        !report.has(Code::Fdb030),
+        "majority itself is reachable: {report}"
+    );
+    assert!(!report.is_admissible());
+    // Dropping the island fixes it.
+    let config = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_replica_set(f(0), [n(0), n(1)]);
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &config,
+    });
+    assert!(!report.has(Code::Fdb060), "{report}");
+}
+
+#[test]
+fn fdb061_even_replica_set_under_majority_commit() {
+    let (catalog, agents, topology) = schema(1, 5);
+    let even = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_replica_set(f(0), [n(0), n(1), n(2), n(3)]);
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &even,
+    });
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::Fdb061)
+        .expect("even set warned");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("4"), "{d}");
+    assert!(report.is_admissible(), "warning, not error: {report}");
+    // Odd set: silent. Even set without majority commit: also silent.
+    let odd = SystemConfig::unrestricted(1)
+        .with_move_policy(MovePolicy::MajorityCommit {
+            timeout: SimDuration::from_secs(5),
+        })
+        .with_replica_set(f(0), [n(0), n(1), n(2)]);
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &odd,
+    });
+    assert!(!report.has(Code::Fdb061), "{report}");
+    let unrestricted = SystemConfig::unrestricted(1).with_replica_set(f(0), [n(0), n(1)]);
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &unrestricted,
+    });
+    assert!(!report.has(Code::Fdb061), "{report}");
+}
+
+#[test]
+fn fdb062_replica_set_naming_every_node() {
+    let (catalog, agents, topology) = schema(1, 3);
+    let config = SystemConfig::unrestricted(1).with_replica_set(f(0), [n(0), n(1), n(2)]);
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &config,
+    });
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::Fdb062)
+        .expect("full-set note");
+    assert_eq!(d.severity, Severity::Info);
+    assert!(report.is_admissible());
+    // A genuinely partial set is silent.
+    let config = SystemConfig::unrestricted(1).with_replica_set(f(0), [n(0), n(1)]);
+    let report = check(&CheckInput {
+        topology: &topology,
+        catalog: &catalog,
+        agents: &agents,
+        classes: &[],
+        config: &config,
+    });
+    assert!(!report.has(Code::Fdb062), "{report}");
+}

@@ -65,18 +65,19 @@ impl System {
         let beat = self.detector_beat;
         let n = self.nodes.len() as u32;
 
-        // Every live node beats to every peer. Beats to a down peer are
-        // dropped at its door and retransmitted; the reliable layer's
-        // resync on recovery clears the backlog.
+        // Every live node beats to its monitor peers — the nodes it shares
+        // at least one fragment replica set with. Under full replication
+        // that is every peer (the pre-§6 behavior); under partial
+        // replication the per-tick fan-out is bounded by the replica sets
+        // instead of O(n²). Beats to a down peer are dropped at its door
+        // and retransmitted; the reliable layer's resync on recovery
+        // clears the backlog.
         let live: Vec<NodeId> = (0..n)
             .map(NodeId)
             .filter(|p| !self.down.contains(p))
             .collect();
         for &from in &live {
-            for peer in (0..n).map(NodeId) {
-                if peer == from {
-                    continue;
-                }
+            for peer in self.monitor_peers(from) {
                 self.engine.metrics.incr(keys::DETECTOR_HEARTBEATS);
                 self.send_direct(at, from, peer, Envelope::Heartbeat { from, beat });
             }

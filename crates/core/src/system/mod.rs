@@ -470,23 +470,6 @@ impl System {
                 mf_staged: BTreeMap::new(),
             })
             .collect();
-        let mut detectors = BTreeMap::new();
-        if config.detector.enabled() {
-            // Every node starts with a full silence allowance for every
-            // peer; the first sweep happens one period in.
-            for i in 0..n {
-                let mut d = FailureDetector::new(
-                    config.detector.heartbeat_period,
-                    config.detector.suspect_after,
-                );
-                for j in 0..n {
-                    if j != i {
-                        d.track(NodeId(j), SimTime::ZERO);
-                    }
-                }
-                detectors.insert(NodeId(i), d);
-            }
-        }
         let mut system = System {
             engine: Engine::new(config.seed),
             history: History::new(),
@@ -517,12 +500,25 @@ impl System {
             open_batches: BTreeMap::new(),
             next_batch_gen: 0,
             detector_cfg: config.detector,
-            detectors,
+            detectors: BTreeMap::new(),
             elections: BTreeMap::new(),
             granted_votes: BTreeMap::new(),
             detector_beat: 0,
         };
         if system.detector_cfg.enabled() {
+            // Every node starts with a full silence allowance for each of
+            // its monitor peers (under full replication: every peer); the
+            // first sweep happens one period in.
+            for i in 0..n {
+                let mut d = FailureDetector::new(
+                    system.detector_cfg.heartbeat_period,
+                    system.detector_cfg.suspect_after,
+                );
+                for peer in system.monitor_peers(NodeId(i)) {
+                    d.track(peer, SimTime::ZERO);
+                }
+                system.detectors.insert(NodeId(i), d);
+            }
             // The recurring tick re-arms itself; with the detector off it
             // is never scheduled, keeping default runs byte-identical.
             let first = SimTime::ZERO + system.detector_cfg.heartbeat_period;
@@ -558,6 +554,21 @@ impl System {
     /// Schedule a node crash at absolute time `at`.
     pub fn crash_at(&mut self, at: SimTime, node: NodeId) {
         self.engine.schedule_at(at, Ev::Crash(node));
+    }
+
+    /// Schedule a §6 replica-set shrink at absolute time `at`. The new set
+    /// must be a non-empty subset of the fragment's current replica set
+    /// (all nodes, if fully replicated) containing the token home; an
+    /// invalid or mid-move/mid-election request is skipped — the allocator
+    /// retries at its next epoch.
+    pub fn shrink_replica_set_at(
+        &mut self,
+        at: SimTime,
+        fragment: FragmentId,
+        new_set: BTreeSet<NodeId>,
+    ) {
+        self.engine
+            .schedule_at(at, Ev::ShrinkReplicaSet { fragment, new_set });
     }
 
     /// Schedule a node recovery at absolute time `at`.
@@ -695,6 +706,9 @@ impl System {
             Ev::DetectorTick => self.handle_detector_tick(at),
             Ev::ElectionTimeout { fragment, epoch } => {
                 self.handle_election_timeout(at, fragment, epoch)
+            }
+            Ev::ShrinkReplicaSet { fragment, new_set } => {
+                self.handle_shrink_replica_set(at, fragment, new_set)
             }
         }
     }
@@ -918,6 +932,107 @@ impl System {
         self.replica_sets
             .get(&fragment)
             .is_none_or(|set| set.contains(&node))
+    }
+
+    /// The peers `node` exchanges heartbeats with: every node it shares at
+    /// least one fragment replica set with. Any fully replicated fragment
+    /// (no explicit replica set) makes every other node a monitor peer, so
+    /// fully replicated systems keep the all-pairs detector behavior and
+    /// their golden traces; under partial replication the detector fan-out
+    /// is bounded by the replica sets instead of O(n²).
+    pub fn monitor_peers(&self, node: NodeId) -> BTreeSet<NodeId> {
+        let n = self.nodes.len() as u32;
+        let mut peers = BTreeSet::new();
+        for frag in self.catalog.fragments() {
+            match self.replica_sets.get(&frag.id) {
+                None => {
+                    return (0..n).map(NodeId).filter(|&p| p != node).collect();
+                }
+                Some(set) if set.contains(&node) => {
+                    peers.extend(set.iter().copied().filter(|&p| p != node));
+                }
+                Some(_) => {}
+            }
+        }
+        peers
+    }
+
+    /// §6: shrink `fragment`'s replica set to `new_set`. Validates that the
+    /// fragment exists, the set is a non-empty subset of the current
+    /// replica set containing the token home, and no move or election is
+    /// in flight; an invalid request is skipped (the allocator retries at
+    /// its next epoch). Dropped replicas stop receiving broadcasts
+    /// immediately; majority quorums recompute over the new set; each
+    /// node's detector roster is refreshed to the new monitor peers.
+    fn handle_shrink_replica_set(
+        &mut self,
+        at: SimTime,
+        fragment: FragmentId,
+        new_set: BTreeSet<NodeId>,
+    ) -> Vec<Notification> {
+        if self.catalog.fragment(fragment).is_err()
+            || new_set.is_empty()
+            || self.move_state.contains_key(&fragment)
+            || self.elections.contains_key(&fragment)
+        {
+            return Vec::new();
+        }
+        let n = self.nodes.len() as u32;
+        let current_len = match self.replica_sets.get(&fragment) {
+            Some(set) => {
+                if !new_set.is_subset(set) {
+                    return Vec::new();
+                }
+                set.len() as u32
+            }
+            None => {
+                if new_set.iter().any(|r| r.0 >= n) {
+                    return Vec::new();
+                }
+                n
+            }
+        };
+        if !new_set.contains(&self.tokens.home(fragment)) {
+            return Vec::new();
+        }
+        let to_count = new_set.len() as u32;
+        if to_count == current_len {
+            return Vec::new();
+        }
+        self.replica_sets.insert(fragment, new_set);
+        self.engine.emit(|| TelemetryEvent::ReplicaSetChanged {
+            fragment: fragment.0,
+            from_count: current_len,
+            to_count,
+        });
+        self.refresh_detector_peers(at);
+        Vec::new()
+    }
+
+    /// Re-derive every live node's detector roster from the current
+    /// replica sets: peers that stopped sharing a replica set are
+    /// forgotten, newly shared peers start tracking with a full silence
+    /// allowance from `at`. Existing entries keep their timestamps and
+    /// standing suspicions.
+    fn refresh_detector_peers(&mut self, at: SimTime) {
+        if !self.detector_cfg.enabled() {
+            return;
+        }
+        let nodes: Vec<NodeId> = self.detectors.keys().copied().collect();
+        for node in nodes {
+            let want = self.monitor_peers(node);
+            let d = self.detectors.get_mut(&node).expect("collected above");
+            for p in d.tracked() {
+                if !want.contains(&p) {
+                    d.forget(p);
+                }
+            }
+            for p in want {
+                if !d.is_tracked(p) {
+                    d.track(p, at);
+                }
+            }
+        }
     }
 
     /// The effective control strategy for `fragment` (§6 mixtures).
@@ -1324,10 +1439,8 @@ impl System {
                 self.detector_cfg.heartbeat_period,
                 self.detector_cfg.suspect_after,
             );
-            for i in 0..self.nodes.len() as u32 {
-                if NodeId(i) != node {
-                    d.track(NodeId(i), at);
-                }
+            for peer in self.monitor_peers(node) {
+                d.track(peer, at);
             }
             self.detectors.insert(node, d);
         }

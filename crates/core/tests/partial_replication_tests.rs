@@ -223,6 +223,103 @@ fn agent_home_outside_replica_set_is_rejected() {
 }
 
 #[test]
+fn monitor_peers_follow_the_replica_sets() {
+    // F0 fully replicated ⇒ everyone monitors everyone.
+    let (sys, _, _) = build(8, MovePolicy::Fixed);
+    assert_eq!(
+        sys.monitor_peers(NodeId(0)),
+        [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect()
+    );
+    // With every fragment under an explicit replica set, only set-sharing
+    // peers are monitored.
+    let mut b = FragmentCatalog::builder();
+    let (f0, _) = b.add_fragment("A", 1);
+    let (f1, _) = b.add_fragment("B", 1);
+    let catalog = b.build();
+    let agents = vec![
+        (f0, AgentId::Node(NodeId(0)), NodeId(0)),
+        (f1, AgentId::Node(NodeId(2)), NodeId(2)),
+    ];
+    let sys = System::build(
+        Topology::full_mesh(5, SimDuration::from_millis(10)),
+        catalog,
+        agents,
+        SystemConfig::unrestricted(8)
+            .with_replica_set(f0, [NodeId(0), NodeId(1)])
+            .with_replica_set(f1, [NodeId(1), NodeId(2), NodeId(3)]),
+    )
+    .unwrap();
+    assert_eq!(
+        sys.monitor_peers(NodeId(0)),
+        [NodeId(1)].into_iter().collect()
+    );
+    assert_eq!(
+        sys.monitor_peers(NodeId(1)),
+        [NodeId(0), NodeId(2), NodeId(3)].into_iter().collect()
+    );
+    assert!(
+        sys.monitor_peers(NodeId(4)).is_empty(),
+        "a node holding no replica monitors nobody"
+    );
+}
+
+#[test]
+fn runtime_shrink_narrows_broadcasts_and_quorums() {
+    // F1 at {1, 2} shrinks to {1}: later commits broadcast to nobody.
+    let (mut sys, _, o1) = build(9, MovePolicy::Fixed);
+    sys.submit_at(secs(1), write_update(FragmentId(1), o1[0], 1));
+    sys.run_until(secs(30));
+    let before = sys.net_stats().sent;
+    sys.shrink_replica_set_at(secs(31), FragmentId(1), [NodeId(1)].into_iter().collect());
+    sys.submit_at(secs(32), write_update(FragmentId(1), o1[0], 2));
+    sys.run_until(secs(60));
+    assert_eq!(
+        sys.net_stats().sent - before,
+        0,
+        "a single-replica fragment broadcasts no copies"
+    );
+    assert_eq!(sys.replica(NodeId(1)).read(o1[0]), &Value::Int(2));
+    assert_eq!(
+        sys.replicas_of(FragmentId(1)).map(|s| s.len()),
+        Some(1),
+        "the shrink took effect"
+    );
+    // The dropped replica keeps its old copy but is no longer judged.
+    assert_eq!(sys.replica(NodeId(2)).read(o1[0]), &Value::Int(1));
+    assert!(sys.divergent_fragments().is_empty());
+}
+
+#[test]
+fn invalid_shrinks_are_skipped() {
+    let (mut sys, o0, _) = build(10, MovePolicy::Fixed);
+    // Not a subset of the current set.
+    sys.shrink_replica_set_at(
+        secs(1),
+        FragmentId(1),
+        [NodeId(1), NodeId(3)].into_iter().collect(),
+    );
+    // Home (node 1) missing.
+    sys.shrink_replica_set_at(secs(2), FragmentId(1), [NodeId(2)].into_iter().collect());
+    // Empty set.
+    sys.shrink_replica_set_at(secs(3), FragmentId(1), std::collections::BTreeSet::new());
+    sys.run_until(secs(10));
+    assert_eq!(
+        sys.replicas_of(FragmentId(1)).map(|s| s.len()),
+        Some(2),
+        "every invalid request left the set untouched"
+    );
+    // A valid shrink of the fully replicated fragment pins the map.
+    sys.shrink_replica_set_at(
+        secs(11),
+        FragmentId(0),
+        [NodeId(0), NodeId(2)].into_iter().collect(),
+    );
+    sys.submit_at(secs(12), write_update(FragmentId(0), o0[0], 1));
+    sys.run_until(secs(30));
+    assert_eq!(sys.replicas_of(FragmentId(0)).map(|s| s.len()), Some(2));
+}
+
+#[test]
 fn mixed_agent_node_does_not_stall_fifo_at_non_replicas() {
     // Regression: a node that is agent of BOTH a partially replicated
     // fragment and a fully replicated one. Its subset-scoped broadcast

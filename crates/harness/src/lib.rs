@@ -26,6 +26,7 @@
 
 pub mod configs;
 pub mod experiments;
+pub mod partial;
 pub mod scale;
 pub mod table;
 pub mod trace;

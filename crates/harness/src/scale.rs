@@ -46,6 +46,11 @@ pub struct ScaleSpec {
     pub rate_per_sec: f64,
     /// Arrival horizon: arrivals stop here; the run then drains.
     pub horizon: SimDuration,
+    /// Per-link delay jitter: each mesh link's delay is drawn uniformly
+    /// from `10ms ± link_jitter` (seeded, deterministic). Zero restores
+    /// the fixed 10 ms mesh — which collapses every commit's propagation
+    /// lag onto one value and degenerates the percentiles (p50 == p99).
+    pub link_jitter: SimDuration,
     /// Engine / workload RNG seed.
     pub seed: u64,
 }
@@ -61,6 +66,7 @@ impl ScaleSpec {
             theta: 0.99,
             rate_per_sec: 40.0,
             horizon: SimDuration::from_secs(5),
+            link_jitter: SimDuration::from_millis(1),
             seed,
         }
     }
@@ -106,7 +112,8 @@ pub struct ScaleStats {
 }
 
 /// Build the system under test: `fragments` unrestricted fragments over
-/// an `n`-node full mesh (10 ms links), fragment `f` homed at `f % n`.
+/// an `n`-node full mesh (10 ms links, jittered per `link_jitter`),
+/// fragment `f` homed at `f % n`.
 pub fn build_system(spec: &ScaleSpec) -> (System, Vec<(FragmentId, Vec<ObjectId>)>) {
     assert!(spec.nodes >= 2, "scale runs need at least two nodes");
     assert!(spec.fragments >= 1, "scale runs need at least one fragment");
@@ -121,8 +128,16 @@ pub fn build_system(spec: &ScaleSpec) -> (System, Vec<(FragmentId, Vec<ObjectId>
             (*f, AgentId::Node(home), home)
         })
         .collect();
+    // The link layout draws from its own forked stream so topology jitter
+    // never perturbs the engine or workload RNG sequences.
+    let topo = Topology::jittered_mesh(
+        spec.nodes,
+        SimDuration::from_millis(10),
+        spec.link_jitter,
+        spec.seed ^ 0x11_77_e7_ed,
+    );
     let sys = System::build(
-        Topology::full_mesh(spec.nodes, SimDuration::from_millis(10)),
+        topo,
         b.build(),
         agents,
         SystemConfig::unrestricted(spec.seed),
@@ -251,6 +266,7 @@ mod tests {
             theta: 0.99,
             rate_per_sec: 30.0,
             horizon: SimDuration::from_secs(4),
+            link_jitter: SimDuration::from_millis(1),
             seed: 42,
         }
     }
@@ -264,7 +280,13 @@ mod tests {
         assert!(stats.events > stats.arrivals, "each txn costs >1 event");
         assert!(stats.messages > 0, "commits broadcast over the wire");
         assert!(stats.peak_queue_depth > 0);
-        assert!(stats.lag_p99_us >= stats.lag_p50_us);
+        assert!(
+            stats.lag_p99_us > stats.lag_p50_us,
+            "jittered links must spread the lag distribution \
+             (p50={} p99={})",
+            stats.lag_p50_us,
+            stats.lag_p99_us
+        );
         assert!(stats.lag_p50_us > 0, "remote installs lag the commit");
         assert!(stats.spans >= stats.commits, "every commit yields a span");
         assert_eq!(stats.spans_truncated, 0, "smoke run fits the ring");

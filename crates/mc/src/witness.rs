@@ -311,6 +311,27 @@ fn fdb032_instance() -> McInstance {
     })
 }
 
+/// FDB060 demo: a replica set names a node with no path from the home —
+/// commits keep succeeding (a majority is not even required under §4.3),
+/// but the cut-off replica never hears a single update: at quiescence,
+/// with every node up, the replicas of the fragment diverge.
+fn fdb060_instance() -> McInstance {
+    McInstance::new("witness-fdb060-unreachable-replica", true, false, || {
+        let mut topo = Topology::new(3);
+        topo.add_link(NodeId(0), NodeId(1), ms(5));
+        let f = FragmentId(0);
+        let mut sys = System::build(
+            topo,
+            catalog(&["LEDGER"]),
+            node_agents(&[0]),
+            SystemConfig::unrestricted(7).with_replica_set(f, [NodeId(0), NodeId(1), NodeId(2)]),
+        )
+        .expect("fdb060 witness builds");
+        sys.submit_at(at(1), bump(f, ObjectId(0)));
+        sys
+    })
+}
+
 /// Produce the concrete counterexample for a rejecting `FDB02x`/`FDB03x`
 /// code, or `None` for codes that are not error-severity rejections in
 /// those blocks (and for other blocks entirely, which have their own
@@ -375,6 +396,13 @@ pub fn witness_for(code: Code) -> Option<Witness> {
                 SystemConfig::unrestricted(7).with_replica_set(FragmentId(0), []),
             )
         }),
+        Code::Fdb060 => trace_witness(
+            code,
+            "replica set naming a node unreachable from the fragment's home",
+            fdb060_instance(),
+            InvariantKind::Divergence,
+            false,
+        ),
         _ => None,
     }
 }
@@ -382,7 +410,7 @@ pub fn witness_for(code: Code) -> Option<Witness> {
 /// Every error-severity code in the `FDB02x`/`FDB03x` blocks — the ones
 /// [`witness_for`] must substantiate. Kept in one place so tests can
 /// assert coverage.
-pub const REJECTING_CODES: [Code; 7] = [
+pub const REJECTING_CODES: [Code; 8] = [
     Code::Fdb020,
     Code::Fdb030,
     Code::Fdb031,
@@ -390,6 +418,7 @@ pub const REJECTING_CODES: [Code; 7] = [
     Code::Fdb033,
     Code::Fdb034,
     Code::Fdb035,
+    Code::Fdb060,
 ];
 
 #[cfg(test)]
@@ -410,7 +439,13 @@ mod tests {
 
     #[test]
     fn trace_witnesses_are_nonempty_and_minimal_looking() {
-        for code in [Code::Fdb020, Code::Fdb030, Code::Fdb031, Code::Fdb032] {
+        for code in [
+            Code::Fdb020,
+            Code::Fdb030,
+            Code::Fdb031,
+            Code::Fdb032,
+            Code::Fdb060,
+        ] {
             let w = witness_for(code).expect("trace witness");
             assert!(!w.is_empty(), "{code} should have a concrete trace");
             assert!(w.kind().is_some());
@@ -433,5 +468,7 @@ mod tests {
         assert!(witness_for(Code::Fdb021).is_none());
         assert!(witness_for(Code::Fdb022).is_none());
         assert!(witness_for(Code::Fdb040).is_none());
+        assert!(witness_for(Code::Fdb061).is_none());
+        assert!(witness_for(Code::Fdb062).is_none());
     }
 }

@@ -106,6 +106,16 @@ impl FailureDetector {
         newly
     }
 
+    /// Is `peer` on the tracked roster?
+    pub fn is_tracked(&self, peer: NodeId) -> bool {
+        self.peers.contains_key(&peer)
+    }
+
+    /// The tracked roster, ascending.
+    pub fn tracked(&self) -> Vec<NodeId> {
+        self.peers.keys().copied().collect()
+    }
+
     /// Is `peer` currently suspected?
     pub fn is_suspected(&self, peer: NodeId) -> bool {
         self.peers.get(&peer).is_some_and(|v| v.suspected)
@@ -165,7 +175,11 @@ mod tests {
         // A beat from an untracked peer starts tracking it.
         assert!(!d.heard(NodeId(9), t(1000)));
         assert_eq!(d.tick(t(2000)), vec![NodeId(3), NodeId(9)]);
+        assert!(d.is_tracked(NodeId(9)));
+        assert_eq!(d.tracked(), vec![NodeId(3), NodeId(9)]);
         d.forget(NodeId(9));
+        assert!(!d.is_tracked(NodeId(9)));
+        assert_eq!(d.tracked(), vec![NodeId(3)]);
         assert!(!d.is_suspected(NodeId(9)));
         assert_eq!(d.suspected(), vec![NodeId(3)]);
     }

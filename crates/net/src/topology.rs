@@ -52,6 +52,33 @@ impl Topology {
         t
     }
 
+    /// Complete graph with per-link delays jittered uniformly in
+    /// `base ± jitter`, drawn from a dedicated seeded stream so the layout
+    /// depends only on `(n, base, jitter, seed)` — two same-seed builds
+    /// are identical, and `jitter` zero degenerates to
+    /// [`Topology::full_mesh`]. The spread keeps commit propagation lags
+    /// from collapsing onto a single value (degenerate percentiles).
+    pub fn jittered_mesh(n: u32, base: SimDuration, jitter: SimDuration, seed: u64) -> Self {
+        let mut rng = fragdb_sim::SimRng::new(seed);
+        let mut t = Topology::new(n);
+        let base_us = base.micros();
+        let jitter_us = jitter.micros();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                // Uniform in [base − jitter, base + jitter], floored at 1µs
+                // so no link is instantaneous.
+                let offset = if jitter_us == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=2 * jitter_us)
+                };
+                let delay_us = (base_us + offset).saturating_sub(jitter_us).max(1);
+                t.add_link(NodeId(a), NodeId(b), SimDuration::from_micros(delay_us));
+            }
+        }
+        t
+    }
+
     /// Ring topology with uniform link delay.
     pub fn ring(n: u32, delay: SimDuration) -> Self {
         let mut t = Topology::new(n);
@@ -404,6 +431,29 @@ mod tests {
         assert_eq!(t.node_count(), 5);
         assert!(t.has_link(NodeId(0), NodeId(4)));
         assert!(t.has_link(NodeId(4), NodeId(0)), "links are undirected");
+    }
+
+    #[test]
+    fn jittered_mesh_spreads_delays_deterministically() {
+        let t1 = Topology::jittered_mesh(8, ms(10), ms(1), 42);
+        let t2 = Topology::jittered_mesh(8, ms(10), ms(1), 42);
+        assert_eq!(t1.links().count(), 28);
+        let d1: Vec<SimDuration> = t1.links().map(|(_, d)| d).collect();
+        let d2: Vec<SimDuration> = t2.links().map(|(_, d)| d).collect();
+        assert_eq!(d1, d2, "same seed, same layout");
+        // Delays stay inside base ± jitter and actually spread.
+        for d in &d1 {
+            assert!(d.micros() >= 9_000 && d.micros() <= 11_000, "{d:?}");
+        }
+        let distinct: std::collections::BTreeSet<u64> = d1.iter().map(|d| d.micros()).collect();
+        assert!(distinct.len() > 1, "jitter must vary the links");
+        // A different seed yields a different layout; zero jitter
+        // degenerates to the uniform mesh.
+        let t3 = Topology::jittered_mesh(8, ms(10), ms(1), 43);
+        let d3: Vec<SimDuration> = t3.links().map(|(_, d)| d).collect();
+        assert_ne!(d1, d3);
+        let flat = Topology::jittered_mesh(4, ms(10), SimDuration::ZERO, 42);
+        assert!(flat.links().all(|(_, d)| d == ms(10)));
     }
 
     #[test]

@@ -139,6 +139,13 @@ pub mod keys {
     /// Queued-behind-a-move wait (µs).
     pub const LATENCY_MOVE_WAIT: &str = "latency.move_wait";
 
+    /// Token migrations ordered by the fragment allocator (§4.4.2 moves
+    /// toward the heaviest writer).
+    pub const ALLOC_MIGRATIONS: &str = "alloc.migrations";
+    /// Broadcast messages sent per committed update under the current
+    /// placement (gauge; published by the allocator's cost model).
+    pub const ALLOC_MSGS_PER_COMMIT: &str = "alloc.msgs_per_commit";
+
     /// Commit spans that span reconstruction could only partially rebuild
     /// because ring-buffer eviction discarded their commit-side events.
     pub const TELEMETRY_SPANS_TRUNCATED: &str = "telemetry.spans_truncated";
@@ -195,6 +202,8 @@ pub mod keys {
         ENGINE_POOL_REUSE,
         ENGINE_QUEUE_DEPTH,
         WORKLOAD_OFFERED_RATE,
+        ALLOC_MIGRATIONS,
+        ALLOC_MSGS_PER_COMMIT,
         LATENCY_COMMIT,
         LATENCY_RECOVERY,
         LATENCY_PROPAGATION,
@@ -230,7 +239,13 @@ pub mod keys {
     ];
 
     /// Probe suffixes of the `frag.<f>.<probe>` dimension.
-    pub const FRAG_PROBES: &[&str] = &["lag", "queue", "move_stall", "unavail_window"];
+    pub const FRAG_PROBES: &[&str] = &[
+        "lag",
+        "queue",
+        "move_stall",
+        "unavail_window",
+        "replica_count",
+    ];
     /// Probe suffixes of the `node.<n>.<probe>` dimension.
     pub const NODE_PROBES: &[&str] = &["staleness", "holdback"];
     /// Phase names of the `span.phase.<p>` dimension — one duration
@@ -340,6 +355,17 @@ pub mod keys {
         }
 
         #[test]
+        fn allocator_keys_are_registered() {
+            assert!(is_registered(ALLOC_MIGRATIONS));
+            assert!(is_registered(ALLOC_MSGS_PER_COMMIT));
+            assert!(is_registered("frag.0.replica_count"));
+            assert!(is_registered("frag.42.replica_count"));
+            assert!(!is_registered("alloc.bogus"));
+            assert!(!is_registered("node.3.replica_count"));
+            assert!(!is_registered("frag.x.replica_count"));
+        }
+
+        #[test]
         fn dimensioned_keys_match_structurally() {
             assert!(is_registered("msg.quasi"));
             assert!(is_registered("frag.12.lag"));
@@ -398,6 +424,17 @@ impl Metrics {
             *c += delta;
         } else {
             self.counters.insert(Cow::Owned(key.to_owned()), delta);
+        }
+    }
+
+    /// Set counter `key` to an absolute `value` without taking ownership of
+    /// the key (gauge semantics; see [`Metrics::add_named`] for the
+    /// interned-key allocation discipline).
+    pub fn set_named(&mut self, key: &str, value: u64) {
+        if let Some(c) = self.counters.get_mut(key) {
+            *c = value;
+        } else {
+            self.counters.insert(Cow::Owned(key.to_owned()), value);
         }
     }
 
@@ -566,6 +603,10 @@ mod tests {
         m.set("g", 5);
         m.set("g", 3);
         assert_eq!(m.counter("g"), 3);
+        m.set_named("g", 9);
+        m.set_named("h", 1);
+        assert_eq!(m.counter("g"), 9);
+        assert_eq!(m.counter("h"), 1);
     }
 
     #[test]

@@ -280,6 +280,16 @@ pub enum TelemetryEvent {
         /// The crashed home that held the open batch.
         node: u32,
     },
+    /// A fragment's replica set changed size (allocator shrink toward the
+    /// configured replication factor, §6 partial replication).
+    ReplicaSetChanged {
+        /// Fragment whose replica set changed.
+        fragment: u32,
+        /// Replica count before the change.
+        from_count: u32,
+        /// Replica count after the change.
+        to_count: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -312,6 +322,7 @@ impl TelemetryEvent {
             TelemetryEvent::ElectionAborted { .. } => "election_aborted",
             TelemetryEvent::TokenRecovered { .. } => "token_recovered",
             TelemetryEvent::BatchDiscarded { .. } => "batch_discarded",
+            TelemetryEvent::ReplicaSetChanged { .. } => "replica_set_changed",
         }
     }
 }
@@ -519,6 +530,15 @@ impl TelemetryRecord {
                 push_cause(&mut out, cause);
                 push_field(&mut out, "node", u64::from(*node));
             }
+            TelemetryEvent::ReplicaSetChanged {
+                fragment,
+                from_count,
+                to_count,
+            } => {
+                push_field(&mut out, "fragment", u64::from(*fragment));
+                push_field(&mut out, "from_count", u64::from(*from_count));
+                push_field(&mut out, "to_count", u64::from(*to_count));
+            }
         }
         out.push('}');
         out
@@ -685,6 +705,13 @@ impl Probes {
                 // The commit will never install anywhere else; close the
                 // lag join so the causal id does not dangle.
                 self.commit_at.remove(cause);
+            }
+            TelemetryEvent::ReplicaSetChanged {
+                fragment, to_count, ..
+            } => {
+                // Gauge semantics: the fragment's current replica-set size.
+                let key = self.keys.key("frag", *fragment, "replica_count");
+                metrics.set_named(key, u64::from(*to_count));
             }
             _ => {}
         }
@@ -1126,6 +1153,45 @@ mod tests {
         assert_eq!(
             r.to_json_line(),
             "{\"at_micros\":8,\"event\":\"batch_discarded\",\"fragment\":2,\"epoch\":0,\"frag_seq\":11,\"node\":4}"
+        );
+    }
+
+    #[test]
+    fn replica_set_changed_publishes_gauge_and_serializes_flat() {
+        let mut t = Telemetry::bounded(16);
+        let mut m = Metrics::new();
+        t.record(
+            SimTime::from_secs(1),
+            TelemetryEvent::ReplicaSetChanged {
+                fragment: 3,
+                from_count: 8,
+                to_count: 3,
+            },
+            &mut m,
+        );
+        assert_eq!(m.counter("frag.3.replica_count"), 3);
+        // Gauge semantics: a later change overwrites, not accumulates.
+        t.record(
+            SimTime::from_secs(2),
+            TelemetryEvent::ReplicaSetChanged {
+                fragment: 3,
+                from_count: 3,
+                to_count: 5,
+            },
+            &mut m,
+        );
+        assert_eq!(m.counter("frag.3.replica_count"), 5);
+        let r = TelemetryRecord {
+            at: SimTime(12),
+            event: TelemetryEvent::ReplicaSetChanged {
+                fragment: 3,
+                from_count: 8,
+                to_count: 3,
+            },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"at_micros\":12,\"event\":\"replica_set_changed\",\"fragment\":3,\"from_count\":8,\"to_count\":3}"
         );
     }
 
